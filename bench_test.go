@@ -1,0 +1,46 @@
+package repro_test
+
+// One benchmark per table/figure of the paper's evaluation. Each iteration
+// regenerates the experiment end-to-end (workload construction, planning,
+// execution, aggregation), so ns/op is the cost of reproducing that artifact
+// and the reported metrics come from the same code path as `insitu-bench`.
+//
+// Wall-clock experiments (fig9-fig11) measure real sleeps; their ns/op is
+// dominated by the modelled application time by design.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, run func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s: empty table", tab.ID)
+		}
+	}
+}
+
+func BenchmarkTable1Schedulers(b *testing.B)     { benchExperiment(b, experiments.Table1) }
+func BenchmarkFig3Balancing(b *testing.B)        { benchExperiment(b, experiments.Figure3) }
+func BenchmarkFig4BlockSize(b *testing.B)        { benchExperiment(b, experiments.Figure4) }
+func BenchmarkFig5Buffer(b *testing.B)           { benchExperiment(b, experiments.Figure5) }
+func BenchmarkFig6SharedTree(b *testing.B)       { benchExperiment(b, experiments.Figure6) }
+func BenchmarkFig7CompressionRatio(b *testing.B) { benchExperiment(b, experiments.Figure7) }
+func BenchmarkFig8Distribution(b *testing.B)     { benchExperiment(b, experiments.Figure8) }
+func BenchmarkExactVsHeuristics(b *testing.B)    { benchExperiment(b, experiments.ExactStudy) }
+func BenchmarkPredVsActualAblation(b *testing.B) { benchExperiment(b, experiments.PredVsActual) }
+func BenchmarkAlgoEndToEnd(b *testing.B)         { benchExperiment(b, experiments.AlgoEndToEnd) }
+
+// Wall-clock experiments: real time, so a single iteration is the honest
+// unit of work.
+func BenchmarkFig9Overall(b *testing.B)       { benchExperiment(b, experiments.Figure9) }
+func BenchmarkFig10Timesteps(b *testing.B)    { benchExperiment(b, experiments.Figure10) }
+func BenchmarkFig11WeakScaling(b *testing.B)  { benchExperiment(b, experiments.Figure11) }
+func BenchmarkMultiFileAblation(b *testing.B) { benchExperiment(b, experiments.MultiFile) }

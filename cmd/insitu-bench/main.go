@@ -1,0 +1,71 @@
+// Command insitu-bench regenerates the paper's evaluation tables and
+// figures. With no arguments it runs everything in paper order; otherwise
+// each argument names an experiment:
+//
+//	insitu-bench                # all experiments
+//	insitu-bench table1 fig6    # a subset
+//	insitu-bench -list          # show available experiment IDs
+//
+// Output is plain aligned text, one table per experiment, matching the
+// rows/series the paper reports (EXPERIMENTS.md records a reference run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			kind := "virtual-time"
+			if experiments.WallClock(e.ID) {
+				kind = "wall-clock"
+			}
+			fmt.Printf("%-14s %s\n", e.ID, kind)
+		}
+		return
+	}
+
+	want := flag.Args()
+	selected := all
+	if len(want) > 0 {
+		byID := map[string]experiments.NamedExperiment{}
+		for _, e := range all {
+			byID[e.ID] = e
+		}
+		selected = selected[:0]
+		for _, id := range want {
+			e, ok := byID[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "insitu-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := false
+	for _, e := range selected {
+		t0 := time.Now()
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s took %s)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,156 @@
+// Command insitu-compress compresses and decompresses raw float32 fields
+// with the repository's SZ-style error-bounded compressor.
+//
+//	insitu-compress -c -dims 64x64x64 -eb 1e-3 in.f32 out.szl
+//	insitu-compress -d out.szl back.f32
+//	insitu-compress -demo             # generate, compress, verify in memory
+//
+// Input files are little-endian float32 streams (the layout Nyx plotfiles
+// use after unpacking).
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/fields"
+	"repro/internal/sz"
+)
+
+func main() {
+	compress := flag.Bool("c", false, "compress in.f32 -> out.szl")
+	decompress := flag.Bool("d", false, "decompress in.szl -> out.f32")
+	demo := flag.Bool("demo", false, "self-contained demo on generated data")
+	dimsArg := flag.String("dims", "", "field dims as XxYxZ (compress)")
+	eb := flag.Float64("eb", 1e-3, "absolute error bound (compress)")
+	radius := flag.Int("radius", 0, "quantization radius (0 = default 32768)")
+	flag.Parse()
+
+	switch {
+	case *demo:
+		runDemo(*eb)
+	case *compress:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: -c -dims XxYxZ in.f32 out.szl"))
+		}
+		dims, err := parseDims(*dimsArg)
+		if err != nil {
+			fatal(err)
+		}
+		doCompress(flag.Arg(0), flag.Arg(1), dims, *eb, *radius)
+	case *decompress:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: -d in.szl out.f32"))
+		}
+		doDecompress(flag.Arg(0), flag.Arg(1))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseDims(s string) (sz.Dims, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	d := sz.Dims{X: 1, Y: 1, Z: 1}
+	set := []*int{&d.X, &d.Y, &d.Z}
+	if len(parts) == 0 || len(parts) > 3 || s == "" {
+		return d, fmt.Errorf("bad dims %q (want XxYxZ)", s)
+	}
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(p, "%d", set[i]); err != nil {
+			return d, fmt.Errorf("bad dims %q: %v", s, err)
+		}
+	}
+	return d, nil
+}
+
+func readFloats(path string) ([]float32, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob)%4 != 0 {
+		return nil, fmt.Errorf("%s: size %d not a multiple of 4", path, len(blob))
+	}
+	out := make([]float32, len(blob)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(blob[4*i:]))
+	}
+	return out, nil
+}
+
+func writeFloats(path string, data []float32) error {
+	blob := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(blob[4*i:], math.Float32bits(v))
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+func doCompress(in, out string, dims sz.Dims, eb float64, radius int) {
+	data, err := readFloats(in)
+	if err != nil {
+		fatal(err)
+	}
+	blob, st, err := sz.Compress(data, dims, sz.Options{ErrorBound: eb, Radius: radius})
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d -> %d bytes (ratio %.2fx, %d outliers, bound %g)\n",
+		in, st.RawBytes, st.CompressedBytes, st.Ratio, st.Outliers, eb)
+}
+
+func doDecompress(in, out string) {
+	blob, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	data, dims, err := sz.Decompress(blob, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeFloats(out, data); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %v, %d points -> %s\n", in, dims, len(data), out)
+}
+
+func runDemo(eb float64) {
+	gen, err := fields.NewGenerator(fields.Config{
+		Dims:   sz.Dims{X: 64, Y: 64, Z: 32},
+		Fields: fields.NyxFields,
+		Ranks:  1,
+		Seed:   1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, spec := range fields.NyxFields {
+		data := gen.Field(0, spec, 0)
+		d := sz.Dims{X: 64, Y: 64, Z: 32}
+		blob, st, err := sz.Compress(data, d, sz.Options{ErrorBound: spec.ErrorBound})
+		if err != nil {
+			fatal(err)
+		}
+		dec, _, err := sz.Decompress(blob, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-20s ratio %7.2fx  maxErr %.3g (bound %g)  PSNR %.1f dB  SSIM %.5f\n",
+			spec.Name, st.Ratio, sz.MaxAbsError(data, dec), spec.ErrorBound,
+			sz.PSNR(data, dec), sz.SSIM(data, dec))
+	}
+	_ = eb
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insitu-compress:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sz"
+)
+
+func TestParseDims(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sz.Dims
+		ok   bool
+	}{
+		{"64x64x64", sz.Dims{X: 64, Y: 64, Z: 64}, true},
+		{"128x32", sz.Dims{X: 128, Y: 32, Z: 1}, true},
+		{"1000", sz.Dims{X: 1000, Y: 1, Z: 1}, true},
+		{"64X64X64", sz.Dims{X: 64, Y: 64, Z: 64}, true}, // case-insensitive
+		{"", sz.Dims{}, false},
+		{"axb", sz.Dims{}, false},
+		{"1x2x3x4", sz.Dims{}, false},
+	}
+	for _, c := range cases {
+		got, err := parseDims(c.in)
+		if c.ok && err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Fatalf("%q accepted as %v", c.in, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Fatalf("%q = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReadWriteFloats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.f32")
+	want := []float32{1.5, -2.25, 0, 3e7}
+	if err := writeFloats(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFloats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d floats", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("float %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Truncated file rejected.
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFloats(path); err == nil {
+		t.Fatal("misaligned file accepted")
+	}
+}
+
+func TestCompressDecompressFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	out := filepath.Join(dir, "out.szl")
+	back := filepath.Join(dir, "back.f32")
+	data := make([]float32, 4096)
+	for i := range data {
+		data[i] = float32(i % 100)
+	}
+	if err := writeFloats(in, data); err != nil {
+		t.Fatal(err)
+	}
+	doCompress(in, out, sz.Dims{X: 64, Y: 64, Z: 1}, 0.5, 0)
+	doDecompress(out, back)
+	got, err := readFloats(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := sz.MaxAbsError(data, got); e > 0.5 {
+		t.Fatalf("round trip error %g", e)
+	}
+}

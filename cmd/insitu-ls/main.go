@@ -1,0 +1,85 @@
+// Command insitu-ls inspects an exported H5L container (the h5ls/h5dump
+// analogue): datasets, chunk layout, compression ratios, attributes, and
+// overflow usage.
+//
+// The modelled file system is in-memory; runners export snapshots with
+// pfs.FS.Export. This tool imports such a file and prints its structure:
+//
+//	insitu-ls snapshot.h5l
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/h5"
+	"repro/internal/pfs"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: insitu-ls <file.h5l>")
+		os.Exit(2)
+	}
+	if err := list(flag.Arg(0), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-ls:", err)
+		os.Exit(1)
+	}
+}
+
+func list(path string, out *os.File) error {
+	cfg := pfs.Summit16()
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := fs.Import(path, "in"); err != nil {
+		return err
+	}
+	fr, err := h5.Open(fs, "in")
+	if err != nil {
+		return err
+	}
+	names := fr.Datasets()
+	fmt.Fprintf(out, "%s: %d datasets\n", path, len(names))
+	for _, name := range names {
+		dm, err := fr.Dataset(name)
+		if err != nil {
+			return err
+		}
+		raw := int64(dm.Points()) * int64(dm.ElemSize)
+		var stored int64
+		written := 0
+		overflow := 0
+		for _, c := range dm.Chunks {
+			if c.Size >= 0 {
+				stored += c.Size
+				written++
+			}
+			if c.Overflow {
+				overflow++
+			}
+		}
+		ratio := "-"
+		if stored > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(raw)/float64(stored))
+		}
+		fmt.Fprintf(out, "  %-40s dims=%v elem=%dB filter=%d chunks=%d/%d stored=%dB ratio=%s overflow=%d\n",
+			name, dm.Dims, dm.ElemSize, dm.Filter, written, len(dm.Chunks), stored, ratio, overflow)
+		keys := make([]string, 0, len(dm.Attrs))
+		for k := range dm.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(out, "      @%s = %s\n", k, dm.Attrs[k])
+		}
+	}
+	if start, bytes := fr.Overflow(); bytes > 0 {
+		fmt.Fprintf(out, "  overflow region: %d bytes at offset %d\n", bytes, start)
+	}
+	return nil
+}

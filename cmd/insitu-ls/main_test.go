@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/h5"
+	"repro/internal/pfs"
+)
+
+func TestListExportedSnapshot(t *testing.T) {
+	cfg := pfs.Summit16()
+	cfg.PerOSTBandwidth = 1 << 34
+	cfg.Latency = 0
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := h5.Create(fs, "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := fw.CreateDataset("/rank000/temp", []int{8, 8, 8}, 4, h5.FilterSZ,
+		[]int64{256, 256}, []int64{1024, 1024}, map[string]string{"errorBound": "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dw.WriteChunk(0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dw.WriteChunk(1, make([]byte, 300)); err != nil { // overflows
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.h5l")
+	if err := fs.Export("snap", path); err != nil {
+		t.Fatal(err)
+	}
+
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := list(path, tmp); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(blob)
+	for _, want := range []string{"/rank000/temp", "chunks=2/2", "@errorBound = 0.1", "overflow=1", "ratio=5.12x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := list(filepath.Join(t.TempDir(), "missing"), tmp); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestJSONProblemConversion(t *testing.T) {
+	blob := []byte(`{
+	  "horizon": 12,
+	  "compHoles": [{"start": 3, "end": 4}, {"start": 6, "end": 7}],
+	  "ioHoles":   [{"start": 4, "end": 5}],
+	  "jobs": [
+	    {"id": 0, "comp": 1, "io": 2},
+	    {"id": 1, "comp": 2, "io": 1, "release": 0.5}
+	  ]
+	}`)
+	var jp jsonProblem
+	if err := json.Unmarshal(blob, &jp); err != nil {
+		t.Fatal(err)
+	}
+	p := jp.problem()
+	if p.Horizon != 12 || len(p.CompHoles) != 2 || len(p.IOHoles) != 1 || len(p.Jobs) != 2 {
+		t.Fatalf("problem: %+v", p)
+	}
+	if p.Jobs[1].Release != 0.5 {
+		t.Fatalf("release: %v", p.Jobs[1].Release)
+	}
+	s, err := sched.Solve(p, sched.ExtJohnsonBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(p, s); err != nil {
+		t.Fatal(err)
+	}
+}

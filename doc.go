@@ -1,0 +1,30 @@
+// Package repro is a from-scratch Go reproduction of "Concealing
+// Compression-accelerated I/O for HPC Applications through In Situ Task
+// Scheduling" (Jin et al., EuroSys '24).
+//
+// The paper schedules error-bounded lossy compression and asynchronous
+// writes into the idle gaps of an HPC application's iteration so that the
+// entire data dump hides behind computation. This module rebuilds the whole
+// stack in pure Go:
+//
+//   - internal/sched    — the two-machine flow-shop scheduler with
+//     unavailability intervals (six heuristics + exact branch-and-bound)
+//   - internal/balance  — intra-node I/O workload balancing
+//   - internal/sz       — SZ-style prediction-based lossy compressor
+//     (with internal/huffman and internal/lossless underneath)
+//   - internal/buffer   — the compressed data buffer
+//   - internal/predict  — compression-ratio / throughput / I/O predictors
+//   - internal/trace    — iteration profiles
+//   - internal/h5       — an HDF5-like container with reserved extents,
+//     an overflow region, and an async dispatch queue
+//   - internal/pfs      — a striped parallel-file-system model
+//   - internal/mpi      — an in-process message-passing runtime
+//   - internal/fields   — synthetic Nyx/WarpX-like data generators
+//   - internal/core     — the framework, with a virtual-time engine
+//   - internal/simapp   — wall-clock mini-Nyx / mini-WarpX applications
+//   - internal/experiments — every table and figure of the evaluation
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. bench_test.go regenerates
+// each table/figure as a testing.B benchmark.
+package repro

@@ -1,0 +1,128 @@
+// Quickstart: one rank, one iteration — the whole pipeline in ~80 lines.
+//
+// Generate a scientific field, slice it into fine-grained blocks (§4.1),
+// schedule the compression and write tasks around the application's busy
+// intervals (§3.3), compress with a shared Huffman tree (§4.3), write into
+// a shared H5L file on the modelled parallel file system, then read it all
+// back and check the error bound.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fields"
+	"repro/internal/h5"
+	"repro/internal/pfs"
+	"repro/internal/sched"
+	"repro/internal/sz"
+)
+
+func main() {
+	// 1. An application field: 64x64x64 of Nyx-like temperature data.
+	dims := sz.Dims{X: 64, Y: 64, Z: 64}
+	gen, err := fields.NewGenerator(fields.Config{
+		Dims: dims, Fields: fields.NyxFields, Ranks: 1, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := fields.NyxFields[2] // temperature, error bound 1e3
+	data := gen.Field(0, spec, 0)
+
+	// 2. Fine-grained compression blocks (§4.1).
+	blocks, err := sz.Split(dims, 256<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field %v -> %d blocks\n", dims, len(blocks))
+
+	// 3. A scheduling instance: the iteration has busy intervals the tasks
+	// must avoid; compression feeds each block's write.
+	prob := &sched.Problem{
+		Horizon:   1.0,
+		CompHoles: []sched.Interval{{Start: 0.2, End: 0.45}, {Start: 0.6, End: 0.8}},
+		IOHoles:   []sched.Interval{{Start: 0.3, End: 0.5}},
+	}
+	for i := range blocks {
+		prob.Jobs = append(prob.Jobs, sched.Job{ID: i, Comp: 0.02, IO: 0.015})
+	}
+	plan, err := sched.Solve(prob, sched.ExtJohnsonBF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %d jobs: iteration %.3fs (horizon %.3fs) -- concealed: %v\n",
+		len(prob.Jobs), plan.Overall, prob.Horizon, plan.Overall <= prob.Horizon)
+
+	// 4. Compress each block and write it at its reserved offset.
+	fs, err := pfs.New(pfs.Summit16())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := h5.Create(fs, "quickstart.h5l")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reservations := make([]int64, len(blocks))
+	rawSizes := make([]int64, len(blocks))
+	for i, b := range blocks {
+		rawSizes[i] = int64(b.Bytes())
+		reservations[i] = rawSizes[i]/8 + 512 // predict ~8x compression
+	}
+	dw, err := fw.CreateDataset("/fields/temperature",
+		[]int{dims.X, dims.Y, dims.Z}, 4, h5.FilterSZ, reservations, rawSizes, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rawTotal, compTotal int
+	for i, b := range blocks {
+		blob, st, err := sz.Compress(b.Slice(data, dims), b.Dims, sz.Options{ErrorBound: spec.ErrorBound})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dw.WriteChunk(i, blob); err != nil {
+			log.Fatal(err)
+		}
+		rawTotal += st.RawBytes
+		compTotal += st.CompressedBytes
+	}
+	if err := fw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed %d -> %d bytes (%.1fx)\n", rawTotal, compTotal,
+		float64(rawTotal)/float64(compTotal))
+
+	// 5. Read back and verify the error bound.
+	fr, err := h5.Open(fs, "quickstart.h5l")
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts := make([][]float32, len(blocks))
+	for i := range blocks {
+		blob, err := fr.ReadChunk("/fields/temperature", i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, _, err := sz.Decompress(blob, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts[i] = dec
+	}
+	full, err := sz.Reassemble(blocks, parts, dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := sz.MaxAbsError(data, full)
+	fmt.Printf("round trip max error %.4g (bound %g) -- %s\n",
+		maxErr, spec.ErrorBound, verdict(maxErr <= spec.ErrorBound))
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "FAILED"
+}

@@ -1,0 +1,62 @@
+// Scheduler walkthrough: reproduces the paper's Figure 1 worked example and
+// then compares all six algorithms (plus the exact solver) on it and on a
+// harder random instance.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+func main() {
+	fmt.Println("The paper's Figure 1 instance: horizon 12, compute busy [3,4) and")
+	fmt.Println("[6,7), background busy [4,5), jobs c=(1,2,2,3) c'=(2,1,2,2).")
+	fmt.Println()
+
+	p := sched.Figure1Problem()
+	for _, alg := range []sched.Algorithm{sched.ExtJohnson, sched.ExtJohnsonBF} {
+		s, err := sched.Solve(p, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s (Figure 1%s) ---\n", alg, map[sched.Algorithm]string{
+			sched.ExtJohnson: "c", sched.ExtJohnsonBF: "d"}[alg])
+		fmt.Println(sched.Gantt(p, s, 4))
+		fmt.Println()
+	}
+
+	fmt.Println("All algorithms on Figure 1 plus the exact optimum:")
+	for _, alg := range append(sched.Algorithms(), sched.Exact) {
+		s, err := sched.Solve(p, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s overall %.1f  makespan %.1f\n", alg, s.Overall, s.Makespan)
+	}
+	fmt.Println()
+
+	fmt.Println("A tighter random instance (8 jobs, dense holes):")
+	cfg := sched.DefaultGenConfig()
+	cfg.Jobs = 8
+	cfg.Horizon = 1.2
+	cfg.HoleFrac = 0.5
+	rp := sched.RandomProblem(rand.New(rand.NewSource(3)), cfg)
+	res, err := sched.SolveExact(rp, sched.DefaultExactNodeLimit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  exact optimum %.4f (%d nodes, optimal=%v)\n", res.Overall, res.Nodes, res.Optimal)
+	for _, alg := range sched.Algorithms() {
+		s, err := sched.Solve(rp, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s overall %.4f (+%.2f%%)\n", alg, s.Overall,
+			100*(s.Overall-res.Overall)/res.Overall)
+	}
+}

@@ -1,0 +1,166 @@
+// Package balance implements the paper's intra-node I/O workload balancing
+// (§3.4). Compressed-data sizes — and therefore write durations — vary
+// across the processes of a node with the compressibility of each rank's
+// partition, while compression time stays nearly flat. The mechanism
+// reassigns whole I/O tasks between ranks of one node, guided by the
+// previous iteration's workloads, until the most loaded rank carries less
+// than twice the least loaded rank's work.
+//
+// Balancing is intra-node only: cross-node moves would pay inter-node
+// communication for the compressed bytes, which the paper rules out.
+package balance
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task is one I/O task (the write of one compressed block).
+type Task struct {
+	Rank  int     // originating rank (node-local index)
+	Index int     // position within the originating rank's task list
+	Dur   float64 // predicted write duration (seconds)
+	Bytes int64   // compressed size (informational)
+}
+
+// Ref identifies a task by origin.
+type Ref struct {
+	Rank, Index int
+}
+
+// Move records one reassignment: the task Ref now executes on rank To.
+type Move struct {
+	Ref Ref
+	To  int
+}
+
+// Plan is the balancing decision for one node and one iteration.
+type Plan struct {
+	// PerRank[r] lists, in execution order, the tasks rank r will write.
+	// Moved tasks are appended after the rank's own remaining tasks, per the
+	// paper ("to be the last I/O task for the process with the least
+	// workload").
+	PerRank [][]Ref
+	// Moves lists every reassignment in the order decided.
+	Moves []Move
+	// Loads holds the resulting per-rank total durations.
+	Loads []float64
+	// Rounds is the number of reassignment iterations performed.
+	Rounds int
+}
+
+// MaxStop is the paper's stop threshold: balancing continues while
+// max load >= MaxStop * min load.
+const MaxStop = 2.0
+
+// maxRounds guards against pathological inputs (e.g. one task dominating
+// everything, where no move can satisfy the 2x rule).
+const maxRounds = 10_000
+
+// Balance plans intra-node I/O reassignment for one node. tasks[r] is rank
+// r's predicted I/O task list for the coming iteration, in execution order.
+// The paper's loop is followed literally — move the *first* pending task of
+// the most loaded rank to the *end* of the least loaded rank — with one
+// safeguard: a move that would not strictly reduce the max-min spread stops
+// the loop (prevents oscillation when a single task exceeds the imbalance).
+func Balance(tasks [][]Task) (*Plan, error) {
+	n := len(tasks)
+	plan := &Plan{
+		PerRank: make([][]Ref, n),
+		Loads:   make([]float64, n),
+	}
+	if n == 0 {
+		return plan, nil
+	}
+	// Work queues: per-rank FIFO of task refs with durations.
+	type item struct {
+		ref Ref
+		dur float64
+	}
+	queues := make([][]item, n)
+	for r, list := range tasks {
+		for i, t := range list {
+			if t.Dur < 0 || math.IsNaN(t.Dur) {
+				return nil, fmt.Errorf("balance: rank %d task %d has invalid duration %v", r, i, t.Dur)
+			}
+			queues[r] = append(queues[r], item{ref: Ref{Rank: r, Index: i}, dur: t.Dur})
+			plan.Loads[r] += t.Dur
+		}
+	}
+
+	for plan.Rounds < maxRounds {
+		hi, lo := argMax(plan.Loads), argMin(plan.Loads)
+		if plan.Loads[hi] < MaxStop*plan.Loads[lo] || hi == lo {
+			break
+		}
+		if len(queues[hi]) <= 1 {
+			break // never strip a rank of its last (or only) task
+		}
+		t := queues[hi][0]
+		// Safeguard: the move must strictly reduce the spread.
+		newHi := plan.Loads[hi] - t.dur
+		newLo := plan.Loads[lo] + t.dur
+		oldSpread := plan.Loads[hi] - plan.Loads[lo]
+		if math.Max(newHi, newLo)-math.Min(newHi, newLo) >= oldSpread {
+			break
+		}
+		queues[hi] = queues[hi][1:]
+		queues[lo] = append(queues[lo], t)
+		plan.Loads[hi] = newHi
+		plan.Loads[lo] = newLo
+		plan.Moves = append(plan.Moves, Move{Ref: t.ref, To: lo})
+		plan.Rounds++
+	}
+
+	for r := range queues {
+		for _, it := range queues[r] {
+			plan.PerRank[r] = append(plan.PerRank[r], it.ref)
+		}
+	}
+	return plan, nil
+}
+
+// Imbalance returns max(loads)/min(loads), or 1 for degenerate inputs. It is
+// the x-axis quantity of Figures 3 and 8 when applied to compression ratios.
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	hi, lo := loads[argMax(loads)], loads[argMin(loads)]
+	if lo <= 0 {
+		if hi <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// TotalLoad sums a load vector.
+func TotalLoad(loads []float64) float64 {
+	s := 0.0
+	for _, l := range loads {
+		s += l
+	}
+	return s
+}
+
+func argMax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argMin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,237 @@
+package balance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkTasks(durs ...[]float64) [][]Task {
+	out := make([][]Task, len(durs))
+	for r, list := range durs {
+		for i, d := range list {
+			out[r] = append(out[r], Task{Rank: r, Index: i, Dur: d})
+		}
+	}
+	return out
+}
+
+func TestEmptyNode(t *testing.T) {
+	p, err := Balance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 0 {
+		t.Fatal("moves on empty input")
+	}
+}
+
+func TestSingleRankNoMoves(t *testing.T) {
+	p, err := Balance(mkTasks([]float64{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 0 {
+		t.Fatalf("single rank moved tasks: %v", p.Moves)
+	}
+	if len(p.PerRank[0]) != 3 {
+		t.Fatalf("rank 0 keeps %d tasks, want 3", len(p.PerRank[0]))
+	}
+}
+
+func TestAlreadyBalancedNoMoves(t *testing.T) {
+	p, err := Balance(mkTasks(
+		[]float64{1, 1, 1},
+		[]float64{1, 1, 1},
+		[]float64{1, 1, 0.9},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 0 {
+		t.Fatalf("balanced node moved tasks: %v", p.Moves)
+	}
+}
+
+func TestRebalancesSkewedNode(t *testing.T) {
+	// Rank 0 has 8x the work of rank 3 (the Nyx end-of-run shape).
+	tasks := mkTasks(
+		[]float64{2, 2, 2, 2},
+		[]float64{1, 1, 1, 1},
+		[]float64{0.5, 0.5, 0.5, 0.5},
+		[]float64{0.25, 0.25, 0.25, 0.25},
+	)
+	before := []float64{8, 4, 2, 1}
+	p, err := Balance(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) == 0 {
+		t.Fatal("no moves on skewed node")
+	}
+	if got, want := TotalLoad(p.Loads), TotalLoad(before); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("total load changed: %v -> %v", want, got)
+	}
+	if Imbalance(p.Loads) >= Imbalance(before) {
+		t.Fatalf("imbalance did not improve: %.2f -> %.2f", Imbalance(before), Imbalance(p.Loads))
+	}
+	// The stop rule: either max < 2*min, or no admissible move remained.
+	hi, lo := p.Loads[argMax(p.Loads)], p.Loads[argMin(p.Loads)]
+	if hi >= MaxStop*lo {
+		// Must be because the next move could not reduce the spread or the
+		// hi rank ran out of spare tasks — verify moves at least happened.
+		t.Logf("stopped above threshold (hi=%v lo=%v) after %d moves", hi, lo, len(p.Moves))
+	}
+}
+
+func TestMovedTasksAppendAtTail(t *testing.T) {
+	tasks := mkTasks(
+		[]float64{5, 5},
+		[]float64{1},
+	)
+	p, err := Balance(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 1 {
+		t.Fatalf("moves = %v, want exactly 1", p.Moves)
+	}
+	m := p.Moves[0]
+	if m.Ref != (Ref{Rank: 0, Index: 0}) || m.To != 1 {
+		t.Fatalf("move = %+v, want first task of rank 0 -> rank 1", m)
+	}
+	// Rank 1 executes its own task first, then the moved one.
+	want := []Ref{{Rank: 1, Index: 0}, {Rank: 0, Index: 0}}
+	if len(p.PerRank[1]) != 2 || p.PerRank[1][0] != want[0] || p.PerRank[1][1] != want[1] {
+		t.Fatalf("rank 1 order = %v, want %v", p.PerRank[1], want)
+	}
+}
+
+func TestNeverStripsLastTask(t *testing.T) {
+	tasks := mkTasks(
+		[]float64{10},
+		[]float64{1},
+	)
+	p, err := Balance(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 0 {
+		t.Fatalf("moved a rank's only task: %v", p.Moves)
+	}
+}
+
+func TestOscillationGuard(t *testing.T) {
+	// One huge task plus a tiny one: moving the huge task would just swap
+	// the imbalance. The guard must stop instead of looping.
+	tasks := mkTasks(
+		[]float64{100, 0.1},
+		[]float64{1},
+	)
+	p, err := Balance(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rounds >= maxRounds {
+		t.Fatal("hit round cap: oscillation guard failed")
+	}
+}
+
+func TestInvalidDurationRejected(t *testing.T) {
+	if _, err := Balance(mkTasks([]float64{-1})); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if _, err := Balance(mkTasks([]float64{math.NaN()})); err == nil {
+		t.Fatal("NaN duration accepted")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{2, 4}); got != 2 {
+		t.Fatalf("Imbalance = %v, want 2", got)
+	}
+	if got := Imbalance(nil); got != 1 {
+		t.Fatalf("Imbalance(nil) = %v, want 1", got)
+	}
+	if got := Imbalance([]float64{0, 1}); !math.IsInf(got, 1) {
+		t.Fatalf("Imbalance with zero = %v, want +Inf", got)
+	}
+	if got := Imbalance([]float64{0, 0}); got != 1 {
+		t.Fatalf("Imbalance all-zero = %v, want 1", got)
+	}
+}
+
+// Properties: load conservation, task conservation (each ref exactly once),
+// termination, and non-degradation of imbalance.
+func TestQuickBalanceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRanks := 1 + rng.Intn(8) // paper: 4-8 GPUs per node
+		tasks := make([][]Task, nRanks)
+		total := 0.0
+		nTasks := 0
+		for r := 0; r < nRanks; r++ {
+			k := rng.Intn(12)
+			for i := 0; i < k; i++ {
+				d := rng.Float64() * math.Pow(10, float64(rng.Intn(3)))
+				tasks[r] = append(tasks[r], Task{Rank: r, Index: i, Dur: d})
+				total += d
+				nTasks++
+			}
+		}
+		before := make([]float64, nRanks)
+		for r, list := range tasks {
+			for _, tk := range list {
+				before[r] += tk.Dur
+			}
+		}
+		p, err := Balance(tasks)
+		if err != nil {
+			return false
+		}
+		if p.Rounds >= maxRounds {
+			return false
+		}
+		if math.Abs(TotalLoad(p.Loads)-total) > 1e-6 {
+			return false
+		}
+		seen := map[Ref]bool{}
+		count := 0
+		for _, refs := range p.PerRank {
+			for _, ref := range refs {
+				if seen[ref] {
+					return false
+				}
+				seen[ref] = true
+				count++
+			}
+		}
+		if count != nTasks {
+			return false
+		}
+		if Imbalance(p.Loads) > Imbalance(before)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBalance8Ranks(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tasks := make([][]Task, 8)
+	for r := range tasks {
+		for i := 0; i < 32; i++ {
+			tasks[r] = append(tasks[r], Task{Rank: r, Index: i, Dur: rng.Float64() * float64(r+1)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Balance(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

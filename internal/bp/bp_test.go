@@ -1,0 +1,228 @@
+package bp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+func fastFS(t *testing.T) *pfs.FS {
+	t.Helper()
+	cfg := pfs.Summit16()
+	cfg.PerOSTBandwidth = 1 << 34
+	cfg.Latency = 0
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestCreateValidation(t *testing.T) {
+	fs := fastFS(t)
+	if _, err := Create(nil, "x", 1); err == nil {
+		t.Fatal("nil fs accepted")
+	}
+	if _, err := Create(fs, "x", 0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	fs := fastFS(t)
+	w, err := Create(fs, "snap.bp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw0, err := w.CreateDataset(0, "/rank0/temp", []int{8, 8}, 4, FilterSZ,
+		[]int64{128, 128}, map[string]string{"eb": "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw1, err := w.CreateDataset(1, "/rank1/temp", []int{8, 8}, 4, FilterNone,
+		[]int64{256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := bytes.Repeat([]byte{1}, 50)
+	c1 := bytes.Repeat([]byte{2}, 70)
+	c2 := bytes.Repeat([]byte{3}, 90)
+	if _, err := dw0.WriteChunk(0, c0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dw0.WriteChunk(1, c1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dw1.WriteChunk(0, c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(fs, "snap.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := r.Datasets(); len(ds) != 2 || ds[0] != "/rank0/temp" {
+		t.Fatalf("datasets: %v", ds)
+	}
+	dm, err := r.Dataset("/rank0/temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Attrs["eb"] != "0.1" || dm.Filter != FilterSZ {
+		t.Fatalf("meta: %+v", dm)
+	}
+	for i, want := range [][]byte{c0, c1} {
+		got, err := r.ReadChunk("/rank0/temp", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+	got, err := r.ReadChunk("/rank1/temp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, c2) {
+		t.Fatal("rank 1 chunk mismatch")
+	}
+}
+
+func TestAppendsAreContiguousPerRank(t *testing.T) {
+	fs := fastFS(t)
+	w, _ := Create(fs, "c.bp", 1)
+	dw, _ := w.CreateDataset(0, "/d", []int{4}, 4, FilterNone, []int64{16, 16, 16}, nil)
+	dw.WriteChunk(0, make([]byte, 10))
+	dw.WriteChunk(1, make([]byte, 20))
+	dw.WriteChunk(2, make([]byte, 30))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := Open(fs, "c.bp")
+	dm, _ := r.Dataset("/d")
+	if dm.Chunks[0].Offset != 0 || dm.Chunks[1].Offset != 10 || dm.Chunks[2].Offset != 30 {
+		t.Fatalf("offsets not contiguous: %+v", dm.Chunks)
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	fs := fastFS(t)
+	w, _ := Create(fs, "e.bp", 1)
+	if _, err := w.CreateDataset(5, "/d", []int{1}, 4, FilterNone, []int64{4}, nil); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+	if _, err := w.CreateDataset(0, "", []int{1}, 4, FilterNone, []int64{4}, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	dw, err := w.CreateDataset(0, "/d", []int{1}, 4, FilterNone, []int64{4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.CreateDataset(0, "/d", []int{1}, 4, FilterNone, []int64{4}, nil); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := dw.WriteChunk(3, nil); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	if _, err := dw.WriteChunk(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dw.WriteChunk(0, []byte{1}); err == nil {
+		t.Fatal("double write accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("double close accepted")
+	}
+	if _, err := dw.WriteChunk(0, nil); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	fs := fastFS(t)
+	if _, err := Open(fs, "missing.bp"); err == nil {
+		t.Fatal("missing container opened")
+	}
+	f := fs.Create("junk.bp/md.idx")
+	f.WriteAt([]byte("XXXXXXXXXXXX"), 0)
+	if _, err := Open(fs, "junk.bp"); err == nil {
+		t.Fatal("junk index accepted")
+	}
+	w, _ := Create(fs, "r.bp", 1)
+	w.CreateDataset(0, "/d", []int{1}, 4, FilterNone, []int64{4, 4}, nil)
+	w.Close()
+	r, _ := Open(fs, "r.bp")
+	if _, err := r.Dataset("/nope"); err == nil {
+		t.Fatal("missing dataset read")
+	}
+	if _, err := r.ReadChunk("/d", 0); err == nil {
+		t.Fatal("unwritten chunk read")
+	}
+	if _, err := r.ReadChunk("/d", 9); err == nil {
+		t.Fatal("out-of-range chunk read")
+	}
+}
+
+func TestConcurrentRankAppends(t *testing.T) {
+	fs := fastFS(t)
+	const ranks, chunks = 8, 16
+	w, _ := Create(fs, "p.bp", ranks)
+	dws := make([]*DatasetWriter, ranks)
+	for r := 0; r < ranks; r++ {
+		raw := make([]int64, chunks)
+		for i := range raw {
+			raw[i] = 64
+		}
+		dw, err := w.CreateDataset(r, fmt.Sprintf("/rank%d/d", r), []int{chunks}, 4, FilterSZ, raw, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dws[r] = dw
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < chunks; i++ {
+				data := bytes.Repeat([]byte{byte(r*16 + i)}, 10+i)
+				if _, err := dws[r].WriteChunk(i, data); err != nil {
+					t.Error(err)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Open(fs, "p.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < chunks; i++ {
+			got, err := rd.ReadChunk(fmt.Sprintf("/rank%d/d", r), i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bytes.Repeat([]byte{byte(r*16 + i)}, 10+i)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("rank %d chunk %d corrupted", r, i)
+			}
+		}
+	}
+	if got := len(w.Files()); got != ranks+1 {
+		t.Fatalf("files: %d, want %d", got, ranks+1)
+	}
+}

@@ -1,0 +1,128 @@
+// Package buffer implements the compressed data buffer of §4.2. Compressed
+// blocks can be far smaller than 1 MiB, and sub-megabyte writes collapse the
+// parallel file system's effective bandwidth. The buffer coalesces
+// consecutive compressed blocks — whose shared-file offsets the framework
+// pre-computed to be contiguous — into larger writes, flushing when the
+// configured capacity (the paper settles on ~20 MiB) is reached or when the
+// next block is not contiguous with the buffered run.
+package buffer
+
+import "fmt"
+
+// Write is one coalesced write: Data destined for file offset Off, covering
+// the listed block IDs.
+type Write struct {
+	Off    int64
+	Data   []byte
+	Blocks []int
+}
+
+// Bytes returns the payload size.
+func (w Write) Bytes() int { return len(w.Data) }
+
+// Buffer coalesces block writes. Not safe for concurrent use: each rank's
+// background thread owns one Buffer, matching the paper's runtime.
+type Buffer struct {
+	max int
+
+	cur     Write
+	hasData bool
+
+	// Stats
+	blocksIn    int
+	writesOut   int
+	bytesOut    int64
+	passthrough int // blocks emitted alone because they exceed capacity
+}
+
+// New returns a buffer flushing at maxBytes. maxBytes <= 0 disables
+// coalescing: every Add emits immediately (the Fig. 5 "no buffer" baseline).
+func New(maxBytes int) *Buffer {
+	return &Buffer{max: maxBytes}
+}
+
+// Cap returns the configured capacity.
+func (b *Buffer) Cap() int { return b.max }
+
+// Add offers one compressed block at file offset off. It returns the writes
+// that must be issued now (possibly none). The block's bytes are copied, so
+// the caller may reuse data.
+func (b *Buffer) Add(blockID int, off int64, data []byte) ([]Write, error) {
+	if off < 0 {
+		return nil, fmt.Errorf("buffer: negative offset %d", off)
+	}
+	b.blocksIn++
+	var out []Write
+
+	if b.max <= 0 {
+		w := Write{Off: off, Data: append([]byte(nil), data...), Blocks: []int{blockID}}
+		b.noteOut(w)
+		return []Write{w}, nil
+	}
+
+	// Not contiguous with the buffered run: flush first.
+	if b.hasData && b.cur.Off+int64(len(b.cur.Data)) != off {
+		out = append(out, b.take())
+	}
+
+	// A block alone larger than capacity passes through (after any flush).
+	if len(data) >= b.max && !b.hasData {
+		w := Write{Off: off, Data: append([]byte(nil), data...), Blocks: []int{blockID}}
+		b.noteOut(w)
+		b.passthrough++
+		return append(out, w), nil
+	}
+
+	// Would overflow: flush, then start fresh.
+	if b.hasData && len(b.cur.Data)+len(data) > b.max {
+		out = append(out, b.take())
+	}
+
+	if !b.hasData {
+		b.cur = Write{Off: off}
+		b.hasData = true
+	}
+	b.cur.Data = append(b.cur.Data, data...)
+	b.cur.Blocks = append(b.cur.Blocks, blockID)
+
+	// Exactly full: emit now rather than waiting for the next Add.
+	if len(b.cur.Data) >= b.max {
+		out = append(out, b.take())
+	}
+	return out, nil
+}
+
+// Flush returns any buffered write (empty slice if none).
+func (b *Buffer) Flush() []Write {
+	if !b.hasData {
+		return nil
+	}
+	return []Write{b.take()}
+}
+
+// Pending returns the number of buffered bytes not yet emitted.
+func (b *Buffer) Pending() int {
+	if !b.hasData {
+		return 0
+	}
+	return len(b.cur.Data)
+}
+
+func (b *Buffer) take() Write {
+	w := b.cur
+	b.cur = Write{}
+	b.hasData = false
+	b.noteOut(w)
+	return w
+}
+
+func (b *Buffer) noteOut(w Write) {
+	b.writesOut++
+	b.bytesOut += int64(len(w.Data))
+}
+
+// Stats reports blocks accepted, writes emitted, and bytes emitted so far
+// (buffered bytes are excluded until flushed).
+func (b *Buffer) Stats() (blocksIn, writesOut int, bytesOut int64) {
+	return b.blocksIn, b.writesOut, b.bytesOut
+}

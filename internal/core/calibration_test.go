@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+func TestCalibrationPrint(t *testing.T) {
+	for _, name := range []string{"nyx", "warpx"} {
+		var cfg WorkloadConfig
+		if name == "nyx" {
+			cfg = NyxWorkload(4, 4)
+		} else {
+			cfg = WarpXWorkload(4, 4)
+		}
+		w, err := BuildWorkload(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeBaseline, ModeAsyncIO, ModeAsyncCompIO, ModeOurs} {
+			st, err := RunSim(w, mode, PlanConfig{Balance: true}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s %-14s overhead=%.3f end=%.3f delay=%.4f", name, mode, st.MeanOverhead, st.MeanEnd, st.MeanDelay)
+		}
+	}
+}

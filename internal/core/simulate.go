@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/balance"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// PlanConfig controls the in situ planner (ModeOurs).
+type PlanConfig struct {
+	// Algorithm is the scheduling heuristic; empty selects ExtJohnson+BF,
+	// the paper's pick after Table 1.
+	Algorithm sched.Algorithm
+	// Balance enables intra-node I/O workload balancing (§3.4).
+	Balance bool
+}
+
+func (pc PlanConfig) algorithm() sched.Algorithm {
+	if pc.Algorithm == "" {
+		return sched.ExtJohnsonBF
+	}
+	return pc.Algorithm
+}
+
+// jobRef identifies a job by its origin rank and local job ID there.
+type jobRef struct {
+	rank, id int
+}
+
+// plannedJob is one schedulable job on a rank after balancing: its
+// compression runs here iff originRank == the planning rank; a moved write
+// carries a Release (the origin's predicted compression completion).
+type plannedJob struct {
+	origin            jobRef
+	predComp, actComp float64 // zero for moved-in writes
+	predIO, actIO     float64 // zero when this rank only compresses
+	release           float64
+}
+
+// rankPlan is one rank's solved iteration plan.
+type rankPlan struct {
+	jobs []plannedJob // local job index == sched.Job.ID
+	prob *sched.Problem
+	s    *sched.Schedule
+}
+
+// IterationResult reports one simulated iteration.
+type IterationResult struct {
+	Mode       Mode
+	End        float64   // global iteration end (max across ranks)
+	ComputeEnd float64   // compute-only end
+	Overhead   float64   // (End - ComputeEnd) / ComputeEnd
+	Delay      float64   // total computation interference (obstacle delay)
+	RankEnds   []float64 // per-rank ends
+	// PlannedOverall is the scheduler's predicted iteration duration
+	// (ModeOurs only; the Table 1 quantity).
+	PlannedOverall float64
+}
+
+// SimulateIteration executes one iteration of the workload in virtual time
+// under the chosen mode.
+func SimulateIteration(w *Workload, data *IterationData, mode Mode, pc PlanConfig) (*IterationResult, error) {
+	switch mode {
+	case ModeBaseline:
+		return simulateBaseline(data), nil
+	case ModeAsyncIO:
+		return simulateAsyncIO(w, data)
+	case ModeAsyncCompIO:
+		return simulateAsyncCompIO(data)
+	case ModeOurs:
+		return simulateOurs(w, data, pc)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", mode)
+	}
+}
+
+func overheadResult(mode Mode, rankEnds []float64, computeEnd, delay, planned float64) *IterationResult {
+	end := 0.0
+	for _, e := range rankEnds {
+		if e > end {
+			end = e
+		}
+	}
+	over := 0.0
+	if computeEnd > 0 {
+		over = math.Max(0, end-computeEnd) / computeEnd
+	}
+	return &IterationResult{
+		Mode:           mode,
+		End:            end,
+		ComputeEnd:     computeEnd,
+		Overhead:       over,
+		Delay:          delay,
+		RankEnds:       rankEnds,
+		PlannedOverall: planned,
+	}
+}
+
+// simulateBaseline: computation, then a synchronous uncompressed dump.
+func simulateBaseline(data *IterationData) *IterationResult {
+	ends := make([]float64, len(data.RawIO))
+	for r := range ends {
+		ends[r] = data.ActProfiles[r].Length + data.RawIO[r]
+	}
+	return overheadResult(ModeBaseline, ends, data.ComputeEnd, 0, 0)
+}
+
+// simulateAsyncIO: uncompressed per-field writes dispatched to the
+// background thread, competing with the core tasks there [62].
+func simulateAsyncIO(w *Workload, data *IterationData) (*IterationResult, error) {
+	cfg := w.Cfg
+	ends := make([]float64, cfg.Ranks)
+	delay := 0.0
+	fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
+	for r := 0; r < cfg.Ranks; r++ {
+		plan := sim.ThreadPlan{Obstacles: data.ActProfiles[r].IOBusy}
+		predEach := cfg.ioCurve(fieldBytes)
+		actEach := data.RawIO[r] / float64(cfg.FieldCount)
+		for f := 0; f < cfg.FieldCount; f++ {
+			plan.Tasks = append(plan.Tasks, sim.Task{ID: f, Pred: predEach, Actual: actEach})
+		}
+		res, err := sim.ExecuteThread(plan)
+		if err != nil {
+			return nil, err
+		}
+		ends[r] = math.Max(data.ActProfiles[r].Length, res.End)
+		delay += res.ObstacleDelay
+	}
+	return overheadResult(ModeAsyncIO, ends, data.ComputeEnd, delay, 0), nil
+}
+
+// simulateAsyncCompIO: the prior SC'22 approach [30] — compression overlaps
+// the compressed writes, but the whole dump still serializes with
+// computation.
+func simulateAsyncCompIO(data *IterationData) (*IterationResult, error) {
+	ends := make([]float64, len(data.Jobs))
+	for r, jobs := range data.Jobs {
+		prob := &sched.Problem{Horizon: 0}
+		for _, g := range jobs {
+			prob.Jobs = append(prob.Jobs, sched.Job{ID: g.ID, Comp: g.PredComp, IO: g.PredIO})
+		}
+		s, err := sched.Solve(prob, sched.ExtJohnson) // optimal without holes
+		if err != nil {
+			return nil, err
+		}
+		actComp := make([]float64, len(jobs))
+		actIO := make([]float64, len(jobs))
+		for i, g := range jobs {
+			actComp[i], actIO[i] = g.ActComp, g.ActIO
+		}
+		plan, err := sim.FromSchedule(prob, s, actComp, actIO, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.ExecuteProcess(plan, nil)
+		if err != nil {
+			return nil, err
+		}
+		ends[r] = data.ActProfiles[r].Length + res.TasksEnd()
+	}
+	return overheadResult(ModeAsyncCompIO, ends, data.ComputeEnd, 0, 0), nil
+}
+
+// PlanOurs runs the in situ planner: one scheduling pass per rank, then
+// (optionally) intra-node balancing with a re-scheduling pass. Exposed so
+// experiments can inspect the schedules (Table 1 reports PlannedOverall).
+func PlanOurs(w *Workload, data *IterationData, pc PlanConfig) ([]*rankPlan, error) {
+	cfg := w.Cfg
+	alg := pc.algorithm()
+
+	// Pass 1: every rank schedules its own jobs.
+	pass1 := make([]*rankPlan, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		rp := &rankPlan{}
+		for _, g := range data.Jobs[r] {
+			rp.jobs = append(rp.jobs, plannedJob{
+				origin:   jobRef{r, g.ID},
+				predComp: g.PredComp, actComp: g.ActComp,
+				predIO: g.PredIO, actIO: g.ActIO,
+			})
+		}
+		rp.prob = problemFor(data, r)
+		s, err := sched.Solve(rp.prob, alg)
+		if err != nil {
+			return nil, err
+		}
+		rp.s = s
+		pass1[r] = rp
+	}
+	if !pc.Balance {
+		return pass1, nil
+	}
+
+	// Predicted compression completion per job (for moved writes' releases).
+	predCompEnd := make(map[jobRef]float64)
+	for r, rp := range pass1 {
+		for _, pl := range rp.s.Placements {
+			predCompEnd[jobRef{r, pl.JobID}] = pl.CompEnd
+		}
+	}
+
+	// Balancing per node, then pass 2 re-scheduling with moved writes.
+	out := make([]*rankPlan, cfg.Ranks)
+	for _, node := range w.Nodes() {
+		tasks := make([][]balance.Task, len(node))
+		for li, r := range node {
+			for _, g := range data.Jobs[r] {
+				tasks[li] = append(tasks[li], balance.Task{
+					Rank: li, Index: g.ID, Dur: g.PredIO, Bytes: g.PredBytes,
+				})
+			}
+		}
+		bplan, err := balance.Balance(tasks)
+		if err != nil {
+			return nil, err
+		}
+		for li, r := range node {
+			rp := &rankPlan{}
+			// Own compressions always stay; whether the write stays depends
+			// on the balancing assignment.
+			writeHere := make(map[jobRef]bool)
+			var foreign []balance.Ref
+			for _, ref := range bplan.PerRank[li] {
+				gr := jobRef{node[ref.Rank], ref.Index}
+				if ref.Rank == li {
+					writeHere[gr] = true
+				} else {
+					foreign = append(foreign, ref)
+				}
+			}
+			for _, g := range data.Jobs[r] {
+				pj := plannedJob{
+					origin:   jobRef{r, g.ID},
+					predComp: g.PredComp, actComp: g.ActComp,
+				}
+				if writeHere[jobRef{r, g.ID}] {
+					pj.predIO, pj.actIO = g.PredIO, g.ActIO
+				}
+				rp.jobs = append(rp.jobs, pj)
+			}
+			for _, ref := range foreign {
+				or := node[ref.Rank]
+				g := data.Jobs[or][ref.Index]
+				rp.jobs = append(rp.jobs, plannedJob{
+					origin:  jobRef{or, g.ID},
+					predIO:  g.PredIO,
+					actIO:   g.ActIO,
+					release: predCompEnd[jobRef{or, g.ID}],
+				})
+			}
+			jobs := make([]sched.Job, len(rp.jobs))
+			for i, pj := range rp.jobs {
+				jobs[i] = sched.Job{ID: i, Comp: pj.predComp, IO: pj.predIO, Release: pj.release}
+			}
+			rp.prob = data.PredProfiles[r].Problem(jobs)
+			s, err := sched.Solve(rp.prob, alg)
+			if err != nil {
+				return nil, err
+			}
+			rp.s = s
+			out[r] = rp
+		}
+	}
+	return out, nil
+}
+
+// simulateOurs plans and then executes with actual durations and profiles.
+func simulateOurs(w *Workload, data *IterationData, pc PlanConfig) (*IterationResult, error) {
+	cfg := w.Cfg
+	plans, err := PlanOurs(w, data, pc)
+	if err != nil {
+		return nil, err
+	}
+	planned := 0.0
+	for _, rp := range plans {
+		if rp.s.Overall > planned {
+			planned = rp.s.Overall
+		}
+	}
+
+	// Phase 1: main threads — compression in scheduled order against actual
+	// computation intervals.
+	type ord struct {
+		id    int
+		start float64
+	}
+	mains := make([]*sim.ThreadResult, cfg.Ranks)
+	actCompEnd := make(map[jobRef]float64)
+	for r, rp := range plans {
+		var order []ord
+		for _, pl := range rp.s.Placements {
+			order = append(order, ord{pl.JobID, pl.CompStart})
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a].start < order[b].start })
+		plan := sim.ThreadPlan{Obstacles: data.ActProfiles[r].CompBusy}
+		for _, o := range order {
+			pj := rp.jobs[jobIndex(rp, o.id)]
+			if pj.origin.rank != r {
+				continue // moved-in writes have no compression here
+			}
+			plan.Tasks = append(plan.Tasks, sim.Task{ID: o.id, Pred: pj.predComp, Actual: pj.actComp})
+		}
+		res, err := sim.ExecuteThread(plan)
+		if err != nil {
+			return nil, err
+		}
+		mains[r] = res
+		for id, end := range res.TaskEnd {
+			actCompEnd[rp.jobs[jobIndex(rp, id)].origin] = end
+		}
+	}
+
+	// Phase 2: background threads — writes in scheduled order, released by
+	// the actual compression completions (possibly on another rank).
+	ends := make([]float64, cfg.Ranks)
+	delay := 0.0
+	for r, rp := range plans {
+		var order []ord
+		for _, pl := range rp.s.Placements {
+			order = append(order, ord{pl.JobID, pl.IOStart})
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a].start < order[b].start })
+		plan := sim.ThreadPlan{Obstacles: data.ActProfiles[r].IOBusy}
+		for _, o := range order {
+			pj := rp.jobs[jobIndex(rp, o.id)]
+			if pj.predIO <= 0 && pj.actIO <= 0 {
+				continue // write moved elsewhere
+			}
+			rel, ok := actCompEnd[pj.origin]
+			if !ok {
+				return nil, fmt.Errorf("core: no compression completion for job %+v", pj.origin)
+			}
+			plan.Tasks = append(plan.Tasks, sim.Task{
+				ID: o.id, Pred: pj.predIO, Actual: pj.actIO, Release: rel,
+			})
+		}
+		res, err := sim.ExecuteThread(plan)
+		if err != nil {
+			return nil, err
+		}
+		ends[r] = math.Max(mains[r].End, res.End)
+		delay += mains[r].ObstacleDelay + res.ObstacleDelay
+	}
+	return overheadResult(ModeOurs, ends, data.ComputeEnd, delay, planned), nil
+}
+
+// jobIndex maps a sched JobID back to the rankPlan's job slice. In both
+// passes the scheduler's Job.ID equals the slice index.
+func jobIndex(rp *rankPlan, id int) int { return id }
+
+// RunStats aggregates a multi-iteration simulated run.
+type RunStats struct {
+	Mode         Mode
+	Iterations   int
+	MeanOverhead float64
+	MaxOverhead  float64
+	MeanEnd      float64
+	MeanDelay    float64
+}
+
+// RunSim simulates `iters` iterations and aggregates overheads.
+func RunSim(w *Workload, mode Mode, pc PlanConfig, iters int) (*RunStats, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("core: iterations %d < 1", iters)
+	}
+	st := &RunStats{Mode: mode, Iterations: iters}
+	for it := 0; it < iters; it++ {
+		data := w.Iteration(it)
+		res, err := SimulateIteration(w, data, mode, pc)
+		if err != nil {
+			return nil, err
+		}
+		st.MeanOverhead += res.Overhead
+		st.MeanEnd += res.End
+		st.MeanDelay += res.Delay
+		if res.Overhead > st.MaxOverhead {
+			st.MaxOverhead = res.Overhead
+		}
+	}
+	st.MeanOverhead /= float64(iters)
+	st.MeanEnd /= float64(iters)
+	st.MeanDelay /= float64(iters)
+	return st, nil
+}
+
+// PlannedIterationDuration plans one iteration with pc and returns the
+// scheduler's predicted iteration duration — the maximum T_overall across
+// ranks. With zero-sigma workloads this equals the executed duration, which
+// is how Table 1 evaluates the algorithms ("actual values ... instead of
+// predicted values", §5.2).
+func PlannedIterationDuration(w *Workload, data *IterationData, pc PlanConfig) (float64, error) {
+	plans, err := PlanOurs(w, data, pc)
+	if err != nil {
+		return 0, err
+	}
+	max := 0.0
+	for _, rp := range plans {
+		if rp.s.Overall > max {
+			max = rp.s.Overall
+		}
+	}
+	return max, nil
+}

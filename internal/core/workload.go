@@ -1,0 +1,378 @@
+// Package core is the paper's framework (§4) assembled into a runnable
+// pipeline: fine-grained compression feeding a compressed data buffer, task
+// durations predicted from history, compression and I/O tasks scheduled
+// around the application's busy intervals (internal/sched), I/O workloads
+// balanced across a node's ranks (internal/balance), and four execution
+// strategies compared:
+//
+//	ModeBaseline    — synchronous uncompressed writes after computation
+//	ModeAsyncIO     — uncompressed writes on the background thread [62]
+//	ModeAsyncCompIO — compression and I/O overlap each other, not compute [30]
+//	ModeOurs        — the paper's in situ task scheduling
+//
+// The package offers a simulated (virtual-time) engine for the parameter
+// sweeps of §5.2–5.4.1 and a wall-clock engine (realrun.go) that compresses
+// real bytes and writes them through the H5L/pfs stack for §5.4.2.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Mode selects the I/O strategy to evaluate.
+type Mode int
+
+// Evaluation modes (the series of Figs. 7–11).
+const (
+	ModeBaseline Mode = iota
+	ModeAsyncIO
+	ModeAsyncCompIO
+	ModeOurs
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeAsyncIO:
+		return "async-io"
+	case ModeAsyncCompIO:
+		return "async-comp-io"
+	case ModeOurs:
+		return "ours"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// WorkloadConfig describes a synthetic multi-rank dump workload, calibrated
+// in §5.1 terms (block sizes, ratios, throughputs) but scaled to run in
+// virtual time.
+type WorkloadConfig struct {
+	Ranks        int
+	RanksPerNode int
+
+	FieldCount     int   // data fields per rank (Nyx: 6–9)
+	BlocksPerField int   // fine-grained blocks per field (§4.1)
+	BlockBytes     int64 // raw bytes per block (8–16 MiB recommended)
+
+	MeanRatio    float64 // average compression ratio (Nyx ~16x, WarpX ~274x)
+	MaxRatioDiff float64 // max per-rank mean-ratio difference (0 = even)
+	// ExactSpread makes MaxRatioDiff literal: rank means are evenly spaced
+	// over [MeanRatio-MaxRatioDiff/2, MeanRatio+MaxRatioDiff/2] instead of
+	// normally distributed (used where the x-axis IS the max difference,
+	// Figs. 3 and 8).
+	ExactSpread bool
+
+	CompThroughput float64 // compression bytes/s per rank
+	TreeBuildCost  float64 // extra seconds per block to build a Huffman tree
+	BlockOverhead  float64 // fixed per-block compression overhead (setup, kernel launch)
+	SharedTree     bool    // reuse one tree: removes TreeBuildCost (§4.3)
+
+	IOBandwidth  float64 // per-rank file-system share, bytes/s
+	SmallIOBytes int64   // half-speed point of the small-write penalty
+	BufferBytes  int64   // compressed data buffer capacity (0 = none, §4.2)
+
+	IterationLen             float64 // seconds of computation per iteration
+	CompHoles, IOHoles       int     // busy intervals per thread
+	CompBusyFrac, IOBusyFrac float64 // fraction of each thread occupied
+
+	// Prediction uncertainty, the σ model of §5.4.1.
+	SigmaInterval float64 // busy-interval boundaries (paper: 0.01)
+	SigmaRatio    float64 // compression ratio (paper: 0.1)
+	SigmaComp     float64 // compression throughput (paper: 0.05)
+	SigmaIO       float64 // I/O throughput (paper: 0.05)
+
+	Seed int64
+}
+
+// NyxWorkload is the §5.1 Nyx configuration scaled to simulate quickly:
+// 6 fields, 8 MiB blocks, ~16x ratio, a 5-second iteration.
+func NyxWorkload(ranks, ranksPerNode int) WorkloadConfig {
+	return WorkloadConfig{
+		Ranks:          ranks,
+		RanksPerNode:   ranksPerNode,
+		FieldCount:     6,
+		BlocksPerField: 8,
+		BlockBytes:     8 << 20,
+		MeanRatio:      16,
+		MaxRatioDiff:   8,
+		CompThroughput: 210 << 20,
+		TreeBuildCost:  0.004,
+		BlockOverhead:  0.0005,
+		SharedTree:     true,
+		IOBandwidth:    200 << 20,
+		SmallIOBytes:   1 << 20,
+		BufferBytes:    20 << 20,
+		IterationLen:   5.0,
+		CompHoles:      4,
+		IOHoles:        3,
+		CompBusyFrac:   0.6,
+		IOBusyFrac:     0.7,
+		SigmaInterval:  0.01,
+		SigmaRatio:     0.1,
+		SigmaComp:      0.05,
+		SigmaIO:        0.05,
+		Seed:           1,
+	}
+}
+
+// WarpXWorkload is the §5.1 WarpX configuration: looser bounds, ~274x.
+func WarpXWorkload(ranks, ranksPerNode int) WorkloadConfig {
+	cfg := NyxWorkload(ranks, ranksPerNode)
+	cfg.FieldCount = 6
+	cfg.MeanRatio = 274
+	cfg.MaxRatioDiff = 60
+	cfg.IterationLen = 3.5
+	cfg.IOBandwidth = 90 << 20
+	cfg.CompBusyFrac = 0.7
+	cfg.IOBusyFrac = 0.9
+	cfg.Seed = 2
+	return cfg
+}
+
+func (c WorkloadConfig) validate() error {
+	if c.Ranks < 1 {
+		return fmt.Errorf("core: ranks %d < 1", c.Ranks)
+	}
+	if c.RanksPerNode < 1 || c.Ranks%c.RanksPerNode != 0 {
+		return fmt.Errorf("core: %d ranks not divisible into nodes of %d", c.Ranks, c.RanksPerNode)
+	}
+	if c.FieldCount < 1 || c.BlocksPerField < 1 || c.BlockBytes < 1 {
+		return fmt.Errorf("core: invalid field/block layout")
+	}
+	if c.MeanRatio < 1 {
+		return fmt.Errorf("core: mean ratio %v < 1", c.MeanRatio)
+	}
+	if c.CompThroughput <= 0 || c.IOBandwidth <= 0 {
+		return fmt.Errorf("core: throughputs must be positive")
+	}
+	if c.IterationLen <= 0 {
+		return fmt.Errorf("core: iteration length %v <= 0", c.IterationLen)
+	}
+	return nil
+}
+
+// blockInfo is the static (run-long) description of one block.
+type blockInfo struct {
+	field, block int
+	baseRatio    float64 // slowly drifting per-iteration base
+	compFactor   float64 // content-dependent compression-speed factor (~1)
+}
+
+// Workload is a constructed synthetic workload.
+type Workload struct {
+	Cfg      WorkloadConfig
+	blocks   [][]blockInfo    // per rank
+	profiles []*trace.Profile // per rank base profile
+}
+
+// BuildWorkload materializes a workload: per-rank mean ratios spread by
+// MaxRatioDiff (normally distributed, as in §5.2's balancing evaluation),
+// per-block ratios log-jittered around the rank mean, and per-rank busy
+// profiles.
+func BuildWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{Cfg: cfg}
+	for r := 0; r < cfg.Ranks; r++ {
+		// Rank mean ratio: either evenly spanning the requested maximum
+		// difference (ExactSpread) or normally distributed around the mean.
+		mean := cfg.MeanRatio
+		if cfg.MaxRatioDiff > 0 && cfg.Ranks > 1 {
+			if cfg.ExactSpread {
+				frac := float64(r) / float64(cfg.Ranks-1)
+				mean = cfg.MeanRatio - cfg.MaxRatioDiff/2 + cfg.MaxRatioDiff*frac
+			} else {
+				mean += rng.NormFloat64() * cfg.MaxRatioDiff / 4
+				lo, hi := cfg.MeanRatio-cfg.MaxRatioDiff/2, cfg.MeanRatio+cfg.MaxRatioDiff/2
+				mean = math.Max(lo, math.Min(hi, mean))
+			}
+		}
+		if mean < 2 {
+			mean = 2
+		}
+		var blocks []blockInfo
+		for f := 0; f < cfg.FieldCount; f++ {
+			for b := 0; b < cfg.BlocksPerField; b++ {
+				ratio := mean * math.Exp(0.2*rng.NormFloat64())
+				if ratio < 1.5 {
+					ratio = 1.5
+				}
+				blocks = append(blocks, blockInfo{
+					field: f, block: b, baseRatio: ratio,
+					// Compression speed varies with content (prediction hit
+					// rates, outlier density): ~±25% across blocks.
+					compFactor: math.Exp(0.22 * rng.NormFloat64()),
+				})
+			}
+		}
+		w.blocks = append(w.blocks, blocks)
+		w.profiles = append(w.profiles, trace.SyntheticProfile(
+			0, cfg.IterationLen, cfg.CompHoles, cfg.IOHoles,
+			cfg.CompBusyFrac, cfg.IOBusyFrac, rng))
+	}
+	return w, nil
+}
+
+// GroupJob is one schedulable job: the compression of one fine-grained
+// block plus its share of the coalesced write it belongs to. The compressed
+// data buffer (§4.2) does not change task granularity — it improves the
+// *bandwidth* small writes see by batching them — so each block's I/O cost
+// is its byte share of its buffer group's write duration.
+type GroupJob struct {
+	Rank   int
+	ID     int
+	Blocks []int // member block indices (one entry: the block itself)
+	Group  int   // buffer group this block's write was coalesced into
+
+	PredComp, ActComp   float64
+	PredIO, ActIO       float64
+	PredBytes, ActBytes int64
+}
+
+// IterationData is one iteration's fully materialized workload: predicted
+// values (what the planner sees) and actual values (what execution costs).
+type IterationData struct {
+	Jobs         [][]GroupJob // per rank
+	PredProfiles []*trace.Profile
+	ActProfiles  []*trace.Profile
+	RawIO        []float64 // per-rank duration of writing raw data
+	ComputeEnd   float64   // compute-only iteration end (max actual length)
+}
+
+// ioCurve returns the write duration for n bytes at the per-rank bandwidth
+// with the small-write penalty.
+func (c WorkloadConfig) ioCurve(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	bw := c.IOBandwidth
+	if c.SmallIOBytes > 0 {
+		bw *= float64(n) / float64(n+c.SmallIOBytes)
+	}
+	return float64(n) / bw
+}
+
+// Iteration materializes iteration `iter` deterministically.
+func (w *Workload) Iteration(iter int) *IterationData {
+	cfg := w.Cfg
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(iter)))
+	data := &IterationData{}
+
+	treeCost := cfg.TreeBuildCost
+	if cfg.SharedTree {
+		treeCost = 0
+	}
+
+	for r := 0; r < cfg.Ranks; r++ {
+		// Profiles: the planner sees the base (previous-iteration) shape;
+		// execution gets a jittered variant.
+		pred := w.profiles[r].Clone()
+		act := w.profiles[r].Jitter(rng, cfg.SigmaInterval)
+		data.PredProfiles = append(data.PredProfiles, pred)
+		data.ActProfiles = append(data.ActProfiles, act)
+		if act.Length > data.ComputeEnd {
+			data.ComputeEnd = act.Length
+		}
+
+		// One job per fine-grained block; the buffer assigns each block to a
+		// coalescing group that determines its effective write bandwidth.
+		var jobs []GroupJob
+		for bi, blk := range w.blocks[r] {
+			predRatio := blk.baseRatio
+			actRatio := blk.baseRatio * math.Exp(cfg.SigmaRatio*rng.NormFloat64())
+			predBytes := int64(float64(cfg.BlockBytes) / predRatio)
+			actBytes := int64(float64(cfg.BlockBytes) / actRatio)
+			predComp := float64(cfg.BlockBytes)/cfg.CompThroughput*blk.compFactor +
+				treeCost + cfg.BlockOverhead
+			actComp := predComp * math.Exp(cfg.SigmaComp*rng.NormFloat64())
+			jobs = append(jobs, GroupJob{
+				Rank: r, ID: bi, Blocks: []int{bi},
+				PredComp: predComp, ActComp: actComp,
+				PredBytes: predBytes, ActBytes: actBytes,
+			})
+		}
+		// Buffer grouping: consecutive blocks coalesce until the predicted
+		// bytes would exceed the capacity. Each member's write duration is
+		// its byte share of the group write (small-write penalty amortized
+		// over the whole group).
+		gStart := 0
+		var gBytes int64
+		closeGroup := func(end int, group int) {
+			var pred, act int64
+			for i := gStart; i < end; i++ {
+				pred += jobs[i].PredBytes
+				act += jobs[i].ActBytes
+			}
+			predDur := cfg.ioCurve(pred)
+			actDur := cfg.ioCurve(act)
+			for i := gStart; i < end; i++ {
+				jobs[i].Group = group
+				share := float64(jobs[i].PredBytes) / float64(pred)
+				jobs[i].PredIO = predDur * share
+				jobs[i].ActIO = actDur * float64(jobs[i].ActBytes) / float64(act) *
+					math.Exp(cfg.SigmaIO*rng.NormFloat64())
+			}
+			gStart = end
+			gBytes = 0
+		}
+		group := 0
+		for i := range jobs {
+			if cfg.BufferBytes <= 0 {
+				gBytes = jobs[i].PredBytes
+				closeGroup(i+1, group)
+				group++
+				continue
+			}
+			if gBytes > 0 && gBytes+jobs[i].PredBytes > cfg.BufferBytes {
+				closeGroup(i, group)
+				group++
+			}
+			gBytes += jobs[i].PredBytes
+		}
+		if gStart < len(jobs) {
+			closeGroup(len(jobs), group)
+		}
+		data.Jobs = append(data.Jobs, jobs)
+
+		// Raw (uncompressed) write cost: one large write per field.
+		raw := 0.0
+		fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
+		for f := 0; f < cfg.FieldCount; f++ {
+			raw += cfg.ioCurve(fieldBytes)
+		}
+		data.RawIO = append(data.RawIO, raw*math.Exp(cfg.SigmaIO*rng.NormFloat64()))
+	}
+	return data
+}
+
+// Nodes returns per-node rank index groups.
+func (w *Workload) Nodes() [][]int {
+	var out [][]int
+	for base := 0; base < w.Cfg.Ranks; base += w.Cfg.RanksPerNode {
+		node := make([]int, w.Cfg.RanksPerNode)
+		for i := range node {
+			node[i] = base + i
+		}
+		out = append(out, node)
+	}
+	return out
+}
+
+// problemFor builds rank r's scheduling instance from predicted values.
+func problemFor(data *IterationData, r int) *sched.Problem {
+	jobs := make([]sched.Job, len(data.Jobs[r]))
+	for i, g := range data.Jobs[r] {
+		jobs[i] = sched.Job{ID: g.ID, Comp: g.PredComp, IO: g.PredIO}
+	}
+	return data.PredProfiles[r].Problem(jobs)
+}

@@ -1,0 +1,76 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a pure function returning a Table so
+// the same code drives the insitu-bench CLI, the root testing.B benchmarks,
+// and EXPERIMENTS.md.
+//
+// Experiment index (see DESIGN.md §4 for the full mapping):
+//
+//	Table1        — §5.2  scheduling algorithms
+//	Figure3       — §5.2  I/O workload balancing
+//	Figure4       — §5.3  fine-grained compression block size
+//	Figure5       — §5.3  compressed data buffer size
+//	Figure6       — §5.3  shared Huffman tree reuse
+//	Figure7       — §5.4.1 overhead vs compression ratio (simulation)
+//	Figure8       — §5.4.1 overhead vs data distribution (simulation)
+//	Figure9       — §5.4.2 overall comparison (wall clock + simulation)
+//	Figure10      — §5.4.2 overhead across run stages
+//	Figure11      — §5.4.2 weak scaling
+//	ExactStudy    — Appendix A ILP stand-in: exact vs heuristics
+//	PredVsActual  — §5.2 note: predicted vs actual task durations
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result in printable form.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// sscan parses a float cell back out of a rendered row.
+func sscan(s string, v *float64) (int, error) { return fmt.Sscanf(s, "%f", v) }

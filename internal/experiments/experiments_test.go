@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	s = strings.TrimSuffix(s, "MiB")
+	s = strings.TrimSuffix(s, "KiB")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "T", Header: []string{"a", "bb"},
+		Rows:  [][]string{{"1", "2"}},
+		Notes: []string{"n"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"== x: T ==", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	durs, err := Table1Durations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(durs) != 6 {
+		t.Fatalf("algorithms: %v", durs)
+	}
+	// Backfilling must not hurt its base order (the paper's core finding).
+	if durs[sched.ExtJohnsonBF] > durs[sched.ExtJohnson]+1e-9 {
+		t.Fatalf("ExtJohnson+BF (%v) worse than ExtJohnson (%v)",
+			durs[sched.ExtJohnsonBF], durs[sched.ExtJohnson])
+	}
+	if durs[sched.GenListBF] > durs[sched.GenList]+1e-9 {
+		t.Fatalf("GenList+BF worse than GenList")
+	}
+	// The paper's pick: best cost/benefit — within a whisker of the best
+	// result at a fraction of the greedy algorithms' planning cost.
+	best := durs[sched.ExtJohnsonBF]
+	for _, d := range durs {
+		if d < best {
+			best = d
+		}
+	}
+	if durs[sched.ExtJohnsonBF] > best*1.02 {
+		t.Fatalf("ExtJohnson+BF (%v) more than 2%% off the best (%v)", durs[sched.ExtJohnsonBF], best)
+	}
+	// And the naive generation order without backfilling is (near) worst.
+	if durs[sched.GenList] < durs[sched.ExtJohnsonBF]-1e-9 {
+		t.Fatalf("GenList (%v) beat ExtJohnson+BF (%v)", durs[sched.GenList], durs[sched.ExtJohnsonBF])
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	tab, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Balancing gains at high skew must exceed gains at no skew, and no row
+	// may be substantially negative (balancing never hurts).
+	first := cellFloat(t, tab.Rows[0][1])
+	last := cellFloat(t, tab.Rows[len(tab.Rows)-1][1])
+	if last <= first {
+		t.Fatalf("improvement did not grow with skew: %v%% -> %v%%", first, last)
+	}
+	for _, row := range tab.Rows {
+		for _, c := range row[1:] {
+			if cellFloat(t, c) < -2 {
+				t.Fatalf("balancing hurt: %v", row)
+			}
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	tab, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 1 (begin stage): the 8-16 MiB region must beat 64 MiB, and the
+	// no-shared-tree series must be worse than the shared-tree one at 1 MiB.
+	byBlock := map[string][]string{}
+	for _, row := range tab.Rows {
+		byBlock[row[0]] = row
+	}
+	if cellFloat(t, byBlock["8.0MiB"][1]) >= 1.0 {
+		t.Fatalf("8 MiB blocks not better than 64 MiB: %v", byBlock["8.0MiB"])
+	}
+	shared := cellFloat(t, byBlock["1.0MiB"][2])
+	unshared := cellFloat(t, byBlock["1.0MiB"][4])
+	if unshared <= shared {
+		t.Fatalf("shared tree did not help small blocks: %v vs %v", shared, unshared)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	tab, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][0] != "none" || cellFloat(t, tab.Rows[0][1]) != 1.0 {
+		t.Fatalf("reference row: %v", tab.Rows[0])
+	}
+	last := cellFloat(t, tab.Rows[len(tab.Rows)-1][1])
+	if last >= 1.0 {
+		t.Fatalf("buffer did not reduce I/O time: %v", last)
+	}
+	at20 := cellFloat(t, tab.Rows[len(tab.Rows)-2][1])
+	if at20-last > 0.1 {
+		t.Fatalf("gain not saturated at 20 MiB: %v vs %v", at20, last)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	tab, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tab.Rows[0]
+	// One-iteration-old tree: minimal degradation (paper: ~1%).
+	if v := cellFloat(t, first[1]); v < 0.95 {
+		t.Fatalf("1-iteration-old tree degraded too much: %v", v)
+	}
+	// tree@prev column stays close to 1 at every distance.
+	for _, row := range tab.Rows {
+		if v := cellFloat(t, row[3]); v < 0.95 {
+			t.Fatalf("previous-iteration tree degraded: %v", row)
+		}
+	}
+	// Degradation is monotone-ish: the last row is no better than the first.
+	lastRow := tab.Rows[len(tab.Rows)-1]
+	if cellFloat(t, lastRow[1]) > cellFloat(t, first[1])+0.01 {
+		t.Fatalf("stale tree improved with age: %v vs %v", lastRow, first)
+	}
+}
+
+func TestFigure7And8Shapes(t *testing.T) {
+	f7, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f7.Rows {
+		base, ours := cellFloat(t, row[1]), cellFloat(t, row[2])
+		if ours >= base {
+			t.Fatalf("fig7 ratio %s: ours %v >= baseline %v", row[0], ours, base)
+		}
+	}
+	f8, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f8.Rows {
+		base, ours := cellFloat(t, row[1]), cellFloat(t, row[2])
+		if ours >= base {
+			t.Fatalf("fig8 skew %s: ours %v >= baseline %v", row[0], ours, base)
+		}
+	}
+}
+
+func TestExactStudyShape(t *testing.T) {
+	tab, err := ExactStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 { // six heuristics + exact
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// No heuristic may be better than the exact optimum.
+	for _, row := range tab.Rows {
+		gap := cellFloat(t, strings.TrimPrefix(row[2], "+"))
+		if gap < -0.01 {
+			t.Fatalf("%s beat the exact solver: %v", row[0], row)
+		}
+	}
+}
+
+func TestPredVsActualShape(t *testing.T) {
+	tab, err := PredVsActual()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := cellFloat(t, tab.Rows[0][1])
+	noisy := cellFloat(t, tab.Rows[1][1])
+	// The paper's observation: prediction noise changes the result only
+	// slightly (a few percentage points either way), never catastrophically.
+	if d := noisy - perfect; d > 5 || d < -5 {
+		t.Fatalf("noise moved overhead by %v points (perfect %v, noisy %v)", d, perfect, noisy)
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.Run == nil {
+			t.Fatalf("experiment %s has no runner", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "exact", "predvsactual", "multifile", "algos"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if !WallClock("fig9") || WallClock("table1") {
+		t.Fatal("WallClock classification wrong")
+	}
+}
+
+func TestAlgoEndToEndShape(t *testing.T) {
+	tab, err := AlgoEndToEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		over := cellFloat(t, row[1])
+		if over < 0 || over > 100 {
+			t.Fatalf("%s: implausible overhead %v%%", row[0], over)
+		}
+	}
+}
+
+func TestMultiFileShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	tab, err := MultiFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[3]) != 0 && row[0] == "bp" {
+			t.Fatalf("bp backend reported overflow: %v", row)
+		}
+	}
+}
+
+func TestFigure9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	tab, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// The simulation reference series must preserve the paper's ordering.
+	simRow := tab.Rows[1]
+	base := cellFloat(t, simRow[1])
+	async := cellFloat(t, simRow[2])
+	ours := cellFloat(t, simRow[3])
+	if !(ours < async && async < base) {
+		t.Fatalf("fig9 sim ordering violated: %v", simRow)
+	}
+	// And the headline factors should be in the paper's neighbourhood
+	// (paper: 3.78x and 2.57x; accept a 2x band either way).
+	if r := base / ours; r < 1.8 || r > 8 {
+		t.Fatalf("base/ours = %.2f, outside the plausible band", r)
+	}
+}

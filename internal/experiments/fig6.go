@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"repro/internal/fields"
+	"repro/internal/huffman"
+	"repro/internal/sz"
+)
+
+// Figure6 reproduces Fig. 6: compression-ratio degradation when a shared
+// Huffman tree built at iteration 0 (or the immediately previous iteration)
+// is reused for later iterations, on real generated-and-compressed data.
+func Figure6() (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Relative compression ratio with a reused shared Huffman tree",
+		Header: []string{"iteration", "tree@0 (early stage)", "tree@0 (late stage)", "tree@prev"},
+		Notes: []string{
+			"relative ratio = ratio(shared tree) / ratio(fresh per-block tree)",
+			"expected shape: <1% loss for ~10 iterations early in the run; faster decay late; tree-from-previous-iteration stays ~1.0",
+		},
+	}
+	const radius = 1024
+	dims := sz.Dims{X: 48, Y: 48, Z: 16}
+	spec := fields.NyxFields[2] // temperature
+
+	mkGen := func(stage fields.Stage) (*fields.Generator, error) {
+		return fields.NewGenerator(fields.Config{
+			Dims: dims, Fields: fields.NyxFields, Ranks: 2, Seed: 9, Stage: stage,
+		})
+	}
+	treeAt := func(g *fields.Generator, iter int) (*huffman.Tree, error) {
+		codes, _, err := sz.Quantize(g.Field(0, spec, iter), dims, sz.Options{
+			ErrorBound: spec.ErrorBound, Radius: radius,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sz.BuildTree(huffman.Histogram(2*radius, codes))
+	}
+	relRatio := func(g *fields.Generator, iter int, tree *huffman.Tree) (float64, error) {
+		data := g.Field(0, spec, iter)
+		_, fresh, err := sz.Compress(data, dims, sz.Options{ErrorBound: spec.ErrorBound, Radius: radius})
+		if err != nil {
+			return 0, err
+		}
+		_, shared, err := sz.Compress(data, dims, sz.Options{
+			ErrorBound: spec.ErrorBound, Radius: radius, Tree: tree,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return shared.Ratio / fresh.Ratio, nil
+	}
+
+	early, err := mkGen(fields.StageEven)
+	if err != nil {
+		return nil, err
+	}
+	late, err := mkGen(fields.StageCentralized)
+	if err != nil {
+		return nil, err
+	}
+	earlyTree, err := treeAt(early, 0)
+	if err != nil {
+		return nil, err
+	}
+	lateTree, err := treeAt(late, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, iter := range []int{1, 2, 4, 6, 8, 10, 15, 20} {
+		e, err := relRatio(early, iter, earlyTree)
+		if err != nil {
+			return nil, err
+		}
+		l, err := relRatio(late, iter, lateTree)
+		if err != nil {
+			return nil, err
+		}
+		prevTree, err := treeAt(early, iter-1)
+		if err != nil {
+			return nil, err
+		}
+		p, err := relRatio(early, iter, prevTree)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f1(float64(iter)), f3(e), f3(l), f3(p),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"repro/internal/core"
+)
+
+const simIters = 5
+
+// Figure3 reproduces Fig. 3: relative execution-time improvement from
+// intra-node I/O workload balancing as the per-node compression-ratio
+// spread grows, for 4 and 8 ranks per node.
+func Figure3() (*Table, error) {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "I/O workload balancing improvement vs max compression-ratio difference",
+		Header: []string{"maxCRdiff", "4 ranks/node", "8 ranks/node"},
+		Notes: []string{
+			"improvement = (iter time without balancing - with) / without",
+			"expected shape: grows with the spread; ~0 when data is even",
+		},
+	}
+	for _, diff := range []float64{1, 2, 5, 10, 15, 20} {
+		row := []string{f1(diff)}
+		for _, rpn := range []int{4, 8} {
+			cfg := core.NyxWorkload(rpn, rpn)
+			cfg.MaxRatioDiff = diff
+			cfg.MeanRatio = 16
+			// Fig. 3 studies the I/O-bound regime: compression is cheap
+			// (GPU-class throughput) and the least compressible rank's
+			// writes are the iteration bottleneck, so balancing has
+			// something to move.
+			cfg.CompThroughput = 500 << 20
+			cfg.IOBandwidth = 16 << 20
+			cfg.ExactSpread = true
+			cfg.Seed = 100 + int64(rpn) // same instance family across the sweep
+			w, err := core.BuildWorkload(cfg)
+			if err != nil {
+				return nil, err
+			}
+			off, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: false}, simIters)
+			if err != nil {
+				return nil, err
+			}
+			on, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, simIters)
+			if err != nil {
+				return nil, err
+			}
+			imp := 0.0
+			if off.MeanEnd > 0 {
+				imp = (off.MeanEnd - on.MeanEnd) / off.MeanEnd
+			}
+			row = append(row, pct(imp))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// figure4Config: the §5.3 setting — Nyx 512^3 over 8 ranks, 64 MiB per
+// field per rank, a 20 MiB buffer, ExtJohnson+BF.
+func figure4Config(st stageDef, blockBytes int64, sharedTree bool) core.WorkloadConfig {
+	cfg := core.NyxWorkload(8, 8)
+	cfg.FieldCount = 6
+	cfg.BlockBytes = blockBytes
+	cfg.BlocksPerField = int((64 << 20) / blockBytes) // 64 MiB fields
+	cfg.BufferBytes = 20 << 20
+	cfg.SharedTree = sharedTree
+	cfg.MaxRatioDiff = st.maxDiff
+	cfg.Seed = st.seed
+	cfg.SigmaInterval, cfg.SigmaRatio, cfg.SigmaComp, cfg.SigmaIO = 0, 0, 0, 0 // actual values (§5.3)
+	return cfg
+}
+
+// Figure4 reproduces Fig. 4: execution time vs fine-grained block size,
+// relative to 64 MiB blocks (no fine-graining), with the shared-tree-off
+// dashed series.
+func Figure4() (*Table, error) {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Relative execution time vs compression block size (vs 64 MiB)",
+		Header: []string{"block", "begin", "middle", "end", "no-shared-tree(middle)"},
+		Notes: []string{
+			"expected shape: minimum around 8-16 MiB; tiny blocks only stay cheap thanks to the shared Huffman tree",
+		},
+	}
+	blockSizes := []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}
+	stages := table1Stages()
+
+	ref := make(map[string]float64) // stage -> 64MiB end time
+	type key struct {
+		stage string
+		bs    int64
+		tree  bool
+	}
+	ends := make(map[key]float64)
+	run := func(st stageDef, bs int64, tree bool) (float64, error) {
+		w, err := core.BuildWorkload(figure4Config(st, bs, tree))
+		if err != nil {
+			return 0, err
+		}
+		res, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{}, 3)
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanEnd, nil
+	}
+	for _, st := range stages {
+		for _, bs := range blockSizes {
+			e, err := run(st, bs, true)
+			if err != nil {
+				return nil, err
+			}
+			ends[key{st.name, bs, true}] = e
+			if bs == 64<<20 {
+				ref[st.name] = e
+			}
+		}
+	}
+	for _, bs := range blockSizes {
+		e, err := run(stages[1], bs, false)
+		if err != nil {
+			return nil, err
+		}
+		ends[key{stages[1].name, bs, false}] = e
+	}
+	for _, bs := range blockSizes {
+		row := []string{byteLabel(bs)}
+		for _, st := range stages {
+			row = append(row, f3(ends[key{st.name, bs, true}]/ref[st.name]))
+		}
+		row = append(row, f3(ends[key{stages[1].name, bs, false}]/ref[stages[1].name]))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure5 reproduces Fig. 5: total compressed-data I/O time vs buffer
+// size, relative to no buffer.
+func Figure5() (*Table, error) {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Relative compressed-data I/O time vs buffer size (vs no buffer)",
+		Header: []string{"buffer", "relative I/O time"},
+		Notes: []string{
+			"expected shape: drops steeply, saturates around 20 MiB (the paper's pick)",
+		},
+	}
+	ioTime := func(bufBytes int64) (float64, error) {
+		st := table1Stages()[1]
+		cfg := figure4Config(st, 8<<20, true)
+		cfg.BufferBytes = bufBytes
+		w, err := core.BuildWorkload(cfg)
+		if err != nil {
+			return 0, err
+		}
+		total := 0.0
+		for it := 0; it < 3; it++ {
+			data := w.Iteration(it)
+			for _, jobs := range data.Jobs {
+				for _, g := range jobs {
+					total += g.ActIO
+				}
+			}
+		}
+		return total, nil
+	}
+	ref, err := ioTime(0)
+	if err != nil {
+		return nil, err
+	}
+	for _, buf := range []int64{0, 1 << 20, 2 << 20, 5 << 20, 10 << 20, 20 << 20, 40 << 20} {
+		v, err := ioTime(buf)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{byteLabel(buf), f3(v / ref)})
+	}
+	return t, nil
+}
+
+// Figure7 reproduces Fig. 7: overhead (relative to computation) of the
+// baseline vs our solution across average compression ratios.
+func Figure7() (*Table, error) {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Time overhead vs average compression ratio (simulation, sigma model of 5.4.1)",
+		Header: []string{"ratio", "baseline", "ours"},
+		Notes: []string{
+			"expected shape: ours far below baseline at every ratio, slightly better at high ratios",
+		},
+	}
+	for _, ratio := range []float64{4, 8, 16, 32, 64} {
+		cfg := core.NyxWorkload(8, 4)
+		cfg.MeanRatio = ratio
+		cfg.MaxRatioDiff = ratio / 2
+		// A busy background thread and moderate bandwidth: the write time
+		// (which shrinks as the ratio grows) is what shows on the y-axis,
+		// the paper's Fig. 7 effect.
+		cfg.IOBandwidth = 120 << 20
+		cfg.IOBusyFrac = 0.95
+		cfg.Seed = 300 // same instance family across the sweep
+		w, err := core.BuildWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		base, err := core.RunSim(w, core.ModeBaseline, core.PlanConfig{}, simIters)
+		if err != nil {
+			return nil, err
+		}
+		ours, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, simIters)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{f1(ratio), pct(base.MeanOverhead), pct(ours.MeanOverhead)})
+	}
+	return t, nil
+}
+
+// Figure8 reproduces Fig. 8: overhead vs data-distribution skew
+// (intra-node max compression-ratio difference).
+func Figure8() (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Time overhead vs data distribution (max CR difference; simulation)",
+		Header: []string{"maxCRdiff", "baseline", "ours", "ours(no balancing)"},
+		Notes: []string{
+			"expected shape: ours degrades mildly with skew; balancing recovers most of it",
+		},
+	}
+	for _, diff := range []float64{1, 5, 10, 15, 20} {
+		cfg := core.NyxWorkload(8, 8)
+		cfg.MaxRatioDiff = diff
+		cfg.ExactSpread = true
+		// Skew must be visible in the iteration end for the x-axis to mean
+		// anything: GPU-class compression (so the main thread never binds)
+		// and a nearly saturated background thread, so the least
+		// compressible rank's writes spill past the iteration.
+		cfg.CompThroughput = 500 << 20
+		cfg.IOBandwidth = 120 << 20
+		cfg.IOBusyFrac = 0.95
+		cfg.Seed = 400 // same instance family across the sweep
+		w, err := core.BuildWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		base, err := core.RunSim(w, core.ModeBaseline, core.PlanConfig{}, simIters)
+		if err != nil {
+			return nil, err
+		}
+		ours, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, simIters)
+		if err != nil {
+			return nil, err
+		}
+		noBal, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: false}, simIters)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f1(diff), pct(base.MeanOverhead), pct(ours.MeanOverhead), pct(noBal.MeanOverhead),
+		})
+	}
+	return t, nil
+}
+
+func byteLabel(n int64) string {
+	switch {
+	case n == 0:
+		return "none"
+	case n >= 1<<20:
+		return f1(float64(n)/(1<<20)) + "MiB"
+	default:
+		return f1(float64(n)/(1<<10)) + "KiB"
+	}
+}

@@ -1,0 +1,290 @@
+// Package fields generates synthetic, evolving scientific data standing in
+// for Nyx and WarpX output (the repro substitution for applications we
+// cannot run without CUDA/MPI). The generators are engineered to expose
+// exactly the properties the paper's experiments depend on:
+//
+//   - Spatial correlation: fields are sums of separable low-frequency modes
+//     plus controllable white noise, so SZ-style prediction compresses them
+//     at ratios comparable to the paper's (16x–270x depending on bounds).
+//   - Iteration similarity: mode phases drift slowly, so quantization-code
+//     histograms — and hence compression ratios and shared-Huffman-tree
+//     effectiveness — change little between consecutive iterations (§3.1,
+//     Fig. 6).
+//   - Stage structure: an Even stage (uniform compressibility across
+//     ranks), a Structured mid-run stage, and a Centralized late stage with
+//     a wide per-rank compressibility spread (§5.2's three sampled stages,
+//     the x-axis of Figs. 3 and 8).
+package fields
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sz"
+)
+
+// Stage labels a phase of the simulated run.
+type Stage int
+
+// Run stages (begin / middle / end of a Nyx-like simulation).
+const (
+	StageEven Stage = iota
+	StageStructured
+	StageCentralized
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageEven:
+		return "even"
+	case StageStructured:
+		return "structured"
+	case StageCentralized:
+		return "centralized"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// NyxFields are the six Nyx data fields the paper compresses, with the
+// absolute error bounds of §5.1 (baryon density, dark matter density,
+// temperature, velocity x/y/z).
+var NyxFields = []FieldSpec{
+	{Name: "baryon_density", ErrorBound: 0.2, Amplitude: 50, Noise: 1},
+	{Name: "dark_matter_density", ErrorBound: 0.4, Amplitude: 80, Noise: 1},
+	{Name: "temperature", ErrorBound: 1e3, Amplitude: 2e5, Noise: 1},
+	{Name: "velocity_x", ErrorBound: 2e5, Amplitude: 3e7, Noise: 1},
+	{Name: "velocity_y", ErrorBound: 2e5, Amplitude: 3e7, Noise: 1},
+	{Name: "velocity_z", ErrorBound: 2e5, Amplitude: 3e7, Noise: 1},
+}
+
+// WarpXFields approximate WarpX's electromagnetic field dumps; the paper
+// compresses them at ~274x, so bounds are loose relative to amplitude.
+var WarpXFields = []FieldSpec{
+	{Name: "Ex", ErrorBound: 2000, Amplitude: 1e4, Noise: 0.02},
+	{Name: "Ey", ErrorBound: 2000, Amplitude: 1e4, Noise: 0.02},
+	{Name: "Ez", ErrorBound: 2000, Amplitude: 1e4, Noise: 0.02},
+	{Name: "Bx", ErrorBound: 0.2, Amplitude: 1, Noise: 0.02},
+	{Name: "By", ErrorBound: 0.2, Amplitude: 1, Noise: 0.02},
+	{Name: "Bz", ErrorBound: 0.2, Amplitude: 1, Noise: 0.02},
+}
+
+// FieldSpec names a field and how it should be generated and compressed.
+type FieldSpec struct {
+	Name       string
+	ErrorBound float64 // absolute error bound used when compressing
+	Amplitude  float64 // overall value scale
+	// Noise scales the white-noise amplitude relative to the error bound:
+	// noise = Noise * ErrorBound * roughness(rank). It directly controls
+	// the achievable compression ratio (smaller noise => higher ratio).
+	// Zero selects the default of 1.
+	Noise float64
+}
+
+func (s FieldSpec) noise() float64 {
+	if s.Noise == 0 {
+		return 1
+	}
+	return s.Noise
+}
+
+// Config parameterizes a Generator.
+type Config struct {
+	Dims   sz.Dims // per-rank partition shape
+	Fields []FieldSpec
+	Ranks  int
+	Seed   int64
+	Stage  Stage
+	// NoiseSpread widens the per-rank roughness distribution: the highest-
+	// noise rank gets about NoiseSpread times the lowest's noise amplitude.
+	// Zero picks a stage-appropriate default (1, 4, 16).
+	NoiseSpread float64
+	// Modes is the number of separable cosine modes (0 = default 8).
+	Modes int
+}
+
+func (c Config) modes() int {
+	if c.Modes <= 0 {
+		return 8
+	}
+	return c.Modes
+}
+
+func (c Config) spread() float64 {
+	if c.NoiseSpread > 0 {
+		return c.NoiseSpread
+	}
+	switch c.Stage {
+	case StageStructured:
+		return 4
+	case StageCentralized:
+		return 16
+	default:
+		return 1
+	}
+}
+
+// Generator produces deterministic per-(rank, field, iteration) data.
+type Generator struct {
+	cfg Config
+}
+
+// NewGenerator validates the config and returns a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Dims.N() <= 0 {
+		return nil, fmt.Errorf("fields: invalid dims %v", cfg.Dims)
+	}
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("fields: ranks %d < 1", cfg.Ranks)
+	}
+	if len(cfg.Fields) == 0 {
+		return nil, fmt.Errorf("fields: no field specs")
+	}
+	return &Generator{cfg: cfg}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Roughness returns rank r's noise amplitude multiplier: 1 for the
+// smoothest rank up to the configured spread for the roughest. In the Even
+// stage all ranks are equal.
+func (g *Generator) Roughness(rank int) float64 {
+	spread := g.cfg.spread()
+	if g.cfg.Ranks == 1 || spread <= 1 {
+		return 1
+	}
+	frac := float64(rank) / float64(g.cfg.Ranks-1)
+	return math.Pow(spread, frac)
+}
+
+// growthRate returns the per-iteration noise growth: negligible early in a
+// run, faster once the data centralizes.
+func (g *Generator) growthRate() float64 {
+	switch g.cfg.Stage {
+	case StageCentralized:
+		return 0.05
+	case StageStructured:
+		return 0.02
+	default:
+		return 0.008
+	}
+}
+
+// splitMix64 is a small deterministic PRNG hash used for per-point noise.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to (-1, 1).
+func unit(h uint64) float64 {
+	return float64(int64(h>>11))/float64(1<<52) - 1
+}
+
+// Field materializes one rank's partition of a named field at an iteration.
+// The same arguments always yield the same data.
+func (g *Generator) Field(rank int, spec FieldSpec, iter int) []float32 {
+	d := g.cfg.Dims
+	n := d.N()
+	out := make([]float32, n)
+	modes := g.cfg.modes()
+
+	// Per-(field, mode) deterministic parameters; phases drift with iter.
+	fieldSeed := splitMix64(uint64(g.cfg.Seed)*0x9E37 + hashString(spec.Name))
+	cx := make([][]float64, modes)
+	cy := make([][]float64, modes)
+	cz := make([][]float64, modes)
+	amp := make([]float64, modes)
+	for k := 0; k < modes; k++ {
+		hk := splitMix64(fieldSeed + uint64(k)*0x5851)
+		// Low wavenumbers dominate: freq in [0.5, 3.5] cycles per axis.
+		fx := 0.5 + 3*math.Abs(unit(splitMix64(hk+1)))
+		fy := 0.5 + 3*math.Abs(unit(splitMix64(hk+2)))
+		fz := 0.5 + 3*math.Abs(unit(splitMix64(hk+3)))
+		// Phases drift slowly with the iteration (and differ per rank so
+		// partitions are distinct regions of one global field).
+		drift := 0.03 * float64(iter)
+		px := 2*math.Pi*unit(splitMix64(hk+4)) + drift + 0.7*float64(rank)
+		py := 2*math.Pi*unit(splitMix64(hk+5)) + drift*0.8
+		pz := 2*math.Pi*unit(splitMix64(hk+6)) + drift*1.2 + 0.3*float64(rank)
+		amp[k] = spec.Amplitude / float64(modes) * (0.5 + math.Abs(unit(splitMix64(hk+7))))
+
+		cx[k] = axisTable(d.X, fx, px)
+		cy[k] = axisTable(d.Y, fy, py)
+		cz[k] = axisTable(d.Z, fz, pz)
+	}
+
+	// Noise amplitude: scaled to the error bound so the quantization-code
+	// distribution (and hence the ratio) responds to roughness; the
+	// roughest rank sees spread-times more noise, compressing
+	// correspondingly worse. The amplitude also grows slowly with the
+	// iteration (structure formation increases contrast), which is what
+	// ages a shared Huffman tree (§4.3, Fig. 6): the quantization-code
+	// distribution drifts away from the one the tree was built for.
+	noiseAmp := spec.noise() * spec.ErrorBound * g.Roughness(rank) *
+		math.Pow(1+g.growthRate(), float64(iter))
+	noiseSeed := splitMix64(fieldSeed ^ uint64(rank)*0xABCD ^ uint64(iter)*0x1234567)
+
+	i := 0
+	for z := 0; z < d.Z; z++ {
+		for y := 0; y < d.Y; y++ {
+			for x := 0; x < d.X; x++ {
+				v := 0.0
+				for k := 0; k < modes; k++ {
+					v += amp[k] * cx[k][x] * cy[k][y] * cz[k][z]
+				}
+				v += noiseAmp * unit(splitMix64(noiseSeed+uint64(i)))
+				out[i] = float32(v)
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func axisTable(n int, freq, phase float64) []float64 {
+	t := make([]float64, n)
+	if n == 0 {
+		return t
+	}
+	w := 2 * math.Pi * freq / float64(n)
+	for i := range t {
+		t[i] = math.Cos(w*float64(i) + phase)
+	}
+	return t
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Particles generates n particle velocities (WarpX/Nyx particle_v* style):
+// a Maxwellian-like bulk plus a drifting beam component. 1-D data for the
+// compressor.
+func (g *Generator) Particles(rank int, n, iter int) []float32 {
+	out := make([]float32, n)
+	seed := splitMix64(uint64(g.cfg.Seed)<<1 ^ uint64(rank)*0x8888 ^ 0x7777)
+	bulk := 1e6 * (1 + 0.01*float64(iter))
+	for i := range out {
+		h1 := splitMix64(seed + uint64(i)*2)
+		h2 := splitMix64(seed + uint64(i)*2 + 1)
+		// Box-Muller from two uniform hashes.
+		u1 := math.Abs(unit(h1))
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		u2 := unit(h2)
+		gauss := math.Sqrt(-2*math.Log(u1)) * math.Cos(math.Pi*u2)
+		out[i] = float32(bulk * (0.3*gauss + 1))
+	}
+	return out
+}

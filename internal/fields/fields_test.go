@@ -1,0 +1,204 @@
+package fields
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/huffman"
+	"repro/internal/sz"
+)
+
+func gen(t *testing.T, stage Stage, ranks int) *Generator {
+	t.Helper()
+	g, err := NewGenerator(Config{
+		Dims:   sz.Dims{X: 32, Y: 32, Z: 16},
+		Fields: NyxFields,
+		Ranks:  ranks,
+		Seed:   42,
+		Stage:  stage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func compress(t *testing.T, data []float32, d sz.Dims, eb float64) sz.Stats {
+	t.Helper()
+	_, st, err := sz.Compress(data, d, sz.Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := NewGenerator(Config{Dims: sz.Dims{X: 4, Y: 4, Z: 4}, Ranks: 0, Fields: NyxFields}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := NewGenerator(Config{Dims: sz.Dims{X: 4, Y: 4, Z: 4}, Ranks: 1}); err == nil {
+		t.Fatal("no fields accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := gen(t, StageEven, 4)
+	a := g.Field(1, NyxFields[0], 3)
+	b := g.Field(1, NyxFields[0], 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same arguments, different data")
+		}
+	}
+	c := g.Field(2, NyxFields[0], 3)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different ranks produced identical data")
+	}
+}
+
+func TestFieldsAreCompressible(t *testing.T) {
+	g := gen(t, StageEven, 4)
+	d := g.Config().Dims
+	for _, spec := range NyxFields[:3] {
+		data := g.Field(0, spec, 0)
+		st := compress(t, data, d, spec.ErrorBound)
+		if st.Ratio < 4 {
+			t.Fatalf("%s: ratio %.1f too low for scientific data", spec.Name, st.Ratio)
+		}
+	}
+}
+
+func TestIterationSimilarity(t *testing.T) {
+	// Ratios of consecutive iterations must be close (the paper observes
+	// ~1.45% drift on Nyx).
+	g := gen(t, StageStructured, 4)
+	d := g.Config().Dims
+	spec := NyxFields[2]
+	r0 := compress(t, g.Field(0, spec, 5), d, spec.ErrorBound).Ratio
+	r1 := compress(t, g.Field(0, spec, 6), d, spec.ErrorBound).Ratio
+	drift := math.Abs(r1-r0) / r0
+	if drift > 0.10 {
+		t.Fatalf("iteration ratio drift %.1f%% too large", drift*100)
+	}
+}
+
+func TestRoughnessMonotoneAndStageSpread(t *testing.T) {
+	even := gen(t, StageEven, 8)
+	for r := 0; r < 8; r++ {
+		if even.Roughness(r) != 1 {
+			t.Fatalf("even stage rank %d roughness %v, want 1", r, even.Roughness(r))
+		}
+	}
+	late := gen(t, StageCentralized, 8)
+	prev := 0.0
+	for r := 0; r < 8; r++ {
+		got := late.Roughness(r)
+		if got <= prev {
+			t.Fatalf("roughness not increasing: rank %d -> %v", r, got)
+		}
+		prev = got
+	}
+	if math.Abs(late.Roughness(7)-16) > 1e-9 {
+		t.Fatalf("max roughness %v, want 16 (default centralized spread)", late.Roughness(7))
+	}
+}
+
+func TestRoughnessDrivesCompressionSpread(t *testing.T) {
+	// Centralized stage: the roughest rank must compress clearly worse than
+	// the smoothest — this is what creates the I/O imbalance of Fig. 3.
+	g := gen(t, StageCentralized, 8)
+	d := g.Config().Dims
+	spec := NyxFields[2]
+	smooth := compress(t, g.Field(0, spec, 0), d, spec.ErrorBound).Ratio
+	rough := compress(t, g.Field(7, spec, 0), d, spec.ErrorBound).Ratio
+	if smooth < 1.7*rough {
+		t.Fatalf("CR spread too small: smooth %.1f vs rough %.1f", smooth, rough)
+	}
+}
+
+func TestSharedTreeAcrossIterations(t *testing.T) {
+	// A tree built from iteration i must encode iteration i+1 with few
+	// escapes — the premise of §4.3.
+	g := gen(t, StageStructured, 2)
+	d := g.Config().Dims
+	spec := NyxFields[0]
+	opt := sz.Options{ErrorBound: spec.ErrorBound, Radius: 1024}
+	codes0, _, err := sz.Quantize(g.Field(0, spec, 0), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sz.BuildTree(huffman.Histogram(2048, codes0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Tree = tree
+	_, st, err := sz.Compress(g.Field(0, spec, 1), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(st.Escaped) / float64(d.N()); frac > 0.01 {
+		t.Fatalf("%.2f%% escapes with a 1-iteration-old tree", frac*100)
+	}
+}
+
+func TestParticles(t *testing.T) {
+	g := gen(t, StageEven, 2)
+	p := g.Particles(0, 10000, 0)
+	if len(p) != 10000 {
+		t.Fatalf("n = %d", len(p))
+	}
+	// Deterministic.
+	q := g.Particles(0, 10000, 0)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("particles not deterministic")
+		}
+	}
+	// Roughly centred on the bulk velocity with spread.
+	var mean float64
+	for _, v := range p {
+		mean += float64(v)
+	}
+	mean /= float64(len(p))
+	if mean < 5e5 || mean > 2e6 {
+		t.Fatalf("bulk velocity off: mean %v", mean)
+	}
+	// Compressible as 1-D data with a loose bound.
+	st := compress(t, p, sz.Dims{X: len(p), Y: 1, Z: 1}, 2e5)
+	if st.Ratio < 2 {
+		t.Fatalf("particle ratio %.2f", st.Ratio)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageEven.String() != "even" || StageCentralized.String() != "centralized" {
+		t.Fatal("stage names")
+	}
+	if Stage(99).String() == "" {
+		t.Fatal("unknown stage empty")
+	}
+}
+
+func BenchmarkField32Cubed(b *testing.B) {
+	g, err := NewGenerator(Config{
+		Dims: sz.Dims{X: 32, Y: 32, Z: 32}, Fields: NyxFields, Ranks: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * 32 * 32 * 32))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Field(0, NyxFields[0], i)
+	}
+}

@@ -1,0 +1,106 @@
+package h5
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AsyncQueue is a single-worker FIFO dispatch queue standing in for the HDF5
+// VOL asynchronous connector: operations submitted by the main thread
+// execute in order on a background goroutine, and Drain blocks until
+// everything submitted so far has finished (the H5ESwait analogue).
+type AsyncQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func() error
+	inFly  bool
+	closed bool
+	errs   []error
+	wg     sync.WaitGroup
+}
+
+// NewAsyncQueue starts the background worker.
+func NewAsyncQueue() *AsyncQueue {
+	q := &AsyncQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	q.wg.Add(1)
+	go q.run()
+	return q
+}
+
+func (q *AsyncQueue) run() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.queue) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		op := q.queue[0]
+		q.queue = q.queue[1:]
+		q.inFly = true
+		q.mu.Unlock()
+
+		err := op()
+
+		q.mu.Lock()
+		q.inFly = false
+		if err != nil {
+			q.errs = append(q.errs, err)
+		}
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// Submit enqueues an operation. It never blocks (unbounded queue, like the
+// VOL connector's event set).
+func (q *AsyncQueue) Submit(op func() error) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("h5: submit on closed async queue")
+	}
+	q.queue = append(q.queue, op)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Drain blocks until all currently submitted operations complete, returning
+// the first accumulated error (errors stay latched until Close).
+func (q *AsyncQueue) Drain() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) > 0 || q.inFly {
+		q.cond.Wait()
+	}
+	if len(q.errs) > 0 {
+		return q.errs[0]
+	}
+	return nil
+}
+
+// Pending returns the number of queued (not yet started) operations.
+func (q *AsyncQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
+}
+
+// Close drains the queue and stops the worker. Subsequent Submits fail.
+func (q *AsyncQueue) Close() error {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.wg.Wait()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.errs) > 0 {
+		return q.errs[0]
+	}
+	return nil
+}

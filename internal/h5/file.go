@@ -1,0 +1,312 @@
+package h5
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// FileWriter creates an H5L container on a parallel file system. One
+// FileWriter is shared by every rank of the job (parallel writing to one
+// shared file, §2.1); all methods are safe for concurrent use.
+type FileWriter struct {
+	fs *pfs.FS
+	f  *pfs.File
+
+	mu      sync.Mutex
+	meta    Meta
+	nextOff int64 // allocation cursor for reservations and overflow
+	closed  bool
+
+	overflowChunks int
+}
+
+// Create starts a new container file.
+func Create(fs *pfs.FS, name string) (*FileWriter, error) {
+	if fs == nil {
+		return nil, fmt.Errorf("h5: nil file system")
+	}
+	f := fs.Create(name)
+	if _, err := f.WriteAt(encodeSuperblock(), 0); err != nil {
+		return nil, err
+	}
+	return &FileWriter{
+		fs:      fs,
+		f:       f,
+		meta:    Meta{Version: 1},
+		nextOff: superblockSize,
+	}, nil
+}
+
+// DatasetWriter writes chunks of one dataset.
+type DatasetWriter struct {
+	fw   *FileWriter
+	meta *DatasetMeta
+}
+
+// CreateDataset registers a dataset whose chunks get pre-reserved extents
+// sized by reservations[i] — the predicted compressed sizes that let I/O
+// start before all compression finishes. rawChunkBytes[i] records each
+// chunk's unfiltered size for readers.
+func (fw *FileWriter) CreateDataset(name string, dims []int, elemSize int, filter FilterID,
+	reservations []int64, rawChunkBytes []int64, attrs map[string]string) (*DatasetWriter, error) {
+	if name == "" || elemSize <= 0 {
+		return nil, fmt.Errorf("h5: invalid dataset spec %q elem %d", name, elemSize)
+	}
+	if len(reservations) == 0 || len(reservations) != len(rawChunkBytes) {
+		return nil, fmt.Errorf("h5: %d reservations vs %d raw sizes", len(reservations), len(rawChunkBytes))
+	}
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.closed {
+		return nil, fmt.Errorf("h5: file closed")
+	}
+	if fw.meta.find(name) != nil {
+		return nil, fmt.Errorf("h5: dataset %q exists", name)
+	}
+	dm := &DatasetMeta{
+		Name:     name,
+		Dims:     append([]int(nil), dims...),
+		ElemSize: elemSize,
+		Filter:   filter,
+		Attrs:    attrs,
+	}
+	for i, res := range reservations {
+		if res < 0 {
+			return nil, fmt.Errorf("h5: negative reservation for chunk %d", i)
+		}
+		dm.Chunks = append(dm.Chunks, ChunkInfo{
+			Index:    i,
+			Offset:   fw.nextOff,
+			Size:     -1,
+			Reserved: res,
+			RawSize:  rawChunkBytes[i],
+		})
+		fw.nextOff += res
+	}
+	fw.meta.Datasets = append(fw.meta.Datasets, dm)
+	return &DatasetWriter{fw: fw, meta: dm}, nil
+}
+
+// ChunkOffset returns the pre-reserved file offset of chunk i (what the
+// framework hands to the compressed data buffer).
+func (dw *DatasetWriter) ChunkOffset(i int) (int64, error) {
+	dw.fw.mu.Lock()
+	defer dw.fw.mu.Unlock()
+	if i < 0 || i >= len(dw.meta.Chunks) {
+		return 0, fmt.Errorf("h5: chunk %d out of range", i)
+	}
+	return dw.meta.Chunks[i].Offset, nil
+}
+
+// Reserved returns chunk i's reserved extent size.
+func (dw *DatasetWriter) Reserved(i int) (int64, error) {
+	dw.fw.mu.Lock()
+	defer dw.fw.mu.Unlock()
+	if i < 0 || i >= len(dw.meta.Chunks) {
+		return 0, fmt.Errorf("h5: chunk %d out of range", i)
+	}
+	return dw.meta.Chunks[i].Reserved, nil
+}
+
+// WriteChunk stores chunk i's filtered bytes. If the data fits its
+// reservation it lands there; otherwise the whole chunk relocates to a
+// freshly allocated extent in the overflow region at the end of the file
+// (the paper's overflow mechanism for mispredicted ratios, §4.4). The
+// returned duration is the paced write time on the file system.
+func (dw *DatasetWriter) WriteChunk(i int, data []byte) (time.Duration, error) {
+	fw := dw.fw
+	fw.mu.Lock()
+	if fw.closed {
+		fw.mu.Unlock()
+		return 0, fmt.Errorf("h5: file closed")
+	}
+	if i < 0 || i >= len(dw.meta.Chunks) {
+		fw.mu.Unlock()
+		return 0, fmt.Errorf("h5: chunk %d out of range", i)
+	}
+	ci := &dw.meta.Chunks[i]
+	if ci.Size >= 0 {
+		fw.mu.Unlock()
+		return 0, fmt.Errorf("h5: chunk %d already written", i)
+	}
+	off := ci.Offset
+	if int64(len(data)) > ci.Reserved {
+		// Overflow: allocate at the tail.
+		if fw.meta.OverflowStart == 0 {
+			fw.meta.OverflowStart = fw.nextOff
+		}
+		off = fw.nextOff
+		fw.nextOff += int64(len(data))
+		fw.meta.OverflowBytes += int64(len(data))
+		fw.overflowChunks++
+		ci.Offset = off
+		ci.Overflow = true
+	}
+	ci.Size = int64(len(data))
+	fw.mu.Unlock()
+
+	return fw.fs.Write(fw.f, off, data)
+}
+
+// WriteAtRaw writes pre-coalesced bytes (from the compressed data buffer)
+// at an absolute offset. Chunk bookkeeping must have been done through
+// MarkChunk beforehand.
+func (fw *FileWriter) WriteAtRaw(off int64, data []byte) (time.Duration, error) {
+	fw.mu.Lock()
+	if fw.closed {
+		fw.mu.Unlock()
+		return 0, fmt.Errorf("h5: file closed")
+	}
+	fw.mu.Unlock()
+	return fw.fs.Write(fw.f, off, data)
+}
+
+// MarkChunk records chunk i's final size (and possibly an overflow
+// relocation) without writing bytes — used when the compressed data buffer
+// takes over the actual I/O. It returns the offset the chunk's bytes must
+// be placed at.
+func (dw *DatasetWriter) MarkChunk(i int, size int64) (int64, error) {
+	fw := dw.fw
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if i < 0 || i >= len(dw.meta.Chunks) {
+		return 0, fmt.Errorf("h5: chunk %d out of range", i)
+	}
+	ci := &dw.meta.Chunks[i]
+	if ci.Size >= 0 {
+		return 0, fmt.Errorf("h5: chunk %d already written", i)
+	}
+	if size > ci.Reserved {
+		if fw.meta.OverflowStart == 0 {
+			fw.meta.OverflowStart = fw.nextOff
+		}
+		ci.Offset = fw.nextOff
+		ci.Overflow = true
+		fw.nextOff += size
+		fw.meta.OverflowBytes += size
+		fw.overflowChunks++
+	}
+	ci.Size = size
+	return ci.Offset, nil
+}
+
+// OverflowStats reports how many chunks relocated and their total bytes.
+func (fw *FileWriter) OverflowStats() (chunks int, bytes int64) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.overflowChunks, fw.meta.OverflowBytes
+}
+
+// Close appends the metadata block and footer. Further writes fail.
+func (fw *FileWriter) Close() error {
+	fw.mu.Lock()
+	if fw.closed {
+		fw.mu.Unlock()
+		return fmt.Errorf("h5: double close")
+	}
+	fw.closed = true
+	metaOff := fw.nextOff
+	blob, err := encodeMeta(&fw.meta)
+	fw.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if _, err := fw.f.WriteAt(blob, metaOff); err != nil {
+		return err
+	}
+	if _, err := fw.f.WriteAt(encodeFooter(metaOff, len(blob)), metaOff+int64(len(blob))); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FileReader reads an H5L container.
+type FileReader struct {
+	f    *pfs.File
+	meta *Meta
+}
+
+// Open parses an existing container.
+func Open(fs *pfs.FS, name string) (*FileReader, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	sb := make([]byte, superblockSize)
+	if _, err := f.ReadAt(sb, 0); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := checkSuperblock(sb); err != nil {
+		return nil, err
+	}
+	size := f.Size()
+	if size < superblockSize+footerSize {
+		return nil, fmt.Errorf("%w: too small", ErrCorrupt)
+	}
+	ft := make([]byte, footerSize)
+	if _, err := f.ReadAt(ft, size-footerSize); err != nil {
+		return nil, err
+	}
+	metaOff, metaLen, err := decodeFooter(ft)
+	if err != nil {
+		return nil, err
+	}
+	if metaOff < superblockSize || metaOff+int64(metaLen) > size {
+		return nil, fmt.Errorf("%w: metadata out of bounds", ErrCorrupt)
+	}
+	blob := make([]byte, metaLen)
+	if _, err := f.ReadAt(blob, metaOff); err != nil {
+		return nil, err
+	}
+	meta, err := decodeMeta(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &FileReader{f: f, meta: meta}, nil
+}
+
+// Datasets lists dataset names in creation order.
+func (fr *FileReader) Datasets() []string {
+	out := make([]string, len(fr.meta.Datasets))
+	for i, d := range fr.meta.Datasets {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Dataset returns a dataset's metadata.
+func (fr *FileReader) Dataset(name string) (*DatasetMeta, error) {
+	d := fr.meta.find(name)
+	if d == nil {
+		return nil, fmt.Errorf("h5: no dataset %q", name)
+	}
+	return d, nil
+}
+
+// ReadChunk returns chunk i's stored (filtered) bytes.
+func (fr *FileReader) ReadChunk(name string, i int) ([]byte, error) {
+	d, err := fr.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= len(d.Chunks) {
+		return nil, fmt.Errorf("h5: chunk %d out of range", i)
+	}
+	ci := d.Chunks[i]
+	if ci.Size < 0 {
+		return nil, fmt.Errorf("h5: chunk %d was never written", i)
+	}
+	buf := make([]byte, ci.Size)
+	if _, err := fr.f.ReadAt(buf, ci.Offset); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Overflow reports the file's overflow region usage.
+func (fr *FileReader) Overflow() (start, bytes int64) {
+	return fr.meta.OverflowStart, fr.meta.OverflowBytes
+}

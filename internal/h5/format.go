@@ -1,0 +1,147 @@
+// Package h5 implements "H5L", a small hierarchical container format that
+// plays the role HDF5 plays in the paper: groups, chunked datasets, a filter
+// pipeline, parallel writes of many ranks into one shared file at
+// pre-computed offsets, and an overflow region at the end of the file for
+// chunks whose compressed size exceeded its predicted reservation (§4.4).
+// An asynchronous dispatch queue (async.go) stands in for the HDF5 VOL
+// async connector.
+//
+// Layout:
+//
+//	[superblock 32 B][data extents ...][metadata JSON][metadata footer 16 B]
+//
+// The superblock is written at create time; the metadata block and footer
+// are appended by Close. Readers locate metadata via the footer at EOF.
+package h5
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// FilterID identifies the transformation applied to each chunk, mirroring
+// HDF5's dynamically loaded filters (H5Z). The SZ filter is registered by
+// the framework because decoding may need a shared Huffman tree.
+type FilterID uint16
+
+// Well-known filters.
+const (
+	FilterNone FilterID = 0
+	FilterLZSS FilterID = 1
+	FilterSZ   FilterID = 2
+)
+
+const (
+	superblockSize = 32
+	footerSize     = 16
+)
+
+var (
+	superMagic  = [4]byte{'H', '5', 'L', '1'}
+	footerMagic = [4]byte{'H', '5', 'L', 'F'}
+)
+
+// ErrCorrupt reports a malformed container.
+var ErrCorrupt = errors.New("h5: corrupt file")
+
+// ChunkInfo is one chunk's location and logical identity.
+type ChunkInfo struct {
+	Index    int   `json:"index"`
+	Offset   int64 `json:"offset"`   // byte offset in the file
+	Size     int64 `json:"size"`     // stored (filtered) size; -1 = never written
+	Reserved int64 `json:"reserved"` // pre-reserved extent length
+	Overflow bool  `json:"overflow"` // stored in the overflow region
+	RawSize  int64 `json:"rawSize"`  // unfiltered size (for readers)
+}
+
+// DatasetMeta describes one dataset.
+type DatasetMeta struct {
+	Name     string      `json:"name"` // full path, e.g. "/fields/temperature"
+	Dims     []int       `json:"dims"`
+	ElemSize int         `json:"elemSize"`
+	Filter   FilterID    `json:"filter"`
+	Chunks   []ChunkInfo `json:"chunks"`
+	// Attrs carries small user metadata (error bounds, iteration number...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Points returns the logical element count.
+func (d *DatasetMeta) Points() int {
+	n := 1
+	for _, x := range d.Dims {
+		n *= x
+	}
+	return n
+}
+
+// Meta is the file-level metadata block.
+type Meta struct {
+	Version  int            `json:"version"`
+	Datasets []*DatasetMeta `json:"datasets"`
+	// OverflowStart is where the overflow region begins (0 if unused).
+	OverflowStart int64 `json:"overflowStart"`
+	OverflowBytes int64 `json:"overflowBytes"`
+}
+
+func (m *Meta) find(name string) *DatasetMeta {
+	for _, d := range m.Datasets {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+func encodeSuperblock() []byte {
+	b := make([]byte, superblockSize)
+	copy(b, superMagic[:])
+	binary.BigEndian.PutUint32(b[4:], 1) // version
+	return b
+}
+
+func checkSuperblock(b []byte) error {
+	if len(b) < superblockSize {
+		return fmt.Errorf("%w: short superblock", ErrCorrupt)
+	}
+	for i := range superMagic {
+		if b[i] != superMagic[i] {
+			return fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+	}
+	if v := binary.BigEndian.Uint32(b[4:]); v != 1 {
+		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	return nil
+}
+
+// footer: [magic 4][metaOffset 8][metaLen 4]
+func encodeFooter(metaOff int64, metaLen int) []byte {
+	b := make([]byte, footerSize)
+	copy(b, footerMagic[:])
+	binary.BigEndian.PutUint64(b[4:], uint64(metaOff))
+	binary.BigEndian.PutUint32(b[12:], uint32(metaLen))
+	return b
+}
+
+func decodeFooter(b []byte) (metaOff int64, metaLen int, err error) {
+	if len(b) < footerSize {
+		return 0, 0, fmt.Errorf("%w: short footer", ErrCorrupt)
+	}
+	for i := range footerMagic {
+		if b[i] != footerMagic[i] {
+			return 0, 0, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+		}
+	}
+	return int64(binary.BigEndian.Uint64(b[4:])), int(binary.BigEndian.Uint32(b[12:])), nil
+}
+
+func encodeMeta(m *Meta) ([]byte, error) { return json.Marshal(m) }
+func decodeMeta(b []byte) (*Meta, error) {
+	var m Meta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%w: metadata: %v", ErrCorrupt, err)
+	}
+	return &m, nil
+}

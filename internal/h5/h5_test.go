@@ -1,0 +1,405 @@
+package h5
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+func fastFS(t *testing.T) *pfs.FS {
+	t.Helper()
+	cfg := pfs.Summit16()
+	cfg.PerOSTBandwidth = 1 << 34 // keep real sleeps negligible in tests
+	cfg.Latency = 0
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	fs := fastFS(t)
+	fw, err := Create(fs, "snap.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := []int64{100, 100, 100}
+	raw := []int64{400, 400, 400}
+	dw, err := fw.CreateDataset("/fields/temp", []int{10, 10, 3}, 4, FilterSZ, res, raw,
+		map[string]string{"errorBound": "1e-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := [][]byte{
+		bytes.Repeat([]byte{1}, 80),
+		bytes.Repeat([]byte{2}, 100),
+		bytes.Repeat([]byte{3}, 60),
+	}
+	for i, c := range chunks {
+		if _, err := dw.WriteChunk(i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := Open(fs, "snap.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fr.Datasets(); len(got) != 1 || got[0] != "/fields/temp" {
+		t.Fatalf("datasets: %v", got)
+	}
+	dm, err := fr.Dataset("/fields/temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Filter != FilterSZ || dm.ElemSize != 4 || dm.Points() != 300 {
+		t.Fatalf("meta: %+v", dm)
+	}
+	if dm.Attrs["errorBound"] != "1e-3" {
+		t.Fatalf("attrs: %v", dm.Attrs)
+	}
+	for i, want := range chunks {
+		got, err := fr.ReadChunk("/fields/temp", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+}
+
+func TestOverflowRelocation(t *testing.T) {
+	fs := fastFS(t)
+	fw, err := Create(fs, "o.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := fw.CreateDataset("/d", []int{100}, 4, FilterNone,
+		[]int64{50, 50}, []int64{400, 400}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk 0 fits; chunk 1 exceeds its 50-byte reservation.
+	if _, err := dw.WriteChunk(0, bytes.Repeat([]byte{7}, 40)); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{8}, 200)
+	if _, err := dw.WriteChunk(1, big); err != nil {
+		t.Fatal(err)
+	}
+	n, b := fw.OverflowStats()
+	if n != 1 || b != 200 {
+		t.Fatalf("overflow stats: %d chunks, %d bytes", n, b)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Open(fs, "o.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fr.ReadChunk("/d", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("overflowed chunk corrupted")
+	}
+	dm, _ := fr.Dataset("/d")
+	if !dm.Chunks[1].Overflow || dm.Chunks[0].Overflow {
+		t.Fatalf("overflow flags: %+v", dm.Chunks)
+	}
+	if start, ob := fr.Overflow(); start == 0 || ob != 200 {
+		t.Fatalf("overflow region: start=%d bytes=%d", start, ob)
+	}
+}
+
+func TestMarkChunkBufferPath(t *testing.T) {
+	fs := fastFS(t)
+	fw, _ := Create(fs, "m.h5l")
+	dw, err := fw.CreateDataset("/d", []int{10}, 4, FilterNone,
+		[]int64{64, 64}, []int64{40, 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off0, err := dw.MarkChunk(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, err := dw.MarkChunk(1, 100) // overflows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 <= off0 {
+		t.Fatalf("overflow offset %d not past reservation %d", off1, off0)
+	}
+	// Coalesced write via WriteAtRaw, as the compressed data buffer does.
+	data0 := bytes.Repeat([]byte{1}, 30)
+	data1 := bytes.Repeat([]byte{2}, 100)
+	if _, err := fw.WriteAtRaw(off0, data0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.WriteAtRaw(off1, data1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, _ := Open(fs, "m.h5l")
+	for i, want := range [][]byte{data0, data1} {
+		got, err := fr.ReadChunk("/d", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	fs := fastFS(t)
+	fw, _ := Create(fs, "v.h5l")
+	if _, err := fw.CreateDataset("", []int{1}, 4, FilterNone, []int64{1}, []int64{1}, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := fw.CreateDataset("/d", []int{1}, 0, FilterNone, []int64{1}, []int64{1}, nil); err == nil {
+		t.Fatal("zero elem size accepted")
+	}
+	if _, err := fw.CreateDataset("/d", []int{1}, 4, FilterNone, []int64{1}, []int64{1, 2}, nil); err == nil {
+		t.Fatal("mismatched raw sizes accepted")
+	}
+	if _, err := fw.CreateDataset("/d", []int{1}, 4, FilterNone, []int64{-1}, []int64{1}, nil); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+	if _, err := fw.CreateDataset("/d", []int{1}, 4, FilterNone, []int64{8}, []int64{4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.CreateDataset("/d", []int{1}, 4, FilterNone, []int64{8}, []int64{4}, nil); err == nil {
+		t.Fatal("duplicate dataset accepted")
+	}
+}
+
+func TestChunkErrors(t *testing.T) {
+	fs := fastFS(t)
+	fw, _ := Create(fs, "e.h5l")
+	dw, _ := fw.CreateDataset("/d", []int{4}, 4, FilterNone, []int64{16}, []int64{16}, nil)
+	if _, err := dw.WriteChunk(5, nil); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	if _, err := dw.WriteChunk(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dw.WriteChunk(0, []byte{2}); err == nil {
+		t.Fatal("double write accepted")
+	}
+	fw.Close()
+	if _, err := dw.WriteChunk(0, nil); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := fw.Close(); err == nil {
+		t.Fatal("double close accepted")
+	}
+	fr, _ := Open(fs, "e.h5l")
+	if _, err := fr.ReadChunk("/d", 9); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if _, err := fr.Dataset("/missing"); err == nil {
+		t.Fatal("missing dataset read accepted")
+	}
+}
+
+func TestOpenCorrupt(t *testing.T) {
+	fs := fastFS(t)
+	if _, err := Open(fs, "missing"); err == nil {
+		t.Fatal("open missing succeeded")
+	}
+	f := fs.Create("junk")
+	f.WriteAt([]byte("not an h5l file at all, definitely too short? no:"), 0)
+	if _, err := Open(fs, "junk"); err == nil {
+		t.Fatal("junk accepted")
+	}
+	// Valid superblock, garbage footer.
+	f2 := fs.Create("truncated")
+	f2.WriteAt(encodeSuperblock(), 0)
+	f2.WriteAt(bytes.Repeat([]byte{0xAB}, 64), superblockSize)
+	if _, err := Open(fs, "truncated"); err == nil {
+		t.Fatal("garbage footer accepted")
+	}
+	if !errors.Is(ErrCorrupt, ErrCorrupt) {
+		t.Fatal("sanity")
+	}
+}
+
+func TestParallelRankWrites(t *testing.T) {
+	fs := fastFS(t)
+	fw, _ := Create(fs, "p.h5l")
+	const ranks, chunksPer = 8, 4
+	dws := make([]*DatasetWriter, ranks)
+	for r := 0; r < ranks; r++ {
+		res := make([]int64, chunksPer)
+		raw := make([]int64, chunksPer)
+		for i := range res {
+			res[i], raw[i] = 128, 512
+		}
+		dw, err := fw.CreateDataset(fmt.Sprintf("/rank%d", r), []int{128}, 4, FilterSZ, res, raw, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dws[r] = dw
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < chunksPer; i++ {
+				data := bytes.Repeat([]byte{byte(r*16 + i)}, 100+i)
+				if _, err := dws[r].WriteChunk(i, data); err != nil {
+					t.Error(err)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Open(fs, "p.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < chunksPer; i++ {
+			got, err := fr.ReadChunk(fmt.Sprintf("/rank%d", r), i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bytes.Repeat([]byte{byte(r*16 + i)}, 100+i)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("rank %d chunk %d mismatch", r, i)
+			}
+		}
+	}
+}
+
+func TestAsyncQueueOrderAndDrain(t *testing.T) {
+	q := NewAsyncQueue()
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		if err := q.Submit(func() error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(order) != 20 {
+		t.Fatalf("ran %d ops", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, order)
+		}
+	}
+	mu.Unlock()
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(func() error { return nil }); err == nil {
+		t.Fatal("submit after close accepted")
+	}
+}
+
+func TestAsyncQueueErrorLatch(t *testing.T) {
+	q := NewAsyncQueue()
+	boom := errors.New("boom")
+	q.Submit(func() error { return boom })
+	q.Submit(func() error { return nil })
+	if err := q.Drain(); err != boom {
+		t.Fatalf("drain err = %v", err)
+	}
+	if err := q.Close(); err != boom {
+		t.Fatalf("close err = %v", err)
+	}
+}
+
+func TestAsyncQueueOverlapsCaller(t *testing.T) {
+	q := NewAsyncQueue()
+	defer q.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	q.Submit(func() error {
+		close(started)
+		<-release
+		return nil
+	})
+	select {
+	case <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("background op never started")
+	}
+	// The caller is demonstrably not blocked while the op runs.
+	if q.Pending() != 0 {
+		t.Fatalf("pending = %d", q.Pending())
+	}
+	close(release)
+	if err := q.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkOffsetAndReserved(t *testing.T) {
+	fs := fastFS(t)
+	fw, _ := Create(fs, "off.h5l")
+	dw, err := fw.CreateDataset("/d", []int{8}, 4, FilterNone,
+		[]int64{100, 200}, []int64{32, 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off0, err := dw.ChunkOffset(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, err := dw.ChunkOffset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 != off0+100 {
+		t.Fatalf("offsets %d, %d: reservations not contiguous", off0, off1)
+	}
+	if r, _ := dw.Reserved(1); r != 200 {
+		t.Fatalf("reserved = %d", r)
+	}
+	if _, err := dw.ChunkOffset(5); err == nil {
+		t.Fatal("out-of-range offset accepted")
+	}
+	if _, err := dw.Reserved(-1); err == nil {
+		t.Fatal("negative chunk accepted")
+	}
+}
+
+func TestDatasetMetaPoints(t *testing.T) {
+	dm := &DatasetMeta{Dims: []int{4, 5, 6}}
+	if dm.Points() != 120 {
+		t.Fatalf("points = %d", dm.Points())
+	}
+}

@@ -1,0 +1,101 @@
+package huffman
+
+import (
+	"errors"
+	"fmt"
+)
+
+// bitWriter accumulates bits MSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64 // bits not yet flushed, left-aligned in the low `nbit` bits
+	nbit uint   // number of valid bits in cur (0..63)
+}
+
+func newBitWriter(capHint int) *bitWriter {
+	return &bitWriter{buf: make([]byte, 0, capHint)}
+}
+
+// writeBits appends the low `n` bits of code, most-significant first.
+func (w *bitWriter) writeBits(code uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	w.cur = w.cur<<n | (code & (1<<n - 1))
+	w.nbit += n
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nbit))
+	}
+}
+
+// finish flushes any partial byte (zero-padded) and returns the stream.
+func (w *bitWriter) finish() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// bitLen reports the total number of bits written so far.
+func (w *bitWriter) bitLen() int {
+	return len(w.buf)*8 + int(w.nbit)
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	data []byte
+	pos  int // next byte index
+	cur  uint64
+	nbit uint
+}
+
+var errBitUnderflow = errors.New("huffman: bit stream underflow")
+
+func newBitReader(data []byte) *bitReader {
+	return &bitReader{data: data}
+}
+
+func (r *bitReader) fill() {
+	for r.nbit <= 56 && r.pos < len(r.data) {
+		r.cur = r.cur<<8 | uint64(r.data[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+}
+
+// readBits reads exactly n bits (n <= 32).
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if r.nbit < n {
+		r.fill()
+		if r.nbit < n {
+			return 0, fmt.Errorf("%w: want %d bits, have %d", errBitUnderflow, n, r.nbit)
+		}
+	}
+	r.nbit -= n
+	v := (r.cur >> r.nbit) & (1<<n - 1)
+	return v, nil
+}
+
+// peekBits returns up to n bits without consuming them; if fewer remain,
+// the result is left-aligned as if padded with zeros and ok reports how many
+// real bits back it.
+func (r *bitReader) peekBits(n uint) (v uint64, avail uint) {
+	if r.nbit < n {
+		r.fill()
+	}
+	avail = r.nbit
+	if avail >= n {
+		return (r.cur >> (r.nbit - n)) & (1<<n - 1), n
+	}
+	// Pad with zeros on the right.
+	return (r.cur & (1<<r.nbit - 1)) << (n - r.nbit), avail
+}
+
+func (r *bitReader) skipBits(n uint) {
+	r.nbit -= n
+}

@@ -1,0 +1,499 @@
+// Package huffman implements canonical Huffman coding for quantization-code
+// streams produced by prediction-based lossy compression.
+//
+// The distinguishing feature, required by the paper's "shared Huffman tree"
+// design (§4.3), is that a Tree built from one data block (or one iteration)
+// can encode a *different* block: symbols that have no code in the tree are
+// escaped through a reserved ESC code followed by the raw symbol bits. This
+// makes stale trees safe at a small size cost, which the framework measures
+// and uses to decide when to rebuild.
+package huffman
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MaxCodeLen is the longest code length emitted; longer optimal codes are
+// rebalanced (Kraft-fix) so the encoder can pack codes in a uint64.
+const MaxCodeLen = 32
+
+// fastBits sizes the one-shot decode table: codes of length <= fastBits
+// decode in a single table lookup.
+const fastBits = 10
+
+var (
+	// ErrEmpty is returned by Build when no symbol has a nonzero frequency.
+	ErrEmpty = errors.New("huffman: empty frequency table")
+	// ErrCorrupt is returned when a serialized tree or an encoded stream is
+	// not self-consistent.
+	ErrCorrupt = errors.New("huffman: corrupt stream")
+)
+
+type fastEnt struct {
+	sym uint32 // internal symbol (alphabet == ESC)
+	len uint8  // 0 means: not resolvable by the fast table
+}
+
+// Tree is a canonical Huffman code over symbols 0..Alphabet()-1 plus an
+// internal escape symbol. A Tree is immutable after Build/Unmarshal and safe
+// for concurrent use by multiple goroutines.
+type Tree struct {
+	alphabet int      // number of user-visible symbols
+	escBits  uint     // raw bits used for an escaped symbol
+	lens     []uint8  // code length per internal symbol; 0 = no code
+	codes    []uint32 // canonical code per internal symbol
+	maxLen   uint
+
+	// Canonical decode state.
+	firstCode [MaxCodeLen + 1]uint32 // first code of each length
+	offset    [MaxCodeLen + 1]int32  // index into symOf for each length
+	counts    [MaxCodeLen + 1]int32  // number of codes of each length
+	symOf     []uint32               // symbols ordered by (len, symbol)
+	fast      []fastEnt
+}
+
+// Alphabet returns the number of user-visible symbols the tree was built for.
+func (t *Tree) Alphabet() int { return t.alphabet }
+
+// esc is the internal index of the escape symbol.
+func (t *Tree) esc() uint32 { return uint32(t.alphabet) }
+
+// HasCode reports whether symbol s received a code during Build (escaped
+// symbols still encode, via ESC, but cost escBits extra).
+func (t *Tree) HasCode(s uint16) bool {
+	return int(s) < t.alphabet && t.lens[s] != 0
+}
+
+// CodeLen returns the code length in bits of symbol s, or 0 if s would be
+// escaped.
+func (t *Tree) CodeLen(s uint16) int {
+	if int(s) >= t.alphabet {
+		return 0
+	}
+	return int(t.lens[s])
+}
+
+// MaxLen returns the longest assigned code length.
+func (t *Tree) MaxLen() int { return int(t.maxLen) }
+
+// Build constructs a canonical Huffman tree from per-symbol frequencies.
+// len(freq) fixes the alphabet size (must be 2..1<<16). Symbols with zero
+// frequency receive no code and will be escaped if later encoded.
+func Build(freq []uint64) (*Tree, error) {
+	n := len(freq)
+	if n < 2 || n > 1<<16 {
+		return nil, fmt.Errorf("huffman: alphabet size %d out of range [2, 65536]", n)
+	}
+	nonzero := 0
+	for _, f := range freq {
+		if f > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		return nil, ErrEmpty
+	}
+
+	t := &Tree{
+		alphabet: n,
+		escBits:  uint(bits.Len(uint(n - 1))),
+		lens:     make([]uint8, n+1),
+		codes:    make([]uint32, n+1),
+	}
+
+	// Internal working set: all nonzero symbols plus ESC (freq 1, so the
+	// escape path always has a code and never dominates the tree).
+	type node struct {
+		sym  uint32
+		freq uint64
+	}
+	leaves := make([]node, 0, nonzero+1)
+	for s, f := range freq {
+		if f > 0 {
+			leaves = append(leaves, node{uint32(s), f})
+		}
+	}
+	leaves = append(leaves, node{t.esc(), 1})
+
+	freqs := make([]uint64, len(leaves))
+	for i, l := range leaves {
+		freqs[i] = l.freq
+	}
+	lens := buildCodeLengths(freqs)
+	for i, l := range lens {
+		t.lens[leaves[i].sym] = l
+	}
+	if err := t.assignCanonical(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// buildCodeLengths computes Huffman code lengths for the given frequencies
+// using the classic two-queue construction on sorted leaves, then limits the
+// lengths to MaxCodeLen with a Kraft-sum fix.
+func buildCodeLengths(freqs []uint64) []uint8 {
+	n := len(freqs)
+	if n == 1 {
+		return []uint8{1}
+	}
+	// Sort indexes by frequency ascending (stable on symbol order for
+	// determinism).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return freqs[order[a]] < freqs[order[b]] })
+
+	type inode struct {
+		freq        uint64
+		left, right int // < n: leaf (index into order); >= n: internal node id
+	}
+	internal := make([]inode, 0, n-1)
+	// Two queues: q1 over sorted leaves, q2 over created internal nodes
+	// (which are produced in non-decreasing frequency order).
+	i1, i2 := 0, 0
+	popMin := func() (freq uint64, id int) {
+		leafOK := i1 < n
+		intOK := i2 < len(internal)
+		if leafOK && (!intOK || freqs[order[i1]] <= internal[i2].freq) {
+			f := freqs[order[i1]]
+			id = i1
+			i1++
+			return f, id
+		}
+		f := internal[i2].freq
+		id = n + i2
+		i2++
+		return f, id
+	}
+	for len(internal) < n-1 {
+		f1, id1 := popMin()
+		f2, id2 := popMin()
+		internal = append(internal, inode{freq: f1 + f2, left: id1, right: id2})
+	}
+
+	// Depth-assign by walking from the root (last created internal node).
+	depth := make([]uint8, n)
+	type stackEnt struct {
+		id int
+		d  uint8
+	}
+	stack := []stackEnt{{n + len(internal) - 1, 0}}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.id < n {
+			depth[order[e.id]] = e.d
+			continue
+		}
+		in := internal[e.id-n]
+		d := e.d + 1
+		if d > 250 { // cannot happen with n <= 65537, defensive
+			d = 250
+		}
+		stack = append(stack, stackEnt{in.left, d}, stackEnt{in.right, d})
+	}
+
+	limitLengths(depth, freqs, MaxCodeLen)
+	return depth
+}
+
+// limitLengths caps code lengths at maxLen, restoring the Kraft inequality by
+// lengthening the cheapest (least frequent) short codes.
+func limitLengths(lens []uint8, freqs []uint64, maxLen uint8) {
+	over := false
+	for _, l := range lens {
+		if l > maxLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	// Kraft sum in units of 2^-maxLen.
+	var kraft uint64
+	for i, l := range lens {
+		if l > maxLen {
+			lens[i] = maxLen
+			l = maxLen
+		}
+		kraft += 1 << (maxLen - l)
+	}
+	capacity := uint64(1) << maxLen
+	if kraft <= capacity {
+		return
+	}
+	// Lengthen codes until the Kraft sum fits. Prefer lengthening the
+	// least-frequent symbols with the shortest codes' complements: standard
+	// zlib-style fix — find symbols with len < maxLen, increment.
+	order := make([]int, len(lens))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return freqs[order[a]] < freqs[order[b]] })
+	for kraft > capacity {
+		progressed := false
+		for _, i := range order {
+			if lens[i] > 0 && lens[i] < maxLen {
+				kraft -= 1 << (maxLen - lens[i])
+				lens[i]++
+				kraft += 1 << (maxLen - lens[i])
+				progressed = true
+				if kraft <= capacity {
+					break
+				}
+			}
+		}
+		if !progressed {
+			break // all codes at maxLen; kraft == capacity by construction
+		}
+	}
+}
+
+// assignCanonical derives canonical codes and decode tables from t.lens.
+func (t *Tree) assignCanonical() error {
+	t.maxLen = 0
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+	total := 0
+	for _, l := range t.lens {
+		if l == 0 {
+			continue
+		}
+		if uint(l) > MaxCodeLen {
+			return fmt.Errorf("%w: code length %d", ErrCorrupt, l)
+		}
+		t.counts[l]++
+		if uint(l) > t.maxLen {
+			t.maxLen = uint(l)
+		}
+		total++
+	}
+	if total == 0 {
+		return ErrEmpty
+	}
+	// Kraft check (<= capacity; a strict tree has equality, but a truncated
+	// one from deserialization must at least not overflow).
+	var kraft uint64
+	for l := uint(1); l <= t.maxLen; l++ {
+		kraft += uint64(t.counts[l]) << (t.maxLen - l)
+	}
+	if kraft > 1<<t.maxLen {
+		return fmt.Errorf("%w: over-subscribed code", ErrCorrupt)
+	}
+
+	var code uint32
+	var idx int32
+	for l := uint(1); l <= t.maxLen; l++ {
+		code <<= 1
+		t.firstCode[l] = code
+		t.offset[l] = idx
+		code += uint32(t.counts[l])
+		idx += t.counts[l]
+	}
+	t.symOf = make([]uint32, total)
+	next := make([]int32, t.maxLen+1)
+	for s, l := range t.lens {
+		if l == 0 {
+			continue
+		}
+		pos := t.offset[l] + next[l]
+		t.symOf[pos] = uint32(s)
+		t.codes[s] = t.firstCode[l] + uint32(next[l])
+		next[l]++
+	}
+
+	// Fast decode table.
+	t.fast = make([]fastEnt, 1<<fastBits)
+	for s, l := range t.lens {
+		if l == 0 || uint(l) > fastBits {
+			continue
+		}
+		code := t.codes[s] << (fastBits - uint(l))
+		n := 1 << (fastBits - uint(l))
+		for i := 0; i < n; i++ {
+			t.fast[code+uint32(i)] = fastEnt{sym: uint32(s), len: l}
+		}
+	}
+	return nil
+}
+
+// EncodeStats reports the outcome of an Encode call.
+type EncodeStats struct {
+	Symbols int // symbols encoded
+	Escaped int // symbols that had no code and went through ESC
+	Bits    int // total bits emitted (before byte padding)
+}
+
+// Encode compresses syms into a padded bitstream. Symbols outside the tree
+// (zero frequency at Build time, or beyond a stale shared tree's support) are
+// escaped. Symbols >= Alphabet() are rejected.
+func (t *Tree) Encode(syms []uint16) ([]byte, EncodeStats, error) {
+	w := newBitWriter(len(syms)/2 + 16)
+	st := EncodeStats{Symbols: len(syms)}
+	escCode := t.codes[t.esc()]
+	escLen := uint(t.lens[t.esc()])
+	for _, s := range syms {
+		if int(s) >= t.alphabet {
+			return nil, st, fmt.Errorf("huffman: symbol %d outside alphabet %d", s, t.alphabet)
+		}
+		if l := t.lens[s]; l != 0 {
+			w.writeBits(uint64(t.codes[s]), uint(l))
+			continue
+		}
+		st.Escaped++
+		w.writeBits(uint64(escCode), escLen)
+		w.writeBits(uint64(s), t.escBits)
+	}
+	st.Bits = w.bitLen()
+	return w.finish(), st, nil
+}
+
+// Decode expands an Encode stream back into exactly n symbols.
+func (t *Tree) Decode(data []byte, n int) ([]uint16, error) {
+	out := make([]uint16, n)
+	r := newBitReader(data)
+	esc := t.esc()
+	for i := 0; i < n; i++ {
+		sym, err := t.decodeOne(r)
+		if err != nil {
+			return nil, err
+		}
+		if sym == esc {
+			raw, err := r.readBits(t.escBits)
+			if err != nil {
+				return nil, err
+			}
+			if int(raw) >= t.alphabet {
+				return nil, fmt.Errorf("%w: escaped symbol %d out of range", ErrCorrupt, raw)
+			}
+			out[i] = uint16(raw)
+			continue
+		}
+		out[i] = uint16(sym)
+	}
+	return out, nil
+}
+
+func (t *Tree) decodeOne(r *bitReader) (uint32, error) {
+	if v, avail := r.peekBits(fastBits); avail > 0 {
+		if e := t.fast[v]; e.len != 0 && uint(e.len) <= avail {
+			r.skipBits(uint(e.len))
+			return e.sym, nil
+		}
+	}
+	// Slow canonical path for long codes.
+	var code uint32
+	for l := uint(1); l <= t.maxLen; l++ {
+		b, err := r.readBits(1)
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(b)
+		if t.counts[l] > 0 {
+			if d := int32(code) - int32(t.firstCode[l]); d >= 0 && d < t.counts[l] {
+				return t.symOf[t.offset[l]+d], nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: no code matches", ErrCorrupt)
+}
+
+// EstimateBits predicts the encoded size in bits of a stream with the given
+// symbol histogram, without encoding. Used by the compression-ratio
+// predictor.
+func (t *Tree) EstimateBits(hist []uint64) int {
+	escLen := int(t.lens[t.esc()])
+	bits := 0
+	for s, c := range hist {
+		if c == 0 {
+			continue
+		}
+		if s < t.alphabet && t.lens[s] != 0 {
+			bits += int(t.lens[s]) * int(c)
+		} else {
+			bits += (escLen + int(t.escBits)) * int(c)
+		}
+	}
+	return bits
+}
+
+// Marshal serializes the tree (code lengths, run-length encoded). The result
+// is stable and compact: typically a few hundred bytes for quantization-code
+// alphabets.
+func (t *Tree) Marshal() []byte {
+	out := make([]byte, 0, 64)
+	out = binary.BigEndian.AppendUint32(out, uint32(t.alphabet))
+	// RLE over t.lens (alphabet+1 entries): pairs of (len byte, run uint32
+	// varint-ish via 3 bytes; runs never exceed 2^24).
+	i := 0
+	for i <= t.alphabet {
+		l := t.lens[i]
+		j := i
+		for j <= t.alphabet && t.lens[j] == l {
+			j++
+		}
+		run := j - i
+		out = append(out, l, byte(run>>16), byte(run>>8), byte(run))
+		i = j
+	}
+	return out
+}
+
+// Unmarshal reconstructs a tree serialized by Marshal.
+func Unmarshal(data []byte) (*Tree, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	alphabet := int(binary.BigEndian.Uint32(data))
+	if alphabet < 2 || alphabet > 1<<16 {
+		return nil, fmt.Errorf("%w: alphabet %d", ErrCorrupt, alphabet)
+	}
+	t := &Tree{
+		alphabet: alphabet,
+		escBits:  uint(bits.Len(uint(alphabet - 1))),
+		lens:     make([]uint8, alphabet+1),
+		codes:    make([]uint32, alphabet+1),
+	}
+	pos, sym := 4, 0
+	for sym <= alphabet {
+		if pos+4 > len(data) {
+			return nil, ErrCorrupt
+		}
+		l := data[pos]
+		run := int(data[pos+1])<<16 | int(data[pos+2])<<8 | int(data[pos+3])
+		pos += 4
+		if run == 0 || sym+run > alphabet+1 {
+			return nil, ErrCorrupt
+		}
+		for k := 0; k < run; k++ {
+			t.lens[sym+k] = l
+		}
+		sym += run
+	}
+	if t.lens[alphabet] == 0 {
+		return nil, fmt.Errorf("%w: missing escape code", ErrCorrupt)
+	}
+	if err := t.assignCanonical(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Histogram tallies symbol frequencies; a convenience for Build callers.
+func Histogram(alphabet int, syms []uint16) []uint64 {
+	h := make([]uint64, alphabet)
+	for _, s := range syms {
+		if int(s) < alphabet {
+			h[s]++
+		}
+	}
+	return h
+}

@@ -1,0 +1,485 @@
+package huffman
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	w := newBitWriter(0)
+	vals := []struct {
+		v uint64
+		n uint
+	}{{1, 1}, {0, 1}, {0b1011, 4}, {0xdeadbeef, 32}, {0, 7}, {0x3fff, 14}, {1, 1}}
+	for _, x := range vals {
+		w.writeBits(x.v, x.n)
+	}
+	data := w.finish()
+	r := newBitReader(data)
+	for i, x := range vals {
+		got, err := r.readBits(x.n)
+		if err != nil {
+			t.Fatalf("readBits[%d]: %v", i, err)
+		}
+		if got != x.v {
+			t.Fatalf("readBits[%d] = %#x, want %#x", i, got, x.v)
+		}
+	}
+}
+
+func TestBitReaderUnderflow(t *testing.T) {
+	r := newBitReader([]byte{0xff})
+	if _, err := r.readBits(8); err != nil {
+		t.Fatalf("first 8 bits: %v", err)
+	}
+	if _, err := r.readBits(1); err == nil {
+		t.Fatal("expected underflow error")
+	}
+}
+
+func TestBitWriterBitLen(t *testing.T) {
+	w := newBitWriter(0)
+	w.writeBits(0b101, 3)
+	if got := w.bitLen(); got != 3 {
+		t.Fatalf("bitLen = %d, want 3", got)
+	}
+	w.writeBits(0xffff, 16)
+	if got := w.bitLen(); got != 19 {
+		t.Fatalf("bitLen = %d, want 19", got)
+	}
+}
+
+func TestBuildRejectsBadAlphabet(t *testing.T) {
+	if _, err := Build([]uint64{1}); err == nil {
+		t.Fatal("alphabet 1 accepted")
+	}
+	if _, err := Build(make([]uint64, 1<<16+1)); err == nil {
+		t.Fatal("alphabet 65537 accepted")
+	}
+	if _, err := Build(make([]uint64, 16)); err != ErrEmpty {
+		t.Fatalf("all-zero freq: got %v, want ErrEmpty", err)
+	}
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	freq := make([]uint64, 8)
+	freq[3] = 100
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := make([]uint16, 50)
+	for i := range syms {
+		syms[i] = 3
+	}
+	enc, st, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Escaped != 0 {
+		t.Fatalf("escaped %d symbols, want 0", st.Escaped)
+	}
+	dec, err := tree.Decode(enc, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if dec[i] != 3 {
+			t.Fatalf("dec[%d] = %d", i, dec[i])
+		}
+	}
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	// Geometric-ish distribution like quantization codes around the radius.
+	const alphabet = 1024
+	freq := make([]uint64, alphabet)
+	for i := range freq {
+		d := i - alphabet/2
+		if d < 0 {
+			d = -d
+		}
+		freq[i] = uint64(1 << uint(20-min(20, d)))
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint16, 100000)
+	for i := range syms {
+		syms[i] = uint16(alphabet/2 + int(rng.NormFloat64()*4))
+	}
+	enc, st, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bits > len(syms)*8 {
+		t.Fatalf("skewed stream did not compress: %d bits for %d syms", st.Bits, len(syms))
+	}
+	dec, err := tree.Decode(enc, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU16(dec, syms) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestEscapePath(t *testing.T) {
+	// Tree only knows symbols 0..9; encode symbols up to 99.
+	const alphabet = 100
+	freq := make([]uint64, alphabet)
+	for i := 0; i < 10; i++ {
+		freq[i] = 10
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := []uint16{0, 5, 99, 50, 9, 42, 0}
+	enc, st, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Escaped != 3 {
+		t.Fatalf("escaped = %d, want 3", st.Escaped)
+	}
+	dec, err := tree.Decode(enc, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU16(dec, syms) {
+		t.Fatalf("dec = %v, want %v", dec, syms)
+	}
+}
+
+func TestSymbolOutOfAlphabetRejected(t *testing.T) {
+	freq := []uint64{5, 5}
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tree.Encode([]uint16{2}); err == nil {
+		t.Fatal("expected out-of-alphabet error")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	const alphabet = 512
+	freq := make([]uint64, alphabet)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		freq[rng.Intn(alphabet)] = uint64(rng.Intn(10000) + 1)
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := tree.Marshal()
+	tree2, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := make([]uint16, 5000)
+	for i := range syms {
+		syms[i] = uint16(rng.Intn(alphabet))
+	}
+	enc1, _, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, _, err := tree2.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("marshaled tree encodes differently")
+	}
+	dec, err := tree2.Decode(enc1, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU16(dec, syms) {
+		t.Fatal("cross decode mismatch")
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0, 0},
+		{0, 0, 0, 1},               // alphabet 1
+		{0, 1, 0, 0, 5, 0, 0, 200}, // run overruns alphabet+1
+		{0, 0, 0, 4, 0, 0, 0, 5},   // all zero lengths incl. ESC
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	freq := make([]uint64, 64)
+	for i := range freq {
+		freq[i] = uint64(i + 1)
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := make([]uint16, 1000)
+	for i := range syms {
+		syms[i] = uint16(i % 64)
+	}
+	enc, _, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Decode(enc[:len(enc)/2], len(syms)); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+func TestEstimateBitsMatchesEncode(t *testing.T) {
+	const alphabet = 256
+	freq := make([]uint64, alphabet)
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]uint16, 20000)
+	for i := range syms {
+		s := uint16(math.Abs(rng.NormFloat64()) * 20)
+		if s >= alphabet {
+			s = alphabet - 1
+		}
+		syms[i] = s
+		freq[s]++
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := tree.EstimateBits(Histogram(alphabet, syms))
+	if est != st.Bits {
+		t.Fatalf("EstimateBits = %d, Encode bits = %d", est, st.Bits)
+	}
+}
+
+func TestEstimateBitsWithEscapes(t *testing.T) {
+	const alphabet = 128
+	freq := make([]uint64, alphabet)
+	freq[1], freq[2] = 10, 20
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := []uint16{1, 2, 100, 101}
+	_, st, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.EstimateBits(Histogram(alphabet, syms)); got != st.Bits {
+		t.Fatalf("EstimateBits = %d, want %d", got, st.Bits)
+	}
+}
+
+func TestLengthLimit(t *testing.T) {
+	// Fibonacci-like frequencies force deep optimal codes; the limiter must
+	// keep everything <= MaxCodeLen and still round trip.
+	const n = 64
+	freq := make([]uint64, n)
+	a, b := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		freq[i] = a
+		a, b = b, a+b
+		if a > 1<<55 {
+			a, b = 1, 1
+		}
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.MaxLen() > MaxCodeLen {
+		t.Fatalf("max code len %d > %d", tree.MaxLen(), MaxCodeLen)
+	}
+	syms := make([]uint16, n)
+	for i := range syms {
+		syms[i] = uint16(i)
+	}
+	enc, _, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tree.Decode(enc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU16(dec, syms) {
+		t.Fatal("round trip mismatch under length limiting")
+	}
+}
+
+func TestHasCodeAndCodeLen(t *testing.T) {
+	freq := make([]uint64, 16)
+	freq[0], freq[7] = 3, 9
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.HasCode(0) || !tree.HasCode(7) {
+		t.Fatal("expected codes for symbols 0 and 7")
+	}
+	if tree.HasCode(1) {
+		t.Fatal("symbol 1 should have no code")
+	}
+	if tree.CodeLen(7) == 0 {
+		t.Fatal("CodeLen(7) == 0")
+	}
+	if tree.CodeLen(999) != 0 {
+		t.Fatal("CodeLen out of alphabet should be 0")
+	}
+}
+
+// Property: Decode(Encode(x)) == x for arbitrary symbol streams over
+// arbitrary-but-valid trees.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, raw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := 2 + rng.Intn(2000)
+		freq := make([]uint64, alphabet)
+		// Random support: some symbols present, others escaped.
+		for i := 0; i < alphabet/2+1; i++ {
+			freq[rng.Intn(alphabet)] = uint64(rng.Intn(1 << 16))
+		}
+		freq[rng.Intn(alphabet)] = 1 // guarantee nonzero
+		tree, err := Build(freq)
+		if err != nil {
+			return false
+		}
+		syms := make([]uint16, len(raw))
+		for i, b := range raw {
+			syms[i] = uint16(int(b) * 7 % alphabet)
+		}
+		enc, _, err := tree.Encode(syms)
+		if err != nil {
+			return false
+		}
+		dec, err := tree.Decode(enc, len(syms))
+		if err != nil {
+			return false
+		}
+		return equalU16(dec, syms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Marshal/Unmarshal preserves code assignment exactly.
+func TestQuickMarshalStable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := 2 + rng.Intn(500)
+		freq := make([]uint64, alphabet)
+		for i := range freq {
+			if rng.Intn(3) == 0 {
+				freq[i] = uint64(rng.Intn(1000) + 1)
+			}
+		}
+		freq[0] = 1
+		t1, err := Build(freq)
+		if err != nil {
+			return false
+		}
+		t2, err := Unmarshal(t1.Marshal())
+		if err != nil {
+			return false
+		}
+		for s := 0; s < alphabet; s++ {
+			if t1.CodeLen(uint16(s)) != t2.CodeLen(uint16(s)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalU16(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkEncode1M(b *testing.B) {
+	const alphabet = 65536
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint16, 1<<20)
+	freq := make([]uint64, alphabet)
+	for i := range syms {
+		s := uint16(alphabet/2 + int(rng.NormFloat64()*3))
+		syms[i] = s
+		freq[s]++
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(syms) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tree.Encode(syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode1M(b *testing.B) {
+	const alphabet = 65536
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint16, 1<<20)
+	freq := make([]uint64, alphabet)
+	for i := range syms {
+		s := uint16(alphabet/2 + int(rng.NormFloat64()*3))
+		syms[i] = s
+		freq[s]++
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, _, err := tree.Encode(syms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(syms) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Decode(enc, len(syms)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

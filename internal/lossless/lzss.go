@@ -1,0 +1,221 @@
+// Package lossless implements a self-contained LZSS byte compressor used as
+// the final lossless stage of the SZ-style pipeline (the role Zstd plays in
+// SZ3). It favours predictable, allocation-light behaviour over ratio: the
+// Huffman stage before it already removes most entropy, so this stage mainly
+// squeezes repeated byte runs in headers, outlier lists, and low-entropy
+// quantization streams.
+package lossless
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	modeStored byte = 0
+	modeLZ     byte = 1
+
+	headerSize = 5 // mode byte + uint32 original length
+
+	windowBits = 16
+	windowSize = 1 << windowBits // 64 KiB sliding window
+	minMatch   = 4
+	maxMatch   = minMatch + 255 // length encoded in one byte
+
+	hashBits = 15
+	hashSize = 1 << hashBits
+	maxChain = 48 // longest hash-chain walk per position
+)
+
+// ErrCorrupt reports a malformed compressed stream.
+var ErrCorrupt = errors.New("lossless: corrupt stream")
+
+// MaxDecodedLen bounds how large a stream Decompress will inflate, as a
+// defence against corrupt headers. 1 GiB is far beyond any block this
+// framework produces (blocks are 1–64 MiB).
+const MaxDecodedLen = 1 << 30
+
+// Compress returns an LZSS-compressed copy of src. If compression does not
+// help, the data is stored verbatim (plus the 5-byte header), so the result
+// is never more than len(src)+headerSize+len(src)/8+16 bytes and usually at
+// most len(src)+headerSize.
+func Compress(src []byte) []byte {
+	if len(src) < minMatch*2 {
+		return store(src)
+	}
+	dst := make([]byte, 0, len(src)/2+64)
+	dst = append(dst, modeLZ, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[1:], uint32(len(src)))
+
+	var head [hashSize]int32
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+
+	hash := func(p int) uint32 {
+		v := binary.LittleEndian.Uint32(src[p:])
+		return (v * 2654435761) >> (32 - hashBits)
+	}
+
+	// Token group layout: control byte, then 8 items; bit set = match
+	// (2-byte distance-1, 1-byte length-minMatch), clear = literal byte.
+	ctrlPos := len(dst)
+	dst = append(dst, 0)
+	var ctrl, nItems byte
+
+	flushGroup := func() {
+		dst[ctrlPos] = ctrl
+		ctrl, nItems = 0, 0
+		ctrlPos = len(dst)
+		dst = append(dst, 0)
+	}
+
+	pos := 0
+	for pos < len(src) {
+		bestLen, bestDist := 0, 0
+		if pos+minMatch <= len(src) {
+			h := hash(pos)
+			cand := head[h]
+			prev[pos] = cand
+			head[h] = int32(pos)
+			limit := pos - windowSize
+			for chain := 0; cand >= 0 && int(cand) > limit && chain < maxChain; chain++ {
+				c := int(cand)
+				if pos+bestLen < len(src) && (bestLen == 0 || src[c+bestLen] == src[pos+bestLen]) {
+					l := matchLen(src, c, pos)
+					if l > bestLen {
+						bestLen, bestDist = l, pos-c
+						if l >= maxMatch {
+							break
+						}
+					}
+				}
+				cand = prev[c]
+			}
+		}
+		if bestLen >= minMatch {
+			if bestLen > maxMatch {
+				bestLen = maxMatch
+			}
+			ctrl |= 1 << nItems
+			dst = append(dst, byte((bestDist-1)>>8), byte(bestDist-1), byte(bestLen-minMatch))
+			// Insert hash entries for the skipped positions so later
+			// matches can reference inside this run.
+			end := pos + bestLen
+			for p := pos + 1; p < end && p+minMatch <= len(src); p++ {
+				h := hash(p)
+				prev[p] = head[h]
+				head[h] = int32(p)
+			}
+			pos = end
+		} else {
+			dst = append(dst, src[pos])
+			pos++
+		}
+		nItems++
+		if nItems == 8 {
+			flushGroup()
+		}
+	}
+	if nItems > 0 {
+		dst[ctrlPos] = ctrl
+	} else {
+		dst = dst[:len(dst)-1] // drop the empty trailing control byte
+	}
+
+	if len(dst) >= len(src)+headerSize {
+		return store(src)
+	}
+	return dst
+}
+
+func store(src []byte) []byte {
+	dst := make([]byte, headerSize+len(src))
+	dst[0] = modeStored
+	binary.BigEndian.PutUint32(dst[1:], uint32(len(src)))
+	copy(dst[headerSize:], src)
+	return dst
+}
+
+func matchLen(src []byte, a, b int) int {
+	n := 0
+	maxN := len(src) - b
+	if maxN > maxMatch {
+		maxN = maxMatch
+	}
+	for n < maxN && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// Decompress expands a Compress stream.
+func Decompress(src []byte) ([]byte, error) {
+	if len(src) < headerSize {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	mode := src[0]
+	n := int(binary.BigEndian.Uint32(src[1:]))
+	if n > MaxDecodedLen {
+		return nil, fmt.Errorf("%w: decoded length %d too large", ErrCorrupt, n)
+	}
+	body := src[headerSize:]
+	switch mode {
+	case modeStored:
+		if len(body) != n {
+			return nil, fmt.Errorf("%w: stored length mismatch", ErrCorrupt)
+		}
+		out := make([]byte, n)
+		copy(out, body)
+		return out, nil
+	case modeLZ:
+		return inflate(body, n)
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrCorrupt, mode)
+	}
+}
+
+func inflate(body []byte, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	i := 0
+	for len(out) < n {
+		if i >= len(body) {
+			return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+		}
+		ctrl := body[i]
+		i++
+		for bit := 0; bit < 8 && len(out) < n; bit++ {
+			if ctrl&(1<<bit) == 0 {
+				if i >= len(body) {
+					return nil, fmt.Errorf("%w: truncated literal", ErrCorrupt)
+				}
+				out = append(out, body[i])
+				i++
+				continue
+			}
+			if i+3 > len(body) {
+				return nil, fmt.Errorf("%w: truncated match", ErrCorrupt)
+			}
+			dist := (int(body[i])<<8 | int(body[i+1])) + 1
+			length := int(body[i+2]) + minMatch
+			i += 3
+			if dist > len(out) {
+				return nil, fmt.Errorf("%w: match distance %d beyond output %d", ErrCorrupt, dist, len(out))
+			}
+			if len(out)+length > n {
+				return nil, fmt.Errorf("%w: match overruns declared length", ErrCorrupt)
+			}
+			from := len(out) - dist
+			for k := 0; k < length; k++ { // byte-wise: overlapping matches OK
+				out = append(out, out[from+k])
+			}
+		}
+	}
+	return out, nil
+}
+
+// CompressedBound returns the worst-case Compress output size for an input
+// of length n.
+func CompressedBound(n int) int { return n + headerSize + n/8 + 16 }

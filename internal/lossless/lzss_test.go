@@ -1,0 +1,191 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	enc := Compress(src)
+	dec, err := Decompress(enc)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: len(src)=%d len(dec)=%d", len(src), len(dec))
+	}
+	return enc
+}
+
+func TestEmpty(t *testing.T) {
+	enc := roundTrip(t, nil)
+	if len(enc) != headerSize {
+		t.Fatalf("empty input: %d bytes, want %d", len(enc), headerSize)
+	}
+}
+
+func TestTiny(t *testing.T) {
+	roundTrip(t, []byte{1})
+	roundTrip(t, []byte{1, 2, 3})
+	roundTrip(t, []byte{0, 0, 0, 0})
+}
+
+func TestHighlyCompressible(t *testing.T) {
+	src := bytes.Repeat([]byte{7}, 100000)
+	enc := roundTrip(t, src)
+	if len(enc) > len(src)/20 {
+		t.Fatalf("constant data compressed to %d bytes (src %d), want <5%%", len(enc), len(src))
+	}
+}
+
+func TestRepeatedPattern(t *testing.T) {
+	pat := []byte("scientific-floating-point-data-")
+	src := bytes.Repeat(pat, 4000)
+	enc := roundTrip(t, src)
+	if len(enc) > len(src)/4 {
+		t.Fatalf("patterned data compressed to %d of %d", len(enc), len(src))
+	}
+}
+
+func TestIncompressibleFallsBackToStored(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := make([]byte, 8192)
+	rng.Read(src)
+	enc := roundTrip(t, src)
+	if len(enc) > len(src)+headerSize {
+		t.Fatalf("random data expanded beyond stored bound: %d > %d", len(enc), len(src)+headerSize)
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	// "abcabcabc..." forces matches with dist < length (RLE-style copies).
+	src := bytes.Repeat([]byte("abc"), 10000)
+	roundTrip(t, src)
+	src2 := append([]byte{9}, bytes.Repeat([]byte{9}, 1000)...)
+	roundTrip(t, src2)
+}
+
+func TestLongRange(t *testing.T) {
+	// Match farther back than 4 KiB but inside the 64 KiB window.
+	block := make([]byte, 30000)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(block)
+	src := append(append([]byte{}, block...), block...)
+	enc := roundTrip(t, src)
+	if len(enc) > len(block)+len(block)/2 {
+		t.Fatalf("duplicate block not exploited: %d of %d", len(enc), len(src))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{9, 0, 0, 0, 1, 0},                      // unknown mode
+		{0, 0, 0, 0, 5, 1, 2},                   // stored length mismatch
+		{1, 0, 0, 0, 10},                        // truncated LZ body
+		{1, 0, 0, 0, 10, 0x01},                  // control byte then nothing
+		{1, 0, 0, 0, 4, 0x01, 0xff, 0xff, 0x00}, // match distance beyond output
+	}
+	for i, c := range cases {
+		if _, err := Decompress(c); err == nil {
+			t.Fatalf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestDecompressHugeLengthRejected(t *testing.T) {
+	hdr := []byte{1, 0xff, 0xff, 0xff, 0xff}
+	if _, err := Decompress(hdr); err == nil {
+		t.Fatal("4 GiB declared length accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		enc := Compress(src)
+		dec, err := Decompress(enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStructured(t *testing.T) {
+	// Structured inputs: runs, small alphabets, repeated slices — the shapes
+	// Huffman output and outlier lists actually take.
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, 0, int(n)*4)
+		for len(src) < int(n)*4 {
+			switch rng.Intn(3) {
+			case 0:
+				src = append(src, bytes.Repeat([]byte{byte(rng.Intn(4))}, rng.Intn(100)+1)...)
+			case 1:
+				for i := 0; i < rng.Intn(50)+1; i++ {
+					src = append(src, byte(rng.Intn(256)))
+				}
+			case 2:
+				if len(src) > 10 {
+					k := rng.Intn(len(src) - 1)
+					l := rng.Intn(len(src)-k) + 1
+					src = append(src, src[k:k+l]...)
+				}
+			}
+		}
+		enc := Compress(src)
+		dec, err := Decompress(enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedBound(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 10000} {
+		src := make([]byte, n) // zeros: compresses; also try random below
+		if got := len(Compress(src)); got > CompressedBound(n) {
+			t.Fatalf("n=%d: compressed %d > bound %d", n, got, CompressedBound(n))
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	src := make([]byte, 50000)
+	rng.Read(src)
+	if got := len(Compress(src)); got > CompressedBound(len(src)) {
+		t.Fatalf("random: compressed %d > bound %d", got, CompressedBound(len(src)))
+	}
+}
+
+func BenchmarkCompress1MiB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = byte(rng.Intn(16)) // low-entropy, like Huffman'd quant codes
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(src)
+	}
+}
+
+func BenchmarkDecompress1MiB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = byte(rng.Intn(16))
+	}
+	enc := Compress(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

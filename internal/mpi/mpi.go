@@ -1,0 +1,384 @@
+// Package mpi provides an in-process message-passing runtime with the
+// subset of MPI semantics the reproduced applications need: a world of
+// ranks (one goroutine each), point-to-point sends with tag matching,
+// barriers, broadcast, gather, all-reduce, and node-local sub-communicators
+// (the paper balances I/O intra-node only, §3.4).
+//
+// It deliberately mirrors how Nyx/WarpX use MPI: ranks are long-lived, all
+// collectives are called by every rank, and the world is torn down at the
+// end of the run.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	from int
+	tag  int
+	data interface{}
+}
+
+// mailbox holds undelivered messages for one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return fmt.Errorf("mpi: send to finalized rank")
+	}
+	mb.pending = append(mb.pending, m)
+	mb.cond.Broadcast()
+	return nil
+}
+
+// take blocks until a message matching (from, tag) is available.
+// from == AnySource and tag == AnyTag act as wildcards.
+func (mb *mailbox) take(from, tag int) (message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.pending {
+			if (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag) {
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				return m, nil
+			}
+		}
+		if mb.closed {
+			return message{}, fmt.Errorf("mpi: recv on finalized world")
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// Wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// World is a set of ranks sharing a communication fabric.
+type World struct {
+	size         int
+	ranksPerNode int
+	boxes        []*mailbox
+	barrier      *barrier
+	nodeBarriers []*barrier
+}
+
+// NewWorld creates a world of size ranks, all on one "node".
+func NewWorld(size int) (*World, error) { return NewWorldWithNodes(size, size) }
+
+// NewWorldWithNodes creates a world where consecutive groups of
+// ranksPerNode ranks share a node (Summit: 4–8 GPUs/ranks per node).
+func NewWorldWithNodes(size, ranksPerNode int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", size)
+	}
+	if ranksPerNode < 1 || size%ranksPerNode != 0 {
+		return nil, fmt.Errorf("mpi: %d ranks not divisible into nodes of %d", size, ranksPerNode)
+	}
+	w := &World{
+		size:         size,
+		ranksPerNode: ranksPerNode,
+		boxes:        make([]*mailbox, size),
+		barrier:      newBarrier(size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	nNodes := size / ranksPerNode
+	w.nodeBarriers = make([]*barrier, nNodes)
+	for i := range w.nodeBarriers {
+		w.nodeBarriers[i] = newBarrier(ranksPerNode)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Nodes returns the number of nodes.
+func (w *World) Nodes() int { return w.size / w.ranksPerNode }
+
+// RanksPerNode returns the node width.
+func (w *World) RanksPerNode() int { return w.ranksPerNode }
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Comm returns rank r's communicator.
+func (w *World) Comm(r int) (*Comm, error) {
+	if r < 0 || r >= w.size {
+		return nil, fmt.Errorf("mpi: rank %d out of [0,%d)", r, w.size)
+	}
+	return &Comm{w: w, rank: r}, nil
+}
+
+// Run launches fn on every rank concurrently and waits for all to return.
+// The first non-nil error (by rank order) is returned. The world is
+// finalized afterwards; further communication errors out.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := w.Comm(r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			errs[r] = fn(c)
+		}(r)
+	}
+	wg.Wait()
+	w.Finalize()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finalize shuts the fabric down; blocked receivers error out.
+func (w *World) Finalize() {
+	for _, mb := range w.boxes {
+		mb.close()
+	}
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Node returns this rank's node index.
+func (c *Comm) Node() int { return c.rank / c.w.ranksPerNode }
+
+// NodeRank returns this rank's index within its node.
+func (c *Comm) NodeRank() int { return c.rank % c.w.ranksPerNode }
+
+// NodeRanks returns the global ranks sharing this rank's node, in order.
+func (c *Comm) NodeRanks() []int {
+	base := c.Node() * c.w.ranksPerNode
+	out := make([]int, c.w.ranksPerNode)
+	for i := range out {
+		out[i] = base + i
+	}
+	return out
+}
+
+// Send delivers data to rank `to` with the given tag (non-blocking:
+// mailboxes are unbounded, like MPI eager sends of small payloads).
+func (c *Comm) Send(to, tag int, data interface{}) error {
+	if to < 0 || to >= c.w.size {
+		return fmt.Errorf("mpi: send to rank %d out of range", to)
+	}
+	return c.w.boxes[to].put(message{from: c.rank, tag: tag, data: data})
+}
+
+// Recv blocks for a message from `from` (or AnySource) with tag (or AnyTag)
+// and returns its payload and actual source.
+func (c *Comm) Recv(from, tag int) (data interface{}, source int, err error) {
+	m, err := c.w.boxes[c.rank].take(from, tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.data, m.from, nil
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() { c.w.barrier.await() }
+
+// NodeBarrier blocks until every rank on this node has entered it.
+func (c *Comm) NodeBarrier() { c.w.nodeBarriers[c.Node()].await() }
+
+const (
+	tagBcast = -1000 - iota
+	tagGather
+	tagReduce
+)
+
+// Bcast distributes root's value to every rank; every rank must call it and
+// receives the value.
+func (c *Comm) Bcast(root int, data interface{}) (interface{}, error) {
+	if c.rank == root {
+		for r := 0; r < c.w.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	v, _, err := c.Recv(root, tagBcast)
+	return v, err
+}
+
+// Gather collects every rank's value at root (rank order); non-roots get
+// nil. Every rank must call it.
+func (c *Comm) Gather(root int, data interface{}) ([]interface{}, error) {
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, data)
+	}
+	out := make([]interface{}, c.w.size)
+	out[c.rank] = data
+	for i := 0; i < c.w.size-1; i++ {
+		v, src, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = v
+	}
+	return out, nil
+}
+
+// NodeGather collects values from all ranks of this node at the node's
+// first rank (node-local root); others get nil.
+func (c *Comm) NodeGather(data interface{}) ([]interface{}, error) {
+	ranks := c.NodeRanks()
+	root := ranks[0]
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, data)
+	}
+	out := make([]interface{}, len(ranks))
+	out[0] = data
+	for i := 0; i < len(ranks)-1; i++ {
+		v, src, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src-root] = v
+	}
+	return out, nil
+}
+
+// NodeBcast distributes the node root's value to every rank on the node.
+func (c *Comm) NodeBcast(data interface{}) (interface{}, error) {
+	ranks := c.NodeRanks()
+	root := ranks[0]
+	if c.rank == root {
+		for _, r := range ranks[1:] {
+			if err := c.Send(r, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	v, _, err := c.Recv(root, tagBcast)
+	return v, err
+}
+
+// ReduceOp names an all-reduce operation.
+type ReduceOp int
+
+// Supported reduce operations.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// Allreduce combines a float64 across all ranks; every rank receives the
+// result. Implemented as gather-to-0 + broadcast.
+func (c *Comm) Allreduce(op ReduceOp, v float64) (float64, error) {
+	if c.rank != 0 {
+		if err := c.Send(0, tagReduce, v); err != nil {
+			return 0, err
+		}
+		res, _, err := c.Recv(0, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		return res.(float64), nil
+	}
+	acc := v
+	for i := 0; i < c.w.size-1; i++ {
+		x, _, err := c.Recv(AnySource, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		f := x.(float64)
+		switch op {
+		case OpSum:
+			acc += f
+		case OpMax:
+			if f > acc {
+				acc = f
+			}
+		case OpMin:
+			if f < acc {
+				acc = f
+			}
+		default:
+			return 0, fmt.Errorf("mpi: unknown reduce op %d", op)
+		}
+	}
+	for r := 1; r < c.w.size; r++ {
+		if err := c.Send(r, tagReduce, acc); err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,314 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewWorldWithNodes(6, 4); err == nil {
+		t.Fatal("indivisible node layout accepted")
+	}
+	w, err := NewWorldWithNodes(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Nodes() != 2 || w.RanksPerNode() != 4 || w.Size() != 8 {
+		t.Fatalf("layout: %d nodes, %d per node, %d ranks", w.Nodes(), w.RanksPerNode(), w.Size())
+	}
+	if _, err := w.Comm(8); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestSendRecvWithTags(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, "seven"); err != nil {
+				return err
+			}
+			return c.Send(1, 9, "nine")
+		}
+		// Receive out of order by tag.
+		v9, src, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if v9.(string) != "nine" || src != 0 {
+			t.Errorf("tag 9: %v from %d", v9, src)
+		}
+		v7, _, err := c.Recv(AnySource, 7)
+		if err != nil {
+			return err
+		}
+		if v7.(string) != "seven" {
+			t.Errorf("tag 7: %v", v7)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	w, _ := NewWorld(1)
+	c, _ := w.Comm(0)
+	if err := c.Send(5, 0, nil); err == nil {
+		t.Fatal("send to invalid rank accepted")
+	}
+	w.Finalize()
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const n = 8
+	w, _ := NewWorld(n)
+	var before, after int64
+	err := w.Run(func(c *Comm) error {
+		atomic.AddInt64(&before, 1)
+		c.Barrier()
+		if got := atomic.LoadInt64(&before); got != n {
+			t.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), got)
+		}
+		atomic.AddInt64(&after, 1)
+		c.Barrier()
+		if got := atomic.LoadInt64(&after); got != n {
+			t.Errorf("second barrier: %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const n, iters = 4, 50
+	w, _ := NewWorld(n)
+	var phase int64
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < iters; i++ {
+			c.Barrier()
+			if c.Rank() == 0 {
+				atomic.AddInt64(&phase, 1)
+			}
+			c.Barrier()
+			if got := atomic.LoadInt64(&phase); got != int64(i+1) {
+				t.Errorf("iter %d: phase %d", i, got)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w, _ := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		var in interface{}
+		if c.Rank() == 2 {
+			in = 42
+		}
+		v, err := c.Bcast(2, in)
+		if err != nil {
+			return err
+		}
+		if v.(int) != 42 {
+			t.Errorf("rank %d got %v", c.Rank(), v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	w, _ := NewWorld(6)
+	err := w.Run(func(c *Comm) error {
+		vals, err := c.Gather(0, c.Rank()*10)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r, v := range vals {
+				if v.(int) != r*10 {
+					t.Errorf("gather[%d] = %v", r, v)
+				}
+			}
+		} else if vals != nil {
+			t.Errorf("non-root rank %d got %v", c.Rank(), vals)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		sum, err := c.Allreduce(OpSum, float64(c.Rank()+1))
+		if err != nil {
+			return err
+		}
+		if sum != 10 { // 1+2+3+4
+			t.Errorf("rank %d: sum %v", c.Rank(), sum)
+		}
+		max, err := c.Allreduce(OpMax, float64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if max != 3 {
+			t.Errorf("max %v", max)
+		}
+		min, err := c.Allreduce(OpMin, float64(c.Rank()+5))
+		if err != nil {
+			return err
+		}
+		if min != 5 {
+			t.Errorf("min %v", min)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeTopologyAndCollectives(t *testing.T) {
+	w, _ := NewWorldWithNodes(8, 4)
+	var mu sync.Mutex
+	gathered := map[int][]interface{}{}
+	err := w.Run(func(c *Comm) error {
+		if c.Node() != c.Rank()/4 || c.NodeRank() != c.Rank()%4 {
+			t.Errorf("rank %d: node %d noderank %d", c.Rank(), c.Node(), c.NodeRank())
+		}
+		ranks := c.NodeRanks()
+		if len(ranks) != 4 || ranks[0] != c.Node()*4 {
+			t.Errorf("rank %d NodeRanks = %v", c.Rank(), ranks)
+		}
+		vals, err := c.NodeGather(c.Rank())
+		if err != nil {
+			return err
+		}
+		if vals != nil {
+			mu.Lock()
+			gathered[c.Node()] = vals
+			mu.Unlock()
+		}
+		c.NodeBarrier()
+		// Node root broadcasts its rank; everyone on the node must see it.
+		var payload interface{}
+		if c.NodeRank() == 0 {
+			payload = c.Rank()
+		}
+		got, err := c.NodeBcast(payload)
+		if err != nil {
+			return err
+		}
+		if got.(int) != c.Node()*4 {
+			t.Errorf("rank %d NodeBcast got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, vals := range gathered {
+		for i, v := range vals {
+			if v.(int) != node*4+i {
+				t.Fatalf("node %d gather[%d] = %v", node, i, v)
+			}
+		}
+	}
+	if len(gathered) != 2 {
+		t.Fatalf("gathered on %d nodes, want 2", len(gathered))
+	}
+}
+
+func TestFinalizeUnblocksReceivers(t *testing.T) {
+	w, _ := NewWorld(2)
+	done := make(chan error, 1)
+	c1, _ := w.Comm(1)
+	go func() {
+		_, _, err := c1.Recv(0, 0)
+		done <- err
+	}()
+	w.Finalize()
+	if err := <-done; err == nil {
+		t.Fatal("recv survived finalize")
+	}
+	c0, _ := w.Comm(0)
+	if err := c0.Send(1, 0, nil); err == nil {
+		t.Fatal("send to finalized world accepted")
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	w, _ := NewWorld(3)
+	sentinel := &struct{ error }{}
+	_ = sentinel
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Fatalf("got %v, want errTest", err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func BenchmarkBarrier8(b *testing.B) {
+	w, _ := NewWorld(8)
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, _ := w.Comm(r)
+			for i := 0; i < b.N; i++ {
+				c.Barrier()
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	w, _ := NewWorld(1)
+	err := w.Run(func(c *Comm) error {
+		v, err := c.Bcast(0, 42)
+		if err != nil || v.(int) != 42 {
+			t.Errorf("bcast: %v %v", v, err)
+		}
+		g, err := c.Gather(0, 7)
+		if err != nil || len(g) != 1 || g[0].(int) != 7 {
+			t.Errorf("gather: %v %v", g, err)
+		}
+		s, err := c.Allreduce(OpSum, 3.5)
+		if err != nil || s != 3.5 {
+			t.Errorf("allreduce: %v %v", s, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

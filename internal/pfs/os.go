@@ -1,0 +1,10 @@
+package pfs
+
+import "os"
+
+// Thin seams over the os package (kept separate so the model itself stays
+// free of host-filesystem concerns).
+var (
+	osWriteFile = os.WriteFile
+	osReadFile  = os.ReadFile
+)

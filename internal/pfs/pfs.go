@@ -1,0 +1,307 @@
+// Package pfs models a striped parallel file system (Lustre/GPFS-like) at
+// the fidelity the paper's experiments need: per-target bandwidth, striping
+// of large requests across object storage targets (OSTs), a small-request
+// penalty (the effective-bandwidth collapse below ~1 MiB that motivates the
+// compressed data buffer, §4.2), per-request latency, and contention between
+// concurrent writers.
+//
+// The same model serves two execution modes:
+//
+//   - Virtual time: ModelDuration returns the duration a request would take
+//     in isolation; the discrete-event engine (internal/sim) layers
+//     contention on top.
+//   - Wall clock: Write stores the bytes in an in-memory file and *paces*
+//     the caller by sleeping until the modelled finish time, reserving
+//     capacity on the least-busy OSTs so concurrent writers genuinely slow
+//     each other down.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config describes the storage system.
+type Config struct {
+	// OSTs is the number of storage targets (parallelism ceiling).
+	OSTs int
+	// StripeBytes is the stripe unit; a request of n bytes touches
+	// ceil(n/StripeBytes) targets (capped at OSTs).
+	StripeBytes int64
+	// PerOSTBandwidth is each target's streaming bandwidth in bytes/second.
+	PerOSTBandwidth float64
+	// Latency is the fixed per-request overhead.
+	Latency time.Duration
+	// SmallIOBytes sets the half-speed point of the small-request penalty:
+	// a request of exactly SmallIOBytes runs at half bandwidth; much larger
+	// requests approach full bandwidth. Zero disables the penalty.
+	SmallIOBytes int64
+}
+
+// Summit16 approximates a 16-node Summit allocation's share of GPFS,
+// scaled so wall-clock experiments finish in seconds: 8 targets, 1 MiB
+// stripes, 64 MiB/s per target, 0.5 ms latency, 1 MiB half-speed point.
+func Summit16() Config {
+	return Config{
+		OSTs:            8,
+		StripeBytes:     1 << 20,
+		PerOSTBandwidth: 64 << 20,
+		Latency:         500 * time.Microsecond,
+		SmallIOBytes:    1 << 20,
+	}
+}
+
+func (c Config) validate() error {
+	if c.OSTs < 1 {
+		return fmt.Errorf("pfs: OSTs %d < 1", c.OSTs)
+	}
+	if c.StripeBytes < 1 {
+		return fmt.Errorf("pfs: stripe bytes %d < 1", c.StripeBytes)
+	}
+	if c.PerOSTBandwidth <= 0 {
+		return fmt.Errorf("pfs: per-OST bandwidth %v <= 0", c.PerOSTBandwidth)
+	}
+	if c.Latency < 0 {
+		return errors.New("pfs: negative latency")
+	}
+	return nil
+}
+
+// File is an in-memory shared file supporting concurrent offset writes, the
+// access pattern of parallel HDF5 ("parallel writing to a large shared
+// file", §2.1).
+type File struct {
+	name string
+	mu   sync.RWMutex
+	data []byte
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current file length.
+func (f *File) Size() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.data))
+}
+
+// WriteAt stores p at offset off, growing (zero-filling) the file as needed.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pfs: negative offset")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(f.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:], p)
+	return len(p), nil
+}
+
+// ReadAt reads len(p) bytes from offset off.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pfs: negative offset")
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= int64(len(f.data)) {
+		return 0, fmt.Errorf("pfs: read at %d past EOF %d", off, len(f.data))
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("pfs: short read: %d of %d", n, len(p))
+	}
+	return n, nil
+}
+
+// FS is the modelled file system.
+type FS struct {
+	cfg Config
+
+	mu      sync.Mutex
+	files   map[string]*File
+	ostBusy []time.Time // per-OST reservation horizon (wall-clock mode)
+
+	// injectable clock for tests
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	statBytes  int64
+	statWrites int64
+}
+
+// New constructs a file system; panics only on programmer error (invalid
+// config is returned as an error).
+func New(cfg Config) (*FS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &FS{
+		cfg:     cfg,
+		files:   make(map[string]*File),
+		ostBusy: make([]time.Time, cfg.OSTs),
+		now:     time.Now,
+		sleep:   time.Sleep,
+	}, nil
+}
+
+// Config returns the file system's configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Create makes (or truncates) a file.
+func (fs *FS) Create(name string) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &File{name: name}
+	fs.files[name] = f
+	return f
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("pfs: no such file %q", name)
+	}
+	return f, nil
+}
+
+// effectiveBandwidth returns the aggregate bandwidth a request of n bytes
+// sees in isolation, applying striping and the small-request penalty.
+func (fs *FS) effectiveBandwidth(n int64) float64 {
+	if n <= 0 {
+		return fs.cfg.PerOSTBandwidth
+	}
+	stripes := (n + fs.cfg.StripeBytes - 1) / fs.cfg.StripeBytes
+	if stripes > int64(fs.cfg.OSTs) {
+		stripes = int64(fs.cfg.OSTs)
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	bw := fs.cfg.PerOSTBandwidth * float64(stripes)
+	if fs.cfg.SmallIOBytes > 0 {
+		bw *= float64(n) / float64(n+fs.cfg.SmallIOBytes)
+	}
+	return bw
+}
+
+// ModelDuration returns the time a write of n bytes takes in isolation.
+func (fs *FS) ModelDuration(n int64) time.Duration {
+	if n <= 0 {
+		return fs.cfg.Latency
+	}
+	secs := float64(n) / fs.effectiveBandwidth(n)
+	return fs.cfg.Latency + time.Duration(secs*float64(time.Second))
+}
+
+// stripesFor returns how many OSTs a request of n bytes spans.
+func (fs *FS) stripesFor(n int64) int {
+	s := int((n + fs.cfg.StripeBytes - 1) / fs.cfg.StripeBytes)
+	if s > fs.cfg.OSTs {
+		s = fs.cfg.OSTs
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Write stores p into f at off and paces the caller to the modelled
+// duration, including contention with concurrent writers: the request
+// reserves the least-busy stripesFor(len(p)) OSTs from max(now, their
+// horizon) and sleeps until the reservation ends. It returns the modelled
+// duration actually experienced (including queueing).
+func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
+	if f == nil {
+		return 0, errors.New("pfs: nil file")
+	}
+	if _, err := f.WriteAt(p, off); err != nil {
+		return 0, err
+	}
+	n := int64(len(p))
+	iso := fs.ModelDuration(n)
+
+	fs.mu.Lock()
+	now := fs.now()
+	k := fs.stripesFor(n)
+	// Pick the k least-busy OSTs.
+	idx := make([]int, fs.cfg.OSTs)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return fs.ostBusy[idx[a]].Before(fs.ostBusy[idx[b]]) })
+	start := now
+	for _, i := range idx[:k] {
+		if fs.ostBusy[i].After(start) {
+			start = fs.ostBusy[i]
+		}
+	}
+	finish := start.Add(iso)
+	for _, i := range idx[:k] {
+		fs.ostBusy[i] = finish
+	}
+	fs.statBytes += n
+	fs.statWrites++
+	sleepFn := fs.sleep
+	fs.mu.Unlock()
+
+	wait := finish.Sub(now)
+	if wait > 0 {
+		sleepFn(wait)
+	}
+	return wait, nil
+}
+
+// Stats reports cumulative write volume and request count.
+func (fs *FS) Stats() (bytes, writes int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.statBytes, fs.statWrites
+}
+
+// SetClock injects a custom clock (tests and the discrete-event harness).
+func (fs *FS) SetClock(now func() time.Time, sleep func(time.Duration)) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if now != nil {
+		fs.now = now
+	}
+	if sleep != nil {
+		fs.sleep = sleep
+	}
+}
+
+// Export copies a modelled file's bytes to the host file system (for
+// inspection with external tools; pacing does not apply).
+func (fs *FS) Export(name, osPath string) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return osWriteFile(osPath, f.data, 0o644)
+}
+
+// Import loads a host file into the modelled file system under name.
+func (fs *FS) Import(osPath, name string) error {
+	data, err := osReadFile(osPath)
+	if err != nil {
+		return err
+	}
+	f := fs.Create(name)
+	_, err = f.WriteAt(data, 0)
+	return err
+}

@@ -1,0 +1,221 @@
+// Package predict implements the history-based predictors the framework
+// needs before each data dump (§4.4): per-block compression ratio (to
+// pre-compute shared-file offsets), compression throughput (to size the
+// compression tasks for the scheduler), and I/O time as a function of write
+// size (to size the I/O tasks). The style follows Jin et al. [30]:
+// exponentially weighted moving averages over recent iterations, keyed by
+// block for ratios and bucketed by request size for I/O bandwidth.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// EWMA is an exponentially weighted moving average. The zero value is
+// unusable; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	val   float64
+	n     int
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]; larger
+// alpha weights recent observations more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		alpha = 0.5
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a new sample into the average. NaN and Inf samples are
+// ignored (a misread never poisons the estimate).
+func (e *EWMA) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if e.n == 0 {
+		e.val = v
+	} else {
+		e.val = e.alpha*v + (1-e.alpha)*e.val
+	}
+	e.n++
+}
+
+// Value returns the current estimate and whether any sample was observed.
+func (e *EWMA) Value() (float64, bool) { return e.val, e.n > 0 }
+
+// N returns the number of accepted samples.
+func (e *EWMA) N() int { return e.n }
+
+// RatioPredictor tracks compression ratios keyed by (field, block). The
+// paper observes ~1.45% mean iteration-to-iteration drift on Nyx, so the
+// previous iteration's ratio is an excellent predictor.
+type RatioPredictor struct {
+	mu      sync.Mutex
+	alpha   float64
+	byBlock map[string]*EWMA
+	global  *EWMA
+}
+
+// NewRatioPredictor constructs a predictor; alpha as in NewEWMA.
+func NewRatioPredictor(alpha float64) *RatioPredictor {
+	return &RatioPredictor{
+		alpha:   alpha,
+		byBlock: make(map[string]*EWMA),
+		global:  NewEWMA(alpha),
+	}
+}
+
+// BlockKey builds the canonical key for a field's block.
+func BlockKey(field string, block int) string { return fmt.Sprintf("%s#%d", field, block) }
+
+// Observe records the achieved ratio for a block.
+func (rp *RatioPredictor) Observe(key string, ratio float64) {
+	if ratio <= 0 || math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		return
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	e, ok := rp.byBlock[key]
+	if !ok {
+		e = NewEWMA(rp.alpha)
+		rp.byBlock[key] = e
+	}
+	e.Observe(ratio)
+	rp.global.Observe(ratio)
+}
+
+// Predict returns the expected ratio for a block, falling back to the
+// global average, then to the supplied default.
+func (rp *RatioPredictor) Predict(key string, def float64) float64 {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if e, ok := rp.byBlock[key]; ok {
+		if v, ok := e.Value(); ok {
+			return v
+		}
+	}
+	if v, ok := rp.global.Value(); ok {
+		return v
+	}
+	return def
+}
+
+// ThroughputPredictor estimates compression (or decompression) throughput in
+// bytes/second. Compression throughput is largely insensitive to data
+// content (§3.4), so a single EWMA suffices.
+type ThroughputPredictor struct {
+	mu sync.Mutex
+	e  *EWMA
+}
+
+// NewThroughputPredictor constructs a predictor; alpha as in NewEWMA.
+func NewThroughputPredictor(alpha float64) *ThroughputPredictor {
+	return &ThroughputPredictor{e: NewEWMA(alpha)}
+}
+
+// Observe records that `bytes` were processed in `seconds`.
+func (tp *ThroughputPredictor) Observe(bytes int64, seconds float64) {
+	if bytes <= 0 || seconds <= 0 {
+		return
+	}
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	tp.e.Observe(float64(bytes) / seconds)
+}
+
+// PredictDuration returns the expected processing time for `bytes`, or def
+// if no history exists.
+func (tp *ThroughputPredictor) PredictDuration(bytes int64, def float64) float64 {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if v, ok := tp.e.Value(); ok && v > 0 {
+		return float64(bytes) / v
+	}
+	return def
+}
+
+// IOPredictor estimates write duration as a function of request size.
+// Effective bandwidth on parallel file systems collapses for small requests
+// (the motivation for the compressed data buffer, §4.2), so observations are
+// bucketed by log2(size) and predictions interpolate between buckets.
+type IOPredictor struct {
+	mu      sync.Mutex
+	alpha   float64
+	buckets map[int]*EWMA // log2 bucket -> bandwidth (bytes/s)
+}
+
+// NewIOPredictor constructs a predictor; alpha as in NewEWMA.
+func NewIOPredictor(alpha float64) *IOPredictor {
+	return &IOPredictor{alpha: alpha, buckets: make(map[int]*EWMA)}
+}
+
+func sizeBucket(bytes int64) int {
+	b := 0
+	for s := bytes; s > 1; s >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe records a completed write of `bytes` taking `seconds`.
+func (ip *IOPredictor) Observe(bytes int64, seconds float64) {
+	if bytes <= 0 || seconds <= 0 {
+		return
+	}
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	k := sizeBucket(bytes)
+	e, ok := ip.buckets[k]
+	if !ok {
+		e = NewEWMA(ip.alpha)
+		ip.buckets[k] = e
+	}
+	e.Observe(float64(bytes) / seconds)
+}
+
+// PredictDuration returns the expected write duration for `bytes`. With no
+// bucket at the exact size, the nearest observed bucket's bandwidth is used;
+// with no history at all, def is returned.
+func (ip *IOPredictor) PredictDuration(bytes int64, def float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	if len(ip.buckets) == 0 {
+		return def
+	}
+	want := sizeBucket(bytes)
+	if e, ok := ip.buckets[want]; ok {
+		if bw, ok := e.Value(); ok && bw > 0 {
+			return float64(bytes) / bw
+		}
+	}
+	// Nearest bucket by |log2 size| distance.
+	keys := make([]int, 0, len(ip.buckets))
+	for k := range ip.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	best, bestDist := -1, math.MaxInt64
+	for _, k := range keys {
+		d := k - want
+		if d < 0 {
+			d = -d
+		}
+		if d < int(bestDist) {
+			best, bestDist = k, d
+		}
+	}
+	if best >= 0 {
+		if bw, ok := ip.buckets[best].Value(); ok && bw > 0 {
+			return float64(bytes) / bw
+		}
+	}
+	return def
+}

@@ -1,0 +1,167 @@
+package predict
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMABasics(t *testing.T) {
+	e := NewEWMA(0.5)
+	if _, ok := e.Value(); ok {
+		t.Fatal("empty EWMA reported a value")
+	}
+	e.Observe(10)
+	if v, ok := e.Value(); !ok || v != 10 {
+		t.Fatalf("first sample: %v %v", v, ok)
+	}
+	e.Observe(20)
+	if v, _ := e.Value(); v != 15 {
+		t.Fatalf("after 10,20 with alpha .5: %v, want 15", v)
+	}
+	if e.N() != 2 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestEWMAIgnoresGarbage(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(5)
+	e.Observe(math.NaN())
+	e.Observe(math.Inf(1))
+	if v, _ := e.Value(); v != 5 {
+		t.Fatalf("garbage changed value to %v", v)
+	}
+	if e.N() != 1 {
+		t.Fatalf("garbage counted: N=%d", e.N())
+	}
+}
+
+func TestEWMABadAlphaFallsBack(t *testing.T) {
+	for _, a := range []float64{0, -1, 2, math.NaN()} {
+		e := NewEWMA(a)
+		e.Observe(1)
+		e.Observe(3)
+		if v, _ := e.Value(); v != 2 {
+			t.Fatalf("alpha %v: got %v, want fallback 0.5 behaviour (2)", a, v)
+		}
+	}
+}
+
+func TestRatioPredictorPerBlockAndFallbacks(t *testing.T) {
+	rp := NewRatioPredictor(1.0) // alpha 1: remember only the last sample
+	if got := rp.Predict(BlockKey("temp", 0), 16); got != 16 {
+		t.Fatalf("empty predictor: %v, want default 16", got)
+	}
+	rp.Observe(BlockKey("temp", 0), 20)
+	rp.Observe(BlockKey("temp", 1), 10)
+	if got := rp.Predict(BlockKey("temp", 0), 16); got != 20 {
+		t.Fatalf("per-block: %v, want 20", got)
+	}
+	// Unknown block falls back to the global average (last observed = 10
+	// with alpha 1... global saw 20 then 10 -> 10).
+	if got := rp.Predict(BlockKey("temp", 9), 16); got != 10 {
+		t.Fatalf("global fallback: %v, want 10", got)
+	}
+	rp.Observe(BlockKey("x", 0), -5) // ignored
+	if got := rp.Predict(BlockKey("x", 0), 16); got != 10 {
+		t.Fatalf("invalid ratio observed: %v", got)
+	}
+}
+
+func TestThroughputPredictor(t *testing.T) {
+	tp := NewThroughputPredictor(1.0)
+	if got := tp.PredictDuration(1000, 0.5); got != 0.5 {
+		t.Fatalf("empty: %v, want default", got)
+	}
+	tp.Observe(1<<20, 0.1) // ~10 MiB/s
+	got := tp.PredictDuration(2<<20, 0)
+	if math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("2 MiB at 10 MiB/s: %v, want 0.2", got)
+	}
+	tp.Observe(0, 1)  // ignored
+	tp.Observe(1, -1) // ignored
+	if got2 := tp.PredictDuration(2<<20, 0); got2 != got {
+		t.Fatalf("garbage changed prediction: %v", got2)
+	}
+}
+
+func TestIOPredictorBuckets(t *testing.T) {
+	ip := NewIOPredictor(1.0)
+	if got := ip.PredictDuration(1<<20, 0.7); got != 0.7 {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := ip.PredictDuration(0, 123); got != 0 {
+		t.Fatalf("zero bytes should take zero time, got %v", got)
+	}
+	// Small writes slow (1 MiB/s), large writes fast (100 MiB/s).
+	ip.Observe(1<<18, 0.25)  // 1 MiB/s at 256 KiB
+	ip.Observe(64<<20, 0.64) // 100 MiB/s at 64 MiB
+	small := ip.PredictDuration(1<<18, 0)
+	if math.Abs(small-0.25) > 1e-9 {
+		t.Fatalf("small write: %v, want 0.25", small)
+	}
+	large := ip.PredictDuration(64<<20, 0)
+	if math.Abs(large-0.64) > 1e-9 {
+		t.Fatalf("large write: %v, want 0.64", large)
+	}
+	// A size between buckets picks the nearest bucket's bandwidth.
+	mid := ip.PredictDuration(1<<19, 0) // nearest is the 256 KiB bucket
+	if math.Abs(mid-float64(1<<19)/float64(1<<20)) > 1e-6 {
+		t.Fatalf("mid write: %v", mid)
+	}
+}
+
+func TestPredictorsConcurrentUse(t *testing.T) {
+	rp := NewRatioPredictor(0.5)
+	tp := NewThroughputPredictor(0.5)
+	ip := NewIOPredictor(0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rp.Observe(BlockKey("f", g), float64(10+i%5))
+				rp.Predict(BlockKey("f", g), 1)
+				tp.Observe(int64(1<<20), 0.01)
+				tp.PredictDuration(1<<20, 1)
+				ip.Observe(int64(1<<uint(10+g)), 0.01)
+				ip.PredictDuration(1<<20, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Property: EWMA stays within the min/max envelope of its samples.
+func TestQuickEWMAEnvelope(t *testing.T) {
+	f := func(samples []float64, alphaRaw uint8) bool {
+		alpha := float64(alphaRaw%99+1) / 100
+		e := NewEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		any := false
+		for _, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				continue
+			}
+			any = true
+			e.Observe(s)
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		v, ok := e.Value()
+		if !any {
+			return !ok
+		}
+		return ok && v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

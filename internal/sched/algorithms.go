@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Algorithm names one of the scheduling strategies of §3.3 (plus the exact
+// reference solver standing in for the Appendix-A ILP).
+type Algorithm string
+
+// The six heuristics of the paper plus the exact reference.
+const (
+	ExtJohnson     Algorithm = "ExtJohnson"
+	ExtJohnsonBF   Algorithm = "ExtJohnson+BF"
+	GenList        Algorithm = "GenerationListSchedule"
+	GenListBF      Algorithm = "GenerationListSchedule+BF"
+	OneListGreedy  Algorithm = "OneListGreedy"
+	TwoListsGreedy Algorithm = "TwoListsGreedy"
+	Exact          Algorithm = "Exact"
+)
+
+// Algorithms returns the heuristics in the paper's presentation order
+// (Table 1 rows). Exact is excluded; request it explicitly.
+func Algorithms() []Algorithm {
+	return []Algorithm{ExtJohnson, ExtJohnsonBF, GenList, GenListBF, OneListGreedy, TwoListsGreedy}
+}
+
+// Solve schedules the problem with the chosen algorithm. The problem is
+// normalized in place (holes sorted and merged).
+func Solve(p *Problem, alg Algorithm) (*Schedule, error) {
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	var s *Schedule
+	switch alg {
+	case ExtJohnson:
+		s = listSchedule(p, johnsonOrder(p.Jobs), false)
+	case ExtJohnsonBF:
+		s = listSchedule(p, johnsonOrder(p.Jobs), true)
+	case GenList:
+		s = listSchedule(p, generationOrder(p.Jobs), false)
+	case GenListBF:
+		s = listSchedule(p, generationOrder(p.Jobs), true)
+	case OneListGreedy:
+		s = oneListGreedy(p)
+	case TwoListsGreedy:
+		s = twoListsGreedy(p)
+	case Exact:
+		var err error
+		s, err = solveExact(p)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, alg)
+	}
+	s.Algorithm = alg
+	return s, nil
+}
+
+// johnsonOrder partitions jobs into M1 (Comp <= IO, by non-decreasing Comp)
+// followed by M2 (Comp > IO, by non-increasing IO) — Johnson's rule, which
+// is optimal without unavailability intervals (§3.3.1).
+func johnsonOrder(jobs []Job) []int {
+	var m1, m2 []int
+	for i, j := range jobs {
+		if j.Comp <= j.IO {
+			m1 = append(m1, i)
+		} else {
+			m2 = append(m2, i)
+		}
+	}
+	sort.SliceStable(m1, func(a, b int) bool { return jobs[m1[a]].Comp < jobs[m1[b]].Comp })
+	sort.SliceStable(m2, func(a, b int) bool { return jobs[m2[a]].IO > jobs[m2[b]].IO })
+	return append(m1, m2...)
+}
+
+// generationOrder keeps the order in which fine-grained compression created
+// the tasks (§3.3.2).
+func generationOrder(jobs []Job) []int {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].ID < jobs[order[b]].ID })
+	return order
+}
+
+// listSchedule considers jobs in the given order; each compression task is
+// placed on the main thread and its I/O task on the background thread.
+// Without backfilling, each task starts after all previously placed tasks on
+// its machine; with backfilling, it may slot into any idle gap (never
+// delaying an already placed task, which placement-as-obstacle guarantees).
+func listSchedule(p *Problem, order []int, backfill bool) *Schedule {
+	compTL := newTimeline(p.CompHoles)
+	ioTL := newTimeline(p.IOHoles)
+	placements := make([]Placement, len(p.Jobs))
+	for _, idx := range order {
+		j := p.Jobs[idx]
+		var c, w Interval
+		if backfill {
+			c = compTL.placeEarliest(0, j.Comp)
+			w = ioTL.placeEarliest(math.Max(c.End, j.Release), j.IO)
+		} else {
+			c = compTL.placeAfterFrontier(0, j.Comp)
+			w = ioTL.placeAfterFrontier(math.Max(c.End, j.Release), j.IO)
+		}
+		placements[idx] = Placement{
+			JobID:     j.ID,
+			CompStart: c.Start, CompEnd: c.End,
+			IOStart: w.Start, IOEnd: w.End,
+		}
+	}
+	return finishSchedule(p, placements)
+}
+
+// simulateOrders schedules compression tasks in compOrder and I/O tasks in
+// ioOrder, each as soon as possible in sequence (list semantics), honouring
+// the R_j -> B_j dependency. It is the evaluation primitive of the greedy
+// algorithms and the exact solver.
+func simulateOrders(p *Problem, compOrder, ioOrder []int) *Schedule {
+	compTL := newTimeline(p.CompHoles)
+	placements := make([]Placement, len(p.Jobs))
+	for _, idx := range compOrder {
+		j := p.Jobs[idx]
+		c := compTL.placeAfterFrontier(0, j.Comp)
+		placements[idx].JobID = j.ID
+		placements[idx].CompStart, placements[idx].CompEnd = c.Start, c.End
+	}
+	ioTL := newTimeline(p.IOHoles)
+	for _, idx := range ioOrder {
+		j := p.Jobs[idx]
+		w := ioTL.placeAfterFrontier(math.Max(placements[idx].CompEnd, j.Release), j.IO)
+		placements[idx].IOStart, placements[idx].IOEnd = w.Start, w.End
+	}
+	return finishSchedule(p, placements)
+}
+
+func finishSchedule(p *Problem, placements []Placement) *Schedule {
+	makespan := 0.0
+	for _, pl := range placements {
+		if pl.IOEnd > makespan {
+			makespan = pl.IOEnd
+		}
+	}
+	return &Schedule{
+		Placements: placements,
+		Makespan:   makespan,
+		Overall:    math.Max(p.Horizon, makespan),
+	}
+}
+
+// oneListGreedy builds a single order shared by compression and I/O tasks by
+// inserting each new job at every possible position of the partial list and
+// keeping the best (§3.3.3). Insertion may delay previously scheduled tasks,
+// which is what makes it more aggressive than backfilling.
+func oneListGreedy(p *Problem) *Schedule {
+	base := generationOrder(p.Jobs)
+	var list []int
+	for _, next := range base {
+		bestList := insertBest(p, list, next, func(cand []int) *Schedule {
+			return simulateOrders(p, cand, cand)
+		})
+		list = bestList
+	}
+	if list == nil {
+		list = []int{}
+	}
+	return simulateOrders(p, list, list)
+}
+
+// twoListsGreedy maintains independent orders for compression and I/O tasks;
+// inserting job r+1 tries all (r+1)^2 position pairs (§3.3.3).
+func twoListsGreedy(p *Problem) *Schedule {
+	base := generationOrder(p.Jobs)
+	var compList, ioList []int
+	for _, next := range base {
+		bestOverall := math.Inf(1)
+		var bestComp, bestIO []int
+		for ci := 0; ci <= len(compList); ci++ {
+			cCand := insertAt(compList, ci, next)
+			for wi := 0; wi <= len(ioList); wi++ {
+				wCand := insertAt(ioList, wi, next)
+				s := simulateOrders(p, cCand, wCand)
+				if s.Overall < bestOverall-timeEps ||
+					(math.Abs(s.Overall-bestOverall) <= timeEps && s.Makespan < bestOverall) {
+					bestOverall = s.Overall
+					bestComp, bestIO = cCand, wCand
+				}
+			}
+		}
+		compList, ioList = bestComp, bestIO
+	}
+	if compList == nil {
+		compList, ioList = []int{}, []int{}
+	}
+	return simulateOrders(p, compList, ioList)
+}
+
+// insertBest tries the new element at each position and returns the list
+// whose schedule (per eval) has the smallest Overall, breaking ties toward
+// the smallest Makespan and then the earliest position.
+func insertBest(p *Problem, list []int, next int, eval func([]int) *Schedule) []int {
+	bestOverall, bestMakespan := math.Inf(1), math.Inf(1)
+	var best []int
+	for i := 0; i <= len(list); i++ {
+		cand := insertAt(list, i, next)
+		s := eval(cand)
+		if s.Overall < bestOverall-timeEps ||
+			(math.Abs(s.Overall-bestOverall) <= timeEps && s.Makespan < bestMakespan-timeEps) {
+			bestOverall, bestMakespan = s.Overall, s.Makespan
+			best = cand
+		}
+	}
+	return best
+}
+
+func insertAt(list []int, pos, v int) []int {
+	out := make([]int, 0, len(list)+1)
+	out = append(out, list[:pos]...)
+	out = append(out, v)
+	out = append(out, list[pos:]...)
+	return out
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates every (comp order, io order) pair and returns the
+// best Overall — the ground truth the exact solver must match on tiny
+// instances. Validity of the ASAP-compaction argument (any schedule is
+// dominated by the ASAP schedule of its induced orders) makes this the true
+// optimum over all feasible schedules.
+func bruteForce(p *Problem) float64 {
+	n := len(p.Jobs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	best := math.Inf(1)
+	permute(idx, func(compOrder []int) {
+		idx2 := make([]int, n)
+		copy(idx2, idx)
+		permute(idx2, func(ioOrder []int) {
+			s := simulateOrders(p, compOrder, ioOrder)
+			if s.Overall < best {
+				best = s.Overall
+			}
+		})
+	})
+	if n == 0 {
+		return p.Horizon
+	}
+	return best
+}
+
+// permute calls fn with every permutation of xs (Heap's algorithm; xs is
+// reused, so fn must not retain it).
+func permute(xs []int, fn func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			fn(xs)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				xs[i], xs[k-1] = xs[k-1], xs[i]
+			} else {
+				xs[0], xs[k-1] = xs[k-1], xs[0]
+			}
+		}
+	}
+	if len(xs) == 0 {
+		fn(xs)
+		return
+	}
+	rec(len(xs))
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		cfg := GenConfig{
+			Jobs:       1 + rng.Intn(4), // 4! x 4! = 576 pairs max
+			CompHoles:  rng.Intn(3),
+			IOHoles:    rng.Intn(3),
+			Horizon:    rng.Float64() * 0.5, // small horizon: makespan matters
+			HoleFrac:   rng.Float64() * 0.6,
+			MeanComp:   0.05 + rng.Float64()*0.1,
+			MeanIO:     0.05 + rng.Float64()*0.1,
+			JitterFrac: rng.Float64(),
+		}
+		p := RandomProblem(rng, cfg)
+		want := bruteForce(p)
+		res, err := SolveExact(p, DefaultExactNodeLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("trial %d: capped on a %d-job instance", trial, cfg.Jobs)
+		}
+		if math.Abs(res.Overall-want) > 1e-9 {
+			t.Fatalf("trial %d (%d jobs): exact %v != brute force %v",
+				trial, cfg.Jobs, res.Overall, want)
+		}
+		if err := Validate(p, res.Schedule); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBruteForceConfirmsFigure1Optimum(t *testing.T) {
+	p := Figure1Problem()
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bruteForce(p); got != 12 {
+		t.Fatalf("Figure 1 brute-force optimum = %v, want 12", got)
+	}
+}

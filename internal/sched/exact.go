@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxExactJobs bounds the instance size solveExact accepts. Beyond this the
+// search space (m!·m! orders) is hopeless — the same reason the paper's ILP
+// "was unable to find a solution for any of the experiments" at real scale.
+const MaxExactJobs = 12
+
+// DefaultExactNodeLimit caps the branch-and-bound search. When the limit is
+// hit, the best schedule found so far is returned with Optimal=false.
+const DefaultExactNodeLimit = 20_000_000
+
+// ExactResult augments a Schedule with search diagnostics.
+type ExactResult struct {
+	*Schedule
+	Optimal bool  // true if the search ran to completion
+	Nodes   int64 // branch-and-bound nodes explored
+}
+
+// solveExact finds the optimal (comp order, io order) pair by
+// branch-and-bound over both permutations, using ASAP compaction (every
+// feasible schedule is dominated by the ASAP schedule of the orders it
+// induces, so searching order pairs is exhaustive).
+func solveExact(p *Problem) (*Schedule, error) {
+	res, err := SolveExact(p, DefaultExactNodeLimit)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+// SolveExact runs the exact solver with an explicit node budget.
+func SolveExact(p *Problem, nodeLimit int64) (*ExactResult, error) {
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	m := len(p.Jobs)
+	if m > MaxExactJobs {
+		return nil, fmt.Errorf("sched: exact solver limited to %d jobs, got %d", MaxExactJobs, m)
+	}
+	if m == 0 {
+		s := finishSchedule(p, nil)
+		s.Algorithm = Exact
+		return &ExactResult{Schedule: s, Optimal: true}, nil
+	}
+
+	// Warm start from the best heuristic so pruning bites immediately.
+	var best *Schedule
+	for _, alg := range Algorithms() {
+		s, err := Solve(p, alg)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || s.Overall < best.Overall {
+			best = s
+		}
+	}
+
+	e := &exactSearch{
+		p:         p,
+		nodeLimit: nodeLimit,
+		best:      best,
+		bestVal:   best.Overall,
+	}
+	e.compOrder = make([]int, 0, m)
+	e.used = make([]bool, m)
+	e.ioIv = make([]Interval, m)
+	for _, j := range p.Jobs {
+		e.sumComp += j.Comp
+		e.sumIOAll += j.IO
+	}
+	// Static machine-2 load bound: every write is sequential on the
+	// background thread and none can start before the earliest possible
+	// compression completion.
+	earliest := math.Inf(1)
+	tl := newTimeline(p.CompHoles)
+	for _, j := range p.Jobs {
+		if end := tl.fitsHoles(0, j.Comp) + j.Comp; end < earliest {
+			earliest = end
+		}
+	}
+	if !math.IsInf(earliest, 1) {
+		e.ioLoadLB = earliest + e.sumIOAll
+	}
+	e.dfsComp(newTimeline(p.CompHoles), make([]float64, m))
+
+	e.best.Algorithm = Exact
+	return &ExactResult{Schedule: e.best, Optimal: !e.capped, Nodes: e.nodes}, nil
+}
+
+type exactSearch struct {
+	p         *Problem
+	nodeLimit int64
+	nodes     int64
+	capped    bool
+
+	compOrder []int
+	used      []bool
+	sumComp   float64    // total comp duration of jobs not yet in compOrder
+	sumIOAll  float64    // total io duration over all jobs
+	ioLoadLB  float64    // static lower bound on the io makespan
+	ioIv      []Interval // io placement per job index, for reconstruction
+	best      *Schedule
+	bestVal   float64
+}
+
+func (e *exactSearch) done() bool {
+	if e.nodes >= e.nodeLimit {
+		e.capped = true
+		return true
+	}
+	// Nothing can beat the horizon or the machine-2 load bound: every
+	// schedule has Overall >= max(Horizon, ioLoadLB).
+	return e.bestVal <= math.Max(e.p.Horizon, e.ioLoadLB)+timeEps
+}
+
+// dfsComp extends the compression order. compEnds[idx] records each job's
+// compression end once placed.
+func (e *exactSearch) dfsComp(tl *timeline, compEnds []float64) {
+	if e.done() {
+		return
+	}
+	m := len(e.p.Jobs)
+	if len(e.compOrder) == m {
+		ioTL := newTimeline(e.p.IOHoles)
+		e.dfsIO(ioTL, compEnds, make([]bool, m), 0, e.sumIOTotal())
+		return
+	}
+	for idx := 0; idx < m; idx++ {
+		if e.used[idx] {
+			continue
+		}
+		e.nodes++
+		j := e.p.Jobs[idx]
+		save := tl.clone()
+		c := tl.placeAfterFrontier(0, j.Comp)
+		// Lower bound: remaining comps run back-to-back from the frontier
+		// (ignoring holes), then the shortest remaining io follows; placed
+		// jobs each force compEnd + io.
+		remComp := e.sumComp - j.Comp
+		lb := tl.frontier + remComp
+		minIO := math.Inf(1)
+		for k := 0; k < m; k++ {
+			if k == idx || e.used[k] {
+				continue
+			}
+			if e.p.Jobs[k].IO < minIO {
+				minIO = e.p.Jobs[k].IO
+			}
+		}
+		if math.IsInf(minIO, 1) {
+			minIO = 0
+		}
+		lb += minIO
+		if c.End+j.IO > lb {
+			lb = c.End + j.IO
+		}
+		if e.ioLoadLB > lb {
+			lb = e.ioLoadLB
+		}
+		if math.Max(e.p.Horizon, lb) < e.bestVal-timeEps {
+			e.used[idx] = true
+			e.compOrder = append(e.compOrder, idx)
+			e.sumComp -= j.Comp
+			compEnds[idx] = c.End
+
+			e.dfsComp(tl, compEnds)
+
+			e.sumComp += j.Comp
+			e.compOrder = e.compOrder[:len(e.compOrder)-1]
+			e.used[idx] = false
+		}
+		*tl = *save
+		if e.done() {
+			return
+		}
+	}
+}
+
+func (e *exactSearch) sumIOTotal() float64 {
+	s := 0.0
+	for _, j := range e.p.Jobs {
+		s += j.IO
+	}
+	return s
+}
+
+// dfsIO extends the io order given fixed compression end times.
+func (e *exactSearch) dfsIO(tl *timeline, compEnds []float64, placed []bool, nPlaced int, remIO float64) {
+	if e.done() {
+		return
+	}
+	m := len(e.p.Jobs)
+	if nPlaced == m {
+		s := e.buildSchedule(compEnds, tl)
+		if s.Overall < e.bestVal-timeEps {
+			e.best = s
+			e.bestVal = s.Overall
+		}
+		return
+	}
+	for idx := 0; idx < m; idx++ {
+		if placed[idx] {
+			continue
+		}
+		e.nodes++
+		j := e.p.Jobs[idx]
+		save := tl.clone()
+		w := tl.placeAfterFrontier(math.Max(compEnds[idx], j.Release), j.IO)
+		// Lower bound: remaining io back-to-back from the new frontier.
+		lb := tl.frontier + (remIO - j.IO)
+		if w.End > lb {
+			lb = w.End
+		}
+		if math.Max(e.p.Horizon, lb) < e.bestVal-timeEps {
+			placed[idx] = true
+			e.ioIv[idx] = w
+			e.dfsIO(tl, compEnds, placed, nPlaced+1, remIO-j.IO)
+			placed[idx] = false
+		}
+		*tl = *save
+		if e.done() {
+			return
+		}
+	}
+}
+
+func (e *exactSearch) buildSchedule(compEnds []float64, tl *timeline) *Schedule {
+	m := len(e.p.Jobs)
+	placements := make([]Placement, m)
+	for idx := 0; idx < m; idx++ {
+		j := e.p.Jobs[idx]
+		placements[idx] = Placement{
+			JobID:     j.ID,
+			CompStart: compEnds[idx] - j.Comp,
+			CompEnd:   compEnds[idx],
+			IOStart:   e.ioIv[idx].Start,
+			IOEnd:     e.ioIv[idx].End,
+		}
+	}
+	return finishSchedule(e.p, placements)
+}

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig parameterizes RandomProblem.
+type GenConfig struct {
+	Jobs       int     // number of compression+I/O job pairs
+	CompHoles  int     // computation intervals on the main thread
+	IOHoles    int     // core-task intervals on the background thread
+	Horizon    float64 // iteration length
+	HoleFrac   float64 // fraction of the horizon covered by holes per machine (0..0.8)
+	MeanComp   float64 // mean compression task duration
+	MeanIO     float64 // mean I/O task duration
+	JitterFrac float64 // +/- fraction of task-duration jitter
+}
+
+// DefaultGenConfig mirrors the paper's Table 1 setting: 32 blocks per rank,
+// a handful of compute intervals, compression slightly cheaper than I/O.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Jobs:       32,
+		CompHoles:  4,
+		IOHoles:    3,
+		Horizon:    5.0,
+		HoleFrac:   0.35,
+		MeanComp:   0.04,
+		MeanIO:     0.06,
+		JitterFrac: 0.5,
+	}
+}
+
+// RandomProblem generates a reproducible instance: holes are placed
+// non-overlapping across the horizon; job durations are jittered around the
+// configured means.
+func RandomProblem(rng *rand.Rand, cfg GenConfig) *Problem {
+	p := &Problem{Horizon: cfg.Horizon}
+	p.CompHoles = randomHoles(rng, cfg.CompHoles, cfg.Horizon, cfg.HoleFrac)
+	p.IOHoles = randomHoles(rng, cfg.IOHoles, cfg.Horizon, cfg.HoleFrac)
+	for i := 0; i < cfg.Jobs; i++ {
+		p.Jobs = append(p.Jobs, Job{
+			ID:   i,
+			Comp: jitter(rng, cfg.MeanComp, cfg.JitterFrac),
+			IO:   jitter(rng, cfg.MeanIO, cfg.JitterFrac),
+		})
+	}
+	return p
+}
+
+func jitter(rng *rand.Rand, mean, frac float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	v := mean * (1 + frac*(2*rng.Float64()-1))
+	if v < mean*0.01 {
+		v = mean * 0.01
+	}
+	return v
+}
+
+func randomHoles(rng *rand.Rand, n int, horizon, frac float64) []Interval {
+	if n <= 0 || frac <= 0 {
+		return nil
+	}
+	if frac > 0.8 {
+		frac = 0.8
+	}
+	total := horizon * frac
+	// Split the hole budget into n parts, then distribute starts over the
+	// horizon without overlap.
+	lens := make([]float64, n)
+	rem := total
+	for i := 0; i < n-1; i++ {
+		l := rem / float64(n-i) * (0.5 + rng.Float64())
+		if l > rem {
+			l = rem
+		}
+		lens[i] = l
+		rem -= l
+	}
+	lens[n-1] = rem
+	free := horizon - total
+	gaps := make([]float64, n+1)
+	grem := free
+	for i := 0; i < n; i++ {
+		g := grem / float64(n+1-i) * (0.4 + 1.2*rng.Float64())
+		if g > grem {
+			g = grem
+		}
+		gaps[i] = g
+		grem -= g
+	}
+	gaps[n] = grem
+	var out []Interval
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += gaps[i]
+		out = append(out, Interval{t, t + lens[i]})
+		t += lens[i]
+	}
+	return out
+}
+
+// Figure1Problem returns the worked example of §3.1/Figure 1: two compute
+// holes at [3,4) and [6,7), one background hole at [4,5), horizon 12, and
+// four jobs with c = (1,2,2,3) and c' = (2,1,2,2).
+func Figure1Problem() *Problem {
+	return &Problem{
+		Horizon:   12,
+		CompHoles: []Interval{{3, 4}, {6, 7}},
+		IOHoles:   []Interval{{4, 5}},
+		Jobs: []Job{
+			{ID: 0, Comp: 1, IO: 2},
+			{ID: 1, Comp: 2, IO: 1},
+			{ID: 2, Comp: 2, IO: 2},
+			{ID: 3, Comp: 3, IO: 2},
+		},
+	}
+}
+
+// Gantt renders an ASCII two-row Gantt chart of the schedule at the given
+// characters-per-time-unit resolution. Compute holes are '#', I/O holes are
+// '=', tasks are labelled by job index (mod 10), idle time is '.'.
+func Gantt(p *Problem, s *Schedule, scale float64) string {
+	end := s.Makespan
+	if p.Horizon > end {
+		end = p.Horizon
+	}
+	width := int(end*scale) + 1
+	main := makeRow(width, '.')
+	bg := makeRow(width, '.')
+	paint := func(row []byte, iv Interval, c byte) {
+		a, b := int(iv.Start*scale), int(iv.End*scale)
+		for x := a; x < b && x < len(row); x++ {
+			row[x] = c
+		}
+	}
+	for _, h := range p.CompHoles {
+		paint(main, h, '#')
+	}
+	for _, h := range p.IOHoles {
+		paint(bg, h, '=')
+	}
+	for i, pl := range s.Placements {
+		label := byte('0' + i%10)
+		paint(main, Interval{pl.CompStart, pl.CompEnd}, label)
+		paint(bg, Interval{pl.IOStart, pl.IOEnd}, label)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "main: %s\n", main)
+	fmt.Fprintf(&b, "bg:   %s\n", bg)
+	fmt.Fprintf(&b, "overall %.3f (horizon %.3f, makespan %.3f)", s.Overall, p.Horizon, s.Makespan)
+	return b.String()
+}
+
+func makeRow(n int, c byte) []byte {
+	row := make([]byte, n)
+	for i := range row {
+		row[i] = c
+	}
+	return row
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestILPAcceptsFigure1Schedules(t *testing.T) {
+	p := Figure1Problem()
+	for _, alg := range append(Algorithms(), Exact) {
+		s, err := Solve(p, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyAgainstILP(p, s); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+// Every heuristic's schedule must satisfy the appendix's ILP on random
+// instances — the formal statement that our schedule semantics equal the
+// paper's.
+func TestQuickAllHeuristicsSatisfyILP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultGenConfig()
+		cfg.Jobs = 1 + rng.Intn(14)
+		cfg.CompHoles = rng.Intn(4)
+		cfg.IOHoles = rng.Intn(4)
+		cfg.HoleFrac = rng.Float64() * 0.6
+		p := RandomProblem(rng, cfg)
+		for _, alg := range Algorithms() {
+			s, err := Solve(p, alg)
+			if err != nil {
+				return false
+			}
+			if err := VerifyAgainstILP(p, s); err != nil {
+				t.Logf("%s: %v", alg, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestILPCatchesViolations(t *testing.T) {
+	p := Figure1Problem()
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Solve(p, ExtJohnsonBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Eq (2): io before its compression ends.
+	bad := cloneSchedule(s)
+	bad.Placements[0].IOStart = bad.Placements[0].CompStart
+	bad.Placements[0].IOEnd = bad.Placements[0].IOStart + p.Jobs[0].IO
+	if err := VerifyAgainstILP(p, bad); err == nil {
+		t.Fatal("eq(2) violation not caught")
+	}
+
+	// Eq (3): wrong duration.
+	bad = cloneSchedule(s)
+	bad.Placements[1].CompEnd += 0.5
+	if err := VerifyAgainstILP(p, bad); err == nil {
+		t.Fatal("eq(3) violation not caught")
+	}
+
+	// Eq (5/6): overlapping compression tasks.
+	bad = cloneSchedule(s)
+	bad.Placements[1].CompStart = bad.Placements[0].CompStart
+	bad.Placements[1].CompEnd = bad.Placements[1].CompStart + p.Jobs[1].Comp
+	bad.Placements[1].IOStart = bad.Placements[1].CompEnd + 8
+	bad.Placements[1].IOEnd = bad.Placements[1].IOStart + p.Jobs[1].IO
+	if err := VerifyAgainstILP(p, bad); err == nil {
+		t.Fatal("machine-exclusion violation not caught")
+	}
+
+	// Window constraint: task straddling a hole has no valid delta.
+	bad = cloneSchedule(s)
+	bad.Placements[0].CompStart = 3.5 // inside the [3,4) hole
+	bad.Placements[0].CompEnd = 3.5 + p.Jobs[0].Comp
+	if err := VerifyAgainstILP(p, bad); err == nil {
+		t.Fatal("window violation not caught")
+	}
+
+	// Eq (1): understated overall.
+	bad = cloneSchedule(s)
+	bad.Overall = 1
+	if err := VerifyAgainstILP(p, bad); err == nil {
+		t.Fatal("eq(1) violation not caught")
+	}
+}
+
+func cloneSchedule(s *Schedule) *Schedule {
+	c := *s
+	c.Placements = append([]Placement(nil), s.Placements...)
+	return &c
+}
+
+func TestWindowOf(t *testing.T) {
+	holes := []Interval{{2, 3}, {5, 7}}
+	cases := []struct {
+		start, end float64
+		want       int
+		ok         bool
+	}{
+		{0, 2, 0, true},
+		{3, 5, 1, true},
+		{7, 100, 2, true},
+		{1, 4, 0, false}, // straddles the first hole
+		{2.5, 2.6, 0, false},
+	}
+	for _, c := range cases {
+		got, err := windowOf(c.start, c.end, holes)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("[%v,%v): got %d, %v", c.start, c.end, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("[%v,%v): accepted as window %d", c.start, c.end, got)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package sched implements the paper's core contribution (§3): scheduling
+// compression and I/O tasks around immovable computation, modelled as a
+// two-machine flow shop with deterministic unavailability intervals and
+// non-resumable jobs.
+//
+// Machine 1 is the main (compute) thread: compression tasks R_1..R_m must
+// avoid the computation intervals Y_1..Y_k. Machine 2 is the background
+// thread: I/O tasks B_1..B_m must avoid the core tasks G_1..G_o, and B_j may
+// not start before R_j completes. The objective is to minimise
+//
+//	T_overall = max(Horizon, max_j end(B_j))
+//
+// i.e. compression-accelerated I/O is "concealed" when every write finishes
+// inside the iteration window.
+//
+// The package provides the six heuristics of §3.3 (ExtJohnson,
+// ExtJohnson+BF, GenerationListSchedule, GenerationListSchedule+BF,
+// OneListGreedy, TwoListsGreedy) and an exact branch-and-bound reference
+// that plays the role of the Appendix-A ILP.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a half-open time interval [Start, End).
+type Interval struct {
+	Start, End float64
+}
+
+// Len returns the interval's duration.
+func (iv Interval) Len() float64 { return iv.End - iv.Start }
+
+// Overlaps reports whether two half-open intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+func (iv Interval) valid() bool {
+	return !math.IsNaN(iv.Start) && !math.IsNaN(iv.End) && iv.End >= iv.Start && iv.Start >= 0
+}
+
+// Job pairs a compression task with its dependent I/O task (a "job" in the
+// paper's flow-shop formulation).
+type Job struct {
+	ID   int     // stable identity; also the generation order (§3.3.2)
+	Comp float64 // compression duration on the main thread
+	IO   float64 // write duration on the background thread
+	// Release is an additional earliest-start time for the I/O task, used
+	// when intra-node balancing (§3.4) moves a write to a rank that does
+	// not run its compression: the write may not start before the origin
+	// rank's predicted compression completion. Zero for ordinary jobs.
+	Release float64
+}
+
+// Problem is one iteration's scheduling instance.
+type Problem struct {
+	// Horizon is T_n, the iteration length. Tasks may spill past it; the
+	// objective then exceeds Horizon.
+	Horizon float64
+	// CompHoles are the computation intervals Y_i on the main thread
+	// (sorted, non-overlapping after Normalize).
+	CompHoles []Interval
+	// IOHoles are the core tasks G_i on the background thread.
+	IOHoles []Interval
+	// Jobs are the m compression+I/O pairs.
+	Jobs []Job
+}
+
+// Normalize sorts and merges each hole list and validates the instance.
+func (p *Problem) Normalize() error {
+	if p.Horizon < 0 || math.IsNaN(p.Horizon) {
+		return fmt.Errorf("sched: invalid horizon %v", p.Horizon)
+	}
+	for i, j := range p.Jobs {
+		if j.Comp < 0 || j.IO < 0 || math.IsNaN(j.Comp) || math.IsNaN(j.IO) {
+			return fmt.Errorf("sched: job %d has invalid durations (%v, %v)", i, j.Comp, j.IO)
+		}
+		if j.Release < 0 || math.IsNaN(j.Release) {
+			return fmt.Errorf("sched: job %d has invalid release %v", i, j.Release)
+		}
+	}
+	var err error
+	if p.CompHoles, err = mergeHoles(p.CompHoles); err != nil {
+		return fmt.Errorf("sched: comp holes: %w", err)
+	}
+	if p.IOHoles, err = mergeHoles(p.IOHoles); err != nil {
+		return fmt.Errorf("sched: io holes: %w", err)
+	}
+	return nil
+}
+
+func mergeHoles(hs []Interval) ([]Interval, error) {
+	for _, h := range hs {
+		if !h.valid() {
+			return nil, fmt.Errorf("invalid interval %+v", h)
+		}
+	}
+	if len(hs) == 0 {
+		return nil, nil
+	}
+	sorted := make([]Interval, len(hs))
+	copy(sorted, hs)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Start < sorted[b].Start })
+	out := sorted[:1]
+	for _, h := range sorted[1:] {
+		last := &out[len(out)-1]
+		if h.Start <= last.End {
+			if h.End > last.End {
+				last.End = h.End
+			}
+			continue
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// Placement records where one job's two tasks landed.
+type Placement struct {
+	JobID     int
+	CompStart float64
+	CompEnd   float64
+	IOStart   float64
+	IOEnd     float64
+}
+
+// Schedule is a complete solution to a Problem.
+type Schedule struct {
+	Algorithm  Algorithm
+	Placements []Placement // indexed by position in Problem.Jobs (JobID order of the instance)
+	// Makespan is max end(B_j) (0 when there are no jobs).
+	Makespan float64
+	// Overall is the iteration duration max(Horizon, Makespan) — the
+	// paper's T_overall.
+	Overall float64
+}
+
+const timeEps = 1e-9
+
+// Validate checks every constraint of §3.1 against the problem: tasks avoid
+// holes, tasks on one machine do not overlap each other, each I/O task
+// starts no earlier than its compression task ends, durations match, and the
+// reported makespan is consistent.
+func Validate(p *Problem, s *Schedule) error {
+	if len(s.Placements) != len(p.Jobs) {
+		return fmt.Errorf("sched: %d placements for %d jobs", len(s.Placements), len(p.Jobs))
+	}
+	seen := make(map[int]bool, len(p.Jobs))
+	jobByID := make(map[int]Job, len(p.Jobs))
+	for _, j := range p.Jobs {
+		jobByID[j.ID] = j
+	}
+	var comp, io []Interval
+	maxEnd := 0.0
+	for _, pl := range s.Placements {
+		j, ok := jobByID[pl.JobID]
+		if !ok {
+			return fmt.Errorf("sched: placement for unknown job %d", pl.JobID)
+		}
+		if seen[pl.JobID] {
+			return fmt.Errorf("sched: job %d placed twice", pl.JobID)
+		}
+		seen[pl.JobID] = true
+		if pl.CompStart < -timeEps {
+			return fmt.Errorf("sched: job %d compression starts at %v before time 0", pl.JobID, pl.CompStart)
+		}
+		if math.Abs(pl.CompEnd-pl.CompStart-j.Comp) > timeEps {
+			return fmt.Errorf("sched: job %d compression duration mismatch", pl.JobID)
+		}
+		if math.Abs(pl.IOEnd-pl.IOStart-j.IO) > timeEps {
+			return fmt.Errorf("sched: job %d io duration mismatch", pl.JobID)
+		}
+		if pl.IOStart < pl.CompEnd-timeEps {
+			return fmt.Errorf("sched: job %d io starts at %v before compression ends at %v",
+				pl.JobID, pl.IOStart, pl.CompEnd)
+		}
+		if pl.IOStart < j.Release-timeEps {
+			return fmt.Errorf("sched: job %d io starts at %v before release %v",
+				pl.JobID, pl.IOStart, j.Release)
+		}
+		comp = append(comp, Interval{pl.CompStart, pl.CompEnd})
+		io = append(io, Interval{pl.IOStart, pl.IOEnd})
+		if pl.IOEnd > maxEnd {
+			maxEnd = pl.IOEnd
+		}
+	}
+	if err := checkNoOverlap(comp, p.CompHoles, "compression"); err != nil {
+		return err
+	}
+	if err := checkNoOverlap(io, p.IOHoles, "io"); err != nil {
+		return err
+	}
+	if math.Abs(s.Makespan-maxEnd) > timeEps {
+		return fmt.Errorf("sched: makespan %v inconsistent with placements (max end %v)", s.Makespan, maxEnd)
+	}
+	want := math.Max(p.Horizon, s.Makespan)
+	if math.Abs(s.Overall-want) > timeEps {
+		return fmt.Errorf("sched: overall %v, want %v", s.Overall, want)
+	}
+	return nil
+}
+
+func checkNoOverlap(tasks, holes []Interval, kind string) error {
+	sorted := make([]Interval, len(tasks))
+	copy(sorted, tasks)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Start < sorted[b].Start })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Start < sorted[i-1].End-timeEps && sorted[i].Len() > 0 && sorted[i-1].Len() > 0 {
+			return fmt.Errorf("sched: %s tasks overlap: %+v and %+v", kind, sorted[i-1], sorted[i])
+		}
+	}
+	for _, t := range sorted {
+		if t.Len() <= 0 {
+			continue
+		}
+		for _, h := range holes {
+			if h.Len() > 0 && t.Start < h.End-timeEps && h.Start < t.End-timeEps {
+				return fmt.Errorf("sched: %s task %+v overlaps hole %+v", kind, t, h)
+			}
+		}
+	}
+	return nil
+}
+
+// ErrUnknownAlgorithm is returned by Solve for an unregistered algorithm.
+var ErrUnknownAlgorithm = errors.New("sched: unknown algorithm")

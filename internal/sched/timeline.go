@@ -1,0 +1,93 @@
+package sched
+
+import "sort"
+
+// timeline tracks one machine's occupancy: fixed holes plus the tasks placed
+// so far. It answers two placement queries:
+//
+//   - placeAfterFrontier: list-scheduling semantics — the task starts no
+//     earlier than every previously placed task's end (§3.3's "as soon as
+//     possible after already scheduled tasks").
+//   - placeEarliest: backfilling semantics — the task may use any idle gap,
+//     which by construction never delays an already placed task.
+type timeline struct {
+	holes    []Interval // fixed obstacles, sorted, non-overlapping
+	busy     []Interval // placed tasks, kept sorted by Start
+	frontier float64    // max end of placed tasks
+}
+
+func newTimeline(holes []Interval) *timeline {
+	return &timeline{holes: holes}
+}
+
+func (tl *timeline) clone() *timeline {
+	c := &timeline{holes: tl.holes, frontier: tl.frontier}
+	c.busy = append([]Interval(nil), tl.busy...)
+	return c
+}
+
+// fitsHoles returns the earliest start >= t0 such that [start, start+d) does
+// not intersect any hole.
+func (tl *timeline) fitsHoles(t0, d float64) float64 {
+	start := t0
+	for _, h := range tl.holes {
+		if h.Len() <= 0 || h.End <= start+timeEps {
+			continue // hole entirely behind us
+		}
+		if start+d <= h.Start+timeEps {
+			return start // task finishes before this hole begins
+		}
+		start = h.End // collision: jump past the hole (holes are sorted)
+	}
+	return start
+}
+
+// placeAfterFrontier places a task of duration d starting no earlier than
+// max(t0, frontier), skipping holes, and records it.
+func (tl *timeline) placeAfterFrontier(t0, d float64) Interval {
+	if t0 < tl.frontier {
+		t0 = tl.frontier
+	}
+	start := tl.fitsHoles(t0, d)
+	iv := Interval{start, start + d}
+	tl.insert(iv)
+	return iv
+}
+
+// placeEarliest places a task of duration d at the earliest start >= t0 that
+// avoids both holes and already placed tasks, and records it.
+func (tl *timeline) placeEarliest(t0, d float64) Interval {
+	start := t0
+	for {
+		start = tl.fitsHoles(start, d)
+		conflict := false
+		for _, b := range tl.busy {
+			if b.Len() <= 0 {
+				continue
+			}
+			if start < b.End && b.Start < start+d {
+				start = b.End
+				conflict = true
+				break
+			}
+			if b.Start >= start+d {
+				break // busy sorted by Start; no later task can conflict
+			}
+		}
+		if !conflict {
+			iv := Interval{start, start + d}
+			tl.insert(iv)
+			return iv
+		}
+	}
+}
+
+func (tl *timeline) insert(iv Interval) {
+	i := sort.Search(len(tl.busy), func(k int) bool { return tl.busy[k].Start >= iv.Start })
+	tl.busy = append(tl.busy, Interval{})
+	copy(tl.busy[i+1:], tl.busy[i:])
+	tl.busy[i] = iv
+	if iv.End > tl.frontier {
+		tl.frontier = iv.End
+	}
+}

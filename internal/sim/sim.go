@@ -1,0 +1,228 @@
+// Package sim executes a planned iteration in virtual time. The scheduler
+// (internal/sched) plans with *predicted* task durations and the *previous*
+// iteration's busy intervals; the simulator then replays the plan against
+// the *actual* durations and intervals, reproducing the conflict semantics
+// of §5.4.1: both threads execute their work sequentially, so a task that
+// overruns its prediction delays everything behind it — including the
+// application's own computation, which is the overhead the paper measures.
+//
+// Execution policy per thread (main or background):
+//
+//   - The thread's obstacles (computation tasks Y_i, or core tasks G_i) want
+//     to start at their actual times; if the thread is still busy, they are
+//     delayed, and that delay is the interference the framework tries to
+//     avoid.
+//   - Scheduled tasks run in plan order. A task is launched into a gap only
+//     if its *predicted* duration fits before the next obstacle's start;
+//     whether it actually fits depends on its *actual* duration.
+//   - I/O tasks additionally wait for their compression task's actual
+//     completion.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Task is one schedulable unit with the planner's predicted duration and
+// the duration it actually takes.
+type Task struct {
+	ID     int
+	Pred   float64
+	Actual float64
+	// Release, if >= 0 with HasRelease, is an absolute time before which
+	// the task may not start (I/O tasks: their compression's actual end).
+	Release float64
+}
+
+// ThreadPlan is one thread's ordered work plus its immovable obstacles.
+type ThreadPlan struct {
+	// Obstacles are the actual busy intervals, by nominal start time.
+	Obstacles []sched.Interval
+	// Tasks run in this order (the scheduler's decision).
+	Tasks []Task
+}
+
+// ThreadResult reports one thread's execution.
+type ThreadResult struct {
+	// End is when the thread finished everything (tasks and obstacles).
+	End float64
+	// TaskEnd maps task ID to its actual completion time.
+	TaskEnd map[int]float64
+	// TaskStart maps task ID to its actual start time.
+	TaskStart map[int]float64
+	// ObstacleDelay is the total delay imposed on obstacles — application
+	// interference, which a perfect schedule keeps at zero.
+	ObstacleDelay float64
+	// LastObstacleEnd is when the final obstacle completed (actual).
+	LastObstacleEnd float64
+	// LastTaskEnd is when the final scheduled task completed (0 if none).
+	LastTaskEnd float64
+}
+
+// ExecuteThread replays one thread.
+func ExecuteThread(plan ThreadPlan) (*ThreadResult, error) {
+	obs := append([]sched.Interval(nil), plan.Obstacles...)
+	sort.Slice(obs, func(a, b int) bool { return obs[a].Start < obs[b].Start })
+	res := &ThreadResult{
+		TaskEnd:   make(map[int]float64, len(plan.Tasks)),
+		TaskStart: make(map[int]float64, len(plan.Tasks)),
+	}
+	t := 0.0
+	oi := 0
+	runObstacle := func() {
+		o := obs[oi]
+		start := math.Max(o.Start, t)
+		res.ObstacleDelay += start - o.Start
+		t = start + o.Len()
+		res.LastObstacleEnd = t
+		oi++
+	}
+	for _, task := range plan.Tasks {
+		if task.Pred < 0 || task.Actual < 0 || math.IsNaN(task.Pred) || math.IsNaN(task.Actual) {
+			return nil, fmt.Errorf("sim: task %d has invalid durations (%v, %v)", task.ID, task.Pred, task.Actual)
+		}
+		for {
+			rel := math.Max(t, task.Release)
+			if oi < len(obs) {
+				// Launch only if the prediction says it fits before the
+				// next obstacle wants to start; otherwise yield to it.
+				if rel+task.Pred > obs[oi].Start+1e-12 {
+					runObstacle()
+					continue
+				}
+			}
+			res.TaskStart[task.ID] = rel
+			t = rel + task.Actual
+			res.TaskEnd[task.ID] = t
+			if t > res.LastTaskEnd {
+				res.LastTaskEnd = t
+			}
+			break
+		}
+	}
+	for oi < len(obs) {
+		runObstacle()
+	}
+	res.End = t
+	return res, nil
+}
+
+// ProcessPlan is one rank's full iteration plan.
+type ProcessPlan struct {
+	Main ThreadPlan // compression tasks among computation obstacles
+	IO   ThreadPlan // I/O tasks among core-task obstacles; Release filled
+	// from the main thread's actual completions by ExecuteProcess (the
+	// Release fields in IO.Tasks are ignored on input).
+}
+
+// ProcessResult reports one rank's iteration.
+type ProcessResult struct {
+	Main *ThreadResult
+	IO   *ThreadResult
+	// End is the rank's iteration completion: everything on both threads.
+	End float64
+}
+
+// ExecuteProcess replays a rank: main thread first (it yields the actual
+// compression completion times), then the background thread with those
+// completions as release times. compOf maps an I/O task ID to its
+// compression task ID (identity if nil).
+func ExecuteProcess(plan ProcessPlan, compOf func(ioID int) int) (*ProcessResult, error) {
+	main, err := ExecuteThread(plan.Main)
+	if err != nil {
+		return nil, err
+	}
+	ioPlan := plan.IO
+	ioPlan.Tasks = append([]Task(nil), plan.IO.Tasks...)
+	for i := range ioPlan.Tasks {
+		id := ioPlan.Tasks[i].ID
+		if compOf != nil {
+			id = compOf(ioPlan.Tasks[i].ID)
+		}
+		end, ok := main.TaskEnd[id]
+		if !ok {
+			return nil, fmt.Errorf("sim: io task %d depends on unknown compression task %d", ioPlan.Tasks[i].ID, id)
+		}
+		ioPlan.Tasks[i].Release = end
+	}
+	io, err := ExecuteThread(ioPlan)
+	if err != nil {
+		return nil, err
+	}
+	return &ProcessResult{
+		Main: main,
+		IO:   io,
+		End:  math.Max(main.End, io.End),
+	}, nil
+}
+
+// TasksEnd returns when the last scheduled task (compression or I/O)
+// finished — the executed counterpart of the scheduler's Makespan.
+func (r *ProcessResult) TasksEnd() float64 {
+	return math.Max(r.Main.LastTaskEnd, r.IO.LastTaskEnd)
+}
+
+// FromSchedule converts a sched.Schedule into per-thread plans, ordering
+// tasks by their scheduled start times and attaching predicted/actual
+// durations. predComp/predIO are the durations the scheduler planned with;
+// actComp/actIO are what execution will experience (indexed like
+// problem.Jobs).
+func FromSchedule(p *sched.Problem, s *sched.Schedule,
+	actComp, actIO []float64,
+	actCompObstacles, actIOObstacles []sched.Interval) (ProcessPlan, error) {
+
+	if len(actComp) != len(p.Jobs) || len(actIO) != len(p.Jobs) {
+		return ProcessPlan{}, fmt.Errorf("sim: actual durations (%d, %d) do not match %d jobs",
+			len(actComp), len(actIO), len(p.Jobs))
+	}
+	type ord struct {
+		idx   int
+		start float64
+	}
+	compOrder := make([]ord, len(s.Placements))
+	ioOrder := make([]ord, len(s.Placements))
+	for i, pl := range s.Placements {
+		compOrder[i] = ord{i, pl.CompStart}
+		ioOrder[i] = ord{i, pl.IOStart}
+	}
+	sort.Slice(compOrder, func(a, b int) bool { return compOrder[a].start < compOrder[b].start })
+	sort.Slice(ioOrder, func(a, b int) bool { return ioOrder[a].start < ioOrder[b].start })
+
+	plan := ProcessPlan{
+		Main: ThreadPlan{Obstacles: actCompObstacles},
+		IO:   ThreadPlan{Obstacles: actIOObstacles},
+	}
+	for _, o := range compOrder {
+		plan.Main.Tasks = append(plan.Main.Tasks, Task{
+			ID:     s.Placements[o.idx].JobID,
+			Pred:   p.Jobs[o.idx].Comp,
+			Actual: actComp[o.idx],
+		})
+	}
+	for _, o := range ioOrder {
+		plan.IO.Tasks = append(plan.IO.Tasks, Task{
+			ID:     s.Placements[o.idx].JobID,
+			Pred:   p.Jobs[o.idx].IO,
+			Actual: actIO[o.idx],
+		})
+	}
+	return plan, nil
+}
+
+// IterationOverhead computes the paper's headline metric for one rank: the
+// time the iteration ran beyond its compute-only end, as a fraction of the
+// compute-only duration.
+func IterationOverhead(res *ProcessResult, computeOnlyEnd float64) float64 {
+	if computeOnlyEnd <= 0 {
+		return 0
+	}
+	over := res.End - computeOnlyEnd
+	if over < 0 {
+		over = 0
+	}
+	return over / computeOnlyEnd
+}

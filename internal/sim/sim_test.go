@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+func TestExecuteThreadNoObstacles(t *testing.T) {
+	res, err := ExecuteThread(ThreadPlan{
+		Tasks: []Task{{ID: 0, Pred: 1, Actual: 1}, {ID: 1, Pred: 2, Actual: 2.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.End != 3.5 {
+		t.Fatalf("end = %v, want 3.5", res.End)
+	}
+	if res.TaskEnd[0] != 1 || res.TaskEnd[1] != 3.5 {
+		t.Fatalf("task ends: %v", res.TaskEnd)
+	}
+	if res.ObstacleDelay != 0 {
+		t.Fatalf("delay %v", res.ObstacleDelay)
+	}
+}
+
+func TestExecuteThreadYieldsToObstacle(t *testing.T) {
+	// Obstacle at [1, 3). Task predicted 2 does not fit before it, so it
+	// waits; obstacle runs on time; task runs after.
+	res, err := ExecuteThread(ThreadPlan{
+		Obstacles: []sched.Interval{{Start: 1, End: 3}},
+		Tasks:     []Task{{ID: 0, Pred: 2, Actual: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ObstacleDelay != 0 {
+		t.Fatalf("obstacle delayed by %v", res.ObstacleDelay)
+	}
+	if res.TaskStart[0] != 3 || res.End != 5 {
+		t.Fatalf("start %v end %v, want 3 and 5", res.TaskStart[0], res.End)
+	}
+}
+
+func TestExecuteThreadFitsInGap(t *testing.T) {
+	res, err := ExecuteThread(ThreadPlan{
+		Obstacles: []sched.Interval{{Start: 2, End: 3}},
+		Tasks:     []Task{{ID: 0, Pred: 1.5, Actual: 1.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskStart[0] != 0 || res.TaskEnd[0] != 1.5 {
+		t.Fatalf("task at [%v, %v), want [0, 1.5)", res.TaskStart[0], res.TaskEnd[0])
+	}
+	if res.LastObstacleEnd != 3 || res.End != 3 {
+		t.Fatalf("obstacle end %v, thread end %v", res.LastObstacleEnd, res.End)
+	}
+}
+
+func TestOverrunDelaysObstacle(t *testing.T) {
+	// Predicted 1 fits before the obstacle at 2, but actually takes 3: the
+	// obstacle (the application's computation) is delayed by 1 — the §5.4.2
+	// interference effect.
+	res, err := ExecuteThread(ThreadPlan{
+		Obstacles: []sched.Interval{{Start: 2, End: 4}},
+		Tasks:     []Task{{ID: 0, Pred: 1, Actual: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ObstacleDelay != 1 {
+		t.Fatalf("obstacle delay %v, want 1", res.ObstacleDelay)
+	}
+	if res.End != 5 {
+		t.Fatalf("end %v, want 5 (obstacle 3->5)", res.End)
+	}
+}
+
+func TestReleaseRespected(t *testing.T) {
+	res, err := ExecuteThread(ThreadPlan{
+		Tasks: []Task{{ID: 0, Pred: 1, Actual: 1, Release: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskStart[0] != 5 || res.End != 6 {
+		t.Fatalf("start %v end %v", res.TaskStart[0], res.End)
+	}
+}
+
+func TestInvalidDurations(t *testing.T) {
+	if _, err := ExecuteThread(ThreadPlan{Tasks: []Task{{Pred: -1, Actual: 1}}}); err == nil {
+		t.Fatal("negative pred accepted")
+	}
+	if _, err := ExecuteThread(ThreadPlan{Tasks: []Task{{Pred: 1, Actual: math.NaN()}}}); err == nil {
+		t.Fatal("NaN actual accepted")
+	}
+}
+
+func TestExecuteProcessDependency(t *testing.T) {
+	plan := ProcessPlan{
+		Main: ThreadPlan{Tasks: []Task{{ID: 0, Pred: 2, Actual: 2}}},
+		IO:   ThreadPlan{Tasks: []Task{{ID: 0, Pred: 1, Actual: 1}}},
+	}
+	res, err := ExecuteProcess(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.TaskStart[0] != 2 {
+		t.Fatalf("io started at %v before compression ended at 2", res.IO.TaskStart[0])
+	}
+	if res.End != 3 {
+		t.Fatalf("end %v", res.End)
+	}
+}
+
+func TestExecuteProcessUnknownDependency(t *testing.T) {
+	plan := ProcessPlan{
+		Main: ThreadPlan{Tasks: []Task{{ID: 0, Pred: 1, Actual: 1}}},
+		IO:   ThreadPlan{Tasks: []Task{{ID: 7, Pred: 1, Actual: 1}}},
+	}
+	if _, err := ExecuteProcess(plan, nil); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+}
+
+func TestFromScheduleFollowsPlannedOrder(t *testing.T) {
+	p := sched.Figure1Problem()
+	s, err := sched.Solve(p, sched.ExtJohnsonBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actComp := []float64{1, 2, 2, 3}
+	actIO := []float64{2, 1, 2, 2}
+	plan, err := FromSchedule(p, s, actComp, actIO, p.CompHoles, p.IOHoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect predictions: execution must land exactly on the plan.
+	res, err := ExecuteProcess(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Main.ObstacleDelay != 0 || res.IO.ObstacleDelay != 0 {
+		t.Fatalf("perfect predictions caused interference: %v, %v",
+			res.Main.ObstacleDelay, res.IO.ObstacleDelay)
+	}
+	if math.Abs(res.TasksEnd()-s.Makespan) > 1e-9 {
+		t.Fatalf("executed tasks end %v != planned makespan %v", res.TasksEnd(), s.Makespan)
+	}
+	for _, pl := range s.Placements {
+		if math.Abs(res.Main.TaskEnd[pl.JobID]-pl.CompEnd) > 1e-9 {
+			t.Fatalf("job %d comp end %v, planned %v", pl.JobID, res.Main.TaskEnd[pl.JobID], pl.CompEnd)
+		}
+		if math.Abs(res.IO.TaskEnd[pl.JobID]-pl.IOEnd) > 1e-9 {
+			t.Fatalf("job %d io end %v, planned %v", pl.JobID, res.IO.TaskEnd[pl.JobID], pl.IOEnd)
+		}
+	}
+}
+
+func TestFromScheduleSizeMismatch(t *testing.T) {
+	p := sched.Figure1Problem()
+	s, _ := sched.Solve(p, sched.ExtJohnson)
+	if _, err := FromSchedule(p, s, []float64{1}, []float64{1, 1, 1, 1}, nil, nil); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestIterationOverhead(t *testing.T) {
+	res := &ProcessResult{End: 12}
+	if got := IterationOverhead(res, 10); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("overhead %v, want 0.2", got)
+	}
+	if got := IterationOverhead(&ProcessResult{End: 8}, 10); got != 0 {
+		t.Fatalf("early finish overhead %v, want 0", got)
+	}
+	if got := IterationOverhead(res, 0); got != 0 {
+		t.Fatalf("degenerate compute end: %v", got)
+	}
+}
+
+// Property: with perfect predictions and a valid schedule, execution equals
+// the plan for every heuristic on random instances.
+func TestQuickPerfectPredictionMatchesPlan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := sched.DefaultGenConfig()
+		cfg.Jobs = 1 + rng.Intn(16)
+		p := sched.RandomProblem(rng, cfg)
+		for _, alg := range sched.Algorithms() {
+			s, err := sched.Solve(p, alg)
+			if err != nil {
+				return false
+			}
+			actComp := make([]float64, len(p.Jobs))
+			actIO := make([]float64, len(p.Jobs))
+			for i, j := range p.Jobs {
+				actComp[i], actIO[i] = j.Comp, j.IO
+			}
+			plan, err := FromSchedule(p, s, actComp, actIO, p.CompHoles, p.IOHoles)
+			if err != nil {
+				return false
+			}
+			res, err := ExecuteProcess(plan, nil)
+			if err != nil {
+				return false
+			}
+			if res.Main.ObstacleDelay > 1e-9 || res.IO.ObstacleDelay > 1e-9 {
+				return false
+			}
+			if math.Abs(res.TasksEnd()-s.Makespan) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: jittered actual durations can only delay, and total obstacle
+// delay is bounded by the total overrun.
+func TestQuickJitterBoundedInterference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := sched.DefaultGenConfig()
+		cfg.Jobs = 1 + rng.Intn(12)
+		p := sched.RandomProblem(rng, cfg)
+		s, err := sched.Solve(p, sched.ExtJohnsonBF)
+		if err != nil {
+			return false
+		}
+		actComp := make([]float64, len(p.Jobs))
+		actIO := make([]float64, len(p.Jobs))
+		totalOverrun := 0.0
+		for i, j := range p.Jobs {
+			actComp[i] = j.Comp * (1 + 0.2*rng.Float64())
+			actIO[i] = j.IO * (1 + 0.2*rng.Float64())
+			totalOverrun += (actComp[i] - j.Comp) + (actIO[i] - j.IO)
+		}
+		plan, err := FromSchedule(p, s, actComp, actIO, p.CompHoles, p.IOHoles)
+		if err != nil {
+			return false
+		}
+		res, err := ExecuteProcess(plan, nil)
+		if err != nil {
+			return false
+		}
+		if res.TasksEnd() < s.Makespan-1e-9 {
+			return false // slower tasks cannot finish earlier
+		}
+		return res.Main.ObstacleDelay+res.IO.ObstacleDelay <= totalOverrun+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,557 @@
+package simapp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/bp"
+	"repro/internal/h5"
+	"repro/internal/huffman"
+	"repro/internal/sched"
+	"repro/internal/sz"
+)
+
+// defaultCompThroughput seeds the compression-time predictor before any
+// observation exists (conservative Go-SZ single-core figure).
+const defaultCompThroughput = 40 << 20 // bytes/s
+
+// planned is one block's scheduling and execution context.
+type planned struct {
+	chunk    int // field*nBlocks + blockIdx
+	fi       int // field index
+	bi       int // block index within the field
+	origin   int // global rank owning the compression
+	predComp float64
+	predIO   float64
+	release  float64 // predicted origin compression end (moved writes)
+}
+
+// dumpPlan is everything iterOurs needs to execute one dump. Exactly one of
+// h5w/bpw is populated, matching the snapshot backend.
+type dumpPlan struct {
+	jobs     []planned // local job index == sched Job.ID
+	schedule *sched.Schedule
+	h5w      []*h5.DatasetWriter // per field (shared-file backend)
+	bpw      []*bp.DatasetWriter // per field (multi-file backend)
+	eb       []float64           // per field error bound
+}
+
+// profile returns the static busy-interval profile in seconds, which in
+// this mini-app is exactly the previous iteration's profile (segments are
+// at fixed offsets, the paper's iteration-similarity assumption made
+// literal).
+func (rr *rankRun) profile() (comp, io []sched.Interval, horizon float64) {
+	for _, s := range rr.mainSegs {
+		comp = append(comp, sched.Interval{Start: s.start.Seconds(), End: (s.start + s.dur).Seconds()})
+	}
+	for _, s := range rr.bgSegs {
+		io = append(io, sched.Interval{Start: s.start.Seconds(), End: (s.start + s.dur).Seconds()})
+	}
+	return comp, io, rr.span.Seconds()
+}
+
+// maintainTree returns the shared Huffman tree for a field, building (or
+// rebuilding after TreeRebuild dumps) from the pending data's quantization
+// codes, and persists it into the snapshot so readers can decode.
+func (rr *rankRun) maintainTree(sn *snap, fi int, data []float32) (*huffman.Tree, error) {
+	if rr.cfg.TreeRebuild <= 0 {
+		return nil, nil // sharing disabled: every block embeds its own tree
+	}
+	tree := rr.trees[fi]
+	if tree == nil || rr.treeAge[fi] >= rr.cfg.TreeRebuild {
+		// Build from the first block's codes — cheap and representative.
+		blk := rr.splits[0]
+		codes, _, err := sz.Quantize(blk.Slice(data, rr.cfg.Dims), blk.Dims, sz.Options{
+			ErrorBound: rr.cfg.Specs[fi].ErrorBound,
+			Radius:     rr.cfg.Radius,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tree, err = sz.BuildTree(huffman.Histogram(2*rr.cfg.Radius, codes))
+		if err != nil {
+			return nil, err
+		}
+		rr.trees[fi] = tree
+		rr.treeAge[fi] = 0
+	}
+	rr.treeAge[fi]++
+	// Persist the tree for this snapshot's readers.
+	if err := sn.persistBlob(rr, rr.treeName(fi), tree.Marshal()); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// planDump predicts, reserves (shared-file backend), schedules, and
+// balances one dump.
+func (rr *rankRun) planDump(sn *snap, pending *pendingDump) (*dumpPlan, error) {
+	cfg := rr.cfg
+	nb := len(rr.splits)
+	plan := &dumpPlan{
+		eb: make([]float64, len(cfg.Specs)),
+	}
+	if sn.fw != nil {
+		plan.h5w = make([]*h5.DatasetWriter, len(cfg.Specs))
+	} else {
+		plan.bpw = make([]*bp.DatasetWriter, len(cfg.Specs))
+	}
+
+	for fi, spec := range cfg.Specs {
+		plan.eb[fi] = spec.ErrorBound
+		if _, err := rr.maintainTree(sn, fi, pending.data[fi]); err != nil {
+			return nil, err
+		}
+		var reservations, rawSizes []int64
+		for bi, blk := range rr.splits {
+			raw := int64(4 * blk.Dims.N())
+			key := rr.blockPredKey(fi, bi)
+			ratio := rr.ratioP.Predict(key, 8)
+			predBytes := int64(float64(raw)/ratio) + 64
+			reservations = append(reservations, predBytes+predBytes/5+512) // 20% safety
+			rawSizes = append(rawSizes, raw)
+		}
+		attrs := map[string]string{
+			"field":      spec.Name,
+			"iter":       fmt.Sprint(pending.iter),
+			"errorBound": fmt.Sprint(spec.ErrorBound),
+			"radius":     fmt.Sprint(cfg.Radius),
+		}
+		if cfg.TreeRebuild > 0 {
+			attrs["tree"] = rr.treeName(fi)
+		}
+		if sn.fw != nil {
+			dw, err := sn.fw.CreateDataset(rr.dsName(fi),
+				[]int{cfg.Dims.X, cfg.Dims.Y, cfg.Dims.Z}, 4, h5.FilterSZ,
+				reservations, rawSizes, attrs)
+			if err != nil {
+				return nil, err
+			}
+			plan.h5w[fi] = dw
+		} else {
+			dw, err := sn.bw.CreateDataset(rr.rank(), rr.dsName(fi),
+				[]int{cfg.Dims.X, cfg.Dims.Y, cfg.Dims.Z}, 4, bp.FilterSZ,
+				rawSizes, attrs)
+			if err != nil {
+				return nil, err
+			}
+			plan.bpw[fi] = dw
+		}
+
+		for bi, blk := range rr.splits {
+			raw := int64(4 * blk.Dims.N())
+			key := rr.blockPredKey(fi, bi)
+			ratio := rr.ratioP.Predict(key, 8)
+			predBytes := int64(float64(raw) / ratio)
+			plan.jobs = append(plan.jobs, planned{
+				chunk:    fi*nb + bi,
+				fi:       fi,
+				bi:       bi,
+				origin:   rr.rank(),
+				predComp: rr.compP.PredictDuration(raw, float64(raw)/defaultCompThroughput),
+				predIO:   rr.ioP.PredictDuration(predBytes, rr.fs.ModelDuration(predBytes).Seconds()),
+			})
+		}
+	}
+
+	compHoles, ioHoles, horizon := rr.profile()
+	mkProblem := func(jobs []planned) *sched.Problem {
+		p := &sched.Problem{Horizon: horizon}
+		p.CompHoles = append(p.CompHoles, compHoles...)
+		p.IOHoles = append(p.IOHoles, ioHoles...)
+		for i, j := range jobs {
+			comp := j.predComp
+			if j.origin != rr.rank() {
+				comp = 0
+			}
+			p.Jobs = append(p.Jobs, sched.Job{ID: i, Comp: comp, IO: j.predIO, Release: j.release})
+		}
+		return p
+	}
+
+	s, err := sched.Solve(mkProblem(plan.jobs), cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	plan.schedule = s
+
+	if cfg.Balance && cfg.RanksPerNode > 1 {
+		jobs, s2, err := rr.balanceNode(plan.jobs, s, mkProblem)
+		if err != nil {
+			return nil, err
+		}
+		plan.jobs, plan.schedule = jobs, s2
+	}
+	return plan, nil
+}
+
+// nodeJobInfo is the per-job summary exchanged for balancing.
+type nodeJobInfo struct {
+	Chunk       int
+	PredIO      float64
+	PredCompEnd float64
+}
+
+// balanceNode gathers predicted I/O loads on the node root, runs the §3.4
+// reassignment, redistributes the assignments, and re-solves locally.
+func (rr *rankRun) balanceNode(jobs []planned, s *sched.Schedule,
+	mkProblem func([]planned) *sched.Problem) ([]planned, *sched.Schedule, error) {
+
+	// Summaries in local job order.
+	infos := make([]nodeJobInfo, len(jobs))
+	for i, j := range jobs {
+		infos[i] = nodeJobInfo{Chunk: j.chunk, PredIO: j.predIO}
+	}
+	for _, pl := range s.Placements {
+		infos[pl.JobID].PredCompEnd = pl.CompEnd
+	}
+	gathered, err := rr.c.NodeGather(infos)
+	if err != nil {
+		return nil, nil, err
+	}
+	var assign [][]balance.Ref
+	if gathered != nil { // node root
+		tasks := make([][]balance.Task, len(gathered))
+		for li, v := range gathered {
+			for idx, info := range v.([]nodeJobInfo) {
+				tasks[li] = append(tasks[li], balance.Task{Rank: li, Index: idx, Dur: info.PredIO})
+			}
+		}
+		plan, err := balance.Balance(tasks)
+		if err != nil {
+			return nil, nil, err
+		}
+		assign = plan.PerRank
+	}
+	v, err := rr.c.NodeBcast(assign)
+	if err != nil {
+		return nil, nil, err
+	}
+	assign = v.([][]balance.Ref)
+	gatheredAll, err := rr.nodeAllInfos(gathered)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Rebuild this rank's job list: keep every local compression; writes as
+	// assigned; append moved-in foreign writes.
+	li := rr.c.NodeRank()
+	keepWrite := make(map[int]bool) // local job index
+	var foreign []balance.Ref
+	for _, ref := range assign[li] {
+		if ref.Rank == li {
+			keepWrite[ref.Index] = true
+		} else {
+			foreign = append(foreign, ref)
+		}
+	}
+	out := make([]planned, 0, len(jobs)+len(foreign))
+	for i, j := range jobs {
+		if !keepWrite[i] {
+			j.predIO = 0 // write moved elsewhere
+		}
+		out = append(out, j)
+	}
+	base := rr.c.NodeRanks()[0]
+	for _, ref := range foreign {
+		info := gatheredAll[ref.Rank][ref.Index]
+		out = append(out, planned{
+			chunk:   info.Chunk,
+			fi:      -1,
+			origin:  base + ref.Rank,
+			predIO:  info.PredIO,
+			release: info.PredCompEnd,
+		})
+	}
+	s2, err := sched.Solve(mkProblem(out), rr.cfg.Algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, s2, nil
+}
+
+// nodeAllInfos distributes the gathered job summaries to every node rank.
+func (rr *rankRun) nodeAllInfos(gathered []interface{}) ([][]nodeJobInfo, error) {
+	var all [][]nodeJobInfo
+	if gathered != nil {
+		for _, v := range gathered {
+			all = append(all, v.([]nodeJobInfo))
+		}
+	}
+	v, err := rr.c.NodeBcast(all)
+	if err != nil {
+		return nil, err
+	}
+	return v.([][]nodeJobInfo), nil
+}
+
+// iterOurs executes one iteration with the full in situ pipeline.
+func (rr *rankRun) iterOurs(start time.Time, sn *snap, pending *pendingDump) error {
+	if pending == nil {
+		return rr.iterComputeOnly(start)
+	}
+	plan, err := rr.planDump(sn, pending)
+	if err != nil {
+		return err
+	}
+
+	type ord struct {
+		id    int
+		start float64
+	}
+	var compOrder, ioOrder []ord
+	for _, pl := range plan.schedule.Placements {
+		compOrder = append(compOrder, ord{pl.JobID, pl.CompStart})
+		ioOrder = append(ioOrder, ord{pl.JobID, pl.IOStart})
+	}
+	sort.Slice(compOrder, func(a, b int) bool { return compOrder[a].start < compOrder[b].start })
+	sort.Slice(ioOrder, func(a, b int) bool { return ioOrder[a].start < ioOrder[b].start })
+
+	// Compression tasks (main thread).
+	var compTasks []wtask
+	for _, o := range compOrder {
+		j := plan.jobs[o.id]
+		if j.origin != rr.rank() {
+			continue
+		}
+		compTasks = append(compTasks, wtask{
+			id:   o.id,
+			pred: time.Duration(j.predComp * float64(time.Second)),
+			run:  rr.compressTask(plan, j, pending),
+		})
+	}
+
+	// Write tasks (background thread), through the compressed data buffer
+	// (shared-file backend; multi-file appends carry their own write).
+	sb := newSpanBuffer(rr, sn.fw, rr.cfg.BufferBytes)
+	var ioTasks []wtask
+	for _, o := range ioOrder {
+		j := plan.jobs[o.id]
+		if j.predIO <= 0 && j.origin == rr.rank() {
+			continue // write moved to a sibling rank
+		}
+		res := rr.store.entry(blockKey{j.origin, j.chunk})
+		ioTasks = append(ioTasks, wtask{
+			id:    o.id,
+			pred:  time.Duration(j.predIO * float64(time.Second)),
+			ready: res.done,
+			run:   rr.writeTask(sb, res),
+		})
+	}
+	if len(ioTasks) > 0 {
+		ioTasks = append(ioTasks, wtask{id: -1, run: sb.flush})
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- runThread(start, rr.bgSegs, ioTasks) }()
+	if err := runThread(start, rr.mainSegs, compTasks); err != nil {
+		<-done
+		return err
+	}
+	return <-done
+}
+
+// compressTask builds the main-thread closure for one block.
+func (rr *rankRun) compressTask(plan *dumpPlan, j planned, pending *pendingDump) func() error {
+	return func() error {
+		blk := rr.splits[j.bi]
+		slice := blk.Slice(pending.data[j.fi], rr.cfg.Dims)
+		raw := int64(4 * blk.Dims.N())
+		t0 := time.Now()
+		blob, st, err := sz.Compress(slice, blk.Dims, sz.Options{
+			ErrorBound: plan.eb[j.fi],
+			Radius:     rr.cfg.Radius,
+			Tree:       rr.trees[j.fi], // nil when sharing disabled
+		})
+		if err != nil {
+			return err
+		}
+		rr.compP.Observe(raw, time.Since(t0).Seconds())
+		rr.ratioP.Observe(rr.blockPredKey(j.fi, j.bi), st.Ratio)
+
+		res := rr.store.entry(blockKey{rr.rank(), j.chunk})
+		if plan.h5w != nil {
+			off, err := plan.h5w[j.fi].MarkChunk(j.bi, int64(len(blob)))
+			if err != nil {
+				return err
+			}
+			res.data, res.off, res.ds = blob, off, j.fi
+		} else {
+			dw, bi := plan.bpw[j.fi], j.bi
+			res.data = blob
+			res.write = func() error {
+				d, err := dw.WriteChunk(bi, blob)
+				if err != nil {
+					return err
+				}
+				rr.ioP.Observe(int64(len(blob)), d.Seconds())
+				rr.stats.mu.Lock()
+				rr.stats.writtenBytes += int64(len(blob))
+				rr.stats.mu.Unlock()
+				return nil
+			}
+		}
+		close(res.done)
+
+		rr.stats.mu.Lock()
+		rr.stats.rawBytes += raw
+		rr.stats.ratioSum += st.Ratio
+		rr.stats.ratioN++
+		rr.stats.escaped += int64(st.Escaped)
+		rr.stats.points += int64(blk.Dims.N())
+		rr.stats.mu.Unlock()
+		return nil
+	}
+}
+
+// spanBuffer is the wall-clock compressed data buffer (§4.2): consecutive
+// writes into the same dataset's reserved extent coalesce into one span
+// (slack between chunks is zero-filled — it lies inside this dataset's own
+// reservation, so nothing else can live there). A dataset switch, a
+// backward offset (e.g. an overflow-relocated chunk), an oversized gap, or
+// reaching capacity flushes.
+type spanBuffer struct {
+	rr  *rankRun
+	fw  *h5.FileWriter
+	cap int
+
+	ds     int
+	start  int64
+	buf    []byte
+	blocks int
+}
+
+func newSpanBuffer(rr *rankRun, fw *h5.FileWriter, capBytes int) *spanBuffer {
+	if capBytes <= 0 {
+		capBytes = 1 // degenerate: flush after every block
+	}
+	return &spanBuffer{rr: rr, fw: fw, cap: capBytes}
+}
+
+func (sb *spanBuffer) add(ds int, off int64, data []byte) error {
+	if sb.blocks > 0 {
+		end := sb.start + int64(len(sb.buf))
+		gap := off - end
+		if ds != sb.ds || gap < 0 || gap > int64(sb.cap) ||
+			len(sb.buf)+int(gap)+len(data) > 2*sb.cap {
+			if err := sb.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if sb.blocks == 0 {
+		sb.ds = ds
+		sb.start = off
+	}
+	pad := int(off - (sb.start + int64(len(sb.buf))))
+	for i := 0; i < pad; i++ {
+		sb.buf = append(sb.buf, 0)
+	}
+	sb.buf = append(sb.buf, data...)
+	sb.blocks++
+	if len(sb.buf) >= sb.cap {
+		return sb.flush()
+	}
+	return nil
+}
+
+func (sb *spanBuffer) flush() error {
+	if sb.blocks == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	if _, err := sb.fw.WriteAtRaw(sb.start, sb.buf); err != nil {
+		return err
+	}
+	sb.rr.ioP.Observe(int64(len(sb.buf)), time.Since(t0).Seconds())
+	sb.rr.stats.mu.Lock()
+	sb.rr.stats.writtenBytes += int64(len(sb.buf))
+	sb.rr.stats.mu.Unlock()
+	sb.buf = sb.buf[:0]
+	sb.blocks = 0
+	return nil
+}
+
+// writeTask builds the background-thread closure for one write: shared-file
+// blocks enter the compressed data buffer (coalesced, paced writes);
+// multi-file blocks carry their own append closure.
+func (rr *rankRun) writeTask(sb *spanBuffer, res *blockResult) func() error {
+	return func() error {
+		if res.write != nil {
+			return res.write()
+		}
+		return sb.add(res.ds, res.off, res.data)
+	}
+}
+
+// blockPredKey keys the ratio predictor per (field, block).
+func (rr *rankRun) blockPredKey(fi, bi int) string {
+	return fmt.Sprintf("%s#%d", rr.cfg.Specs[fi].Name, bi)
+}
+
+// finalDump writes the last iteration's data synchronously after the run
+// (its cost appears in Total, not in the steady-state iteration times).
+func (rr *rankRun) finalDump(pending *pendingDump) error {
+	if pending == nil {
+		return nil
+	}
+	var sn *snap
+	if rr.rank() == 0 {
+		name := fmt.Sprintf("%s-%s-final.%s", rr.cfg.Name, rr.cfg.Mode, rr.cfg.backend())
+		s, err := createSnap(rr.fs, rr.cfg.backend(), name, rr.cfg.Ranks)
+		if err != nil {
+			return err
+		}
+		sn = s
+	}
+	v, err := rr.c.Bcast(0, sn)
+	if err != nil {
+		return err
+	}
+	sn = v.(*snap)
+
+	if rr.cfg.Mode == AsyncIO {
+		for fi := range rr.cfg.Specs {
+			raw := rawChunk(pending.data[fi])
+			dw, err := sn.createRawDataset(rr, fi, pending.iter, int64(len(raw)))
+			if err != nil {
+				return err
+			}
+			if _, err := dw.WriteChunk(0, raw); err != nil {
+				return err
+			}
+		}
+	} else {
+		plan, err := rr.planDump(sn, pending)
+		if err != nil {
+			return err
+		}
+		sb := newSpanBuffer(rr, sn.fw, rr.cfg.BufferBytes)
+		for _, j := range plan.jobs {
+			if j.origin != rr.rank() {
+				continue
+			}
+			if err := rr.compressTask(plan, j, pending)(); err != nil {
+				return err
+			}
+			res := rr.store.entry(blockKey{rr.rank(), j.chunk})
+			if err := rr.writeTask(sb, res)(); err != nil {
+				return err
+			}
+		}
+		if err := sb.flush(); err != nil {
+			return err
+		}
+	}
+	rr.c.Barrier()
+	if rr.rank() == 0 {
+		if _, err := sn.close(); err != nil {
+			return err
+		}
+	}
+	rr.store.reset()
+	rr.c.Barrier()
+	return nil
+}

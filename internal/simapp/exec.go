@@ -1,0 +1,78 @@
+package simapp
+
+import (
+	"time"
+)
+
+// segment is one immovable busy interval on a thread, at a fixed offset
+// from the iteration start (the Y_i / G_i of §3.1). The busy time itself is
+// a sleep: it stands for GPU compute or MPI communication during which this
+// CPU thread is unavailable for compression/IO work.
+type segment struct {
+	start, dur time.Duration
+}
+
+// wtask is one schedulable task for the wall-clock executor.
+type wtask struct {
+	id    int
+	pred  time.Duration   // planner's duration estimate (gap-fit test)
+	ready <-chan struct{} // optional release (I/O waits for compression)
+	run   func() error    // the real work
+}
+
+// runThread is the wall-clock twin of sim.ExecuteThread: segments want to
+// run at their nominal offsets; tasks run in plan order, launched into a
+// gap only when their prediction says they fit before the next segment.
+// A task that overruns (or a late release) delays subsequent segments —
+// real interference, measured by the caller via iteration wall time.
+func runThread(start time.Time, segs []segment, tasks []wtask) error {
+	si := 0
+	runSeg := func() {
+		s := segs[si]
+		if d := time.Until(start.Add(s.start)); d > 0 {
+			time.Sleep(d)
+		}
+		time.Sleep(s.dur)
+		si++
+	}
+	for _, t := range tasks {
+		if t.ready != nil {
+			<-t.ready
+		}
+		for {
+			now := time.Since(start)
+			if si < len(segs) && now+t.pred > segs[si].start {
+				runSeg()
+				continue
+			}
+			if err := t.run(); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	for si < len(segs) {
+		runSeg()
+	}
+	return nil
+}
+
+// layoutSegments spreads n busy intervals totalling busy over a nominal
+// iteration of length span, with equal gaps before, between, and after.
+func layoutSegments(span, busy time.Duration, n int) []segment {
+	if n < 1 || busy <= 0 {
+		return nil
+	}
+	if busy > span {
+		busy = span
+	}
+	segDur := busy / time.Duration(n)
+	gap := (span - busy) / time.Duration(n+1)
+	segs := make([]segment, n)
+	t := gap
+	for i := range segs {
+		segs[i] = segment{start: t, dur: segDur}
+		t += segDur + gap
+	}
+	return segs
+}

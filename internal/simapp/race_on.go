@@ -1,0 +1,8 @@
+//go:build race
+
+package simapp
+
+// raceEnabled reports whether the race detector is active; wall-clock
+// comparisons are skipped under it because instrumentation slows real
+// compression work ~10x while sleeps are unaffected, distorting timings.
+const raceEnabled = true

@@ -1,0 +1,378 @@
+package simapp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/fields"
+	"repro/internal/huffman"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/predict"
+	"repro/internal/sz"
+)
+
+// blockKey identifies one compressed block within a node.
+type blockKey struct {
+	rank  int // global rank
+	chunk int // field*nBlocks + block
+}
+
+// blockResult is a compressed block awaiting its write, shared through the
+// node store so balancing can move the write to a sibling rank.
+type blockResult struct {
+	done chan struct{}
+	data []byte
+	off  int64
+	ds   int // dataset identity (field index); gap-fill coalescing boundary
+	// write, when non-nil, performs the write itself (multi-file backend:
+	// an append to the origin rank's sub-file). Otherwise the destination
+	// rank writes data at off through its compressed data buffer.
+	write func() error
+}
+
+// nodeStore shares blockResults between the ranks of one node.
+type nodeStore struct {
+	mu sync.Mutex
+	m  map[blockKey]*blockResult
+}
+
+func newNodeStore() *nodeStore { return &nodeStore{m: make(map[blockKey]*blockResult)} }
+
+func (ns *nodeStore) entry(k blockKey) *blockResult {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	r, ok := ns.m[k]
+	if !ok {
+		r = &blockResult{done: make(chan struct{})}
+		ns.m[k] = r
+	}
+	return r
+}
+
+func (ns *nodeStore) reset() {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.m = make(map[blockKey]*blockResult)
+}
+
+// runStats aggregates across ranks.
+type runStats struct {
+	mu           sync.Mutex
+	rawBytes     int64
+	writtenBytes int64
+	ratioSum     float64
+	ratioN       int
+	overflow     int
+	escaped      int64
+	points       int64
+	iterEnd      [][]time.Duration // [iteration][rank]
+	files        []string
+}
+
+// Run executes the configured application and returns aggregate results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fs, err := pfs.New(cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(cfg, fs)
+}
+
+// RunOn executes against a caller-provided file system (so tests and the
+// bench harness can inspect the written files afterwards).
+func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	world, err := mpi.NewWorldWithNodes(cfg.Ranks, cfg.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := fields.NewGenerator(fields.Config{
+		Dims: cfg.Dims, Fields: cfg.Specs, Ranks: cfg.Ranks,
+		Seed: cfg.Seed, Stage: cfg.Stage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	splits, err := sz.Split(cfg.Dims, cfg.BlockBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	span := 2 * cfg.ComputeTime // nominal iteration length: 50% main idle
+	mainSegs := layoutSegments(span, cfg.ComputeTime, cfg.ComputeSegments)
+	bgSegs := layoutSegments(span, cfg.CommTime, cfg.CommSegments)
+
+	stats := &runStats{iterEnd: make([][]time.Duration, cfg.Iterations)}
+	for i := range stats.iterEnd {
+		stats.iterEnd[i] = make([]time.Duration, cfg.Ranks)
+	}
+	stores := make([]*nodeStore, world.Nodes())
+	for i := range stores {
+		stores[i] = newNodeStore()
+	}
+
+	startAll := time.Now()
+	err = world.Run(func(c *mpi.Comm) error {
+		rr := &rankRun{
+			cfg: cfg, c: c, fs: fs, gen: gen, splits: splits,
+			mainSegs: mainSegs, bgSegs: bgSegs, span: span,
+			store:   stores[c.Node()],
+			stats:   stats,
+			ratioP:  predict.NewRatioPredictor(0.6),
+			compP:   predict.NewThroughputPredictor(0.6),
+			ioP:     predict.NewIOPredictor(0.6),
+			trees:   make(map[int]*huffman.Tree),
+			treeAge: make(map[int]int),
+		}
+		return rr.run()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Mode:       cfg.Mode,
+		Iterations: cfg.Iterations,
+		Total:      time.Since(startAll),
+	}
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	var sum time.Duration
+	for _, perRank := range stats.iterEnd {
+		iterMax := time.Duration(0)
+		for _, d := range perRank {
+			if d > iterMax {
+				iterMax = d
+			}
+		}
+		res.PerIteration = append(res.PerIteration, iterMax)
+		sum += iterMax
+	}
+	res.MeanIteration = sum / time.Duration(len(res.PerIteration))
+	res.RawBytes = stats.rawBytes
+	res.WrittenBytes = stats.writtenBytes
+	if stats.ratioN > 0 {
+		res.MeanRatio = stats.ratioSum / float64(stats.ratioN)
+	}
+	res.OverflowChunks = stats.overflow
+	if stats.points > 0 {
+		res.EscapedFraction = float64(stats.escaped) / float64(stats.points)
+	}
+	res.Files = append(res.Files, stats.files...)
+	return res, nil
+}
+
+// pendingDump holds one iteration's generated data awaiting its dump.
+type pendingDump struct {
+	iter int
+	data [][]float32 // per field
+}
+
+// rankRun is one rank's execution state.
+type rankRun struct {
+	cfg      Config
+	c        *mpi.Comm
+	fs       *pfs.FS
+	gen      *fields.Generator
+	splits   []sz.Block
+	mainSegs []segment
+	bgSegs   []segment
+	span     time.Duration
+	store    *nodeStore
+	stats    *runStats
+
+	ratioP *predict.RatioPredictor
+	compP  *predict.ThroughputPredictor
+	ioP    *predict.IOPredictor
+
+	trees   map[int]*huffman.Tree // per field index
+	treeAge map[int]int
+}
+
+func (rr *rankRun) rank() int { return rr.c.Rank() }
+
+func (rr *rankRun) generate(iter int) *pendingDump {
+	pd := &pendingDump{iter: iter}
+	for _, spec := range rr.cfg.Specs {
+		pd.data = append(pd.data, rr.gen.Field(rr.rank(), spec, iter))
+	}
+	return pd
+}
+
+func (rr *rankRun) run() error {
+	var pending *pendingDump
+	for iter := 0; iter < rr.cfg.Iterations; iter++ {
+		data := rr.generate(iter) // untimed: data synthesis artifact
+
+		// Coordinate the snapshot file for whatever this iteration dumps.
+		var sn *snap
+		dumpIter := -1
+		switch rr.cfg.Mode {
+		case Baseline:
+			dumpIter = iter // dumped synchronously at iteration end
+		case AsyncIO, Ours:
+			if pending != nil {
+				dumpIter = pending.iter
+			}
+		}
+		if dumpIter >= 0 {
+			if rr.rank() == 0 {
+				name := fmt.Sprintf("%s-%s-%04d.%s", rr.cfg.Name, rr.cfg.Mode, dumpIter, rr.cfg.backend())
+				s, err := createSnap(rr.fs, rr.cfg.backend(), name, rr.cfg.Ranks)
+				if err != nil {
+					return err
+				}
+				sn = s
+			}
+			v, err := rr.c.Bcast(0, sn)
+			if err != nil {
+				return err
+			}
+			sn = v.(*snap)
+		}
+		rr.c.Barrier()
+		iterStart := time.Now()
+
+		var err error
+		switch rr.cfg.Mode {
+		case ComputeOnly:
+			err = rr.iterComputeOnly(iterStart)
+		case Baseline:
+			err = rr.iterBaseline(iterStart, sn, data)
+		case AsyncIO:
+			err = rr.iterAsyncIO(iterStart, sn, pending)
+		case Ours:
+			err = rr.iterOurs(iterStart, sn, pending)
+		default:
+			err = fmt.Errorf("simapp: unknown mode %d", rr.cfg.Mode)
+		}
+		if err != nil {
+			return err
+		}
+		end := time.Since(iterStart)
+		rr.stats.mu.Lock()
+		rr.stats.iterEnd[iter][rr.rank()] = end
+		rr.stats.mu.Unlock()
+
+		rr.c.Barrier()
+		if sn != nil {
+			if rr.rank() == 0 {
+				oc, err := sn.close()
+				if err != nil {
+					return err
+				}
+				rr.stats.mu.Lock()
+				rr.stats.overflow += oc
+				rr.stats.files = append(rr.stats.files, sn.name)
+				rr.stats.mu.Unlock()
+			}
+			rr.store.reset()
+			rr.c.Barrier()
+		}
+		pending = data
+	}
+
+	// Final pending dump (Ours/AsyncIO): synchronous, counted in Total only.
+	if rr.cfg.Mode == Ours || rr.cfg.Mode == AsyncIO {
+		if err := rr.finalDump(pending); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rr *rankRun) iterComputeOnly(start time.Time) error {
+	done := make(chan error, 1)
+	go func() { done <- runThread(start, rr.bgSegs, nil) }()
+	if err := runThread(start, rr.mainSegs, nil); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// rawChunk converts a float32 field to bytes for uncompressed writes.
+func rawChunk(data []float32) []byte {
+	out := make([]byte, 4*len(data))
+	for i, v := range data {
+		u := f32bits(v)
+		out[4*i] = byte(u >> 24)
+		out[4*i+1] = byte(u >> 16)
+		out[4*i+2] = byte(u >> 8)
+		out[4*i+3] = byte(u)
+	}
+	return out
+}
+
+// iterBaseline: compute, then a synchronous uncompressed dump.
+func (rr *rankRun) iterBaseline(start time.Time, sn *snap, data *pendingDump) error {
+	if err := rr.iterComputeOnly(start); err != nil {
+		return err
+	}
+	for fi := range rr.cfg.Specs {
+		raw := rawChunk(data.data[fi])
+		dw, err := sn.createRawDataset(rr, fi, data.iter, int64(len(raw)))
+		if err != nil {
+			return err
+		}
+		if _, err := dw.WriteChunk(0, raw); err != nil {
+			return err
+		}
+		rr.note(int64(len(raw)), int64(len(raw)))
+	}
+	return nil
+}
+
+// iterAsyncIO: compute while the background thread writes the previous
+// iteration's raw data between its core tasks [62].
+func (rr *rankRun) iterAsyncIO(start time.Time, sn *snap, pending *pendingDump) error {
+	var tasks []wtask
+	if pending != nil {
+		for fi := range rr.cfg.Specs {
+			raw := rawChunk(pending.data[fi])
+			dw, err := sn.createRawDataset(rr, fi, pending.iter, int64(len(raw)))
+			if err != nil {
+				return err
+			}
+			tasks = append(tasks, wtask{
+				id:   fi,
+				pred: rr.fs.ModelDuration(int64(len(raw))),
+				run: func() error {
+					_, err := dw.WriteChunk(0, raw)
+					rr.note(int64(len(raw)), int64(len(raw)))
+					return err
+				},
+			})
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- runThread(start, rr.bgSegs, tasks) }()
+	if err := runThread(start, rr.mainSegs, nil); err != nil {
+		return err
+	}
+	return <-done
+}
+
+func (rr *rankRun) dsName(fi int) string {
+	return fmt.Sprintf("/rank%03d/%s", rr.rank(), rr.cfg.Specs[fi].Name)
+}
+
+func (rr *rankRun) treeName(fi int) string {
+	return fmt.Sprintf("/rank%03d/__tree/%s", rr.rank(), rr.cfg.Specs[fi].Name)
+}
+
+func (rr *rankRun) note(raw, written int64) {
+	rr.stats.mu.Lock()
+	rr.stats.rawBytes += raw
+	rr.stats.writtenBytes += written
+	rr.stats.mu.Unlock()
+}
+
+func f32bits(v float32) uint32 { return math.Float32bits(v) }

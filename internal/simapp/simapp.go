@@ -1,0 +1,218 @@
+// Package simapp runs mini-Nyx and mini-WarpX: iterative applications that
+// really generate data (internal/fields), really compress it
+// (internal/sz, shared Huffman trees), and really write it through the H5L
+// container (internal/h5) onto the paced parallel file system
+// (internal/pfs), with ranks as goroutines (internal/mpi). It is the
+// wall-clock counterpart of internal/core's virtual-time engine and drives
+// the "real-system-based evaluation" of §5.4.2 (Figs. 9–11), scaled down to
+// a laptop-class machine the way the paper's artifact scales down to a
+// Chameleon node.
+//
+// The computation a GPU would do is represented by sleeps (the CPU is idle
+// while the GPU computes — precisely the idle time the paper harvests);
+// compression is real CPU work; writes are really paced by the modelled
+// file-system bandwidth.
+package simapp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fields"
+	"repro/internal/pfs"
+	"repro/internal/sched"
+	"repro/internal/sz"
+)
+
+// Mode selects the I/O strategy for a wall-clock run.
+type Mode int
+
+// Wall-clock run modes. ComputeOnly is the paper's reference measurement
+// ("overhead compared to computation only" in the artifact).
+const (
+	ComputeOnly Mode = iota
+	Baseline
+	AsyncIO
+	Ours
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ComputeOnly:
+		return "compute-only"
+	case Baseline:
+		return "baseline"
+	case AsyncIO:
+		return "async-io"
+	case Ours:
+		return "ours"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config describes one wall-clock run.
+type Config struct {
+	Name         string // file name prefix ("nyx", "warpx")
+	Ranks        int
+	RanksPerNode int
+
+	Dims  sz.Dims // per-rank partition
+	Specs []fields.FieldSpec
+	Stage fields.Stage
+	Seed  int64
+
+	Iterations int
+
+	// ComputeTime is the total main-thread busy time per iteration, split
+	// into ComputeSegments fixed-position intervals. CommTime/CommSegments
+	// shape the background thread's core tasks likewise.
+	ComputeTime     time.Duration
+	ComputeSegments int
+	CommTime        time.Duration
+	CommSegments    int
+
+	BlockBytes  int // fine-grained compression block target (§4.1)
+	BufferBytes int // compressed data buffer capacity (§4.2)
+	Radius      int // quantization radius (alphabet = 2*Radius)
+	// TreeRebuild is how many dumps a shared Huffman tree serves before it
+	// is rebuilt (§4.3; Fig. 6 suggests ~10). 0 disables sharing.
+	TreeRebuild int
+
+	Algorithm sched.Algorithm
+	Balance   bool
+
+	FS   pfs.Config
+	Mode Mode
+	// Backend selects the container: BackendH5L (shared file, reserved
+	// extents — the paper's HDF5 setting) or BackendBP (multi-file,
+	// ADIOS-style — the paper's §6 future work). Empty means BackendH5L.
+	Backend string
+}
+
+// Nyx returns a laptop-scale mini-Nyx configuration with `ranks` ranks.
+func Nyx(ranks int, mode Mode) Config {
+	return Config{
+		Name:            "nyx",
+		Ranks:           ranks,
+		RanksPerNode:    min(ranks, 4),
+		Dims:            sz.Dims{X: 32, Y: 32, Z: 32},
+		Specs:           fields.NyxFields,
+		Stage:           fields.StageStructured,
+		Seed:            1,
+		Iterations:      4,
+		ComputeTime:     220 * time.Millisecond,
+		ComputeSegments: 3,
+		CommTime:        264 * time.Millisecond, // 60% of the nominal span
+		CommSegments:    2,
+		BlockBytes:      128 << 10,
+		BufferBytes:     256 << 10,
+		Radius:          1024,
+		TreeRebuild:     10,
+		Algorithm:       sched.ExtJohnsonBF,
+		Balance:         true,
+		FS:              laptopFS(ranks),
+		Mode:            mode,
+	}
+}
+
+// WarpX returns a laptop-scale mini-WarpX configuration.
+func WarpX(ranks int, mode Mode) Config {
+	cfg := Nyx(ranks, mode)
+	cfg.Name = "warpx"
+	cfg.Dims = sz.Dims{X: 32, Y: 32, Z: 64}
+	cfg.Specs = fields.WarpXFields
+	cfg.Stage = fields.StageEven
+	cfg.Seed = 2
+	cfg.ComputeTime = 160 * time.Millisecond
+	cfg.CommTime = 192 * time.Millisecond // 60% of the nominal span
+	return cfg
+}
+
+// laptopFS scales file-system bandwidth so a raw dump costs a meaningful
+// fraction of an iteration (the regime where the paper's comparison is
+// interesting): the same dump:iteration proportions as Summit's 2 TB/s vs
+// terabyte-scale snapshots. The target count is FIXED, like a production
+// file system: weak scaling shrinks every rank's share (Fig. 11's effect).
+func laptopFS(ranks int) pfs.Config {
+	_ = ranks
+	return pfs.Config{
+		OSTs:            4,
+		StripeBytes:     32 << 10,
+		PerOSTBandwidth: 3 << 20,
+		Latency:         200 * time.Microsecond,
+		SmallIOBytes:    2 << 10,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Ranks < 1 || c.RanksPerNode < 1 || c.Ranks%c.RanksPerNode != 0 {
+		return fmt.Errorf("simapp: bad rank layout %d/%d", c.Ranks, c.RanksPerNode)
+	}
+	if c.Dims.N() <= 0 || len(c.Specs) == 0 {
+		return fmt.Errorf("simapp: empty problem")
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("simapp: iterations %d < 1", c.Iterations)
+	}
+	if c.ComputeSegments < 1 || c.ComputeTime <= 0 {
+		return fmt.Errorf("simapp: invalid compute shape")
+	}
+	if c.BlockBytes <= 0 {
+		return fmt.Errorf("simapp: block bytes %d <= 0", c.BlockBytes)
+	}
+	if c.Radius < 2 {
+		return fmt.Errorf("simapp: radius %d", c.Radius)
+	}
+	switch c.backend() {
+	case BackendH5L, BackendBP:
+	default:
+		return fmt.Errorf("simapp: unknown backend %q", c.Backend)
+	}
+	return nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	Mode          Mode
+	Iterations    int
+	Total         time.Duration   // whole-run wall time
+	PerIteration  []time.Duration // each iteration's wall time (max across ranks)
+	MeanIteration time.Duration
+
+	// Data statistics (zero for ComputeOnly).
+	RawBytes        int64
+	WrittenBytes    int64
+	MeanRatio       float64 // raw/compressed (Ours only)
+	OverflowChunks  int     // mispredicted reservations (Ours only)
+	EscapedFraction float64 // shared-tree escapes / total points (Ours only)
+	Files           []string
+}
+
+// Overhead computes (run - reference) / reference given a compute-only
+// reference measurement.
+func (r *Result) Overhead(ref *Result) float64 {
+	if ref == nil || ref.MeanIteration <= 0 {
+		return 0
+	}
+	d := r.MeanIteration - ref.MeanIteration
+	if d < 0 {
+		return 0
+	}
+	return float64(d) / float64(ref.MeanIteration)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

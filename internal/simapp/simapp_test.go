@@ -1,0 +1,305 @@
+package simapp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/sz"
+)
+
+// tinyNyx shrinks everything so a full run takes well under a second.
+func tinyNyx(ranks int, mode Mode) Config {
+	cfg := Nyx(ranks, mode)
+	cfg.Dims = sz.Dims{X: 16, Y: 16, Z: 16}
+	cfg.Iterations = 3
+	cfg.ComputeTime = 60 * time.Millisecond
+	cfg.ComputeSegments = 2
+	cfg.CommTime = 16 * time.Millisecond
+	cfg.CommSegments = 1
+	cfg.BlockBytes = 8 << 10 // 2 blocks of the 16 KiB field
+	cfg.BufferBytes = 32 << 10
+	cfg.Specs = cfg.Specs[:3]
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := tinyNyx(2, Ours)
+	bad.Ranks = 3
+	bad.RanksPerNode = 2
+	if _, err := Run(bad); err == nil {
+		t.Fatal("indivisible layout accepted")
+	}
+	bad2 := tinyNyx(1, Ours)
+	bad2.Iterations = 0
+	if _, err := Run(bad2); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	bad3 := tinyNyx(1, Ours)
+	bad3.BlockBytes = 0
+	if _, err := Run(bad3); err == nil {
+		t.Fatal("zero block bytes accepted")
+	}
+}
+
+func TestLayoutSegments(t *testing.T) {
+	segs := layoutSegments(100*time.Millisecond, 40*time.Millisecond, 2)
+	if len(segs) != 2 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	if segs[0].start <= 0 || segs[1].start <= segs[0].start+segs[0].dur {
+		t.Fatalf("bad layout: %+v", segs)
+	}
+	if segs[0].dur != 20*time.Millisecond {
+		t.Fatalf("segment dur %v", segs[0].dur)
+	}
+	if layoutSegments(time.Second, 0, 3) != nil {
+		t.Fatal("zero busy should yield no segments")
+	}
+}
+
+func TestComputeOnlyRun(t *testing.T) {
+	cfg := tinyNyx(2, ComputeOnly)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != cfg.Iterations || len(res.PerIteration) != cfg.Iterations {
+		t.Fatalf("result shape: %+v", res)
+	}
+	// Each iteration should be close to the nominal span (2x compute time).
+	span := 2 * cfg.ComputeTime
+	for i, d := range res.PerIteration {
+		if d < cfg.ComputeTime || d > span+60*time.Millisecond {
+			t.Fatalf("iteration %d took %v (span %v)", i, d, span)
+		}
+	}
+	if res.RawBytes != 0 || res.WrittenBytes != 0 {
+		t.Fatal("compute-only run wrote data")
+	}
+}
+
+func TestBaselineWritesVerifiableRawData(t *testing.T) {
+	cfg := tinyNyx(2, Baseline)
+	fs, err := pfs.New(cfg.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOn(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != cfg.Iterations {
+		t.Fatalf("files: %v", res.Files)
+	}
+	if res.WrittenBytes != res.RawBytes || res.RawBytes == 0 {
+		t.Fatalf("baseline bytes: raw %d written %d", res.RawBytes, res.WrittenBytes)
+	}
+	for _, f := range res.Files {
+		if n, err := VerifyRawSnapshot(fs, f, cfg); err != nil {
+			t.Fatalf("verify %s (%d checked): %v", f, n, err)
+		}
+	}
+}
+
+func TestAsyncIORun(t *testing.T) {
+	cfg := tinyNyx(2, AsyncIO)
+	fs, err := pfs.New(cfg.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOn(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dumps lag one iteration: iterations-1 in-loop files plus the final.
+	if len(res.Files) != cfg.Iterations-1 {
+		t.Fatalf("in-loop files: %v", res.Files)
+	}
+	for _, f := range res.Files {
+		if _, err := VerifyRawSnapshot(fs, f, cfg); err != nil {
+			t.Fatalf("verify %s: %v", f, err)
+		}
+	}
+	if _, err := VerifyRawSnapshot(fs, "nyx-async-io-final.h5l", cfg); err != nil {
+		t.Fatalf("final dump: %v", err)
+	}
+}
+
+func TestOursEndToEnd(t *testing.T) {
+	for _, balance := range []bool{false, true} {
+		cfg := tinyNyx(2, Ours)
+		cfg.Balance = balance
+		fs, err := pfs.New(cfg.FS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOn(cfg, fs)
+		if err != nil {
+			t.Fatalf("balance=%v: %v", balance, err)
+		}
+		if res.MeanRatio < 2 {
+			t.Fatalf("balance=%v: mean ratio %.2f too low", balance, res.MeanRatio)
+		}
+		if res.WrittenBytes >= res.RawBytes {
+			t.Fatalf("balance=%v: compression did not shrink: %d -> %d",
+				balance, res.RawBytes, res.WrittenBytes)
+		}
+		for _, f := range res.Files {
+			if n, err := VerifySnapshot(fs, f, cfg); err != nil {
+				t.Fatalf("balance=%v verify %s (%d checked): %v", balance, f, n, err)
+			} else if n == 0 {
+				t.Fatalf("balance=%v: snapshot %s empty", balance, f)
+			}
+		}
+		if _, err := VerifySnapshot(fs, "nyx-ours-final.h5l", cfg); err != nil {
+			t.Fatalf("balance=%v final: %v", balance, err)
+		}
+	}
+}
+
+func TestOursSingleRank(t *testing.T) {
+	cfg := tinyNyx(1, Ours)
+	fs, _ := pfs.New(cfg.FS)
+	res, err := RunOn(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Files {
+		if _, err := VerifySnapshot(fs, f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOursWithoutSharedTree(t *testing.T) {
+	cfg := tinyNyx(1, Ours)
+	cfg.TreeRebuild = 0 // every block embeds its own tree
+	fs, _ := pfs.New(cfg.FS)
+	res, err := RunOn(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EscapedFraction != 0 {
+		t.Fatalf("own-tree mode escaped %.4f", res.EscapedFraction)
+	}
+	for _, f := range res.Files {
+		if _, err := VerifySnapshot(fs, f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWarpXConfigRuns(t *testing.T) {
+	cfg := WarpX(2, Ours)
+	cfg.Dims = sz.Dims{X: 16, Y: 16, Z: 16}
+	cfg.Iterations = 2
+	cfg.ComputeTime = 50 * time.Millisecond
+	cfg.BlockBytes = 8 << 10
+	cfg.Specs = cfg.Specs[:2]
+	fs, _ := pfs.New(cfg.FS)
+	res, err := RunOn(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Files {
+		if _, err := VerifySnapshot(fs, f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOverheadComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts wall-clock compression timings")
+	}
+	ranks := 2
+	run := func(mode Mode) *Result {
+		cfg := tinyNyx(ranks, mode)
+		cfg.Iterations = 4
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		return res
+	}
+	ref := run(ComputeOnly)
+	base := run(Baseline)
+	ours := run(Ours)
+	ob := base.Overhead(ref)
+	oo := ours.Overhead(ref)
+	t.Logf("overheads: baseline=%.3f ours=%.3f (ref iter %v)", ob, oo, ref.MeanIteration)
+	if oo >= ob {
+		t.Fatalf("ours (%.3f) not better than baseline (%.3f)", oo, ob)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ComputeOnly: "compute-only", Baseline: "baseline", AsyncIO: "async-io", Ours: "ours",
+	} {
+		if m.String() != want {
+			t.Fatalf("%v", m)
+		}
+	}
+}
+
+func TestOursMultiFileBackend(t *testing.T) {
+	for _, balance := range []bool{false, true} {
+		cfg := tinyNyx(2, Ours)
+		cfg.Backend = BackendBP
+		cfg.Balance = balance
+		fs, err := pfs.New(cfg.FS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOn(cfg, fs)
+		if err != nil {
+			t.Fatalf("balance=%v: %v", balance, err)
+		}
+		if res.MeanRatio < 2 || res.WrittenBytes >= res.RawBytes {
+			t.Fatalf("balance=%v: ratio %.2f, %d -> %d bytes",
+				balance, res.MeanRatio, res.RawBytes, res.WrittenBytes)
+		}
+		// BP has no reservations, so nothing can overflow.
+		if res.OverflowChunks != 0 {
+			t.Fatalf("balance=%v: overflow on the multi-file backend", balance)
+		}
+		for _, f := range res.Files {
+			if n, err := VerifySnapshot(fs, f, cfg); err != nil {
+				t.Fatalf("balance=%v verify %s (%d checked): %v", balance, f, n, err)
+			}
+		}
+		if _, err := VerifySnapshot(fs, "nyx-ours-final.bp", cfg); err != nil {
+			t.Fatalf("balance=%v final: %v", balance, err)
+		}
+	}
+}
+
+func TestBaselineAndAsyncMultiFileBackend(t *testing.T) {
+	for _, mode := range []Mode{Baseline, AsyncIO} {
+		cfg := tinyNyx(2, mode)
+		cfg.Backend = BackendBP
+		fs, _ := pfs.New(cfg.FS)
+		res, err := RunOn(cfg, fs)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		for _, f := range res.Files {
+			if _, err := VerifyRawSnapshot(fs, f, cfg); err != nil {
+				t.Fatalf("%s verify %s: %v", mode, f, err)
+			}
+		}
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	cfg := tinyNyx(1, Ours)
+	cfg.Backend = "netcdf"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package simapp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/h5"
+	"repro/internal/pfs"
+	"repro/internal/predict"
+)
+
+// sbFixture builds a spanBuffer over a real (fast) file system so flushes
+// land in an inspectable file.
+func sbFixture(t *testing.T, capBytes int) (*spanBuffer, *pfs.FS, *h5.FileWriter) {
+	t.Helper()
+	cfg := pfs.Summit16()
+	cfg.PerOSTBandwidth = 1 << 34
+	cfg.Latency = 0
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := h5.Create(fs, "sb.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := &rankRun{
+		cfg:   Config{},
+		fs:    fs,
+		stats: &runStats{},
+		ioP:   predict.NewIOPredictor(0.5),
+	}
+	return newSpanBuffer(rr, fw, capBytes), fs, fw
+}
+
+func fileBytes(t *testing.T, fs *pfs.FS, off, n int64) []byte {
+	t.Helper()
+	f, err := fs.Open("sb.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestSpanBufferCoalescesContiguous(t *testing.T) {
+	sb, fs, _ := sbFixture(t, 1024)
+	base := int64(100)
+	if err := sb.add(0, base, bytes.Repeat([]byte{1}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.add(0, base+10, bytes.Repeat([]byte{2}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if sb.blocks != 2 {
+		t.Fatalf("blocks buffered: %d", sb.blocks)
+	}
+	if err := sb.flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := fileBytes(t, fs, base, 20)
+	want := append(bytes.Repeat([]byte{1}, 10), bytes.Repeat([]byte{2}, 10)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("coalesced write corrupted data")
+	}
+	_, writes := fs.Stats()
+	if writes != 1 {
+		t.Fatalf("flushes: %d, want 1 coalesced write", writes)
+	}
+}
+
+func TestSpanBufferGapFillWithinDataset(t *testing.T) {
+	sb, fs, _ := sbFixture(t, 1024)
+	// Chunk at 100 (8 bytes actual of a 20-byte reservation), next chunk's
+	// reservation starts at 120: gap of 12 zero-filled.
+	sb.add(0, 100, bytes.Repeat([]byte{7}, 8))
+	sb.add(0, 120, bytes.Repeat([]byte{9}, 8))
+	if err := sb.flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := fileBytes(t, fs, 100, 28)
+	if !bytes.Equal(got[:8], bytes.Repeat([]byte{7}, 8)) ||
+		!bytes.Equal(got[20:], bytes.Repeat([]byte{9}, 8)) {
+		t.Fatal("payloads misplaced")
+	}
+	for _, b := range got[8:20] {
+		if b != 0 {
+			t.Fatal("slack not zero-filled")
+		}
+	}
+	_, writes := fs.Stats()
+	if writes != 1 {
+		t.Fatalf("writes: %d", writes)
+	}
+}
+
+func TestSpanBufferFlushBoundaries(t *testing.T) {
+	sb, fs, _ := sbFixture(t, 64)
+	// Dataset switch flushes.
+	sb.add(0, 0, make([]byte, 8))
+	sb.add(1, 8, make([]byte, 8))
+	if _, writes := fs.Stats(); writes != 1 {
+		t.Fatal("dataset switch did not flush")
+	}
+	// Backward offset flushes (overflow-relocated chunk).
+	sb.add(1, 4, make([]byte, 8))
+	if _, writes := fs.Stats(); writes != 2 {
+		t.Fatal("backward offset did not flush")
+	}
+	// Oversized gap flushes.
+	sb.add(1, 4+8+1000, make([]byte, 8))
+	if _, writes := fs.Stats(); writes != 3 {
+		t.Fatal("oversized gap did not flush")
+	}
+	// Capacity flushes immediately.
+	sb.flush()
+	sb.add(2, 5000, make([]byte, 64))
+	if sb.blocks != 0 {
+		t.Fatal("capacity reach did not flush")
+	}
+}
+
+func TestSpanBufferEmptyFlushIsNoop(t *testing.T) {
+	sb, fs, _ := sbFixture(t, 64)
+	if err := sb.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, writes := fs.Stats(); writes != 0 {
+		t.Fatal("empty flush wrote")
+	}
+}

@@ -1,0 +1,129 @@
+package simapp
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/fields"
+	"repro/internal/huffman"
+	"repro/internal/pfs"
+	"repro/internal/sz"
+)
+
+// VerifySnapshot opens one Ours-mode snapshot and checks every rank/field
+// against the generator: chunks must decompress (using the persisted shared
+// Huffman tree) and the reconstruction must respect the field's error
+// bound. It returns the number of chunks verified.
+func VerifySnapshot(fs *pfs.FS, name string, cfg Config) (int, error) {
+	fr, attrsOf, err := openSnap(fs, cfg.backend(), name)
+	if err != nil {
+		return 0, err
+	}
+	gen, err := fields.NewGenerator(fields.Config{
+		Dims: cfg.Dims, Fields: cfg.Specs, Ranks: cfg.Ranks,
+		Seed: cfg.Seed, Stage: cfg.Stage,
+	})
+	if err != nil {
+		return 0, err
+	}
+	splits, err := sz.Split(cfg.Dims, cfg.BlockBytes)
+	if err != nil {
+		return 0, err
+	}
+	checked := 0
+	for r := 0; r < cfg.Ranks; r++ {
+		for fi, spec := range cfg.Specs {
+			dsName := fmt.Sprintf("/rank%03d/%s", r, spec.Name)
+			attrs, err := attrsOf(dsName)
+			if err != nil {
+				return checked, err
+			}
+			iter, err := strconv.Atoi(attrs["iter"])
+			if err != nil {
+				return checked, fmt.Errorf("simapp: dataset %s has no iter attr", dsName)
+			}
+			var tree *huffman.Tree
+			if treeRef := attrs["tree"]; treeRef != "" {
+				blob, err := fr.ReadChunk(treeRef, 0)
+				if err != nil {
+					return checked, fmt.Errorf("simapp: reading tree %s: %w", treeRef, err)
+				}
+				tree, err = huffman.Unmarshal(blob)
+				if err != nil {
+					return checked, err
+				}
+			}
+			want := gen.Field(r, spec, iter)
+			parts := make([][]float32, len(splits))
+			for bi := range splits {
+				blob, err := fr.ReadChunk(dsName, bi)
+				if err != nil {
+					return checked, err
+				}
+				dec, _, err := sz.Decompress(blob, tree)
+				if err != nil {
+					return checked, fmt.Errorf("simapp: %s chunk %d: %w", dsName, bi, err)
+				}
+				parts[bi] = dec
+				checked++
+			}
+			got, err := sz.Reassemble(splits, parts, cfg.Dims)
+			if err != nil {
+				return checked, err
+			}
+			if e := sz.MaxAbsError(want, got); e > spec.ErrorBound {
+				return checked, fmt.Errorf("simapp: %s error %g exceeds bound %g (iter %d)",
+					dsName, e, spec.ErrorBound, iter)
+			}
+			_ = fi
+		}
+	}
+	return checked, nil
+}
+
+// VerifyRawSnapshot checks a Baseline/AsyncIO (uncompressed) snapshot
+// byte-exactly against the generator.
+func VerifyRawSnapshot(fs *pfs.FS, name string, cfg Config) (int, error) {
+	fr, attrsOf, err := openSnap(fs, cfg.backend(), name)
+	if err != nil {
+		return 0, err
+	}
+	gen, err := fields.NewGenerator(fields.Config{
+		Dims: cfg.Dims, Fields: cfg.Specs, Ranks: cfg.Ranks,
+		Seed: cfg.Seed, Stage: cfg.Stage,
+	})
+	if err != nil {
+		return 0, err
+	}
+	checked := 0
+	for r := 0; r < cfg.Ranks; r++ {
+		for _, spec := range cfg.Specs {
+			dsName := fmt.Sprintf("/rank%03d/%s", r, spec.Name)
+			attrs, err := attrsOf(dsName)
+			if err != nil {
+				return checked, err
+			}
+			iter, err := strconv.Atoi(attrs["iter"])
+			if err != nil {
+				return checked, err
+			}
+			blob, err := fr.ReadChunk(dsName, 0)
+			if err != nil {
+				return checked, err
+			}
+			want := gen.Field(r, spec, iter)
+			if len(blob) != 4*len(want) {
+				return checked, fmt.Errorf("simapp: %s raw size %d, want %d", dsName, len(blob), 4*len(want))
+			}
+			for i, v := range want {
+				u := uint32(blob[4*i])<<24 | uint32(blob[4*i+1])<<16 |
+					uint32(blob[4*i+2])<<8 | uint32(blob[4*i+3])
+				if u != f32bits(v) {
+					return checked, fmt.Errorf("simapp: %s point %d mismatch", dsName, i)
+				}
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}

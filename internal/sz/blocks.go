@@ -1,0 +1,86 @@
+package sz
+
+import "fmt"
+
+// Block identifies one fine-grained slab of a field: Z-planes [Z0, Z0+Dims.Z)
+// of the parent field. Slabs are contiguous in memory because X varies
+// fastest, so a Block's data is parent[Z0*X*Y : (Z0+Dims.Z)*X*Y].
+type Block struct {
+	Index int  // position within the field's block list
+	Z0    int  // first Z plane of the parent field covered by this block
+	Dims  Dims // shape of this block (X and Y match the parent)
+}
+
+// Bytes returns the raw (uncompressed) size of the block in bytes.
+func (b Block) Bytes() int { return 4 * b.Dims.N() }
+
+// Slice extracts the block's data from the parent field without copying.
+func (b Block) Slice(parent []float32, parentDims Dims) []float32 {
+	plane := parentDims.X * parentDims.Y
+	return parent[b.Z0*plane : (b.Z0+b.Dims.Z)*plane]
+}
+
+// Split carves a dims-shaped field into fine-grained compression blocks of
+// approximately targetBytes each (§4.1 recommends 8–16 MiB). Blocks are
+// Z-slabs so each is contiguous; plane counts differ by at most one so the
+// field divides evenly (the paper's "non-integer block size" trick).
+//
+// If targetBytes <= 0 or the field is smaller than one target block, a
+// single block covering the whole field is returned.
+func Split(dims Dims, targetBytes int) ([]Block, error) {
+	if !dims.valid() {
+		return nil, fmt.Errorf("sz: invalid dims %v", dims)
+	}
+	total := 4 * dims.N()
+	planeBytes := 4 * dims.X * dims.Y
+	if targetBytes <= 0 || total <= targetBytes || dims.Z == 1 {
+		return []Block{{Index: 0, Z0: 0, Dims: dims}}, nil
+	}
+	// Number of blocks: nearest to total/target, at least 1, at most Z.
+	k := (total + targetBytes/2) / targetBytes
+	if k < 1 {
+		k = 1
+	}
+	if k > dims.Z {
+		k = dims.Z
+	}
+	blocks := make([]Block, 0, k)
+	z0 := 0
+	for i := 0; i < k; i++ {
+		// Even split of Z planes: ceil/floor interleave.
+		z1 := (dims.Z * (i + 1)) / k
+		b := Block{
+			Index: i,
+			Z0:    z0,
+			Dims:  Dims{X: dims.X, Y: dims.Y, Z: z1 - z0},
+		}
+		blocks = append(blocks, b)
+		z0 = z1
+	}
+	_ = planeBytes
+	return blocks, nil
+}
+
+// Reassemble concatenates per-block reconstructions back into a full field.
+// blocks must be the exact Split output in order, and parts[i] must be the
+// decompressed data of blocks[i].
+func Reassemble(blocks []Block, parts [][]float32, dims Dims) ([]float32, error) {
+	out := make([]float32, dims.N())
+	plane := dims.X * dims.Y
+	covered := 0
+	for i, b := range blocks {
+		if i >= len(parts) {
+			return nil, fmt.Errorf("sz: missing part %d", i)
+		}
+		want := b.Dims.N()
+		if len(parts[i]) != want {
+			return nil, fmt.Errorf("sz: part %d has %d points, want %d", i, len(parts[i]), want)
+		}
+		copy(out[b.Z0*plane:], parts[i])
+		covered += want
+	}
+	if covered != dims.N() {
+		return nil, fmt.Errorf("sz: blocks cover %d of %d points", covered, dims.N())
+	}
+	return out, nil
+}

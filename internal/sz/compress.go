@@ -1,0 +1,237 @@
+package sz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/huffman"
+	"repro/internal/lossless"
+)
+
+var magic = [4]byte{'S', 'Z', 'L', '1'}
+
+const (
+	flagTreeEmbedded = 1 << 0
+	flagLossless     = 1 << 1
+	flagPredictor    = 1 << 2 // a predictor section precedes the tree
+
+	// fixed header after magic+flags: radius(2) dims(12) eb(8) nOut(4)
+	// treeLen(4) huffLen(4)
+	bodyHeaderSize = 2 + 12 + 8 + 4 + 4 + 4
+)
+
+// Compress encodes data (a dims-shaped float32 field) under opt and returns
+// the self-contained block plus statistics. In shared-tree mode
+// (opt.Tree != nil) the tree is not embedded; Decompress needs it back.
+func Compress(data []float32, dims Dims, opt Options) ([]byte, Stats, error) {
+	var st Stats
+	if err := opt.validate(); err != nil {
+		return nil, st, err
+	}
+	if !dims.valid() || dims.N() != len(data) {
+		return nil, st, fmt.Errorf("sz: dims %v do not match %d points", dims, len(data))
+	}
+	radius := opt.radius()
+	st.RawBytes = 4 * len(data)
+
+	codes := make([]uint16, len(data))
+	recon := make([]float32, len(data))
+	ps := opt.buildPredictor(data, dims)
+	outliers := quantize(data, dims, opt.ErrorBound, radius, codes, recon, ps)
+	st.Outliers = len(outliers)
+
+	var predBlob []byte
+	if ps.kind != PredLorenzo {
+		predBlob = ps.marshal()
+	}
+
+	tree := opt.Tree
+	var treeBlob []byte
+	if tree == nil {
+		hist := huffman.Histogram(2*radius, codes)
+		t, err := huffman.Build(hist)
+		if err != nil {
+			return nil, st, fmt.Errorf("sz: building tree: %w", err)
+		}
+		tree = t
+		treeBlob = tree.Marshal()
+		st.TreeBytes = len(treeBlob)
+	}
+
+	huff, est, err := tree.Encode(codes)
+	if err != nil {
+		return nil, st, fmt.Errorf("sz: encoding codes: %w", err)
+	}
+	st.Escaped = est.Escaped
+
+	body := make([]byte, 0, bodyHeaderSize+len(predBlob)+len(treeBlob)+len(huff)+4*len(outliers))
+	body = binary.BigEndian.AppendUint16(body, uint16(radius))
+	body = binary.BigEndian.AppendUint32(body, uint32(dims.X))
+	body = binary.BigEndian.AppendUint32(body, uint32(dims.Y))
+	body = binary.BigEndian.AppendUint32(body, uint32(dims.Z))
+	body = binary.BigEndian.AppendUint64(body, math.Float64bits(opt.ErrorBound))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(outliers)))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(treeBlob)))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(huff)))
+	if len(predBlob) > 0 {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(predBlob)))
+		body = append(body, predBlob...)
+	}
+	body = append(body, treeBlob...)
+	body = append(body, huff...)
+	for _, v := range outliers {
+		body = binary.BigEndian.AppendUint32(body, math.Float32bits(v))
+	}
+
+	flags := byte(0)
+	if opt.Tree == nil {
+		flags |= flagTreeEmbedded
+	}
+	if len(predBlob) > 0 {
+		flags |= flagPredictor
+	}
+	if !opt.DisableLossless {
+		if packed := lossless.Compress(body); len(packed) < len(body) {
+			body = packed
+			flags |= flagLossless
+		}
+	}
+
+	out := make([]byte, 0, 5+len(body))
+	out = append(out, magic[:]...)
+	out = append(out, flags)
+	out = append(out, body...)
+	st.CompressedBytes = len(out)
+	st.Ratio = float64(st.RawBytes) / float64(len(out))
+	return out, st, nil
+}
+
+// Decompress reverses Compress. sharedTree is required iff the block was
+// produced with a shared tree (it is ignored when the block embeds its own).
+func Decompress(blob []byte, sharedTree *huffman.Tree) ([]float32, Dims, error) {
+	var dims Dims
+	if len(blob) < 5 || blob[0] != magic[0] || blob[1] != magic[1] ||
+		blob[2] != magic[2] || blob[3] != magic[3] {
+		return nil, dims, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	flags := blob[4]
+	body := blob[5:]
+	if flags&flagLossless != 0 {
+		b, err := lossless.Decompress(body)
+		if err != nil {
+			return nil, dims, fmt.Errorf("%w: lossless stage: %v", ErrCorrupt, err)
+		}
+		body = b
+	}
+	if len(body) < bodyHeaderSize {
+		return nil, dims, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	radius := int(binary.BigEndian.Uint16(body))
+	dims.X = int(binary.BigEndian.Uint32(body[2:]))
+	dims.Y = int(binary.BigEndian.Uint32(body[6:]))
+	dims.Z = int(binary.BigEndian.Uint32(body[10:]))
+	eb := math.Float64frombits(binary.BigEndian.Uint64(body[14:]))
+	nOut := int(binary.BigEndian.Uint32(body[22:]))
+	treeLen := int(binary.BigEndian.Uint32(body[26:]))
+	huffLen := int(binary.BigEndian.Uint32(body[30:]))
+
+	if radius < 2 || radius > 32768 || !dims.valid() || eb <= 0 {
+		return nil, dims, fmt.Errorf("%w: bad parameters", ErrCorrupt)
+	}
+	n := dims.N()
+	if n <= 0 || n > (1<<31) || nOut > n {
+		return nil, dims, fmt.Errorf("%w: implausible sizes", ErrCorrupt)
+	}
+	rest := body[bodyHeaderSize:]
+	ps := newPredictorState(PredLorenzo, dims)
+	if flags&flagPredictor != 0 {
+		if len(rest) < 4 {
+			return nil, dims, fmt.Errorf("%w: missing predictor length", ErrCorrupt)
+		}
+		predLen := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if predLen < 0 || predLen > len(rest) {
+			return nil, dims, fmt.Errorf("%w: predictor section overruns", ErrCorrupt)
+		}
+		p, err := unmarshalPredictor(rest[:predLen], dims)
+		if err != nil {
+			return nil, dims, err
+		}
+		ps = p
+		rest = rest[predLen:]
+	}
+	if len(rest) != treeLen+huffLen+4*nOut {
+		return nil, dims, fmt.Errorf("%w: section sizes do not add up", ErrCorrupt)
+	}
+
+	var tree *huffman.Tree
+	if flags&flagTreeEmbedded != 0 {
+		if treeLen == 0 {
+			return nil, dims, fmt.Errorf("%w: embedded tree missing", ErrCorrupt)
+		}
+		t, err := huffman.Unmarshal(rest[:treeLen])
+		if err != nil {
+			return nil, dims, fmt.Errorf("%w: tree: %v", ErrCorrupt, err)
+		}
+		tree = t
+	} else {
+		if sharedTree == nil {
+			return nil, dims, ErrNeedTree
+		}
+		tree = sharedTree
+	}
+	if tree.Alphabet() != 2*radius {
+		return nil, dims, fmt.Errorf("%w: tree alphabet %d != %d", ErrCorrupt, tree.Alphabet(), 2*radius)
+	}
+
+	codes, err := tree.Decode(rest[treeLen:treeLen+huffLen], n)
+	if err != nil {
+		return nil, dims, fmt.Errorf("%w: codes: %v", ErrCorrupt, err)
+	}
+	outliers := make([]float32, nOut)
+	outBytes := rest[treeLen+huffLen:]
+	for i := range outliers {
+		outliers[i] = math.Float32frombits(binary.BigEndian.Uint32(outBytes[4*i:]))
+	}
+
+	data, err := reconstruct(codes, outliers, dims, eb, radius, ps)
+	if err != nil {
+		return nil, dims, err
+	}
+	return data, dims, nil
+}
+
+// reconstruct replays the predictor over the quantization codes.
+func reconstruct(codes []uint16, outliers []float32, dims Dims, eb float64, radius int, ps *predictorState) ([]float32, error) {
+	recon := make([]float32, len(codes))
+	twoEB := 2 * eb
+	nd := dims.ndim()
+	nx, ny := dims.X, dims.Y
+	nxy := nx * ny
+	oi := 0
+
+	for i, c := range codes {
+		if c == 0 {
+			if oi >= len(outliers) {
+				return nil, fmt.Errorf("%w: outlier list exhausted", ErrCorrupt)
+			}
+			recon[i] = outliers[oi]
+			oi++
+			continue
+		}
+		if int(c) >= 2*radius {
+			return nil, fmt.Errorf("%w: code %d out of range", ErrCorrupt, c)
+		}
+		x := i % nx
+		y := (i / nx) % ny
+		z := i / nxy
+		pred := ps.predict(recon, nx, nxy, nd, i, x, y, z)
+		q := float64(int(c) - radius)
+		recon[i] = float32(pred + q*twoEB)
+	}
+	if oi != len(outliers) {
+		return nil, fmt.Errorf("%w: %d unused outliers", ErrCorrupt, len(outliers)-oi)
+	}
+	return recon, nil
+}

@@ -1,0 +1,53 @@
+package sz
+
+import (
+	"math"
+
+	"repro/internal/huffman"
+)
+
+// EstimateCompressedBytes predicts the compressed size of a block from its
+// quantization-code histogram, without entropy coding. The entropy of the
+// code distribution bounds the Huffman stage; outliers cost 4 bytes each.
+// This is the §4.4 mechanism used to pre-compute HDF5 offsets before the
+// actual compression runs.
+func EstimateCompressedBytes(hist []uint64, outliers int) int {
+	var n, bits float64
+	for _, c := range hist {
+		n += float64(c)
+	}
+	if n == 0 {
+		return bodyHeaderSize + 5
+	}
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		bits += -float64(c) * math.Log2(p)
+	}
+	// Huffman loses a little to integer code lengths; SZ-style streams see
+	// ~2-4% overhead, and the lossless pass claws some back. Use +3%.
+	payload := int(bits*1.03/8) + 4*outliers
+	return bodyHeaderSize + 5 + payload + 256 // ~tree/overhead allowance
+}
+
+// EstimateRatio predicts the compression ratio of a block given its
+// quantization codes and outlier count.
+func EstimateRatio(codes []uint16, radius, outliers int) float64 {
+	hist := huffman.Histogram(2*radius, codes)
+	est := EstimateCompressedBytes(hist, outliers)
+	raw := 4 * len(codes)
+	if est <= 0 {
+		return 1
+	}
+	return float64(raw) / float64(est)
+}
+
+// EstimateWithTree predicts the compressed size using a specific (possibly
+// stale shared) tree instead of the entropy bound. This captures the
+// shared-tree degradation the framework monitors (§4.3 / Fig. 6).
+func EstimateWithTree(tree *huffman.Tree, hist []uint64, outliers int) int {
+	bits := tree.EstimateBits(hist)
+	return bodyHeaderSize + 5 + bits/8 + 4*outliers
+}

@@ -1,0 +1,285 @@
+package sz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PredictorKind selects the prediction stage.
+type PredictorKind uint8
+
+// Predictor kinds. PredLorenzo is the classic SZ predictor; PredAuto is the
+// SZ3-style hybrid that partitions the volume into small cubes and picks,
+// per cube, between Lorenzo and a 3-D linear-regression fit — regression
+// wins on noisy-but-planar regions where Lorenzo amplifies neighbour noise.
+const (
+	PredLorenzo PredictorKind = 0
+	PredAuto    PredictorKind = 1
+)
+
+// regBlock is the sub-block edge length for predictor selection (SZ3 uses
+// 6; 8 aligns with power-of-two dims).
+const regBlock = 8
+
+// regCoef is one sub-block's linear model: v ≈ C0 + C1*dx + C2*dy + C3*dz
+// with (dx,dy,dz) local coordinates within the sub-block.
+type regCoef [4]float32
+
+// predictorState drives prediction during quantization and reconstruction.
+// For PredLorenzo everything is empty. For PredAuto it holds the per-sub-
+// block choice plus regression coefficients, and is serialized into the
+// block so Decompress replays identical predictions.
+type predictorState struct {
+	kind PredictorKind
+
+	nbx, nby, nbz int
+	useReg        []bool    // per sub-block
+	coef          []regCoef // per sub-block (zero for Lorenzo blocks)
+}
+
+func newPredictorState(kind PredictorKind, dims Dims) *predictorState {
+	ps := &predictorState{kind: kind}
+	if kind == PredAuto {
+		ps.nbx = (dims.X + regBlock - 1) / regBlock
+		ps.nby = (dims.Y + regBlock - 1) / regBlock
+		ps.nbz = (dims.Z + regBlock - 1) / regBlock
+		n := ps.nbx * ps.nby * ps.nbz
+		ps.useReg = make([]bool, n)
+		ps.coef = make([]regCoef, n)
+	}
+	return ps
+}
+
+func (ps *predictorState) subIndex(x, y, z int) int {
+	return (x / regBlock) + ps.nbx*((y/regBlock)+ps.nby*(z/regBlock))
+}
+
+// predict returns the prediction for point (x, y, z) at linear index i given
+// the reconstructed prefix.
+func (ps *predictorState) predict(recon []float32, nx, nxy, nd, i, x, y, z int) float64 {
+	if ps.kind == PredAuto {
+		if si := ps.subIndex(x, y, z); ps.useReg[si] {
+			c := ps.coef[si]
+			return float64(c[0]) +
+				float64(c[1])*float64(x%regBlock) +
+				float64(c[2])*float64(y%regBlock) +
+				float64(c[3])*float64(z%regBlock)
+		}
+	}
+	return lorenzoPredict(recon, nx, nxy, nd, i, x, y, z)
+}
+
+// lorenzoPredict is the classic 1/2/3-D Lorenzo predictor over the
+// reconstructed neighbours.
+func lorenzoPredict(recon []float32, nx, nxy, nd, i, x, y, z int) float64 {
+	at := func(j int) float64 { return float64(recon[j]) }
+	switch nd {
+	case 1:
+		if x > 0 {
+			return at(i - 1)
+		}
+	case 2:
+		switch {
+		case x > 0 && y > 0:
+			return at(i-1) + at(i-nx) - at(i-nx-1)
+		case x > 0:
+			return at(i - 1)
+		case y > 0:
+			return at(i - nx)
+		}
+	default:
+		hasX, hasY, hasZ := x > 0, y > 0, z > 0
+		switch {
+		case hasX && hasY && hasZ:
+			return at(i-1) + at(i-nx) + at(i-nxy) -
+				at(i-nx-1) - at(i-nxy-1) - at(i-nxy-nx) +
+				at(i-nxy-nx-1)
+		case hasX && hasY:
+			return at(i-1) + at(i-nx) - at(i-nx-1)
+		case hasX && hasZ:
+			return at(i-1) + at(i-nxy) - at(i-nxy-1)
+		case hasY && hasZ:
+			return at(i-nx) + at(i-nxy) - at(i-nxy-nx)
+		case hasX:
+			return at(i - 1)
+		case hasY:
+			return at(i - nx)
+		case hasZ:
+			return at(i - nxy)
+		}
+	}
+	return 0
+}
+
+// fitAuto builds the PredAuto state from the original data: per sub-block it
+// fits the linear model and keeps it only when its mean absolute residual
+// beats a Lorenzo estimate computed on the original values (the same
+// original-data proxy SZ3's selector uses).
+func fitAuto(data []float32, dims Dims) *predictorState {
+	ps := newPredictorState(PredAuto, dims)
+	nx, ny := dims.X, dims.Y
+	nxy := nx * ny
+	nd := dims.ndim()
+
+	for bz := 0; bz < ps.nbz; bz++ {
+		for by := 0; by < ps.nby; by++ {
+			for bx := 0; bx < ps.nbx; bx++ {
+				si := bx + ps.nbx*(by+ps.nby*bz)
+				x0, y0, z0 := bx*regBlock, by*regBlock, bz*regBlock
+				x1, y1, z1 := minInt(x0+regBlock, dims.X), minInt(y0+regBlock, dims.Y), minInt(z0+regBlock, dims.Z)
+
+				// Least squares for v = a + b*dx + c*dy + d*dz. On a regular
+				// grid with centred coordinates the normal equations
+				// diagonalize per axis.
+				var n, sum float64
+				var sx, sy, szz float64 // Σ dx etc.
+				for z := z0; z < z1; z++ {
+					for y := y0; y < y1; y++ {
+						for x := x0; x < x1; x++ {
+							v := float64(data[x+nx*y+nxy*z])
+							n++
+							sum += v
+							sx += float64(x - x0)
+							sy += float64(y - y0)
+							szz += float64(z - z0)
+						}
+					}
+				}
+				mean := sum / n
+				mx, my, mz := sx/n, sy/n, szz/n
+				var cxx, cyy, czz, cxv, cyv, czv float64
+				for z := z0; z < z1; z++ {
+					for y := y0; y < y1; y++ {
+						for x := x0; x < x1; x++ {
+							v := float64(data[x+nx*y+nxy*z]) - mean
+							dx, dy, dz := float64(x-x0)-mx, float64(y-y0)-my, float64(z-z0)-mz
+							cxx += dx * dx
+							cyy += dy * dy
+							czz += dz * dz
+							cxv += dx * v
+							cyv += dy * v
+							czv += dz * v
+						}
+					}
+				}
+				b, c, d := 0.0, 0.0, 0.0
+				if cxx > 0 {
+					b = cxv / cxx
+				}
+				if cyy > 0 {
+					c = cyv / cyy
+				}
+				if czz > 0 {
+					d = czv / czz
+				}
+				a := mean - b*mx - c*my - d*mz
+
+				// Compare mean absolute residuals: regression fit vs a
+				// Lorenzo estimate on the original values.
+				var regErr, lorErr float64
+				for z := z0; z < z1; z++ {
+					for y := y0; y < y1; y++ {
+						for x := x0; x < x1; x++ {
+							i := x + nx*y + nxy*z
+							v := float64(data[i])
+							fit := a + b*float64(x-x0) + c*float64(y-y0) + d*float64(z-z0)
+							regErr += math.Abs(v - fit)
+							lorErr += math.Abs(v - lorenzoPredict(data, nx, nxy, nd, i, x, y, z))
+						}
+					}
+				}
+				if regErr < lorErr {
+					ps.useReg[si] = true
+					ps.coef[si] = regCoef{float32(a), float32(b), float32(c), float32(d)}
+				}
+			}
+		}
+	}
+	return ps
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// marshal serializes the predictor state: [kind byte]; for PredAuto a
+// selection bitmap plus coefficients for regression blocks.
+func (ps *predictorState) marshal() []byte {
+	out := []byte{byte(ps.kind)}
+	if ps.kind != PredAuto {
+		return out
+	}
+	n := len(ps.useReg)
+	out = binary.BigEndian.AppendUint32(out, uint32(n))
+	bitmap := make([]byte, (n+7)/8)
+	for i, u := range ps.useReg {
+		if u {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	out = append(out, bitmap...)
+	for i, u := range ps.useReg {
+		if !u {
+			continue
+		}
+		for _, f := range ps.coef[i] {
+			out = binary.BigEndian.AppendUint32(out, math.Float32bits(f))
+		}
+	}
+	return out
+}
+
+// unmarshalPredictor parses a marshal blob for the given dims.
+func unmarshalPredictor(blob []byte, dims Dims) (*predictorState, error) {
+	if len(blob) < 1 {
+		return nil, fmt.Errorf("%w: empty predictor section", ErrCorrupt)
+	}
+	kind := PredictorKind(blob[0])
+	switch kind {
+	case PredLorenzo:
+		return newPredictorState(PredLorenzo, dims), nil
+	case PredAuto:
+	default:
+		return nil, fmt.Errorf("%w: unknown predictor kind %d", ErrCorrupt, kind)
+	}
+	ps := newPredictorState(PredAuto, dims)
+	want := len(ps.useReg)
+	pos := 1
+	if len(blob) < pos+4 {
+		return nil, fmt.Errorf("%w: short predictor section", ErrCorrupt)
+	}
+	n := int(binary.BigEndian.Uint32(blob[pos:]))
+	pos += 4
+	if n != want {
+		return nil, fmt.Errorf("%w: predictor has %d sub-blocks, dims imply %d", ErrCorrupt, n, want)
+	}
+	bm := (n + 7) / 8
+	if len(blob) < pos+bm {
+		return nil, fmt.Errorf("%w: short predictor bitmap", ErrCorrupt)
+	}
+	nReg := 0
+	for i := 0; i < n; i++ {
+		if blob[pos+i/8]&(1<<(i%8)) != 0 {
+			ps.useReg[i] = true
+			nReg++
+		}
+	}
+	pos += bm
+	if len(blob) != pos+16*nReg {
+		return nil, fmt.Errorf("%w: predictor coefficients truncated", ErrCorrupt)
+	}
+	for i := 0; i < n; i++ {
+		if !ps.useReg[i] {
+			continue
+		}
+		for k := 0; k < 4; k++ {
+			ps.coef[i][k] = math.Float32frombits(binary.BigEndian.Uint32(blob[pos:]))
+			pos += 4
+		}
+	}
+	return ps, nil
+}

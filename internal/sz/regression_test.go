@@ -1,0 +1,226 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// noisyPlane is the workload regression is built for: a linear ramp plus
+// white noise. Lorenzo amplifies the noise (its 3-D stencil sums 7 noisy
+// neighbours); the regression plane does not.
+func noisyPlane(d Dims, noise float64, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, d.N())
+	i := 0
+	for z := 0; z < d.Z; z++ {
+		for y := 0; y < d.Y; y++ {
+			for x := 0; x < d.X; x++ {
+				out[i] = float32(3*float64(x) - 2*float64(y) + 0.5*float64(z) +
+					noise*rng.NormFloat64())
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func TestAutoRoundTripHoldsBound(t *testing.T) {
+	d := Dims{X: 33, Y: 17, Z: 9} // deliberately not multiples of regBlock
+	data := noisyPlane(d, 0.3, 1)
+	eb := 0.1
+	blob, st, err := Compress(data, d, Options{ErrorBound: eb, Predictor: PredAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, gotD, err := Decompress(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotD != d {
+		t.Fatalf("dims %v", gotD)
+	}
+	if e := MaxAbsError(data, dec); e > eb {
+		t.Fatalf("max error %g > %g", e, eb)
+	}
+	if st.Ratio <= 1 {
+		t.Fatalf("ratio %.2f", st.Ratio)
+	}
+}
+
+func TestAutoBeatsLorenzoOnNoisyPlanes(t *testing.T) {
+	d := Dims{X: 48, Y: 48, Z: 16}
+	eb := 0.1
+	data := noisyPlane(d, 0.25, 3)
+	_, lor, err := Compress(data, d, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, auto, err := Compress(data, d, Options{ErrorBound: eb, Predictor: PredAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Ratio <= lor.Ratio {
+		t.Fatalf("PredAuto (%.2fx) did not beat Lorenzo (%.2fx) on a noisy plane",
+			auto.Ratio, lor.Ratio)
+	}
+}
+
+func TestAutoFallsBackToLorenzoOnCurvedData(t *testing.T) {
+	// Strongly curved, low-noise data: Lorenzo should win in most
+	// sub-blocks; PredAuto must not be much worse than pure Lorenzo.
+	d := Dims{X: 32, Y: 32, Z: 16}
+	data := smoothField3D(d, 5)
+	eb := 1e-3
+	_, lor, err := Compress(data, d, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, auto, err := Compress(data, d, Options{ErrorBound: eb, Predictor: PredAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(auto.CompressedBytes) > 1.1*float64(lor.CompressedBytes) {
+		t.Fatalf("PredAuto (%d B) much worse than Lorenzo (%d B) on curved data",
+			auto.CompressedBytes, lor.CompressedBytes)
+	}
+	// And it must still round-trip within bound.
+	blob, _, _ := Compress(data, d, Options{ErrorBound: eb, Predictor: PredAuto})
+	dec, _, err := Decompress(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxAbsError(data, dec); e > eb {
+		t.Fatalf("error %g", e)
+	}
+}
+
+func TestPredictorStateMarshalRoundTrip(t *testing.T) {
+	d := Dims{X: 20, Y: 12, Z: 10}
+	data := noisyPlane(d, 0.2, 9)
+	ps := fitAuto(data, d)
+	blob := ps.marshal()
+	got, err := unmarshalPredictor(blob, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.kind != PredAuto || len(got.useReg) != len(ps.useReg) {
+		t.Fatalf("state mismatch: %+v", got)
+	}
+	for i := range ps.useReg {
+		if got.useReg[i] != ps.useReg[i] {
+			t.Fatalf("selection bit %d differs", i)
+		}
+		if got.coef[i] != ps.coef[i] {
+			t.Fatalf("coef %d differs: %v vs %v", i, got.coef[i], ps.coef[i])
+		}
+	}
+}
+
+func TestUnmarshalPredictorCorrupt(t *testing.T) {
+	d := Dims{X: 16, Y: 16, Z: 16}
+	cases := [][]byte{
+		nil,
+		{9},              // unknown kind
+		{1, 0, 0, 0, 99}, // wrong sub-block count
+		{1, 0, 0},        // truncated count
+	}
+	for i, c := range cases {
+		if _, err := unmarshalPredictor(c, d); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	// Valid count but truncated coefficients.
+	data := noisyPlane(d, 0.2, 2)
+	blob := fitAuto(data, d).marshal()
+	if _, err := unmarshalPredictor(blob[:len(blob)-2], d); err == nil {
+		t.Fatal("truncated coefficients accepted")
+	}
+}
+
+func TestInvalidPredictorKindRejected(t *testing.T) {
+	d := Dims{X: 8, Y: 1, Z: 1}
+	if _, _, err := Compress(make([]float32, 8), d, Options{ErrorBound: 1, Predictor: 7}); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+}
+
+func TestAutoSharedTreeCombination(t *testing.T) {
+	// PredAuto composes with the shared Huffman tree (§4.3): quantize with
+	// auto predictor, build the tree, then compress with both.
+	d := Dims{X: 32, Y: 32, Z: 8}
+	data := noisyPlane(d, 0.2, 7)
+	opt := Options{ErrorBound: 0.1, Radius: 512, Predictor: PredAuto}
+	codes, _, err := Quantize(data, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(histFor(512, codes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Tree = tree
+	blob, _, err := Compress(data, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(blob, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxAbsError(data, dec); e > 0.1 {
+		t.Fatalf("error %g", e)
+	}
+}
+
+func histFor(radius int, codes []uint16) []uint64 {
+	h := make([]uint64, 2*radius)
+	for _, c := range codes {
+		h[c]++
+	}
+	return h
+}
+
+// Property: PredAuto round-trips within bound on arbitrary shapes and data.
+func TestQuickAutoErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Dims{X: 1 + rng.Intn(24), Y: 1 + rng.Intn(24), Z: 1 + rng.Intn(12)}
+		data := make([]float32, d.N())
+		for i := range data {
+			data[i] = float32(rng.NormFloat64()*10 + float64(i%7))
+		}
+		eb := 0.05 + rng.Float64()
+		blob, _, err := Compress(data, d, Options{ErrorBound: eb, Radius: 256, Predictor: PredAuto})
+		if err != nil {
+			return false
+		}
+		dec, gotD, err := Decompress(blob, nil)
+		if err != nil || gotD != d {
+			return false
+		}
+		return MaxAbsError(data, dec) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoRatioNeverCatastrophic(t *testing.T) {
+	// The selection header (bitmap + coefficients) must not blow up tiny
+	// fields.
+	d := Dims{X: 9, Y: 9, Z: 9}
+	data := noisyPlane(d, 0.1, 4)
+	blob, st, err := Compress(data, d, Options{ErrorBound: 0.5, Predictor: PredAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > 4*d.N() {
+		t.Fatalf("tiny field expanded: %d > raw %d", len(blob), 4*d.N())
+	}
+	_ = st
+	if math.IsNaN(st.Ratio) {
+		t.Fatal("NaN ratio")
+	}
+}

@@ -1,0 +1,273 @@
+// Package sz implements a prediction-based, error-bounded lossy compressor
+// for scientific floating-point data, modelled on SZ/SZ3 (Di & Cappello,
+// IPDPS'16; Liang et al., TBD'22): a Lorenzo predictor, linear error-bounded
+// quantization with an outlier escape, canonical Huffman coding of the
+// quantization codes, and a final lossless pass.
+//
+// Two features exist specifically for the EuroSys'24 in situ scheduling
+// framework this repository reproduces:
+//
+//   - Fine-grained compression (§4.1): Split carves a field into ~8–16 MiB
+//     slabs that compress independently, multiplying the number of
+//     schedulable tasks.
+//   - Shared Huffman tree (§4.3): Options.Tree lets many blocks (and many
+//     iterations) reuse one tree; symbols outside the tree's support are
+//     escaped rather than breaking the encode.
+package sz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/huffman"
+)
+
+// Dims describes a 1-, 2- or 3-dimensional field. X varies fastest in
+// memory: index = x + X*(y + Y*z). Unused dimensions are 1.
+type Dims struct {
+	X, Y, Z int
+}
+
+// N returns the total number of points.
+func (d Dims) N() int { return d.X * d.Y * d.Z }
+
+func (d Dims) valid() bool {
+	return d.X >= 1 && d.Y >= 1 && d.Z >= 1
+}
+
+// ndim reports the effective dimensionality (trailing 1s dropped).
+func (d Dims) ndim() int {
+	switch {
+	case d.Z > 1:
+		return 3
+	case d.Y > 1:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z) }
+
+// DefaultRadius is the quantization radius: codes span [1, 2*radius-1] with
+// code 0 reserved for outliers, giving a 2^16 alphabet like SZ's default.
+const DefaultRadius = 32768
+
+// Options configures compression.
+type Options struct {
+	// ErrorBound is the point-wise absolute error bound (> 0).
+	ErrorBound float64
+	// Radius is the quantization radius; 0 means DefaultRadius. The code
+	// alphabet is 2*Radius and must fit in 16 bits (Radius <= 32768).
+	Radius int
+	// Tree, when non-nil, is a shared Huffman tree used instead of building
+	// a per-block tree. The tree is NOT embedded in the output; Decompress
+	// must be given the same tree. Its alphabet must equal 2*Radius.
+	Tree *huffman.Tree
+	// Predictor selects the prediction stage: PredLorenzo (default) or
+	// PredAuto (SZ3-style per-sub-block Lorenzo/regression selection).
+	Predictor PredictorKind
+	// DisableLossless skips the final LZSS pass (useful for ablations).
+	DisableLossless bool
+}
+
+func (o Options) radius() int {
+	if o.Radius == 0 {
+		return DefaultRadius
+	}
+	return o.Radius
+}
+
+func (o Options) validate() error {
+	if !(o.ErrorBound > 0) || math.IsInf(o.ErrorBound, 0) {
+		return fmt.Errorf("sz: error bound %v must be positive and finite", o.ErrorBound)
+	}
+	r := o.radius()
+	if r < 2 || r > 32768 {
+		return fmt.Errorf("sz: radius %d out of range [2, 32768]", r)
+	}
+	if o.Tree != nil && o.Tree.Alphabet() != 2*r {
+		return fmt.Errorf("sz: shared tree alphabet %d != 2*radius %d", o.Tree.Alphabet(), 2*r)
+	}
+	if o.Predictor != PredLorenzo && o.Predictor != PredAuto {
+		return fmt.Errorf("sz: unknown predictor kind %d", o.Predictor)
+	}
+	return nil
+}
+
+// buildPredictor constructs the predictor state for compression.
+func (o Options) buildPredictor(data []float32, dims Dims) *predictorState {
+	if o.Predictor == PredAuto {
+		return fitAuto(data, dims)
+	}
+	return newPredictorState(PredLorenzo, dims)
+}
+
+// Stats reports what happened during one Compress call.
+type Stats struct {
+	RawBytes        int     // input size (4 bytes per point)
+	CompressedBytes int     // output size
+	Outliers        int     // points stored verbatim
+	Escaped         int     // quant codes escaped through the shared tree
+	TreeBytes       int     // bytes spent embedding a tree (0 in shared mode)
+	Ratio           float64 // RawBytes / CompressedBytes
+}
+
+var (
+	// ErrCorrupt reports a malformed compressed block.
+	ErrCorrupt = errors.New("sz: corrupt block")
+	// ErrNeedTree is returned by Decompress when the block was produced in
+	// shared-tree mode but no tree was supplied.
+	ErrNeedTree = errors.New("sz: block uses a shared Huffman tree; pass it to Decompress")
+)
+
+// quantize runs the predict–quantize loop over data, producing one
+// quantization code per point plus the outlier list. Lorenzo prediction uses
+// the *reconstructed* neighbours, which is what makes the error bound hold
+// after decompression; regression sub-blocks (PredAuto) predict from their
+// fitted plane. recon receives the reconstructed values (what Decompress
+// will produce).
+func quantize(data []float32, dims Dims, eb float64, radius int, codes []uint16, recon []float32, ps *predictorState) (outliers []float32) {
+	twoEB := 2 * eb
+	maxQ := radius - 1
+	nd := dims.ndim()
+	nx, ny := dims.X, dims.Y
+	nxy := nx * ny
+
+	for i, v := range data {
+		x := i % nx
+		y := (i / nx) % ny
+		z := i / nxy
+		pred := ps.predict(recon, nx, nxy, nd, i, x, y, z)
+
+		diff := float64(v) - pred
+		q := math.Floor(diff/twoEB + 0.5)
+		if math.Abs(q) <= float64(maxQ) {
+			rec := float32(pred + q*twoEB)
+			// Validate the bound on the float32 value actually stored, so
+			// float32 rounding can never break the guarantee.
+			if math.Abs(float64(rec)-float64(v)) <= eb && !math.IsNaN(float64(rec)) && !math.IsInf(float64(rec), 0) {
+				codes[i] = uint16(int(q) + radius)
+				recon[i] = rec
+				continue
+			}
+		}
+		// Outlier: store verbatim; reconstruction is exact.
+		codes[i] = 0
+		recon[i] = v
+		outliers = append(outliers, v)
+	}
+	return outliers
+}
+
+// Quantize exposes the predict–quantize stage without entropy coding. It is
+// used by the framework to build shared Huffman trees from a previous
+// iteration's codes and by the compression-ratio predictor. The returned
+// codes use alphabet 2*radius with 0 = outlier.
+func Quantize(data []float32, dims Dims, opt Options) (codes []uint16, outliers []float32, err error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if !dims.valid() || dims.N() != len(data) {
+		return nil, nil, fmt.Errorf("sz: dims %v do not match %d points", dims, len(data))
+	}
+	codes = make([]uint16, len(data))
+	recon := make([]float32, len(data))
+	ps := opt.buildPredictor(data, dims)
+	outliers = quantize(data, dims, opt.ErrorBound, opt.radius(), codes, recon, ps)
+	return codes, outliers, nil
+}
+
+// BuildTree constructs a Huffman tree for the alphabet implied by opt from a
+// quantization-code histogram (e.g. huffman.Histogram(2*radius, codes)).
+func BuildTree(hist []uint64) (*huffman.Tree, error) { return huffman.Build(hist) }
+
+// MaxAbsError returns the largest point-wise absolute difference between a
+// and b (which must be the same length).
+func MaxAbsError(a, b []float32) float64 {
+	max := 0.0
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// PSNR computes the peak signal-to-noise ratio in dB of reconstruction b
+// against original a, using a's value range as the peak.
+func PSNR(a, b []float32) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return math.NaN()
+	}
+	lo, hi := float64(a[0]), float64(a[0])
+	var mse float64
+	for i := range a {
+		v := float64(a[i])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		d := v - float64(b[i])
+		mse += d * d
+	}
+	mse /= float64(len(a))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	rng := hi - lo
+	if rng == 0 {
+		rng = 1
+	}
+	return 20*math.Log10(rng) - 10*math.Log10(mse)
+}
+
+// SSIM computes a global Structural Similarity Index between original a and
+// reconstruction b (the second distortion metric the paper lists alongside
+// PSNR, §2.2). This is the single-window global variant commonly used for
+// whole-field scientific data: means, variances, and covariance over the
+// entire array with the standard (k1,k2) = (0.01, 0.03) stabilizers scaled
+// by a's value range.
+func SSIM(a, b []float32) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return math.NaN()
+	}
+	n := float64(len(a))
+	var muA, muB float64
+	lo, hi := float64(a[0]), float64(a[0])
+	for i := range a {
+		va, vb := float64(a[i]), float64(b[i])
+		muA += va
+		muB += vb
+		if va < lo {
+			lo = va
+		}
+		if va > hi {
+			hi = va
+		}
+	}
+	muA /= n
+	muB /= n
+	var varA, varB, cov float64
+	for i := range a {
+		da, db := float64(a[i])-muA, float64(b[i])-muB
+		varA += da * da
+		varB += db * db
+		cov += da * db
+	}
+	varA /= n
+	varB /= n
+	cov /= n
+	rng := hi - lo
+	if rng == 0 {
+		rng = 1
+	}
+	c1 := (0.01 * rng) * (0.01 * rng)
+	c2 := (0.03 * rng) * (0.03 * rng)
+	return ((2*muA*muB + c1) * (2*cov + c2)) /
+		((muA*muA + muB*muB + c1) * (varA + varB + c2))
+}

@@ -1,0 +1,538 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/huffman"
+)
+
+// smoothField3D builds a correlated 3-D field: layered sinusoids plus mild
+// noise, similar in spirit to simulation output (highly compressible).
+func smoothField3D(d Dims, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, d.N())
+	i := 0
+	for z := 0; z < d.Z; z++ {
+		for y := 0; y < d.Y; y++ {
+			for x := 0; x < d.X; x++ {
+				v := 10*math.Sin(float64(x)/7) +
+					6*math.Cos(float64(y)/11) +
+					4*math.Sin(float64(z)/5+float64(x)/23) +
+					0.05*rng.NormFloat64()
+				out[i] = float32(v)
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func TestOptionsValidate(t *testing.T) {
+	d := Dims{X: 8, Y: 1, Z: 1}
+	data := make([]float32, 8)
+	if _, _, err := Compress(data, d, Options{ErrorBound: 0}); err == nil {
+		t.Fatal("zero error bound accepted")
+	}
+	if _, _, err := Compress(data, d, Options{ErrorBound: -1}); err == nil {
+		t.Fatal("negative error bound accepted")
+	}
+	if _, _, err := Compress(data, d, Options{ErrorBound: 1, Radius: 1}); err == nil {
+		t.Fatal("radius 1 accepted")
+	}
+	if _, _, err := Compress(data, Dims{X: 3, Y: 1, Z: 1}, Options{ErrorBound: 1}); err == nil {
+		t.Fatal("dims/data mismatch accepted")
+	}
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	d := Dims{X: 1000, Y: 1, Z: 1}
+	data := make([]float32, d.N())
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 20))
+	}
+	testRoundTrip(t, data, d, 1e-3)
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	d := Dims{X: 64, Y: 48, Z: 1}
+	data := make([]float32, d.N())
+	for i := range data {
+		x, y := i%64, i/64
+		data[i] = float32(x*x+y*y) / 100
+	}
+	testRoundTrip(t, data, d, 1e-2)
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	d := Dims{X: 32, Y: 32, Z: 32}
+	data := smoothField3D(d, 1)
+	testRoundTrip(t, data, d, 1e-3)
+}
+
+func testRoundTrip(t *testing.T, data []float32, d Dims, eb float64) Stats {
+	t.Helper()
+	blob, st, err := Compress(data, d, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	dec, gotDims, err := Decompress(blob, nil)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if gotDims != d {
+		t.Fatalf("dims = %v, want %v", gotDims, d)
+	}
+	if e := MaxAbsError(data, dec); e > eb {
+		t.Fatalf("max error %g exceeds bound %g", e, eb)
+	}
+	if st.Ratio <= 1 {
+		t.Fatalf("smooth data did not compress: ratio %.2f", st.Ratio)
+	}
+	return st
+}
+
+func TestErrorBoundHoldsOnRoughData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := Dims{X: 50, Y: 50, Z: 4}
+	data := make([]float32, d.N())
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 1000)
+	}
+	eb := 0.5
+	blob, st, err := Compress(data, d, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxAbsError(data, dec); e > eb {
+		t.Fatalf("max error %g > %g", e, eb)
+	}
+	_ = st
+}
+
+func TestOutlierPath(t *testing.T) {
+	// Tiny radius forces most points to be outliers; round trip must be
+	// exact for those.
+	d := Dims{X: 200, Y: 1, Z: 1}
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float32, d.N())
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 1e6)
+	}
+	eb := 1e-6
+	blob, st, err := Compress(data, d, Options{ErrorBound: eb, Radius: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Outliers == 0 {
+		t.Fatal("expected outliers with radius 4 and huge values")
+	}
+	dec, _, err := Decompress(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxAbsError(data, dec); e > eb {
+		t.Fatalf("max error %g > %g", e, eb)
+	}
+}
+
+func TestNaNAndInfBecomeOutliers(t *testing.T) {
+	d := Dims{X: 16, Y: 1, Z: 1}
+	data := make([]float32, d.N())
+	for i := range data {
+		data[i] = float32(i)
+	}
+	data[3] = float32(math.NaN())
+	data[7] = float32(math.Inf(1))
+	blob, _, err := Compress(data, d, Options{ErrorBound: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(dec[3])) {
+		t.Fatalf("dec[3] = %v, want NaN", dec[3])
+	}
+	if !math.IsInf(float64(dec[7]), 1) {
+		t.Fatalf("dec[7] = %v, want +Inf", dec[7])
+	}
+	for i := range dec {
+		if i == 3 || i == 7 {
+			continue
+		}
+		if math.Abs(float64(dec[i])-float64(data[i])) > 0.1 {
+			t.Fatalf("point %d out of bound", i)
+		}
+	}
+}
+
+func TestSharedTreeMode(t *testing.T) {
+	d := Dims{X: 48, Y: 48, Z: 8}
+	data := smoothField3D(d, 3)
+	eb := 1e-3
+	radius := 1024
+	codes, outs, err := Quantize(data, d, Options{ErrorBound: eb, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = outs
+	tree, err := BuildTree(huffman.Histogram(2*radius, codes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compress a *different* (evolved) field with the shared tree.
+	data2 := smoothField3D(d, 4)
+	blob, st, err := Compress(data2, d, Options{ErrorBound: eb, Radius: radius, Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TreeBytes != 0 {
+		t.Fatalf("shared mode embedded a tree (%d bytes)", st.TreeBytes)
+	}
+
+	// Without the tree, decompression must fail with ErrNeedTree.
+	if _, _, err := Decompress(blob, nil); err != ErrNeedTree {
+		t.Fatalf("got %v, want ErrNeedTree", err)
+	}
+	dec, _, err := Decompress(blob, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxAbsError(data2, dec); e > eb {
+		t.Fatalf("max error %g > %g with shared tree", e, eb)
+	}
+}
+
+func TestSharedTreeDegradation(t *testing.T) {
+	// A fresh tree should encode no worse than a stale one, and the stale
+	// one should still be close (the Fig. 6 premise).
+	d := Dims{X: 64, Y: 64, Z: 4}
+	eb := 1e-3
+	radius := 512
+	dataA := smoothField3D(d, 10)
+	dataB := smoothField3D(d, 11)
+
+	codesA, _, err := Quantize(dataA, d, Options{ErrorBound: eb, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleTree, err := BuildTree(huffman.Histogram(2*radius, codesA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshBlob, _, err := Compress(dataB, d, Options{ErrorBound: eb, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleBlob, _, err := Compress(dataB, d, Options{ErrorBound: eb, Radius: radius, Tree: staleTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale tree should cost at most 30% more than fresh-with-embedded-tree
+	// on statistically similar fields.
+	if float64(len(staleBlob)) > 1.3*float64(len(freshBlob)) {
+		t.Fatalf("stale tree blob %d vs fresh %d: degradation too large", len(staleBlob), len(freshBlob))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	d := Dims{X: 100, Y: 1, Z: 1}
+	data := make([]float32, 100)
+	blob, _, err := Compress(data, d, Options{ErrorBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(nil, nil); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+	if _, _, err := Decompress([]byte("XXXX?"), nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, err := Decompress(blob[:len(blob)/2], nil); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	bad := append([]byte{}, blob...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, err := Decompress(bad, nil); err == nil {
+		t.Log("tail flip undetected (tolerable: may fall in padding)")
+	}
+}
+
+func TestDisableLossless(t *testing.T) {
+	d := Dims{X: 64, Y: 64, Z: 2}
+	data := smoothField3D(d, 7)
+	b1, _, err := Compress(data, d, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := Compress(data, d, Options{ErrorBound: 1e-3, DisableLossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]byte{b1, b2} {
+		dec, _, err := Decompress(b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := MaxAbsError(data, dec); e > 1e-3 {
+			t.Fatalf("error %g", e)
+		}
+	}
+}
+
+func TestSplitEvenDivision(t *testing.T) {
+	d := Dims{X: 256, Y: 256, Z: 256} // 64 MiB field
+	blocks, err := Split(d, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 8 {
+		t.Fatalf("got %d blocks, want 8", len(blocks))
+	}
+	totalZ := 0
+	for i, b := range blocks {
+		if b.Index != i {
+			t.Fatalf("block %d has index %d", i, b.Index)
+		}
+		if b.Z0 != totalZ {
+			t.Fatalf("block %d starts at %d, want %d", i, b.Z0, totalZ)
+		}
+		totalZ += b.Dims.Z
+	}
+	if totalZ != d.Z {
+		t.Fatalf("blocks cover %d planes, want %d", totalZ, d.Z)
+	}
+}
+
+func TestSplitUnevenZ(t *testing.T) {
+	d := Dims{X: 100, Y: 100, Z: 37}
+	blocks, err := Split(d, 4*100*100*5) // ~5 planes per block
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalZ := 0
+	minZ, maxZ := 1<<30, 0
+	for _, b := range blocks {
+		totalZ += b.Dims.Z
+		if b.Dims.Z < minZ {
+			minZ = b.Dims.Z
+		}
+		if b.Dims.Z > maxZ {
+			maxZ = b.Dims.Z
+		}
+	}
+	if totalZ != d.Z {
+		t.Fatalf("cover %d of %d planes", totalZ, d.Z)
+	}
+	if maxZ-minZ > 1 {
+		t.Fatalf("uneven split: plane counts range %d..%d", minZ, maxZ)
+	}
+}
+
+func TestSplitWholeFieldWhenSmall(t *testing.T) {
+	d := Dims{X: 16, Y: 16, Z: 16}
+	blocks, err := Split(d, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0].Dims != d {
+		t.Fatalf("expected single whole-field block, got %v", blocks)
+	}
+}
+
+func TestSplitCompressReassemble(t *testing.T) {
+	d := Dims{X: 32, Y: 32, Z: 24}
+	data := smoothField3D(d, 12)
+	blocks, err := Split(d, 4*32*32*6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("want multiple blocks, got %d", len(blocks))
+	}
+	eb := 1e-3
+	parts := make([][]float32, len(blocks))
+	for i, b := range blocks {
+		blob, _, err := Compress(b.Slice(data, d), b.Dims, Options{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := Decompress(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = dec
+	}
+	full, err := Reassemble(blocks, parts, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxAbsError(data, full); e > eb {
+		t.Fatalf("reassembled error %g > %g", e, eb)
+	}
+}
+
+func TestEstimateRatioTracksActual(t *testing.T) {
+	d := Dims{X: 64, Y: 64, Z: 8}
+	data := smoothField3D(d, 20)
+	opt := Options{ErrorBound: 1e-3, Radius: 1024}
+	codes, outs, err := Quantize(data, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateRatio(codes, 1024, len(outs))
+	_, st, err := Compress(data, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := st.Ratio*0.5, st.Ratio*2.0
+	if est < lo || est > hi {
+		t.Fatalf("estimate %.2f outside [%.2f, %.2f] (actual %.2f)", est, lo, hi, st.Ratio)
+	}
+}
+
+func TestPSNRAndMaxAbsError(t *testing.T) {
+	a := []float32{0, 1, 2, 3}
+	if e := MaxAbsError(a, a); e != 0 {
+		t.Fatalf("identical arrays: %g", e)
+	}
+	if !math.IsInf(PSNR(a, a), 1) {
+		t.Fatal("identical arrays should have infinite PSNR")
+	}
+	b := []float32{0, 1.5, 2, 3}
+	if e := MaxAbsError(a, b); e != 0.5 {
+		t.Fatalf("max err = %g, want 0.5", e)
+	}
+	if p := PSNR(a, b); p <= 0 || math.IsNaN(p) {
+		t.Fatalf("PSNR = %g", p)
+	}
+}
+
+// Property: the error bound holds for arbitrary finite data, any dims shape.
+func TestQuickErrorBound(t *testing.T) {
+	f := func(seed int64, ebExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Dims{X: 1 + rng.Intn(20), Y: 1 + rng.Intn(10), Z: 1 + rng.Intn(10)}
+		data := make([]float32, d.N())
+		scale := math.Pow(10, float64(int(ebExp%8))-4)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64() * scale * 100)
+		}
+		eb := scale
+		blob, _, err := Compress(data, d, Options{ErrorBound: eb, Radius: 256})
+		if err != nil {
+			return false
+		}
+		dec, gotD, err := Decompress(blob, nil)
+		if err != nil || gotD != d {
+			return false
+		}
+		return MaxAbsError(data, dec) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Split always covers the field exactly with contiguous slabs.
+func TestQuickSplitCoverage(t *testing.T) {
+	f := func(x, y, z uint8, target uint32) bool {
+		d := Dims{X: 1 + int(x)%64, Y: 1 + int(y)%64, Z: 1 + int(z)}
+		blocks, err := Split(d, int(target%(1<<22)))
+		if err != nil {
+			return false
+		}
+		z0 := 0
+		for i, b := range blocks {
+			if b.Index != i || b.Z0 != z0 || b.Dims.X != d.X || b.Dims.Y != d.Y || b.Dims.Z < 1 {
+				return false
+			}
+			z0 += b.Dims.Z
+		}
+		return z0 == d.Z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress3D(b *testing.B) {
+	d := Dims{X: 128, Y: 128, Z: 32} // 2 MiB
+	data := smoothField3D(d, 1)
+	b.SetBytes(int64(4 * d.N()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(data, d, Options{ErrorBound: 1e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress3D(b *testing.B) {
+	d := Dims{X: 128, Y: 128, Z: 32}
+	data := smoothField3D(d, 1)
+	blob, _, err := Compress(data, d, Options{ErrorBound: 1e-3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * d.N()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decompress(blob, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSSIM(t *testing.T) {
+	a := []float32{0, 1, 2, 3, 4, 5, 6, 7}
+	if s := SSIM(a, a); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("identical arrays: SSIM %v, want 1", s)
+	}
+	if s := SSIM(a, nil); !math.IsNaN(s) {
+		t.Fatalf("mismatched lengths: %v, want NaN", s)
+	}
+	// A mildly degraded reconstruction scores high but below 1; a garbage
+	// one scores much lower.
+	mild := make([]float32, len(a))
+	garbage := make([]float32, len(a))
+	for i := range a {
+		mild[i] = a[i] + 0.05
+		garbage[i] = float32(len(a) - i)
+	}
+	sm, sg := SSIM(a, mild), SSIM(a, garbage)
+	if !(sm < 1 && sm > 0.9) {
+		t.Fatalf("mild degradation SSIM %v", sm)
+	}
+	if sg >= sm {
+		t.Fatalf("garbage (%v) scored >= mild (%v)", sg, sm)
+	}
+}
+
+func TestSSIMTracksCompressionQuality(t *testing.T) {
+	d := Dims{X: 32, Y: 32, Z: 8}
+	data := smoothField3D(d, 40)
+	tight, _, err := Compress(data, d, Options{ErrorBound: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, _, err := Compress(data, d, Options{ErrorBound: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decT, _, _ := Decompress(tight, nil)
+	decL, _, _ := Decompress(loose, nil)
+	if SSIM(data, decT) < SSIM(data, decL) {
+		t.Fatalf("tighter bound scored lower SSIM: %v vs %v",
+			SSIM(data, decT), SSIM(data, decL))
+	}
+}

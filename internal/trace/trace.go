@@ -1,0 +1,205 @@
+// Package trace records the per-iteration execution profile of an iterative
+// HPC application: the iteration length T_n and the immovable busy intervals
+// on the main thread (computation tasks Y_i) and the background thread (core
+// tasks G_i). The scheduler for iteration n consumes the profile recorded
+// for iteration n-1 (§3.1: consecutive iterations are highly similar), and
+// the simulator perturbs profiles with the paper's ~1% jitter model
+// (§5.4.1) to study robustness to imperfect predictions.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Profile is one iteration's observed shape.
+type Profile struct {
+	Iteration int
+	Length    float64          // T_n
+	CompBusy  []sched.Interval // busy intervals on the main thread
+	IOBusy    []sched.Interval // busy intervals on the background thread
+}
+
+// Clone deep-copies the profile.
+func (p *Profile) Clone() *Profile {
+	c := &Profile{Iteration: p.Iteration, Length: p.Length}
+	c.CompBusy = append([]sched.Interval(nil), p.CompBusy...)
+	c.IOBusy = append([]sched.Interval(nil), p.IOBusy...)
+	return c
+}
+
+// Problem converts the profile into a scheduling instance for the given
+// jobs: busy intervals become unavailability holes and the iteration length
+// becomes the horizon.
+func (p *Profile) Problem(jobs []sched.Job) *sched.Problem {
+	return &sched.Problem{
+		Horizon:   p.Length,
+		CompHoles: append([]sched.Interval(nil), p.CompBusy...),
+		IOHoles:   append([]sched.Interval(nil), p.IOBusy...),
+		Jobs:      jobs,
+	}
+}
+
+// Jitter returns a copy of the profile with every interval boundary and the
+// length perturbed by a normal deviation of sigmaFrac*Length (the paper uses
+// sigma = 0.01*(end_n - beg_n)). Intervals stay ordered, non-negative, and
+// inside the (jittered) iteration.
+func (p *Profile) Jitter(rng *rand.Rand, sigmaFrac float64) *Profile {
+	c := p.Clone()
+	if sigmaFrac <= 0 {
+		return c
+	}
+	sigma := sigmaFrac * p.Length
+	perturb := func(ivs []sched.Interval) {
+		for i := range ivs {
+			s := ivs[i].Start + rng.NormFloat64()*sigma
+			e := ivs[i].End + rng.NormFloat64()*sigma
+			if s < 0 {
+				s = 0
+			}
+			if e < s {
+				e = s
+			}
+			ivs[i] = sched.Interval{Start: s, End: e}
+		}
+	}
+	perturb(c.CompBusy)
+	perturb(c.IOBusy)
+	c.Length = p.Length + rng.NormFloat64()*sigma
+	if c.Length < 0 {
+		c.Length = 0
+	}
+	return c
+}
+
+// Recorder accumulates profiles and serves the previous iteration's profile
+// as the prediction for the next one. Safe for concurrent use.
+type Recorder struct {
+	mu   sync.Mutex
+	last *Profile
+	n    int
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record stores the profile of the iteration that just finished.
+func (r *Recorder) Record(p *Profile) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.last = p.Clone()
+	r.n++
+}
+
+// PredictNext returns the profile to use when scheduling the next iteration
+// (the last recorded one), or false when no history exists yet — the first
+// dump of a run falls back to a conservative schedule.
+func (r *Recorder) PredictNext() (*Profile, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.last == nil {
+		return nil, false
+	}
+	return r.last.Clone(), true
+}
+
+// Iterations returns how many profiles have been recorded.
+func (r *Recorder) Iterations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Builder incrementally constructs a Profile while an iteration runs:
+// callers mark busy spans as they happen.
+type Builder struct {
+	mu   sync.Mutex
+	prof Profile
+}
+
+// NewBuilder starts a profile for the given iteration number.
+func NewBuilder(iteration int) *Builder {
+	return &Builder{prof: Profile{Iteration: iteration}}
+}
+
+// MarkComp records a busy span on the main thread (relative to iteration
+// start).
+func (b *Builder) MarkComp(start, end float64) error {
+	return b.mark(true, start, end)
+}
+
+// MarkIO records a busy span on the background thread.
+func (b *Builder) MarkIO(start, end float64) error {
+	return b.mark(false, start, end)
+}
+
+func (b *Builder) mark(comp bool, start, end float64) error {
+	if start < 0 || end < start {
+		return fmt.Errorf("trace: invalid span [%v, %v)", start, end)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	iv := sched.Interval{Start: start, End: end}
+	if comp {
+		b.prof.CompBusy = append(b.prof.CompBusy, iv)
+	} else {
+		b.prof.IOBusy = append(b.prof.IOBusy, iv)
+	}
+	return nil
+}
+
+// Finish seals the profile with the iteration length and returns it.
+func (b *Builder) Finish(length float64) *Profile {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.prof.Length = length
+	return b.prof.Clone()
+}
+
+// SyntheticProfile builds a deterministic profile with k computation
+// intervals and o background intervals spread over the given length, with
+// busyFrac of each thread occupied. It is the workload generator used by
+// simulation experiments when no recorded trace is available.
+func SyntheticProfile(iteration int, length float64, k, o int, compBusyFrac, ioBusyFrac float64, rng *rand.Rand) *Profile {
+	p := &Profile{Iteration: iteration, Length: length}
+	p.CompBusy = spreadIntervals(length, k, compBusyFrac, rng)
+	p.IOBusy = spreadIntervals(length, o, ioBusyFrac, rng)
+	return p
+}
+
+func spreadIntervals(length float64, n int, busyFrac float64, rng *rand.Rand) []sched.Interval {
+	if n <= 0 || busyFrac <= 0 {
+		return nil
+	}
+	if busyFrac > 0.97 {
+		busyFrac = 0.97
+	}
+	busyEach := length * busyFrac / float64(n)
+	freeEach := length * (1 - busyFrac) / float64(n+1)
+	var out []sched.Interval
+	t := 0.0
+	for i := 0; i < n; i++ {
+		gap := freeEach
+		busy := busyEach
+		if rng != nil {
+			gap *= 0.6 + 0.8*rng.Float64()
+			busy *= 0.6 + 0.8*rng.Float64()
+		}
+		t += gap
+		out = append(out, sched.Interval{Start: t, End: t + busy})
+		t += busy
+	}
+	// Clamp inside the iteration.
+	for i := range out {
+		if out[i].End > length {
+			out[i].End = length
+		}
+		if out[i].Start > length {
+			out[i].Start = length
+		}
+	}
+	return out
+}

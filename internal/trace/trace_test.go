@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+func TestBuilderAndRecorder(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.MarkComp(0.5, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MarkComp(2.0, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MarkIO(1.0, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	p := b.Finish(4.0)
+	if p.Iteration != 3 || p.Length != 4.0 {
+		t.Fatalf("profile header: %+v", p)
+	}
+	if len(p.CompBusy) != 2 || len(p.IOBusy) != 1 {
+		t.Fatalf("spans: %d comp, %d io", len(p.CompBusy), len(p.IOBusy))
+	}
+
+	r := NewRecorder()
+	if _, ok := r.PredictNext(); ok {
+		t.Fatal("empty recorder predicted")
+	}
+	r.Record(p)
+	got, ok := r.PredictNext()
+	if !ok || got.Length != 4.0 {
+		t.Fatalf("PredictNext: %+v %v", got, ok)
+	}
+	// Mutating the prediction must not corrupt the recorder (deep copy).
+	got.CompBusy[0].Start = 99
+	again, _ := r.PredictNext()
+	if again.CompBusy[0].Start == 99 {
+		t.Fatal("PredictNext returned shared state")
+	}
+	if r.Iterations() != 1 {
+		t.Fatalf("Iterations = %d", r.Iterations())
+	}
+}
+
+func TestBuilderRejectsBadSpans(t *testing.T) {
+	b := NewBuilder(0)
+	if err := b.MarkComp(-1, 0); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := b.MarkIO(2, 1); err == nil {
+		t.Fatal("inverted span accepted")
+	}
+}
+
+func TestProfileProblem(t *testing.T) {
+	p := &Profile{
+		Length:   10,
+		CompBusy: []sched.Interval{{Start: 1, End: 2}},
+		IOBusy:   []sched.Interval{{Start: 3, End: 4}},
+	}
+	jobs := []sched.Job{{ID: 0, Comp: 1, IO: 1}}
+	prob := p.Problem(jobs)
+	if prob.Horizon != 10 || len(prob.CompHoles) != 1 || len(prob.IOHoles) != 1 {
+		t.Fatalf("problem: %+v", prob)
+	}
+	s, err := sched.Solve(prob, sched.ExtJohnsonBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(prob, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := SyntheticProfile(0, 10, 4, 3, 0.4, 0.2, rng)
+	j := p.Jitter(rng, 0.01)
+	if len(j.CompBusy) != len(p.CompBusy) || len(j.IOBusy) != len(p.IOBusy) {
+		t.Fatal("jitter changed interval counts")
+	}
+	for _, iv := range append(append([]sched.Interval{}, j.CompBusy...), j.IOBusy...) {
+		if iv.Start < 0 || iv.End < iv.Start {
+			t.Fatalf("invalid jittered interval %+v", iv)
+		}
+	}
+	if j.Length < 0 {
+		t.Fatal("negative jittered length")
+	}
+	// Zero sigma is the identity.
+	id := p.Jitter(rng, 0)
+	for i := range p.CompBusy {
+		if id.CompBusy[i] != p.CompBusy[i] {
+			t.Fatal("sigma=0 changed intervals")
+		}
+	}
+}
+
+func TestSyntheticProfileShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := SyntheticProfile(7, 5.0, 3, 2, 0.5, 0.3, rng)
+	if p.Iteration != 7 || p.Length != 5.0 {
+		t.Fatalf("header: %+v", p)
+	}
+	if len(p.CompBusy) != 3 || len(p.IOBusy) != 2 {
+		t.Fatalf("counts: %d, %d", len(p.CompBusy), len(p.IOBusy))
+	}
+	last := 0.0
+	for _, iv := range p.CompBusy {
+		if iv.Start < last {
+			t.Fatalf("intervals out of order: %+v", p.CompBusy)
+		}
+		if iv.End > p.Length {
+			t.Fatalf("interval past iteration end: %+v", iv)
+		}
+		last = iv.End
+	}
+	// Deterministic without RNG.
+	a := SyntheticProfile(0, 5, 3, 2, 0.5, 0.3, nil)
+	b := SyntheticProfile(0, 5, 3, 2, 0.5, 0.3, nil)
+	for i := range a.CompBusy {
+		if a.CompBusy[i] != b.CompBusy[i] {
+			t.Fatal("nil-RNG synthetic profile not deterministic")
+		}
+	}
+}
+
+// Property: synthetic profiles always yield solvable, valid scheduling
+// problems regardless of parameters.
+func TestQuickSyntheticSolvable(t *testing.T) {
+	f := func(seed int64, k, o uint8, busyA, busyB float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		if busyA < 0 {
+			busyA = -busyA
+		}
+		if busyB < 0 {
+			busyB = -busyB
+		}
+		for busyA > 1 {
+			busyA /= 2
+		}
+		for busyB > 1 {
+			busyB /= 2
+		}
+		p := SyntheticProfile(0, 1+rng.Float64()*10, int(k%8), int(o%8), busyA, busyB, rng)
+		jobs := make([]sched.Job, 1+rng.Intn(10))
+		for i := range jobs {
+			jobs[i] = sched.Job{ID: i, Comp: rng.Float64() * 0.2, IO: rng.Float64() * 0.2}
+		}
+		prob := p.Problem(jobs)
+		s, err := sched.Solve(prob, sched.ExtJohnsonBF)
+		if err != nil {
+			return false
+		}
+		return sched.Validate(prob, s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
