@@ -1,0 +1,18 @@
+# Tier-1 verification gate (see ROADMAP.md): build + vet + race-enabled tests.
+.PHONY: check build vet test bench
+
+check: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test -race ./...
+
+# Regenerate every table/figure as a benchmark (slow; wall-clock figures run
+# real compression).
+bench:
+	go test -bench=. -benchmem .

@@ -12,12 +12,13 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
-func benchExperiment(b *testing.B, run func() (*experiments.Table, error)) {
+func benchExperiment(b *testing.B, run func(*obs.Recorder) (*experiments.Table, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tab, err := run()
+		tab, err := run(nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,12 +2,17 @@
 // figures. With no arguments it runs everything in paper order; otherwise
 // each argument names an experiment:
 //
-//	insitu-bench                # all experiments
-//	insitu-bench table1 fig6    # a subset
-//	insitu-bench -list          # show available experiment IDs
+//	insitu-bench                        # all experiments
+//	insitu-bench table1 fig6            # a subset
+//	insitu-bench -list                  # show available experiment IDs
+//	insitu-bench -trace t.json table1   # also write a Chrome trace
+//	insitu-bench -metrics fig7          # also print a metrics summary
 //
 // Output is plain aligned text, one table per experiment, matching the
 // rows/series the paper reports (EXPERIMENTS.md records a reference run).
+// The -trace output loads in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing; -metrics prints counters, distributions, and the
+// per-iteration planned-vs-actual makespans on stdout.
 package main
 
 import (
@@ -17,10 +22,13 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto/about:tracing)")
+	metrics := flag.Bool("metrics", false, "print a metrics summary after the tables")
 	flag.Parse()
 
 	all := experiments.All()
@@ -38,13 +46,9 @@ func main() {
 	want := flag.Args()
 	selected := all
 	if len(want) > 0 {
-		byID := map[string]experiments.NamedExperiment{}
-		for _, e := range all {
-			byID[e.ID] = e
-		}
 		selected = selected[:0]
 		for _, id := range want {
-			e, ok := byID[id]
+			e, ok := experiments.Find(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "insitu-bench: unknown experiment %q (try -list)\n", id)
 				os.Exit(2)
@@ -53,10 +57,15 @@ func main() {
 		}
 	}
 
+	var rec *obs.Recorder
+	if *tracePath != "" || *metrics {
+		rec = obs.NewRecorder()
+	}
+
 	failed := false
 	for _, e := range selected {
 		t0 := time.Now()
-		tab, err := e.Run()
+		tab, err := e.Run(rec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "insitu-bench: %s: %v\n", e.ID, err)
 			failed = true
@@ -64,6 +73,29 @@ func main() {
 		}
 		fmt.Println(tab.Render())
 		fmt.Printf("(%s took %s)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metrics {
+		if err := rec.WriteMetrics(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -4,6 +4,8 @@
 //	insitu-sched -figure1                      # the paper's worked example
 //	insitu-sched -alg ExtJohnson+BF prob.json  # a JSON problem file
 //	insitu-sched -random -jobs 24 -seed 7      # a generated instance
+//	insitu-sched -figure1 -trace t.json        # also write a Chrome trace
+//	insitu-sched -random -metrics              # also print makespan metrics
 //
 // The JSON schema mirrors sched.Problem:
 //
@@ -13,6 +15,11 @@
 //	  "ioHoles":   [{"start": 4, "end": 5}],
 //	  "jobs": [{"id": 0, "comp": 1, "io": 2}]
 //	}
+//
+// With -trace each algorithm's plan becomes its own process row in the
+// trace (load the file in https://ui.perfetto.dev): compression placements
+// on the main-thread row, I/O placements on the background row, and
+// unavailability holes as obstacle spans.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -65,6 +73,8 @@ func main() {
 	jobs := flag.Int("jobs", 16, "job count for -random")
 	seed := flag.Int64("seed", 1, "seed for -random")
 	scale := flag.Float64("scale", 4, "Gantt characters per time unit")
+	tracePath := flag.String("trace", "", "write the plans as Chrome trace-event JSON (Perfetto/about:tracing)")
+	metrics := flag.Bool("metrics", false, "print a metrics summary after the charts")
 	flag.Parse()
 
 	var p *sched.Problem
@@ -92,9 +102,19 @@ func main() {
 
 	algs := sched.Algorithms()
 	if *alg != "" {
-		algs = []sched.Algorithm{sched.Algorithm(*alg)}
+		a, err := sched.ParseAlgorithm(*alg)
+		if err != nil {
+			fatal(err)
+		}
+		algs = []sched.Algorithm{a}
 	}
-	for _, a := range algs {
+
+	var rec *obs.Recorder
+	if *tracePath != "" || *metrics {
+		rec = obs.NewRecorder()
+	}
+
+	for i, a := range algs {
 		s, err := sched.Solve(p, a)
 		if err != nil {
 			fatal(err)
@@ -102,8 +122,68 @@ func main() {
 		if err := sched.Validate(p, s); err != nil {
 			fatal(fmt.Errorf("internal error: invalid schedule: %w", err))
 		}
+		recordPlan(rec, i, p, s)
 		fmt.Printf("--- %s ---\n%s\n\n", a, sched.Gantt(p, s, *scale))
 	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metrics {
+		if err := rec.WriteMetrics(os.Stdout); err != nil {
+			fatal(fmt.Errorf("writing metrics: %w", err))
+		}
+	}
+}
+
+// recordPlan renders one algorithm's schedule onto the trace: the algorithm
+// is a process row (pid = its index), compression placements land on the
+// main-thread timeline, I/O placements on the background timeline, and the
+// problem's unavailability holes show up as obstacle spans.
+func recordPlan(rec *obs.Recorder, pid int, p *sched.Problem, s *sched.Schedule) {
+	if !rec.Enabled() {
+		return
+	}
+	rec.ProcessName(pid, string(s.Algorithm))
+	for _, h := range p.CompHoles {
+		rec.Record(obs.Span{
+			Name: "hole", Cat: "obstacle", Rank: pid, Thread: obs.ThreadMain,
+			Start: h.Start, End: h.End, Block: obs.NoBlock,
+		})
+	}
+	for _, h := range p.IOHoles {
+		rec.Record(obs.Span{
+			Name: "hole", Cat: "obstacle", Rank: pid, Thread: obs.ThreadIO,
+			Start: h.Start, End: h.End, Block: obs.NoBlock,
+		})
+	}
+	for _, pl := range s.Placements {
+		rec.Record(obs.Span{
+			Name: fmt.Sprintf("comp j%d", pl.JobID), Cat: "compress",
+			Rank: pid, Thread: obs.ThreadMain,
+			Start: pl.CompStart, End: pl.CompEnd, Block: pl.JobID,
+		})
+		rec.Record(obs.Span{
+			Name: fmt.Sprintf("io j%d", pl.JobID), Cat: "write",
+			Rank: pid, Thread: obs.ThreadIO,
+			Start: pl.IOStart, End: pl.IOEnd, Block: pl.JobID,
+		})
+	}
+	rec.Observe("sched.makespan", s.Makespan)
+	rec.Observe("sched.overall", s.Overall)
+	rec.Iteration(obs.IterationStat{
+		Mode: string(s.Algorithm), Planned: s.Overall, Actual: s.Overall,
+	})
 }
 
 func fatal(err error) {

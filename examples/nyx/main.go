@@ -5,15 +5,21 @@
 // compute-only reference (the paper artifact's methodology), and verifies
 // every written snapshot against the generator.
 //
-//	go run ./examples/nyx [-ranks 4] [-iters 4]
+//	go run ./examples/nyx [-ranks 4] [-iters 4] [-trace nyx.json]
+//
+// With -trace the wall-clock timelines of all four strategies land in one
+// Chrome trace-event file (sequentially, in run order) — open it in
+// https://ui.perfetto.dev to see compression and write spans per rank.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/simapp"
 	"repro/internal/sz"
@@ -22,7 +28,13 @@ import (
 func main() {
 	ranks := flag.Int("ranks", 4, "MPI-style ranks (goroutines)")
 	iters := flag.Int("iters", 4, "iterations per run")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder()
+	}
 
 	cfg := func(mode simapp.Mode) simapp.Config {
 		c := simapp.Nyx(*ranks, mode)
@@ -45,6 +57,7 @@ func main() {
 
 	for _, mode := range []simapp.Mode{simapp.Baseline, simapp.AsyncIO, simapp.Ours} {
 		c := cfg(mode)
+		c.Recorder = rec
 		fs, err := pfs.New(c.FS)
 		if err != nil {
 			log.Fatal(err)
@@ -66,5 +79,19 @@ func main() {
 		}
 		fmt.Printf("%-14s mean iteration %v  overhead %+.1f%%%s\n",
 			mode, res.MeanIteration.Round(time.Millisecond), 100*res.Overhead(ref), extra)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", *tracePath)
 	}
 }

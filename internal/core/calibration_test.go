@@ -15,7 +15,7 @@ func TestCalibrationPrint(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, mode := range []Mode{ModeBaseline, ModeAsyncIO, ModeAsyncCompIO, ModeOurs} {
-			st, err := RunSim(w, mode, PlanConfig{Balance: true}, 5)
+			st, err := Run(w, RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}, Iterations: 5})
 			if err != nil {
 				t.Fatal(err)
 			}

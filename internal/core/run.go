@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// RunConfig is the options struct fronting the simulated engine: which I/O
+// strategy to evaluate, how the in situ planner is configured, how many
+// iterations to run, and (optionally) where to record spans and metrics.
+//
+// It replaces the positional (mode, pc, iters) parameter lists of
+// SimulateIteration and RunSim; those remain as deprecated wrappers for one
+// release.
+type RunConfig struct {
+	// Mode selects the I/O strategy (ModeBaseline ... ModeOurs).
+	Mode Mode
+	// Plan configures the planner; only ModeOurs reads it.
+	Plan PlanConfig
+	// Recorder, when non-nil, receives compute/compress/write/obstacle spans
+	// on the virtual-time trace clock plus core.* counters and per-iteration
+	// planned-vs-actual makespans. Nil disables instrumentation at zero cost.
+	Recorder *obs.Recorder
+	// Iterations is the number of iterations Run executes (>= 1). Simulate
+	// ignores it.
+	Iterations int
+}
+
+// Simulate executes one iteration of the workload in virtual time under
+// rc.Mode. When rc.Recorder is set, the iteration's spans are recorded
+// starting at the recorder's current virtual base (advance it between
+// iterations with Recorder.Advance, as Run does).
+func Simulate(w *Workload, data *IterationData, rc RunConfig) (*IterationResult, error) {
+	rec := rc.Recorder
+	var res *IterationResult
+	var err error
+	switch rc.Mode {
+	case ModeBaseline:
+		res = simulateBaseline(w, data, rec)
+	case ModeAsyncIO:
+		res, err = simulateAsyncIO(w, data, rec)
+	case ModeAsyncCompIO:
+		res, err = simulateAsyncCompIO(w, data, rec)
+	case ModeOurs:
+		res, err = simulateOurs(w, data, rc.Plan, rec)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", rc.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rec.Enabled() {
+		rec.Iteration(obs.IterationStat{
+			Mode:     rc.Mode.String(),
+			Planned:  res.PlannedOverall,
+			Actual:   res.End,
+			Overhead: res.Overhead,
+		})
+		if res.PlannedOverall > 0 {
+			rec.Observe("sched.makespan.planned", res.PlannedOverall)
+			rec.Observe("sched.makespan.actual", res.End)
+		}
+	}
+	return res, nil
+}
+
+// Run simulates rc.Iterations iterations and aggregates overheads. With a
+// recorder attached, iterations are laid out sequentially on the trace
+// clock: after each iteration the virtual base advances by that iteration's
+// end time.
+func Run(w *Workload, rc RunConfig) (*RunStats, error) {
+	if rc.Iterations < 1 {
+		return nil, fmt.Errorf("core: iterations %d < 1", rc.Iterations)
+	}
+	st := &RunStats{Mode: rc.Mode, Iterations: rc.Iterations}
+	for it := 0; it < rc.Iterations; it++ {
+		data := w.Iteration(it)
+		res, err := Simulate(w, data, rc)
+		if err != nil {
+			return nil, err
+		}
+		rc.Recorder.Advance(res.End)
+		st.MeanOverhead += res.Overhead
+		st.MeanEnd += res.End
+		st.MeanDelay += res.Delay
+		if res.Overhead > st.MaxOverhead {
+			st.MaxOverhead = res.Overhead
+		}
+	}
+	st.MeanOverhead /= float64(rc.Iterations)
+	st.MeanEnd /= float64(rc.Iterations)
+	st.MeanDelay /= float64(rc.Iterations)
+	return st, nil
+}

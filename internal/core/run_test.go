@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// catsByRank buckets the recorded span categories per rank, ignoring the
+// storage pseudo-process.
+func catsByRank(rec *obs.Recorder) map[int]map[string]int {
+	out := make(map[int]map[string]int)
+	for _, sp := range rec.Spans() {
+		if sp.Rank == obs.PIDStorage {
+			continue
+		}
+		if out[sp.Rank] == nil {
+			out[sp.Rank] = make(map[string]int)
+		}
+		out[sp.Rank][sp.Cat]++
+	}
+	return out
+}
+
+func TestSimulateEmitsSpans(t *testing.T) {
+	w := nyx4(t)
+	data := w.Iteration(0)
+	want := map[Mode][]string{
+		ModeBaseline:    {"obstacle", "write"},
+		ModeAsyncIO:     {"obstacle", "write"},
+		ModeAsyncCompIO: {"obstacle", "compress", "write"},
+		ModeOurs:        {"obstacle", "compress", "write"},
+	}
+	for mode, cats := range want {
+		rec := obs.NewRecorder()
+		res, err := Simulate(w, data, RunConfig{
+			Mode: mode, Plan: PlanConfig{Balance: true}, Recorder: rec,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		byRank := catsByRank(rec)
+		if len(byRank) != w.Cfg.Ranks {
+			t.Fatalf("%s: spans on %d ranks, want %d", mode, len(byRank), w.Cfg.Ranks)
+		}
+		for r := 0; r < w.Cfg.Ranks; r++ {
+			for _, c := range cats {
+				if byRank[r][c] == 0 {
+					t.Fatalf("%s: rank %d has no %q spans (got %v)", mode, r, c, byRank[r])
+				}
+			}
+		}
+		iters := rec.Iterations()
+		if len(iters) != 1 {
+			t.Fatalf("%s: %d iteration stats, want 1", mode, len(iters))
+		}
+		if st := iters[0]; st.Mode != mode.String() || st.Actual != res.End {
+			t.Fatalf("%s: iteration stat %+v does not match result end %v", mode, st, res.End)
+		}
+		if mode == ModeOurs && iters[0].Planned <= 0 {
+			t.Fatalf("ours: planned makespan missing from iteration stat: %+v", iters[0])
+		}
+	}
+}
+
+func TestRunAdvancesTraceClock(t *testing.T) {
+	w := nyx4(t)
+	rec := obs.NewRecorder()
+	st, err := Run(w, RunConfig{Mode: ModeOurs, Recorder: rec, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := rec.Iterations()
+	if len(iters) != 2 {
+		t.Fatalf("%d iteration stats, want 2", len(iters))
+	}
+	// The second iteration's spans must start at or after the first
+	// iteration's end on the trace clock.
+	firstEnd := iters[0].Actual
+	second := 0
+	for _, sp := range rec.Spans() {
+		if sp.Start >= firstEnd-1e-9 {
+			second++
+		}
+	}
+	if second == 0 {
+		t.Fatalf("no spans after the first iteration end (%.3f); Advance missing", firstEnd)
+	}
+	if st.MeanEnd <= 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+}
+
+// BenchmarkRun compares the virtual-time engine with tracing disabled (the
+// nil recorder) against an active recorder. The nil case is the engine's
+// pre-observability allocation profile: every obs call is a nil-receiver
+// no-op and span/attribute construction is gated behind rec.Enabled(), so
+// allocs/op for "nil-recorder" must match the engine without obs entirely
+// (obs.TestNilRecorderZeroAllocs proves the per-call cost is zero).
+func BenchmarkRun(b *testing.B) {
+	w, err := BuildWorkload(NyxWorkload(4, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, rec *obs.Recorder) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(w, RunConfig{
+				Mode: ModeOurs, Plan: PlanConfig{Balance: true},
+				Recorder: rec, Iterations: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil-recorder", func(b *testing.B) { run(b, nil) })
+	b.Run("recorder", func(b *testing.B) { run(b, obs.NewRecorder()) })
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/balance"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -63,18 +64,67 @@ type IterationResult struct {
 
 // SimulateIteration executes one iteration of the workload in virtual time
 // under the chosen mode.
+//
+// Deprecated: use Simulate with a RunConfig; this wrapper will be removed
+// next release.
 func SimulateIteration(w *Workload, data *IterationData, mode Mode, pc PlanConfig) (*IterationResult, error) {
-	switch mode {
-	case ModeBaseline:
-		return simulateBaseline(data), nil
-	case ModeAsyncIO:
-		return simulateAsyncIO(w, data)
-	case ModeAsyncCompIO:
-		return simulateAsyncCompIO(data)
-	case ModeOurs:
-		return simulateOurs(w, data, pc)
-	default:
-		return nil, fmt.Errorf("core: unknown mode %d", mode)
+	return Simulate(w, data, RunConfig{Mode: mode, Plan: pc})
+}
+
+// emitObstacles records where a thread's obstacles (application work the
+// scheduler must not delay) actually ran, flagging any induced delay.
+func emitObstacles(rec *obs.Recorder, rank int, th obs.Thread, name string, spans []sim.ObstacleSpan) {
+	for _, o := range spans {
+		sp := obs.Span{
+			Name: name, Cat: "obstacle", Rank: rank, Thread: th,
+			Start: o.Start, End: o.End, Block: obs.NoBlock,
+		}
+		if o.Delay > 1e-9 {
+			sp.Extra = fmt.Sprintf("delayed %.4fs by scheduled tasks", o.Delay)
+		}
+		rec.Record(sp)
+	}
+}
+
+// countJob folds one scheduled job into the run counters: raw and compressed
+// volume, per-field compression ratio, and the predicted-vs-actual task
+// duration distributions the σ model of §5.4.1 perturbs.
+func countJob(rec *obs.Recorder, cfg WorkloadConfig, g GroupJob) {
+	rec.Count("core.bytes.raw", float64(cfg.BlockBytes))
+	rec.Count("core.bytes.compressed", float64(g.ActBytes))
+	rec.Count("core.blocks", 1)
+	if g.ActBytes > 0 {
+		rec.Observe(fmt.Sprintf("core.ratio.field%d", g.ID/cfg.BlocksPerField),
+			float64(cfg.BlockBytes)/float64(g.ActBytes))
+	}
+	rec.Observe("core.task.comp.pred", g.PredComp)
+	rec.Observe("core.task.comp.actual", g.ActComp)
+	if g.PredIO > 0 || g.ActIO > 0 {
+		rec.Observe("core.task.io.pred", g.PredIO)
+		rec.Observe("core.task.io.actual", g.ActIO)
+	}
+}
+
+// compressSpan and writeSpan are the virtual-time task spans shared by the
+// compressing modes.
+func compressSpan(cfg WorkloadConfig, rank int, g GroupJob, start, end float64) obs.Span {
+	sp := obs.Span{
+		Name: fmt.Sprintf("compress b%d", g.ID), Cat: "compress",
+		Rank: rank, Thread: obs.ThreadMain, Start: start, End: end,
+		Block: g.ID, Bytes: cfg.BlockBytes,
+	}
+	if g.ActBytes > 0 {
+		sp.Ratio = float64(cfg.BlockBytes) / float64(g.ActBytes)
+	}
+	return sp
+}
+
+func writeSpan(rank int, g GroupJob, start, end float64) obs.Span {
+	return obs.Span{
+		Name: fmt.Sprintf("write b%d", g.ID), Cat: "write",
+		Rank: rank, Thread: obs.ThreadIO, Start: start, End: end,
+		Block: g.ID, Bytes: g.ActBytes,
+		Extra: fmt.Sprintf("buffer group %d", g.Group),
 	}
 }
 
@@ -101,23 +151,40 @@ func overheadResult(mode Mode, rankEnds []float64, computeEnd, delay, planned fl
 }
 
 // simulateBaseline: computation, then a synchronous uncompressed dump.
-func simulateBaseline(data *IterationData) *IterationResult {
+func simulateBaseline(w *Workload, data *IterationData, rec *obs.Recorder) *IterationResult {
 	ends := make([]float64, len(data.RawIO))
 	for r := range ends {
-		ends[r] = data.ActProfiles[r].Length + data.RawIO[r]
+		length := data.ActProfiles[r].Length
+		ends[r] = length + data.RawIO[r]
+		if rec.Enabled() {
+			cfg := w.Cfg
+			rawBytes := cfg.BlockBytes * int64(cfg.BlocksPerField*cfg.FieldCount)
+			rec.Record(obs.Span{
+				Name: "compute", Cat: "obstacle", Rank: r, Thread: obs.ThreadMain,
+				Start: 0, End: length, Block: obs.NoBlock,
+			})
+			rec.Record(obs.Span{
+				Name: "dump raw", Cat: "write", Rank: r, Thread: obs.ThreadMain,
+				Start: length, End: ends[r], Block: obs.NoBlock, Bytes: rawBytes,
+			})
+			rec.Count("core.bytes.raw", float64(rawBytes))
+		}
 	}
 	return overheadResult(ModeBaseline, ends, data.ComputeEnd, 0, 0)
 }
 
 // simulateAsyncIO: uncompressed per-field writes dispatched to the
 // background thread, competing with the core tasks there [62].
-func simulateAsyncIO(w *Workload, data *IterationData) (*IterationResult, error) {
+func simulateAsyncIO(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
 	cfg := w.Cfg
 	ends := make([]float64, cfg.Ranks)
 	delay := 0.0
 	fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
 	for r := 0; r < cfg.Ranks; r++ {
-		plan := sim.ThreadPlan{Obstacles: data.ActProfiles[r].IOBusy}
+		plan := sim.ThreadPlan{
+			Obstacles:       data.ActProfiles[r].IOBusy,
+			RecordObstacles: rec.Enabled(),
+		}
 		predEach := cfg.ioCurve(fieldBytes)
 		actEach := data.RawIO[r] / float64(cfg.FieldCount)
 		for f := 0; f < cfg.FieldCount; f++ {
@@ -129,6 +196,22 @@ func simulateAsyncIO(w *Workload, data *IterationData) (*IterationResult, error)
 		}
 		ends[r] = math.Max(data.ActProfiles[r].Length, res.End)
 		delay += res.ObstacleDelay
+		if rec.Enabled() {
+			rec.Record(obs.Span{
+				Name: "compute", Cat: "obstacle", Rank: r, Thread: obs.ThreadMain,
+				Start: 0, End: data.ActProfiles[r].Length, Block: obs.NoBlock,
+			})
+			emitObstacles(rec, r, obs.ThreadIO, "core task", res.Obstacles)
+			for f := 0; f < cfg.FieldCount; f++ {
+				rec.Record(obs.Span{
+					Name: fmt.Sprintf("write field %d raw", f), Cat: "write",
+					Rank: r, Thread: obs.ThreadIO,
+					Start: res.TaskStart[f], End: res.TaskEnd[f],
+					Block: obs.NoBlock, Bytes: fieldBytes,
+				})
+			}
+			rec.Count("core.bytes.raw", float64(fieldBytes)*float64(cfg.FieldCount))
+		}
 	}
 	return overheadResult(ModeAsyncIO, ends, data.ComputeEnd, delay, 0), nil
 }
@@ -136,7 +219,7 @@ func simulateAsyncIO(w *Workload, data *IterationData) (*IterationResult, error)
 // simulateAsyncCompIO: the prior SC'22 approach [30] — compression overlaps
 // the compressed writes, but the whole dump still serializes with
 // computation.
-func simulateAsyncCompIO(data *IterationData) (*IterationResult, error) {
+func simulateAsyncCompIO(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
 	ends := make([]float64, len(data.Jobs))
 	for r, jobs := range data.Jobs {
 		prob := &sched.Problem{Horizon: 0}
@@ -160,7 +243,23 @@ func simulateAsyncCompIO(data *IterationData) (*IterationResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ends[r] = data.ActProfiles[r].Length + res.TasksEnd()
+		length := data.ActProfiles[r].Length
+		ends[r] = length + res.TasksEnd()
+		if rec.Enabled() {
+			// The whole dump serializes with computation: task times are
+			// relative to the compute end, so offset spans by `length`.
+			rec.Record(obs.Span{
+				Name: "compute", Cat: "obstacle", Rank: r, Thread: obs.ThreadMain,
+				Start: 0, End: length, Block: obs.NoBlock,
+			})
+			for _, g := range jobs {
+				countJob(rec, w.Cfg, g)
+				rec.Record(compressSpan(w.Cfg, r, g,
+					length+res.Main.TaskStart[g.ID], length+res.Main.TaskEnd[g.ID]))
+				rec.Record(writeSpan(r, g,
+					length+res.IO.TaskStart[g.ID], length+res.IO.TaskEnd[g.ID]))
+			}
+		}
 	}
 	return overheadResult(ModeAsyncCompIO, ends, data.ComputeEnd, 0, 0), nil
 }
@@ -269,7 +368,7 @@ func PlanOurs(w *Workload, data *IterationData, pc PlanConfig) ([]*rankPlan, err
 }
 
 // simulateOurs plans and then executes with actual durations and profiles.
-func simulateOurs(w *Workload, data *IterationData, pc PlanConfig) (*IterationResult, error) {
+func simulateOurs(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
 	cfg := w.Cfg
 	plans, err := PlanOurs(w, data, pc)
 	if err != nil {
@@ -296,7 +395,10 @@ func simulateOurs(w *Workload, data *IterationData, pc PlanConfig) (*IterationRe
 			order = append(order, ord{pl.JobID, pl.CompStart})
 		}
 		sort.Slice(order, func(a, b int) bool { return order[a].start < order[b].start })
-		plan := sim.ThreadPlan{Obstacles: data.ActProfiles[r].CompBusy}
+		plan := sim.ThreadPlan{
+			Obstacles:       data.ActProfiles[r].CompBusy,
+			RecordObstacles: rec.Enabled(),
+		}
 		for _, o := range order {
 			pj := rp.jobs[jobIndex(rp, o.id)]
 			if pj.origin.rank != r {
@@ -312,6 +414,15 @@ func simulateOurs(w *Workload, data *IterationData, pc PlanConfig) (*IterationRe
 		for id, end := range res.TaskEnd {
 			actCompEnd[rp.jobs[jobIndex(rp, id)].origin] = end
 		}
+		if rec.Enabled() {
+			emitObstacles(rec, r, obs.ThreadMain, "compute", res.Obstacles)
+			for _, t := range plan.Tasks {
+				pj := rp.jobs[jobIndex(rp, t.ID)]
+				g := data.Jobs[pj.origin.rank][pj.origin.id]
+				rec.Record(compressSpan(cfg, r, g, res.TaskStart[t.ID], res.TaskEnd[t.ID]))
+				countJob(rec, cfg, g)
+			}
+		}
 	}
 
 	// Phase 2: background threads — writes in scheduled order, released by
@@ -324,7 +435,10 @@ func simulateOurs(w *Workload, data *IterationData, pc PlanConfig) (*IterationRe
 			order = append(order, ord{pl.JobID, pl.IOStart})
 		}
 		sort.Slice(order, func(a, b int) bool { return order[a].start < order[b].start })
-		plan := sim.ThreadPlan{Obstacles: data.ActProfiles[r].IOBusy}
+		plan := sim.ThreadPlan{
+			Obstacles:       data.ActProfiles[r].IOBusy,
+			RecordObstacles: rec.Enabled(),
+		}
 		for _, o := range order {
 			pj := rp.jobs[jobIndex(rp, o.id)]
 			if pj.predIO <= 0 && pj.actIO <= 0 {
@@ -344,6 +458,19 @@ func simulateOurs(w *Workload, data *IterationData, pc PlanConfig) (*IterationRe
 		}
 		ends[r] = math.Max(mains[r].End, res.End)
 		delay += mains[r].ObstacleDelay + res.ObstacleDelay
+		if rec.Enabled() {
+			emitObstacles(rec, r, obs.ThreadIO, "core task", res.Obstacles)
+			for _, t := range plan.Tasks {
+				pj := rp.jobs[jobIndex(rp, t.ID)]
+				g := data.Jobs[pj.origin.rank][pj.origin.id]
+				sp := writeSpan(r, g, res.TaskStart[t.ID], res.TaskEnd[t.ID])
+				if pj.origin.rank != r {
+					sp.Extra = fmt.Sprintf("balanced from rank %d (%s)", pj.origin.rank, sp.Extra)
+					rec.Count("core.writes.balanced", 1)
+				}
+				rec.Record(sp)
+			}
+		}
 	}
 	return overheadResult(ModeOurs, ends, data.ComputeEnd, delay, planned), nil
 }
@@ -363,28 +490,11 @@ type RunStats struct {
 }
 
 // RunSim simulates `iters` iterations and aggregates overheads.
+//
+// Deprecated: use Run with a RunConfig; this wrapper will be removed next
+// release.
 func RunSim(w *Workload, mode Mode, pc PlanConfig, iters int) (*RunStats, error) {
-	if iters < 1 {
-		return nil, fmt.Errorf("core: iterations %d < 1", iters)
-	}
-	st := &RunStats{Mode: mode, Iterations: iters}
-	for it := 0; it < iters; it++ {
-		data := w.Iteration(it)
-		res, err := SimulateIteration(w, data, mode, pc)
-		if err != nil {
-			return nil, err
-		}
-		st.MeanOverhead += res.Overhead
-		st.MeanEnd += res.End
-		st.MeanDelay += res.Delay
-		if res.Overhead > st.MaxOverhead {
-			st.MaxOverhead = res.Overhead
-		}
-	}
-	st.MeanOverhead /= float64(iters)
-	st.MeanEnd /= float64(iters)
-	st.MeanDelay /= float64(iters)
-	return st, nil
+	return Run(w, RunConfig{Mode: mode, Plan: pc, Iterations: iters})
 }
 
 // PlannedIterationDuration plans one iteration with pc and returns the

@@ -131,7 +131,7 @@ func TestAllModesRun(t *testing.T) {
 	w := nyx4(t)
 	data := w.Iteration(0)
 	for _, mode := range []Mode{ModeBaseline, ModeAsyncIO, ModeAsyncCompIO, ModeOurs} {
-		res, err := SimulateIteration(w, data, mode, PlanConfig{Balance: true})
+		res, err := Simulate(w, data, RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}})
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
@@ -149,7 +149,7 @@ func TestModeOrderingMatchesPaper(t *testing.T) {
 	// baseline for an I/O-heavy Nyx-like workload.
 	w := nyx4(t)
 	get := func(mode Mode) float64 {
-		st, err := RunSim(w, mode, PlanConfig{Balance: true}, 5)
+		st, err := Run(w, RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}, Iterations: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,11 +183,11 @@ func TestBalancingHelpsSkewedWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := RunSim(w, ModeOurs, PlanConfig{Balance: false}, 6)
+	off, err := Run(w, RunConfig{Mode: ModeOurs, Iterations: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := RunSim(w, ModeOurs, PlanConfig{Balance: true}, 6)
+	on, err := Run(w, RunConfig{Mode: ModeOurs, Plan: PlanConfig{Balance: true}, Iterations: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,11 +204,11 @@ func TestBalancingNoopOnEvenWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := RunSim(w, ModeOurs, PlanConfig{Balance: false}, 4)
+	off, err := Run(w, RunConfig{Mode: ModeOurs, Iterations: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := RunSim(w, ModeOurs, PlanConfig{Balance: true}, 4)
+	on, err := Run(w, RunConfig{Mode: ModeOurs, Plan: PlanConfig{Balance: true}, Iterations: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,10 +274,17 @@ func TestBalancedPlanConservesWrites(t *testing.T) {
 	}
 }
 
+// Also keeps the deprecated RunSim wrapper compiling and behaving.
 func TestRunSimRejectsBadIters(t *testing.T) {
 	w := nyx4(t)
-	if _, err := RunSim(w, ModeOurs, PlanConfig{}, 0); err == nil {
+	if _, err := Run(w, RunConfig{Mode: ModeOurs}); err == nil {
 		t.Fatal("zero iterations accepted")
+	}
+	if _, err := RunSim(w, ModeOurs, PlanConfig{}, 0); err == nil {
+		t.Fatal("zero iterations accepted via deprecated wrapper")
+	}
+	if _, err := RunSim(w, ModeOurs, PlanConfig{}, 1); err != nil {
+		t.Fatalf("deprecated wrapper broken: %v", err)
 	}
 }
 
@@ -306,11 +313,11 @@ func TestQuickOursNeverWorseThanBaseline(t *testing.T) {
 			return false
 		}
 		data := w.Iteration(0)
-		base, err := SimulateIteration(w, data, ModeBaseline, PlanConfig{})
+		base, err := Simulate(w, data, RunConfig{Mode: ModeBaseline})
 		if err != nil {
 			return false
 		}
-		ours, err := SimulateIteration(w, data, ModeOurs, PlanConfig{Balance: true})
+		ours, err := Simulate(w, data, RunConfig{Mode: ModeOurs, Plan: PlanConfig{Balance: true}})
 		if err != nil {
 			return false
 		}
@@ -324,11 +331,15 @@ func TestQuickOursNeverWorseThanBaseline(t *testing.T) {
 	}
 }
 
+// Also keeps the deprecated SimulateIteration wrapper compiling.
 func TestSimulateIterationUnknownMode(t *testing.T) {
 	w := nyx4(t)
 	data := w.Iteration(0)
 	if _, err := SimulateIteration(w, data, Mode(99), PlanConfig{}); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+	if _, err := SimulateIteration(w, data, ModeBaseline, PlanConfig{}); err != nil {
+		t.Fatal("deprecated wrapper broken")
 	}
 	if Mode(99).String() == "" {
 		t.Fatal("unknown mode string empty")

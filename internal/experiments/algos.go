@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -11,7 +12,7 @@ import (
 // and the computation interference each plan caused. This is the executed
 // counterpart of the paper's "overhead and optimized iteration time"
 // framing in §5.2.
-func AlgoEndToEnd() (*Table, error) {
+func AlgoEndToEnd(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "algos",
 		Title:  "Executed overhead by scheduling algorithm (virtual time, sigma model, 8 ranks)",
@@ -27,7 +28,10 @@ func AlgoEndToEnd() (*Table, error) {
 		return nil, err
 	}
 	for _, alg := range sched.Algorithms() {
-		st, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Algorithm: alg, Balance: true}, 5)
+		st, err := core.Run(w, core.RunConfig{
+			Mode: core.ModeOurs, Plan: core.PlanConfig{Algorithm: alg, Balance: true},
+			Recorder: rec, Iterations: 5,
+		})
 		if err != nil {
 			return nil, err
 		}

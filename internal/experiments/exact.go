@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -13,7 +14,8 @@ import (
 // branch-and-bound certifies how far each heuristic is from optimal; at
 // Table-1 scale it demonstrates why the paper's ILP "was unable to find a
 // solution" (node budget exhausted).
-func ExactStudy() (*Table, error) {
+func ExactStudy(rec *obs.Recorder) (*Table, error) {
+	_ = rec // pure solver comparison; no timeline to record
 	t := &Table{
 		ID:     "exact",
 		Title:  "Exact solver (ILP stand-in) vs heuristics on small instances (m=7 jobs)",
@@ -81,7 +83,7 @@ func ExactStudy() (*Table, error) {
 // PredVsActual reproduces the §5.2 observation that scheduling with actual
 // values beats scheduling with predicted (jittered) values only slightly —
 // the framework tolerates prediction noise.
-func PredVsActual() (*Table, error) {
+func PredVsActual(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "predvsactual",
 		Title:  "Ablation: prediction uncertainty (sigma model of 5.4.1) vs perfect knowledge",
@@ -96,7 +98,10 @@ func PredVsActual() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, simIters)
+		return core.Run(w, core.RunConfig{
+			Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true},
+			Recorder: rec, Iterations: simIters,
+		})
 	}
 	perfect, err := run(true)
 	if err != nil {
@@ -136,10 +141,12 @@ func All() []NamedExperiment {
 	}
 }
 
-// NamedExperiment pairs an experiment ID with its generator.
+// NamedExperiment pairs an experiment ID with its generator. Generators
+// accept an optional obs.Recorder (nil = no instrumentation) so the bench
+// CLI's -trace/-metrics flags reach the engines underneath.
 type NamedExperiment struct {
 	ID  string
-	Run func() (*Table, error)
+	Run func(rec *obs.Recorder) (*Table, error)
 }
 
 // WallClock reports whether an experiment measures real time (and therefore

@@ -22,6 +22,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Table is one experiment's result in printable form.
@@ -74,3 +76,26 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
 // sscan parses a float cell back out of a rendered row.
 func sscan(s string, v *float64) (int, error) { return fmt.Sscanf(s, "%f", v) }
+
+// Find looks an experiment up by ID.
+func Find(id string) (NamedExperiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return NamedExperiment{}, false
+}
+
+// Run executes the experiment with the given ID without instrumentation.
+func Run(id string) (*Table, error) { return RunTraced(id, nil) }
+
+// RunTraced executes the experiment with the given ID, recording spans and
+// metrics into rec (nil disables instrumentation).
+func RunTraced(id string, rec *obs.Recorder) (*Table, error) {
+	e, ok := Find(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (use All for the index)", id)
+	}
+	return e.Run(rec)
+}

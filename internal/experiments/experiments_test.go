@@ -68,7 +68,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	tab, err := Figure3()
+	tab, err := Figure3(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	tab, err := Figure4()
+	tab, err := Figure4(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	tab, err := Figure5()
+	tab, err := Figure5(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure6Shape(t *testing.T) {
-	tab, err := Figure6()
+	tab, err := Figure6(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestFigure7And8Shapes(t *testing.T) {
-	f7, err := Figure7()
+	f7, err := Figure7(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestFigure7And8Shapes(t *testing.T) {
 			t.Fatalf("fig7 ratio %s: ours %v >= baseline %v", row[0], ours, base)
 		}
 	}
-	f8, err := Figure8()
+	f8, err := Figure8(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestFigure7And8Shapes(t *testing.T) {
 }
 
 func TestExactStudyShape(t *testing.T) {
-	tab, err := ExactStudy()
+	tab, err := ExactStudy(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestExactStudyShape(t *testing.T) {
 }
 
 func TestPredVsActualShape(t *testing.T) {
-	tab, err := PredVsActual()
+	tab, err := PredVsActual(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestAllRegistryComplete(t *testing.T) {
 }
 
 func TestAlgoEndToEndShape(t *testing.T) {
-	tab, err := AlgoEndToEnd()
+	tab, err := AlgoEndToEnd(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestMultiFileShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock experiment")
 	}
-	tab, err := MultiFile()
+	tab, err := MultiFile(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestFigure9Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock experiment")
 	}
-	tab, err := Figure9()
+	tab, err := Figure9(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,13 +3,15 @@ package experiments
 import (
 	"repro/internal/fields"
 	"repro/internal/huffman"
+	"repro/internal/obs"
 	"repro/internal/sz"
 )
 
 // Figure6 reproduces Fig. 6: compression-ratio degradation when a shared
 // Huffman tree built at iteration 0 (or the immediately previous iteration)
 // is reused for later iterations, on real generated-and-compressed data.
-func Figure6() (*Table, error) {
+func Figure6(rec *obs.Recorder) (*Table, error) {
+	_ = rec // ratio-quality study; no timeline to record
 	t := &Table{
 		ID:     "fig6",
 		Title:  "Relative compression ratio with a reused shared Huffman tree",

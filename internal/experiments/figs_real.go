@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fields"
+	"repro/internal/obs"
 	"repro/internal/simapp"
 	"repro/internal/sz"
 )
@@ -26,9 +27,11 @@ func realScale(cfg simapp.Config, iters int) simapp.Config {
 
 // realOverheads measures baseline / async-io / ours against a compute-only
 // reference for one application config.
-func realOverheads(mk func(mode simapp.Mode) simapp.Config) (base, async, ours float64, err error) {
+func realOverheads(rec *obs.Recorder, mk func(mode simapp.Mode) simapp.Config) (base, async, ours float64, err error) {
 	run := func(mode simapp.Mode) (*simapp.Result, error) {
-		return simapp.Run(mk(mode))
+		cfg := mk(mode)
+		cfg.Recorder = rec
+		return simapp.Run(cfg)
 	}
 	ref, err := run(simapp.ComputeOnly)
 	if err != nil {
@@ -52,7 +55,7 @@ func realOverheads(mk func(mode simapp.Mode) simapp.Config) (base, async, ours f
 // Figure9 reproduces Fig. 9: overall time overheads of baseline,
 // asynchronous I/O, and our solution, with the full-scale (64-rank)
 // simulation series for reference — exactly the figure's structure.
-func Figure9() (*Table, error) {
+func Figure9(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "fig9",
 		Title:  "Overall time overhead, Nyx (wall clock at laptop scale + 64-rank simulation reference)",
@@ -62,7 +65,7 @@ func Figure9() (*Table, error) {
 		},
 	}
 	// Wall-clock series (4 ranks on this machine).
-	b, a, o, err := realOverheads(func(m simapp.Mode) simapp.Config {
+	b, a, o, err := realOverheads(rec, func(m simapp.Mode) simapp.Config {
 		return realScale(simapp.Nyx(4, m), 4)
 	})
 	if err != nil {
@@ -77,15 +80,22 @@ func Figure9() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sb, err := core.RunSim(w, core.ModeBaseline, core.PlanConfig{}, simIters)
+	sb, err := core.Run(w, core.RunConfig{
+		Mode: core.ModeBaseline, Recorder: rec, Iterations: simIters,
+	})
 	if err != nil {
 		return nil, err
 	}
-	sa, err := core.RunSim(w, core.ModeAsyncIO, core.PlanConfig{}, simIters)
+	sa, err := core.Run(w, core.RunConfig{
+		Mode: core.ModeAsyncIO, Recorder: rec, Iterations: simIters,
+	})
 	if err != nil {
 		return nil, err
 	}
-	so, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, simIters)
+	so, err := core.Run(w, core.RunConfig{
+		Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true},
+		Recorder: rec, Iterations: simIters,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +118,7 @@ func ratioStr(a, b float64) string {
 
 // Figure10 reproduces Fig. 10: overheads across run stages (beginning,
 // middle, end) for Nyx and WarpX.
-func Figure10() (*Table, error) {
+func Figure10(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "fig10",
 		Title:  "Time overhead across run stages (wall clock, 4 ranks)",
@@ -121,7 +131,7 @@ func Figure10() (*Table, error) {
 	names := []string{"begin", "middle", "end"}
 	for _, app := range []string{"nyx", "warpx"} {
 		for si, st := range stages {
-			b, a, o, err := realOverheads(func(m simapp.Mode) simapp.Config {
+			b, a, o, err := realOverheads(rec, func(m simapp.Mode) simapp.Config {
 				var cfg simapp.Config
 				if app == "nyx" {
 					cfg = simapp.Nyx(4, m)
@@ -144,7 +154,7 @@ func Figure10() (*Table, error) {
 // Figure11 reproduces Fig. 11: weak scaling. The wall-clock series covers
 // what one core can host honestly (1-8 ranks); the simulation series covers
 // the paper's 8-64 rank range.
-func Figure11() (*Table, error) {
+func Figure11(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "fig11",
 		Title:  "Weak scaling: overhead vs rank count",
@@ -154,7 +164,7 @@ func Figure11() (*Table, error) {
 		},
 	}
 	for _, ranks := range []int{1, 2, 4, 8} {
-		b, a, o, err := realOverheads(func(m simapp.Mode) simapp.Config {
+		b, a, o, err := realOverheads(rec, func(m simapp.Mode) simapp.Config {
 			return realScale(simapp.Nyx(ranks, m), 3)
 		})
 		if err != nil {
@@ -177,15 +187,22 @@ func Figure11() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			b, err := core.RunSim(w, core.ModeBaseline, core.PlanConfig{}, 3)
+			b, err := core.Run(w, core.RunConfig{
+				Mode: core.ModeBaseline, Recorder: rec, Iterations: 3,
+			})
 			if err != nil {
 				return nil, err
 			}
-			a, err := core.RunSim(w, core.ModeAsyncIO, core.PlanConfig{}, 3)
+			a, err := core.Run(w, core.RunConfig{
+				Mode: core.ModeAsyncIO, Recorder: rec, Iterations: 3,
+			})
 			if err != nil {
 				return nil, err
 			}
-			o, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, 3)
+			o, err := core.Run(w, core.RunConfig{
+				Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true},
+				Recorder: rec, Iterations: 3,
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 const simIters = 5
@@ -9,7 +10,7 @@ const simIters = 5
 // Figure3 reproduces Fig. 3: relative execution-time improvement from
 // intra-node I/O workload balancing as the per-node compression-ratio
 // spread grows, for 4 and 8 ranks per node.
-func Figure3() (*Table, error) {
+func Figure3(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "fig3",
 		Title:  "I/O workload balancing improvement vs max compression-ratio difference",
@@ -37,11 +38,17 @@ func Figure3() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			off, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: false}, simIters)
+			off, err := core.Run(w, core.RunConfig{
+				Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: false},
+				Recorder: rec, Iterations: simIters,
+			})
 			if err != nil {
 				return nil, err
 			}
-			on, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, simIters)
+			on, err := core.Run(w, core.RunConfig{
+				Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true},
+				Recorder: rec, Iterations: simIters,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -74,7 +81,7 @@ func figure4Config(st stageDef, blockBytes int64, sharedTree bool) core.Workload
 // Figure4 reproduces Fig. 4: execution time vs fine-grained block size,
 // relative to 64 MiB blocks (no fine-graining), with the shared-tree-off
 // dashed series.
-func Figure4() (*Table, error) {
+func Figure4(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "fig4",
 		Title:  "Relative execution time vs compression block size (vs 64 MiB)",
@@ -98,7 +105,9 @@ func Figure4() (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		res, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{}, 3)
+		res, err := core.Run(w, core.RunConfig{
+			Mode: core.ModeOurs, Recorder: rec, Iterations: 3,
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -136,7 +145,8 @@ func Figure4() (*Table, error) {
 
 // Figure5 reproduces Fig. 5: total compressed-data I/O time vs buffer
 // size, relative to no buffer.
-func Figure5() (*Table, error) {
+func Figure5(rec *obs.Recorder) (*Table, error) {
+	_ = rec // aggregates job costs directly; nothing executes
 	t := &Table{
 		ID:     "fig5",
 		Title:  "Relative compressed-data I/O time vs buffer size (vs no buffer)",
@@ -180,7 +190,7 @@ func Figure5() (*Table, error) {
 
 // Figure7 reproduces Fig. 7: overhead (relative to computation) of the
 // baseline vs our solution across average compression ratios.
-func Figure7() (*Table, error) {
+func Figure7(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "fig7",
 		Title:  "Time overhead vs average compression ratio (simulation, sigma model of 5.4.1)",
@@ -203,11 +213,16 @@ func Figure7() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := core.RunSim(w, core.ModeBaseline, core.PlanConfig{}, simIters)
+		base, err := core.Run(w, core.RunConfig{
+			Mode: core.ModeBaseline, Recorder: rec, Iterations: simIters,
+		})
 		if err != nil {
 			return nil, err
 		}
-		ours, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, simIters)
+		ours, err := core.Run(w, core.RunConfig{
+			Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true},
+			Recorder: rec, Iterations: simIters,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +233,7 @@ func Figure7() (*Table, error) {
 
 // Figure8 reproduces Fig. 8: overhead vs data-distribution skew
 // (intra-node max compression-ratio difference).
-func Figure8() (*Table, error) {
+func Figure8(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "fig8",
 		Title:  "Time overhead vs data distribution (max CR difference; simulation)",
@@ -243,15 +258,23 @@ func Figure8() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := core.RunSim(w, core.ModeBaseline, core.PlanConfig{}, simIters)
+		base, err := core.Run(w, core.RunConfig{
+			Mode: core.ModeBaseline, Recorder: rec, Iterations: simIters,
+		})
 		if err != nil {
 			return nil, err
 		}
-		ours, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: true}, simIters)
+		ours, err := core.Run(w, core.RunConfig{
+			Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true},
+			Recorder: rec, Iterations: simIters,
+		})
 		if err != nil {
 			return nil, err
 		}
-		noBal, err := core.RunSim(w, core.ModeOurs, core.PlanConfig{Balance: false}, simIters)
+		noBal, err := core.Run(w, core.RunConfig{
+			Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: false},
+			Recorder: rec, Iterations: simIters,
+		})
 		if err != nil {
 			return nil, err
 		}

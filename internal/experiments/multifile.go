@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/obs"
 	"repro/internal/simapp"
 )
 
@@ -9,7 +10,7 @@ import (
 // setting, with reserved extents and an overflow region) versus the
 // multi-file BP-lite backend (per-rank sub-files, offsets assigned at write
 // time, no reservations).
-func MultiFile() (*Table, error) {
+func MultiFile(rec *obs.Recorder) (*Table, error) {
 	t := &Table{
 		ID:     "multifile",
 		Title:  "Ablation (paper 6 future work): shared-file vs multi-file container, mini-Nyx, 4 ranks",
@@ -19,13 +20,16 @@ func MultiFile() (*Table, error) {
 			"at this scale both conceal the dump; the shared file wins on file count, the paper's 2.1 argument",
 		},
 	}
-	ref, err := simapp.Run(realScale(simapp.Nyx(4, simapp.ComputeOnly), 3))
+	refCfg := realScale(simapp.Nyx(4, simapp.ComputeOnly), 3)
+	refCfg.Recorder = rec
+	ref, err := simapp.Run(refCfg)
 	if err != nil {
 		return nil, err
 	}
 	for _, backend := range []string{simapp.BackendH5L, simapp.BackendBP} {
 		cfg := realScale(simapp.Nyx(4, simapp.Ours), 3)
 		cfg.Backend = backend
+		cfg.Recorder = rec
 		res, err := simapp.Run(cfg)
 		if err != nil {
 			return nil, err

@@ -3,6 +3,9 @@ package h5
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // AsyncQueue is a single-worker FIFO dispatch queue standing in for the HDF5
@@ -10,18 +13,35 @@ import (
 // execute in order on a background goroutine, and Drain blocks until
 // everything submitted so far has finished (the H5ESwait analogue).
 type AsyncQueue struct {
+	rec  *obs.Recorder // optional instrumentation (nil = off)
+	rank int           // trace attribution for spans
+
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []func() error
+	queue  []asyncOp
 	inFly  bool
 	closed bool
 	errs   []error
 	wg     sync.WaitGroup
 }
 
+// asyncOp is one queued operation plus its submission time (zero when
+// tracing is off) so the dispatch delay — how long the op sat in the event
+// set before the worker picked it up — is visible on the trace.
+type asyncOp struct {
+	fn        func() error
+	submitted time.Time
+}
+
 // NewAsyncQueue starts the background worker.
 func NewAsyncQueue() *AsyncQueue {
-	q := &AsyncQueue{}
+	return NewAsyncQueueTraced(nil, 0)
+}
+
+// NewAsyncQueueTraced starts a worker whose dispatch waits, op executions,
+// and drain waits are recorded as spans on rank's async-dispatch thread row.
+func NewAsyncQueueTraced(rec *obs.Recorder, rank int) *AsyncQueue {
+	q := &AsyncQueue{rec: rec, rank: rank}
 	q.cond = sync.NewCond(&q.mu)
 	q.wg.Add(1)
 	go q.run()
@@ -44,7 +64,21 @@ func (q *AsyncQueue) run() {
 		q.inFly = true
 		q.mu.Unlock()
 
-		err := op()
+		started := q.rec.Now()
+		if q.rec.Enabled() && started.After(op.submitted) {
+			q.rec.WallSpan(obs.Span{
+				Name: "async dispatch", Cat: "dispatch",
+				Rank: q.rank, Thread: obs.ThreadQueue, Block: obs.NoBlock,
+			}, op.submitted, started)
+		}
+		err := op.fn()
+		if q.rec.Enabled() {
+			q.rec.WallSpan(obs.Span{
+				Name: "async op", Cat: "write",
+				Rank: q.rank, Thread: obs.ThreadQueue, Block: obs.NoBlock,
+			}, started, q.rec.Now())
+			q.rec.Count("h5.async.ops", 1)
+		}
 
 		q.mu.Lock()
 		q.inFly = false
@@ -64,23 +98,36 @@ func (q *AsyncQueue) Submit(op func() error) error {
 	if q.closed {
 		return fmt.Errorf("h5: submit on closed async queue")
 	}
-	q.queue = append(q.queue, op)
+	q.queue = append(q.queue, asyncOp{fn: op, submitted: q.rec.Now()})
 	q.cond.Broadcast()
 	return nil
 }
 
 // Drain blocks until all currently submitted operations complete, returning
-// the first accumulated error (errors stay latched until Close).
+// the first accumulated error (errors stay latched until Close). The wait —
+// the H5ESwait stall the paper's async connector tries to hide — is
+// recorded as a span when tracing is on.
 func (q *AsyncQueue) Drain() error {
+	t0 := q.rec.Now()
 	q.mu.Lock()
-	defer q.mu.Unlock()
+	waited := false
 	for len(q.queue) > 0 || q.inFly {
+		waited = true
 		q.cond.Wait()
 	}
+	var err error
 	if len(q.errs) > 0 {
-		return q.errs[0]
+		err = q.errs[0]
 	}
-	return nil
+	q.mu.Unlock()
+	if waited && q.rec.Enabled() {
+		q.rec.WallSpan(obs.Span{
+			Name: "async drain", Cat: "drain",
+			Rank: q.rank, Thread: obs.ThreadQueue, Block: obs.NoBlock,
+		}, t0, q.rec.Now())
+		q.rec.Count("h5.async.drains", 1)
+	}
+	return err
 }
 
 // Pending returns the number of queued (not yet started) operations.

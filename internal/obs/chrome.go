@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one Chrome trace-event JSON object. Field order is the
+// struct order (encoding/json preserves it), which keeps the export stable
+// for golden-file comparison.
+type traceEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat,omitempty"`
+	Ph   string     `json:"ph"`
+	TS   int64      `json:"ts"`
+	Dur  *int64     `json:"dur,omitempty"`
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	Args *traceArgs `json:"args,omitempty"`
+}
+
+// traceArgs carries span attributes (and the name payload of metadata
+// events) with a fixed field order.
+type traceArgs struct {
+	Name  string  `json:"name,omitempty"`
+	Block *int    `json:"block,omitempty"`
+	Bytes int64   `json:"bytes,omitempty"`
+	Ratio float64 `json:"ratio,omitempty"`
+	Info  string  `json:"info,omitempty"`
+}
+
+// threadName labels a tid row within an application rank.
+func threadName(t Thread) string {
+	switch t {
+	case ThreadMain:
+		return "main (compute+compress)"
+	case ThreadIO:
+		return "background (comm+write)"
+	case ThreadQueue:
+		return "async dispatch"
+	default:
+		return fmt.Sprintf("thread %d", int(t))
+	}
+}
+
+// WriteChromeTrace exports the collected spans as Chrome trace-event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto or chrome://tracing.
+// Timestamps are microseconds; each rank becomes a trace process and each
+// thread a named row. The output is deterministic for a given recorder
+// state: metadata first (by pid, tid), then spans in the snapshot order.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	spans, _, _, _, procNames := r.snapshot()
+
+	// Collect the process/thread rows actually used.
+	type pt struct {
+		pid, tid int
+	}
+	pidSet := make(map[int]bool)
+	ptSet := make(map[pt]bool)
+	for _, sp := range spans {
+		pidSet[sp.Rank] = true
+		ptSet[pt{sp.Rank, int(sp.Thread)}] = true
+	}
+	pids := make([]int, 0, len(pidSet))
+	for pid := range pidSet {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	pts := make([]pt, 0, len(ptSet))
+	for k := range ptSet {
+		pts = append(pts, k)
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].pid != pts[b].pid {
+			return pts[a].pid < pts[b].pid
+		}
+		return pts[a].tid < pts[b].tid
+	})
+
+	procName := func(pid int) string {
+		if name, ok := procNames[pid]; ok {
+			return name
+		}
+		if pid == PIDStorage {
+			return "storage (pfs)"
+		}
+		return fmt.Sprintf("rank %d", pid)
+	}
+	tidName := func(p pt) string {
+		if p.pid == PIDStorage {
+			return fmt.Sprintf("OST %d", p.tid)
+		}
+		return threadName(Thread(p.tid))
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEvent) error {
+		blob, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(blob)
+		return err
+	}
+
+	for _, pid := range pids {
+		if err := emit(traceEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: &traceArgs{Name: procName(pid)},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, p := range pts {
+		if err := emit(traceEvent{
+			Name: "thread_name", Ph: "M", PID: p.pid, TID: p.tid,
+			Args: &traceArgs{Name: tidName(p)},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, sp := range spans {
+		dur := micros(sp.End) - micros(sp.Start)
+		if dur < 1 {
+			dur = 1 // sub-microsecond spans still render
+		}
+		ev := traceEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			TS: micros(sp.Start), Dur: &dur,
+			PID: sp.Rank, TID: int(sp.Thread),
+		}
+		if sp.Block != NoBlock || sp.Bytes != 0 || sp.Ratio != 0 || sp.Extra != "" {
+			args := &traceArgs{Bytes: sp.Bytes, Ratio: round3(sp.Ratio), Info: sp.Extra}
+			if sp.Block != NoBlock {
+				b := sp.Block
+				args.Block = &b
+			}
+			ev.Args = args
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// micros converts trace-clock seconds to integer microseconds.
+func micros(s float64) int64 { return int64(s*1e6 + 0.5) }
+
+// round3 keeps ratio attributes readable (and their JSON stable).
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMetrics renders the collected counters, distributions, and
+// per-iteration predicted-vs-actual rows as aligned text, in the style of
+// the experiment tables (internal/experiments.Table).
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "== metrics == (recording disabled)\n")
+		return err
+	}
+	spans, counters, dists, iters, _ := r.snapshot()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== metrics == (%d spans)\n", len(spans))
+
+	if len(counters) > 0 {
+		b.WriteString("\ncounters\n")
+		rows := make([][]string, 0, len(counters))
+		for _, c := range counters {
+			rows = append(rows, []string{c.name, formatValue(c.name, c.value)})
+		}
+		writeAligned(&b, []string{"  name", "value"}, rows)
+	}
+
+	if len(dists) > 0 {
+		b.WriteString("\ndistributions\n")
+		rows := make([][]string, 0, len(dists))
+		for _, d := range dists {
+			rows = append(rows, []string{
+				d.name,
+				fmt.Sprint(d.d.N),
+				fmt.Sprintf("%.4g", d.d.Mean()),
+				fmt.Sprintf("%.4g", d.d.Min),
+				fmt.Sprintf("%.4g", d.d.Max),
+			})
+		}
+		writeAligned(&b, []string{"  name", "n", "mean", "min", "max"}, rows)
+	}
+
+	if len(iters) > 0 {
+		b.WriteString("\niterations (predicted vs actual makespan)\n")
+		rows := make([][]string, 0, len(iters))
+		for _, it := range iters {
+			planned := "-"
+			if it.Planned > 0 {
+				planned = fmt.Sprintf("%.4f", it.Planned)
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(it.Seq),
+				it.Mode,
+				planned,
+				fmt.Sprintf("%.4f", it.Actual),
+				fmt.Sprintf("%.1f%%", 100*it.Overhead),
+			})
+		}
+		writeAligned(&b, []string{"  seq", "mode", "planned(s)", "actual(s)", "overhead"}, rows)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders byte-flavored counters with unit suffixes and
+// everything else as a plain number.
+func formatValue(name string, v float64) string {
+	if strings.Contains(name, "bytes") {
+		switch {
+		case v >= 1<<30:
+			return fmt.Sprintf("%.2f GiB", v/(1<<30))
+		case v >= 1<<20:
+			return fmt.Sprintf("%.2f MiB", v/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.2f KiB", v/(1<<10))
+		}
+	}
+	if v == float64(int64(v)) {
+		return fmt.Sprint(int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// writeAligned renders one header + rows block with per-column padding.
+// The first header cell carries the indent for the whole block.
+func writeAligned(b *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c)+2 > widths[i] {
+				widths[i] = len(c) + 2
+			}
+		}
+	}
+	line := func(cells []string, indent string) {
+		b.WriteString(indent)
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header, "")
+	for _, row := range rows {
+		line(row, "  ")
+	}
+}

@@ -1,0 +1,324 @@
+// Package obs is the repository's observability layer: a process-wide span
+// and metrics recorder threaded through both execution engines — the
+// virtual-time simulator (internal/core + internal/sim) and the wall-clock
+// mini-apps (internal/simapp) — plus the hot producers underneath them
+// (internal/sz compression, internal/pfs writes, internal/h5 async
+// dispatch).
+//
+// The paper's whole argument is about *where time goes* inside an iteration
+// (compression vs. I/O vs. immovable obstacles, §3–§5); this package makes
+// that timeline visible. A Recorder collects:
+//
+//   - Spans: named intervals on a (rank, thread) timeline with attributes
+//     (block ID, bytes, achieved compression ratio). Virtual-time spans use
+//     the simulator's clock (Record); wall-clock spans use real time
+//     anchored at the recorder's epoch (WallSpan).
+//   - Counters: monotonically accumulated totals (bytes compressed, bytes
+//     written, write requests).
+//   - Distributions: value streams summarized as n/mean/min/max
+//     (compression ratio per field, effective bandwidth, prediction error).
+//   - Iteration stats: the scheduler's predicted makespan vs. the executed
+//     iteration end, one row per simulated or executed iteration.
+//
+// Two exporters turn a Recorder into artifacts: WriteChromeTrace emits
+// Chrome trace-event JSON loadable in Perfetto / about:tracing, and
+// WriteMetrics emits an aligned-text summary.
+//
+// Every method is nil-safe: a nil *Recorder is the disabled state and every
+// call on it returns immediately without allocating, so hot paths can be
+// instrumented unconditionally and pay nothing when tracing is off
+// (TestNilRecorderZeroAllocs proves this).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Thread identifies a timeline row within one rank (the Chrome trace tid).
+type Thread int
+
+// Thread rows. ThreadMain is the application's main thread (computation
+// obstacles and compression tasks); ThreadIO is the background thread (core
+// tasks and writes); ThreadQueue is the async dispatch worker (internal/h5).
+const (
+	ThreadMain  Thread = 0
+	ThreadIO    Thread = 1
+	ThreadQueue Thread = 2
+)
+
+// PIDStorage is the reserved span Rank for the modelled parallel file
+// system: pfs write spans live on per-OST rows under this process ID rather
+// than on any application rank.
+const PIDStorage = 10000
+
+// NoBlock marks a span that is not attributable to one fine-grained block.
+const NoBlock = -1
+
+// Span is one completed interval on the trace timeline. Times are seconds
+// on the trace clock (the virtual simulation clock, or wall-clock seconds
+// since the recorder's epoch).
+type Span struct {
+	Name   string
+	Cat    string // "compress", "write", "obstacle", "iteration", ...
+	Rank   int    // process row (Chrome pid); PIDStorage for the file system
+	Thread Thread // thread row within the rank (Chrome tid)
+	Start  float64
+	End    float64
+
+	// Optional attributes, rendered into the trace event's args.
+	Block int     // fine-grained block / chunk ID (NoBlock when n/a)
+	Bytes int64   // request or payload size (0 when n/a)
+	Ratio float64 // achieved compression ratio (0 when n/a)
+	Extra string  // free-form annotation (e.g. effective bandwidth)
+}
+
+// IterationStat is one iteration's predicted-vs-actual accounting.
+type IterationStat struct {
+	Seq      int     // assigned by the recorder in arrival order
+	Mode     string  // execution mode label
+	Planned  float64 // scheduler's predicted iteration makespan (0 = unplanned)
+	Actual   float64 // executed iteration end
+	Overhead float64 // (end - computeEnd) / computeEnd
+}
+
+// Dist summarizes an observed value stream.
+type Dist struct {
+	N        int
+	Sum      float64
+	Min, Max float64
+}
+
+// Mean returns Sum/N (0 when empty).
+func (d Dist) Mean() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.N)
+}
+
+// Recorder collects spans and metrics. The zero value is NOT usable; build
+// one with NewRecorder. A nil *Recorder is the disabled recorder: every
+// method is a no-op. All methods are safe for concurrent use.
+type Recorder struct {
+	epoch time.Time
+
+	mu        sync.Mutex
+	vcur      float64 // virtual-clock base added to Record'ed spans
+	spans     []Span
+	counters  map[string]float64
+	dists     map[string]*Dist
+	iters     []IterationStat
+	procNames map[int]string
+}
+
+// NewRecorder returns an enabled recorder whose wall-clock epoch is now.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		epoch:     time.Now(),
+		counters:  make(map[string]float64),
+		dists:     make(map[string]*Dist),
+		procNames: make(map[int]string),
+	}
+}
+
+// Enabled reports whether the recorder actually records. Use it to guard
+// attribute construction (fmt.Sprintf and the like) on hot paths.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Now returns the current wall-clock time, or the zero time when disabled
+// (so hot paths skip the clock read entirely).
+func (r *Recorder) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Record adds a virtual-time span. The span's Start/End are offset by the
+// recorder's virtual-clock base (see Advance), letting successive simulated
+// iterations land one after another on the trace timeline.
+func (r *Recorder) Record(sp Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sp.Start += r.vcur
+	sp.End += r.vcur
+	r.spans = append(r.spans, sp)
+	r.mu.Unlock()
+}
+
+// Advance moves the virtual-clock base forward by d seconds. Callers invoke
+// it after each simulated iteration so the next iteration's spans do not
+// overlap the previous one's.
+func (r *Recorder) Advance(d float64) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.vcur += d
+	r.mu.Unlock()
+}
+
+// WallSpan adds a wall-clock span: start/end are converted to seconds since
+// the recorder's epoch (the virtual-clock base does not apply). Spans that
+// began before the epoch are clamped to it.
+func (r *Recorder) WallSpan(sp Span, start, end time.Time) {
+	if r == nil {
+		return
+	}
+	sp.Start = math.Max(0, start.Sub(r.epoch).Seconds())
+	sp.End = math.Max(sp.Start, end.Sub(r.epoch).Seconds())
+	r.mu.Lock()
+	r.spans = append(r.spans, sp)
+	r.mu.Unlock()
+}
+
+// Count accumulates delta into the named counter.
+func (r *Recorder) Count(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Observe folds v into the named distribution.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	d, ok := r.dists[name]
+	if !ok {
+		d = &Dist{Min: v, Max: v}
+		r.dists[name] = d
+	}
+	d.N++
+	d.Sum += v
+	if v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
+	r.mu.Unlock()
+}
+
+// Iteration appends one predicted-vs-actual iteration row; Seq is assigned
+// in arrival order.
+func (r *Recorder) Iteration(st IterationStat) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	st.Seq = len(r.iters)
+	r.iters = append(r.iters, st)
+	r.mu.Unlock()
+}
+
+// ProcessName labels a rank's process row in the exported trace (default:
+// "rank N", or "storage (pfs)" for PIDStorage).
+func (r *Recorder) ProcessName(rank int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.procNames[rank] = name
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Counter returns the named counter's value.
+func (r *Recorder) Counter(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// DistStats returns the named distribution's summary (zero Dist if absent).
+func (r *Recorder) DistStats(name string) Dist {
+	if r == nil {
+		return Dist{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.dists[name]; ok {
+		return *d
+	}
+	return Dist{}
+}
+
+// Iterations returns a copy of the iteration stats.
+func (r *Recorder) Iterations() []IterationStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]IterationStat(nil), r.iters...)
+}
+
+// snapshot returns deterministic copies for the exporters: spans in a total
+// order, counter/distribution names sorted, iterations in sequence order.
+func (r *Recorder) snapshot() (spans []Span, counters []counterKV, dists []distKV, iters []IterationStat, procNames map[int]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spans = append([]Span(nil), r.spans...)
+	sort.SliceStable(spans, func(a, b int) bool {
+		sa, sb := spans[a], spans[b]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		if sa.Rank != sb.Rank {
+			return sa.Rank < sb.Rank
+		}
+		if sa.Thread != sb.Thread {
+			return sa.Thread < sb.Thread
+		}
+		if sa.End != sb.End {
+			return sa.End > sb.End // longer span first: nesting renders sanely
+		}
+		return sa.Name < sb.Name
+	})
+	for name, v := range r.counters {
+		counters = append(counters, counterKV{name, v})
+	}
+	sort.Slice(counters, func(a, b int) bool { return counters[a].name < counters[b].name })
+	for name, d := range r.dists {
+		dists = append(dists, distKV{name, *d})
+	}
+	sort.Slice(dists, func(a, b int) bool { return dists[a].name < dists[b].name })
+	iters = append([]IterationStat(nil), r.iters...)
+	procNames = make(map[int]string, len(r.procNames))
+	for k, v := range r.procNames {
+		procNames[k] = v
+	}
+	return spans, counters, dists, iters, procNames
+}
+
+type counterKV struct {
+	name  string
+	value float64
+}
+
+type distKV struct {
+	name string
+	d    Dist
+}

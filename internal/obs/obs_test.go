@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder builds a fixed recorder state covering every exporter
+// feature: both thread rows, the storage pseudo-process, all attribute
+// kinds, counters, distributions, and iteration stats.
+func goldenRecorder() *Recorder {
+	r := NewRecorder()
+	r.Record(Span{Name: "compute Y1", Cat: "obstacle", Rank: 0, Thread: ThreadMain,
+		Start: 0, End: 0.5, Block: NoBlock})
+	r.Record(Span{Name: "compress b0", Cat: "compress", Rank: 0, Thread: ThreadMain,
+		Start: 0.5, End: 0.62, Block: 0, Bytes: 8 << 20, Ratio: 15.8125})
+	r.Record(Span{Name: "write b0", Cat: "write", Rank: 0, Thread: ThreadIO,
+		Start: 0.62, End: 0.7, Block: 0, Bytes: 530432})
+	r.Record(Span{Name: "comm G1", Cat: "obstacle", Rank: 1, Thread: ThreadIO,
+		Start: 0.1, End: 0.3, Block: NoBlock, Extra: "delayed 12ms"})
+	r.Record(Span{Name: "pfs write", Cat: "write", Rank: PIDStorage, Thread: 2,
+		Start: 0.63, End: 0.7, Block: NoBlock, Bytes: 530432, Extra: "84.1 MiB/s effective"})
+	r.Advance(1.0)
+	r.Record(Span{Name: "compress b0", Cat: "compress", Rank: 0, Thread: ThreadMain,
+		Start: 0.5, End: 0.61, Block: 0, Bytes: 8 << 20, Ratio: 16.25})
+	r.Count("bytes.raw", 16<<20)
+	r.Count("bytes.compressed", 1060864)
+	r.Observe("ratio", 15.8125)
+	r.Observe("ratio", 16.25)
+	r.Iteration(IterationStat{Mode: "ours", Planned: 0.98, Actual: 1.0, Overhead: 0.02})
+	r.Iteration(IterationStat{Mode: "ours", Planned: 0.97, Actual: 0.99, Overhead: 0.015})
+	return r
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The export must be valid JSON with the documented envelope.
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		Unit        string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.Unit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace export drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Exports are deterministic: a second write is byte-identical.
+	var again bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two exports of the same state differ")
+	}
+}
+
+func TestChromeTraceEventShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			TS   *int64                 `json:"ts"`
+			PID  *int                   `json:"pid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var meta, complete int
+	sawRatio := false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.TS == nil || ev.PID == nil {
+				t.Errorf("complete event %q missing ts/pid", ev.Name)
+			}
+			if v, ok := ev.Args["ratio"]; ok && v.(float64) > 0 {
+				sawRatio = true
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta == 0 || complete != 6 {
+		t.Errorf("got %d metadata and %d complete events, want >0 and 6", meta, complete)
+	}
+	if !sawRatio {
+		t.Error("no span carried a compression-ratio attribute")
+	}
+	// The second iteration's compress span sits after Advance(1.0).
+	if !strings.Contains(buf.String(), `"ts":1500000`) {
+		t.Error("virtual-clock base was not applied to post-Advance spans")
+	}
+}
+
+func TestMetricsSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"bytes.compressed", "bytes.raw", "ratio", "16.03", // mean of 15.8125 and 16.25
+		"predicted vs actual makespan", "ours", "0.9800", "1.0000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderConcurrency(t *testing.T) {
+	r := NewRecorder()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for i := 0; i < 200; i++ {
+				r.Record(Span{Name: "s", Cat: "compress", Rank: w, Thread: ThreadMain,
+					Start: float64(i), End: float64(i) + 0.5, Block: i})
+				r.WallSpan(Span{Name: "w", Cat: "write", Rank: w, Thread: ThreadIO, Block: NoBlock},
+					t0, time.Now())
+				r.Count("bytes.raw", 1)
+				r.Observe("ratio", float64(i%7))
+				r.Iteration(IterationStat{Mode: "ours", Actual: float64(i)})
+				if i%50 == 0 {
+					r.Advance(0.001)
+					_ = r.Counter("bytes.raw")
+					_ = r.DistStats("ratio")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("bytes.raw"); got != workers*200 {
+		t.Errorf("counter = %v, want %d", got, workers*200)
+	}
+	if got := len(r.Spans()); got != workers*400 {
+		t.Errorf("spans = %d, want %d", got, workers*400)
+	}
+	if got := len(r.Iterations()); got != workers*200 {
+		t.Errorf("iterations = %d, want %d", got, workers*200)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilRecorderZeroAllocs proves the disabled path costs nothing: every
+// method on a nil *Recorder returns without allocating, so instrumented hot
+// paths (core.Run, sz.Compress, pfs.Write) are benchmark-neutral when
+// tracing is off.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	sp := Span{Name: "compress", Cat: "compress", Rank: 3, Thread: ThreadMain,
+		Start: 1, End: 2, Block: 7, Bytes: 1 << 20, Ratio: 16}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if r.Enabled() {
+			t.Fatal("nil recorder reports enabled")
+		}
+		r.Record(sp)
+		r.WallSpan(sp, time.Time{}, time.Time{})
+		r.Count("bytes.raw", 1)
+		r.Observe("ratio", 16)
+		r.Iteration(IterationStat{Mode: "ours"})
+		r.Advance(1)
+		r.ProcessName(0, "rank 0")
+		_ = r.Now()
+		_ = r.Counter("x")
+		_ = r.DistStats("x")
+		_ = r.Spans()
+		_ = r.Iterations()
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestNilRecorderExports(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil export is not valid JSON: %v", err)
+	}
+	buf.Reset()
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Errorf("nil metrics output = %q", buf.String())
+	}
+}
+
+func TestDistMean(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []float64{2, 4, 9} {
+		r.Observe("x", v)
+	}
+	d := r.DistStats("x")
+	if d.N != 3 || d.Min != 2 || d.Max != 9 || fmt.Sprintf("%.2f", d.Mean()) != "5.00" {
+		t.Errorf("dist = %+v (mean %v)", d, d.Mean())
+	}
+}

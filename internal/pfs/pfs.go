@@ -22,6 +22,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config describes the storage system.
@@ -126,6 +128,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 // FS is the modelled file system.
 type FS struct {
 	cfg Config
+	rec *obs.Recorder // optional span/metric recorder (nil = off)
 
 	mu      sync.Mutex
 	files   map[string]*File
@@ -156,6 +159,16 @@ func New(cfg Config) (*FS, error) {
 
 // Config returns the file system's configuration.
 func (fs *FS) Config() Config { return fs.cfg }
+
+// SetRecorder attaches an observability recorder: every paced Write then
+// emits a span on the storage timeline (obs.PIDStorage, one row per OST)
+// with the request size and effective bandwidth, plus pfs.* counters. A nil
+// recorder turns instrumentation back off.
+func (fs *FS) SetRecorder(r *obs.Recorder) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rec = r
+}
 
 // Create makes (or truncates) a file.
 func (fs *FS) Create(name string) *File {
@@ -255,7 +268,27 @@ func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 	fs.statBytes += n
 	fs.statWrites++
 	sleepFn := fs.sleep
+	rec := fs.rec
 	fs.mu.Unlock()
+
+	if rec.Enabled() {
+		// Effective bandwidth as experienced (including queueing delay).
+		expSecs := finish.Sub(now).Seconds()
+		bw := 0.0
+		if expSecs > 0 {
+			bw = float64(n) / expSecs
+		}
+		rec.WallSpan(obs.Span{
+			Name: fmt.Sprintf("write %s", f.name), Cat: "write",
+			Rank: obs.PIDStorage, Thread: obs.Thread(idx[0]),
+			Block: obs.NoBlock, Bytes: n,
+			Extra: fmt.Sprintf("%.1f MiB/s effective, %d OSTs", bw/(1<<20), k),
+		}, start, finish)
+		rec.Count("pfs.bytes.written", float64(n))
+		rec.Count("pfs.writes", 1)
+		rec.Observe("pfs.bandwidth.effective", bw)
+		rec.Observe("pfs.request.bytes", float64(n))
+	}
 
 	wait := finish.Sub(now)
 	if wait > 0 {

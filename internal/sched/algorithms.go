@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 )
 
 // Algorithm names one of the scheduling strategies of §3.3 (plus the exact
@@ -25,6 +26,23 @@ const (
 // (Table 1 rows). Exact is excluded; request it explicitly.
 func Algorithms() []Algorithm {
 	return []Algorithm{ExtJohnson, ExtJohnsonBF, GenList, GenListBF, OneListGreedy, TwoListsGreedy}
+}
+
+// ParseAlgorithm resolves a user-supplied name (case-insensitive) to an
+// Algorithm, accepting the six Table-1 heuristics and Exact. The error
+// lists every valid name, so CLIs can surface it verbatim.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	valid := append(Algorithms(), Exact)
+	for _, a := range valid {
+		if strings.EqualFold(string(a), name) {
+			return a, nil
+		}
+	}
+	names := make([]string, len(valid))
+	for i, a := range valid {
+		names[i] = string(a)
+	}
+	return "", fmt.Errorf("%w: %q (valid: %s)", ErrUnknownAlgorithm, name, strings.Join(names, ", "))
 }
 
 // Solve schedules the problem with the chosen algorithm. The problem is

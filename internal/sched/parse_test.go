@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range append(Algorithms(), Exact) {
+		got, err := ParseAlgorithm(string(a))
+		if err != nil || got != a {
+			t.Fatalf("ParseAlgorithm(%q) = %q, %v", a, got, err)
+		}
+		// Matching is case-insensitive: CLI users should not have to
+		// remember the exact capitalization of "ExtJohnson+BF".
+		got, err = ParseAlgorithm(strings.ToLower(string(a)))
+		if err != nil || got != a {
+			t.Fatalf("ParseAlgorithm(lower %q) = %q, %v", a, got, err)
+		}
+	}
+	_, err := ParseAlgorithm("Johnson")
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("unknown name error = %v, want ErrUnknownAlgorithm", err)
+	}
+	for _, a := range append(Algorithms(), Exact) {
+		if !strings.Contains(err.Error(), string(a)) {
+			t.Fatalf("error %q does not list %q", err, a)
+		}
+	}
+}

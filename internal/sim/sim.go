@@ -44,6 +44,17 @@ type ThreadPlan struct {
 	Obstacles []sched.Interval
 	// Tasks run in this order (the scheduler's decision).
 	Tasks []Task
+	// RecordObstacles asks ExecuteThread to report where each obstacle
+	// actually ran (ThreadResult.Obstacles). Off by default so the hot
+	// simulation path allocates nothing for tracing it does not need.
+	RecordObstacles bool
+}
+
+// ObstacleSpan is where one obstacle actually executed: its realized
+// interval and the delay imposed on it by earlier work overrunning.
+type ObstacleSpan struct {
+	Start, End float64
+	Delay      float64
 }
 
 // ThreadResult reports one thread's execution.
@@ -61,6 +72,9 @@ type ThreadResult struct {
 	LastObstacleEnd float64
 	// LastTaskEnd is when the final scheduled task completed (0 if none).
 	LastTaskEnd float64
+	// Obstacles holds each obstacle's realized interval, in execution
+	// order; populated only when the plan set RecordObstacles.
+	Obstacles []ObstacleSpan
 }
 
 // ExecuteThread replays one thread.
@@ -79,6 +93,11 @@ func ExecuteThread(plan ThreadPlan) (*ThreadResult, error) {
 		res.ObstacleDelay += start - o.Start
 		t = start + o.Len()
 		res.LastObstacleEnd = t
+		if plan.RecordObstacles {
+			res.Obstacles = append(res.Obstacles, ObstacleSpan{
+				Start: start, End: t, Delay: start - o.Start,
+			})
+		}
 		oi++
 	}
 	for _, task := range plan.Tasks {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bp"
 	"repro/internal/h5"
 	"repro/internal/huffman"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sz"
 )
@@ -296,6 +297,9 @@ func (rr *rankRun) iterOurs(start time.Time, sn *snap, pending *pendingDump) err
 	if err != nil {
 		return err
 	}
+	if rr.rec().Enabled() {
+		rr.stats.notePlanned(rr.curIter, plan.schedule.Overall)
+	}
 
 	type ord struct {
 		id    int
@@ -333,20 +337,26 @@ func (rr *rankRun) iterOurs(start time.Time, sn *snap, pending *pendingDump) err
 			continue // write moved to a sibling rank
 		}
 		res := rr.store.entry(blockKey{j.origin, j.chunk})
+		label := fmt.Sprintf("write c%d", j.chunk)
+		if j.origin != rr.rank() {
+			label = fmt.Sprintf("write c%d (from rank %d)", j.chunk, j.origin)
+		}
 		ioTasks = append(ioTasks, wtask{
 			id:    o.id,
 			pred:  time.Duration(j.predIO * float64(time.Second)),
 			ready: res.done,
 			run:   rr.writeTask(sb, res),
+			label: label,
+			cat:   "write",
 		})
 	}
 	if len(ioTasks) > 0 {
-		ioTasks = append(ioTasks, wtask{id: -1, run: sb.flush})
+		ioTasks = append(ioTasks, wtask{id: -1, run: sb.flush, label: "buffer flush", cat: "write"})
 	}
 
 	done := make(chan error, 1)
-	go func() { done <- runThread(start, rr.bgSegs, ioTasks) }()
-	if err := runThread(start, rr.mainSegs, compTasks); err != nil {
+	go func() { done <- runThreadObs(rr.rec(), rr.rank(), obs.ThreadIO, start, rr.bgSegs, ioTasks) }()
+	if err := runThreadObs(rr.rec(), rr.rank(), obs.ThreadMain, start, rr.mainSegs, compTasks); err != nil {
 		<-done
 		return err
 	}
@@ -364,6 +374,9 @@ func (rr *rankRun) compressTask(plan *dumpPlan, j planned, pending *pendingDump)
 			ErrorBound: plan.eb[j.fi],
 			Radius:     rr.cfg.Radius,
 			Tree:       rr.trees[j.fi], // nil when sharing disabled
+			Rec:        rr.rec(),
+			Rank:       rr.rank(),
+			Block:      j.chunk,
 		})
 		if err != nil {
 			return err

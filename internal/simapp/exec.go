@@ -1,7 +1,10 @@
 package simapp
 
 import (
+	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // segment is one immovable busy interval on a thread, at a fixed offset
@@ -18,6 +21,11 @@ type wtask struct {
 	pred  time.Duration   // planner's duration estimate (gap-fit test)
 	ready <-chan struct{} // optional release (I/O waits for compression)
 	run   func() error    // the real work
+	// label/cat, when label is non-empty, make the traced executor emit a
+	// span around run(). Left empty for tasks whose work emits its own span
+	// (compression: sz.Compress records it, with the achieved ratio).
+	label string
+	cat   string
 }
 
 // runThread is the wall-clock twin of sim.ExecuteThread: segments want to
@@ -26,13 +34,36 @@ type wtask struct {
 // A task that overruns (or a late release) delays subsequent segments —
 // real interference, measured by the caller via iteration wall time.
 func runThread(start time.Time, segs []segment, tasks []wtask) error {
+	return runThreadObs(nil, 0, obs.ThreadMain, start, segs, tasks)
+}
+
+// runThreadObs is runThread with instrumentation: each segment becomes an
+// obstacle span (flagging any delay past its nominal offset) and each
+// labelled task a task span, on rank's thread-`th` trace row. A nil
+// recorder makes it exactly runThread.
+func runThreadObs(rec *obs.Recorder, rank int, th obs.Thread, start time.Time, segs []segment, tasks []wtask) error {
+	obstacleName := "compute"
+	if th != obs.ThreadMain {
+		obstacleName = "core task"
+	}
 	si := 0
 	runSeg := func() {
 		s := segs[si]
 		if d := time.Until(start.Add(s.start)); d > 0 {
 			time.Sleep(d)
 		}
+		segStart := rec.Now()
 		time.Sleep(s.dur)
+		if rec.Enabled() {
+			sp := obs.Span{
+				Name: obstacleName, Cat: "obstacle",
+				Rank: rank, Thread: th, Block: obs.NoBlock,
+			}
+			if delay := segStart.Sub(start.Add(s.start)); delay > time.Millisecond {
+				sp.Extra = fmt.Sprintf("delayed %.4fs by scheduled tasks", delay.Seconds())
+			}
+			rec.WallSpan(sp, segStart, rec.Now())
+		}
 		si++
 	}
 	for _, t := range tasks {
@@ -45,8 +76,15 @@ func runThread(start time.Time, segs []segment, tasks []wtask) error {
 				runSeg()
 				continue
 			}
+			t0 := rec.Now()
 			if err := t.run(); err != nil {
 				return err
+			}
+			if rec.Enabled() && t.label != "" {
+				rec.WallSpan(obs.Span{
+					Name: t.label, Cat: t.cat,
+					Rank: rank, Thread: th, Block: obs.NoBlock,
+				}, t0, rec.Now())
 			}
 			break
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fields"
 	"repro/internal/huffman"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/predict"
 	"repro/internal/sz"
@@ -69,7 +70,18 @@ type runStats struct {
 	escaped      int64
 	points       int64
 	iterEnd      [][]time.Duration // [iteration][rank]
+	planned      []float64         // per-iteration planned makespan (max across ranks)
 	files        []string
+}
+
+// notePlanned records one rank's planned makespan for iteration it; the
+// per-iteration maximum is the run's predicted duration (Table 1 semantics).
+func (st *runStats) notePlanned(it int, overall float64) {
+	st.mu.Lock()
+	if overall > st.planned[it] {
+		st.planned[it] = overall
+	}
+	st.mu.Unlock()
 }
 
 // Run executes the configured application and returns aggregate results.
@@ -110,9 +122,15 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 	mainSegs := layoutSegments(span, cfg.ComputeTime, cfg.ComputeSegments)
 	bgSegs := layoutSegments(span, cfg.CommTime, cfg.CommSegments)
 
-	stats := &runStats{iterEnd: make([][]time.Duration, cfg.Iterations)}
+	stats := &runStats{
+		iterEnd: make([][]time.Duration, cfg.Iterations),
+		planned: make([]float64, cfg.Iterations),
+	}
 	for i := range stats.iterEnd {
 		stats.iterEnd[i] = make([]time.Duration, cfg.Ranks)
+	}
+	if cfg.Recorder != nil {
+		fs.SetRecorder(cfg.Recorder)
 	}
 	stores := make([]*nodeStore, world.Nodes())
 	for i := range stores {
@@ -146,7 +164,7 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 	stats.mu.Lock()
 	defer stats.mu.Unlock()
 	var sum time.Duration
-	for _, perRank := range stats.iterEnd {
+	for it, perRank := range stats.iterEnd {
 		iterMax := time.Duration(0)
 		for _, d := range perRank {
 			if d > iterMax {
@@ -155,6 +173,13 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 		}
 		res.PerIteration = append(res.PerIteration, iterMax)
 		sum += iterMax
+		if cfg.Recorder.Enabled() {
+			cfg.Recorder.Iteration(obs.IterationStat{
+				Mode:    cfg.Mode.String(),
+				Planned: stats.planned[it],
+				Actual:  iterMax.Seconds(),
+			})
+		}
 	}
 	res.MeanIteration = sum / time.Duration(len(res.PerIteration))
 	res.RawBytes = stats.rawBytes
@@ -195,9 +220,13 @@ type rankRun struct {
 
 	trees   map[int]*huffman.Tree // per field index
 	treeAge map[int]int
+
+	curIter int // execution iteration, for attributing planned makespans
 }
 
 func (rr *rankRun) rank() int { return rr.c.Rank() }
+
+func (rr *rankRun) rec() *obs.Recorder { return rr.cfg.Recorder }
 
 func (rr *rankRun) generate(iter int) *pendingDump {
 	pd := &pendingDump{iter: iter}
@@ -239,6 +268,7 @@ func (rr *rankRun) run() error {
 			sn = v.(*snap)
 		}
 		rr.c.Barrier()
+		rr.curIter = iter
 		iterStart := time.Now()
 
 		var err error
@@ -291,8 +321,8 @@ func (rr *rankRun) run() error {
 
 func (rr *rankRun) iterComputeOnly(start time.Time) error {
 	done := make(chan error, 1)
-	go func() { done <- runThread(start, rr.bgSegs, nil) }()
-	if err := runThread(start, rr.mainSegs, nil); err != nil {
+	go func() { done <- runThreadObs(rr.rec(), rr.rank(), obs.ThreadIO, start, rr.bgSegs, nil) }()
+	if err := runThreadObs(rr.rec(), rr.rank(), obs.ThreadMain, start, rr.mainSegs, nil); err != nil {
 		return err
 	}
 	return <-done
@@ -322,8 +352,16 @@ func (rr *rankRun) iterBaseline(start time.Time, sn *snap, data *pendingDump) er
 		if err != nil {
 			return err
 		}
+		t0 := rr.rec().Now()
 		if _, err := dw.WriteChunk(0, raw); err != nil {
 			return err
+		}
+		if rr.rec().Enabled() {
+			rr.rec().WallSpan(obs.Span{
+				Name: fmt.Sprintf("dump field %d raw", fi), Cat: "write",
+				Rank: rr.rank(), Thread: obs.ThreadMain,
+				Block: obs.NoBlock, Bytes: int64(len(raw)),
+			}, t0, rr.rec().Now())
 		}
 		rr.note(int64(len(raw)), int64(len(raw)))
 	}
@@ -342,8 +380,10 @@ func (rr *rankRun) iterAsyncIO(start time.Time, sn *snap, pending *pendingDump) 
 				return err
 			}
 			tasks = append(tasks, wtask{
-				id:   fi,
-				pred: rr.fs.ModelDuration(int64(len(raw))),
+				id:    fi,
+				pred:  rr.fs.ModelDuration(int64(len(raw))),
+				label: fmt.Sprintf("write field %d raw", fi),
+				cat:   "write",
 				run: func() error {
 					_, err := dw.WriteChunk(0, raw)
 					rr.note(int64(len(raw)), int64(len(raw)))
@@ -353,8 +393,8 @@ func (rr *rankRun) iterAsyncIO(start time.Time, sn *snap, pending *pendingDump) 
 		}
 	}
 	done := make(chan error, 1)
-	go func() { done <- runThread(start, rr.bgSegs, tasks) }()
-	if err := runThread(start, rr.mainSegs, nil); err != nil {
+	go func() { done <- runThreadObs(rr.rec(), rr.rank(), obs.ThreadIO, start, rr.bgSegs, tasks) }()
+	if err := runThreadObs(rr.rec(), rr.rank(), obs.ThreadMain, start, rr.mainSegs, nil); err != nil {
 		return err
 	}
 	return <-done

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/fields"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sched"
 	"repro/internal/sz"
@@ -89,6 +90,12 @@ type Config struct {
 	// extents — the paper's HDF5 setting) or BackendBP (multi-file,
 	// ADIOS-style — the paper's §6 future work). Empty means BackendH5L.
 	Backend string
+
+	// Recorder, when non-nil, captures wall-clock spans (compute/core-task
+	// obstacles, per-block compressions with ratios, buffered writes, paced
+	// storage writes) plus counters and per-iteration planned-vs-actual
+	// makespans. Nil disables instrumentation at zero cost.
+	Recorder *obs.Recorder
 }
 
 // Nyx returns a laptop-scale mini-Nyx configuration with `ranks` ranks.

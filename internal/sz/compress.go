@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/huffman"
 	"repro/internal/lossless"
+	"repro/internal/obs"
 )
 
 var magic = [4]byte{'S', 'Z', 'L', '1'}
@@ -29,6 +30,7 @@ func Compress(data []float32, dims Dims, opt Options) ([]byte, Stats, error) {
 	if err := opt.validate(); err != nil {
 		return nil, st, err
 	}
+	t0 := opt.Rec.Now() // zero time (no clock read) when tracing is off
 	if !dims.valid() || dims.N() != len(data) {
 		return nil, st, fmt.Errorf("sz: dims %v do not match %d points", dims, len(data))
 	}
@@ -104,6 +106,17 @@ func Compress(data []float32, dims Dims, opt Options) ([]byte, Stats, error) {
 	out = append(out, body...)
 	st.CompressedBytes = len(out)
 	st.Ratio = float64(st.RawBytes) / float64(len(out))
+	if opt.Rec.Enabled() {
+		opt.Rec.WallSpan(obs.Span{
+			Name: fmt.Sprintf("compress b%d", opt.Block), Cat: "compress",
+			Rank: opt.Rank, Thread: obs.ThreadMain,
+			Block: opt.Block, Bytes: int64(st.RawBytes), Ratio: st.Ratio,
+		}, t0, opt.Rec.Now())
+		opt.Rec.Count("sz.bytes.raw", float64(st.RawBytes))
+		opt.Rec.Count("sz.bytes.compressed", float64(st.CompressedBytes))
+		opt.Rec.Count("sz.blocks", 1)
+		opt.Rec.Observe("sz.ratio", st.Ratio)
+	}
 	return out, st, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"repro/internal/huffman"
+	"repro/internal/obs"
 )
 
 // Dims describes a 1-, 2- or 3-dimensional field. X varies fastest in
@@ -70,6 +71,14 @@ type Options struct {
 	Predictor PredictorKind
 	// DisableLossless skips the final LZSS pass (useful for ablations).
 	DisableLossless bool
+
+	// Rec, when non-nil, receives one wall-clock span per Compress call
+	// (category "compress", with raw bytes and the achieved ratio) plus
+	// sz.* counters. Rank and Block attribute the span on the timeline;
+	// leave Rec nil to make instrumentation free.
+	Rec   *obs.Recorder
+	Rank  int
+	Block int
 }
 
 func (o Options) radius() int {
