@@ -6,8 +6,9 @@
 //	insitu-sched -random -jobs 24 -seed 7      # a generated instance
 //	insitu-sched -figure1 -trace t.json        # also write a Chrome trace
 //	insitu-sched -random -metrics              # also print makespan metrics
+//	insitu-sched -figure1 -json                # emit the solved plans as JSON
 //
-// The JSON schema mirrors sched.Problem:
+// The input JSON schema is sched.Problem:
 //
 //	{
 //	  "horizon": 12,
@@ -20,51 +21,24 @@
 // trace (load the file in https://ui.perfetto.dev): compression placements
 // on the main-thread row, I/O placements on the background row, and
 // unavailability holes as obstacle spans.
+//
+// With -json the Gantt charts are replaced by a machine-readable document:
+// one solved plan.IterationPlan per algorithm, the same structure both
+// execution engines consume (internal/core and internal/simapp).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/sched"
 )
-
-type jsonInterval struct {
-	Start float64 `json:"start"`
-	End   float64 `json:"end"`
-}
-
-type jsonJob struct {
-	ID      int     `json:"id"`
-	Comp    float64 `json:"comp"`
-	IO      float64 `json:"io"`
-	Release float64 `json:"release,omitempty"`
-}
-
-type jsonProblem struct {
-	Horizon   float64        `json:"horizon"`
-	CompHoles []jsonInterval `json:"compHoles"`
-	IOHoles   []jsonInterval `json:"ioHoles"`
-	Jobs      []jsonJob      `json:"jobs"`
-}
-
-func (jp *jsonProblem) problem() *sched.Problem {
-	p := &sched.Problem{Horizon: jp.Horizon}
-	for _, h := range jp.CompHoles {
-		p.CompHoles = append(p.CompHoles, sched.Interval{Start: h.Start, End: h.End})
-	}
-	for _, h := range jp.IOHoles {
-		p.IOHoles = append(p.IOHoles, sched.Interval{Start: h.Start, End: h.End})
-	}
-	for _, j := range jp.Jobs {
-		p.Jobs = append(p.Jobs, sched.Job{ID: j.ID, Comp: j.Comp, IO: j.IO, Release: j.Release})
-	}
-	return p
-}
 
 func main() {
 	alg := flag.String("alg", "", "algorithm (default: all six); one of the Table 1 names or Exact")
@@ -75,6 +49,7 @@ func main() {
 	scale := flag.Float64("scale", 4, "Gantt characters per time unit")
 	tracePath := flag.String("trace", "", "write the plans as Chrome trace-event JSON (Perfetto/about:tracing)")
 	metrics := flag.Bool("metrics", false, "print a metrics summary after the charts")
+	jsonOut := flag.Bool("json", false, "emit the solved plans as JSON instead of Gantt charts")
 	flag.Parse()
 
 	var p *sched.Problem
@@ -90,11 +65,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var jp jsonProblem
-		if err := json.Unmarshal(blob, &jp); err != nil {
+		p = &sched.Problem{}
+		if err := json.Unmarshal(blob, p); err != nil {
 			fatal(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
 		}
-		p = jp.problem()
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -114,6 +88,7 @@ func main() {
 		rec = obs.NewRecorder()
 	}
 
+	var plans []solvedPlan
 	for i, a := range algs {
 		s, err := sched.Solve(p, a)
 		if err != nil {
@@ -123,7 +98,16 @@ func main() {
 			fatal(fmt.Errorf("internal error: invalid schedule: %w", err))
 		}
 		recordPlan(rec, i, p, s)
-		fmt.Printf("--- %s ---\n%s\n\n", a, sched.Gantt(p, s, *scale))
+		if *jsonOut {
+			plans = append(plans, solvedPlan{Algorithm: a, Plan: iterationPlan(p, s)})
+		} else {
+			fmt.Printf("--- %s ---\n%s\n\n", a, sched.Gantt(p, s, *scale))
+		}
+	}
+	if *jsonOut {
+		if err := emitPlans(os.Stdout, plans); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *tracePath != "" {
@@ -144,6 +128,58 @@ func main() {
 			fatal(fmt.Errorf("writing metrics: %w", err))
 		}
 	}
+}
+
+// solvedPlan pairs one algorithm with its solved single-rank IterationPlan.
+type solvedPlan struct {
+	Algorithm sched.Algorithm     `json:"algorithm"`
+	Plan      *plan.IterationPlan `json:"plan"`
+}
+
+// iterationPlan lifts a solved (Problem, Schedule) pair into the shared
+// plan.IterationPlan shape: one rank, each job's original ID preserved in
+// Origin.ID, and the instance renumbered so a job's slot index equals its
+// sched.Job.ID — the invariant RankPlan documents.
+func iterationPlan(p *sched.Problem, s *sched.Schedule) *plan.IterationPlan {
+	slot := make(map[int]int, len(p.Jobs))
+	rp := plan.RankPlan{
+		Problem: &sched.Problem{
+			Horizon:   p.Horizon,
+			CompHoles: p.CompHoles,
+			IOHoles:   p.IOHoles,
+		},
+		Schedule: &sched.Schedule{
+			Algorithm: s.Algorithm,
+			Makespan:  s.Makespan,
+			Overall:   s.Overall,
+		},
+	}
+	for i, j := range p.Jobs {
+		slot[j.ID] = i
+		rp.Jobs = append(rp.Jobs, plan.PlannedJob{
+			Origin:   plan.Ref{Rank: 0, ID: j.ID},
+			PredComp: j.Comp,
+			PredIO:   j.IO,
+			Release:  j.Release,
+		})
+		rp.Problem.Jobs = append(rp.Problem.Jobs, sched.Job{
+			ID: i, Comp: j.Comp, IO: j.IO, Release: j.Release,
+		})
+	}
+	for _, pl := range s.Placements {
+		pl.JobID = slot[pl.JobID]
+		rp.Schedule.Placements = append(rp.Schedule.Placements, pl)
+	}
+	return &plan.IterationPlan{Ranks: []plan.RankPlan{rp}}
+}
+
+// emitPlans writes the solved plans as an indented JSON document.
+func emitPlans(w io.Writer, plans []solvedPlan) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Plans []solvedPlan `json:"plans"`
+	}{plans})
 }
 
 // recordPlan renders one algorithm's schedule onto the trace: the algorithm

@@ -1,13 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/sched"
 )
 
-func TestJSONProblemConversion(t *testing.T) {
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestJSONProblemDecoding(t *testing.T) {
 	blob := []byte(`{
 	  "horizon": 12,
 	  "compHoles": [{"start": 3, "end": 4}, {"start": 6, "end": 7}],
@@ -17,11 +23,10 @@ func TestJSONProblemConversion(t *testing.T) {
 	    {"id": 1, "comp": 2, "io": 1, "release": 0.5}
 	  ]
 	}`)
-	var jp jsonProblem
-	if err := json.Unmarshal(blob, &jp); err != nil {
+	p := &sched.Problem{}
+	if err := json.Unmarshal(blob, p); err != nil {
 		t.Fatal(err)
 	}
-	p := jp.problem()
 	if p.Horizon != 12 || len(p.CompHoles) != 2 || len(p.IOHoles) != 1 || len(p.Jobs) != 2 {
 		t.Fatalf("problem: %+v", p)
 	}
@@ -33,6 +38,94 @@ func TestJSONProblemConversion(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := sched.Validate(p, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure1PlanJSONGolden pins the -json output for the deterministic
+// Figure 1 instance across every algorithm: the document must stay stable
+// (it is the machine-readable contract downstream tooling parses) and each
+// emitted plan must still validate against its own problem.
+func TestFigure1PlanJSONGolden(t *testing.T) {
+	p := sched.Figure1Problem()
+	var plans []solvedPlan
+	for _, a := range sched.Algorithms() {
+		s, err := sched.Solve(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, solvedPlan{Algorithm: a, Plan: iterationPlan(p, s)})
+	}
+	var buf bytes.Buffer
+	if err := emitPlans(&buf, plans); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "figure1_plans.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/insitu-sched -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("-json output drifted from %s (regenerate with go test ./cmd/insitu-sched -update)\ngot:\n%s", golden, buf.Bytes())
+	}
+
+	// The golden document must round-trip into executable plans.
+	var doc struct {
+		Plans []solvedPlan `json:"plans"`
+	}
+	if err := json.Unmarshal(want, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Plans) != len(sched.Algorithms()) {
+		t.Fatalf("golden has %d plans, want %d", len(doc.Plans), len(sched.Algorithms()))
+	}
+	for _, sp := range doc.Plans {
+		for r := range sp.Plan.Ranks {
+			rp := &sp.Plan.Ranks[r]
+			if len(rp.Jobs) != len(p.Jobs) {
+				t.Fatalf("%s: %d planned jobs, want %d", sp.Algorithm, len(rp.Jobs), len(p.Jobs))
+			}
+			if err := sched.Validate(rp.Problem, rp.Schedule); err != nil {
+				t.Fatalf("%s: %v", sp.Algorithm, err)
+			}
+		}
+	}
+}
+
+// TestIterationPlanRenumbersJobs guards the slot-index invariant on file
+// input, where job IDs need not be 0..m-1.
+func TestIterationPlanRenumbersJobs(t *testing.T) {
+	p := &sched.Problem{
+		Horizon: 10,
+		Jobs: []sched.Job{
+			{ID: 7, Comp: 1, IO: 2},
+			{ID: 3, Comp: 2, IO: 1},
+		},
+	}
+	s, err := sched.Solve(p, sched.ExtJohnsonBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := iterationPlan(p, s)
+	rp := ip.Ranks[0]
+	if rp.Jobs[0].Origin.ID != 7 || rp.Jobs[1].Origin.ID != 3 {
+		t.Fatalf("origins: %+v", rp.Jobs)
+	}
+	for i, j := range rp.Problem.Jobs {
+		if j.ID != i {
+			t.Fatalf("slot %d has sched ID %d", i, j.ID)
+		}
+	}
+	if err := sched.Validate(rp.Problem, rp.Schedule); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,10 +9,6 @@ import (
 // RunConfig is the options struct fronting the simulated engine: which I/O
 // strategy to evaluate, how the in situ planner is configured, how many
 // iterations to run, and (optionally) where to record spans and metrics.
-//
-// It replaces the positional (mode, pc, iters) parameter lists of
-// SimulateIteration and RunSim; those remain as deprecated wrappers for one
-// release.
 type RunConfig struct {
 	// Mode selects the I/O strategy (ModeBaseline ... ModeOurs).
 	Mode Mode

@@ -3,10 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
-	"repro/internal/balance"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -20,35 +19,6 @@ type PlanConfig struct {
 	Balance bool
 }
 
-func (pc PlanConfig) algorithm() sched.Algorithm {
-	if pc.Algorithm == "" {
-		return sched.ExtJohnsonBF
-	}
-	return pc.Algorithm
-}
-
-// jobRef identifies a job by its origin rank and local job ID there.
-type jobRef struct {
-	rank, id int
-}
-
-// plannedJob is one schedulable job on a rank after balancing: its
-// compression runs here iff originRank == the planning rank; a moved write
-// carries a Release (the origin's predicted compression completion).
-type plannedJob struct {
-	origin            jobRef
-	predComp, actComp float64 // zero for moved-in writes
-	predIO, actIO     float64 // zero when this rank only compresses
-	release           float64
-}
-
-// rankPlan is one rank's solved iteration plan.
-type rankPlan struct {
-	jobs []plannedJob // local job index == sched.Job.ID
-	prob *sched.Problem
-	s    *sched.Schedule
-}
-
 // IterationResult reports one simulated iteration.
 type IterationResult struct {
 	Mode       Mode
@@ -60,15 +30,6 @@ type IterationResult struct {
 	// PlannedOverall is the scheduler's predicted iteration duration
 	// (ModeOurs only; the Table 1 quantity).
 	PlannedOverall float64
-}
-
-// SimulateIteration executes one iteration of the workload in virtual time
-// under the chosen mode.
-//
-// Deprecated: use Simulate with a RunConfig; this wrapper will be removed
-// next release.
-func SimulateIteration(w *Workload, data *IterationData, mode Mode, pc PlanConfig) (*IterationResult, error) {
-	return Simulate(w, data, RunConfig{Mode: mode, Plan: pc})
 }
 
 // emitObstacles records where a thread's obstacles (application work the
@@ -181,16 +142,16 @@ func simulateAsyncIO(w *Workload, data *IterationData, rec *obs.Recorder) (*Iter
 	delay := 0.0
 	fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
 	for r := 0; r < cfg.Ranks; r++ {
-		plan := sim.ThreadPlan{
+		tp := sim.ThreadPlan{
 			Obstacles:       data.ActProfiles[r].IOBusy,
 			RecordObstacles: rec.Enabled(),
 		}
 		predEach := cfg.ioCurve(fieldBytes)
 		actEach := data.RawIO[r] / float64(cfg.FieldCount)
 		for f := 0; f < cfg.FieldCount; f++ {
-			plan.Tasks = append(plan.Tasks, sim.Task{ID: f, Pred: predEach, Actual: actEach})
+			tp.Tasks = append(tp.Tasks, sim.Task{ID: f, Pred: predEach, Actual: actEach})
 		}
-		res, err := sim.ExecuteThread(plan)
+		res, err := sim.ExecuteThread(tp)
 		if err != nil {
 			return nil, err
 		}
@@ -218,28 +179,34 @@ func simulateAsyncIO(w *Workload, data *IterationData, rec *obs.Recorder) (*Iter
 
 // simulateAsyncCompIO: the prior SC'22 approach [30] — compression overlaps
 // the compressed writes, but the whole dump still serializes with
-// computation.
+// computation. The planner runs hole-free (Horizon 0, no obstacles) with
+// plain ExtJohnson, which is optimal there.
 func simulateAsyncCompIO(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+	in := plan.Input{Ranks: make([]plan.RankInput, len(data.Jobs))}
+	for r, jobs := range data.Jobs {
+		for _, g := range jobs {
+			in.Ranks[r].Jobs = append(in.Ranks[r].Jobs, plan.Job{
+				ID: g.ID, PredComp: g.PredComp, PredIO: g.PredIO, PredBytes: g.PredBytes,
+			})
+		}
+	}
+	p, err := plan.Plan(in, plan.Config{Algorithm: sched.ExtJohnson})
+	if err != nil {
+		return nil, err
+	}
 	ends := make([]float64, len(data.Jobs))
 	for r, jobs := range data.Jobs {
-		prob := &sched.Problem{Horizon: 0}
-		for _, g := range jobs {
-			prob.Jobs = append(prob.Jobs, sched.Job{ID: g.ID, Comp: g.PredComp, IO: g.PredIO})
-		}
-		s, err := sched.Solve(prob, sched.ExtJohnson) // optimal without holes
-		if err != nil {
-			return nil, err
-		}
+		rp := p.Ranks[r]
 		actComp := make([]float64, len(jobs))
 		actIO := make([]float64, len(jobs))
 		for i, g := range jobs {
 			actComp[i], actIO[i] = g.ActComp, g.ActIO
 		}
-		plan, err := sim.FromSchedule(prob, s, actComp, actIO, nil, nil)
+		sp, err := sim.FromSchedule(rp.Problem, rp.Schedule, actComp, actIO, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.ExecuteProcess(plan, nil)
+		res, err := sim.ExecuteProcess(sp, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -264,161 +231,86 @@ func simulateAsyncCompIO(w *Workload, data *IterationData, rec *obs.Recorder) (*
 	return overheadResult(ModeAsyncCompIO, ends, data.ComputeEnd, 0, 0), nil
 }
 
-// PlanOurs runs the in situ planner: one scheduling pass per rank, then
-// (optionally) intra-node balancing with a re-scheduling pass. Exposed so
-// experiments can inspect the schedules (Table 1 reports PlannedOverall).
-func PlanOurs(w *Workload, data *IterationData, pc PlanConfig) ([]*rankPlan, error) {
-	cfg := w.Cfg
-	alg := pc.algorithm()
-
-	// Pass 1: every rank schedules its own jobs.
-	pass1 := make([]*rankPlan, cfg.Ranks)
-	for r := 0; r < cfg.Ranks; r++ {
-		rp := &rankPlan{}
-		for _, g := range data.Jobs[r] {
-			rp.jobs = append(rp.jobs, plannedJob{
-				origin:   jobRef{r, g.ID},
-				predComp: g.PredComp, actComp: g.ActComp,
-				predIO: g.PredIO, actIO: g.ActIO,
+// PlanInput converts one materialized iteration into the shared planner's
+// input: per rank, its predicted job durations plus the predicted profile's
+// busy intervals as unavailability holes.
+func PlanInput(data *IterationData) plan.Input {
+	in := plan.Input{Ranks: make([]plan.RankInput, len(data.Jobs))}
+	for r, jobs := range data.Jobs {
+		prof := data.PredProfiles[r]
+		ri := plan.RankInput{
+			Horizon:   prof.Length,
+			CompHoles: append([]sched.Interval(nil), prof.CompBusy...),
+			IOHoles:   append([]sched.Interval(nil), prof.IOBusy...),
+		}
+		for _, g := range jobs {
+			ri.Jobs = append(ri.Jobs, plan.Job{
+				ID: g.ID, PredComp: g.PredComp, PredIO: g.PredIO, PredBytes: g.PredBytes,
 			})
 		}
-		rp.prob = problemFor(data, r)
-		s, err := sched.Solve(rp.prob, alg)
-		if err != nil {
-			return nil, err
-		}
-		rp.s = s
-		pass1[r] = rp
+		in.Ranks[r] = ri
 	}
-	if !pc.Balance {
-		return pass1, nil
-	}
-
-	// Predicted compression completion per job (for moved writes' releases).
-	predCompEnd := make(map[jobRef]float64)
-	for r, rp := range pass1 {
-		for _, pl := range rp.s.Placements {
-			predCompEnd[jobRef{r, pl.JobID}] = pl.CompEnd
-		}
-	}
-
-	// Balancing per node, then pass 2 re-scheduling with moved writes.
-	out := make([]*rankPlan, cfg.Ranks)
-	for _, node := range w.Nodes() {
-		tasks := make([][]balance.Task, len(node))
-		for li, r := range node {
-			for _, g := range data.Jobs[r] {
-				tasks[li] = append(tasks[li], balance.Task{
-					Rank: li, Index: g.ID, Dur: g.PredIO, Bytes: g.PredBytes,
-				})
-			}
-		}
-		bplan, err := balance.Balance(tasks)
-		if err != nil {
-			return nil, err
-		}
-		for li, r := range node {
-			rp := &rankPlan{}
-			// Own compressions always stay; whether the write stays depends
-			// on the balancing assignment.
-			writeHere := make(map[jobRef]bool)
-			var foreign []balance.Ref
-			for _, ref := range bplan.PerRank[li] {
-				gr := jobRef{node[ref.Rank], ref.Index}
-				if ref.Rank == li {
-					writeHere[gr] = true
-				} else {
-					foreign = append(foreign, ref)
-				}
-			}
-			for _, g := range data.Jobs[r] {
-				pj := plannedJob{
-					origin:   jobRef{r, g.ID},
-					predComp: g.PredComp, actComp: g.ActComp,
-				}
-				if writeHere[jobRef{r, g.ID}] {
-					pj.predIO, pj.actIO = g.PredIO, g.ActIO
-				}
-				rp.jobs = append(rp.jobs, pj)
-			}
-			for _, ref := range foreign {
-				or := node[ref.Rank]
-				g := data.Jobs[or][ref.Index]
-				rp.jobs = append(rp.jobs, plannedJob{
-					origin:  jobRef{or, g.ID},
-					predIO:  g.PredIO,
-					actIO:   g.ActIO,
-					release: predCompEnd[jobRef{or, g.ID}],
-				})
-			}
-			jobs := make([]sched.Job, len(rp.jobs))
-			for i, pj := range rp.jobs {
-				jobs[i] = sched.Job{ID: i, Comp: pj.predComp, IO: pj.predIO, Release: pj.release}
-			}
-			rp.prob = data.PredProfiles[r].Problem(jobs)
-			s, err := sched.Solve(rp.prob, alg)
-			if err != nil {
-				return nil, err
-			}
-			rp.s = s
-			out[r] = rp
-		}
-	}
-	return out, nil
+	return in
 }
 
-// simulateOurs plans and then executes with actual durations and profiles.
+// PlanOurs runs the shared in situ planner (internal/plan) over the whole
+// workload. Exposed so experiments can inspect the schedules (Table 1
+// reports the plan's Overall) and so the engine-parity test can compare this
+// against simapp's per-node planning.
+func PlanOurs(w *Workload, data *IterationData, pc PlanConfig) (*plan.IterationPlan, error) {
+	return plan.Plan(PlanInput(data), plan.Config{
+		Algorithm:    pc.Algorithm,
+		Balance:      pc.Balance,
+		RanksPerNode: w.Cfg.RanksPerNode,
+	})
+}
+
+// actualFor resolves a planned job's actual durations and span metadata via
+// its origin reference (GroupJob.ID is its index in the rank's job slice).
+func actualFor(data *IterationData, ref plan.Ref) GroupJob {
+	return data.Jobs[ref.Rank][ref.ID]
+}
+
+// simulateOurs plans through internal/plan and then executes with actual
+// durations and profiles.
 func simulateOurs(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
 	cfg := w.Cfg
-	plans, err := PlanOurs(w, data, pc)
+	p, err := PlanOurs(w, data, pc)
 	if err != nil {
 		return nil, err
-	}
-	planned := 0.0
-	for _, rp := range plans {
-		if rp.s.Overall > planned {
-			planned = rp.s.Overall
-		}
 	}
 
 	// Phase 1: main threads — compression in scheduled order against actual
 	// computation intervals.
-	type ord struct {
-		id    int
-		start float64
-	}
 	mains := make([]*sim.ThreadResult, cfg.Ranks)
-	actCompEnd := make(map[jobRef]float64)
-	for r, rp := range plans {
-		var order []ord
-		for _, pl := range rp.s.Placements {
-			order = append(order, ord{pl.JobID, pl.CompStart})
-		}
-		sort.Slice(order, func(a, b int) bool { return order[a].start < order[b].start })
-		plan := sim.ThreadPlan{
+	actCompEnd := make(map[plan.Ref]float64)
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		tp := sim.ThreadPlan{
 			Obstacles:       data.ActProfiles[r].CompBusy,
 			RecordObstacles: rec.Enabled(),
 		}
-		for _, o := range order {
-			pj := rp.jobs[jobIndex(rp, o.id)]
-			if pj.origin.rank != r {
+		for _, id := range rp.CompOrder() {
+			pj := rp.Jobs[id]
+			if pj.Origin.Rank != r {
 				continue // moved-in writes have no compression here
 			}
-			plan.Tasks = append(plan.Tasks, sim.Task{ID: o.id, Pred: pj.predComp, Actual: pj.actComp})
+			tp.Tasks = append(tp.Tasks, sim.Task{
+				ID: id, Pred: pj.PredComp, Actual: actualFor(data, pj.Origin).ActComp,
+			})
 		}
-		res, err := sim.ExecuteThread(plan)
+		res, err := sim.ExecuteThread(tp)
 		if err != nil {
 			return nil, err
 		}
 		mains[r] = res
 		for id, end := range res.TaskEnd {
-			actCompEnd[rp.jobs[jobIndex(rp, id)].origin] = end
+			actCompEnd[rp.Jobs[id].Origin] = end
 		}
 		if rec.Enabled() {
 			emitObstacles(rec, r, obs.ThreadMain, "compute", res.Obstacles)
-			for _, t := range plan.Tasks {
-				pj := rp.jobs[jobIndex(rp, t.ID)]
-				g := data.Jobs[pj.origin.rank][pj.origin.id]
+			for _, t := range tp.Tasks {
+				g := actualFor(data, rp.Jobs[t.ID].Origin)
 				rec.Record(compressSpan(cfg, r, g, res.TaskStart[t.ID], res.TaskEnd[t.ID]))
 				countJob(rec, cfg, g)
 			}
@@ -429,30 +321,26 @@ func simulateOurs(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Reco
 	// the actual compression completions (possibly on another rank).
 	ends := make([]float64, cfg.Ranks)
 	delay := 0.0
-	for r, rp := range plans {
-		var order []ord
-		for _, pl := range rp.s.Placements {
-			order = append(order, ord{pl.JobID, pl.IOStart})
-		}
-		sort.Slice(order, func(a, b int) bool { return order[a].start < order[b].start })
-		plan := sim.ThreadPlan{
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		tp := sim.ThreadPlan{
 			Obstacles:       data.ActProfiles[r].IOBusy,
 			RecordObstacles: rec.Enabled(),
 		}
-		for _, o := range order {
-			pj := rp.jobs[jobIndex(rp, o.id)]
-			if pj.predIO <= 0 && pj.actIO <= 0 {
+		for _, id := range rp.IOOrder() {
+			pj := rp.Jobs[id]
+			if pj.PredIO <= 0 {
 				continue // write moved elsewhere
 			}
-			rel, ok := actCompEnd[pj.origin]
+			rel, ok := actCompEnd[pj.Origin]
 			if !ok {
-				return nil, fmt.Errorf("core: no compression completion for job %+v", pj.origin)
+				return nil, fmt.Errorf("core: no compression completion for job %+v", pj.Origin)
 			}
-			plan.Tasks = append(plan.Tasks, sim.Task{
-				ID: o.id, Pred: pj.predIO, Actual: pj.actIO, Release: rel,
+			tp.Tasks = append(tp.Tasks, sim.Task{
+				ID: id, Pred: pj.PredIO, Actual: actualFor(data, pj.Origin).ActIO, Release: rel,
 			})
 		}
-		res, err := sim.ExecuteThread(plan)
+		res, err := sim.ExecuteThread(tp)
 		if err != nil {
 			return nil, err
 		}
@@ -460,24 +348,20 @@ func simulateOurs(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Reco
 		delay += mains[r].ObstacleDelay + res.ObstacleDelay
 		if rec.Enabled() {
 			emitObstacles(rec, r, obs.ThreadIO, "core task", res.Obstacles)
-			for _, t := range plan.Tasks {
-				pj := rp.jobs[jobIndex(rp, t.ID)]
-				g := data.Jobs[pj.origin.rank][pj.origin.id]
+			for _, t := range tp.Tasks {
+				origin := rp.Jobs[t.ID].Origin
+				g := actualFor(data, origin)
 				sp := writeSpan(r, g, res.TaskStart[t.ID], res.TaskEnd[t.ID])
-				if pj.origin.rank != r {
-					sp.Extra = fmt.Sprintf("balanced from rank %d (%s)", pj.origin.rank, sp.Extra)
+				if origin.Rank != r {
+					sp.Extra = fmt.Sprintf("balanced from rank %d (%s)", origin.Rank, sp.Extra)
 					rec.Count("core.writes.balanced", 1)
 				}
 				rec.Record(sp)
 			}
 		}
 	}
-	return overheadResult(ModeOurs, ends, data.ComputeEnd, delay, planned), nil
+	return overheadResult(ModeOurs, ends, data.ComputeEnd, delay, p.Overall()), nil
 }
-
-// jobIndex maps a sched JobID back to the rankPlan's job slice. In both
-// passes the scheduler's Job.ID equals the slice index.
-func jobIndex(rp *rankPlan, id int) int { return id }
 
 // RunStats aggregates a multi-iteration simulated run.
 type RunStats struct {
@@ -489,29 +373,15 @@ type RunStats struct {
 	MeanDelay    float64
 }
 
-// RunSim simulates `iters` iterations and aggregates overheads.
-//
-// Deprecated: use Run with a RunConfig; this wrapper will be removed next
-// release.
-func RunSim(w *Workload, mode Mode, pc PlanConfig, iters int) (*RunStats, error) {
-	return Run(w, RunConfig{Mode: mode, Plan: pc, Iterations: iters})
-}
-
 // PlannedIterationDuration plans one iteration with pc and returns the
 // scheduler's predicted iteration duration — the maximum T_overall across
 // ranks. With zero-sigma workloads this equals the executed duration, which
 // is how Table 1 evaluates the algorithms ("actual values ... instead of
 // predicted values", §5.2).
 func PlannedIterationDuration(w *Workload, data *IterationData, pc PlanConfig) (float64, error) {
-	plans, err := PlanOurs(w, data, pc)
+	p, err := PlanOurs(w, data, pc)
 	if err != nil {
 		return 0, err
 	}
-	max := 0.0
-	for _, rp := range plans {
-		if rp.s.Overall > max {
-			max = rp.s.Overall
-		}
-	}
-	return max, nil
+	return p.Overall(), nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/plan"
 	"repro/internal/sched"
 )
 
@@ -224,15 +225,15 @@ func TestPlanOursValidatesSchedules(t *testing.T) {
 	w := nyx4(t)
 	data := w.Iteration(0)
 	for _, bal := range []bool{false, true} {
-		plans, err := PlanOurs(w, data, PlanConfig{Balance: bal})
+		p, err := PlanOurs(w, data, PlanConfig{Balance: bal})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(plans) != 4 {
-			t.Fatalf("plans for %d ranks", len(plans))
+		if len(p.Ranks) != 4 {
+			t.Fatalf("plans for %d ranks", len(p.Ranks))
 		}
-		for r, rp := range plans {
-			if err := sched.Validate(rp.prob, rp.s); err != nil {
+		for r, rp := range p.Ranks {
+			if err := sched.Validate(rp.Problem, rp.Schedule); err != nil {
 				t.Fatalf("rank %d (balance=%v): %v", r, bal, err)
 			}
 		}
@@ -248,43 +249,39 @@ func TestBalancedPlanConservesWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := w.Iteration(0)
-	plans, err := PlanOurs(w, data, PlanConfig{Balance: true})
+	p, err := PlanOurs(w, data, PlanConfig{Balance: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Every (rank, job) write must execute exactly once somewhere, and only
 	// within the origin's node.
-	writes := make(map[jobRef]int)
-	for r, rp := range plans {
-		for _, pj := range rp.jobs {
-			if pj.predIO > 0 {
-				writes[pj.origin]++
-				if pj.origin.rank/cfg.RanksPerNode != r/cfg.RanksPerNode {
-					t.Fatalf("write for %+v crossed nodes to rank %d", pj.origin, r)
+	writes := make(map[plan.Ref]int)
+	for r, rp := range p.Ranks {
+		for _, pj := range rp.Jobs {
+			if pj.PredIO > 0 {
+				writes[pj.Origin]++
+				if pj.Origin.Rank/cfg.RanksPerNode != r/cfg.RanksPerNode {
+					t.Fatalf("write for %+v crossed nodes to rank %d", pj.Origin, r)
 				}
 			}
 		}
 	}
 	for r, jobs := range data.Jobs {
 		for _, g := range jobs {
-			if writes[jobRef{r, g.ID}] != 1 {
-				t.Fatalf("job %d of rank %d written %d times", g.ID, r, writes[jobRef{r, g.ID}])
+			if writes[plan.Ref{Rank: r, ID: g.ID}] != 1 {
+				t.Fatalf("job %d of rank %d written %d times", g.ID, r, writes[plan.Ref{Rank: r, ID: g.ID}])
 			}
 		}
 	}
 }
 
-// Also keeps the deprecated RunSim wrapper compiling and behaving.
-func TestRunSimRejectsBadIters(t *testing.T) {
+func TestRunRejectsBadIters(t *testing.T) {
 	w := nyx4(t)
 	if _, err := Run(w, RunConfig{Mode: ModeOurs}); err == nil {
 		t.Fatal("zero iterations accepted")
 	}
-	if _, err := RunSim(w, ModeOurs, PlanConfig{}, 0); err == nil {
-		t.Fatal("zero iterations accepted via deprecated wrapper")
-	}
-	if _, err := RunSim(w, ModeOurs, PlanConfig{}, 1); err != nil {
-		t.Fatalf("deprecated wrapper broken: %v", err)
+	if _, err := Run(w, RunConfig{Mode: ModeOurs, Iterations: 1}); err != nil {
+		t.Fatalf("single iteration run broken: %v", err)
 	}
 }
 
@@ -331,15 +328,14 @@ func TestQuickOursNeverWorseThanBaseline(t *testing.T) {
 	}
 }
 
-// Also keeps the deprecated SimulateIteration wrapper compiling.
-func TestSimulateIterationUnknownMode(t *testing.T) {
+func TestSimulateUnknownMode(t *testing.T) {
 	w := nyx4(t)
 	data := w.Iteration(0)
-	if _, err := SimulateIteration(w, data, Mode(99), PlanConfig{}); err == nil {
+	if _, err := Simulate(w, data, RunConfig{Mode: Mode(99)}); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
-	if _, err := SimulateIteration(w, data, ModeBaseline, PlanConfig{}); err != nil {
-		t.Fatal("deprecated wrapper broken")
+	if _, err := Simulate(w, data, RunConfig{Mode: ModeBaseline}); err != nil {
+		t.Fatal("baseline simulate broken")
 	}
 	if Mode(99).String() == "" {
 		t.Fatal("unknown mode string empty")

@@ -20,7 +20,6 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -366,13 +365,4 @@ func (w *Workload) Nodes() [][]int {
 		out = append(out, node)
 	}
 	return out
-}
-
-// problemFor builds rank r's scheduling instance from predicted values.
-func problemFor(data *IterationData, r int) *sched.Problem {
-	jobs := make([]sched.Job, len(data.Jobs[r]))
-	for i, g := range data.Jobs[r] {
-		jobs[i] = sched.Job{ID: g.ID, Comp: g.PredComp, IO: g.PredIO}
-	}
-	return data.PredProfiles[r].Problem(jobs)
 }

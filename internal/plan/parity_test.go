@@ -1,0 +1,146 @@
+package plan_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/simapp"
+)
+
+// TestEnginesConsumeIdenticalPlans is the engine-parity guarantee of the
+// shared planner: for the same workload, internal/core (one whole-world
+// plan.Plan call) and internal/simapp (one plan.Plan call per node root,
+// with BaseRank translating node-local ranks to global ones) must produce
+// byte-identical IterationPlans — same job order, same moved writes, same
+// releases. Balancing never crosses nodes, so the decompositions must agree
+// exactly; JSON bytes are the equality notion because the plan is what both
+// engines execute verbatim.
+func TestEnginesConsumeIdenticalPlans(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     core.WorkloadConfig
+		alg     sched.Algorithm
+		balance bool
+	}{
+		{"nyx-1node-balanced", core.NyxWorkload(4, 4), "", true},
+		{"nyx-2nodes-balanced", core.NyxWorkload(8, 4), "", true},
+		{"nyx-2nodes-unbalanced", core.NyxWorkload(8, 4), "", false},
+		{"nyx-4nodes-skewed", func() core.WorkloadConfig {
+			c := core.NyxWorkload(16, 4)
+			c.MaxRatioDiff = 14
+			c.Seed = 7
+			return c
+		}(), "", true},
+		{"nyx-heavy-skew-moves", func() core.WorkloadConfig {
+			// Matches TestParityCoversMovedWrites: balancing provably moves
+			// writes here, so byte-equality covers origins and releases.
+			c := core.NyxWorkload(4, 4)
+			c.MaxRatioDiff = 24
+			c.ExactSpread = true
+			c.Seed = 7
+			return c
+		}(), "", true},
+		{"warpx-2nodes-balanced", core.WarpXWorkload(8, 4), "", true},
+		{"nyx-extjohnson", core.NyxWorkload(8, 4), sched.ExtJohnson, true},
+		{"nyx-singleton-nodes", core.NyxWorkload(4, 1), "", true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := core.BuildWorkload(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, iter := range []int{0, 1} {
+				data := w.Iteration(iter)
+
+				// Engine 1: core plans the whole world in one call.
+				corePlan, err := core.PlanOurs(w, data, core.PlanConfig{
+					Algorithm: tc.alg, Balance: tc.balance,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Engine 2: simapp's node roots each plan their own node
+				// from the same inputs, offset by the node's base rank.
+				in := core.PlanInput(data)
+				rpn := tc.cfg.RanksPerNode
+				simPlan := &plan.IterationPlan{}
+				for base := 0; base < len(in.Ranks); base += rpn {
+					node, err := simapp.PlanNode(in.Ranks[base:base+rpn], tc.alg, tc.balance, base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					simPlan.Ranks = append(simPlan.Ranks, node.Ranks...)
+				}
+
+				coreJSON, err := json.Marshal(corePlan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				simJSON, err := json.Marshal(simPlan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(coreJSON) != string(simJSON) {
+					for r := range corePlan.Ranks {
+						c, _ := json.Marshal(corePlan.Ranks[r])
+						s, _ := json.Marshal(simPlan.Ranks[r])
+						if string(c) != string(s) {
+							t.Fatalf("iter %d rank %d diverges:\ncore:   %s\nsimapp: %s", iter, r, c, s)
+						}
+					}
+					t.Fatalf("iter %d: plans differ but no rank diverges (length %d vs %d)",
+						iter, len(corePlan.Ranks), len(simPlan.Ranks))
+				}
+
+				// The plans must also be executable: every rank validates.
+				for r := range simPlan.Ranks {
+					rp := &simPlan.Ranks[r]
+					if err := sched.Validate(rp.Problem, rp.Schedule); err != nil {
+						t.Fatalf("iter %d rank %d: %v", iter, r, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParityCoversMovedWrites guards the parity test itself: at least one
+// case must actually move writes between ranks, otherwise the byte-equality
+// above would not exercise releases or origin translation.
+func TestParityCoversMovedWrites(t *testing.T) {
+	// One node whose ranks span a 4x–28x ratio spread: the most loaded rank
+	// writes ~7x the least loaded one, well past the 2x balancing threshold.
+	cfg := core.NyxWorkload(4, 4)
+	cfg.MaxRatioDiff = 24
+	cfg.ExactSpread = true
+	cfg.Seed = 7
+	w, err := core.BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := w.Iteration(0)
+	in := core.PlanInput(data)
+	moved := 0
+	for base := 0; base < len(in.Ranks); base += cfg.RanksPerNode {
+		node, err := simapp.PlanNode(in.Ranks[base:base+cfg.RanksPerNode], "", true, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, rp := range node.Ranks {
+			for _, pj := range rp.Jobs {
+				if pj.Origin.Rank != base+r {
+					moved++
+				}
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("skewed 4-node workload moved no writes; parity test lost its teeth")
+	}
+}

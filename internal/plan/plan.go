@@ -1,0 +1,275 @@
+// Package plan owns the paper's per-iteration planning pipeline (§3.3–§3.4,
+// §4): given every rank's fine-grained block descriptors (predicted
+// compression and write durations), obstacle profile (busy intervals +
+// horizon), a scheduling algorithm, and the balance flag, it produces the
+// IterationPlan both execution engines consume — one scheduling pass per
+// rank, then (optionally) intra-node I/O balancing with a re-scheduling
+// pass whose moved writes carry release times.
+//
+// The plan is pure data: per-rank sched.Problem + sched.Schedule plus the
+// job table mapping schedule slots back to their origin (rank, job ID).
+// internal/core maps it onto the discrete-event simulator in virtual time;
+// internal/simapp maps it onto goroutines in wall clock. Keeping the
+// planner here — rather than once per engine — is what makes a new engine
+// or workload a leaf-level addition.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/balance"
+	"repro/internal/sched"
+)
+
+// Job describes one schedulable compression+write pair before planning. ID
+// is the engine's identity for the job (core: block index; simapp: chunk
+// number) and must be unique within its rank.
+type Job struct {
+	ID        int     `json:"id"`
+	PredComp  float64 `json:"predComp"`
+	PredIO    float64 `json:"predIO"`
+	PredBytes int64   `json:"predBytes,omitempty"`
+}
+
+// RankInput is one rank's planning input: its jobs and the previous
+// iteration's profile (the paper's iteration-similarity assumption).
+type RankInput struct {
+	Jobs      []Job            `json:"jobs"`
+	CompHoles []sched.Interval `json:"compHoles,omitempty"`
+	IOHoles   []sched.Interval `json:"ioHoles,omitempty"`
+	Horizon   float64          `json:"horizon"`
+}
+
+// Input is the set of ranks planned together. Core plans the whole world in
+// one call; each simapp node root plans just its node (with Config.BaseRank
+// set) — the parity test asserts both decompositions yield identical plans.
+type Input struct {
+	Ranks []RankInput `json:"ranks"`
+}
+
+// Config controls one planning pass.
+type Config struct {
+	// Algorithm is the scheduling heuristic; empty selects ExtJohnson+BF,
+	// the paper's pick after Table 1.
+	Algorithm sched.Algorithm `json:"algorithm,omitempty"`
+	// Balance enables intra-node I/O workload balancing (§3.4).
+	Balance bool `json:"balance,omitempty"`
+	// RanksPerNode partitions Input.Ranks into nodes of this size
+	// (balancing never crosses nodes); 0 treats all ranks as one node.
+	RanksPerNode int `json:"ranksPerNode,omitempty"`
+	// BaseRank is added to every Ref.Rank in the output, so a node-local
+	// planning call can emit globally meaningful origin ranks.
+	BaseRank int `json:"baseRank,omitempty"`
+}
+
+func (c Config) algorithm() sched.Algorithm {
+	if c.Algorithm == "" {
+		return sched.ExtJohnsonBF
+	}
+	return c.Algorithm
+}
+
+// Ref identifies a job by its origin: the rank that compresses it (global
+// index, i.e. position in Input.Ranks plus Config.BaseRank) and its Job.ID
+// there.
+type Ref struct {
+	Rank int `json:"rank"`
+	ID   int `json:"id"`
+}
+
+// PlannedJob is one schedulable slot on a rank after balancing: its
+// compression runs here iff Origin names the planning rank; a moved-in
+// write carries Release (the origin's predicted compression completion) and
+// zero PredComp; a moved-away write keeps its compression but zero PredIO.
+type PlannedJob struct {
+	Origin    Ref     `json:"origin"`
+	PredComp  float64 `json:"predComp,omitempty"`
+	PredIO    float64 `json:"predIO,omitempty"`
+	PredBytes int64   `json:"predBytes,omitempty"`
+	Release   float64 `json:"release,omitempty"`
+}
+
+// RankPlan is one rank's solved iteration plan. The index of a job in Jobs
+// equals its sched.Job.ID in Problem and its Placement.JobID in Schedule.
+type RankPlan struct {
+	Jobs     []PlannedJob    `json:"jobs"`
+	Problem  *sched.Problem  `json:"problem"`
+	Schedule *sched.Schedule `json:"schedule"`
+}
+
+// IterationPlan is one iteration's complete plan for a set of ranks.
+type IterationPlan struct {
+	Ranks []RankPlan `json:"ranks"`
+}
+
+// Overall returns the planner's predicted iteration duration: the maximum
+// T_overall across ranks (the Table 1 quantity).
+func (p *IterationPlan) Overall() float64 {
+	max := 0.0
+	for _, rp := range p.Ranks {
+		if rp.Schedule != nil && rp.Schedule.Overall > max {
+			max = rp.Schedule.Overall
+		}
+	}
+	return max
+}
+
+// CompOrder returns the rank's job indices sorted by scheduled compression
+// start — the execution order for the main thread.
+func (rp *RankPlan) CompOrder() []int {
+	return orderBy(rp.Schedule, func(pl sched.Placement) float64 { return pl.CompStart })
+}
+
+// IOOrder returns the rank's job indices sorted by scheduled I/O start —
+// the execution order for the background thread.
+func (rp *RankPlan) IOOrder() []int {
+	return orderBy(rp.Schedule, func(pl sched.Placement) float64 { return pl.IOStart })
+}
+
+func orderBy(s *sched.Schedule, key func(sched.Placement) float64) []int {
+	type slot struct {
+		id    int
+		start float64
+	}
+	slots := make([]slot, 0, len(s.Placements))
+	for _, pl := range s.Placements {
+		slots = append(slots, slot{pl.JobID, key(pl)})
+	}
+	sort.SliceStable(slots, func(a, b int) bool { return slots[a].start < slots[b].start })
+	out := make([]int, len(slots))
+	for i, sl := range slots {
+		out[i] = sl.id
+	}
+	return out
+}
+
+// problem builds the scheduling instance for one rank's planned jobs: the
+// sched.Job.ID is the slot index, compression is dropped for moved-in
+// writes (it runs on the origin rank), and releases carry over.
+func problem(ri RankInput, jobs []PlannedJob) *sched.Problem {
+	p := &sched.Problem{Horizon: ri.Horizon}
+	p.CompHoles = append(p.CompHoles, ri.CompHoles...)
+	p.IOHoles = append(p.IOHoles, ri.IOHoles...)
+	for i, pj := range jobs {
+		p.Jobs = append(p.Jobs, sched.Job{
+			ID: i, Comp: pj.PredComp, IO: pj.PredIO, Release: pj.Release,
+		})
+	}
+	return p
+}
+
+// Plan runs the in situ planner over the given ranks. Pass 1 schedules each
+// rank's own jobs independently; with cfg.Balance, the per-node balancing
+// of §3.4 then reassigns whole writes from the most to the least loaded
+// rank and a second scheduling pass places the adjusted job sets, with each
+// moved write released by its origin's pass-1 predicted compression end.
+func Plan(in Input, cfg Config) (*IterationPlan, error) {
+	n := len(in.Ranks)
+	out := &IterationPlan{Ranks: make([]RankPlan, n)}
+	if n == 0 {
+		return out, nil
+	}
+	rpn := cfg.RanksPerNode
+	if rpn <= 0 {
+		rpn = n
+	}
+	if n%rpn != 0 {
+		return nil, fmt.Errorf("plan: %d ranks not divisible into nodes of %d", n, rpn)
+	}
+	alg := cfg.algorithm()
+
+	// Pass 1: every rank schedules its own jobs.
+	for r, ri := range in.Ranks {
+		rp := RankPlan{}
+		for _, j := range ri.Jobs {
+			rp.Jobs = append(rp.Jobs, PlannedJob{
+				Origin:    Ref{Rank: cfg.BaseRank + r, ID: j.ID},
+				PredComp:  j.PredComp,
+				PredIO:    j.PredIO,
+				PredBytes: j.PredBytes,
+			})
+		}
+		rp.Problem = problem(ri, rp.Jobs)
+		s, err := sched.Solve(rp.Problem, alg)
+		if err != nil {
+			return nil, fmt.Errorf("plan: rank %d pass 1: %w", r, err)
+		}
+		rp.Schedule = s
+		out.Ranks[r] = rp
+	}
+	if !cfg.Balance || rpn == 1 {
+		return out, nil
+	}
+
+	// Predicted compression completion per job: the release time a moved
+	// write must respect on its destination rank.
+	predCompEnd := make(map[Ref]float64)
+	for r, rp := range out.Ranks {
+		for _, pl := range rp.Schedule.Placements {
+			predCompEnd[Ref{Rank: cfg.BaseRank + r, ID: in.Ranks[r].Jobs[pl.JobID].ID}] = pl.CompEnd
+		}
+	}
+
+	// Balancing per node, then pass 2 re-scheduling with moved writes.
+	balanced := &IterationPlan{Ranks: make([]RankPlan, n)}
+	for base := 0; base < n; base += rpn {
+		tasks := make([][]balance.Task, rpn)
+		for li := 0; li < rpn; li++ {
+			for idx, j := range in.Ranks[base+li].Jobs {
+				tasks[li] = append(tasks[li], balance.Task{
+					Rank: li, Index: idx, Dur: j.PredIO, Bytes: j.PredBytes,
+				})
+			}
+		}
+		bplan, err := balance.Balance(tasks)
+		if err != nil {
+			return nil, fmt.Errorf("plan: node at rank %d: %w", base, err)
+		}
+		for li := 0; li < rpn; li++ {
+			r := base + li
+			ri := in.Ranks[r]
+			rp := RankPlan{}
+			// Own compressions always stay; whether the write stays depends
+			// on the balancing assignment.
+			keepWrite := make(map[int]bool) // index into ri.Jobs
+			var foreign []balance.Ref
+			for _, ref := range bplan.PerRank[li] {
+				if ref.Rank == li {
+					keepWrite[ref.Index] = true
+				} else {
+					foreign = append(foreign, ref)
+				}
+			}
+			for idx, j := range ri.Jobs {
+				pj := PlannedJob{
+					Origin:    Ref{Rank: cfg.BaseRank + r, ID: j.ID},
+					PredComp:  j.PredComp,
+					PredBytes: j.PredBytes,
+				}
+				if keepWrite[idx] {
+					pj.PredIO = j.PredIO
+				}
+				rp.Jobs = append(rp.Jobs, pj)
+			}
+			for _, ref := range foreign {
+				oj := in.Ranks[base+ref.Rank].Jobs[ref.Index]
+				origin := Ref{Rank: cfg.BaseRank + base + ref.Rank, ID: oj.ID}
+				rp.Jobs = append(rp.Jobs, PlannedJob{
+					Origin:    origin,
+					PredIO:    oj.PredIO,
+					PredBytes: oj.PredBytes,
+					Release:   predCompEnd[origin],
+				})
+			}
+			rp.Problem = problem(ri, rp.Jobs)
+			s, err := sched.Solve(rp.Problem, alg)
+			if err != nil {
+				return nil, fmt.Errorf("plan: rank %d pass 2: %w", r, err)
+			}
+			rp.Schedule = s
+			balanced.Ranks[r] = rp
+		}
+	}
+	return balanced, nil
+}

@@ -1,0 +1,202 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// synthInput builds a deterministic multi-rank input with a skewed I/O load
+// so balancing has something to do.
+func synthInput(ranks, jobsPerRank int, seed int64) Input {
+	rng := rand.New(rand.NewSource(seed))
+	in := Input{}
+	for r := 0; r < ranks; r++ {
+		ri := RankInput{
+			Horizon:   10,
+			CompHoles: []sched.Interval{{Start: 1, End: 2}, {Start: 5, End: 6}},
+			IOHoles:   []sched.Interval{{Start: 3, End: 4}},
+		}
+		for j := 0; j < jobsPerRank; j++ {
+			ri.Jobs = append(ri.Jobs, Job{
+				ID:        j,
+				PredComp:  0.2 + 0.1*rng.Float64(),
+				PredIO:    (0.3 + 0.4*rng.Float64()) * float64(r+1), // skew by rank
+				PredBytes: int64(1000 * (j + 1)),
+			})
+		}
+		in.Ranks = append(in.Ranks, ri)
+	}
+	return in
+}
+
+func TestPlanValidatesSchedules(t *testing.T) {
+	in := synthInput(4, 6, 1)
+	for _, bal := range []bool{false, true} {
+		p, err := Plan(in, Config{Balance: bal, RanksPerNode: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Ranks) != 4 {
+			t.Fatalf("plans for %d ranks", len(p.Ranks))
+		}
+		for r, rp := range p.Ranks {
+			if err := sched.Validate(rp.Problem, rp.Schedule); err != nil {
+				t.Fatalf("rank %d (balance=%v): %v", r, bal, err)
+			}
+			if len(rp.Jobs) != len(rp.Problem.Jobs) {
+				t.Fatalf("rank %d: %d jobs vs %d problem jobs", r, len(rp.Jobs), len(rp.Problem.Jobs))
+			}
+		}
+	}
+}
+
+func TestPlanConservesWritesWithinNodes(t *testing.T) {
+	in := synthInput(8, 5, 3)
+	const rpn = 4
+	p, err := Plan(in, Config{Balance: true, RanksPerNode: rpn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := make(map[Ref]int)
+	for r, rp := range p.Ranks {
+		for _, pj := range rp.Jobs {
+			if pj.PredIO > 0 {
+				writes[pj.Origin]++
+				if pj.Origin.Rank/rpn != r/rpn {
+					t.Fatalf("write for %+v crossed nodes to rank %d", pj.Origin, r)
+				}
+			}
+			// Compression never moves.
+			if pj.PredComp > 0 && pj.Origin.Rank != r {
+				t.Fatalf("rank %d compresses foreign job %+v", r, pj.Origin)
+			}
+		}
+	}
+	for r, ri := range in.Ranks {
+		for _, j := range ri.Jobs {
+			if writes[Ref{Rank: r, ID: j.ID}] != 1 {
+				t.Fatalf("job %d of rank %d written %d times", j.ID, r, writes[Ref{Rank: r, ID: j.ID}])
+			}
+		}
+	}
+}
+
+func TestMovedWritesCarryOriginReleases(t *testing.T) {
+	in := synthInput(4, 5, 7)
+	p, err := Plan(in, Config{Balance: true, RanksPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass-1 compression completions, recomputed independently.
+	ref, err := Plan(in, Config{Balance: false, RanksPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compEnd := make(map[Ref]float64)
+	for _, rp := range ref.Ranks {
+		for _, pl := range rp.Schedule.Placements {
+			compEnd[rp.Jobs[pl.JobID].Origin] = pl.CompEnd
+		}
+	}
+	moved := 0
+	for r, rp := range p.Ranks {
+		for _, pj := range rp.Jobs {
+			if pj.Origin.Rank == r {
+				if pj.Release != 0 {
+					t.Fatalf("local job %+v has release %v", pj.Origin, pj.Release)
+				}
+				continue
+			}
+			moved++
+			if pj.PredComp != 0 {
+				t.Fatalf("moved-in job %+v kept compression", pj.Origin)
+			}
+			if pj.Release != compEnd[pj.Origin] {
+				t.Fatalf("moved job %+v release %v, want origin comp end %v",
+					pj.Origin, pj.Release, compEnd[pj.Origin])
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("skewed input produced no moved writes")
+	}
+}
+
+func TestBaseRankOffsetsOrigins(t *testing.T) {
+	in := synthInput(2, 3, 5)
+	p, err := Plan(in, Config{Balance: true, RanksPerNode: 2, BaseRank: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rp := range p.Ranks {
+		for _, pj := range rp.Jobs {
+			if pj.Origin.Rank < 6 || pj.Origin.Rank > 7 {
+				t.Fatalf("origin rank %d outside base-offset range", pj.Origin.Rank)
+			}
+		}
+	}
+}
+
+func TestOrderHelpers(t *testing.T) {
+	in := synthInput(1, 6, 9)
+	p, err := Plan(in, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := p.Ranks[0]
+	starts := make(map[int]sched.Placement)
+	for _, pl := range rp.Schedule.Placements {
+		starts[pl.JobID] = pl
+	}
+	co, io := rp.CompOrder(), rp.IOOrder()
+	if len(co) != len(rp.Jobs) || len(io) != len(rp.Jobs) {
+		t.Fatalf("order lengths %d/%d, want %d", len(co), len(io), len(rp.Jobs))
+	}
+	for i := 1; i < len(co); i++ {
+		if starts[co[i]].CompStart < starts[co[i-1]].CompStart {
+			t.Fatal("CompOrder not sorted")
+		}
+		if starts[io[i]].IOStart < starts[io[i-1]].IOStart {
+			t.Fatal("IOOrder not sorted")
+		}
+	}
+}
+
+func TestPlanRejectsBadLayout(t *testing.T) {
+	in := synthInput(3, 2, 1)
+	if _, err := Plan(in, Config{RanksPerNode: 2}); err == nil {
+		t.Fatal("indivisible node layout accepted")
+	}
+}
+
+func TestOverallIsMaxAcrossRanks(t *testing.T) {
+	in := synthInput(4, 4, 11)
+	p, err := Plan(in, Config{Balance: true, RanksPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, rp := range p.Ranks {
+		if rp.Schedule.Overall > want {
+			want = rp.Schedule.Overall
+		}
+	}
+	if got := p.Overall(); got != want {
+		t.Fatalf("Overall %v, want %v", got, want)
+	}
+	if want < 10 {
+		t.Fatalf("overall %v below horizon", want)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	p, err := Plan(Input{}, Config{Balance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ranks) != 0 {
+		t.Fatalf("%d ranks from empty input", len(p.Ranks))
+	}
+}

@@ -28,7 +28,8 @@ import (
 
 // Interval is a half-open time interval [Start, End).
 type Interval struct {
-	Start, End float64
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
 }
 
 // Len returns the interval's duration.
@@ -46,28 +47,28 @@ func (iv Interval) valid() bool {
 // Job pairs a compression task with its dependent I/O task (a "job" in the
 // paper's flow-shop formulation).
 type Job struct {
-	ID   int     // stable identity; also the generation order (§3.3.2)
-	Comp float64 // compression duration on the main thread
-	IO   float64 // write duration on the background thread
+	ID   int     `json:"id"`   // stable identity; also the generation order (§3.3.2)
+	Comp float64 `json:"comp"` // compression duration on the main thread
+	IO   float64 `json:"io"`   // write duration on the background thread
 	// Release is an additional earliest-start time for the I/O task, used
 	// when intra-node balancing (§3.4) moves a write to a rank that does
 	// not run its compression: the write may not start before the origin
 	// rank's predicted compression completion. Zero for ordinary jobs.
-	Release float64
+	Release float64 `json:"release,omitempty"`
 }
 
 // Problem is one iteration's scheduling instance.
 type Problem struct {
 	// Horizon is T_n, the iteration length. Tasks may spill past it; the
 	// objective then exceeds Horizon.
-	Horizon float64
+	Horizon float64 `json:"horizon"`
 	// CompHoles are the computation intervals Y_i on the main thread
 	// (sorted, non-overlapping after Normalize).
-	CompHoles []Interval
+	CompHoles []Interval `json:"compHoles,omitempty"`
 	// IOHoles are the core tasks G_i on the background thread.
-	IOHoles []Interval
+	IOHoles []Interval `json:"ioHoles,omitempty"`
 	// Jobs are the m compression+I/O pairs.
-	Jobs []Job
+	Jobs []Job `json:"jobs"`
 }
 
 // Normalize sorts and merges each hole list and validates the instance.
@@ -121,22 +122,22 @@ func mergeHoles(hs []Interval) ([]Interval, error) {
 
 // Placement records where one job's two tasks landed.
 type Placement struct {
-	JobID     int
-	CompStart float64
-	CompEnd   float64
-	IOStart   float64
-	IOEnd     float64
+	JobID     int     `json:"jobID"`
+	CompStart float64 `json:"compStart"`
+	CompEnd   float64 `json:"compEnd"`
+	IOStart   float64 `json:"ioStart"`
+	IOEnd     float64 `json:"ioEnd"`
 }
 
 // Schedule is a complete solution to a Problem.
 type Schedule struct {
-	Algorithm  Algorithm
-	Placements []Placement // indexed by position in Problem.Jobs (JobID order of the instance)
+	Algorithm  Algorithm   `json:"algorithm"`
+	Placements []Placement `json:"placements"` // indexed by position in Problem.Jobs (JobID order of the instance)
 	// Makespan is max end(B_j) (0 when there are no jobs).
-	Makespan float64
+	Makespan float64 `json:"makespan"`
 	// Overall is the iteration duration max(Horizon, Makespan) — the
 	// paper's T_overall.
-	Overall float64
+	Overall float64 `json:"overall"`
 }
 
 const timeEps = 1e-9

@@ -2,15 +2,13 @@ package simapp
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
-	"repro/internal/balance"
-	"repro/internal/bp"
-	"repro/internal/h5"
 	"repro/internal/huffman"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/sched"
+	"repro/internal/storage"
 	"repro/internal/sz"
 )
 
@@ -18,26 +16,19 @@ import (
 // observation exists (conservative Go-SZ single-core figure).
 const defaultCompThroughput = 40 << 20 // bytes/s
 
-// planned is one block's scheduling and execution context.
-type planned struct {
-	chunk    int // field*nBlocks + blockIdx
-	fi       int // field index
-	bi       int // block index within the field
-	origin   int // global rank owning the compression
-	predComp float64
-	predIO   float64
-	release  float64 // predicted origin compression end (moved writes)
+// dumpPlan is everything iterOurs needs to execute one dump: this rank's
+// slice of the node's shared iteration plan plus the per-field dataset
+// writers and compression parameters. Chunk numbers (plan job IDs) encode
+// (field, block) as fi*nb + bi.
+type dumpPlan struct {
+	rp  plan.RankPlan
+	dsw []storage.DatasetWriter // per field
+	eb  []float64               // per field error bound
+	nb  int                     // blocks per field
 }
 
-// dumpPlan is everything iterOurs needs to execute one dump. Exactly one of
-// h5w/bpw is populated, matching the snapshot backend.
-type dumpPlan struct {
-	jobs     []planned // local job index == sched Job.ID
-	schedule *sched.Schedule
-	h5w      []*h5.DatasetWriter // per field (shared-file backend)
-	bpw      []*bp.DatasetWriter // per field (multi-file backend)
-	eb       []float64           // per field error bound
-}
+func (dp *dumpPlan) field(chunk int) int { return chunk / dp.nb }
+func (dp *dumpPlan) block(chunk int) int { return chunk % dp.nb }
 
 // profile returns the static busy-interval profile in seconds, which in
 // this mini-app is exactly the previous iteration's profile (segments are
@@ -56,7 +47,7 @@ func (rr *rankRun) profile() (comp, io []sched.Interval, horizon float64) {
 // maintainTree returns the shared Huffman tree for a field, building (or
 // rebuilding after TreeRebuild dumps) from the pending data's quantization
 // codes, and persists it into the snapshot so readers can decode.
-func (rr *rankRun) maintainTree(sn *snap, fi int, data []float32) (*huffman.Tree, error) {
+func (rr *rankRun) maintainTree(sn storage.Snapshot, fi int, data []float32) (*huffman.Tree, error) {
 	if rr.cfg.TreeRebuild <= 0 {
 		return nil, nil // sharing disabled: every block embeds its own tree
 	}
@@ -80,28 +71,41 @@ func (rr *rankRun) maintainTree(sn *snap, fi int, data []float32) (*huffman.Tree
 	}
 	rr.treeAge[fi]++
 	// Persist the tree for this snapshot's readers.
-	if err := sn.persistBlob(rr, rr.treeName(fi), tree.Marshal()); err != nil {
+	if err := rr.persistBlob(sn, rr.treeName(fi), tree.Marshal()); err != nil {
 		return nil, err
 	}
 	return tree, nil
 }
 
-// planDump predicts, reserves (shared-file backend), schedules, and
-// balances one dump.
-func (rr *rankRun) planDump(sn *snap, pending *pendingDump) (*dumpPlan, error) {
+// PlanNode runs the shared planner (internal/plan) exactly the way each node
+// root does at runtime: one call over the node's ranks, with BaseRank
+// translating node-local indices to global ones. Exported so the
+// engine-parity test can compare this against core's whole-world planning.
+func PlanNode(ranks []plan.RankInput, alg sched.Algorithm, balance bool, baseRank int) (*plan.IterationPlan, error) {
+	return plan.Plan(plan.Input{Ranks: ranks}, plan.Config{
+		Algorithm: alg,
+		Balance:   balance,
+		BaseRank:  baseRank,
+	})
+}
+
+// planDump predicts, registers datasets (reserving extents where the
+// backend supports it), and runs the shared planner across the node: inputs
+// are gathered on the node root, planned in one internal/plan call, and the
+// resulting IterationPlan broadcast back.
+func (rr *rankRun) planDump(sn storage.Snapshot, pending *pendingDump) (*dumpPlan, error) {
 	cfg := rr.cfg
 	nb := len(rr.splits)
-	plan := &dumpPlan{
-		eb: make([]float64, len(cfg.Specs)),
-	}
-	if sn.fw != nil {
-		plan.h5w = make([]*h5.DatasetWriter, len(cfg.Specs))
-	} else {
-		plan.bpw = make([]*bp.DatasetWriter, len(cfg.Specs))
+	dp := &dumpPlan{
+		dsw: make([]storage.DatasetWriter, len(cfg.Specs)),
+		eb:  make([]float64, len(cfg.Specs)),
+		nb:  nb,
 	}
 
+	compHoles, ioHoles, horizon := rr.profile()
+	ri := plan.RankInput{CompHoles: compHoles, IOHoles: ioHoles, Horizon: horizon}
 	for fi, spec := range cfg.Specs {
-		plan.eb[fi] = spec.ErrorBound
+		dp.eb[fi] = spec.ErrorBound
 		if _, err := rr.maintainTree(sn, fi, pending.data[fi]); err != nil {
 			return nil, err
 		}
@@ -110,9 +114,16 @@ func (rr *rankRun) planDump(sn *snap, pending *pendingDump) (*dumpPlan, error) {
 			raw := int64(4 * blk.Dims.N())
 			key := rr.blockPredKey(fi, bi)
 			ratio := rr.ratioP.Predict(key, 8)
-			predBytes := int64(float64(raw)/ratio) + 64
-			reservations = append(reservations, predBytes+predBytes/5+512) // 20% safety
+			predBytes := int64(float64(raw) / ratio)
+			reserve := predBytes + 64
+			reservations = append(reservations, reserve+reserve/5+512) // 20% safety
 			rawSizes = append(rawSizes, raw)
+			ri.Jobs = append(ri.Jobs, plan.Job{
+				ID:        fi*nb + bi,
+				PredComp:  rr.compP.PredictDuration(raw, float64(raw)/defaultCompThroughput),
+				PredIO:    rr.ioP.PredictDuration(predBytes, rr.fs.ModelDuration(predBytes).Seconds()),
+				PredBytes: predBytes,
+			})
 		}
 		attrs := map[string]string{
 			"field":      spec.Name,
@@ -123,235 +134,108 @@ func (rr *rankRun) planDump(sn *snap, pending *pendingDump) (*dumpPlan, error) {
 		if cfg.TreeRebuild > 0 {
 			attrs["tree"] = rr.treeName(fi)
 		}
-		if sn.fw != nil {
-			dw, err := sn.fw.CreateDataset(rr.dsName(fi),
-				[]int{cfg.Dims.X, cfg.Dims.Y, cfg.Dims.Z}, 4, h5.FilterSZ,
-				reservations, rawSizes, attrs)
-			if err != nil {
-				return nil, err
-			}
-			plan.h5w[fi] = dw
-		} else {
-			dw, err := sn.bw.CreateDataset(rr.rank(), rr.dsName(fi),
-				[]int{cfg.Dims.X, cfg.Dims.Y, cfg.Dims.Z}, 4, bp.FilterSZ,
-				rawSizes, attrs)
-			if err != nil {
-				return nil, err
-			}
-			plan.bpw[fi] = dw
-		}
-
-		for bi, blk := range rr.splits {
-			raw := int64(4 * blk.Dims.N())
-			key := rr.blockPredKey(fi, bi)
-			ratio := rr.ratioP.Predict(key, 8)
-			predBytes := int64(float64(raw) / ratio)
-			plan.jobs = append(plan.jobs, planned{
-				chunk:    fi*nb + bi,
-				fi:       fi,
-				bi:       bi,
-				origin:   rr.rank(),
-				predComp: rr.compP.PredictDuration(raw, float64(raw)/defaultCompThroughput),
-				predIO:   rr.ioP.PredictDuration(predBytes, rr.fs.ModelDuration(predBytes).Seconds()),
-			})
-		}
-	}
-
-	compHoles, ioHoles, horizon := rr.profile()
-	mkProblem := func(jobs []planned) *sched.Problem {
-		p := &sched.Problem{Horizon: horizon}
-		p.CompHoles = append(p.CompHoles, compHoles...)
-		p.IOHoles = append(p.IOHoles, ioHoles...)
-		for i, j := range jobs {
-			comp := j.predComp
-			if j.origin != rr.rank() {
-				comp = 0
-			}
-			p.Jobs = append(p.Jobs, sched.Job{ID: i, Comp: comp, IO: j.predIO, Release: j.release})
-		}
-		return p
-	}
-
-	s, err := sched.Solve(mkProblem(plan.jobs), cfg.Algorithm)
-	if err != nil {
-		return nil, err
-	}
-	plan.schedule = s
-
-	if cfg.Balance && cfg.RanksPerNode > 1 {
-		jobs, s2, err := rr.balanceNode(plan.jobs, s, mkProblem)
+		dw, err := sn.CreateDataset(storage.DatasetSpec{
+			Rank:         rr.rank(),
+			Name:         rr.dsName(fi),
+			Dims:         []int{cfg.Dims.X, cfg.Dims.Y, cfg.Dims.Z},
+			ElemSize:     4,
+			Compressed:   true,
+			Reservations: reservations,
+			RawSizes:     rawSizes,
+			Attrs:        attrs,
+		})
 		if err != nil {
 			return nil, err
 		}
-		plan.jobs, plan.schedule = jobs, s2
-	}
-	return plan, nil
-}
-
-// nodeJobInfo is the per-job summary exchanged for balancing.
-type nodeJobInfo struct {
-	Chunk       int
-	PredIO      float64
-	PredCompEnd float64
-}
-
-// balanceNode gathers predicted I/O loads on the node root, runs the §3.4
-// reassignment, redistributes the assignments, and re-solves locally.
-func (rr *rankRun) balanceNode(jobs []planned, s *sched.Schedule,
-	mkProblem func([]planned) *sched.Problem) ([]planned, *sched.Schedule, error) {
-
-	// Summaries in local job order.
-	infos := make([]nodeJobInfo, len(jobs))
-	for i, j := range jobs {
-		infos[i] = nodeJobInfo{Chunk: j.chunk, PredIO: j.predIO}
-	}
-	for _, pl := range s.Placements {
-		infos[pl.JobID].PredCompEnd = pl.CompEnd
-	}
-	gathered, err := rr.c.NodeGather(infos)
-	if err != nil {
-		return nil, nil, err
-	}
-	var assign [][]balance.Ref
-	if gathered != nil { // node root
-		tasks := make([][]balance.Task, len(gathered))
-		for li, v := range gathered {
-			for idx, info := range v.([]nodeJobInfo) {
-				tasks[li] = append(tasks[li], balance.Task{Rank: li, Index: idx, Dur: info.PredIO})
-			}
-		}
-		plan, err := balance.Balance(tasks)
-		if err != nil {
-			return nil, nil, err
-		}
-		assign = plan.PerRank
-	}
-	v, err := rr.c.NodeBcast(assign)
-	if err != nil {
-		return nil, nil, err
-	}
-	assign = v.([][]balance.Ref)
-	gatheredAll, err := rr.nodeAllInfos(gathered)
-	if err != nil {
-		return nil, nil, err
+		dp.dsw[fi] = dw
 	}
 
-	// Rebuild this rank's job list: keep every local compression; writes as
-	// assigned; append moved-in foreign writes.
-	li := rr.c.NodeRank()
-	keepWrite := make(map[int]bool) // local job index
-	var foreign []balance.Ref
-	for _, ref := range assign[li] {
-		if ref.Rank == li {
-			keepWrite[ref.Index] = true
-		} else {
-			foreign = append(foreign, ref)
-		}
-	}
-	out := make([]planned, 0, len(jobs)+len(foreign))
-	for i, j := range jobs {
-		if !keepWrite[i] {
-			j.predIO = 0 // write moved elsewhere
-		}
-		out = append(out, j)
-	}
-	base := rr.c.NodeRanks()[0]
-	for _, ref := range foreign {
-		info := gatheredAll[ref.Rank][ref.Index]
-		out = append(out, planned{
-			chunk:   info.Chunk,
-			fi:      -1,
-			origin:  base + ref.Rank,
-			predIO:  info.PredIO,
-			release: info.PredCompEnd,
-		})
-	}
-	s2, err := sched.Solve(mkProblem(out), rr.cfg.Algorithm)
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, s2, nil
-}
-
-// nodeAllInfos distributes the gathered job summaries to every node rank.
-func (rr *rankRun) nodeAllInfos(gathered []interface{}) ([][]nodeJobInfo, error) {
-	var all [][]nodeJobInfo
-	if gathered != nil {
-		for _, v := range gathered {
-			all = append(all, v.([]nodeJobInfo))
-		}
-	}
-	v, err := rr.c.NodeBcast(all)
+	// Node-wide planning: gather every rank's input on the node root, plan
+	// once, broadcast the shared IterationPlan.
+	gathered, err := rr.c.NodeGather(ri)
 	if err != nil {
 		return nil, err
 	}
-	return v.([][]nodeJobInfo), nil
+	var p *plan.IterationPlan
+	if gathered != nil { // node root
+		inputs := make([]plan.RankInput, len(gathered))
+		for li, v := range gathered {
+			inputs[li] = v.(plan.RankInput)
+		}
+		p, err = PlanNode(inputs, cfg.Algorithm, cfg.Balance, rr.c.NodeRanks()[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	v, err := rr.c.NodeBcast(p)
+	if err != nil {
+		return nil, err
+	}
+	dp.rp = v.(*plan.IterationPlan).Ranks[rr.c.NodeRank()]
+	return dp, nil
+}
+
+// observeWrite feeds completed storage writes back into this rank's I/O
+// predictor and the run counters.
+func (rr *rankRun) observeWrite(bytes int64, seconds float64) {
+	rr.ioP.Observe(bytes, seconds)
+	rr.stats.mu.Lock()
+	rr.stats.writtenBytes += bytes
+	rr.stats.mu.Unlock()
 }
 
 // iterOurs executes one iteration with the full in situ pipeline.
-func (rr *rankRun) iterOurs(start time.Time, sn *snap, pending *pendingDump) error {
+func (rr *rankRun) iterOurs(start time.Time, sn storage.Snapshot, pending *pendingDump) error {
 	if pending == nil {
 		return rr.iterComputeOnly(start)
 	}
-	plan, err := rr.planDump(sn, pending)
+	dp, err := rr.planDump(sn, pending)
 	if err != nil {
 		return err
 	}
 	if rr.rec().Enabled() {
-		rr.stats.notePlanned(rr.curIter, plan.schedule.Overall)
+		rr.stats.notePlanned(rr.curIter, dp.rp.Schedule.Overall)
 	}
 
-	type ord struct {
-		id    int
-		start float64
-	}
-	var compOrder, ioOrder []ord
-	for _, pl := range plan.schedule.Placements {
-		compOrder = append(compOrder, ord{pl.JobID, pl.CompStart})
-		ioOrder = append(ioOrder, ord{pl.JobID, pl.IOStart})
-	}
-	sort.Slice(compOrder, func(a, b int) bool { return compOrder[a].start < compOrder[b].start })
-	sort.Slice(ioOrder, func(a, b int) bool { return ioOrder[a].start < ioOrder[b].start })
-
-	// Compression tasks (main thread).
+	// Compression tasks (main thread) in scheduled order.
 	var compTasks []wtask
-	for _, o := range compOrder {
-		j := plan.jobs[o.id]
-		if j.origin != rr.rank() {
-			continue
+	for _, id := range dp.rp.CompOrder() {
+		pj := dp.rp.Jobs[id]
+		if pj.Origin.Rank != rr.rank() {
+			continue // moved-in writes have no compression here
 		}
 		compTasks = append(compTasks, wtask{
-			id:   o.id,
-			pred: time.Duration(j.predComp * float64(time.Second)),
-			run:  rr.compressTask(plan, j, pending),
+			id:   id,
+			pred: time.Duration(pj.PredComp * float64(time.Second)),
+			run:  rr.compressTask(dp, pj.Origin.ID, pending),
 		})
 	}
 
-	// Write tasks (background thread), through the compressed data buffer
-	// (shared-file backend; multi-file appends carry their own write).
-	sb := newSpanBuffer(rr, sn.fw, rr.cfg.BufferBytes)
+	// Write tasks (background thread) in scheduled order, through the
+	// backend's chunk sink (coalescing where the format supports it).
+	sink := sn.NewChunkSink(rr.cfg.BufferBytes, rr.observeWrite)
 	var ioTasks []wtask
-	for _, o := range ioOrder {
-		j := plan.jobs[o.id]
-		if j.predIO <= 0 && j.origin == rr.rank() {
+	for _, id := range dp.rp.IOOrder() {
+		pj := dp.rp.Jobs[id]
+		if pj.PredIO <= 0 {
 			continue // write moved to a sibling rank
 		}
-		res := rr.store.entry(blockKey{j.origin, j.chunk})
-		label := fmt.Sprintf("write c%d", j.chunk)
-		if j.origin != rr.rank() {
-			label = fmt.Sprintf("write c%d (from rank %d)", j.chunk, j.origin)
+		res := rr.store.entry(blockKey{pj.Origin.Rank, pj.Origin.ID})
+		label := fmt.Sprintf("write c%d", pj.Origin.ID)
+		if pj.Origin.Rank != rr.rank() {
+			label = fmt.Sprintf("write c%d (from rank %d)", pj.Origin.ID, pj.Origin.Rank)
 		}
 		ioTasks = append(ioTasks, wtask{
-			id:    o.id,
-			pred:  time.Duration(j.predIO * float64(time.Second)),
+			id:    id,
+			pred:  time.Duration(pj.PredIO * float64(time.Second)),
 			ready: res.done,
-			run:   rr.writeTask(sb, res),
+			run:   func() error { return sink.Write(res.staged) },
 			label: label,
 			cat:   "write",
 		})
 	}
 	if len(ioTasks) > 0 {
-		ioTasks = append(ioTasks, wtask{id: -1, run: sb.flush, label: "buffer flush", cat: "write"})
+		ioTasks = append(ioTasks, wtask{id: -1, run: sink.Flush, label: "buffer flush", cat: "write"})
 	}
 
 	done := make(chan error, 1)
@@ -363,49 +247,36 @@ func (rr *rankRun) iterOurs(start time.Time, sn *snap, pending *pendingDump) err
 	return <-done
 }
 
-// compressTask builds the main-thread closure for one block.
-func (rr *rankRun) compressTask(plan *dumpPlan, j planned, pending *pendingDump) func() error {
+// compressTask builds the main-thread closure for one chunk: compress the
+// block, observe the predictors, and stage the chunk with the backend so
+// whichever rank owns the write can execute it.
+func (rr *rankRun) compressTask(dp *dumpPlan, chunk int, pending *pendingDump) func() error {
 	return func() error {
-		blk := rr.splits[j.bi]
-		slice := blk.Slice(pending.data[j.fi], rr.cfg.Dims)
+		fi, bi := dp.field(chunk), dp.block(chunk)
+		blk := rr.splits[bi]
+		slice := blk.Slice(pending.data[fi], rr.cfg.Dims)
 		raw := int64(4 * blk.Dims.N())
 		t0 := time.Now()
 		blob, st, err := sz.Compress(slice, blk.Dims, sz.Options{
-			ErrorBound: plan.eb[j.fi],
+			ErrorBound: dp.eb[fi],
 			Radius:     rr.cfg.Radius,
-			Tree:       rr.trees[j.fi], // nil when sharing disabled
+			Tree:       rr.trees[fi], // nil when sharing disabled
 			Rec:        rr.rec(),
 			Rank:       rr.rank(),
-			Block:      j.chunk,
+			Block:      chunk,
 		})
 		if err != nil {
 			return err
 		}
 		rr.compP.Observe(raw, time.Since(t0).Seconds())
-		rr.ratioP.Observe(rr.blockPredKey(j.fi, j.bi), st.Ratio)
+		rr.ratioP.Observe(rr.blockPredKey(fi, bi), st.Ratio)
 
-		res := rr.store.entry(blockKey{rr.rank(), j.chunk})
-		if plan.h5w != nil {
-			off, err := plan.h5w[j.fi].MarkChunk(j.bi, int64(len(blob)))
-			if err != nil {
-				return err
-			}
-			res.data, res.off, res.ds = blob, off, j.fi
-		} else {
-			dw, bi := plan.bpw[j.fi], j.bi
-			res.data = blob
-			res.write = func() error {
-				d, err := dw.WriteChunk(bi, blob)
-				if err != nil {
-					return err
-				}
-				rr.ioP.Observe(int64(len(blob)), d.Seconds())
-				rr.stats.mu.Lock()
-				rr.stats.writtenBytes += int64(len(blob))
-				rr.stats.mu.Unlock()
-				return nil
-			}
+		staged, err := dp.dsw[fi].Stage(bi, blob)
+		if err != nil {
+			return err
 		}
+		res := rr.store.entry(blockKey{rr.rank(), chunk})
+		res.staged = staged
 		close(res.done)
 
 		rr.stats.mu.Lock()
@@ -416,86 +287,6 @@ func (rr *rankRun) compressTask(plan *dumpPlan, j planned, pending *pendingDump)
 		rr.stats.points += int64(blk.Dims.N())
 		rr.stats.mu.Unlock()
 		return nil
-	}
-}
-
-// spanBuffer is the wall-clock compressed data buffer (§4.2): consecutive
-// writes into the same dataset's reserved extent coalesce into one span
-// (slack between chunks is zero-filled — it lies inside this dataset's own
-// reservation, so nothing else can live there). A dataset switch, a
-// backward offset (e.g. an overflow-relocated chunk), an oversized gap, or
-// reaching capacity flushes.
-type spanBuffer struct {
-	rr  *rankRun
-	fw  *h5.FileWriter
-	cap int
-
-	ds     int
-	start  int64
-	buf    []byte
-	blocks int
-}
-
-func newSpanBuffer(rr *rankRun, fw *h5.FileWriter, capBytes int) *spanBuffer {
-	if capBytes <= 0 {
-		capBytes = 1 // degenerate: flush after every block
-	}
-	return &spanBuffer{rr: rr, fw: fw, cap: capBytes}
-}
-
-func (sb *spanBuffer) add(ds int, off int64, data []byte) error {
-	if sb.blocks > 0 {
-		end := sb.start + int64(len(sb.buf))
-		gap := off - end
-		if ds != sb.ds || gap < 0 || gap > int64(sb.cap) ||
-			len(sb.buf)+int(gap)+len(data) > 2*sb.cap {
-			if err := sb.flush(); err != nil {
-				return err
-			}
-		}
-	}
-	if sb.blocks == 0 {
-		sb.ds = ds
-		sb.start = off
-	}
-	pad := int(off - (sb.start + int64(len(sb.buf))))
-	for i := 0; i < pad; i++ {
-		sb.buf = append(sb.buf, 0)
-	}
-	sb.buf = append(sb.buf, data...)
-	sb.blocks++
-	if len(sb.buf) >= sb.cap {
-		return sb.flush()
-	}
-	return nil
-}
-
-func (sb *spanBuffer) flush() error {
-	if sb.blocks == 0 {
-		return nil
-	}
-	t0 := time.Now()
-	if _, err := sb.fw.WriteAtRaw(sb.start, sb.buf); err != nil {
-		return err
-	}
-	sb.rr.ioP.Observe(int64(len(sb.buf)), time.Since(t0).Seconds())
-	sb.rr.stats.mu.Lock()
-	sb.rr.stats.writtenBytes += int64(len(sb.buf))
-	sb.rr.stats.mu.Unlock()
-	sb.buf = sb.buf[:0]
-	sb.blocks = 0
-	return nil
-}
-
-// writeTask builds the background-thread closure for one write: shared-file
-// blocks enter the compressed data buffer (coalesced, paced writes);
-// multi-file blocks carry their own append closure.
-func (rr *rankRun) writeTask(sb *spanBuffer, res *blockResult) func() error {
-	return func() error {
-		if res.write != nil {
-			return res.write()
-		}
-		return sb.add(res.ds, res.off, res.data)
 	}
 }
 
@@ -510,10 +301,10 @@ func (rr *rankRun) finalDump(pending *pendingDump) error {
 	if pending == nil {
 		return nil
 	}
-	var sn *snap
+	var sn storage.Snapshot
 	if rr.rank() == 0 {
 		name := fmt.Sprintf("%s-%s-final.%s", rr.cfg.Name, rr.cfg.Mode, rr.cfg.backend())
-		s, err := createSnap(rr.fs, rr.cfg.backend(), name, rr.cfg.Ranks)
+		s, err := rr.backend.Create(rr.fs, name, rr.cfg.Ranks)
 		if err != nil {
 			return err
 		}
@@ -523,12 +314,12 @@ func (rr *rankRun) finalDump(pending *pendingDump) error {
 	if err != nil {
 		return err
 	}
-	sn = v.(*snap)
+	sn = v.(storage.Snapshot)
 
 	if rr.cfg.Mode == AsyncIO {
 		for fi := range rr.cfg.Specs {
 			raw := rawChunk(pending.data[fi])
-			dw, err := sn.createRawDataset(rr, fi, pending.iter, int64(len(raw)))
+			dw, err := rr.createRawDataset(sn, fi, pending.iter, int64(len(raw)))
 			if err != nil {
 				return err
 			}
@@ -537,30 +328,30 @@ func (rr *rankRun) finalDump(pending *pendingDump) error {
 			}
 		}
 	} else {
-		plan, err := rr.planDump(sn, pending)
+		dp, err := rr.planDump(sn, pending)
 		if err != nil {
 			return err
 		}
-		sb := newSpanBuffer(rr, sn.fw, rr.cfg.BufferBytes)
-		for _, j := range plan.jobs {
-			if j.origin != rr.rank() {
-				continue
+		sink := sn.NewChunkSink(rr.cfg.BufferBytes, rr.observeWrite)
+		for _, pj := range dp.rp.Jobs {
+			if pj.Origin.Rank != rr.rank() {
+				continue // every rank dumps its own blocks synchronously
 			}
-			if err := rr.compressTask(plan, j, pending)(); err != nil {
+			if err := rr.compressTask(dp, pj.Origin.ID, pending)(); err != nil {
 				return err
 			}
-			res := rr.store.entry(blockKey{rr.rank(), j.chunk})
-			if err := rr.writeTask(sb, res)(); err != nil {
+			res := rr.store.entry(blockKey{rr.rank(), pj.Origin.ID})
+			if err := sink.Write(res.staged); err != nil {
 				return err
 			}
 		}
-		if err := sb.flush(); err != nil {
+		if err := sink.Flush(); err != nil {
 			return err
 		}
 	}
 	rr.c.Barrier()
 	if rr.rank() == 0 {
-		if _, err := sn.close(); err != nil {
+		if _, err := sn.Close(); err != nil {
 			return err
 		}
 	}

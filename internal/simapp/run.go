@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/predict"
+	"repro/internal/storage"
 	"repro/internal/sz"
 )
 
@@ -22,16 +23,12 @@ type blockKey struct {
 }
 
 // blockResult is a compressed block awaiting its write, shared through the
-// node store so balancing can move the write to a sibling rank.
+// node store so balancing can move the write to a sibling rank: the origin
+// rank stages the chunk with the storage backend, and whichever rank owns
+// the write feeds it to its chunk sink.
 type blockResult struct {
-	done chan struct{}
-	data []byte
-	off  int64
-	ds   int // dataset identity (field index); gap-fill coalescing boundary
-	// write, when non-nil, performs the write itself (multi-file backend:
-	// an append to the origin rank's sub-file). Otherwise the destination
-	// rank writes data at off through its compressed data buffer.
-	write func() error
+	done   chan struct{}
+	staged storage.StagedChunk
 }
 
 // nodeStore shares blockResults between the ranks of one node.
@@ -106,6 +103,10 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	backend, err := cfg.storageBackend()
+	if err != nil {
+		return nil, err
+	}
 	gen, err := fields.NewGenerator(fields.Config{
 		Dims: cfg.Dims, Fields: cfg.Specs, Ranks: cfg.Ranks,
 		Seed: cfg.Seed, Stage: cfg.Stage,
@@ -142,6 +143,7 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 		rr := &rankRun{
 			cfg: cfg, c: c, fs: fs, gen: gen, splits: splits,
 			mainSegs: mainSegs, bgSegs: bgSegs, span: span,
+			backend: backend,
 			store:   stores[c.Node()],
 			stats:   stats,
 			ratioP:  predict.NewRatioPredictor(0.6),
@@ -211,6 +213,7 @@ type rankRun struct {
 	mainSegs []segment
 	bgSegs   []segment
 	span     time.Duration
+	backend  storage.Backend
 	store    *nodeStore
 	stats    *runStats
 
@@ -242,7 +245,7 @@ func (rr *rankRun) run() error {
 		data := rr.generate(iter) // untimed: data synthesis artifact
 
 		// Coordinate the snapshot file for whatever this iteration dumps.
-		var sn *snap
+		var sn storage.Snapshot
 		dumpIter := -1
 		switch rr.cfg.Mode {
 		case Baseline:
@@ -255,7 +258,7 @@ func (rr *rankRun) run() error {
 		if dumpIter >= 0 {
 			if rr.rank() == 0 {
 				name := fmt.Sprintf("%s-%s-%04d.%s", rr.cfg.Name, rr.cfg.Mode, dumpIter, rr.cfg.backend())
-				s, err := createSnap(rr.fs, rr.cfg.backend(), name, rr.cfg.Ranks)
+				s, err := rr.backend.Create(rr.fs, name, rr.cfg.Ranks)
 				if err != nil {
 					return err
 				}
@@ -265,7 +268,7 @@ func (rr *rankRun) run() error {
 			if err != nil {
 				return err
 			}
-			sn = v.(*snap)
+			sn = v.(storage.Snapshot)
 		}
 		rr.c.Barrier()
 		rr.curIter = iter
@@ -295,13 +298,13 @@ func (rr *rankRun) run() error {
 		rr.c.Barrier()
 		if sn != nil {
 			if rr.rank() == 0 {
-				oc, err := sn.close()
+				oc, err := sn.Close()
 				if err != nil {
 					return err
 				}
 				rr.stats.mu.Lock()
 				rr.stats.overflow += oc
-				rr.stats.files = append(rr.stats.files, sn.name)
+				rr.stats.files = append(rr.stats.files, sn.Name())
 				rr.stats.mu.Unlock()
 			}
 			rr.store.reset()
@@ -342,13 +345,13 @@ func rawChunk(data []float32) []byte {
 }
 
 // iterBaseline: compute, then a synchronous uncompressed dump.
-func (rr *rankRun) iterBaseline(start time.Time, sn *snap, data *pendingDump) error {
+func (rr *rankRun) iterBaseline(start time.Time, sn storage.Snapshot, data *pendingDump) error {
 	if err := rr.iterComputeOnly(start); err != nil {
 		return err
 	}
 	for fi := range rr.cfg.Specs {
 		raw := rawChunk(data.data[fi])
-		dw, err := sn.createRawDataset(rr, fi, data.iter, int64(len(raw)))
+		dw, err := rr.createRawDataset(sn, fi, data.iter, int64(len(raw)))
 		if err != nil {
 			return err
 		}
@@ -370,12 +373,12 @@ func (rr *rankRun) iterBaseline(start time.Time, sn *snap, data *pendingDump) er
 
 // iterAsyncIO: compute while the background thread writes the previous
 // iteration's raw data between its core tasks [62].
-func (rr *rankRun) iterAsyncIO(start time.Time, sn *snap, pending *pendingDump) error {
+func (rr *rankRun) iterAsyncIO(start time.Time, sn storage.Snapshot, pending *pendingDump) error {
 	var tasks []wtask
 	if pending != nil {
 		for fi := range rr.cfg.Specs {
 			raw := rawChunk(pending.data[fi])
-			dw, err := sn.createRawDataset(rr, fi, pending.iter, int64(len(raw)))
+			dw, err := rr.createRawDataset(sn, fi, pending.iter, int64(len(raw)))
 			if err != nil {
 				return err
 			}

@@ -172,10 +172,8 @@ func (c Config) validate() error {
 	if c.Radius < 2 {
 		return fmt.Errorf("simapp: radius %d", c.Radius)
 	}
-	switch c.backend() {
-	case BackendH5L, BackendBP:
-	default:
-		return fmt.Errorf("simapp: unknown backend %q", c.Backend)
+	if _, err := c.storageBackend(); err != nil {
+		return fmt.Errorf("simapp: %w", err)
 	}
 	return nil
 }

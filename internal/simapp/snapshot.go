@@ -2,17 +2,14 @@ package simapp
 
 import (
 	"fmt"
-	"time"
 
-	"repro/internal/bp"
-	"repro/internal/h5"
-	"repro/internal/pfs"
+	"repro/internal/storage"
 )
 
-// Backend names for Config.Backend.
+// Backend names for Config.Backend, re-exported from the storage registry.
 const (
-	BackendH5L = "h5l" // shared-file container with reserved extents (default)
-	BackendBP  = "bp"  // multi-file ADIOS-style container (paper future work)
+	BackendH5L = storage.H5L // shared-file container with reserved extents (default)
+	BackendBP  = storage.BP  // multi-file ADIOS-style container (paper future work)
 )
 
 func (c Config) backend() string {
@@ -22,121 +19,42 @@ func (c Config) backend() string {
 	return c.Backend
 }
 
-// chunkedDataset is the method set shared by both backends' dataset writers.
-type chunkedDataset interface {
-	WriteChunk(i int, data []byte) (time.Duration, error)
-}
-
-// snap wraps whichever container backs one dump. Exactly one of fw/bw is
-// non-nil; the struct is shared by every rank (parallel writes).
-type snap struct {
-	name string
-	fw   *h5.FileWriter
-	bw   *bp.Writer
-}
-
-// createSnap is called on rank 0 only; the result is Bcast to the others.
-func createSnap(fs *pfs.FS, backend, name string, ranks int) (*snap, error) {
-	switch backend {
-	case BackendH5L:
-		fw, err := h5.Create(fs, name)
-		if err != nil {
-			return nil, err
-		}
-		return &snap{name: name, fw: fw}, nil
-	case BackendBP:
-		bw, err := bp.Create(fs, name, ranks)
-		if err != nil {
-			return nil, err
-		}
-		return &snap{name: name, bw: bw}, nil
-	default:
-		return nil, fmt.Errorf("simapp: unknown backend %q", backend)
-	}
+// storageBackend resolves the configured container format from the registry;
+// everything downstream goes through the storage interfaces, never through a
+// format switch.
+func (c Config) storageBackend() (storage.Backend, error) {
+	return storage.ByName(c.backend())
 }
 
 // createRawDataset registers an uncompressed per-rank field dataset
-// (Baseline and AsyncIO modes) on either backend.
-func (s *snap) createRawDataset(rr *rankRun, fi, iter int, rawLen int64) (chunkedDataset, error) {
-	dims := []int{rr.cfg.Dims.X, rr.cfg.Dims.Y, rr.cfg.Dims.Z}
-	attrs := map[string]string{
-		"field": rr.cfg.Specs[fi].Name,
-		"iter":  fmt.Sprint(iter),
-	}
-	if s.fw != nil {
-		return s.fw.CreateDataset(rr.dsName(fi), dims, 4, h5.FilterNone,
-			[]int64{rawLen}, []int64{rawLen}, attrs)
-	}
-	return s.bw.CreateDataset(rr.rank(), rr.dsName(fi), dims, 4, bp.FilterNone,
-		[]int64{rawLen}, attrs)
+// (Baseline and AsyncIO modes).
+func (rr *rankRun) createRawDataset(sn storage.Snapshot, fi, iter int, rawLen int64) (storage.DatasetWriter, error) {
+	return sn.CreateDataset(storage.DatasetSpec{
+		Rank:     rr.rank(),
+		Name:     rr.dsName(fi),
+		Dims:     []int{rr.cfg.Dims.X, rr.cfg.Dims.Y, rr.cfg.Dims.Z},
+		ElemSize: 4,
+		RawSizes: []int64{rawLen},
+		Attrs: map[string]string{
+			"field": rr.cfg.Specs[fi].Name,
+			"iter":  fmt.Sprint(iter),
+		},
+	})
 }
 
 // persistBlob stores a small metadata blob (the shared Huffman tree) as a
 // one-chunk dataset.
-func (s *snap) persistBlob(rr *rankRun, name string, blob []byte) error {
-	var ds chunkedDataset
-	var err error
-	if s.fw != nil {
-		ds, err = s.fw.CreateDataset(name, []int{len(blob)}, 1, h5.FilterNone,
-			[]int64{int64(len(blob))}, []int64{int64(len(blob))}, nil)
-	} else {
-		ds, err = s.bw.CreateDataset(rr.rank(), name, []int{len(blob)}, 1,
-			bp.FilterNone, []int64{int64(len(blob))}, nil)
-	}
+func (rr *rankRun) persistBlob(sn storage.Snapshot, name string, blob []byte) error {
+	ds, err := sn.CreateDataset(storage.DatasetSpec{
+		Rank:     rr.rank(),
+		Name:     name,
+		Dims:     []int{len(blob)},
+		ElemSize: 1,
+		RawSizes: []int64{int64(len(blob))},
+	})
 	if err != nil {
 		return err
 	}
 	_, err = ds.WriteChunk(0, blob)
 	return err
-}
-
-// close finalizes the container (rank 0 only) and returns overflow counts
-// (zero for BP: no reservations, nothing to overflow — the §6 multi-file
-// advantage).
-func (s *snap) close() (overflowChunks int, err error) {
-	if s.fw != nil {
-		oc, _ := s.fw.OverflowStats()
-		return oc, s.fw.Close()
-	}
-	return 0, s.bw.Close()
-}
-
-// snapReader abstracts reading either backend for verification.
-type snapReader interface {
-	ReadChunk(name string, i int) ([]byte, error)
-}
-
-// openSnap opens a written snapshot with the right backend reader and a
-// uniform attrs accessor.
-func openSnap(fs *pfs.FS, backend, name string) (snapReader, func(ds string) (map[string]string, error), error) {
-	switch backend {
-	case BackendH5L:
-		fr, err := h5.Open(fs, name)
-		if err != nil {
-			return nil, nil, err
-		}
-		attrs := func(ds string) (map[string]string, error) {
-			dm, err := fr.Dataset(ds)
-			if err != nil {
-				return nil, err
-			}
-			return dm.Attrs, nil
-		}
-		return fr, attrs, nil
-	case BackendBP:
-		br, err := bp.Open(fs, name)
-		if err != nil {
-			return nil, nil, err
-		}
-		attrs := func(ds string) (map[string]string, error) {
-			dm, err := br.Dataset(ds)
-			if err != nil {
-				return nil, err
-			}
-			return dm.Attrs, nil
-		}
-		return br, attrs, nil
-	default:
-		return nil, nil, fmt.Errorf("simapp: unknown backend %q", backend)
-	}
 }

@@ -15,7 +15,11 @@ import (
 // Huffman tree) and the reconstruction must respect the field's error
 // bound. It returns the number of chunks verified.
 func VerifySnapshot(fs *pfs.FS, name string, cfg Config) (int, error) {
-	fr, attrsOf, err := openSnap(fs, cfg.backend(), name)
+	backend, err := cfg.storageBackend()
+	if err != nil {
+		return 0, err
+	}
+	fr, err := backend.Open(fs, name)
 	if err != nil {
 		return 0, err
 	}
@@ -34,7 +38,7 @@ func VerifySnapshot(fs *pfs.FS, name string, cfg Config) (int, error) {
 	for r := 0; r < cfg.Ranks; r++ {
 		for fi, spec := range cfg.Specs {
 			dsName := fmt.Sprintf("/rank%03d/%s", r, spec.Name)
-			attrs, err := attrsOf(dsName)
+			attrs, err := fr.Attrs(dsName)
 			if err != nil {
 				return checked, err
 			}
@@ -84,7 +88,11 @@ func VerifySnapshot(fs *pfs.FS, name string, cfg Config) (int, error) {
 // VerifyRawSnapshot checks a Baseline/AsyncIO (uncompressed) snapshot
 // byte-exactly against the generator.
 func VerifyRawSnapshot(fs *pfs.FS, name string, cfg Config) (int, error) {
-	fr, attrsOf, err := openSnap(fs, cfg.backend(), name)
+	backend, err := cfg.storageBackend()
+	if err != nil {
+		return 0, err
+	}
+	fr, err := backend.Open(fs, name)
 	if err != nil {
 		return 0, err
 	}
@@ -99,7 +107,7 @@ func VerifyRawSnapshot(fs *pfs.FS, name string, cfg Config) (int, error) {
 	for r := 0; r < cfg.Ranks; r++ {
 		for _, spec := range cfg.Specs {
 			dsName := fmt.Sprintf("/rank%03d/%s", r, spec.Name)
-			attrs, err := attrsOf(dsName)
+			attrs, err := fr.Attrs(dsName)
 			if err != nil {
 				return checked, err
 			}

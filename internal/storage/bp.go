@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"time"
+
+	"repro/internal/bp"
+	"repro/internal/pfs"
+)
+
+// BP is the multi-file backend: every rank appends compressed chunks to its
+// own sub-file (ADIOS-BP style, the paper's §6 future-work setting), so
+// there are no reservations to overflow and nothing to coalesce.
+const BP = "bp"
+
+type bpBackend struct{}
+
+func (bpBackend) Name() string { return BP }
+
+func (bpBackend) Create(fs *pfs.FS, name string, ranks int) (Snapshot, error) {
+	bw, err := bp.Create(fs, name, ranks)
+	if err != nil {
+		return nil, err
+	}
+	return &bpSnapshot{name: name, bw: bw}, nil
+}
+
+func (bpBackend) Open(fs *pfs.FS, name string) (SnapshotReader, error) {
+	br, err := bp.Open(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	return bpReader{br}, nil
+}
+
+type bpSnapshot struct {
+	name string
+	bw   *bp.Writer
+}
+
+func (s *bpSnapshot) Name() string { return s.name }
+
+func (s *bpSnapshot) CreateDataset(spec DatasetSpec) (DatasetWriter, error) {
+	filter := bp.FilterNone
+	if spec.Compressed {
+		filter = bp.FilterSZ
+	}
+	dw, err := s.bw.CreateDataset(spec.Rank, spec.Name, spec.Dims, spec.ElemSize,
+		filter, spec.RawSizes, spec.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	return bpDataset{dw}, nil
+}
+
+// Close finalizes the index; append sub-files cannot overflow.
+func (s *bpSnapshot) Close() (int, error) { return 0, s.bw.Close() }
+
+type bpDataset struct {
+	dw *bp.DatasetWriter
+}
+
+func (d bpDataset) WriteChunk(i int, data []byte) (time.Duration, error) {
+	return d.dw.WriteChunk(i, data)
+}
+
+// Stage merely binds the chunk to its dataset: offsets are resolved at
+// append time, so nothing is fixed here.
+func (d bpDataset) Stage(i int, data []byte) (StagedChunk, error) {
+	return bpStaged{dw: d.dw, i: i, data: data}, nil
+}
+
+type bpStaged struct {
+	dw   *bp.DatasetWriter
+	i    int
+	data []byte
+}
+
+func (c bpStaged) Size() int64 { return int64(len(c.data)) }
+
+// NewChunkSink returns a write-through sink: appends never coalesce, so
+// bufferBytes is ignored and Flush is a no-op.
+func (s *bpSnapshot) NewChunkSink(bufferBytes int, onWrite WriteObserver) ChunkSink {
+	return bpSink{onWrite: onWrite}
+}
+
+type bpSink struct {
+	onWrite WriteObserver
+}
+
+func (k bpSink) Write(c StagedChunk) error {
+	sc, ok := c.(bpStaged)
+	if !ok {
+		return errForeignChunk(BP, c)
+	}
+	d, err := sc.dw.WriteChunk(sc.i, sc.data)
+	if err != nil {
+		return err
+	}
+	if k.onWrite != nil {
+		k.onWrite(int64(len(sc.data)), d.Seconds())
+	}
+	return nil
+}
+
+func (k bpSink) Flush() error { return nil }
+
+type bpReader struct {
+	br *bp.Reader
+}
+
+func (r bpReader) Datasets() []string { return r.br.Datasets() }
+
+func (r bpReader) Attrs(dataset string) (map[string]string, error) {
+	dm, err := r.br.Dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return dm.Attrs, nil
+}
+
+func (r bpReader) ReadChunk(dataset string, i int) ([]byte, error) {
+	return r.br.ReadChunk(dataset, i)
+}

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/h5"
+	"repro/internal/pfs"
+)
+
+// H5L is the shared-file backend: one H5L container written in parallel by
+// every rank, chunk extents pre-reserved from predicted compressed sizes so
+// offsets are known before compression finishes, mispredictions relocated
+// to the overflow region, and scheduled writes coalesced through the
+// compressed data buffer (§4.2).
+const H5L = "h5l"
+
+func init() {
+	Register(h5lBackend{})
+	Register(bpBackend{})
+}
+
+type h5lBackend struct{}
+
+func (h5lBackend) Name() string { return H5L }
+
+func (h5lBackend) Create(fs *pfs.FS, name string, ranks int) (Snapshot, error) {
+	fw, err := h5.Create(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	return &h5Snapshot{name: name, fw: fw}, nil
+}
+
+func (h5lBackend) Open(fs *pfs.FS, name string) (SnapshotReader, error) {
+	fr, err := h5.Open(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	return h5Reader{fr}, nil
+}
+
+type h5Snapshot struct {
+	name   string
+	fw     *h5.FileWriter
+	nextDS atomic.Int64 // dataset identity counter for coalescing boundaries
+}
+
+func (s *h5Snapshot) Name() string { return s.name }
+
+func (s *h5Snapshot) CreateDataset(spec DatasetSpec) (DatasetWriter, error) {
+	filter := h5.FilterNone
+	if spec.Compressed {
+		filter = h5.FilterSZ
+	}
+	dw, err := s.fw.CreateDataset(spec.Name, spec.Dims, spec.ElemSize, filter,
+		spec.reservations(), spec.RawSizes, spec.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &h5Dataset{dw: dw, ds: int(s.nextDS.Add(1))}, nil
+}
+
+func (s *h5Snapshot) Close() (int, error) {
+	oc, _ := s.fw.OverflowStats()
+	return oc, s.fw.Close()
+}
+
+type h5Dataset struct {
+	dw *h5.DatasetWriter
+	ds int
+}
+
+func (d *h5Dataset) WriteChunk(i int, data []byte) (time.Duration, error) {
+	return d.dw.WriteChunk(i, data)
+}
+
+func (d *h5Dataset) Stage(i int, data []byte) (StagedChunk, error) {
+	off, err := d.dw.MarkChunk(i, int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	return h5Staged{ds: d.ds, off: off, data: data}, nil
+}
+
+// h5Staged is a chunk whose final shared-file offset is already fixed.
+type h5Staged struct {
+	ds   int
+	off  int64
+	data []byte
+}
+
+func (c h5Staged) Size() int64 { return int64(len(c.data)) }
+
+// NewChunkSink returns the compressed data buffer (§4.2): consecutive
+// writes into the same dataset's reserved extent coalesce into one span
+// (slack between chunks is zero-filled — it lies inside this dataset's own
+// reservation, so nothing else can live there). A dataset switch, a
+// backward offset (e.g. an overflow-relocated chunk), an oversized gap, or
+// reaching capacity flushes.
+func (s *h5Snapshot) NewChunkSink(bufferBytes int, onWrite WriteObserver) ChunkSink {
+	if bufferBytes <= 0 {
+		bufferBytes = 1 // degenerate: flush after every chunk
+	}
+	return &spanBuffer{fw: s.fw, cap: bufferBytes, onWrite: onWrite}
+}
+
+type spanBuffer struct {
+	fw      *h5.FileWriter
+	cap     int
+	onWrite WriteObserver
+
+	ds     int
+	start  int64
+	buf    []byte
+	blocks int
+}
+
+func (sb *spanBuffer) Write(c StagedChunk) error {
+	sc, ok := c.(h5Staged)
+	if !ok {
+		return errForeignChunk(H5L, c)
+	}
+	if sb.blocks > 0 {
+		end := sb.start + int64(len(sb.buf))
+		gap := sc.off - end
+		if sc.ds != sb.ds || gap < 0 || gap > int64(sb.cap) ||
+			len(sb.buf)+int(gap)+len(sc.data) > 2*sb.cap {
+			if err := sb.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if sb.blocks == 0 {
+		sb.ds = sc.ds
+		sb.start = sc.off
+	}
+	pad := int(sc.off - (sb.start + int64(len(sb.buf))))
+	for i := 0; i < pad; i++ {
+		sb.buf = append(sb.buf, 0)
+	}
+	sb.buf = append(sb.buf, sc.data...)
+	sb.blocks++
+	if len(sb.buf) >= sb.cap {
+		return sb.Flush()
+	}
+	return nil
+}
+
+func (sb *spanBuffer) Flush() error {
+	if sb.blocks == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	if _, err := sb.fw.WriteAtRaw(sb.start, sb.buf); err != nil {
+		return err
+	}
+	if sb.onWrite != nil {
+		sb.onWrite(int64(len(sb.buf)), time.Since(t0).Seconds())
+	}
+	sb.buf = sb.buf[:0]
+	sb.blocks = 0
+	return nil
+}
+
+type h5Reader struct {
+	fr *h5.FileReader
+}
+
+func (r h5Reader) Datasets() []string { return r.fr.Datasets() }
+
+func (r h5Reader) Attrs(dataset string) (map[string]string, error) {
+	dm, err := r.fr.Dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return dm.Attrs, nil
+}
+
+func (r h5Reader) ReadChunk(dataset string, i int) ([]byte, error) {
+	return r.fr.ReadChunk(dataset, i)
+}

@@ -1,4 +1,4 @@
-package simapp
+package storage
 
 import (
 	"bytes"
@@ -6,31 +6,18 @@ import (
 
 	"repro/internal/h5"
 	"repro/internal/pfs"
-	"repro/internal/predict"
 )
 
-// sbFixture builds a spanBuffer over a real (fast) file system so flushes
-// land in an inspectable file.
-func sbFixture(t *testing.T, capBytes int) (*spanBuffer, *pfs.FS, *h5.FileWriter) {
+// sbFixture builds the h5l chunk sink over a real (fast) file system so
+// flushes land in an inspectable file.
+func sbFixture(t *testing.T, capBytes int) (*spanBuffer, *pfs.FS) {
 	t.Helper()
-	cfg := pfs.Summit16()
-	cfg.PerOSTBandwidth = 1 << 34
-	cfg.Latency = 0
-	fs, err := pfs.New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	fs := fastFS(t)
 	fw, err := h5.Create(fs, "sb.h5l")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr := &rankRun{
-		cfg:   Config{},
-		fs:    fs,
-		stats: &runStats{},
-		ioP:   predict.NewIOPredictor(0.5),
-	}
-	return newSpanBuffer(rr, fw, capBytes), fs, fw
+	return &spanBuffer{fw: fw, cap: capBytes}, fs
 }
 
 func fileBytes(t *testing.T, fs *pfs.FS, off, n int64) []byte {
@@ -47,18 +34,18 @@ func fileBytes(t *testing.T, fs *pfs.FS, off, n int64) []byte {
 }
 
 func TestSpanBufferCoalescesContiguous(t *testing.T) {
-	sb, fs, _ := sbFixture(t, 1024)
+	sb, fs := sbFixture(t, 1024)
 	base := int64(100)
-	if err := sb.add(0, base, bytes.Repeat([]byte{1}, 10)); err != nil {
+	if err := sb.Write(h5Staged{ds: 0, off: base, data: bytes.Repeat([]byte{1}, 10)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := sb.add(0, base+10, bytes.Repeat([]byte{2}, 10)); err != nil {
+	if err := sb.Write(h5Staged{ds: 0, off: base + 10, data: bytes.Repeat([]byte{2}, 10)}); err != nil {
 		t.Fatal(err)
 	}
 	if sb.blocks != 2 {
 		t.Fatalf("blocks buffered: %d", sb.blocks)
 	}
-	if err := sb.flush(); err != nil {
+	if err := sb.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	got := fileBytes(t, fs, base, 20)
@@ -73,12 +60,12 @@ func TestSpanBufferCoalescesContiguous(t *testing.T) {
 }
 
 func TestSpanBufferGapFillWithinDataset(t *testing.T) {
-	sb, fs, _ := sbFixture(t, 1024)
+	sb, fs := sbFixture(t, 1024)
 	// Chunk at 100 (8 bytes actual of a 20-byte reservation), next chunk's
 	// reservation starts at 120: gap of 12 zero-filled.
-	sb.add(0, 100, bytes.Repeat([]byte{7}, 8))
-	sb.add(0, 120, bytes.Repeat([]byte{9}, 8))
-	if err := sb.flush(); err != nil {
+	sb.Write(h5Staged{ds: 0, off: 100, data: bytes.Repeat([]byte{7}, 8)})
+	sb.Write(h5Staged{ds: 0, off: 120, data: bytes.Repeat([]byte{9}, 8)})
+	if err := sb.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	got := fileBytes(t, fs, 100, 28)
@@ -98,34 +85,34 @@ func TestSpanBufferGapFillWithinDataset(t *testing.T) {
 }
 
 func TestSpanBufferFlushBoundaries(t *testing.T) {
-	sb, fs, _ := sbFixture(t, 64)
+	sb, fs := sbFixture(t, 64)
 	// Dataset switch flushes.
-	sb.add(0, 0, make([]byte, 8))
-	sb.add(1, 8, make([]byte, 8))
+	sb.Write(h5Staged{ds: 0, off: 0, data: make([]byte, 8)})
+	sb.Write(h5Staged{ds: 1, off: 8, data: make([]byte, 8)})
 	if _, writes := fs.Stats(); writes != 1 {
 		t.Fatal("dataset switch did not flush")
 	}
 	// Backward offset flushes (overflow-relocated chunk).
-	sb.add(1, 4, make([]byte, 8))
+	sb.Write(h5Staged{ds: 1, off: 4, data: make([]byte, 8)})
 	if _, writes := fs.Stats(); writes != 2 {
 		t.Fatal("backward offset did not flush")
 	}
 	// Oversized gap flushes.
-	sb.add(1, 4+8+1000, make([]byte, 8))
+	sb.Write(h5Staged{ds: 1, off: 4 + 8 + 1000, data: make([]byte, 8)})
 	if _, writes := fs.Stats(); writes != 3 {
 		t.Fatal("oversized gap did not flush")
 	}
 	// Capacity flushes immediately.
-	sb.flush()
-	sb.add(2, 5000, make([]byte, 64))
+	sb.Flush()
+	sb.Write(h5Staged{ds: 2, off: 5000, data: make([]byte, 64)})
 	if sb.blocks != 0 {
 		t.Fatal("capacity reach did not flush")
 	}
 }
 
 func TestSpanBufferEmptyFlushIsNoop(t *testing.T) {
-	sb, fs, _ := sbFixture(t, 64)
-	if err := sb.flush(); err != nil {
+	sb, fs := sbFixture(t, 64)
+	if err := sb.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	if _, writes := fs.Stats(); writes != 0 {

@@ -1,0 +1,166 @@
+// Package storage is the pluggable snapshot-container seam between the
+// in situ pipeline and the parallel I/O libraries underneath it. A Backend
+// abstracts one container format — creating a snapshot, registering
+// per-field chunked datasets (with offset reservation for shared-file
+// formats or append semantics for multi-file formats), staging compressed
+// chunks for scheduled background writes, coalescing those writes, and
+// reporting overflowed reservations.
+//
+// Two adapters ship with the package: H5L over internal/h5 (the paper's
+// shared-file HDF5 setting, pre-reserved extents + overflow region) and BP
+// over internal/bp (the §6 multi-file ADIOS-style future work, per-rank
+// appends, nothing to overflow). New formats register themselves with
+// Register and become selectable by name without touching any engine code.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// WriteObserver receives every completed storage write: the byte count and
+// the paced duration. Engines hook their I/O-time predictors and byte
+// counters here.
+type WriteObserver func(bytes int64, seconds float64)
+
+// DatasetSpec describes one chunked dataset at creation time.
+type DatasetSpec struct {
+	// Rank is the creating rank — multi-file backends route the dataset's
+	// chunks to this rank's sub-file; shared-file backends ignore it.
+	Rank int
+	Name string
+	Dims []int
+	// ElemSize is the unfiltered element width in bytes.
+	ElemSize int
+	// Compressed marks the chunks as filtered (SZ) rather than raw.
+	Compressed bool
+	// Reservations are predicted chunk sizes (with safety margin) for
+	// backends that pre-reserve extents so offsets are known before
+	// compression finishes. Append-semantics backends ignore them; when
+	// nil, RawSizes are used as the reservations.
+	Reservations []int64
+	// RawSizes records each chunk's unfiltered size for readers.
+	RawSizes []int64
+	Attrs    map[string]string
+}
+
+func (s DatasetSpec) reservations() []int64 {
+	if s.Reservations != nil {
+		return s.Reservations
+	}
+	return s.RawSizes
+}
+
+// StagedChunk is one compressed chunk whose bookkeeping is done but whose
+// bytes have not been written yet. It is opaque to engines: they obtain it
+// from DatasetWriter.Stage on the compressing rank and hand it — possibly
+// on a sibling rank, after intra-node balancing moved the write — to a
+// ChunkSink. Size supports buffer accounting and span attribution.
+type StagedChunk interface {
+	Size() int64
+}
+
+// DatasetWriter writes the chunks of one dataset.
+type DatasetWriter interface {
+	// WriteChunk stores chunk i synchronously (raw dumps, metadata blobs,
+	// final dumps) and returns the paced write duration.
+	WriteChunk(i int, data []byte) (time.Duration, error)
+	// Stage fixes chunk i's placement without writing: shared-file
+	// backends resolve the final offset now (relocating to the overflow
+	// region on a mispredicted reservation), append backends merely bind
+	// the chunk to its sub-file. The returned chunk is written later
+	// through any of the snapshot's ChunkSinks.
+	Stage(i int, data []byte) (StagedChunk, error)
+}
+
+// ChunkSink executes staged writes in scheduled order on behalf of one
+// rank. Shared-file backends coalesce adjacent chunks through a compressed
+// data buffer (§4.2); append backends write through. Flush forces out any
+// buffered bytes; a sink is not safe for concurrent use.
+type ChunkSink interface {
+	Write(c StagedChunk) error
+	Flush() error
+}
+
+// Snapshot is one dump's container, shared by every rank (parallel
+// writes); all methods are safe for concurrent use except as noted on
+// ChunkSink.
+type Snapshot interface {
+	Name() string
+	CreateDataset(spec DatasetSpec) (DatasetWriter, error)
+	// NewChunkSink returns a per-rank write path for staged chunks.
+	// bufferBytes caps the coalescing buffer where the backend has one;
+	// onWrite (may be nil) observes every completed storage write.
+	NewChunkSink(bufferBytes int, onWrite WriteObserver) ChunkSink
+	// Close finalizes the container and reports how many chunks overflowed
+	// their reservations (always zero for append backends).
+	Close() (overflowChunks int, err error)
+}
+
+// SnapshotReader reads a written snapshot for verification and tooling.
+type SnapshotReader interface {
+	Datasets() []string
+	Attrs(dataset string) (map[string]string, error)
+	ReadChunk(dataset string, i int) ([]byte, error)
+}
+
+// Backend abstracts one container format.
+type Backend interface {
+	// Name is the registry key and conventional file-name suffix.
+	Name() string
+	// Create opens a new snapshot (rank 0 only; the handle is shared).
+	Create(fs *pfs.FS, name string, ranks int) (Snapshot, error)
+	// Open parses a written snapshot.
+	Open(fs *pfs.FS, name string) (SnapshotReader, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register makes a backend selectable by name; registering a duplicate
+// name panics (a wiring bug).
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("storage: backend %q registered twice", b.Name()))
+	}
+	registry[b.Name()] = b
+}
+
+func errForeignChunk(backend string, c StagedChunk) error {
+	return fmt.Errorf("storage: %s sink got foreign chunk %T", backend, c)
+}
+
+// ByName resolves a registered backend.
+func ByName(name string) (Backend, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown backend %q (have %v)", name, names())
+	}
+	return b, nil
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return names()
+}
+
+func names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
