@@ -12,7 +12,13 @@ vet:
 test:
 	go test -race ./...
 
-# Regenerate every table/figure as a benchmark (slow; wall-clock figures run
-# real compression).
+# Tier-1 benchmarks (the virtual-time experiments; wall-clock figures are
+# excluded — their ns/op is modelled sleep time, not code under test) with a
+# machine-readable perf trajectory written to BENCH_JSON. Set
+# BENCH_BASELINE=prev.json to embed the previous numbers under "baseline".
+BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd'
+BENCH_JSON ?= BENCH_PR3.json
+BENCH_BASELINE ?=
 bench:
-	go test -bench=. -benchmem .
+	go test -run='^$$' -bench=$(BENCH_PATTERN) -benchmem -benchtime=1x -count=3 . \
+		| go run ./cmd/benchjson -o $(BENCH_JSON) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))

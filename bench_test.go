@@ -17,6 +17,7 @@ import (
 
 func benchExperiment(b *testing.B, run func(*obs.Recorder) (*experiments.Table, error)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab, err := run(nil)
 		if err != nil {

@@ -1,0 +1,162 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON file mapping benchmark name → ns/op, B/op, allocs/op
+// (averaged over -count repetitions), so the repository can keep a perf
+// trajectory (BENCH_PR3.json and successors) that future changes compare
+// against.
+//
+//	go test -run='^$' -bench=. -benchmem -count=3 . | benchjson -o BENCH_PR3.json
+//
+// With -baseline, a previously written file's measurements are embedded
+// under "baseline" in the output, so one artifact records before and after.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's averaged result.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// File is the on-disk schema.
+type File struct {
+	GoOS       string                 `json:"goos,omitempty"`
+	GoArch     string                 `json:"goarch,omitempty"`
+	Pkg        string                 `json:"pkg,omitempty"`
+	CPU        string                 `json:"cpu,omitempty"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+	Baseline   map[string]Measurement `json:"baseline,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo-8   3   123456 ns/op   7890 B/op   12 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output JSON file (default stdout)")
+	baseline := flag.String("baseline", "", "existing benchjson file to embed under \"baseline\"")
+	flag.Parse()
+
+	f := File{Benchmarks: map[string]Measurement{}}
+	sums := map[string]*Measurement{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			f.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		s := sums[name]
+		if s == nil {
+			s = &Measurement{}
+			sums[name] = s
+		}
+		s.NsPerOp += atof(m[2])
+		s.BytesPerOp += atof(m[3])
+		s.AllocsPerOp += atof(m[4])
+		s.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(sums) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	for name, s := range sums {
+		n := float64(s.Samples)
+		f.Benchmarks[name] = Measurement{
+			NsPerOp:     s.NsPerOp / n,
+			BytesPerOp:  s.BytesPerOp / n,
+			AllocsPerOp: s.AllocsPerOp / n,
+			Samples:     s.Samples,
+		}
+	}
+	if *baseline != "" {
+		blob, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var prev File
+		if err := json.Unmarshal(blob, &prev); err != nil {
+			fatal(fmt.Errorf("%s: %v", *baseline, err))
+		}
+		f.Baseline = prev.Benchmarks
+	}
+
+	blob, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		printSummary(&f)
+	}
+}
+
+// printSummary gives the human running `make bench` a quick table, with the
+// delta against the baseline when one is embedded.
+func printSummary(f *File) {
+	names := make([]string, 0, len(f.Benchmarks))
+	for name := range f.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, name := range names {
+		m := f.Benchmarks[name]
+		fmt.Fprintf(w, "%-28s %14.0f ns/op %14.0f B/op %10.0f allocs/op",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		if b, ok := f.Baseline[name]; ok && b.NsPerOp > 0 {
+			fmt.Fprintf(w, "  (%+.1f%% vs baseline)", 100*(m.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func atof(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad number %q: %v", s, err))
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

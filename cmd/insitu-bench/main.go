@@ -7,18 +7,24 @@
 //	insitu-bench -list                  # show available experiment IDs
 //	insitu-bench -trace t.json table1   # also write a Chrome trace
 //	insitu-bench -metrics fig7          # also print a metrics summary
+//	insitu-bench -cpuprofile cpu.pprof fig4   # profile for `go tool pprof`
+//	insitu-bench -memprofile mem.pprof fig6
 //
 // Output is plain aligned text, one table per experiment, matching the
 // rows/series the paper reports (EXPERIMENTS.md records a reference run).
 // The -trace output loads in Perfetto (https://ui.perfetto.dev) or
 // chrome://tracing; -metrics prints counters, distributions, and the
-// per-iteration planned-vs-actual makespans on stdout.
+// per-iteration planned-vs-actual makespans on stdout; -cpuprofile and
+// -memprofile write pprof profiles covering the selected experiments (the
+// profiles are flushed even when an experiment fails).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -26,10 +32,49 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main body so deferred cleanups (profile flushes) fire
+// before the process exits with a status code.
+func run() int {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto/about:tracing)")
 	metrics := flag.Bool("metrics", false, "print a metrics summary after the tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile for `go tool pprof`")
+	memProfile := flag.String("memprofile", "", "write an allocation profile for `go tool pprof`")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: cpu profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "insitu-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "insitu-bench: mem profile: %v\n", err)
+			}
+		}()
+	}
 
 	all := experiments.All()
 	if *list {
@@ -40,7 +85,7 @@ func main() {
 			}
 			fmt.Printf("%-14s %s\n", e.ID, kind)
 		}
-		return
+		return 0
 	}
 
 	want := flag.Args()
@@ -51,7 +96,7 @@ func main() {
 			e, ok := experiments.Find(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "insitu-bench: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -79,25 +124,26 @@ func main() {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "insitu-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := rec.WriteChromeTrace(f); err != nil {
 			fmt.Fprintf(os.Stderr, "insitu-bench: writing trace: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "insitu-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", *tracePath)
 	}
 	if *metrics {
 		if err := rec.WriteMetrics(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "insitu-bench: writing metrics: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -258,10 +258,15 @@ func PlanInput(data *IterationData) plan.Input {
 // reports the plan's Overall) and so the engine-parity test can compare this
 // against simapp's per-node planning.
 func PlanOurs(w *Workload, data *IterationData, pc PlanConfig) (*plan.IterationPlan, error) {
+	return planOurs(w, data, pc, nil)
+}
+
+func planOurs(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*plan.IterationPlan, error) {
 	return plan.Plan(PlanInput(data), plan.Config{
 		Algorithm:    pc.Algorithm,
 		Balance:      pc.Balance,
 		RanksPerNode: w.Cfg.RanksPerNode,
+		Rec:          rec,
 	})
 }
 
@@ -275,7 +280,7 @@ func actualFor(data *IterationData, ref plan.Ref) GroupJob {
 // durations and profiles.
 func simulateOurs(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
 	cfg := w.Cfg
-	p, err := PlanOurs(w, data, pc)
+	p, err := planOurs(w, data, pc, rec)
 	if err != nil {
 		return nil, err
 	}

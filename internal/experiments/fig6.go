@@ -39,14 +39,18 @@ func Figure6(rec *obs.Recorder) (*Table, error) {
 		}
 		return sz.BuildTree(huffman.Histogram(2*radius, codes))
 	}
+	scratch := sz.GetScratch() // one scratch serves every sequential Compress below
+	defer sz.PutScratch(scratch)
 	relRatio := func(g *fields.Generator, iter int, tree *huffman.Tree) (float64, error) {
 		data := g.Field(0, spec, iter)
-		_, fresh, err := sz.Compress(data, dims, sz.Options{ErrorBound: spec.ErrorBound, Radius: radius})
+		_, fresh, err := sz.Compress(data, dims, sz.Options{
+			ErrorBound: spec.ErrorBound, Radius: radius, Scratch: scratch,
+		})
 		if err != nil {
 			return 0, err
 		}
 		_, shared, err := sz.Compress(data, dims, sz.Options{
-			ErrorBound: spec.ErrorBound, Radius: radius, Tree: tree,
+			ErrorBound: spec.ErrorBound, Radius: radius, Tree: tree, Scratch: scratch,
 		})
 		if err != nil {
 			return 0, err

@@ -12,10 +12,6 @@ type bitWriter struct {
 	nbit uint   // number of valid bits in cur (0..63)
 }
 
-func newBitWriter(capHint int) *bitWriter {
-	return &bitWriter{buf: make([]byte, 0, capHint)}
-}
-
 // writeBits appends the low `n` bits of code, most-significant first.
 func (w *bitWriter) writeBits(code uint64, n uint) {
 	if n == 0 {

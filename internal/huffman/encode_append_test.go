@@ -1,0 +1,60 @@
+package huffman
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeAppendMatchesEncode(t *testing.T) {
+	freq := make([]uint64, 64)
+	var syms []uint16
+	for i := 0; i < 500; i++ {
+		s := uint16(i % 40) // symbols 40..63 stay zero-frequency → escaped
+		if i%17 == 0 {
+			s = uint16(40 + i%24)
+		}
+		freq[s%40]++
+		syms = append(syms, s)
+	}
+	tree, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantSt, err := tree.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A reused buffer must yield identical bytes and stats on every pass.
+	var buf []byte
+	for pass := 0; pass < 3; pass++ {
+		got, gotSt, err := tree.EncodeAppend(buf[:0], syms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pass %d: EncodeAppend bytes differ from Encode", pass)
+		}
+		if gotSt != wantSt {
+			t.Fatalf("pass %d: stats %+v != %+v", pass, gotSt, wantSt)
+		}
+		buf = got
+	}
+
+	// Appending after existing content keeps the prefix and counts only the
+	// new bits.
+	prefix := []byte("hdr")
+	out, st, err := tree.EncodeAppend(prefix, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:3], []byte("hdr")) {
+		t.Fatal("EncodeAppend clobbered the destination prefix")
+	}
+	if !bytes.Equal(out[3:], want) {
+		t.Fatal("EncodeAppend payload differs when appending to a prefix")
+	}
+	if st.Bits != wantSt.Bits {
+		t.Fatalf("Bits = %d with prefix, want %d (must not count pre-existing bytes)", st.Bits, wantSt.Bits)
+	}
+}

@@ -336,7 +336,15 @@ type EncodeStats struct {
 // (zero frequency at Build time, or beyond a stale shared tree's support) are
 // escaped. Symbols >= Alphabet() are rejected.
 func (t *Tree) Encode(syms []uint16) ([]byte, EncodeStats, error) {
-	w := newBitWriter(len(syms)/2 + 16)
+	return t.EncodeAppend(make([]byte, 0, len(syms)/2+16), syms)
+}
+
+// EncodeAppend is Encode with caller-owned output storage: the bitstream is
+// appended to dst (reusing its capacity) and the grown slice returned. Stats
+// count only the bits emitted by this call. dst may be nil.
+func (t *Tree) EncodeAppend(dst []byte, syms []uint16) ([]byte, EncodeStats, error) {
+	w := bitWriter{buf: dst}
+	base := len(dst) * 8
 	st := EncodeStats{Symbols: len(syms)}
 	escCode := t.codes[t.esc()]
 	escLen := uint(t.lens[t.esc()])
@@ -352,7 +360,7 @@ func (t *Tree) Encode(syms []uint16) ([]byte, EncodeStats, error) {
 		w.writeBits(uint64(escCode), escLen)
 		w.writeBits(uint64(s), t.escBits)
 	}
-	st.Bits = w.bitLen()
+	st.Bits = w.bitLen() - base
 	return w.finish(), st, nil
 }
 

@@ -9,7 +9,7 @@ import (
 )
 
 func TestBitWriterReaderRoundTrip(t *testing.T) {
-	w := newBitWriter(0)
+	w := &bitWriter{}
 	vals := []struct {
 		v uint64
 		n uint
@@ -41,7 +41,7 @@ func TestBitReaderUnderflow(t *testing.T) {
 }
 
 func TestBitWriterBitLen(t *testing.T) {
-	w := newBitWriter(0)
+	w := &bitWriter{}
 	w.writeBits(0b101, 3)
 	if got := w.bitLen(); got != 3 {
 		t.Fatalf("bitLen = %d, want 3", got)

@@ -1,0 +1,53 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestAppendCompressMatchesCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inputs := [][]byte{
+		nil,
+		[]byte("ab"),                       // below minMatch*2 → stored
+		bytes.Repeat([]byte("abcd"), 1000), // highly compressible
+		make([]byte, 4096),                 // zeros
+		randomBytes(rng, 4096),             // incompressible → stored fallback
+		append(randomBytes(rng, 100), bytes.Repeat([]byte{7}, 500)...),
+	}
+	var c Compressor
+	var buf []byte
+	for i, src := range inputs {
+		want := Compress(src)
+		// Same Compressor and buffer reused across wildly different inputs.
+		got := c.AppendCompress(buf[:0], src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("input %d: AppendCompress differs from Compress", i)
+		}
+		dec, err := Decompress(got)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("input %d: round trip mismatch", i)
+		}
+		buf = got
+	}
+
+	// Appending after existing content keeps the prefix intact.
+	src := bytes.Repeat([]byte("xyz"), 200)
+	out := c.AppendCompress([]byte("head"), src)
+	if !bytes.Equal(out[:4], []byte("head")) {
+		t.Fatal("AppendCompress clobbered the destination prefix")
+	}
+	if !bytes.Equal(out[4:], Compress(src)) {
+		t.Fatal("AppendCompress payload differs when appending to a prefix")
+	}
+}
+
+func randomBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}

@@ -41,18 +41,37 @@ const MaxDecodedLen = 1 << 30
 // is never more than len(src)+headerSize+len(src)/8+16 bytes and usually at
 // most len(src)+headerSize.
 func Compress(src []byte) []byte {
+	var c Compressor
+	return c.AppendCompress(make([]byte, 0, len(src)/2+64), src)
+}
+
+// Compressor carries the reusable match-finder state of the LZSS stage so
+// repeated calls avoid the per-call chain-table allocation. The zero value is
+// ready to use. A Compressor must not be used from multiple goroutines at
+// once; output produced by one is identical to package-level Compress.
+type Compressor struct {
+	prev []int32
+}
+
+// AppendCompress appends an LZSS-compressed copy of src to dst (reusing its
+// capacity) and returns the grown slice. The stream format and the
+// stored-verbatim fallback are exactly those of Compress. dst may be nil.
+func (c *Compressor) AppendCompress(dst, src []byte) []byte {
 	if len(src) < minMatch*2 {
-		return store(src)
+		return appendStore(dst, src)
 	}
-	dst := make([]byte, 0, len(src)/2+64)
+	base := len(dst)
 	dst = append(dst, modeLZ, 0, 0, 0, 0)
-	binary.BigEndian.PutUint32(dst[1:], uint32(len(src)))
+	binary.BigEndian.PutUint32(dst[base+1:], uint32(len(src)))
 
 	var head [hashSize]int32
 	for i := range head {
 		head[i] = -1
 	}
-	prev := make([]int32, len(src))
+	if cap(c.prev) < len(src) {
+		c.prev = make([]int32, len(src))
+	}
+	prev := c.prev[:len(src)]
 
 	hash := func(p int) uint32 {
 		v := binary.LittleEndian.Uint32(src[p:])
@@ -125,18 +144,17 @@ func Compress(src []byte) []byte {
 		dst = dst[:len(dst)-1] // drop the empty trailing control byte
 	}
 
-	if len(dst) >= len(src)+headerSize {
-		return store(src)
+	if len(dst)-base >= len(src)+headerSize {
+		return appendStore(dst[:base], src)
 	}
 	return dst
 }
 
-func store(src []byte) []byte {
-	dst := make([]byte, headerSize+len(src))
-	dst[0] = modeStored
-	binary.BigEndian.PutUint32(dst[1:], uint32(len(src)))
-	copy(dst[headerSize:], src)
-	return dst
+func appendStore(dst, src []byte) []byte {
+	base := len(dst)
+	dst = append(dst, modeStored, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[base+1:], uint32(len(src)))
+	return append(dst, src...)
 }
 
 func matchLen(src []byte, a, b int) int {

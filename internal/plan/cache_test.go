@@ -1,0 +1,142 @@
+package plan
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// figure1Input builds a multi-rank planning input where every rank presents
+// the Figure 1 golden instance (§3.1) — the exact situation the memo cache
+// exists for: one solve should serve all ranks.
+func figure1Input(ranks int) Input {
+	p := sched.Figure1Problem()
+	in := Input{Ranks: make([]RankInput, ranks)}
+	for r := range in.Ranks {
+		ri := RankInput{
+			Horizon:   p.Horizon,
+			CompHoles: append([]sched.Interval(nil), p.CompHoles...),
+			IOHoles:   append([]sched.Interval(nil), p.IOHoles...),
+		}
+		for _, j := range p.Jobs {
+			ri.Jobs = append(ri.Jobs, Job{ID: j.ID, PredComp: j.Comp, PredIO: j.IO})
+		}
+		in.Ranks[r] = ri
+	}
+	return in
+}
+
+// TestPlanMemoizationByteIdentical asserts that cached and uncached plans for
+// the Figure 1 golden instance serialize to exactly the same bytes, and that
+// the cache actually serves the duplicate ranks.
+func TestPlanMemoizationByteIdentical(t *testing.T) {
+	const ranks = 6
+	in := figure1Input(ranks)
+	for _, alg := range sched.Algorithms() {
+		cache := NewSolveCache(0)
+		cached, err := Plan(in, Config{Algorithm: alg, Cache: cache})
+		if err != nil {
+			t.Fatalf("%s cached: %v", alg, err)
+		}
+		uncached, err := Plan(in, Config{Algorithm: alg, DisableCache: true})
+		if err != nil {
+			t.Fatalf("%s uncached: %v", alg, err)
+		}
+		cb, err := json.Marshal(cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := json.Marshal(uncached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(cb) != string(ub) {
+			t.Fatalf("%s: cached and uncached IterationPlans differ\ncached:   %s\nuncached: %s", alg, cb, ub)
+		}
+		hits, misses := cache.Stats()
+		if misses != 1 || hits != ranks-1 {
+			t.Fatalf("%s: cache stats hits=%d misses=%d, want %d/1 (identical ranks share one solve)",
+				alg, hits, misses, ranks-1)
+		}
+		// A warm second planning call must hit for every rank and still
+		// produce the same bytes.
+		warm, err := Plan(in, Config{Algorithm: alg, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := json.Marshal(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wb) != string(cb) {
+			t.Fatalf("%s: warm plan differs from cold plan", alg)
+		}
+		if hits2, misses2 := cache.Stats(); misses2 != 1 || hits2 != 2*ranks-1 {
+			t.Fatalf("%s: warm stats hits=%d misses=%d, want %d/1", alg, hits2, misses2, 2*ranks-1)
+		}
+	}
+}
+
+// TestPlanMemoizationWithBalance covers the pass-2 path (releases on moved
+// writes) — balanced plans must also be identical with and without the cache.
+func TestPlanMemoizationWithBalance(t *testing.T) {
+	in := figure1Input(4)
+	// Skew the IO loads so balancing actually moves writes.
+	for r := range in.Ranks {
+		for i := range in.Ranks[r].Jobs {
+			in.Ranks[r].Jobs[i].PredIO *= float64(1 + r)
+		}
+	}
+	cfg := Config{Balance: true, RanksPerNode: 2, Cache: NewSolveCache(0)}
+	cached, err := Plan(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache, cfg.DisableCache = nil, true
+	uncached, err := Plan(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := json.Marshal(cached)
+	ub, _ := json.Marshal(uncached)
+	if string(cb) != string(ub) {
+		t.Fatalf("balanced plans differ:\ncached:   %s\nuncached: %s", cb, ub)
+	}
+}
+
+// TestPlanCacheCounters checks the obs export: hit/miss counts for one Plan
+// call must land on the recorder's counters.
+func TestPlanCacheCounters(t *testing.T) {
+	rec := obs.NewRecorder()
+	_, err := Plan(figure1Input(5), Config{Cache: NewSolveCache(0), Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("plan.solve.cache.miss"); got != 1 {
+		t.Fatalf("miss counter = %v, want 1", got)
+	}
+	if got := rec.Counter("plan.solve.cache.hit"); got != 4 {
+		t.Fatalf("hit counter = %v, want 4", got)
+	}
+}
+
+// TestSolveCacheBounded ensures the cache resets rather than growing without
+// bound.
+func TestSolveCacheBounded(t *testing.T) {
+	c := NewSolveCache(8)
+	for i := 0; i < 40; i++ {
+		p := sched.Figure1Problem()
+		p.Horizon += float64(i) // unique fingerprint each round
+		if _, _, err := c.solve(p, sched.ExtJohnsonBF); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("cache grew to %d entries, bound is 8", n)
+	}
+}

@@ -71,7 +71,7 @@ func TestEnginesConsumeIdenticalPlans(t *testing.T) {
 				rpn := tc.cfg.RanksPerNode
 				simPlan := &plan.IterationPlan{}
 				for base := 0; base < len(in.Ranks); base += rpn {
-					node, err := simapp.PlanNode(in.Ranks[base:base+rpn], tc.alg, tc.balance, base)
+					node, err := simapp.PlanNode(in.Ranks[base:base+rpn], tc.alg, tc.balance, base, nil)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -128,7 +128,7 @@ func TestParityCoversMovedWrites(t *testing.T) {
 	in := core.PlanInput(data)
 	moved := 0
 	for base := 0; base < len(in.Ranks); base += cfg.RanksPerNode {
-		node, err := simapp.PlanNode(in.Ranks[base:base+cfg.RanksPerNode], "", true, base)
+		node, err := simapp.PlanNode(in.Ranks[base:base+cfg.RanksPerNode], "", true, base, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

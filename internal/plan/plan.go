@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/balance"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -61,6 +62,41 @@ type Config struct {
 	// BaseRank is added to every Ref.Rank in the output, so a node-local
 	// planning call can emit globally meaningful origin ranks.
 	BaseRank int `json:"baseRank,omitempty"`
+
+	// Cache overrides the process-wide solve memo cache; nil selects
+	// DefaultSolveCache(). DisableCache turns memoization off entirely
+	// (every rank is solved afresh) — plans are byte-identical either way,
+	// so this exists for parity tests and solver benchmarking.
+	Cache        *SolveCache `json:"-"`
+	DisableCache bool        `json:"-"`
+	// Rec, when non-nil, receives the planner's cache counters
+	// (plan.solve.cache.hit / plan.solve.cache.miss) for this call.
+	Rec *obs.Recorder `json:"-"`
+}
+
+// solver returns the sched.Solve frontend for one Plan call: either the
+// memoizing cache or the raw solver, with hit/miss counts reported to
+// cfg.Rec when tracing.
+func (c Config) solver() func(*sched.Problem, sched.Algorithm) (*sched.Schedule, error) {
+	if c.DisableCache {
+		return sched.Solve
+	}
+	cache := c.Cache
+	if cache == nil {
+		cache = defaultSolveCache
+	}
+	rec := c.Rec
+	return func(p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, error) {
+		s, hit, err := cache.solve(p, alg)
+		if err == nil && rec.Enabled() {
+			if hit {
+				rec.Count("plan.solve.cache.hit", 1)
+			} else {
+				rec.Count("plan.solve.cache.miss", 1)
+			}
+		}
+		return s, err
+	}
 }
 
 func (c Config) algorithm() sched.Algorithm {
@@ -178,6 +214,7 @@ func Plan(in Input, cfg Config) (*IterationPlan, error) {
 		return nil, fmt.Errorf("plan: %d ranks not divisible into nodes of %d", n, rpn)
 	}
 	alg := cfg.algorithm()
+	solve := cfg.solver()
 
 	// Pass 1: every rank schedules its own jobs.
 	for r, ri := range in.Ranks {
@@ -191,7 +228,7 @@ func Plan(in Input, cfg Config) (*IterationPlan, error) {
 			})
 		}
 		rp.Problem = problem(ri, rp.Jobs)
-		s, err := sched.Solve(rp.Problem, alg)
+		s, err := solve(rp.Problem, alg)
 		if err != nil {
 			return nil, fmt.Errorf("plan: rank %d pass 1: %w", r, err)
 		}
@@ -263,7 +300,7 @@ func Plan(in Input, cfg Config) (*IterationPlan, error) {
 				})
 			}
 			rp.Problem = problem(ri, rp.Jobs)
-			s, err := sched.Solve(rp.Problem, alg)
+			s, err := solve(rp.Problem, alg)
 			if err != nil {
 				return nil, fmt.Errorf("plan: rank %d pass 2: %w", r, err)
 			}

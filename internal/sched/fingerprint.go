@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Fingerprint returns an exact identity key for the scheduling instance: two
+// problems have equal fingerprints iff horizon, hole lists, and job lists are
+// field-for-field identical (float64 bit patterns, so no rounding or hash
+// collisions). Callers should Normalize first so instances that differ only
+// in hole ordering or overlap compare equal. The key is used to memoize
+// Solve results — Solve is deterministic, so one schedule serves every
+// problem with the same fingerprint and algorithm.
+func (p *Problem) Fingerprint() string {
+	buf := make([]byte, 0, 8+8+16*(len(p.CompHoles)+len(p.IOHoles))+8+32*len(p.Jobs))
+	var b [8]byte
+	putF := func(f float64) {
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+		buf = append(buf, b[:]...)
+	}
+	putI := func(v int) {
+		binary.BigEndian.PutUint64(b[:], uint64(int64(v)))
+		buf = append(buf, b[:]...)
+	}
+	putF(p.Horizon)
+	putI(len(p.CompHoles))
+	for _, h := range p.CompHoles {
+		putF(h.Start)
+		putF(h.End)
+	}
+	putI(len(p.IOHoles))
+	for _, h := range p.IOHoles {
+		putF(h.Start)
+		putF(h.End)
+	}
+	putI(len(p.Jobs))
+	for _, j := range p.Jobs {
+		putI(j.ID)
+		putF(j.Comp)
+		putF(j.IO)
+		putF(j.Release)
+	}
+	return string(buf)
+}

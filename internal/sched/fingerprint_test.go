@@ -1,0 +1,41 @@
+package sched
+
+import "testing"
+
+func TestFingerprintIdentity(t *testing.T) {
+	a, b := Figure1Problem(), Figure1Problem()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical problems must share a fingerprint")
+	}
+
+	// Normalized instances that differ only in hole presentation must agree.
+	c := Figure1Problem()
+	c.CompHoles = []Interval{{6, 7}, {3, 3.5}, {3.5, 4}} // unsorted + split
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("normalized equivalent hole lists must share a fingerprint")
+	}
+
+	// Every field must be load-bearing.
+	for name, mutate := range map[string]func(*Problem){
+		"horizon":  func(p *Problem) { p.Horizon++ },
+		"compHole": func(p *Problem) { p.CompHoles[0].End += 0.25 },
+		"ioHole":   func(p *Problem) { p.IOHoles = nil },
+		"jobComp":  func(p *Problem) { p.Jobs[1].Comp += 1e-9 },
+		"jobIO":    func(p *Problem) { p.Jobs[2].IO *= 2 },
+		"jobID":    func(p *Problem) { p.Jobs[0].ID = 9 },
+		"release":  func(p *Problem) { p.Jobs[3].Release = 0.5 },
+		"dropJob":  func(p *Problem) { p.Jobs = p.Jobs[:3] },
+	} {
+		m := Figure1Problem()
+		mutate(m)
+		if m.Fingerprint() == a.Fingerprint() {
+			t.Fatalf("%s: mutated problem kept the same fingerprint", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package simapp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -81,11 +82,13 @@ func (rr *rankRun) maintainTree(sn storage.Snapshot, fi int, data []float32) (*h
 // root does at runtime: one call over the node's ranks, with BaseRank
 // translating node-local indices to global ones. Exported so the
 // engine-parity test can compare this against core's whole-world planning.
-func PlanNode(ranks []plan.RankInput, alg sched.Algorithm, balance bool, baseRank int) (*plan.IterationPlan, error) {
+// rec (may be nil) receives the planner's solve-cache counters.
+func PlanNode(ranks []plan.RankInput, alg sched.Algorithm, balance bool, baseRank int, rec *obs.Recorder) (*plan.IterationPlan, error) {
 	return plan.Plan(plan.Input{Ranks: ranks}, plan.Config{
 		Algorithm: alg,
 		Balance:   balance,
 		BaseRank:  baseRank,
+		Rec:       rec,
 	})
 }
 
@@ -162,7 +165,7 @@ func (rr *rankRun) planDump(sn storage.Snapshot, pending *pendingDump) (*dumpPla
 		for li, v := range gathered {
 			inputs[li] = v.(plan.RankInput)
 		}
-		p, err = PlanNode(inputs, cfg.Algorithm, cfg.Balance, rr.c.NodeRanks()[0])
+		p, err = PlanNode(inputs, cfg.Algorithm, cfg.Balance, rr.c.NodeRanks()[0], rr.rec())
 		if err != nil {
 			return nil, err
 		}
@@ -261,6 +264,7 @@ func (rr *rankRun) compressTask(dp *dumpPlan, chunk int, pending *pendingDump) f
 			ErrorBound: dp.eb[fi],
 			Radius:     rr.cfg.Radius,
 			Tree:       rr.trees[fi], // nil when sharing disabled
+			Scratch:    rr.scratch,   // main-thread tasks run sequentially
 			Rec:        rr.rec(),
 			Rank:       rr.rank(),
 			Block:      chunk,
@@ -332,17 +336,40 @@ func (rr *rankRun) finalDump(pending *pendingDump) error {
 		if err != nil {
 			return err
 		}
+		// The final dump has no computation to hide behind, so each rank
+		// compresses its own blocks on the worker pool (per-field, order-
+		// preserving — the file bytes match the serial path exactly) and
+		// writes them synchronously in block order.
 		sink := sn.NewChunkSink(rr.cfg.BufferBytes, rr.observeWrite)
-		for _, pj := range dp.rp.Jobs {
-			if pj.Origin.Rank != rr.rank() {
-				continue // every rank dumps its own blocks synchronously
-			}
-			if err := rr.compressTask(dp, pj.Origin.ID, pending)(); err != nil {
+		for fi := range rr.cfg.Specs {
+			blobs, sts, err := sz.CompressBlocks(context.Background(),
+				pending.data[fi], rr.cfg.Dims, rr.splits, sz.Options{
+					ErrorBound: dp.eb[fi],
+					Radius:     rr.cfg.Radius,
+					Tree:       rr.trees[fi], // nil when sharing disabled
+					Rec:        rr.rec(),
+					Rank:       rr.rank(),
+					Block:      fi * dp.nb,
+				}, 0)
+			if err != nil {
 				return err
 			}
-			res := rr.store.entry(blockKey{rr.rank(), pj.Origin.ID})
-			if err := sink.Write(res.staged); err != nil {
-				return err
+			for bi, blob := range blobs {
+				rr.ratioP.Observe(rr.blockPredKey(fi, bi), sts[bi].Ratio)
+				staged, err := dp.dsw[fi].Stage(bi, blob)
+				if err != nil {
+					return err
+				}
+				if err := sink.Write(staged); err != nil {
+					return err
+				}
+				rr.stats.mu.Lock()
+				rr.stats.rawBytes += int64(sts[bi].RawBytes)
+				rr.stats.ratioSum += sts[bi].Ratio
+				rr.stats.ratioN++
+				rr.stats.escaped += int64(sts[bi].Escaped)
+				rr.stats.points += int64(rr.splits[bi].Dims.N())
+				rr.stats.mu.Unlock()
 			}
 		}
 		if err := sink.Flush(); err != nil {

@@ -151,6 +151,7 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 			ioP:     predict.NewIOPredictor(0.6),
 			trees:   make(map[int]*huffman.Tree),
 			treeAge: make(map[int]int),
+			scratch: new(sz.Scratch),
 		}
 		return rr.run()
 	})
@@ -223,6 +224,11 @@ type rankRun struct {
 
 	trees   map[int]*huffman.Tree // per field index
 	treeAge map[int]int
+
+	// scratch backs this rank's sequential (main-thread) Compress calls for
+	// the whole run; finalDump's parallel workers draw pooled scratches of
+	// their own instead.
+	scratch *sz.Scratch
 
 	curIter int // execution iteration, for attributing planned makespans
 }

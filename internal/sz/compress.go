@@ -37,10 +37,30 @@ func Compress(data []float32, dims Dims, opt Options) ([]byte, Stats, error) {
 	radius := opt.radius()
 	st.RawBytes = 4 * len(data)
 
-	codes := make([]uint16, len(data))
-	recon := make([]float32, len(data))
-	ps := opt.buildPredictor(data, dims)
-	outliers := quantize(data, dims, opt.ErrorBound, radius, codes, recon, ps)
+	s := opt.Scratch
+	var codes []uint16
+	var recon []float32
+	if s != nil {
+		codes, recon = s.buffers(len(data))
+	} else {
+		codes = make([]uint16, len(data))
+		recon = make([]float32, len(data))
+	}
+	var ps *predictorState
+	if s != nil && opt.Predictor == PredLorenzo {
+		s.lorenzo = predictorState{kind: PredLorenzo}
+		ps = &s.lorenzo
+	} else {
+		ps = opt.buildPredictor(data, dims)
+	}
+	var outBuf []float32
+	if s != nil {
+		outBuf = s.outliers[:0]
+	}
+	outliers := quantize(data, dims, opt.ErrorBound, radius, codes, recon, ps, outBuf)
+	if s != nil {
+		s.outliers = outliers[:0]
+	}
 	st.Outliers = len(outliers)
 
 	var predBlob []byte
@@ -61,13 +81,30 @@ func Compress(data []float32, dims Dims, opt Options) ([]byte, Stats, error) {
 		st.TreeBytes = len(treeBlob)
 	}
 
-	huff, est, err := tree.Encode(codes)
+	var huff []byte
+	var est huffman.EncodeStats
+	var err error
+	if s != nil {
+		huff, est, err = tree.EncodeAppend(s.huff[:0], codes)
+		s.huff = huff[:0]
+	} else {
+		huff, est, err = tree.Encode(codes)
+	}
 	if err != nil {
 		return nil, st, fmt.Errorf("sz: encoding codes: %w", err)
 	}
 	st.Escaped = est.Escaped
 
-	body := make([]byte, 0, bodyHeaderSize+len(predBlob)+len(treeBlob)+len(huff)+4*len(outliers))
+	bodyCap := bodyHeaderSize + len(predBlob) + len(treeBlob) + len(huff) + 4*len(outliers)
+	var body []byte
+	if s != nil {
+		if cap(s.body) < bodyCap {
+			s.body = make([]byte, 0, bodyCap)
+		}
+		body = s.body[:0]
+	} else {
+		body = make([]byte, 0, bodyCap)
+	}
 	body = binary.BigEndian.AppendUint16(body, uint16(radius))
 	body = binary.BigEndian.AppendUint32(body, uint32(dims.X))
 	body = binary.BigEndian.AppendUint32(body, uint32(dims.Y))
@@ -85,6 +122,9 @@ func Compress(data []float32, dims Dims, opt Options) ([]byte, Stats, error) {
 	for _, v := range outliers {
 		body = binary.BigEndian.AppendUint32(body, math.Float32bits(v))
 	}
+	if s != nil {
+		s.body = body[:0]
+	}
 
 	flags := byte(0)
 	if opt.Tree == nil {
@@ -94,7 +134,14 @@ func Compress(data []float32, dims Dims, opt Options) ([]byte, Stats, error) {
 		flags |= flagPredictor
 	}
 	if !opt.DisableLossless {
-		if packed := lossless.Compress(body); len(packed) < len(body) {
+		var packed []byte
+		if s != nil {
+			packed = s.lz.AppendCompress(s.packed[:0], body)
+			s.packed = packed[:0]
+		} else {
+			packed = lossless.Compress(body)
+		}
+		if len(packed) < len(body) {
 			body = packed
 			flags |= flagLossless
 		}

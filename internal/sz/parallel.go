@@ -1,0 +1,100 @@
+package sz
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CompressBlocks compresses the fine-grained blocks of one dims-shaped parent
+// field on a bounded worker pool. Results are order-preserving — blobs[i] and
+// stats[i] belong to blocks[i] — and byte-identical to compressing each block
+// serially with Compress: every block is encoded independently, so
+// parallelism cannot change the output.
+//
+// workers bounds the pool size; <= 0 means runtime.GOMAXPROCS(0). Each worker
+// draws a pooled Scratch for its lifetime, so steady-state allocation stays
+// flat regardless of block count. Per-block options are derived from opt:
+// the block's trace attribution is opt.Block + blocks[i].Index, everything
+// else (bound, radius, shared tree, predictor, recorder) is shared.
+//
+// ctx cancellation (or any block failing to compress) stops the remaining
+// work; the first error is returned and the partial results are discarded.
+func CompressBlocks(ctx context.Context, parent []float32, dims Dims, blocks []Block, opt Options, workers int) ([][]byte, []Stats, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if !dims.valid() || dims.N() != len(parent) {
+		return nil, nil, fmt.Errorf("sz: dims %v do not match %d points", dims, len(parent))
+	}
+	for _, b := range blocks {
+		if b.Z0 < 0 || b.Dims.X != dims.X || b.Dims.Y != dims.Y || b.Z0+b.Dims.Z > dims.Z {
+			return nil, nil, fmt.Errorf("sz: block %d (%v at z=%d) outside parent %v", b.Index, b.Dims, b.Z0, dims)
+		}
+	}
+	if len(blocks) == 0 {
+		return nil, nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+
+	blobs := make([][]byte, len(blocks))
+	stats := make([]Stats, len(blocks))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := GetScratch()
+			defer PutScratch(scr)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				blk := blocks[i]
+				o := opt
+				o.Scratch = scr
+				o.Block = opt.Block + blk.Index
+				blob, st, err := Compress(blk.Slice(parent, dims), blk.Dims, o)
+				if err != nil {
+					fail(fmt.Errorf("sz: block %d: %w", blk.Index, err))
+					return
+				}
+				blobs[i], stats[i] = blob, st
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return blobs, stats, nil
+}

@@ -1,0 +1,191 @@
+package sz
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/huffman"
+)
+
+// compressSerial is the reference the pool must match: each block compressed
+// one after another with plain Compress (no scratch).
+func compressSerial(t *testing.T, parent []float32, dims Dims, blocks []Block, opt Options) ([][]byte, []Stats) {
+	t.Helper()
+	blobs := make([][]byte, len(blocks))
+	stats := make([]Stats, len(blocks))
+	for i, blk := range blocks {
+		o := opt
+		o.Block = opt.Block + blk.Index
+		blob, st, err := Compress(blk.Slice(parent, dims), blk.Dims, o)
+		if err != nil {
+			t.Fatalf("serial block %d: %v", i, err)
+		}
+		blobs[i], stats[i] = blob, st
+	}
+	return blobs, stats
+}
+
+func TestCompressBlocksMatchesSerial(t *testing.T) {
+	dims := Dims{X: 32, Y: 32, Z: 64}
+	data := smoothField3D(dims, 11)
+	blocks, err := Split(dims, 4*32*32*8) // 8 z-planes per block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 4 {
+		t.Fatalf("want several blocks, got %d", len(blocks))
+	}
+
+	const radius = 1024
+	codes, _, err := Quantize(data, dims, Options{ErrorBound: 1e-3, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(huffman.Histogram(2*radius, codes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"embedded-tree", Options{ErrorBound: 1e-3, Radius: radius}},
+		{"shared-tree", Options{ErrorBound: 1e-3, Radius: radius, Tree: tree}},
+		{"pred-auto", Options{ErrorBound: 1e-3, Radius: radius, Predictor: PredAuto}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wantBlobs, wantStats := compressSerial(t, data, dims, blocks, tc.opt)
+			for _, workers := range []int{0, 1, 4} {
+				gotBlobs, gotStats, err := CompressBlocks(context.Background(), data, dims, blocks, tc.opt, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				for i := range blocks {
+					if !bytes.Equal(gotBlobs[i], wantBlobs[i]) {
+						t.Fatalf("workers=%d block %d: parallel blob differs from serial", workers, i)
+					}
+					if gotStats[i] != wantStats[i] {
+						t.Fatalf("workers=%d block %d: stats %+v != %+v", workers, i, gotStats[i], wantStats[i])
+					}
+				}
+			}
+
+			// Every parallel blob must decompress to the serial reconstruction.
+			parts := make([][]float32, len(blocks))
+			for i, blob := range wantBlobs {
+				part, _, err := Decompress(blob, tc.opt.Tree)
+				if err != nil {
+					t.Fatalf("decompress block %d: %v", i, err)
+				}
+				parts[i] = part
+			}
+			full, err := Reassemble(blocks, parts, dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := MaxAbsError(data, full); got > 1e-3 {
+				t.Fatalf("max error %g exceeds bound", got)
+			}
+		})
+	}
+}
+
+func TestCompressBlocksCancel(t *testing.T) {
+	dims := Dims{X: 16, Y: 16, Z: 16}
+	data := smoothField3D(dims, 5)
+	blocks, err := Split(dims, 4*16*16*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CompressBlocks(ctx, data, dims, blocks, Options{ErrorBound: 1e-3}, 2); err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+}
+
+func TestCompressBlocksRejectsBadBlocks(t *testing.T) {
+	dims := Dims{X: 8, Y: 8, Z: 8}
+	data := smoothField3D(dims, 7)
+	bad := []Block{{Index: 0, Z0: 4, Dims: Dims{X: 8, Y: 8, Z: 8}}} // overruns Z
+	if _, _, err := CompressBlocks(context.Background(), data, dims, bad, Options{ErrorBound: 1e-3}, 1); err == nil {
+		t.Fatal("expected error for out-of-range block")
+	}
+}
+
+// TestCompressScratchParity pins the Options.Scratch contract: identical
+// bytes with and without a scratch, across reuses, and no aliasing between
+// the returned blob and scratch-backed memory.
+func TestCompressScratchParity(t *testing.T) {
+	dims := Dims{X: 24, Y: 24, Z: 24}
+	scratch := GetScratch()
+	defer PutScratch(scratch)
+	var prev []byte
+	for seed := int64(0); seed < 3; seed++ {
+		data := smoothField3D(dims, seed)
+		plain, st1, err := Compress(data, dims, Options{ErrorBound: 1e-3, Radius: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scr, st2, err := Compress(data, dims, Options{ErrorBound: 1e-3, Radius: 512, Scratch: scratch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain, scr) {
+			t.Fatalf("seed %d: scratch output differs from plain", seed)
+		}
+		if st1 != st2 {
+			t.Fatalf("seed %d: stats %+v != %+v", seed, st1, st2)
+		}
+		if prev != nil && bytes.Equal(prev, scr) {
+			t.Fatal("successive seeds produced identical blobs; test is vacuous")
+		}
+		// Reusing the scratch must not disturb blobs returned earlier.
+		keep := append([]byte(nil), scr...)
+		if _, _, err := Compress(smoothField3D(dims, seed+100), dims, Options{ErrorBound: 1e-3, Radius: 512, Scratch: scratch}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(keep, scr) {
+			t.Fatalf("seed %d: blob mutated by later scratch reuse", seed)
+		}
+		prev = scr
+	}
+}
+
+// TestCompressScratchAllocBudget is the steady-state allocation regression
+// guard: with a shared tree and a warmed-up Scratch, Compress may allocate
+// only the returned blob plus minimal slack.
+func TestCompressScratchAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	dims := Dims{X: 32, Y: 32, Z: 16}
+	data := smoothField3D(dims, 2)
+	const radius = 1024
+	codes, _, err := Quantize(data, dims, Options{ErrorBound: 1e-3, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(huffman.Histogram(2*radius, codes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := GetScratch()
+	defer PutScratch(scratch)
+	opt := Options{ErrorBound: 1e-3, Radius: radius, Tree: tree, Scratch: scratch}
+	// Warm the scratch so steady state is what gets measured.
+	if _, _, err := Compress(data, dims, opt); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 4.0
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := Compress(data, dims, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("steady-state Compress allocates %.1f objects/run, budget %.0f", allocs, budget)
+	}
+}

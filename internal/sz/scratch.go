@@ -1,0 +1,59 @@
+package sz
+
+import (
+	"sync"
+
+	"repro/internal/lossless"
+)
+
+// Scratch holds the reusable working state of one Compress call: quantization
+// codes, the reconstructed field, the outlier list, the Huffman bitstream and
+// body assembly buffers, the Lorenzo predictor state, and the LZSS match
+// finder. With a Scratch attached (Options.Scratch) and a shared tree,
+// steady-state Compress allocates only the returned blob.
+//
+// Ownership rules: a Scratch belongs to exactly one goroutine at a time —
+// it must never be shared concurrently, and a caller that hands its Scratch
+// to Compress must not touch it until Compress returns. Compress never leaks
+// scratch memory into its results: the returned blob is always freshly
+// allocated, so it stays valid after the Scratch is reused or pooled.
+//
+// The zero value is ready to use. Transient users should prefer
+// GetScratch/PutScratch so buffers are recycled across call sites; long-lived
+// owners (e.g. one per simulated rank) can simply embed a Scratch and keep it
+// for their lifetime.
+type Scratch struct {
+	codes    []uint16
+	recon    []float32
+	outliers []float32
+	huff     []byte
+	body     []byte
+	packed   []byte
+	lorenzo  predictorState
+	lz       lossless.Compressor
+}
+
+// buffers returns the codes and recon buffers sized for n points, growing the
+// backing arrays when needed.
+func (s *Scratch) buffers(n int) ([]uint16, []float32) {
+	if cap(s.codes) < n {
+		s.codes = make([]uint16, n)
+	}
+	if cap(s.recon) < n {
+		s.recon = make([]float32, n)
+	}
+	return s.codes[:n], s.recon[:n]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch fetches a Scratch from the process-wide pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns s to the pool. The caller must not use s (or any
+// compression output it wrongly retained from inside s) afterwards.
+func PutScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}

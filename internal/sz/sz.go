@@ -71,6 +71,11 @@ type Options struct {
 	Predictor PredictorKind
 	// DisableLossless skips the final LZSS pass (useful for ablations).
 	DisableLossless bool
+	// Scratch, when non-nil, supplies reusable working buffers so repeated
+	// Compress calls avoid per-call allocation churn (see Scratch for the
+	// ownership rules). The output never aliases scratch memory, and the
+	// compressed bytes are identical with or without a Scratch.
+	Scratch *Scratch
 
 	// Rec, when non-nil, receives one wall-clock span per Compress call
 	// (category "compress", with raw bytes and the achieved ratio) plus
@@ -136,8 +141,10 @@ var (
 // the *reconstructed* neighbours, which is what makes the error bound hold
 // after decompression; regression sub-blocks (PredAuto) predict from their
 // fitted plane. recon receives the reconstructed values (what Decompress
-// will produce).
-func quantize(data []float32, dims Dims, eb float64, radius int, codes []uint16, recon []float32, ps *predictorState) (outliers []float32) {
+// will produce). The outlier list is appended to outBuf (may be nil), so a
+// caller can recycle a previous call's backing array.
+func quantize(data []float32, dims Dims, eb float64, radius int, codes []uint16, recon []float32, ps *predictorState, outBuf []float32) (outliers []float32) {
+	outliers = outBuf
 	twoEB := 2 * eb
 	maxQ := radius - 1
 	nd := dims.ndim()
@@ -184,7 +191,7 @@ func Quantize(data []float32, dims Dims, opt Options) (codes []uint16, outliers 
 	codes = make([]uint16, len(data))
 	recon := make([]float32, len(data))
 	ps := opt.buildPredictor(data, dims)
-	outliers = quantize(data, dims, opt.ErrorBound, opt.radius(), codes, recon, ps)
+	outliers = quantize(data, dims, opt.ErrorBound, opt.radius(), codes, recon, ps, nil)
 	return codes, outliers, nil
 }
 
