@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 // Measurement is one benchmark's averaged result.
@@ -49,7 +51,13 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout)")
 	baseline := flag.String("baseline", "", "existing benchjson file to embed under \"baseline\"")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("benchjson"))
+		return
+	}
 
 	f := File{Benchmarks: map[string]Measurement{}}
 	sums := map[string]*Measurement{}

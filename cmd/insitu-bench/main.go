@@ -27,6 +27,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -43,7 +44,13 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "print a metrics summary after the tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile for `go tool pprof`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile for `go tool pprof`")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("insitu-bench"))
+		return 0
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

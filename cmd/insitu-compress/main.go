@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/fields"
 	"repro/internal/sz"
 )
@@ -28,7 +29,13 @@ func main() {
 	dimsArg := flag.String("dims", "", "field dims as XxYxZ (compress)")
 	eb := flag.Float64("eb", 1e-3, "absolute error bound (compress)")
 	radius := flag.Int("radius", 0, "quantization radius (0 = default 32768)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("insitu-compress"))
+		return
+	}
 
 	switch {
 	case *demo:

@@ -1,0 +1,220 @@
+// Command insitu-load drives a running insitu-served daemon with a
+// closed-loop workload of Table-1-style scheduling instances and reports
+// client-side latency/throughput plus the daemon's own serving counters.
+//
+//	insitu-load -addr http://127.0.0.1:8080 -c 16 -n 2000
+//	insitu-load -c 64 -d 10s -instances 4      # hot working set → coalescing
+//	insitu-load -alg Exact -jobs 12 -c 32      # heavy solves → shedding
+//
+// Closed loop means each of the -c workers keeps exactly one request in
+// flight: a new request is issued only when the previous one completes, so
+// offered concurrency (not offered rate) is the controlled variable — the
+// natural model for a fixed set of simulation ranks calling the planner.
+//
+// The instance pool is small and shared on purpose: duplicate concurrent
+// solves of the same instance exercise the daemon's single-flight
+// coalescing, repeats over time exercise its solve cache, and -instances 0
+// makes every request unique to defeat both.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	conc := flag.Int("c", 16, "closed-loop worker count (in-flight requests)")
+	total := flag.Int("n", 1000, "total requests to issue (0 = until -d elapses)")
+	dur := flag.Duration("d", 0, "run duration (0 = until -n requests)")
+	alg := flag.String("alg", "", "algorithm name (empty = server default)")
+	instances := flag.Int("instances", 8, "distinct instances in the pool (0 = every request unique)")
+	jobs := flag.Int("jobs", 32, "jobs per generated instance")
+	seed := flag.Int64("seed", 1, "instance generator seed")
+	timeoutMs := flag.Int("timeout", 0, "per-request timeoutMs sent to the server (0 = server default)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("insitu-load"))
+		return
+	}
+	if *total <= 0 && *dur <= 0 {
+		fatal(fmt.Errorf("need -n or -d"))
+	}
+
+	cfg := sched.DefaultGenConfig()
+	cfg.Jobs = *jobs
+	poolSize := *instances
+	unique := poolSize <= 0
+	if unique {
+		poolSize = 1024 // pre-generated ring of distinct instances
+	}
+	bodies := make([][]byte, poolSize)
+	rng := rand.New(rand.NewSource(*seed))
+	for i := range bodies {
+		p := sched.RandomProblem(rng, cfg)
+		blob, err := json.Marshal(solveRequest{Algorithm: *alg, Problem: p, TimeoutMs: *timeoutMs})
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = blob
+	}
+
+	before := scrapeMetrics(*addr)
+
+	var (
+		issued  atomic.Int64
+		mu      sync.Mutex
+		lats    []float64 // seconds, successful requests only
+		byCode  = map[int]int{}
+		netErrs int
+	)
+	client := &http.Client{Timeout: 5 * time.Minute}
+	stopAt := time.Time{}
+	if *dur > 0 {
+		stopAt = time.Now().Add(*dur)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(*seed + 1000 + int64(w)))
+			for {
+				n := issued.Add(1)
+				if *total > 0 && n > int64(*total) {
+					return
+				}
+				if !stopAt.IsZero() && time.Now().After(stopAt) {
+					return
+				}
+				body := bodies[wrng.Intn(len(bodies))]
+				t0 := time.Now()
+				resp, err := client.Post(*addr+"/v1/solve", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0).Seconds()
+				mu.Lock()
+				if err != nil {
+					netErrs++
+				} else {
+					byCode[resp.StatusCode]++
+					if resp.StatusCode == http.StatusOK {
+						lats = append(lats, lat)
+					}
+				}
+				mu.Unlock()
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := scrapeMetrics(*addr)
+	report(os.Stdout, elapsed, lats, byCode, netErrs, before, after)
+	if byCode[http.StatusOK] == 0 {
+		os.Exit(1)
+	}
+}
+
+// solveRequest mirrors server.SolveRequest without importing the package —
+// the load generator speaks only the wire protocol, like any real client.
+type solveRequest struct {
+	Algorithm string         `json:"algorithm,omitempty"`
+	Problem   *sched.Problem `json:"problem"`
+	TimeoutMs int            `json:"timeoutMs,omitempty"`
+}
+
+// scrapeMetrics fetches the daemon's /metrics snapshot; failures degrade to
+// the zero snapshot so the report simply omits server-side counters.
+func scrapeMetrics(addr string) obs.MetricsSnapshot {
+	var snap obs.MetricsSnapshot
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return snap
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		_ = json.NewDecoder(resp.Body).Decode(&snap)
+	}
+	return snap
+}
+
+func report(w io.Writer, elapsed time.Duration, lats []float64,
+	byCode map[int]int, netErrs int, before, after obs.MetricsSnapshot) {
+
+	totalDone := netErrs
+	codes := make([]int, 0, len(byCode))
+	for c, n := range byCode {
+		codes = append(codes, c)
+		totalDone += n
+	}
+	sort.Ints(codes)
+
+	fmt.Fprintf(w, "requests:   %d in %s (%.1f req/s)\n",
+		totalDone, elapsed.Round(time.Millisecond), float64(totalDone)/elapsed.Seconds())
+	for _, c := range codes {
+		label := http.StatusText(c)
+		switch c {
+		case http.StatusTooManyRequests:
+			label = "shed (queue full)"
+		case http.StatusGatewayTimeout:
+			label = "deadline exceeded"
+		}
+		fmt.Fprintf(w, "  %d %-18s %7d  (%5.1f%%)\n",
+			c, label, byCode[c], 100*float64(byCode[c])/float64(totalDone))
+	}
+	if netErrs > 0 {
+		fmt.Fprintf(w, "  network errors       %7d\n", netErrs)
+	}
+
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		q := func(p float64) float64 {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		fmt.Fprintf(w, "latency:    p50 %s  p90 %s  p99 %s  max %s\n",
+			fmtSec(q(0.50)), fmtSec(q(0.90)), fmtSec(q(0.99)), fmtSec(lats[len(lats)-1]))
+	}
+
+	if !before.Enabled || !after.Enabled {
+		fmt.Fprintln(w, "server:     /metrics unavailable")
+		return
+	}
+	delta := func(name string) float64 {
+		return after.Counters[name] - before.Counters[name]
+	}
+	fmt.Fprintf(w, "server:     coalesced %.0f  cache hit %.0f  cache miss %.0f  shed %.0f  deadline %.0f\n",
+		delta("server.coalesce.hit"), delta("server.solve.cache.hit"),
+		delta("server.solve.cache.miss"), delta("server.shed"), delta("server.deadline"))
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insitu-load:", err)
+	os.Exit(1)
+}

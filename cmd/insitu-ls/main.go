@@ -14,12 +14,18 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/buildinfo"
 	"repro/internal/h5"
 	"repro/internal/pfs"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("insitu-ls"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: insitu-ls <file.h5l>")
 		os.Exit(2)

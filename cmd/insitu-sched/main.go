@@ -35,6 +35,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
@@ -50,7 +51,13 @@ func main() {
 	tracePath := flag.String("trace", "", "write the plans as Chrome trace-event JSON (Perfetto/about:tracing)")
 	metrics := flag.Bool("metrics", false, "print a metrics summary after the charts")
 	jsonOut := flag.Bool("json", false, "emit the solved plans as JSON instead of Gantt charts")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("insitu-sched"))
+		return
+	}
 
 	var p *sched.Problem
 	switch {

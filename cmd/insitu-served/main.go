@@ -1,0 +1,138 @@
+// Command insitu-served runs the scheduler as a long-lived HTTP daemon: a
+// planning service with a bounded worker pool, fixed-depth admission queue
+// (429 + Retry-After once full), single-flight coalescing of identical
+// in-flight solves, a shared solve cache, and per-request deadlines.
+//
+//	insitu-served                          # listen on :8080 with defaults
+//	insitu-served -addr :9000 -pool 8      # 8 workers on port 9000
+//	insitu-served -queue 128 -deadline 10s # deeper queue, tighter default SLO
+//	insitu-served -metrics -trace t.json   # dump metrics/trace on shutdown
+//
+// Endpoints:
+//
+//	POST /v1/solve      one sched.Problem + algorithm → schedule
+//	POST /v1/plan       per-rank problems → balanced plan.IterationPlan
+//	GET  /v1/algorithms the available algorithm names
+//	GET  /healthz       200 ok / 503 draining
+//	GET  /metrics       the obs metrics snapshot as JSON
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
+// in-flight requests and queued tasks run to completion (bounded by the
+// shutdown grace period), then the worker pool exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the workers")
+	cacheSize := flag.Int("cache", 4096, "solve cache capacity in entries")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	maxBytes := flag.Int64("max-bytes", 8<<20, "maximum request body size in bytes")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file on shutdown")
+	metrics := flag.Bool("metrics", false, "print the metrics summary on shutdown")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("insitu-served"))
+		return
+	}
+
+	rec := obs.NewRecorder()
+	srv := server.New(server.Config{
+		PoolSize:        *pool,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxRequestBytes: *maxBytes,
+		Cache:           plan.NewSolveCache(*cacheSize),
+		Rec:             rec,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	fmt.Printf("insitu-served: listening on %s (pool=%d queue=%d deadline=%s)\n",
+		ln.Addr(), effectivePool(*pool), *queue, *deadline)
+
+	select {
+	case err := <-served:
+		// Serve only returns on listener failure; shutdown arrives via ctx.
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Fprintln(os.Stderr, "insitu-served: draining...")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-served: forced shutdown:", err)
+		hs.Close()
+	}
+	srv.Close()
+	if err := <-served; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "insitu-served: serve:", err)
+	}
+	fmt.Fprintln(os.Stderr, "insitu-served: drained")
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metrics {
+		if err := rec.WriteMetrics(os.Stdout); err != nil {
+			fatal(fmt.Errorf("writing metrics: %w", err))
+		}
+	}
+}
+
+func effectivePool(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insitu-served:", err)
+	os.Exit(1)
+}

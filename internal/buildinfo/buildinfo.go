@@ -1,0 +1,73 @@
+// Package buildinfo derives a human-readable version string for the cmd/
+// binaries from the information the Go toolchain embeds in every build
+// (runtime/debug.ReadBuildInfo): module version when built from a tagged
+// module, VCS revision and dirty flag when built from a checkout, and the
+// toolchain that produced the binary. Every binary exposes it behind a
+// -version flag so a deployed daemon can be matched to a commit.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders "tool version (go1.xx.y)" — e.g.
+//
+//	insitu-served devel+3f9c2ab (go1.24.0)
+//	insitu-sched v1.2.0 (go1.24.0)
+func String(tool string) string {
+	return fmt.Sprintf("%s %s (%s)", tool, Version(), runtime.Version())
+}
+
+// Version returns the best version identity available: the module version if
+// tagged, otherwise "devel" plus the (abbreviated) VCS revision, plus a
+// "-dirty" suffix when the working tree had local modifications.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		v += "+" + rev
+	}
+	if dirty {
+		v += "-dirty"
+	}
+	return v
+}
+
+// Settings returns selected build settings (vcs.*, -compiler) as one
+// "key=value key=value" line for verbose diagnostics; empty when the binary
+// carries no build info.
+func Settings() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var parts []string
+	for _, s := range bi.Settings {
+		if strings.HasPrefix(s.Key, "vcs") || s.Key == "-compiler" || s.Key == "GOARCH" || s.Key == "GOOS" {
+			parts = append(parts, s.Key+"="+s.Value)
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,28 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() returned empty string")
+	}
+	// Under `go test` the main module is uninstantiated, so the fallback
+	// path must kick in rather than returning "(devel)" verbatim.
+	if v == "(devel)" {
+		t.Fatalf("Version() = %q; want the devel fallback, not the raw module version", v)
+	}
+}
+
+func TestStringMentionsToolAndGo(t *testing.T) {
+	s := String("insitu-test")
+	if !strings.HasPrefix(s, "insitu-test ") {
+		t.Fatalf("String() = %q; want tool name prefix", s)
+	}
+	if !strings.Contains(s, "go1") {
+		t.Fatalf("String() = %q; want the Go toolchain version", s)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import "math"
+
+// Histogram support: latency-style value streams where the mean hides the
+// tail. Buckets are fixed exponential (doubling) upper bounds from 1µs to
+// ~134s — wide enough for queue waits, solve latencies, and request sizes —
+// plus an overflow bucket. Exact n/sum/min/max ride along, so the mean stays
+// exact and only the quantiles are bucket-resolution approximations.
+
+// histBounds are the inclusive upper bounds of the first len(histBounds)
+// buckets; values above the last bound land in the overflow bucket.
+var histBounds = func() []float64 {
+	b := make([]float64, 28)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// histogram is the recorder-internal accumulator.
+type histogram struct {
+	counts   []uint64 // len(histBounds)+1; last is overflow
+	n        int
+	sum      float64
+	min, max float64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	if h.counts == nil {
+		h.counts = make([]uint64, len(histBounds)+1)
+	}
+	h.counts[bucketIndex(v)]++
+}
+
+func bucketIndex(v float64) int {
+	// Binary search over the doubling bounds.
+	lo, hi := 0, len(histBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= histBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HistStats is an immutable histogram summary handed out by the Recorder.
+type HistStats struct {
+	N      int      `json:"n"`
+	Sum    float64  `json:"sum"`
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+	Counts []uint64 `json:"-"` // per-bucket counts, aligned with Bounds()
+}
+
+// Bounds returns the shared bucket upper bounds (the overflow bucket is
+// implicit after the last bound).
+func Bounds() []float64 { return append([]float64(nil), histBounds...) }
+
+// Mean returns Sum/N (0 when empty).
+func (s HistStats) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket that crosses the target rank, clamped to the exact
+// observed [Min, Max].
+func (s HistStats) Quantile(q float64) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.N)
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo, hi := bucketEdges(i)
+		if hi > s.Max {
+			hi = s.Max
+		}
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return s.Max
+}
+
+func bucketEdges(i int) (lo, hi float64) {
+	switch {
+	case i == 0:
+		return 0, histBounds[0]
+	case i < len(histBounds):
+		return histBounds[i-1], histBounds[i]
+	default:
+		return histBounds[len(histBounds)-1], math.Inf(1)
+	}
+}
+
+// ObserveHist folds v into the named histogram. Use it instead of Observe
+// when the tail matters (latencies, waits); both can coexist under different
+// names.
+func (r *Recorder) ObserveHist(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// HistSnapshot returns the named histogram's summary (zero HistStats if
+// absent). The returned Counts slice is a copy.
+func (r *Recorder) HistSnapshot(name string) HistStats {
+	if r == nil {
+		return HistStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return histStatsLocked(h)
+	}
+	return HistStats{}
+}
+
+func histStatsLocked(h *histogram) HistStats {
+	return HistStats{
+		N:      h.n,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+		Counts: append([]uint64(nil), h.counts...),
+	}
+}

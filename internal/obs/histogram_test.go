@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRecorder()
+	// 1..1000 ms as seconds: known quantiles.
+	for i := 1; i <= 1000; i++ {
+		r.ObserveHist("lat", float64(i)/1000)
+	}
+	s := r.HistSnapshot("lat")
+	if s.N != 1000 {
+		t.Fatalf("N = %d, want 1000", s.N)
+	}
+	if got, want := s.Mean(), 0.5005; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if s.Min != 0.001 || s.Max != 1.0 {
+		t.Fatalf("Min/Max = %v/%v, want 0.001/1", s.Min, s.Max)
+	}
+	// Doubling buckets: p50 must land within a factor of 2 of the true 0.5.
+	if p50 := s.Quantile(0.5); p50 < 0.25 || p50 > 1.0 {
+		t.Fatalf("p50 = %v, want within [0.25, 1]", p50)
+	}
+	if p0 := s.Quantile(0); p0 != s.Min {
+		t.Fatalf("Quantile(0) = %v, want Min %v", p0, s.Min)
+	}
+	if p1 := s.Quantile(1); p1 != s.Max {
+		t.Fatalf("Quantile(1) = %v, want Max %v", p1, s.Max)
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramNilAndMissing(t *testing.T) {
+	var r *Recorder
+	r.ObserveHist("x", 1) // must not panic
+	if s := r.HistSnapshot("x"); s.N != 0 {
+		t.Fatalf("nil recorder snapshot N = %d", s.N)
+	}
+	r2 := NewRecorder()
+	if s := r2.HistSnapshot("absent"); s.N != 0 {
+		t.Fatalf("missing histogram N = %d", s.N)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRecorder()
+	huge := histBounds[len(histBounds)-1] * 10
+	r.ObserveHist("big", huge)
+	s := r.HistSnapshot("big")
+	if s.Max != huge {
+		t.Fatalf("Max = %v, want %v", s.Max, huge)
+	}
+	if got := s.Quantile(0.99); got != huge {
+		t.Fatalf("overflow p99 = %v, want clamped Max %v", got, huge)
+	}
+}
+
+func TestMetricsSnapshotJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Count("reqs", 3)
+	r.Observe("ratio", 2.5)
+	r.ObserveHist("lat", 0.01)
+	r.Iteration(IterationStat{Mode: "ours", Planned: 1, Actual: 1.1, Overhead: 0.1})
+
+	snap := r.Metrics()
+	if !snap.Enabled {
+		t.Fatal("Enabled = false for live recorder")
+	}
+	if snap.Counters["reqs"] != 3 {
+		t.Fatalf("counter reqs = %v", snap.Counters["reqs"])
+	}
+	if snap.Hists["lat"].N != 1 {
+		t.Fatalf("hist lat N = %d", snap.Hists["lat"].N)
+	}
+	if len(snap.Iterations) != 1 || snap.Iterations[0].Mode != "ours" {
+		t.Fatalf("iterations = %+v", snap.Iterations)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.Bytes())
+	}
+	if back.Counters["reqs"] != 3 || back.Hists["lat"].N != 1 {
+		t.Fatalf("round-tripped snapshot lost data: %+v", back)
+	}
+
+	// Nil recorder: disabled, still valid JSON.
+	var nilRec *Recorder
+	buf.Reset()
+	if err := nilRec.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"enabled": false`) {
+		t.Fatalf("nil recorder JSON = %s", buf.String())
+	}
+}
+
+func TestWriteMetricsIncludesHistograms(t *testing.T) {
+	r := NewRecorder()
+	r.ObserveHist("server.solve.seconds", 0.002)
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "histograms") || !strings.Contains(out, "server.solve.seconds") {
+		t.Fatalf("WriteMetrics output missing histogram section:\n%s", out)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON metrics export: the machine-readable face of WriteMetrics, served by
+// the planning daemon's GET /metrics endpoint and usable by any tool that
+// wants to scrape a recorder (cmd/insitu-load folds it into its report).
+
+// MetricsSnapshot is one recorder's metrics state at a point in time. Spans
+// are summarized by count only — the full timeline belongs to the Chrome
+// trace exporter, not a metrics scrape.
+type MetricsSnapshot struct {
+	Enabled    bool                   `json:"enabled"`
+	Spans      int                    `json:"spans"`
+	Counters   map[string]float64     `json:"counters,omitempty"`
+	Dists      map[string]DistStats   `json:"dists,omitempty"`
+	Hists      map[string]HistSummary `json:"hists,omitempty"`
+	Iterations []IterationStat        `json:"iterations,omitempty"`
+}
+
+// DistStats is the JSON shape of a distribution summary.
+type DistStats struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// HistSummary is the JSON shape of a histogram: exact n/mean/min/max plus
+// bucket-interpolated quantiles.
+type HistSummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+}
+
+// Metrics returns the recorder's current metrics snapshot. A nil recorder
+// yields the zero snapshot with Enabled=false.
+func (r *Recorder) Metrics() MetricsSnapshot {
+	if r == nil {
+		return MetricsSnapshot{}
+	}
+	spans, counters, dists, hists, iters, _ := r.snapshot()
+	snap := MetricsSnapshot{Enabled: true, Spans: len(spans), Iterations: iters}
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]float64, len(counters))
+		for _, c := range counters {
+			snap.Counters[c.name] = c.value
+		}
+	}
+	if len(dists) > 0 {
+		snap.Dists = make(map[string]DistStats, len(dists))
+		for _, d := range dists {
+			snap.Dists[d.name] = DistStats{N: d.d.N, Mean: d.d.Mean(), Min: d.d.Min, Max: d.d.Max}
+		}
+	}
+	if len(hists) > 0 {
+		snap.Hists = make(map[string]HistSummary, len(hists))
+		for _, h := range hists {
+			snap.Hists[h.name] = HistSummary{
+				N:    h.h.N,
+				Mean: h.h.Mean(),
+				Min:  h.h.Min,
+				Max:  h.h.Max,
+				P50:  h.h.Quantile(0.5),
+				P90:  h.h.Quantile(0.9),
+				P99:  h.h.Quantile(0.99),
+			}
+		}
+	}
+	return snap
+}
+
+// WriteMetricsJSON writes the snapshot as one indented JSON document.
+func (r *Recorder) WriteMetricsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Metrics())
+}

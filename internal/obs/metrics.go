@@ -14,7 +14,7 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		_, err := io.WriteString(w, "== metrics == (recording disabled)\n")
 		return err
 	}
-	spans, counters, dists, iters, _ := r.snapshot()
+	spans, counters, dists, hists, iters, _ := r.snapshot()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "== metrics == (%d spans)\n", len(spans))
@@ -41,6 +41,23 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 			})
 		}
 		writeAligned(&b, []string{"  name", "n", "mean", "min", "max"}, rows)
+	}
+
+	if len(hists) > 0 {
+		b.WriteString("\nhistograms\n")
+		rows := make([][]string, 0, len(hists))
+		for _, h := range hists {
+			rows = append(rows, []string{
+				h.name,
+				fmt.Sprint(h.h.N),
+				fmt.Sprintf("%.4g", h.h.Mean()),
+				fmt.Sprintf("%.4g", h.h.Quantile(0.5)),
+				fmt.Sprintf("%.4g", h.h.Quantile(0.9)),
+				fmt.Sprintf("%.4g", h.h.Quantile(0.99)),
+				fmt.Sprintf("%.4g", h.h.Max),
+			})
+		}
+		writeAligned(&b, []string{"  name", "n", "mean", "p50", "p90", "p99", "max"}, rows)
 	}
 
 	if len(iters) > 0 {

@@ -77,11 +77,11 @@ type Span struct {
 
 // IterationStat is one iteration's predicted-vs-actual accounting.
 type IterationStat struct {
-	Seq      int     // assigned by the recorder in arrival order
-	Mode     string  // execution mode label
-	Planned  float64 // scheduler's predicted iteration makespan (0 = unplanned)
-	Actual   float64 // executed iteration end
-	Overhead float64 // (end - computeEnd) / computeEnd
+	Seq      int     `json:"seq"`                // assigned by the recorder in arrival order
+	Mode     string  `json:"mode"`               // execution mode label
+	Planned  float64 `json:"planned,omitempty"`  // scheduler's predicted iteration makespan (0 = unplanned)
+	Actual   float64 `json:"actual"`             // executed iteration end
+	Overhead float64 `json:"overhead,omitempty"` // (end - computeEnd) / computeEnd
 }
 
 // Dist summarizes an observed value stream.
@@ -110,6 +110,7 @@ type Recorder struct {
 	spans     []Span
 	counters  map[string]float64
 	dists     map[string]*Dist
+	hists     map[string]*histogram
 	iters     []IterationStat
 	procNames map[int]string
 }
@@ -120,6 +121,7 @@ func NewRecorder() *Recorder {
 		epoch:     time.Now(),
 		counters:  make(map[string]float64),
 		dists:     make(map[string]*Dist),
+		hists:     make(map[string]*histogram),
 		procNames: make(map[int]string),
 	}
 }
@@ -276,8 +278,9 @@ func (r *Recorder) Iterations() []IterationStat {
 }
 
 // snapshot returns deterministic copies for the exporters: spans in a total
-// order, counter/distribution names sorted, iterations in sequence order.
-func (r *Recorder) snapshot() (spans []Span, counters []counterKV, dists []distKV, iters []IterationStat, procNames map[int]string) {
+// order, counter/distribution/histogram names sorted, iterations in sequence
+// order.
+func (r *Recorder) snapshot() (spans []Span, counters []counterKV, dists []distKV, hists []histKV, iters []IterationStat, procNames map[int]string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	spans = append([]Span(nil), r.spans...)
@@ -305,12 +308,16 @@ func (r *Recorder) snapshot() (spans []Span, counters []counterKV, dists []distK
 		dists = append(dists, distKV{name, *d})
 	}
 	sort.Slice(dists, func(a, b int) bool { return dists[a].name < dists[b].name })
+	for name, h := range r.hists {
+		hists = append(hists, histKV{name, histStatsLocked(h)})
+	}
+	sort.Slice(hists, func(a, b int) bool { return hists[a].name < hists[b].name })
 	iters = append([]IterationStat(nil), r.iters...)
 	procNames = make(map[int]string, len(r.procNames))
 	for k, v := range r.procNames {
 		procNames[k] = v
 	}
-	return spans, counters, dists, iters, procNames
+	return spans, counters, dists, hists, iters, procNames
 }
 
 type counterKV struct {
@@ -321,4 +328,9 @@ type counterKV struct {
 type distKV struct {
 	name string
 	d    Dist
+}
+
+type histKV struct {
+	name string
+	h    HistStats
 }

@@ -9,6 +9,7 @@ package plan
 // to a fresh solve.
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/sched"
@@ -62,11 +63,21 @@ func (c *SolveCache) Reset() {
 	c.hits, c.misses = 0, 0
 }
 
-// solve is the memoized sched.Solve. It normalizes p (as Solve would), so
-// the stored Problem ends up byte-identical whether or not the lookup hits.
-// The returned Schedule is private to the caller: hits hand out a deep copy,
-// so one rank mutating placements cannot corrupt another's plan.
+// solve is Solve without a context, kept for callers that cannot be
+// cancelled (tests, benchmarks).
 func (c *SolveCache) solve(p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, bool, error) {
+	return c.Solve(context.Background(), p, alg)
+}
+
+// Solve is the memoized, cancellable sched.Solve and the cache's public
+// frontend (the planning daemon calls it directly, behind its single-flight
+// coalescer). It normalizes p (as sched.Solve would), so the stored Problem
+// ends up byte-identical whether or not the lookup hits. The returned
+// Schedule is private to the caller: hits hand out a deep copy, so one rank
+// mutating placements cannot corrupt another's plan. The reported hit flag
+// distinguishes a memo hit from a fresh solve. Context errors are never
+// cached — an abandoned solve leaves the entry absent for the next caller.
+func (c *SolveCache) Solve(ctx context.Context, p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, bool, error) {
 	if err := p.Normalize(); err != nil {
 		return nil, false, err
 	}
@@ -80,7 +91,7 @@ func (c *SolveCache) solve(p *sched.Problem, alg sched.Algorithm) (*sched.Schedu
 	c.misses++
 	c.mu.Unlock()
 
-	s, err := sched.Solve(p, alg)
+	s, err := sched.SolveCtx(ctx, p, alg)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,116 @@
+package plan
+
+// Concurrent stress for SolveCache, meant to run under -race: the daemon
+// hammers one shared cache from every worker at once, so the cache must keep
+// its counters consistent and must never let two callers share mutable
+// schedule state.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestSolveCacheConcurrentStress(t *testing.T) {
+	const (
+		workers  = 16
+		perRound = 64 // solves per worker
+		keys     = 5  // distinct (problem, algorithm) pairs, heavily shared
+	)
+	cfg := sched.DefaultGenConfig()
+	cfg.Jobs = 12
+
+	probs := make([]*sched.Problem, keys)
+	algs := make([]sched.Algorithm, keys)
+	want := make([][]byte, keys) // canonical schedule bytes per key
+	all := sched.Algorithms()
+	for i := range probs {
+		probs[i] = sched.RandomProblem(rand.New(rand.NewSource(int64(100+i))), cfg)
+		algs[i] = all[i%len(all)]
+		s, err := sched.Solve(probs[i], algs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = b
+	}
+
+	c := NewSolveCache(64)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perRound; i++ {
+				k := rng.Intn(keys)
+				// Fresh copy per call: Solve normalizes its argument in
+				// place, and concurrent callers must not share that either.
+				p := cloneProblem(probs[k])
+				s, _, err := c.Solve(context.Background(), p, algs[k])
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := json.Marshal(s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(got) != string(want[k]) {
+					t.Errorf("worker %d key %d: schedule diverged from canonical solve", w, k)
+					return
+				}
+				// Scribble over the result. If any two callers (or the cache
+				// itself) shared this memory, a later hit would return the
+				// scribbled bytes and fail the comparison above.
+				for j := range s.Placements {
+					s.Placements[j].CompStart = -1
+					s.Placements[j].IOEnd = 1e18
+				}
+				s.Makespan = -42
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits, misses := c.Stats()
+	if total := hits + misses; total != workers*perRound {
+		t.Fatalf("hits %d + misses %d = %d, want %d lookups", hits, misses, total, workers*perRound)
+	}
+	// Every key is solved at least once; the cache is big enough that no
+	// reset happens, so misses is exactly the number of first-touches plus
+	// any concurrent double-solves of the same key (two goroutines both miss
+	// before either stores). Bound it: at least one miss per key, at most one
+	// per worker per key.
+	if misses < keys {
+		t.Fatalf("misses = %d, want >= %d", misses, keys)
+	}
+	if misses > workers*keys {
+		t.Fatalf("misses = %d, want <= %d", misses, workers*keys)
+	}
+	if hits == 0 {
+		t.Fatal("stress run produced no cache hits")
+	}
+}
+
+func cloneProblem(p *sched.Problem) *sched.Problem {
+	out := *p
+	out.Jobs = append([]sched.Job(nil), p.Jobs...)
+	out.CompHoles = append([]sched.Interval(nil), p.CompHoles...)
+	out.IOHoles = append([]sched.Interval(nil), p.IOHoles...)
+	return &out
+}

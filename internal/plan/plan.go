@@ -15,6 +15,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -77,17 +78,17 @@ type Config struct {
 // solver returns the sched.Solve frontend for one Plan call: either the
 // memoizing cache or the raw solver, with hit/miss counts reported to
 // cfg.Rec when tracing.
-func (c Config) solver() func(*sched.Problem, sched.Algorithm) (*sched.Schedule, error) {
+func (c Config) solver() func(context.Context, *sched.Problem, sched.Algorithm) (*sched.Schedule, error) {
 	if c.DisableCache {
-		return sched.Solve
+		return sched.SolveCtx
 	}
 	cache := c.Cache
 	if cache == nil {
 		cache = defaultSolveCache
 	}
 	rec := c.Rec
-	return func(p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, error) {
-		s, hit, err := cache.solve(p, alg)
+	return func(ctx context.Context, p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, error) {
+		s, hit, err := cache.Solve(ctx, p, alg)
 		if err == nil && rec.Enabled() {
 			if hit {
 				rec.Count("plan.solve.cache.hit", 1)
@@ -201,6 +202,18 @@ func problem(ri RankInput, jobs []PlannedJob) *sched.Problem {
 // rank and a second scheduling pass places the adjusted job sets, with each
 // moved write released by its origin's pass-1 predicted compression end.
 func Plan(in Input, cfg Config) (*IterationPlan, error) {
+	return PlanCtx(context.Background(), in, cfg)
+}
+
+// PlanCtx is Plan with cooperative cancellation: the context is checked
+// before each per-rank solve (both passes) and threaded into the solver, so
+// a deadline abandons a multi-rank planning call between ranks instead of
+// running it to completion — the planning daemon's per-request deadlines
+// depend on this. A nil ctx behaves like context.Background().
+func PlanCtx(ctx context.Context, in Input, cfg Config) (*IterationPlan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(in.Ranks)
 	out := &IterationPlan{Ranks: make([]RankPlan, n)}
 	if n == 0 {
@@ -228,7 +241,7 @@ func Plan(in Input, cfg Config) (*IterationPlan, error) {
 			})
 		}
 		rp.Problem = problem(ri, rp.Jobs)
-		s, err := solve(rp.Problem, alg)
+		s, err := solve(ctx, rp.Problem, alg)
 		if err != nil {
 			return nil, fmt.Errorf("plan: rank %d pass 1: %w", r, err)
 		}
@@ -300,7 +313,7 @@ func Plan(in Input, cfg Config) (*IterationPlan, error) {
 				})
 			}
 			rp.Problem = problem(ri, rp.Jobs)
-			s, err := solve(rp.Problem, alg)
+			s, err := solve(ctx, rp.Problem, alg)
 			if err != nil {
 				return nil, fmt.Errorf("plan: rank %d pass 2: %w", r, err)
 			}

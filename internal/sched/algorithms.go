@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -48,6 +49,23 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 // Solve schedules the problem with the chosen algorithm. The problem is
 // normalized in place (holes sorted and merged).
 func Solve(p *Problem, alg Algorithm) (*Schedule, error) {
+	return SolveCtx(context.Background(), p, alg)
+}
+
+// SolveCtx is Solve with cooperative cancellation: it fails fast with the
+// context's error when ctx is already done, and the Exact branch-and-bound
+// checks the context as it searches, so a caller-imposed deadline actually
+// stops the solver instead of abandoning a running goroutine (the planning
+// daemon relies on this for its 504 path). The heuristics run in microseconds
+// and are not interrupted mid-flight. A nil ctx behaves like
+// context.Background().
+func SolveCtx(ctx context.Context, p *Problem, alg Algorithm) (*Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Normalize(); err != nil {
 		return nil, err
 	}
@@ -67,7 +85,7 @@ func Solve(p *Problem, alg Algorithm) (*Schedule, error) {
 		s = twoListsGreedy(p)
 	case Exact:
 		var err error
-		s, err = solveExact(p)
+		s, err = solveExact(ctx, p)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSolveCtxFailsFastWhenDone: an already-expired context short-circuits
+// every algorithm before any work happens.
+func TestSolveCtxFailsFastWhenDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Figure1Problem()
+	for _, alg := range append(Algorithms(), Exact) {
+		if _, err := SolveCtx(ctx, p, alg); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", alg, err)
+		}
+	}
+}
+
+// TestSolveCtxNilBehavesLikeBackground: nil is the "cannot cancel" context.
+func TestSolveCtxNilBehavesLikeBackground(t *testing.T) {
+	s, err := SolveCtx(nil, Figure1Problem(), ExtJohnsonBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Solve(Figure1Problem(), ExtJohnsonBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Overall != ref.Overall {
+		t.Fatalf("nil-ctx overall %v != background overall %v", s.Overall, ref.Overall)
+	}
+}
+
+// cancelAfterPolls reports Err() == Canceled starting from the nth call —
+// a deterministic stand-in for "the deadline fired mid-search".
+type cancelAfterPolls struct {
+	context.Context
+	calls, after int
+}
+
+func (c *cancelAfterPolls) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSolveExactCtxCancelsMidSearch: once the search is past its entry check
+// the next context poll must abort it with the context's error.
+func TestSolveExactCtxCancelsMidSearch(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Jobs = MaxExactJobs
+	p := RandomProblem(rand.New(rand.NewSource(3)), cfg)
+	ctx := &cancelAfterPolls{Context: context.Background(), after: 1}
+	start := time.Now()
+	res, err := SolveExactCtx(ctx, p, 1<<40)
+	if err == nil {
+		// The search may legitimately finish before the first poll window
+		// (8k nodes) on an easy instance; then it must be optimal.
+		if !res.Optimal {
+			t.Fatalf("no error but non-optimal result (nodes=%d)", res.Nodes)
+		}
+		if res.Nodes > 2*ctxPollEvery {
+			t.Fatalf("searched %d nodes past a cancelled context", res.Nodes)
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

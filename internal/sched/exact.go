@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -25,8 +26,8 @@ type ExactResult struct {
 // branch-and-bound over both permutations, using ASAP compaction (every
 // feasible schedule is dominated by the ASAP schedule of the orders it
 // induces, so searching order pairs is exhaustive).
-func solveExact(p *Problem) (*Schedule, error) {
-	res, err := SolveExact(p, DefaultExactNodeLimit)
+func solveExact(ctx context.Context, p *Problem) (*Schedule, error) {
+	res, err := SolveExactCtx(ctx, p, DefaultExactNodeLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -35,6 +36,20 @@ func solveExact(p *Problem) (*Schedule, error) {
 
 // SolveExact runs the exact solver with an explicit node budget.
 func SolveExact(p *Problem, nodeLimit int64) (*ExactResult, error) {
+	return SolveExactCtx(context.Background(), p, nodeLimit)
+}
+
+// SolveExactCtx is SolveExact with cooperative cancellation: the search
+// polls ctx every few thousand branch-and-bound nodes and returns ctx's
+// error when it fires, so a deadline bounds the worst-case m!·m! search in
+// wall-clock terms, not just node count. A nil ctx never cancels.
+func SolveExactCtx(ctx context.Context, p *Problem, nodeLimit int64) (*ExactResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Normalize(); err != nil {
 		return nil, err
 	}
@@ -62,6 +77,7 @@ func SolveExact(p *Problem, nodeLimit int64) (*ExactResult, error) {
 
 	e := &exactSearch{
 		p:         p,
+		ctx:       ctx,
 		nodeLimit: nodeLimit,
 		best:      best,
 		bestVal:   best.Overall,
@@ -87,6 +103,9 @@ func SolveExact(p *Problem, nodeLimit int64) (*ExactResult, error) {
 		e.ioLoadLB = earliest + e.sumIOAll
 	}
 	e.dfsComp(newTimeline(p.CompHoles), make([]float64, m))
+	if e.cancelled {
+		return nil, ctx.Err()
+	}
 
 	e.best.Algorithm = Exact
 	return &ExactResult{Schedule: e.best, Optimal: !e.capped, Nodes: e.nodes}, nil
@@ -94,9 +113,12 @@ func SolveExact(p *Problem, nodeLimit int64) (*ExactResult, error) {
 
 type exactSearch struct {
 	p         *Problem
+	ctx       context.Context
 	nodeLimit int64
 	nodes     int64
+	lastPoll  int64 // node count at the previous ctx poll
 	capped    bool
+	cancelled bool
 
 	compOrder []int
 	used      []bool
@@ -108,7 +130,22 @@ type exactSearch struct {
 	bestVal   float64
 }
 
+// ctxPollEvery is how many branch-and-bound nodes may elapse between context
+// polls: rare enough to stay off the profile, frequent enough (< 1ms of
+// search) that a deadline stops the solver promptly.
+const ctxPollEvery = 8192
+
 func (e *exactSearch) done() bool {
+	if e.cancelled {
+		return true
+	}
+	if e.nodes-e.lastPoll >= ctxPollEvery {
+		e.lastPoll = e.nodes
+		if e.ctx.Err() != nil {
+			e.cancelled = true
+			return true
+		}
+	}
 	if e.nodes >= e.nodeLimit {
 		e.capped = true
 		return true

@@ -1,0 +1,124 @@
+package server
+
+// Single-flight coalescing for /v1/solve: when N identical solves (same
+// algorithm, same sched.Fingerprint) are in flight at once, exactly one
+// enters the admission queue and executes; the other N-1 wait on its result
+// without consuming a queue slot or a worker. This sits *in front of* the
+// SolveCache: the cache dedupes across time, the coalescer dedupes across
+// concurrent requests — without it, a thundering herd of one hot instance
+// would occupy every worker computing the same schedule before the first
+// one lands in the cache.
+//
+// Cancellation is refcounted: every joined request holds one reference, a
+// request abandoned by its deadline detaches, and when the last reference
+// drops before the result is published the flight's context is cancelled —
+// which cancels the solver itself (sched.SolveCtx), not just the waiters.
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// flight is one in-flight solve shared by every identical concurrent
+// request.
+type flight struct {
+	// ctx governs the shared execution; cancel fires when the last joined
+	// request detaches (or, harmlessly, after publish).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done chan struct{} // closed by publish
+	s    *sched.Schedule
+	err  error
+
+	mu        sync.Mutex
+	refs      int
+	published bool
+}
+
+// coalescer tracks in-flight solves by key. Completed flights are removed
+// immediately — later duplicates are served by the SolveCache instead.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// join registers the caller on the key's flight, creating it if absent.
+// leader is true for the creator, who must arrange execution and eventually
+// publish; every caller (leader included) must either wait out f.done or
+// detach.
+func (c *coalescer) join(key string) (f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok && f.ctx.Err() == nil {
+		// A flight whose context is already cancelled (every earlier waiter
+		// abandoned it before its queued task ran) is doomed to publish a
+		// context error; a fresh request must not inherit that fate, so it
+		// starts its own flight instead.
+		f.mu.Lock()
+		f.refs++
+		f.mu.Unlock()
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f = &flight{ctx: ctx, cancel: cancel, done: make(chan struct{}), refs: 1}
+	c.flights[key] = f
+	return f, true
+}
+
+// detach drops one reference; when the last reference goes before publish,
+// the flight's context is cancelled so the solver stops.
+func (f *flight) detach() {
+	f.mu.Lock()
+	f.refs--
+	last := f.refs == 0 && !f.published
+	f.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// publish records the result, wakes every waiter, releases the flight's
+// context, and removes the flight from the map (under the coalescer's lock,
+// so a new identical request starts a fresh flight — typically a cache hit).
+func (c *coalescer) publish(key string, f *flight, s *sched.Schedule, err error) {
+	c.mu.Lock()
+	// Only remove our own entry: an abandoned flight may have been replaced
+	// by a fresh one under the same key (see join), which must survive.
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	c.mu.Unlock()
+	f.mu.Lock()
+	f.s, f.err = s, err
+	f.published = true
+	f.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}
+
+// result returns the published schedule. The leader takes the original;
+// every other waiter gets its own deep copy, so no two requests share
+// mutable placements.
+func (f *flight) result(leader bool) (*sched.Schedule, error) {
+	if f.err != nil || f.s == nil {
+		return nil, f.err
+	}
+	if leader {
+		return f.s, nil
+	}
+	return cloneSchedule(f.s), nil
+}
+
+func cloneSchedule(s *sched.Schedule) *sched.Schedule {
+	out := *s
+	out.Placements = make([]sched.Placement, len(s.Placements))
+	copy(out.Placements, s.Placements)
+	return &out
+}

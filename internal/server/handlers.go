@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+// SolveRequest is the POST /v1/solve body: one scheduling instance plus the
+// algorithm name (empty selects ExtJohnson+BF, the paper's pick) and an
+// optional per-request deadline.
+type SolveRequest struct {
+	Algorithm string        `json:"algorithm,omitempty"`
+	Problem   sched.Problem `json:"problem"`
+	TimeoutMs int           `json:"timeoutMs,omitempty"`
+}
+
+// SolveResponse is the POST /v1/solve reply. Cached reports a SolveCache
+// memo hit; Coalesced reports that this request shared another request's
+// in-flight execution (in which case Cached is unknown and left false).
+type SolveResponse struct {
+	Algorithm sched.Algorithm `json:"algorithm"`
+	Schedule  *sched.Schedule `json:"schedule"`
+	Cached    bool            `json:"cached,omitempty"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+}
+
+// PlanRequest is the POST /v1/plan body: the full per-rank planning input
+// and the plan.Config knobs (schedule → §3.4 balance → re-schedule).
+type PlanRequest struct {
+	Input        plan.Input `json:"input"`
+	Algorithm    string     `json:"algorithm,omitempty"`
+	Balance      bool       `json:"balance,omitempty"`
+	RanksPerNode int        `json:"ranksPerNode,omitempty"`
+	BaseRank     int        `json:"baseRank,omitempty"`
+	TimeoutMs    int        `json:"timeoutMs,omitempty"`
+}
+
+// PlanResponse is the POST /v1/plan reply: the same plan.IterationPlan both
+// execution engines consume, plus its predicted iteration duration.
+type PlanResponse struct {
+	Plan    *plan.IterationPlan `json:"plan"`
+	Overall float64             `json:"overall"`
+}
+
+// AlgorithmsResponse is the GET /v1/algorithms reply.
+type AlgorithmsResponse struct {
+	Algorithms []sched.Algorithm `json:"algorithms"`
+	Default    sched.Algorithm   `json:"default"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.rec.Count("server.solve.requests", 1)
+	var req SolveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	alg := sched.ExtJohnsonBF
+	if req.Algorithm != "" {
+		var err error
+		if alg, err = sched.ParseAlgorithm(req.Algorithm); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if err := req.Problem.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.deadlineCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	key := string(alg) + "\x00" + req.Problem.Fingerprint()
+	f, leader := s.flight.join(key)
+	cached := false
+	if leader {
+		t := &task{enq: time.Now(), done: make(chan struct{}), ctx: f.ctx}
+		t.run = func(tctx context.Context) {
+			var (
+				sch *sched.Schedule
+				hit bool
+				err error
+			)
+			defer func() {
+				if rec := recover(); rec != nil {
+					sch, err = nil, &panicError{val: rec}
+					s.rec.Count("server.panic", 1)
+				}
+				s.flight.publish(key, f, sch, err)
+			}()
+			start := s.rec.Now()
+			sch, hit, err = s.cfg.Cache.Solve(tctx, &req.Problem, alg)
+			if err == nil {
+				s.observeSolve("solve", start, hit)
+				cached = hit
+			}
+		}
+		if err := s.submit(t); err != nil {
+			// The flight must always resolve, or later joiners would hang
+			// on a dead entry; shed errors propagate to every waiter.
+			s.flight.publish(key, f, nil, err)
+		}
+	} else {
+		s.rec.Count("server.coalesce.hit", 1)
+	}
+
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		f.detach()
+		s.rec.Count("server.deadline", 1)
+		writeError(w, http.StatusGatewayTimeout, ctx.Err().Error())
+		return
+	}
+	sch, err := f.result(leader)
+	if err != nil {
+		s.writeTaskError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{
+		Algorithm: alg,
+		Schedule:  sch,
+		Cached:    leader && cached,
+		Coalesced: !leader,
+	})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.rec.Count("server.plan.requests", 1)
+	var req PlanRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg := plan.Config{
+		Balance:      req.Balance,
+		RanksPerNode: req.RanksPerNode,
+		BaseRank:     req.BaseRank,
+		Cache:        s.cfg.Cache,
+		Rec:          s.rec,
+	}
+	if req.Algorithm != "" {
+		alg, err := sched.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		cfg.Algorithm = alg
+	}
+	ctx, cancel := s.deadlineCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	var (
+		p       *plan.IterationPlan
+		planErr error
+	)
+	t := &task{enq: time.Now(), done: make(chan struct{}), ctx: ctx}
+	t.run = func(tctx context.Context) {
+		start := s.rec.Now()
+		p, planErr = plan.PlanCtx(tctx, req.Input, cfg)
+		if planErr == nil {
+			s.observeSolve("plan", start, false)
+		}
+	}
+	if err := s.submit(t); err != nil {
+		s.writeTaskError(w, err)
+		return
+	}
+
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		// The queued task will fail fast when a worker picks it up: its
+		// context (this one) is already expired.
+		s.rec.Count("server.deadline", 1)
+		writeError(w, http.StatusGatewayTimeout, ctx.Err().Error())
+		return
+	}
+	if t.err != nil {
+		s.writeTaskError(w, t.err)
+		return
+	}
+	if planErr != nil {
+		s.writeTaskError(w, planErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{Plan: p, Overall: p.Overall()})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, AlgorithmsResponse{
+		Algorithms: append(sched.Algorithms(), sched.Exact),
+		Default:    sched.ExtJohnsonBF,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.rec.Metrics())
+}
+
+// observeSolve records one successful execution's latency histogram, cache
+// counters, and a wall-clock trace span.
+func (s *Server) observeSolve(kind string, start time.Time, hit bool) {
+	if !s.rec.Enabled() {
+		return
+	}
+	end := s.rec.Now()
+	s.rec.ObserveHist("server."+kind+".seconds", end.Sub(start).Seconds())
+	if kind == "solve" {
+		if hit {
+			s.rec.Count("server.solve.cache.hit", 1)
+		} else {
+			s.rec.Count("server.solve.cache.miss", 1)
+		}
+	}
+	s.rec.WallSpan(obs.Span{
+		Name: kind, Cat: "serve", Thread: obs.ThreadMain, Block: obs.NoBlock,
+	}, start, end)
+}
+
+// decode reads the size-limited JSON request body into v, writing the error
+// response itself (413 for an oversized body, 400 otherwise) and returning
+// false on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.rec.Count("server.request.too_large", 1)
+			writeError(w, http.StatusRequestEntityTooLarge, mbe.Error())
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeTaskError maps an execution error to its HTTP status: shed → 429
+// (with Retry-After so well-behaved clients back off), draining → 503,
+// context expiry → 504, panic or anything else → 500.
+func (s *Server) writeTaskError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.rec.Count("server.deadline", 1)
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,257 @@
+// Package server turns the planning pipeline into a long-lived service: a
+// stdlib net/http JSON daemon exposing sched.Solve and the full §3.3+§3.4
+// planning pass (plan.PlanCtx) behind a serving core built for overload:
+//
+//	request → admission queue (fixed depth, 429 shed) → worker pool
+//	        → single-flight coalescing (identical in-flight solves share one
+//	          execution, keyed by algorithm + sched.Fingerprint)
+//	        → plan.SolveCache (memoized solves across requests)
+//	        → sched.SolveCtx / plan.PlanCtx (deadline-cancellable)
+//
+// Every request carries a context deadline (default or per-request); a
+// request abandoned by its deadline detaches from its coalesced flight, and
+// when the last interested request detaches the solver's context is
+// cancelled — the solve goroutine stops, it is not leaked. Queue depth,
+// queue wait, solve/plan latency, coalesce hits, cache hits, and shed counts
+// all land on an obs.Recorder, served back as JSON by GET /metrics.
+//
+// The paper's schedulers are one-shot CLI runs; this package is what makes
+// the repository's north star ("serve heavy traffic") concrete: the same
+// SolveCache PR 3 built for intra-process reuse now serves every caller of
+// a deployment, the way burst-buffer I/O schedulers run centrally.
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Config parameterizes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// PoolSize is the number of worker goroutines executing solves and
+	// plans; 0 selects GOMAXPROCS.
+	PoolSize int
+	// QueueDepth is the admission queue capacity beyond the workers; a
+	// request arriving when all workers are busy and the queue is full is
+	// shed with 429. 0 selects 64.
+	QueueDepth int
+	// DefaultDeadline bounds a request that carries no timeoutMs of its
+	// own. 0 selects 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps per-request timeoutMs. 0 selects 10× DefaultDeadline.
+	MaxDeadline time.Duration
+	// MaxRequestBytes caps request bodies (413 beyond). 0 selects 8 MiB.
+	MaxRequestBytes int64
+	// Cache is the memoized solve cache shared by /v1/solve and /v1/plan;
+	// nil selects plan.DefaultSolveCache() (process-wide).
+	Cache *plan.SolveCache
+	// Rec receives the server's counters and histograms; nil disables
+	// recording (the /metrics endpoint then reports enabled=false).
+	Rec *obs.Recorder
+
+	// testHookPreWork, when set, runs inside the worker before each task
+	// executes — tests use it to hold workers busy deterministically.
+	testHookPreWork func(ctx context.Context)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 10 * c.DefaultDeadline
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.Cache == nil {
+		c.Cache = plan.DefaultSolveCache()
+	}
+	return c
+}
+
+// Errors surfaced by the admission queue, mapped to HTTP statuses by the
+// handlers (429 and 503 respectively).
+var (
+	ErrQueueFull = errors.New("server: admission queue full")
+	ErrDraining  = errors.New("server: draining, not accepting work")
+)
+
+// task is one unit of queued work. run executes in a worker under ctx;
+// the submitting handler waits on done (or its own context).
+type task struct {
+	ctx  context.Context
+	run  func(ctx context.Context)
+	enq  time.Time
+	done chan struct{}
+	err  error // set by the worker when the task is skipped or panics
+}
+
+// Server is the planning daemon's serving core plus its HTTP frontend. Build
+// one with New; it starts its workers immediately. Close drains and stops
+// them.
+type Server struct {
+	cfg    Config
+	rec    *obs.Recorder
+	flight *coalescer
+
+	mu     sync.RWMutex // guards queue close vs. submit
+	closed bool
+	queue  chan *task
+	wg     sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		rec:    cfg.Rec,
+		flight: newCoalescer(),
+		queue:  make(chan *task, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.PoolSize)
+	for i := 0; i < cfg.PoolSize; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close drains the server: new submissions are rejected with ErrDraining,
+// already-queued tasks run to completion, and every worker goroutine exits
+// before Close returns. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// submit enqueues t without blocking: ErrDraining once Close has begun,
+// ErrQueueFull when the admission queue has no free slot.
+func (s *Server) submit(t *task) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.rec.Count("server.submit.draining", 1)
+		return ErrDraining
+	}
+	select {
+	case s.queue <- t:
+		s.rec.ObserveHist("server.queue.depth", float64(len(s.queue)))
+		return nil
+	default:
+		s.rec.Count("server.shed", 1)
+		return ErrQueueFull
+	}
+}
+
+// worker executes queued tasks until the queue is closed and drained. The
+// task is always run — a context that expired (or was cancelled by the last
+// coalesced waiter detaching) while the task sat in the queue makes the
+// solver fail fast at its entry check, so no real work happens; the counter
+// records how often overload pushed queue waits past deadlines. A panicking
+// task is converted into an error instead of killing the process.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.rec.ObserveHist("server.queue.wait_seconds", time.Since(t.enq).Seconds())
+		if s.cfg.testHookPreWork != nil {
+			s.cfg.testHookPreWork(t.ctx)
+		}
+		if t.ctx.Err() != nil {
+			s.rec.Count("server.task.expired_in_queue", 1)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.err = &panicError{val: r}
+					s.rec.Count("server.panic", 1)
+				}
+			}()
+			t.run(t.ctx)
+		}()
+		close(t.done)
+	}
+}
+
+// panicError wraps a recovered panic value from a worker task.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return "server: task panicked" }
+
+// Handler returns the daemon's HTTP handler:
+//
+//	POST /v1/solve      one sched.Problem + algorithm → schedule
+//	POST /v1/plan       per-rank problems → balanced plan.IterationPlan
+//	GET  /v1/algorithms the available algorithm names
+//	GET  /healthz       200 ok / 503 draining
+//	GET  /metrics       the obs metrics snapshot as JSON
+//
+// Panics in handlers are recovered to 500.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.recoverMW(mux)
+}
+
+// recoverMW converts handler panics into 500s (and a counter) so one bad
+// request cannot take the daemon down.
+func (s *Server) recoverMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.rec.Count("server.panic", 1)
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		s.rec.Count("server.http.requests", 1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// deadlineCtx derives the request's working context: the caller's context
+// bounded by timeoutMs (clamped to MaxDeadline) or DefaultDeadline.
+func (s *Server) deadlineCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+		if d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}

@@ -1,0 +1,477 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+func solveBody(t *testing.T, alg string, p *sched.Problem, timeoutMs int) *bytes.Reader {
+	t.Helper()
+	blob, err := json.Marshal(SolveRequest{Algorithm: alg, Problem: *p, TimeoutMs: timeoutMs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(blob)
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body *bytes.Reader) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, body)
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestSolveEndpointMatchesDirectSolve(t *testing.T) {
+	srv := New(Config{Cache: plan.NewSolveCache(0)})
+	defer srv.Close()
+	h := srv.Handler()
+
+	for _, alg := range append(sched.Algorithms(), sched.Exact) {
+		w := postJSON(t, h, "/v1/solve", solveBody(t, string(alg), sched.Figure1Problem(), 0))
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", alg, w.Code, w.Body)
+		}
+		var resp SolveResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want, err := sched.Solve(sched.Figure1Problem(), alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := json.Marshal(resp.Schedule)
+		wantB, _ := json.Marshal(want)
+		if string(got) != string(wantB) {
+			t.Fatalf("%s: served schedule differs from direct solve\nserved: %s\ndirect: %s", alg, got, wantB)
+		}
+	}
+}
+
+func TestSolveDefaultAlgorithmAndCacheFlag(t *testing.T) {
+	srv := New(Config{Cache: plan.NewSolveCache(0), Rec: obs.NewRecorder()})
+	defer srv.Close()
+	h := srv.Handler()
+
+	w1 := postJSON(t, h, "/v1/solve", solveBody(t, "", sched.Figure1Problem(), 0))
+	if w1.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w1.Code, w1.Body)
+	}
+	var r1 SolveResponse
+	if err := json.Unmarshal(w1.Body.Bytes(), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Algorithm != sched.ExtJohnsonBF {
+		t.Fatalf("default algorithm = %s, want %s", r1.Algorithm, sched.ExtJohnsonBF)
+	}
+	if r1.Cached {
+		t.Fatal("first solve reported cached")
+	}
+	w2 := postJSON(t, h, "/v1/solve", solveBody(t, "", sched.Figure1Problem(), 0))
+	var r2 SolveResponse
+	if err := json.Unmarshal(w2.Body.Bytes(), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("second identical solve not served from cache")
+	}
+	if hits := srv.rec.Counter("server.solve.cache.hit"); hits != 1 {
+		t.Fatalf("cache hit counter = %v, want 1", hits)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := New(Config{Cache: plan.NewSolveCache(0), MaxRequestBytes: 256})
+	defer srv.Close()
+	h := srv.Handler()
+
+	cases := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"not json", "/v1/solve", "{nope", http.StatusBadRequest},
+		{"unknown algorithm", "/v1/solve", `{"algorithm":"Banana","problem":{"horizon":1}}`, http.StatusBadRequest},
+		{"invalid problem", "/v1/solve", `{"problem":{"horizon":-1}}`, http.StatusBadRequest},
+		{"oversized", "/v1/solve", `{"problem":{"horizon":1,"jobs":[` + strings.Repeat(`{"id":0,"comp":1,"io":1},`, 64) + `]}}`, http.StatusRequestEntityTooLarge},
+		{"plan bad algorithm", "/v1/plan", `{"algorithm":"Banana","input":{"ranks":[]}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		w := postJSON(t, h, tc.path, bytes.NewReader([]byte(tc.body)))
+		if w.Code != tc.want {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, w.Code, tc.want, w.Body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Fatalf("%s: error body not JSON: %s", tc.name, w.Body)
+		}
+	}
+
+	// Method and route mismatches.
+	req := httptest.NewRequest(http.MethodGet, "/v1/solve", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve: status %d, want 405", w.Code)
+	}
+}
+
+// TestSheddingWhenSaturated fills the single worker and the whole admission
+// queue with distinct slow solves, then asserts the next request is shed
+// with 429 + Retry-After while the queue is full, and served after it
+// drains.
+func TestSheddingWhenSaturated(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	rec := obs.NewRecorder()
+	srv := New(Config{
+		PoolSize:   1,
+		QueueDepth: 2,
+		Cache:      plan.NewSolveCache(0),
+		Rec:        rec,
+		testHookPreWork: func(ctx context.Context) {
+			started <- struct{}{}
+			<-release
+		},
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	// Distinct problems so coalescing cannot merge them: 1 executing + 2
+	// queued = saturation.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		p := sched.Figure1Problem()
+		p.Horizon += float64(i + 1)
+		body := solveBody(t, "", p, 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := postJSON(t, h, "/v1/solve", body)
+			if w.Code != http.StatusOK {
+				t.Errorf("saturating request: status %d: %s", w.Code, w.Body)
+			}
+		}()
+	}
+	<-started // worker busy; queue now holds the two others (wait for them)
+	waitFor(t, func() bool { return len(srv.queue) == 2 })
+
+	p := sched.Figure1Problem()
+	p.Horizon += 100
+	w := postJSON(t, h, "/v1/solve", solveBody(t, "", p, 0))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429 (%s)", w.Code, w.Body)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if shed := rec.Counter("server.shed"); shed != 1 {
+		t.Fatalf("shed counter = %v, want 1", shed)
+	}
+
+	close(release)
+	wg.Wait()
+	for i := 0; i < 2; i++ { // drain the two queued hook signals
+		<-started
+	}
+
+	// After the queue drains the same instance must be accepted.
+	w2 := postJSON(t, h, "/v1/solve", solveBody(t, "", p, 0))
+	<-started
+	if w2.Code != http.StatusOK {
+		t.Fatalf("post-drain request: status %d: %s", w2.Code, w2.Body)
+	}
+}
+
+// TestDeadlineExpiryCancelsSolver drives a request whose deadline fires
+// while the (hooked) worker holds its task, and asserts both the 504 and
+// that the task's context — the solver's context — was actually cancelled.
+func TestDeadlineExpiryCancelsSolver(t *testing.T) {
+	cancelled := make(chan error, 1)
+	rec := obs.NewRecorder()
+	srv := New(Config{
+		PoolSize: 1,
+		Cache:    plan.NewSolveCache(0),
+		Rec:      rec,
+		testHookPreWork: func(ctx context.Context) {
+			<-ctx.Done() // hold the task until its context dies
+			cancelled <- ctx.Err()
+		},
+	})
+	defer srv.Close()
+
+	w := postJSON(t, srv.Handler(), "/v1/solve", solveBody(t, "", sched.Figure1Problem(), 50))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", w.Code, w.Body)
+	}
+	select {
+	case err := <-cancelled:
+		if err == nil {
+			t.Fatal("task context reported no error after deadline")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("solver context never cancelled after request deadline")
+	}
+	if d := rec.Counter("server.deadline"); d != 1 {
+		t.Fatalf("deadline counter = %v, want 1", d)
+	}
+}
+
+// TestCoalescingSharesOneExecution launches many identical solves while the
+// first holds the only worker, then releases it: every request must succeed
+// with the same schedule, exactly one execution (one cache miss), and N-1
+// coalesce hits.
+func TestCoalescingSharesOneExecution(t *testing.T) {
+	const n = 8
+	release := make(chan struct{})
+	entered := make(chan struct{}, n)
+	rec := obs.NewRecorder()
+	srv := New(Config{
+		PoolSize:   1,
+		QueueDepth: n,
+		Cache:      plan.NewSolveCache(0),
+		Rec:        rec,
+		testHookPreWork: func(ctx context.Context) {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	var wg sync.WaitGroup
+	bodies := make([]string, n)
+	statuses := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := postJSON(t, h, "/v1/solve", solveBody(t, "", sched.Figure1Problem(), 0))
+			statuses[i] = w.Code
+			var resp SolveResponse
+			if json.Unmarshal(w.Body.Bytes(), &resp) == nil && resp.Schedule != nil {
+				b, _ := json.Marshal(resp.Schedule)
+				bodies[i] = string(b)
+			}
+		}()
+	}
+	<-entered // the leader reached the worker
+	// All followers join the flight (coalesce.hit reaches n-1) without
+	// touching the queue.
+	waitFor(t, func() bool { return rec.Counter("server.coalesce.hit") == n-1 })
+	if depth := len(srv.queue); depth != 0 {
+		t.Fatalf("coalesced requests consumed %d queue slots", depth)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, statuses[i])
+		}
+		if bodies[i] == "" || bodies[i] != bodies[0] {
+			t.Fatalf("request %d: schedule differs or missing", i)
+		}
+	}
+	hits, misses := srv.cfg.Cache.Stats()
+	if misses != 1 || hits != 0 {
+		t.Fatalf("cache stats hits=%d misses=%d, want 0/1 (single coalesced execution)", hits, misses)
+	}
+}
+
+// TestCoalescedWaitersSurviveLeaderAbandon: the leader's deadline fires
+// mid-execution, but a second waiter with a longer deadline keeps the
+// flight's refcount alive, so the execution completes and serves it.
+func TestCoalescedWaitersSurviveLeaderAbandon(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	srv := New(Config{
+		PoolSize: 1,
+		Cache:    plan.NewSolveCache(0),
+		testHookPreWork: func(ctx context.Context) {
+			once.Do(func() { <-gate }) // hold only the first task
+		},
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	leaderDone := make(chan int)
+	go func() {
+		w := postJSON(t, h, "/v1/solve", solveBody(t, "", sched.Figure1Problem(), 50))
+		leaderDone <- w.Code
+	}()
+	// Wait until the leader's flight exists, then join it with a patient
+	// waiter.
+	waitFor(t, func() bool {
+		srv.flight.mu.Lock()
+		defer srv.flight.mu.Unlock()
+		return len(srv.flight.flights) == 1
+	})
+	waiterDone := make(chan *httptest.ResponseRecorder)
+	go func() {
+		waiterDone <- postJSON(t, h, "/v1/solve", solveBody(t, "", sched.Figure1Problem(), 5000))
+	}()
+	if code := <-leaderDone; code != http.StatusGatewayTimeout {
+		t.Fatalf("leader: status %d, want 504", code)
+	}
+	close(gate) // let the held execution proceed
+	w := <-waiterDone
+	if w.Code != http.StatusOK {
+		t.Fatalf("waiter: status %d, want 200 (%s)", w.Code, w.Body)
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Schedule == nil {
+		t.Fatalf("waiter body: %s", w.Body)
+	}
+	if !resp.Coalesced {
+		t.Fatal("waiter not marked coalesced")
+	}
+}
+
+func TestPlanEndpointMatchesDirectPlan(t *testing.T) {
+	srv := New(Config{Cache: plan.NewSolveCache(0)})
+	defer srv.Close()
+
+	in := figure1Input(4)
+	blob, err := json.Marshal(PlanRequest{Input: in, Balance: true, RanksPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := postJSON(t, srv.Handler(), "/v1/plan", bytes.NewReader(blob))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Plan    json.RawMessage `json:"plan"`
+		Overall float64         `json:"overall"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Plan(in, plan.Config{Balance: true, RanksPerNode: 2, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _ := json.Marshal(want)
+	var gotCompact bytes.Buffer
+	if err := json.Compact(&gotCompact, resp.Plan); err != nil {
+		t.Fatal(err)
+	}
+	if gotCompact.String() != string(wantB) {
+		t.Fatalf("served plan differs from direct plan.Plan\nserved: %s\ndirect: %s", gotCompact.String(), wantB)
+	}
+	if resp.Overall != want.Overall() {
+		t.Fatalf("overall = %v, want %v", resp.Overall, want.Overall())
+	}
+}
+
+func TestAlgorithmsHealthzMetrics(t *testing.T) {
+	rec := obs.NewRecorder()
+	srv := New(Config{Cache: plan.NewSolveCache(0), Rec: rec})
+	h := srv.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+
+	w := get("/v1/algorithms")
+	var algs AlgorithmsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &algs); err != nil {
+		t.Fatal(err)
+	}
+	if len(algs.Algorithms) != 7 || algs.Default != sched.ExtJohnsonBF {
+		t.Fatalf("algorithms = %+v", algs)
+	}
+
+	if w := get("/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+
+	postJSON(t, h, "/v1/solve", solveBody(t, "", sched.Figure1Problem(), 0))
+	w = get("/metrics")
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not a snapshot: %v\n%s", err, w.Body)
+	}
+	if !snap.Enabled || snap.Counters["server.solve.requests"] != 1 {
+		t.Fatalf("metrics snapshot = %+v", snap)
+	}
+	if snap.Hists["server.solve.seconds"].N != 1 {
+		t.Fatalf("solve latency histogram missing: %+v", snap.Hists)
+	}
+
+	// Draining: healthz flips to 503, new work is 503.
+	srv.Close()
+	if w := get("/healthz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/solve", solveBody(t, "", sched.Figure1Problem(), 0)); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining solve: %d, want 503 (%s)", w.Code, w.Body)
+	}
+}
+
+func TestRecoverMiddleware(t *testing.T) {
+	rec := obs.NewRecorder()
+	srv := New(Config{Cache: plan.NewSolveCache(0), Rec: rec})
+	defer srv.Close()
+	h := srv.recoverMW(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	if rec.Counter("server.panic") != 1 {
+		t.Fatal("panic not counted")
+	}
+}
+
+// figure1Input mirrors the plan package's test helper: every rank presents
+// the Figure 1 instance.
+func figure1Input(ranks int) plan.Input {
+	p := sched.Figure1Problem()
+	in := plan.Input{Ranks: make([]plan.RankInput, ranks)}
+	for r := range in.Ranks {
+		ri := plan.RankInput{
+			Horizon:   p.Horizon,
+			CompHoles: append([]sched.Interval(nil), p.CompHoles...),
+			IOHoles:   append([]sched.Interval(nil), p.IOHoles...),
+		}
+		for i, j := range p.Jobs {
+			ri.Jobs = append(ri.Jobs, plan.Job{ID: j.ID, PredComp: j.Comp, PredIO: j.IO})
+			// Skew IO slightly per rank so balancing has something to move.
+			ri.Jobs[i].PredIO *= float64(1 + r)
+		}
+		in.Ranks[r] = ri
+	}
+	return in
+}
+
+// waitFor polls cond until true or fails the test after a generous timeout.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,79 @@
+package repro_test
+
+// Serving-path benchmarks: the full HTTP round trip through the planning
+// daemon — JSON decode, admission queue, coalescing, SolveCache, encode —
+// against an in-process listener. ns/op is the end-to-end cost one client
+// observes, so the daemon's overhead over a direct sched.Solve call is
+// directly comparable to BenchmarkTable1Schedulers' per-solve numbers.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/server"
+)
+
+func newBenchServer(b *testing.B) (*httptest.Server, func()) {
+	b.Helper()
+	srv := server.New(server.Config{QueueDepth: 1024, Cache: plan.NewSolveCache(0)})
+	ts := httptest.NewServer(srv.Handler())
+	return ts, func() {
+		ts.Close()
+		srv.Close()
+	}
+}
+
+func benchServerSolve(b *testing.B, distinct int) {
+	ts, stop := newBenchServer(b)
+	defer stop()
+
+	cfg := sched.DefaultGenConfig()
+	rng := rand.New(rand.NewSource(1))
+	bodies := make([][]byte, distinct)
+	for i := range bodies {
+		blob, err := json.Marshal(server.SolveRequest{Problem: *sched.RandomProblem(rng, cfg)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = blob
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		wrng := rand.New(rand.NewSource(int64(b.N)))
+		for pb.Next() {
+			body := bodies[wrng.Intn(len(bodies))]
+			resp, err := client.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServerSolve is the hot-working-set case: a handful of instances
+// shared by every client, so after warmup nearly every request is a cache
+// hit or a coalesced join — the steady state of a deployment re-planning
+// the same iteration shapes.
+func BenchmarkServerSolve(b *testing.B) { benchServerSolve(b, 8) }
+
+// BenchmarkServerSolveCold keeps a working set far larger than b.N typically
+// reaches, so most requests miss and pay for a real solve — the daemon's
+// worst case.
+func BenchmarkServerSolveCold(b *testing.B) { benchServerSolve(b, 4096) }
