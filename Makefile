@@ -1,8 +1,8 @@
 # Tier-1 verification gate (see ROADMAP.md): build + vet + staticcheck (when
 # installed) + race-enabled tests.
-.PHONY: check build vet staticcheck test bench
+.PHONY: check build vet staticcheck test faulttest bench
 
-check: build vet staticcheck test
+check: build vet staticcheck test faulttest
 
 build:
 	go build ./...
@@ -21,6 +21,11 @@ staticcheck:
 
 test:
 	go test -race ./...
+
+# Failure-hardened I/O path: the fault-injection / retry / degrade suites,
+# run under the race detector (they stress the concurrent write paths).
+faulttest:
+	go test -race -run 'Fault|Recovery|Degrade|Retry' ./internal/pfs ./internal/storage ./internal/h5 ./internal/simapp ./internal/server
 
 # Tier-1 benchmarks (the virtual-time experiments; wall-clock figures are
 # excluded — their ns/op is modelled sleep time, not code under test) plus

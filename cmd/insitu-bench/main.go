@@ -9,6 +9,7 @@
 //	insitu-bench -metrics fig7          # also print a metrics summary
 //	insitu-bench -cpuprofile cpu.pprof fig4   # profile for `go tool pprof`
 //	insitu-bench -memprofile mem.pprof fig6
+//	insitu-bench -faults 'seed=7,rate=0.05' faults   # inject write faults
 //
 // Output is plain aligned text, one table per experiment, matching the
 // rows/series the paper reports (EXPERIMENTS.md records a reference run).
@@ -30,6 +31,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/pfs"
 )
 
 func main() {
@@ -44,12 +46,22 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "print a metrics summary after the tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile for `go tool pprof`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile for `go tool pprof`")
+	faults := flag.String("faults", "", "fault plan for wall-clock experiments: a JSON file or a spec like 'seed=7,rate=0.05'")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.String("insitu-bench"))
 		return 0
+	}
+
+	if *faults != "" {
+		fp, err := pfs.LoadFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: -faults: %v\n", err)
+			return 2
+		}
+		experiments.SetFaults(fp)
 	}
 
 	if *cpuProfile != "" {

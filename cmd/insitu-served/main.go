@@ -13,6 +13,7 @@
 //	POST /v1/solve      one sched.Problem + algorithm → schedule
 //	POST /v1/plan       per-rank problems → balanced plan.IterationPlan
 //	GET  /v1/algorithms the available algorithm names
+//	GET  /v1/faultplan  the active fault-injection plan (404 when none)
 //	GET  /healthz       200 ok / 503 draining
 //	GET  /metrics       the obs metrics snapshot as JSON
 //
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/obs"
+	"repro/internal/pfs"
 	"repro/internal/plan"
 	"repro/internal/server"
 )
@@ -49,12 +51,22 @@ func main() {
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file on shutdown")
 	metrics := flag.Bool("metrics", false, "print the metrics summary on shutdown")
+	faults := flag.String("faults", "", "fault plan to advertise at /v1/faultplan: a JSON file or a spec like 'seed=7,rate=0.05'")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.String("insitu-served"))
 		return
+	}
+
+	var faultPlan *pfs.FaultPlan
+	if *faults != "" {
+		fp, err := pfs.LoadFaultPlan(*faults)
+		if err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+		faultPlan = fp
 	}
 
 	rec := obs.NewRecorder()
@@ -65,6 +77,7 @@ func main() {
 		MaxRequestBytes: *maxBytes,
 		Cache:           plan.NewSolveCache(*cacheSize),
 		Rec:             rec,
+		Faults:          faultPlan,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -6,6 +6,7 @@
 // every written snapshot against the generator.
 //
 //	go run ./examples/nyx [-ranks 4] [-iters 4] [-trace nyx.json]
+//	go run ./examples/nyx -faults 'seed=7,rate=0.05'   # inject write faults
 //
 // With -trace the wall-clock timelines of all four strategies land in one
 // Chrome trace-event file (sequentially, in run order) — open it in
@@ -29,7 +30,17 @@ func main() {
 	ranks := flag.Int("ranks", 4, "MPI-style ranks (goroutines)")
 	iters := flag.Int("iters", 4, "iterations per run")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file")
+	faults := flag.String("faults", "", "inject write faults: a JSON plan file or a spec like 'seed=7,rate=0.05'")
 	flag.Parse()
+
+	var faultPlan *pfs.FaultPlan
+	if *faults != "" {
+		fp, err := pfs.LoadFaultPlan(*faults)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		faultPlan = fp
+	}
 
 	var rec *obs.Recorder
 	if *tracePath != "" {
@@ -43,6 +54,7 @@ func main() {
 		c.ComputeTime = 150 * time.Millisecond
 		c.BlockBytes = 32 << 10
 		c.BufferBytes = 128 << 10
+		c.FS.Faults = faultPlan
 		return c
 	}
 
@@ -67,8 +79,12 @@ func main() {
 			log.Fatal(err)
 		}
 		extra := ""
+		if faultPlan != nil {
+			extra = fmt.Sprintf("  faults %d, retries %d, degraded %d",
+				res.InjectedFaults, res.RetryAttempts, res.DegradedChunks)
+		}
 		if mode == simapp.Ours {
-			extra = fmt.Sprintf("  ratio %.1fx, %d overflow chunks, %.2f%% tree escapes",
+			extra += fmt.Sprintf("  ratio %.1fx, %d overflow chunks, %.2f%% tree escapes",
 				res.MeanRatio, res.OverflowChunks, 100*res.EscapedFraction)
 			for _, f := range res.Files {
 				if _, err := simapp.VerifySnapshot(fs, f, c); err != nil {

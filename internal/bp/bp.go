@@ -45,6 +45,12 @@ type ChunkLoc struct {
 	Offset  int64 `json:"offset"`
 	Size    int64 `json:"size"`    // -1 = never written
 	RawSize int64 `json:"rawSize"` // unfiltered size
+	// Degraded marks a chunk stored unfiltered by the recovery layer after
+	// its filtered write exhausted retries; readers must skip the dataset's
+	// filter. omitempty keeps fault-free indexes byte-identical.
+	Degraded bool `json:"degraded,omitempty"`
+
+	writing bool // guards against concurrent writes of the same chunk
 }
 
 // DatasetMeta describes one dataset in the index.
@@ -132,8 +138,25 @@ func (w *Writer) CreateDataset(rank int, name string, dims []int, elemSize int,
 }
 
 // WriteChunk appends chunk i's bytes to the owning rank's sub-file (paced by
-// the file system) and records its location.
+// the file system) and records its location. The index mutation is staged:
+// the tail extent is reserved up front, but ci.Offset/ci.Size commit only
+// after the paced write succeeds — a failed write reclaims the tail when
+// possible and leaves the chunk unwritten so it can be retried.
 func (dw *DatasetWriter) WriteChunk(i int, data []byte) (time.Duration, error) {
+	return dw.writeChunk(i, data, false)
+}
+
+// WriteChunkDegraded appends chunk i's *unfiltered* bytes and marks the
+// chunk degraded in the index — the recovery layer's fallback after the
+// filtered write exhausted its retries.
+func (dw *DatasetWriter) WriteChunkDegraded(i int, raw []byte) (time.Duration, error) {
+	return dw.writeChunk(i, raw, true)
+}
+
+// Name returns the dataset's name.
+func (dw *DatasetWriter) Name() string { return dw.meta.Name }
+
+func (dw *DatasetWriter) writeChunk(i int, data []byte, degraded bool) (time.Duration, error) {
 	w := dw.w
 	w.mu.Lock()
 	if w.done {
@@ -145,18 +168,33 @@ func (dw *DatasetWriter) WriteChunk(i int, data []byte) (time.Duration, error) {
 		return 0, fmt.Errorf("bp: chunk %d out of range", i)
 	}
 	ci := &dw.meta.Chunks[i]
-	if ci.Size >= 0 {
+	if ci.Size >= 0 || ci.writing {
 		w.mu.Unlock()
 		return 0, fmt.Errorf("bp: chunk %d already written", i)
 	}
+	n := int64(len(data))
 	off := w.tails[dw.rank]
-	w.tails[dw.rank] += int64(len(data))
-	ci.Offset = off
-	ci.Size = int64(len(data))
+	w.tails[dw.rank] += n
+	ci.writing = true
 	f := w.files[dw.rank]
 	w.mu.Unlock()
 
-	return w.fs.Write(f, off, data)
+	dur, err := w.fs.Write(f, off, data)
+
+	w.mu.Lock()
+	ci.writing = false
+	if err != nil {
+		if w.tails[dw.rank] == off+n {
+			w.tails[dw.rank] = off // reclaim the tail reservation
+		}
+		w.mu.Unlock()
+		return dur, err
+	}
+	ci.Offset = off
+	ci.Size = n
+	ci.Degraded = degraded
+	w.mu.Unlock()
+	return dur, nil
 }
 
 // Close writes the global index.

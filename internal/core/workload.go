@@ -88,6 +88,14 @@ type WorkloadConfig struct {
 	SigmaComp     float64 // compression throughput (paper: 0.05)
 	SigmaIO       float64 // I/O throughput (paper: 0.05)
 
+	// Failure model: each write (a block's coalesced share, or a raw field
+	// dump) independently suffers a transient fault with probability
+	// IOFaultRate; the storage layer's retry stretches its actual duration
+	// by IORetryPenalty (0 selects 2x). The planner never sees faults —
+	// only the actuals absorb them, exactly like the wall-clock engine.
+	IOFaultRate    float64
+	IORetryPenalty float64
+
 	Seed int64
 }
 
@@ -155,7 +163,21 @@ func (c WorkloadConfig) validate() error {
 	if c.IterationLen <= 0 {
 		return fmt.Errorf("core: iteration length %v <= 0", c.IterationLen)
 	}
+	if c.IOFaultRate < 0 || c.IOFaultRate > 1 {
+		return fmt.Errorf("core: I/O fault rate %v outside [0,1]", c.IOFaultRate)
+	}
+	if c.IORetryPenalty != 0 && c.IORetryPenalty < 1 {
+		return fmt.Errorf("core: I/O retry penalty %v < 1", c.IORetryPenalty)
+	}
 	return nil
+}
+
+// retryPenalty returns the actual-duration multiplier a faulted write pays.
+func (c WorkloadConfig) retryPenalty() float64 {
+	if c.IORetryPenalty > 0 {
+		return c.IORetryPenalty
+	}
+	return 2.0
 }
 
 // blockInfo is the static (run-long) description of one block.
@@ -320,6 +342,11 @@ func (w *Workload) Iteration(iter int) *IterationData {
 				jobs[i].PredIO = predDur * share
 				jobs[i].ActIO = actDur * float64(jobs[i].ActBytes) / float64(act) *
 					math.Exp(cfg.SigmaIO*rng.NormFloat64())
+				// Draw only when the fault model is armed, so fault-free
+				// schedules stay bit-identical to pre-fault builds.
+				if cfg.IOFaultRate > 0 && rng.Float64() < cfg.IOFaultRate {
+					jobs[i].ActIO *= cfg.retryPenalty()
+				}
 			}
 			gStart = end
 			gBytes = 0
@@ -349,7 +376,11 @@ func (w *Workload) Iteration(iter int) *IterationData {
 		for f := 0; f < cfg.FieldCount; f++ {
 			raw += cfg.ioCurve(fieldBytes)
 		}
-		data.RawIO = append(data.RawIO, raw*math.Exp(cfg.SigmaIO*rng.NormFloat64()))
+		rawAct := raw * math.Exp(cfg.SigmaIO*rng.NormFloat64())
+		if cfg.IOFaultRate > 0 && rng.Float64() < cfg.IOFaultRate {
+			rawAct *= cfg.retryPenalty()
+		}
+		data.RawIO = append(data.RawIO, rawAct)
 	}
 	return data
 }

@@ -138,6 +138,7 @@ func All() []NamedExperiment {
 		{"predvsactual", PredVsActual},
 		{"multifile", MultiFile},
 		{"algos", AlgoEndToEnd},
+		{"faults", FaultStudy},
 	}
 }
 
@@ -153,7 +154,7 @@ type NamedExperiment struct {
 // should not run concurrently with others).
 func WallClock(id string) bool {
 	switch id {
-	case "fig9", "fig10", "fig11", "multifile":
+	case "fig9", "fig10", "fig11", "multifile", "faults":
 		return true
 	}
 	return false

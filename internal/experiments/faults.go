@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pfs"
+	"repro/internal/simapp"
+)
+
+// The active fault plan: set from the bench CLI's -faults flag, applied to
+// every wall-clock experiment's modelled file system (an experiment whose
+// config already carries its own plan keeps it).
+var (
+	faultsMu     sync.Mutex
+	activeFaults *pfs.FaultPlan
+)
+
+// SetFaults installs (or, with nil, clears) the process-wide fault plan.
+func SetFaults(fp *pfs.FaultPlan) {
+	faultsMu.Lock()
+	activeFaults = fp
+	faultsMu.Unlock()
+}
+
+// Faults returns the active process-wide fault plan (nil when none).
+func Faults() *pfs.FaultPlan {
+	faultsMu.Lock()
+	defer faultsMu.Unlock()
+	return activeFaults
+}
+
+// FaultStudy measures the failure-hardened I/O path: wall-clock runs under
+// increasing transient write-fault rates (all iterations must complete —
+// retried where the budget suffices, degraded to uncompressed chunks where
+// it does not) and virtual-time runs with the matching actual-duration
+// fault model.
+func FaultStudy(rec *obs.Recorder) (*Table, error) {
+	t := &Table{
+		ID:     "faults",
+		Title:  "Failure-hardened I/O: transient write faults, retries, degraded chunks",
+		Header: []string{"series", "fault rate", "iters", "injected", "retries", "degraded", "ours overhead"},
+		Notes: []string{
+			"expected shape: every run completes; overhead grows mildly with the fault rate",
+		},
+	}
+	rates := []float64{0, 0.05, 0.10}
+	if fp := Faults(); fp != nil && fp.WriteErrorRate > 0 {
+		// An explicit -faults plan replaces the default nonzero rates.
+		rates = []float64{0, fp.WriteErrorRate}
+	}
+
+	for _, rate := range rates {
+		rate := rate
+		mk := func(m simapp.Mode) simapp.Config {
+			cfg := realScale(simapp.Nyx(2, m), 3)
+			if rate > 0 {
+				cfg.FS.Faults = &pfs.FaultPlan{Seed: 7, WriteErrorRate: rate}
+			}
+			cfg.Recorder = rec
+			return cfg
+		}
+		ref, err := simapp.Run(mk(simapp.ComputeOnly))
+		if err != nil {
+			return nil, err
+		}
+		ours, err := simapp.Run(mk(simapp.Ours))
+		if err != nil {
+			return nil, fmt.Errorf("faults: rate %.2f: %w", rate, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			"nyx real (2 ranks)", pct(rate),
+			fmt.Sprintf("%d/%d", len(ours.PerIteration), ours.Iterations),
+			fmt.Sprint(ours.InjectedFaults), fmt.Sprint(ours.RetryAttempts),
+			fmt.Sprint(ours.DegradedChunks), pct(ours.Overhead(ref)),
+		})
+	}
+
+	for _, rate := range rates {
+		cfg := core.NyxWorkload(8, 4)
+		cfg.IOFaultRate = rate
+		w, err := core.BuildWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(w, core.RunConfig{
+			Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true},
+			Recorder: rec, Iterations: simIters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"nyx sim (8 ranks)", pct(rate), fmt.Sprint(simIters),
+			"-", "-", "-", pct(res.MeanOverhead),
+		})
+	}
+	return t, nil
+}

@@ -31,6 +31,11 @@ func realOverheads(rec *obs.Recorder, mk func(mode simapp.Mode) simapp.Config) (
 	run := func(mode simapp.Mode) (*simapp.Result, error) {
 		cfg := mk(mode)
 		cfg.Recorder = rec
+		if cfg.FS.Faults == nil {
+			// The bench CLI's -faults plan reaches every wall-clock
+			// experiment; configs carrying their own plan keep it.
+			cfg.FS.Faults = Faults()
+		}
 		return simapp.Run(cfg)
 	}
 	ref, err := run(simapp.ComputeOnly)

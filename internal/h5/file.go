@@ -20,6 +20,12 @@ type FileWriter struct {
 	nextOff int64 // allocation cursor for reservations and overflow
 	closed  bool
 
+	// inflight counts writes between their admission (under mu, after the
+	// closed check) and their metadata commit; Close waits for it to drain
+	// before appending the metadata block, so a concurrent write can neither
+	// clobber the footer nor be dropped from the metadata.
+	inflight sync.WaitGroup
+
 	overflowChunks int
 }
 
@@ -116,6 +122,12 @@ func (dw *DatasetWriter) Reserved(i int) (int64, error) {
 // freshly allocated extent in the overflow region at the end of the file
 // (the paper's overflow mechanism for mispredicted ratios, §4.4). The
 // returned duration is the paced write time on the file system.
+//
+// The metadata mutation is staged: placement is decided up front, but
+// ci.Size and the overflow bookkeeping commit only after the paced write
+// succeeds. A failed write leaves the chunk unwritten (Size -1) — and
+// reclaims a tail overflow allocation when possible — so a retry of the
+// same chunk is valid instead of "chunk already written".
 func (dw *DatasetWriter) WriteChunk(i int, data []byte) (time.Duration, error) {
 	fw := dw.fw
 	fw.mu.Lock()
@@ -128,39 +140,62 @@ func (dw *DatasetWriter) WriteChunk(i int, data []byte) (time.Duration, error) {
 		return 0, fmt.Errorf("h5: chunk %d out of range", i)
 	}
 	ci := &dw.meta.Chunks[i]
-	if ci.Size >= 0 {
+	if ci.Size >= 0 || ci.writing {
 		fw.mu.Unlock()
 		return 0, fmt.Errorf("h5: chunk %d already written", i)
 	}
+	n := int64(len(data))
 	off := ci.Offset
-	if int64(len(data)) > ci.Reserved {
-		// Overflow: allocate at the tail.
-		if fw.meta.OverflowStart == 0 {
-			fw.meta.OverflowStart = fw.nextOff
-		}
+	overflow := n > ci.Reserved
+	if overflow {
+		// Overflow: allocate at the tail (committed only on success).
 		off = fw.nextOff
-		fw.nextOff += int64(len(data))
-		fw.meta.OverflowBytes += int64(len(data))
-		fw.overflowChunks++
-		ci.Offset = off
-		ci.Overflow = true
+		fw.nextOff += n
 	}
-	ci.Size = int64(len(data))
+	ci.writing = true
+	fw.inflight.Add(1)
 	fw.mu.Unlock()
 
-	return fw.fs.Write(fw.f, off, data)
+	dur, err := fw.fs.Write(fw.f, off, data)
+
+	fw.mu.Lock()
+	ci.writing = false
+	if err != nil {
+		if overflow && fw.nextOff == off+n {
+			fw.nextOff = off // reclaim the tail allocation
+		}
+		fw.mu.Unlock()
+		fw.inflight.Done()
+		return dur, err
+	}
+	if overflow {
+		if fw.meta.OverflowStart == 0 || off < fw.meta.OverflowStart {
+			fw.meta.OverflowStart = off
+		}
+		ci.Offset = off
+		ci.Overflow = true
+		fw.meta.OverflowBytes += n
+		fw.overflowChunks++
+	}
+	ci.Size = n
+	fw.mu.Unlock()
+	fw.inflight.Done()
+	return dur, nil
 }
 
 // WriteAtRaw writes pre-coalesced bytes (from the compressed data buffer)
 // at an absolute offset. Chunk bookkeeping must have been done through
-// MarkChunk beforehand.
+// MarkChunk beforehand. The in-flight guard keeps a concurrent Close from
+// appending the metadata footer while this write is still landing.
 func (fw *FileWriter) WriteAtRaw(off int64, data []byte) (time.Duration, error) {
 	fw.mu.Lock()
 	if fw.closed {
 		fw.mu.Unlock()
 		return 0, fmt.Errorf("h5: file closed")
 	}
+	fw.inflight.Add(1)
 	fw.mu.Unlock()
+	defer fw.inflight.Done()
 	return fw.fs.Write(fw.f, off, data)
 }
 
@@ -193,6 +228,49 @@ func (dw *DatasetWriter) MarkChunk(i int, size int64) (int64, error) {
 	return ci.Offset, nil
 }
 
+// Name returns the dataset's full path.
+func (dw *DatasetWriter) Name() string { return dw.meta.Name }
+
+// RelocateChunk abandons chunk i's current placement and allocates a fresh
+// extent of size bytes in the overflow region, marking the chunk degraded
+// (stored unfiltered — the recovery layer's last resort after a compressed
+// write exhausted its retries, §4.4 overflow semantics). It returns the new
+// offset; the caller writes the bytes there via WriteAtRaw. The abandoned
+// extent is left as a hole.
+func (dw *DatasetWriter) RelocateChunk(i int, size int64) (int64, error) {
+	fw := dw.fw
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.closed {
+		return 0, fmt.Errorf("h5: file closed")
+	}
+	if i < 0 || i >= len(dw.meta.Chunks) {
+		return 0, fmt.Errorf("h5: chunk %d out of range", i)
+	}
+	if size < 0 {
+		return 0, fmt.Errorf("h5: negative relocation size %d", size)
+	}
+	ci := &dw.meta.Chunks[i]
+	if ci.writing {
+		return 0, fmt.Errorf("h5: chunk %d write in flight", i)
+	}
+	if ci.Overflow && ci.Size > 0 {
+		fw.meta.OverflowBytes -= ci.Size // the old extent becomes a hole
+	} else if !ci.Overflow {
+		fw.overflowChunks++
+	}
+	if fw.meta.OverflowStart == 0 || fw.nextOff < fw.meta.OverflowStart {
+		fw.meta.OverflowStart = fw.nextOff
+	}
+	ci.Offset = fw.nextOff
+	ci.Overflow = true
+	ci.Degraded = true
+	ci.Size = size
+	fw.nextOff += size
+	fw.meta.OverflowBytes += size
+	return ci.Offset, nil
+}
+
 // OverflowStats reports how many chunks relocated and their total bytes.
 func (fw *FileWriter) OverflowStats() (chunks int, bytes int64) {
 	fw.mu.Lock()
@@ -208,6 +286,11 @@ func (fw *FileWriter) Close() error {
 		return fmt.Errorf("h5: double close")
 	}
 	fw.closed = true
+	fw.mu.Unlock()
+	// New writes are refused from here on; wait for admitted ones to commit
+	// so the metadata reflects them and the footer lands last, at EOF.
+	fw.inflight.Wait()
+	fw.mu.Lock()
 	metaOff := fw.nextOff
 	blob, err := encodeMeta(&fw.meta)
 	fw.mu.Unlock()

@@ -54,6 +54,12 @@ type ChunkInfo struct {
 	Reserved int64 `json:"reserved"` // pre-reserved extent length
 	Overflow bool  `json:"overflow"` // stored in the overflow region
 	RawSize  int64 `json:"rawSize"`  // unfiltered size (for readers)
+	// Degraded marks a chunk the recovery layer rerouted uncompressed after
+	// its filtered write exhausted retries: readers must skip the dataset's
+	// filter for this chunk. omitempty keeps fault-free files byte-identical.
+	Degraded bool `json:"degraded,omitempty"`
+
+	writing bool // guards against concurrent writes of the same chunk
 }
 
 // DatasetMeta describes one dataset.

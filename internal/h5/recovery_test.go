@@ -1,0 +1,177 @@
+package h5
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+func recoveryFS(t *testing.T, plan *pfs.FaultPlan) *pfs.FS {
+	t.Helper()
+	fs, err := pfs.New(pfs.Config{
+		OSTs: 2, StripeBytes: 1 << 16, PerOSTBandwidth: 1 << 30, Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestWriteChunkRollbackOnFault drives WriteChunk into an injected failure
+// on both placement paths and asserts the metadata rolls back so a retry of
+// the same chunk succeeds — the "chunk already written" wedge this PR fixes.
+func TestWriteChunkRollbackOnFault(t *testing.T) {
+	// Every OST fails its first write, then succeeds.
+	fs := recoveryFS(t, &pfs.FaultPlan{Seed: 1, FailFirstN: 1, OSTs: []int{0, 1}})
+	fw, err := Create(fs, "roll.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := fw.CreateDataset("/d", []int{8}, 4, FilterNone,
+		[]int64{16, 4}, []int64{32, 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fits := []byte("0123456789") // 10 <= 16: reserved extent path
+	if _, err := dw.WriteChunk(0, fits); err == nil {
+		t.Fatal("first write unexpectedly survived the injected fault")
+	} else if !pfs.IsTransient(err) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+	if _, err := dw.WriteChunk(0, fits); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+
+	spill := bytes.Repeat([]byte("x"), 64) // 64 > 4: overflow path
+	before := fw.nextOff
+	if _, err := dw.WriteChunk(1, spill); err == nil {
+		t.Fatal("overflow write unexpectedly survived the injected fault")
+	}
+	if fw.nextOff != before {
+		t.Fatalf("failed overflow write leaked tail allocation: %d -> %d", before, fw.nextOff)
+	}
+	if c, b := fw.OverflowStats(); c != 0 || b != 0 {
+		t.Fatalf("failed overflow write committed bookkeeping: %d chunks, %d bytes", c, b)
+	}
+	if _, err := dw.WriteChunk(1, spill); err != nil {
+		t.Fatalf("overflow retry after rollback: %v", err)
+	}
+	if c, b := fw.OverflowStats(); c != 1 || b != 64 {
+		t.Fatalf("overflow stats after success: %d chunks, %d bytes", c, b)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := Open(fs, "roll.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]byte{fits, spill} {
+		got, err := fr.ReadChunk("/d", i)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d round-trip mismatch", i)
+		}
+	}
+}
+
+// TestWriteAtRawCloseRace exercises the WriteAtRaw/Close race under -race:
+// raw writes in flight when Close runs must either complete before the
+// footer lands or be refused — never clobber it. The file must still open.
+func TestWriteAtRawCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		fs := recoveryFS(t, nil)
+		fw, err := Create(fs, fmt.Sprintf("race%d.h5l", round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, err := fw.CreateDataset("/d", []int{256}, 4, FilterNone,
+			[]int64{64, 64, 64, 64}, []int64{64, 64, 64, 64}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs := make([]int64, 4)
+		for i := range offs {
+			if offs[i], err = dw.MarkChunk(i, 64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		payload := bytes.Repeat([]byte("y"), 64)
+		for i := range offs {
+			wg.Add(1)
+			go func(off int64) {
+				defer wg.Done()
+				// "file closed" is the legal refusal once Close has begun.
+				fw.WriteAtRaw(off, payload) //nolint:errcheck
+			}(offs[i])
+		}
+		closed := make(chan error, 1)
+		go func() {
+			time.Sleep(time.Duration(round%3) * 100 * time.Microsecond)
+			closed <- fw.Close()
+		}()
+		wg.Wait()
+		if err := <-closed; err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+		if _, err := Open(fs, fmt.Sprintf("race%d.h5l", round)); err != nil {
+			t.Fatalf("round %d: reopen after racing close: %v", round, err)
+		}
+	}
+}
+
+// TestRelocateChunk covers the degrade-path allocator.
+func TestRelocateChunk(t *testing.T) {
+	fs := recoveryFS(t, nil)
+	fw, err := Create(fs, "reloc.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := fw.CreateDataset("/d", []int{16}, 4, FilterSZ,
+		[]int64{8, 8}, []int64{32, 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := dw.RelocateChunk(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := bytes.Repeat([]byte("r"), 32)
+	if _, err := fw.WriteAtRaw(off, raw); err != nil {
+		t.Fatal(err)
+	}
+	if c, b := fw.OverflowStats(); c != 1 || b != 32 {
+		t.Fatalf("overflow stats %d/%d after relocation", c, b)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Open(fs, "reloc.h5l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := fr.Dataset("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := dm.Chunks[0]
+	if !ci.Degraded || !ci.Overflow || ci.Size != 32 {
+		t.Fatalf("relocated chunk metadata %+v", ci)
+	}
+	got, err := fr.ReadChunk("/d", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("relocated chunk bytes mismatch")
+	}
+}

@@ -56,7 +56,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
 		return err
 	}
-	spans, _, _, _, _, procNames := r.snapshot()
+	spans, _, _, _, _, _, procNames := r.snapshot()
 
 	// Collect the process/thread rows actually used.
 	type pt struct {

@@ -16,6 +16,7 @@ type MetricsSnapshot struct {
 	Enabled    bool                   `json:"enabled"`
 	Spans      int                    `json:"spans"`
 	Counters   map[string]float64     `json:"counters,omitempty"`
+	Gauges     map[string]float64     `json:"gauges,omitempty"`
 	Dists      map[string]DistStats   `json:"dists,omitempty"`
 	Hists      map[string]HistSummary `json:"hists,omitempty"`
 	Iterations []IterationStat        `json:"iterations,omitempty"`
@@ -47,12 +48,18 @@ func (r *Recorder) Metrics() MetricsSnapshot {
 	if r == nil {
 		return MetricsSnapshot{}
 	}
-	spans, counters, dists, hists, iters, _ := r.snapshot()
+	spans, counters, gauges, dists, hists, iters, _ := r.snapshot()
 	snap := MetricsSnapshot{Enabled: true, Spans: len(spans), Iterations: iters}
 	if len(counters) > 0 {
 		snap.Counters = make(map[string]float64, len(counters))
 		for _, c := range counters {
 			snap.Counters[c.name] = c.value
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges))
+		for _, g := range gauges {
+			snap.Gauges[g.name] = g.value
 		}
 	}
 	if len(dists) > 0 {

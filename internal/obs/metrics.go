@@ -14,7 +14,7 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		_, err := io.WriteString(w, "== metrics == (recording disabled)\n")
 		return err
 	}
-	spans, counters, dists, hists, iters, _ := r.snapshot()
+	spans, counters, gauges, dists, hists, iters, _ := r.snapshot()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "== metrics == (%d spans)\n", len(spans))
@@ -24,6 +24,15 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		rows := make([][]string, 0, len(counters))
 		for _, c := range counters {
 			rows = append(rows, []string{c.name, formatValue(c.name, c.value)})
+		}
+		writeAligned(&b, []string{"  name", "value"}, rows)
+	}
+
+	if len(gauges) > 0 {
+		b.WriteString("\ngauges\n")
+		rows := make([][]string, 0, len(gauges))
+		for _, g := range gauges {
+			rows = append(rows, []string{g.name, formatValue(g.name, g.value)})
 		}
 		writeAligned(&b, []string{"  name", "value"}, rows)
 	}

@@ -109,6 +109,7 @@ type Recorder struct {
 	vcur      float64 // virtual-clock base added to Record'ed spans
 	spans     []Span
 	counters  map[string]float64
+	gauges    map[string]float64
 	dists     map[string]*Dist
 	hists     map[string]*histogram
 	iters     []IterationStat
@@ -120,6 +121,7 @@ func NewRecorder() *Recorder {
 	return &Recorder{
 		epoch:     time.Now(),
 		counters:  make(map[string]float64),
+		gauges:    make(map[string]float64),
 		dists:     make(map[string]*Dist),
 		hists:     make(map[string]*histogram),
 		procNames: make(map[int]string),
@@ -187,6 +189,27 @@ func (r *Recorder) Count(name string, delta float64) {
 	r.mu.Lock()
 	r.counters[name] += delta
 	r.mu.Unlock()
+}
+
+// Gauge sets the named gauge to its latest value (last write wins) —
+// instantaneous levels like map sizes, as opposed to Count's accumulation.
+func (r *Recorder) Gauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// GaugeValue returns the named gauge's current value (0 if never set).
+func (r *Recorder) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
 }
 
 // Observe folds v into the named distribution.
@@ -280,7 +303,7 @@ func (r *Recorder) Iterations() []IterationStat {
 // snapshot returns deterministic copies for the exporters: spans in a total
 // order, counter/distribution/histogram names sorted, iterations in sequence
 // order.
-func (r *Recorder) snapshot() (spans []Span, counters []counterKV, dists []distKV, hists []histKV, iters []IterationStat, procNames map[int]string) {
+func (r *Recorder) snapshot() (spans []Span, counters, gauges []counterKV, dists []distKV, hists []histKV, iters []IterationStat, procNames map[int]string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	spans = append([]Span(nil), r.spans...)
@@ -304,6 +327,10 @@ func (r *Recorder) snapshot() (spans []Span, counters []counterKV, dists []distK
 		counters = append(counters, counterKV{name, v})
 	}
 	sort.Slice(counters, func(a, b int) bool { return counters[a].name < counters[b].name })
+	for name, v := range r.gauges {
+		gauges = append(gauges, counterKV{name, v})
+	}
+	sort.Slice(gauges, func(a, b int) bool { return gauges[a].name < gauges[b].name })
 	for name, d := range r.dists {
 		dists = append(dists, distKV{name, *d})
 	}
@@ -317,7 +344,7 @@ func (r *Recorder) snapshot() (spans []Span, counters []counterKV, dists []distK
 	for k, v := range r.procNames {
 		procNames[k] = v
 	}
-	return spans, counters, dists, hists, iters, procNames
+	return spans, counters, gauges, dists, hists, iters, procNames
 }
 
 type counterKV struct {

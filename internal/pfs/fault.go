@@ -1,0 +1,373 @@
+package pfs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault injection for the modelled file system: a deterministic, seedable
+// schedule of write errors, latency spikes (stragglers), and bandwidth
+// degradation windows, attributed to individual OSTs. The recovery layer in
+// internal/storage (RetryPolicy + degrade-to-overflow) is built and tested
+// against this model; production I/O stacks meet exactly these conditions as
+// transient OST failures, slow targets, and rebuilding RAID groups.
+
+// FaultClass classifies an injected write error the way a storage stack
+// distinguishes retryable from terminal failures.
+type FaultClass int
+
+// Fault classes. Transient faults (timeouts, dropped RPCs) are worth
+// retrying; Full (ENOSPC-style) and Corrupt (checksum mismatch) are not —
+// retrying the same write cannot help, so callers must fail fast.
+const (
+	FaultTransient FaultClass = iota
+	FaultFull
+	FaultCorrupt
+)
+
+// String implements fmt.Stringer.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultTransient:
+		return "transient"
+	case FaultFull:
+		return "full"
+	case FaultCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseFaultClass parses a class name as rendered by String.
+func ParseFaultClass(s string) (FaultClass, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "transient":
+		return FaultTransient, nil
+	case "full":
+		return FaultFull, nil
+	case "corrupt":
+		return FaultCorrupt, nil
+	}
+	return 0, fmt.Errorf("pfs: unknown fault class %q (transient|full|corrupt)", s)
+}
+
+// MarshalText renders the class name into JSON plans.
+func (c FaultClass) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText accepts the class name in JSON plans.
+func (c *FaultClass) UnmarshalText(b []byte) error {
+	v, err := ParseFaultClass(string(b))
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
+// FaultError is the error an injected fault surfaces from FS.Write. It
+// carries the class (for retry policies), the primary OST the request was
+// routed to, and the global write sequence number at injection time.
+type FaultError struct {
+	Class FaultClass
+	OST   int
+	Seq   int64
+}
+
+// Error implements the error interface.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("pfs: injected %s fault on OST %d (write #%d)", e.Class, e.OST, e.Seq)
+}
+
+// Classify extracts the fault class from an error chain; ok is false for
+// errors that are not injected faults.
+func Classify(err error) (c FaultClass, ok bool) {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe.Class, true
+	}
+	return 0, false
+}
+
+// IsTransient reports whether err is a retryable injected fault.
+func IsTransient(err error) bool {
+	c, ok := Classify(err)
+	return ok && c == FaultTransient
+}
+
+// DegradeWindow throttles effective bandwidth for every write whose global
+// sequence number falls in [FromWrite, ToWrite) — a deterministic stand-in
+// for a congested or rebuilding target period.
+type DegradeWindow struct {
+	FromWrite int64 `json:"fromWrite"`
+	ToWrite   int64 `json:"toWrite"`
+	// Factor multiplies effective bandwidth, in (0, 1).
+	Factor float64 `json:"factor"`
+}
+
+// FaultPlan is a deterministic, seedable fault schedule. The zero plan
+// injects nothing; every probability draws from one seeded stream so a plan
+// reproduces the same fault sequence run-to-run regardless of which knobs
+// are enabled. Durations serialize as nanoseconds in JSON plan files.
+type FaultPlan struct {
+	Seed int64 `json:"seed"`
+
+	// WriteErrorRate is the per-write probability of an injected error of
+	// class Class (default transient).
+	WriteErrorRate float64    `json:"writeErrorRate,omitempty"`
+	Class          FaultClass `json:"class,omitempty"`
+
+	// FailFirstN deterministically fails the first N writes routed to each
+	// targeted OST with transient errors, then lets that OST succeed — the
+	// fail-N-then-succeed mode retry tests are built on.
+	FailFirstN int `json:"failFirstN,omitempty"`
+
+	// OSTs restricts random errors and FailFirstN to these targets
+	// (nil/empty = every OST).
+	OSTs []int `json:"osts,omitempty"`
+
+	// SpikeRate is the per-write probability of a latency spike of Spike —
+	// the straggler model.
+	SpikeRate float64       `json:"spikeRate,omitempty"`
+	Spike     time.Duration `json:"spike,omitempty"`
+
+	// Degrade lists bandwidth degradation windows over the global write
+	// sequence.
+	Degrade []DegradeWindow `json:"degrade,omitempty"`
+}
+
+// Validate checks the plan's ranges.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.WriteErrorRate < 0 || p.WriteErrorRate > 1 {
+		return fmt.Errorf("pfs: write error rate %v outside [0,1]", p.WriteErrorRate)
+	}
+	if p.SpikeRate < 0 || p.SpikeRate > 1 {
+		return fmt.Errorf("pfs: spike rate %v outside [0,1]", p.SpikeRate)
+	}
+	if p.SpikeRate > 0 && p.Spike <= 0 {
+		return fmt.Errorf("pfs: spike rate %v with no spike duration", p.SpikeRate)
+	}
+	if p.FailFirstN < 0 {
+		return fmt.Errorf("pfs: negative failFirstN %d", p.FailFirstN)
+	}
+	if p.Class < FaultTransient || p.Class > FaultCorrupt {
+		return fmt.Errorf("pfs: unknown fault class %d", p.Class)
+	}
+	for _, o := range p.OSTs {
+		if o < 0 {
+			return fmt.Errorf("pfs: negative OST %d in fault plan", o)
+		}
+	}
+	for _, w := range p.Degrade {
+		if w.FromWrite < 0 || w.ToWrite <= w.FromWrite {
+			return fmt.Errorf("pfs: degrade window [%d,%d) is empty", w.FromWrite, w.ToWrite)
+		}
+		if w.Factor <= 0 || w.Factor >= 1 {
+			return fmt.Errorf("pfs: degrade factor %v outside (0,1)", w.Factor)
+		}
+	}
+	return nil
+}
+
+// targets reports whether the plan's OST restriction includes ost.
+func (p *FaultPlan) targets(ost int) bool {
+	if len(p.OSTs) == 0 {
+		return true
+	}
+	for _, o := range p.OSTs {
+		if o == ost {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseFaultSpec parses the compact command-line form: comma-separated
+// key=value pairs, e.g.
+//
+//	seed=42,rate=0.05,class=transient,failn=2,osts=0;2,spikerate=0.1,spike=5ms,degrade=0.5@100:200
+//
+// degrade takes factor@fromWrite:toWrite and may repeat.
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	p := &FaultPlan{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("pfs: fault spec entry %q is not key=value", kv)
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "rate":
+			p.WriteErrorRate, err = strconv.ParseFloat(val, 64)
+		case "class":
+			p.Class, err = ParseFaultClass(val)
+		case "failn":
+			p.FailFirstN, err = strconv.Atoi(val)
+		case "osts":
+			for _, s := range strings.Split(val, ";") {
+				o, perr := strconv.Atoi(strings.TrimSpace(s))
+				if perr != nil {
+					return nil, fmt.Errorf("pfs: fault spec osts %q: %v", val, perr)
+				}
+				p.OSTs = append(p.OSTs, o)
+			}
+		case "spikerate":
+			p.SpikeRate, err = strconv.ParseFloat(val, 64)
+		case "spike":
+			p.Spike, err = time.ParseDuration(val)
+		case "degrade":
+			var w DegradeWindow
+			w, err = parseDegrade(val)
+			p.Degrade = append(p.Degrade, w)
+		default:
+			return nil, fmt.Errorf("pfs: unknown fault spec key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pfs: fault spec %s=%s: %v", key, val, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseDegrade(val string) (DegradeWindow, error) {
+	fac, window, ok := strings.Cut(val, "@")
+	if !ok {
+		return DegradeWindow{}, fmt.Errorf("degrade %q is not factor@from:to", val)
+	}
+	from, to, ok := strings.Cut(window, ":")
+	if !ok {
+		return DegradeWindow{}, fmt.Errorf("degrade %q is not factor@from:to", val)
+	}
+	var w DegradeWindow
+	var err error
+	if w.Factor, err = strconv.ParseFloat(fac, 64); err != nil {
+		return DegradeWindow{}, err
+	}
+	if w.FromWrite, err = strconv.ParseInt(from, 10, 64); err != nil {
+		return DegradeWindow{}, err
+	}
+	if w.ToWrite, err = strconv.ParseInt(to, 10, 64); err != nil {
+		return DegradeWindow{}, err
+	}
+	return w, nil
+}
+
+// LoadFaultPlan resolves a -faults argument: a path to a JSON plan file when
+// one exists there, otherwise a ParseFaultSpec string.
+func LoadFaultPlan(arg string) (*FaultPlan, error) {
+	if blob, err := osReadFile(arg); err == nil {
+		p := &FaultPlan{}
+		if err := json.Unmarshal(blob, p); err != nil {
+			return nil, fmt.Errorf("pfs: fault plan %s: %v", arg, err)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("pfs: fault plan %s: %w", arg, err)
+		}
+		return p, nil
+	}
+	return ParseFaultSpec(arg)
+}
+
+// faultState is the per-FS realization of a plan. All fields are guarded by
+// FS.mu; the rng advances by a fixed number of draws per write so the fault
+// schedule is a pure function of (plan, write sequence).
+type faultState struct {
+	plan   FaultPlan
+	rng    *rand.Rand
+	seq    int64
+	firstN []int   // remaining forced failures per OST
+	perOST []int64 // injected faults per OST
+	total  int64
+	spikes int64
+	slowed int64 // writes stretched by a degradation window
+}
+
+func newFaultState(p *FaultPlan, osts int) *faultState {
+	st := &faultState{
+		plan:   *p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		firstN: make([]int, osts),
+		perOST: make([]int64, osts),
+	}
+	for i := range st.firstN {
+		if p.targets(i) {
+			st.firstN[i] = p.FailFirstN
+		}
+	}
+	return st
+}
+
+// faultOutcome is one write's drawn fate.
+type faultOutcome struct {
+	err    *FaultError
+	spiked bool
+	slowed bool
+	iso    time.Duration // isolation duration with spike/degradation applied
+}
+
+// decide draws the outcome for a write routed primarily to ost. Called under
+// FS.mu. Both probability draws happen unconditionally so disabling one knob
+// never perturbs the schedule of another.
+func (st *faultState) decide(ost int, iso time.Duration) faultOutcome {
+	seq := st.seq
+	st.seq++
+	errDraw := st.rng.Float64()
+	spikeDraw := st.rng.Float64()
+
+	out := faultOutcome{iso: iso}
+	if st.plan.SpikeRate > 0 && st.plan.Spike > 0 && spikeDraw < st.plan.SpikeRate {
+		out.spiked = true
+		out.iso += st.plan.Spike
+		st.spikes++
+	}
+	for _, w := range st.plan.Degrade {
+		if seq >= w.FromWrite && seq < w.ToWrite {
+			out.slowed = true
+			out.iso = time.Duration(float64(out.iso) / w.Factor)
+			st.slowed++
+			break
+		}
+	}
+	if st.plan.targets(ost) {
+		switch {
+		case ost < len(st.firstN) && st.firstN[ost] > 0:
+			st.firstN[ost]--
+			out.err = &FaultError{Class: FaultTransient, OST: ost, Seq: seq}
+		case st.plan.WriteErrorRate > 0 && errDraw < st.plan.WriteErrorRate:
+			out.err = &FaultError{Class: st.plan.Class, OST: ost, Seq: seq}
+		}
+	}
+	if out.err != nil {
+		st.perOST[ost]++
+		st.total++
+	}
+	return out
+}
+
+// FaultStats reports injected-fault counts: one entry per OST plus the
+// total. Zero-valued when the FS has no fault plan.
+func (fs *FS) FaultStats() (perOST []int64, total int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.faults == nil {
+		return nil, 0
+	}
+	return append([]int64(nil), fs.faults.perOST...), fs.faults.total
+}

@@ -1,0 +1,257 @@
+package pfs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newFaultFS(t *testing.T, plan *FaultPlan) (*FS, *fakeClock) {
+	t.Helper()
+	cfg := Config{OSTs: 4, StripeBytes: 1 << 15, PerOSTBandwidth: 1 << 30, Latency: time.Millisecond, Faults: plan}
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	clk := newFakeClock()
+	fs.SetClock(clk.now, clk.sleep)
+	return fs, clk
+}
+
+// faultSchedule records, for nWrites identical writes, which sequence
+// numbers faulted.
+func faultSchedule(t *testing.T, plan FaultPlan, nWrites int) []int64 {
+	t.Helper()
+	fs, _ := newFaultFS(t, &plan)
+	f := fs.Create("x")
+	var seqs []int64
+	buf := make([]byte, 512)
+	for i := 0; i < nWrites; i++ {
+		_, err := fs.Write(f, int64(i)*512, buf)
+		var fe *FaultError
+		if errors.As(err, &fe) {
+			seqs = append(seqs, fe.Seq)
+		} else if err != nil {
+			t.Fatalf("write %d: unexpected error %v", i, err)
+		}
+	}
+	return seqs
+}
+
+func TestFaultPlanDeterminism(t *testing.T) {
+	plan := FaultPlan{Seed: 42, WriteErrorRate: 0.2}
+	a := faultSchedule(t, plan, 400)
+	b := faultSchedule(t, plan, 400)
+	if len(a) == 0 {
+		t.Fatal("20% rate over 400 writes injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverges at %d: seq %d vs %d", i, a[i], b[i])
+		}
+	}
+	// A different seed should realize a different schedule.
+	plan.Seed = 43
+	c := faultSchedule(t, plan, 400)
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical fault schedules")
+		}
+	}
+}
+
+func TestFailFirstNThenSucceed(t *testing.T) {
+	fs, _ := newFaultFS(t, &FaultPlan{Seed: 1, FailFirstN: 2})
+	f := fs.Create("x")
+	buf := []byte("payload")
+	var failures int
+	for i := 0; i < 20; i++ {
+		before := f.Size()
+		_, err := fs.Write(f, int64(i)*int64(len(buf)), buf)
+		if err == nil {
+			continue
+		}
+		failures++
+		if !IsTransient(err) {
+			t.Fatalf("fail-first-N produced non-transient error: %v", err)
+		}
+		if f.Size() != before {
+			t.Fatalf("failed write committed bytes: size %d -> %d", before, f.Size())
+		}
+	}
+	// Single-OST routing (small writes go to the least-busy OST, and with a
+	// fake clock all horizons stay equal) means each of the 4 OSTs serves
+	// its first requests eventually; total forced failures = 2 per targeted
+	// OST, bounded by the writes issued.
+	perOST, total := fs.FaultStats()
+	if total != int64(failures) {
+		t.Fatalf("FaultStats total %d != observed %d", total, failures)
+	}
+	var sum int64
+	for _, c := range perOST {
+		if c > 2 {
+			t.Fatalf("an OST forced more than FailFirstN failures: %v", perOST)
+		}
+		sum += c
+	}
+	if sum != total {
+		t.Fatalf("per-OST counts %v do not sum to total %d", perOST, total)
+	}
+	if failures == 0 {
+		t.Fatal("FailFirstN=2 never failed")
+	}
+	// After the forced failures the FS must settle into pure success.
+	if _, err := fs.Write(f, 0, buf); err != nil && failures >= 2*4 {
+		t.Fatalf("write after forced failures exhausted: %v", err)
+	}
+}
+
+func TestFaultClassPropagation(t *testing.T) {
+	for _, class := range []FaultClass{FaultTransient, FaultFull, FaultCorrupt} {
+		fs, _ := newFaultFS(t, &FaultPlan{Seed: 9, WriteErrorRate: 1, Class: class})
+		f := fs.Create("x")
+		_, err := fs.Write(f, 0, []byte("data"))
+		got, ok := Classify(err)
+		if !ok || got != class {
+			t.Fatalf("class %v: Classify(%v) = %v, %v", class, err, got, ok)
+		}
+		if IsTransient(err) != (class == FaultTransient) {
+			t.Fatalf("class %v: IsTransient mismatch", class)
+		}
+	}
+}
+
+func TestLatencySpikeStretchesWrites(t *testing.T) {
+	const spike = 50 * time.Millisecond
+	base, baseClk := newFaultFS(t, nil)
+	spiky, spikyClk := newFaultFS(t, &FaultPlan{Seed: 7, SpikeRate: 1, Spike: spike})
+	buf := make([]byte, 4096)
+	bf := base.Create("x")
+	sf := spiky.Create("x")
+	const writes = 10
+	for i := 0; i < writes; i++ {
+		if _, err := base.Write(bf, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := spiky.Write(sf, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := spikyClk.now().Sub(baseClk.now())
+	if extra != writes*spike {
+		t.Fatalf("spike rate 1 over %d writes added %v, want %v", writes, extra, writes*spike)
+	}
+}
+
+func TestDegradeWindowStretchesWrites(t *testing.T) {
+	// Factor 0.5 halves bandwidth for writes [0, 5): those writes take
+	// 2*(iso-latency)+latency each.
+	plan := &FaultPlan{Seed: 3, Degrade: []DegradeWindow{{FromWrite: 0, ToWrite: 5, Factor: 0.5}}}
+	fs, _ := newFaultFS(t, plan)
+	f := fs.Create("x")
+	buf := make([]byte, 1<<14)
+	iso := fs.ModelDuration(int64(len(buf)))
+	slow, err := fs.Write(f, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * iso; slow != want {
+		t.Fatalf("degraded write took %v, want %v (iso %v)", slow, want, iso)
+	}
+	for i := 1; i < 5; i++ {
+		if _, err := fs.Write(f, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fast, err := fs.Write(f, 0, buf) // write #5: past the window
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != iso {
+		t.Fatalf("post-window write took %v, want %v", fast, iso)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	p, err := ParseFaultSpec("seed=42,rate=0.05,class=corrupt,failn=2,osts=0;2,spikerate=0.1,spike=5ms,degrade=0.5@100:200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.WriteErrorRate != 0.05 || p.Class != FaultCorrupt || p.FailFirstN != 2 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if len(p.OSTs) != 2 || p.OSTs[0] != 0 || p.OSTs[1] != 2 {
+		t.Fatalf("OSTs %v", p.OSTs)
+	}
+	if p.SpikeRate != 0.1 || p.Spike != 5*time.Millisecond {
+		t.Fatalf("spike %+v", p)
+	}
+	if len(p.Degrade) != 1 || p.Degrade[0] != (DegradeWindow{FromWrite: 100, ToWrite: 200, Factor: 0.5}) {
+		t.Fatalf("degrade %+v", p.Degrade)
+	}
+
+	for _, bad := range []string{
+		"rate=2",            // out of range
+		"class=flaky",       // unknown class
+		"spikerate=0.5",     // rate without duration
+		"degrade=1.5@0:10",  // factor outside (0,1)
+		"degrade=0.5@10:10", // empty window
+		"nonsense",          // not key=value
+		"unknownkey=1",      // unknown key
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestLoadFaultPlanJSONAndSpec(t *testing.T) {
+	want := &FaultPlan{Seed: 5, WriteErrorRate: 0.1, Class: FaultFull, Spike: 2 * time.Millisecond, SpikeRate: 0.5}
+	blob, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFaultPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != want.Seed || got.WriteErrorRate != want.WriteErrorRate || got.Class != want.Class || got.Spike != want.Spike {
+		t.Fatalf("loaded %+v, want %+v", got, want)
+	}
+	// A non-path argument falls back to the spec grammar.
+	got, err = LoadFaultPlan("seed=8,rate=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 8 || got.WriteErrorRate != 0.2 {
+		t.Fatalf("spec fallback parsed %+v", got)
+	}
+	if _, err := LoadFaultPlan(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file with non-spec name parsed without error")
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	cfg := Config{OSTs: 2, StripeBytes: 1 << 20, PerOSTBandwidth: 1 << 20,
+		Faults: &FaultPlan{WriteErrorRate: 1.5}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid fault plan accepted by New")
+	}
+}

@@ -41,6 +41,9 @@ type Config struct {
 	// a request of exactly SmallIOBytes runs at half bandwidth; much larger
 	// requests approach full bandwidth. Zero disables the penalty.
 	SmallIOBytes int64
+	// Faults, when non-nil, injects the deterministic fault schedule into
+	// every paced Write (see FaultPlan). Nil disables injection.
+	Faults *FaultPlan
 }
 
 // Summit16 approximates a 16-node Summit allocation's share of GPFS,
@@ -69,7 +72,7 @@ func (c Config) validate() error {
 	if c.Latency < 0 {
 		return errors.New("pfs: negative latency")
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // File is an in-memory shared file supporting concurrent offset writes, the
@@ -133,6 +136,7 @@ type FS struct {
 	mu      sync.Mutex
 	files   map[string]*File
 	ostBusy []time.Time // per-OST reservation horizon (wall-clock mode)
+	faults  *faultState // nil when no fault plan is configured
 
 	// injectable clock for tests
 	now   func() time.Time
@@ -148,13 +152,17 @@ func New(cfg Config) (*FS, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &FS{
+	fs := &FS{
 		cfg:     cfg,
 		files:   make(map[string]*File),
 		ostBusy: make([]time.Time, cfg.OSTs),
 		now:     time.Now,
 		sleep:   time.Sleep,
-	}, nil
+	}
+	if cfg.Faults != nil {
+		fs.faults = newFaultState(cfg.Faults, cfg.OSTs)
+	}
+	return fs, nil
 }
 
 // Config returns the file system's configuration.
@@ -236,12 +244,18 @@ func (fs *FS) stripesFor(n int64) int {
 // reserves the least-busy stripesFor(len(p)) OSTs from max(now, their
 // horizon) and sleeps until the reservation ends. It returns the modelled
 // duration actually experienced (including queueing).
+//
+// When a fault plan is configured, the injection decision is made under the
+// same lock that routes the request, *before* any bytes land in the file: a
+// failed write must leave the file untouched or retries could not assert
+// byte-identical contents. A failed attempt still pays the request latency
+// (the RPC went out and timed out), but reserves no OST capacity.
 func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 	if f == nil {
 		return 0, errors.New("pfs: nil file")
 	}
-	if _, err := f.WriteAt(p, off); err != nil {
-		return 0, err
+	if off < 0 {
+		return 0, errors.New("pfs: negative offset")
 	}
 	n := int64(len(p))
 	iso := fs.ModelDuration(n)
@@ -255,6 +269,32 @@ func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool { return fs.ostBusy[idx[a]].Before(fs.ostBusy[idx[b]]) })
+	var out faultOutcome
+	out.iso = iso
+	if fs.faults != nil {
+		out = fs.faults.decide(idx[0], iso)
+	}
+	if out.err != nil {
+		sleepFn := fs.sleep
+		rec := fs.rec
+		lat := fs.cfg.Latency
+		fs.mu.Unlock()
+		if rec.Enabled() {
+			rec.Count("pfs.fault.injected", 1)
+			rec.Count("pfs.fault."+out.err.Class.String(), 1)
+			rec.WallSpan(obs.Span{
+				Name: fmt.Sprintf("fault %s %s", out.err.Class, f.name), Cat: "fault",
+				Rank: obs.PIDStorage, Thread: obs.Thread(out.err.OST),
+				Block: obs.NoBlock, Bytes: n,
+				Extra: fmt.Sprintf("write #%d", out.err.Seq),
+			}, now, now.Add(lat))
+		}
+		if lat > 0 {
+			sleepFn(lat)
+		}
+		return lat, out.err
+	}
+	iso = out.iso
 	start := now
 	for _, i := range idx[:k] {
 		if fs.ostBusy[i].After(start) {
@@ -271,7 +311,17 @@ func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 	rec := fs.rec
 	fs.mu.Unlock()
 
+	if _, err := f.WriteAt(p, off); err != nil {
+		return 0, err
+	}
+
 	if rec.Enabled() {
+		if out.spiked {
+			rec.Count("pfs.fault.latency_spike", 1)
+		}
+		if out.slowed {
+			rec.Count("pfs.fault.degraded_write", 1)
+		}
 		// Effective bandwidth as experienced (including queueing delay).
 		expSecs := finish.Sub(now).Seconds()
 		bw := 0.0

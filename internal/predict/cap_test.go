@@ -1,0 +1,96 @@
+package predict
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRatioPredictorEviction(t *testing.T) {
+	rp := NewRatioPredictor(0.5)
+	rp.SetLimit(8)
+	rec := obs.NewRecorder()
+	rp.SetRecorder(rec)
+
+	for i := 0; i < 100; i++ {
+		rp.Observe(BlockKey("rho", i), 4+float64(i%3))
+	}
+	if got := rp.Len(); got != 8 {
+		t.Fatalf("Len = %d after 100 keys with limit 8", got)
+	}
+	if rec.GaugeValue("predict.ratio.entries") != 8 {
+		t.Fatalf("gauge = %v, want 8", rec.GaugeValue("predict.ratio.entries"))
+	}
+	if rec.Counter("predict.ratio.evictions") != 92 {
+		t.Fatalf("evictions = %v, want 92", rec.Counter("predict.ratio.evictions"))
+	}
+	// The survivors are the most recently observed keys.
+	for i := 92; i < 100; i++ {
+		key := BlockKey("rho", i)
+		if got := rp.Predict(key, 1); got < 4 || got > 6 {
+			t.Fatalf("surviving key %s predicts %v", key, got)
+		}
+	}
+	// Evicted keys fall back to the global average, which all samples fed.
+	global := rp.Predict(BlockKey("rho", 0), 1)
+	if global < 4 || global > 6 {
+		t.Fatalf("evicted key fell back to %v, not the global average", global)
+	}
+
+	// Re-observing an old key keeps it alive past newer untouched keys.
+	rp.Observe(BlockKey("rho", 92), 5)
+	rp.Observe(BlockKey("fresh", 0), 5) // evicts 93, not 92
+	if rp.Len() != 8 {
+		t.Fatalf("Len = %d after touch+insert", rp.Len())
+	}
+	found92 := false
+	for i := 0; i < 8; i++ {
+		if rp.Predict(BlockKey("rho", 92), -1) != -1 {
+			found92 = true
+		}
+	}
+	if !found92 {
+		t.Fatal("recently touched key was evicted before untouched older keys")
+	}
+
+	// Shrinking the limit evicts immediately.
+	rp.SetLimit(2)
+	if rp.Len() != 2 {
+		t.Fatalf("Len = %d after SetLimit(2)", rp.Len())
+	}
+}
+
+func TestIOPredictorBucketCap(t *testing.T) {
+	ip := NewIOPredictor(0.5)
+	ip.SetLimit(4)
+	rec := obs.NewRecorder()
+	ip.SetRecorder(rec)
+
+	for i := 0; i < 12; i++ {
+		ip.Observe(1<<uint(i+4), 0.001) // one bucket per observation
+	}
+	if got := ip.Len(); got != 4 {
+		t.Fatalf("Len = %d after 12 buckets with limit 4", got)
+	}
+	if rec.GaugeValue("predict.io.buckets") != 4 {
+		t.Fatalf("gauge = %v, want 4", rec.GaugeValue("predict.io.buckets"))
+	}
+	if rec.Counter("predict.io.evictions") != 8 {
+		t.Fatalf("evictions = %v, want 8", rec.Counter("predict.io.evictions"))
+	}
+	// Predictions still work off the surviving (recent, large) buckets.
+	if d := ip.PredictDuration(1<<15, -1); d < 0 {
+		t.Fatal("prediction fell through to default despite surviving buckets")
+	}
+}
+
+func TestRatioPredictorDefaultLimit(t *testing.T) {
+	rp := NewRatioPredictor(0.5)
+	for i := 0; i < DefaultRatioEntries+50; i++ {
+		rp.Observe(fmt.Sprintf("f#%d", i), 4)
+	}
+	if got := rp.Len(); got != DefaultRatioEntries {
+		t.Fatalf("Len = %d, want default cap %d", got, DefaultRatioEntries)
+	}
+}

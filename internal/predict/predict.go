@@ -8,10 +8,25 @@
 package predict
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Entry caps: a long-lived daemon observes unboundedly many (field, block)
+// keys and request sizes across jobs, so both keyed predictors bound their
+// maps and evict the least-recently-observed entry — the global fallback
+// absorbs predictions for evicted keys.
+const (
+	// DefaultRatioEntries bounds RatioPredictor.byBlock.
+	DefaultRatioEntries = 4096
+	// DefaultIOBuckets bounds IOPredictor.buckets (log2 bucketing keeps the
+	// natural population ~60, so this trips only under adversarial churn).
+	DefaultIOBuckets = 64
 )
 
 // EWMA is an exponentially weighted moving average. The zero value is
@@ -57,45 +72,101 @@ func (e *EWMA) N() int { return e.n }
 type RatioPredictor struct {
 	mu      sync.Mutex
 	alpha   float64
-	byBlock map[string]*EWMA
+	limit   int
+	byBlock map[string]*list.Element
+	order   *list.List // front = least recently observed
 	global  *EWMA
+	rec     *obs.Recorder
 }
 
-// NewRatioPredictor constructs a predictor; alpha as in NewEWMA.
+// ratioEntry is one LRU node: the key plus its running average.
+type ratioEntry struct {
+	key string
+	e   *EWMA
+}
+
+// NewRatioPredictor constructs a predictor; alpha as in NewEWMA. The
+// per-block map holds at most DefaultRatioEntries (see SetLimit).
 func NewRatioPredictor(alpha float64) *RatioPredictor {
 	return &RatioPredictor{
 		alpha:   alpha,
-		byBlock: make(map[string]*EWMA),
+		limit:   DefaultRatioEntries,
+		byBlock: make(map[string]*list.Element),
+		order:   list.New(),
 		global:  NewEWMA(alpha),
 	}
+}
+
+// SetLimit overrides the per-block entry cap (values < 1 are ignored).
+func (rp *RatioPredictor) SetLimit(n int) {
+	if n < 1 {
+		return
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.limit = n
+	rp.evictLocked()
+}
+
+// SetRecorder attaches an observability recorder: Observe then maintains
+// the predict.ratio.entries gauge and counts evictions.
+func (rp *RatioPredictor) SetRecorder(r *obs.Recorder) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.rec = r
+}
+
+// Len returns the number of per-block entries currently tracked.
+func (rp *RatioPredictor) Len() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return len(rp.byBlock)
 }
 
 // BlockKey builds the canonical key for a field's block.
 func BlockKey(field string, block int) string { return fmt.Sprintf("%s#%d", field, block) }
 
-// Observe records the achieved ratio for a block.
+// Observe records the achieved ratio for a block, touching its entry in the
+// eviction order and evicting the least-recently-observed key over the cap.
 func (rp *RatioPredictor) Observe(key string, ratio float64) {
 	if ratio <= 0 || math.IsNaN(ratio) || math.IsInf(ratio, 0) {
 		return
 	}
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
-	e, ok := rp.byBlock[key]
+	el, ok := rp.byBlock[key]
 	if !ok {
-		e = NewEWMA(rp.alpha)
-		rp.byBlock[key] = e
+		el = rp.order.PushBack(&ratioEntry{key: key, e: NewEWMA(rp.alpha)})
+		rp.byBlock[key] = el
+		rp.evictLocked()
+	} else {
+		rp.order.MoveToBack(el)
 	}
-	e.Observe(ratio)
+	el.Value.(*ratioEntry).e.Observe(ratio)
 	rp.global.Observe(ratio)
+	rp.rec.Gauge("predict.ratio.entries", float64(len(rp.byBlock)))
+}
+
+func (rp *RatioPredictor) evictLocked() {
+	for len(rp.byBlock) > rp.limit {
+		oldest := rp.order.Front()
+		if oldest == nil {
+			return
+		}
+		rp.order.Remove(oldest)
+		delete(rp.byBlock, oldest.Value.(*ratioEntry).key)
+		rp.rec.Count("predict.ratio.evictions", 1)
+	}
 }
 
 // Predict returns the expected ratio for a block, falling back to the
-// global average, then to the supplied default.
+// global average, then to the supplied default. Lookups do not touch the
+// eviction order — only fresh observations keep an entry alive.
 func (rp *RatioPredictor) Predict(key string, def float64) float64 {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
-	if e, ok := rp.byBlock[key]; ok {
-		if v, ok := e.Value(); ok {
+	if el, ok := rp.byBlock[key]; ok {
+		if v, ok := el.Value.(*ratioEntry).e.Value(); ok {
 			return v
 		}
 	}
@@ -146,12 +217,63 @@ func (tp *ThroughputPredictor) PredictDuration(bytes int64, def float64) float64
 type IOPredictor struct {
 	mu      sync.Mutex
 	alpha   float64
-	buckets map[int]*EWMA // log2 bucket -> bandwidth (bytes/s)
+	limit   int
+	seq     uint64
+	buckets map[int]*ioBucket // log2 bucket -> bandwidth (bytes/s)
+	rec     *obs.Recorder
 }
 
-// NewIOPredictor constructs a predictor; alpha as in NewEWMA.
+// ioBucket is one bucket's running average plus its last-observed stamp.
+type ioBucket struct {
+	e     *EWMA
+	touch uint64
+}
+
+// NewIOPredictor constructs a predictor; alpha as in NewEWMA. The bucket
+// map holds at most DefaultIOBuckets entries (see SetLimit).
 func NewIOPredictor(alpha float64) *IOPredictor {
-	return &IOPredictor{alpha: alpha, buckets: make(map[int]*EWMA)}
+	return &IOPredictor{alpha: alpha, limit: DefaultIOBuckets, buckets: make(map[int]*ioBucket)}
+}
+
+// SetLimit overrides the bucket cap (values < 1 are ignored).
+func (ip *IOPredictor) SetLimit(n int) {
+	if n < 1 {
+		return
+	}
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	ip.limit = n
+	ip.evictLocked()
+}
+
+// SetRecorder attaches an observability recorder: Observe then maintains
+// the predict.io.buckets gauge and counts evictions.
+func (ip *IOPredictor) SetRecorder(r *obs.Recorder) {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	ip.rec = r
+}
+
+// Len returns the number of buckets currently tracked.
+func (ip *IOPredictor) Len() int {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	return len(ip.buckets)
+}
+
+// evictLocked drops least-recently-observed buckets over the cap; the map
+// is small (log2 buckets), so a linear scan is fine.
+func (ip *IOPredictor) evictLocked() {
+	for len(ip.buckets) > ip.limit {
+		oldestKey, oldest := -1, uint64(math.MaxUint64)
+		for k, b := range ip.buckets {
+			if b.touch < oldest {
+				oldestKey, oldest = k, b.touch
+			}
+		}
+		delete(ip.buckets, oldestKey)
+		ip.rec.Count("predict.io.evictions", 1)
+	}
 }
 
 func sizeBucket(bytes int64) int {
@@ -170,12 +292,18 @@ func (ip *IOPredictor) Observe(bytes int64, seconds float64) {
 	ip.mu.Lock()
 	defer ip.mu.Unlock()
 	k := sizeBucket(bytes)
-	e, ok := ip.buckets[k]
+	b, ok := ip.buckets[k]
 	if !ok {
-		e = NewEWMA(ip.alpha)
-		ip.buckets[k] = e
+		b = &ioBucket{e: NewEWMA(ip.alpha)}
+		ip.buckets[k] = b
 	}
-	e.Observe(float64(bytes) / seconds)
+	ip.seq++
+	b.touch = ip.seq
+	b.e.Observe(float64(bytes) / seconds)
+	if !ok {
+		ip.evictLocked()
+	}
+	ip.rec.Gauge("predict.io.buckets", float64(len(ip.buckets)))
 }
 
 // PredictDuration returns the expected write duration for `bytes`. With no
@@ -191,8 +319,8 @@ func (ip *IOPredictor) PredictDuration(bytes int64, def float64) float64 {
 		return def
 	}
 	want := sizeBucket(bytes)
-	if e, ok := ip.buckets[want]; ok {
-		if bw, ok := e.Value(); ok && bw > 0 {
+	if b, ok := ip.buckets[want]; ok {
+		if bw, ok := b.e.Value(); ok && bw > 0 {
 			return float64(bytes) / bw
 		}
 	}
@@ -213,7 +341,7 @@ func (ip *IOPredictor) PredictDuration(bytes int64, def float64) float64 {
 		}
 	}
 	if best >= 0 {
-		if bw, ok := ip.buckets[best].Value(); ok && bw > 0 {
+		if bw, ok := ip.buckets[best].e.Value(); ok && bw > 0 {
 			return float64(bytes) / bw
 		}
 	}

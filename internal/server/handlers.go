@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -216,6 +218,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.rec.Metrics())
 }
 
+// handleFaultPlan serves the deployment's active fault-injection plan so
+// clients and tooling can discover the failure regime; 404 when none.
+func (s *Server) handleFaultPlan(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Faults == nil {
+		writeError(w, http.StatusNotFound, "no fault plan configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Faults)
+}
+
 // observeSolve records one successful execution's latency histogram, cache
 // counters, and a wall-clock trace span.
 func (s *Server) observeSolve(kind string, start time.Time, hit bool) {
@@ -254,13 +266,37 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// retryAfter estimates how long a shed client should wait before retrying:
+// the work queued ahead of it (current depth plus itself) times the median
+// observed task latency, spread across the worker pool, clamped to [1,30]
+// seconds. With no latency history yet (cold start or a nil recorder) it
+// falls back to 1 second.
+func (s *Server) retryAfter() string {
+	p50 := s.rec.HistSnapshot("server.solve.seconds").Quantile(0.5)
+	if p := s.rec.HistSnapshot("server.plan.seconds").Quantile(0.5); p > p50 {
+		p50 = p
+	}
+	if p50 <= 0 {
+		return "1"
+	}
+	wait := float64(len(s.queue)+1) * p50 / float64(s.cfg.PoolSize)
+	secs := int(math.Ceil(wait))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
 // writeTaskError maps an execution error to its HTTP status: shed → 429
-// (with Retry-After so well-behaved clients back off), draining → 503,
-// context expiry → 504, panic or anything else → 500.
+// (with a load-derived Retry-After so well-behaved clients back off),
+// draining → 503, context expiry → 504, panic or anything else → 500.
 func (s *Server) writeTaskError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pfs"
 	"repro/internal/plan"
 )
 
@@ -55,6 +56,10 @@ type Config struct {
 	// Rec receives the server's counters and histograms; nil disables
 	// recording (the /metrics endpoint then reports enabled=false).
 	Rec *obs.Recorder
+	// Faults is the fault plan the deployment's modelled file system runs
+	// under, served read-only at GET /v1/faultplan so clients and tooling
+	// can discover the active failure regime; nil means no injection (404).
+	Faults *pfs.FaultPlan
 
 	// testHookPreWork, when set, runs inside the worker before each task
 	// executes — tests use it to hold workers busy deterministically.
@@ -211,6 +216,7 @@ func (e *panicError) Error() string { return "server: task panicked" }
 //	POST /v1/solve      one sched.Problem + algorithm → schedule
 //	POST /v1/plan       per-rank problems → balanced plan.IterationPlan
 //	GET  /v1/algorithms the available algorithm names
+//	GET  /v1/faultplan  the active fault-injection plan (404 when none)
 //	GET  /healthz       200 ok / 503 draining
 //	GET  /metrics       the obs metrics snapshot as JSON
 //
@@ -220,6 +226,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /v1/faultplan", s.handleFaultPlan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.recoverMW(mux)

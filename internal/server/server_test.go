@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pfs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 )
@@ -473,5 +474,63 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition never became true")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRetryAfterScalesWithLoad(t *testing.T) {
+	rec := obs.NewRecorder()
+	srv := New(Config{PoolSize: 2, QueueDepth: 4, Cache: plan.NewSolveCache(0), Rec: rec})
+	defer srv.Close()
+
+	// Cold start: no latency history, fall back to 1s.
+	if got := srv.retryAfter(); got != "1" {
+		t.Fatalf("cold-start Retry-After = %q, want \"1\"", got)
+	}
+
+	// With a ~4s median solve and an empty queue: ceil(1*4/2) = 2s.
+	for i := 0; i < 10; i++ {
+		rec.ObserveHist("server.solve.seconds", 4.0)
+	}
+	if got := srv.retryAfter(); got != "2" {
+		t.Fatalf("loaded Retry-After = %q, want \"2\"", got)
+	}
+
+	// A huge median must clamp at 30s.
+	rec2 := obs.NewRecorder()
+	srv2 := New(Config{PoolSize: 1, QueueDepth: 4, Cache: plan.NewSolveCache(0), Rec: rec2})
+	defer srv2.Close()
+	for i := 0; i < 10; i++ {
+		rec2.ObserveHist("server.plan.seconds", 500.0)
+	}
+	if got := srv2.retryAfter(); got != "30" {
+		t.Fatalf("clamped Retry-After = %q, want \"30\"", got)
+	}
+}
+
+func TestFaultPlanEndpoint(t *testing.T) {
+	// Unconfigured: 404.
+	srv := New(Config{Cache: plan.NewSolveCache(0)})
+	defer srv.Close()
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/faultplan", nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("no plan: status %d", w.Code)
+	}
+
+	// Configured: the plan round-trips as JSON.
+	fp := &pfs.FaultPlan{Seed: 42, WriteErrorRate: 0.05, Class: pfs.FaultTransient}
+	srv2 := New(Config{Cache: plan.NewSolveCache(0), Faults: fp})
+	defer srv2.Close()
+	w2 := httptest.NewRecorder()
+	srv2.Handler().ServeHTTP(w2, httptest.NewRequest(http.MethodGet, "/v1/faultplan", nil))
+	if w2.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w2.Code, w2.Body)
+	}
+	var got pfs.FaultPlan
+	if err := json.Unmarshal(w2.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != fp.Seed || got.WriteErrorRate != fp.WriteErrorRate || got.Class != fp.Class {
+		t.Fatalf("served plan %+v, want %+v", got, *fp)
 	}
 }

@@ -151,6 +151,12 @@ func (rr *rankRun) planDump(sn storage.Snapshot, pending *pendingDump) (*dumpPla
 			return nil, err
 		}
 		dp.dsw[fi] = dw
+		// A degraded chunk achieved ratio 1.0: feed that outcome back so the
+		// next iteration reserves for what the write actually was (§4.4).
+		fi := fi
+		rr.router.register(rr.dsName(fi), func(chunk int, rawBytes int64) {
+			rr.ratioP.Observe(rr.blockPredKey(fi, chunk), 1.0)
+		})
 	}
 
 	// Node-wide planning: gather every rank's input on the node root, plan
@@ -275,7 +281,10 @@ func (rr *rankRun) compressTask(dp *dumpPlan, chunk int, pending *pendingDump) f
 		rr.compP.Observe(raw, time.Since(t0).Seconds())
 		rr.ratioP.Observe(rr.blockPredKey(fi, bi), st.Ratio)
 
-		staged, err := dp.dsw[fi].Stage(bi, blob)
+		// The raw fallback lets the recovery layer reroute this block
+		// uncompressed if its compressed bytes exhaust their retries.
+		staged, err := storage.StageChunk(dp.dsw[fi], bi, blob,
+			func() []byte { return rawChunk(slice) })
 		if err != nil {
 			return err
 		}
@@ -312,7 +321,7 @@ func (rr *rankRun) finalDump(pending *pendingDump) error {
 		if err != nil {
 			return err
 		}
-		sn = s
+		sn = rr.armSnapshot(s)
 	}
 	v, err := rr.c.Bcast(0, sn)
 	if err != nil {
@@ -356,7 +365,9 @@ func (rr *rankRun) finalDump(pending *pendingDump) error {
 			}
 			for bi, blob := range blobs {
 				rr.ratioP.Observe(rr.blockPredKey(fi, bi), sts[bi].Ratio)
-				staged, err := dp.dsw[fi].Stage(bi, blob)
+				slice := rr.splits[bi].Slice(pending.data[fi], rr.cfg.Dims)
+				staged, err := storage.StageChunk(dp.dsw[fi], bi, blob,
+					func() []byte { return rawChunk(slice) })
 				if err != nil {
 					return err
 				}

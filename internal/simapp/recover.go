@@ -1,0 +1,64 @@
+package simapp
+
+import (
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// degradeRouter fans the recovery layer's OnDegrade callbacks back to the
+// rank that owns the dataset. The snapshot (and hence its RecoveryOptions)
+// is shared by every rank, but the predictor that must learn about a
+// degraded chunk — the achieved ratio is 1.0, not the predicted one — lives
+// on the origin rank; each rank registers a handler per dataset it creates
+// and the router dispatches by dataset name. It also aggregates the
+// run-wide degraded totals for Result.
+type degradeRouter struct {
+	mu       sync.Mutex
+	handlers map[string]func(chunk int, rawBytes int64)
+	chunks   int
+	bytes    int64
+}
+
+func newDegradeRouter() *degradeRouter {
+	return &degradeRouter{handlers: make(map[string]func(int, int64))}
+}
+
+// register installs (or replaces, across iterations) the handler for one
+// dataset name.
+func (d *degradeRouter) register(dataset string, h func(chunk int, rawBytes int64)) {
+	d.mu.Lock()
+	d.handlers[dataset] = h
+	d.mu.Unlock()
+}
+
+// dispatch is the RecoveryOptions.OnDegrade hook. It may run on any rank's
+// writer goroutine (balancing moves writes across a node), so the handler
+// is invoked outside the router lock.
+func (d *degradeRouter) dispatch(dataset string, chunk int, rawBytes int64) {
+	d.mu.Lock()
+	d.chunks++
+	d.bytes += rawBytes
+	h := d.handlers[dataset]
+	d.mu.Unlock()
+	if h != nil {
+		h(chunk, rawBytes)
+	}
+}
+
+func (d *degradeRouter) totals() (chunks int, bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.chunks, d.bytes
+}
+
+// armSnapshot wraps a freshly created snapshot with the run's retry policy
+// and degrade routing. Called by rank 0 before the handle is broadcast, so
+// every rank's writes share one armed snapshot.
+func (rr *rankRun) armSnapshot(s storage.Snapshot) storage.Snapshot {
+	return storage.WithRecovery(s, storage.RecoveryOptions{
+		Policy:    rr.retry,
+		Rec:       rr.rec(),
+		OnDegrade: rr.router.dispatch,
+	})
+}

@@ -137,6 +137,11 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 	for i := range stores {
 		stores[i] = newNodeStore()
 	}
+	retry := cfg.Retry
+	if retry == nil {
+		retry = storage.DefaultRetryPolicy()
+	}
+	router := newDegradeRouter()
 
 	startAll := time.Now()
 	err = world.Run(func(c *mpi.Comm) error {
@@ -146,6 +151,8 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 			backend: backend,
 			store:   stores[c.Node()],
 			stats:   stats,
+			retry:   retry,
+			router:  router,
 			ratioP:  predict.NewRatioPredictor(0.6),
 			compP:   predict.NewThroughputPredictor(0.6),
 			ioP:     predict.NewIOPredictor(0.6),
@@ -195,6 +202,9 @@ func RunOn(cfg Config, fs *pfs.FS) (*Result, error) {
 		res.EscapedFraction = float64(stats.escaped) / float64(stats.points)
 	}
 	res.Files = append(res.Files, stats.files...)
+	_, res.InjectedFaults = fs.FaultStats()
+	res.RetryAttempts = retry.Attempts()
+	res.DegradedChunks, res.DegradedBytes = router.totals()
 	return res, nil
 }
 
@@ -217,6 +227,8 @@ type rankRun struct {
 	backend  storage.Backend
 	store    *nodeStore
 	stats    *runStats
+	retry    *storage.RetryPolicy
+	router   *degradeRouter
 
 	ratioP *predict.RatioPredictor
 	compP  *predict.ThroughputPredictor
@@ -268,7 +280,7 @@ func (rr *rankRun) run() error {
 				if err != nil {
 					return err
 				}
-				sn = s
+				sn = rr.armSnapshot(s)
 			}
 			v, err := rr.c.Bcast(0, sn)
 			if err != nil {
@@ -346,6 +358,18 @@ func rawChunk(data []float32) []byte {
 		out[4*i+1] = byte(u >> 16)
 		out[4*i+2] = byte(u >> 8)
 		out[4*i+3] = byte(u)
+	}
+	return out
+}
+
+// rawFloats is rawChunk's inverse, for reading degraded (uncompressed)
+// chunks back out of an otherwise-compressed dataset.
+func rawFloats(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		u := uint32(b[4*i])<<24 | uint32(b[4*i+1])<<16 |
+			uint32(b[4*i+2])<<8 | uint32(b[4*i+3])
+		out[i] = math.Float32frombits(u)
 	}
 	return out
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sched"
+	"repro/internal/storage"
 	"repro/internal/sz"
 )
 
@@ -86,6 +87,11 @@ type Config struct {
 
 	FS   pfs.Config
 	Mode Mode
+	// Retry is the write retry policy the storage recovery layer uses when
+	// the file system injects faults (FS.Faults); nil selects
+	// storage.DefaultRetryPolicy(). Recovery is always armed — without
+	// faults it never engages.
+	Retry *storage.RetryPolicy
 	// Backend selects the container: BackendH5L (shared file, reserved
 	// extents — the paper's HDF5 setting) or BackendBP (multi-file,
 	// ADIOS-style — the paper's §6 future work). Empty means BackendH5L.
@@ -193,6 +199,12 @@ type Result struct {
 	OverflowChunks  int     // mispredicted reservations (Ours only)
 	EscapedFraction float64 // shared-tree escapes / total points (Ours only)
 	Files           []string
+
+	// Failure-path statistics (all zero when FS.Faults is nil).
+	InjectedFaults int64 // write faults the file system injected
+	RetryAttempts  int64 // storage-layer retries across all writes
+	DegradedChunks int   // chunks rerouted uncompressed after exhausted retries
+	DegradedBytes  int64 // raw bytes those chunks wrote
 }
 
 // Overhead computes (run - reference) / reference given a compute-only

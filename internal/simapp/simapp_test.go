@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/pfs"
+	"repro/internal/storage"
 	"repro/internal/sz"
 )
 
@@ -301,5 +302,75 @@ func TestUnknownBackendRejected(t *testing.T) {
 	cfg.Backend = "netcdf"
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestOursUnderInjectedFaults is the acceptance scenario: a Table-1-style
+// run with a 5% transient write-failure rate must complete every iteration,
+// every snapshot must verify (retried chunks are byte-identical, degraded
+// chunks decode raw), and the failure counters must be populated.
+func TestOursUnderInjectedFaults(t *testing.T) {
+	for _, backend := range []string{BackendH5L, BackendBP} {
+		cfg := tinyNyx(2, Ours)
+		cfg.Backend = backend
+		cfg.FS.Faults = &pfs.FaultPlan{Seed: 7, WriteErrorRate: 0.05}
+		fs, err := pfs.New(cfg.FS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOn(cfg, fs)
+		if err != nil {
+			t.Fatalf("%s: faulted run failed: %v", backend, err)
+		}
+		if len(res.PerIteration) != cfg.Iterations {
+			t.Fatalf("%s: only %d iterations completed", backend, len(res.PerIteration))
+		}
+		if res.InjectedFaults == 0 {
+			t.Fatalf("%s: 5%% fault rate injected nothing", backend)
+		}
+		if res.RetryAttempts == 0 {
+			t.Fatalf("%s: faults injected but no retries recorded", backend)
+		}
+		for _, f := range append(res.Files, "nyx-ours-final."+backend) {
+			if n, err := VerifySnapshot(fs, f, cfg); err != nil {
+				t.Fatalf("%s verify %s (%d checked): %v", backend, f, n, err)
+			}
+		}
+	}
+}
+
+// TestOursDegradedRunStillVerifies forces retry exhaustion: with one OST
+// the write sequence is deterministic, tree sharing is off so the first
+// writes are compressed chunks (metadata blobs carry no raw fallback), and
+// FailFirstN=4 against a 2-attempt budget exhausts the first span (2
+// attempts) and its first chunk (2 more) while letting the degrade write
+// through. The degraded chunk must be counted, marked in the container, and
+// still verify via the raw-decode path.
+func TestOursDegradedRunStillVerifies(t *testing.T) {
+	cfg := tinyNyx(1, Ours)
+	cfg.TreeRebuild = 0
+	cfg.FS.OSTs = 1
+	cfg.FS.Faults = &pfs.FaultPlan{Seed: 7, FailFirstN: 4}
+	cfg.Retry = &storage.RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    time.Microsecond,
+		Sleep:       func(time.Duration) {},
+	}
+	fs, err := pfs.New(cfg.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOn(cfg, fs)
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if res.DegradedChunks == 0 || res.DegradedBytes == 0 {
+		t.Fatalf("no degradation despite exhausted retries: %+v", res)
+	}
+	for _, f := range append(res.Files, "nyx-ours-final.h5l") {
+		if _, err := VerifySnapshot(fs, f, cfg); err != nil {
+			t.Fatalf("verify %s: %v", f, err)
+		}
 	}
 }

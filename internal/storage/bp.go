@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/bp"
@@ -35,9 +36,12 @@ func (bpBackend) Open(fs *pfs.FS, name string) (SnapshotReader, error) {
 type bpSnapshot struct {
 	name string
 	bw   *bp.Writer
+	rc   *RecoveryOptions // set once by WithRecovery before writes start
 }
 
 func (s *bpSnapshot) Name() string { return s.name }
+
+func (s *bpSnapshot) armRecovery(opts *RecoveryOptions) { s.rc = opts }
 
 func (s *bpSnapshot) CreateDataset(spec DatasetSpec) (DatasetWriter, error) {
 	filter := bp.FilterNone
@@ -49,30 +53,39 @@ func (s *bpSnapshot) CreateDataset(spec DatasetSpec) (DatasetWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return bpDataset{dw}, nil
+	return bpDataset{dw: dw, snap: s}, nil
 }
 
 // Close finalizes the index; append sub-files cannot overflow.
 func (s *bpSnapshot) Close() (int, error) { return 0, s.bw.Close() }
 
 type bpDataset struct {
-	dw *bp.DatasetWriter
+	dw   *bp.DatasetWriter
+	snap *bpSnapshot
 }
 
 func (d bpDataset) WriteChunk(i int, data []byte) (time.Duration, error) {
-	return d.dw.WriteChunk(i, data)
+	return retryWrite(d.snap.rc, func() (time.Duration, error) {
+		return d.dw.WriteChunk(i, data)
+	})
 }
 
 // Stage merely binds the chunk to its dataset: offsets are resolved at
 // append time, so nothing is fixed here.
 func (d bpDataset) Stage(i int, data []byte) (StagedChunk, error) {
-	return bpStaged{dw: d.dw, i: i, data: data}, nil
+	return d.StageWithFallback(i, data, nil)
+}
+
+// StageWithFallback implements DegradableStager.
+func (d bpDataset) StageWithFallback(i int, data []byte, raw func() []byte) (StagedChunk, error) {
+	return bpStaged{dw: d.dw, i: i, data: data, raw: raw}, nil
 }
 
 type bpStaged struct {
 	dw   *bp.DatasetWriter
 	i    int
 	data []byte
+	raw  func() []byte // lazy uncompressed fallback (nil = none)
 }
 
 func (c bpStaged) Size() int64 { return int64(len(c.data)) }
@@ -80,10 +93,11 @@ func (c bpStaged) Size() int64 { return int64(len(c.data)) }
 // NewChunkSink returns a write-through sink: appends never coalesce, so
 // bufferBytes is ignored and Flush is a no-op.
 func (s *bpSnapshot) NewChunkSink(bufferBytes int, onWrite WriteObserver) ChunkSink {
-	return bpSink{onWrite: onWrite}
+	return bpSink{rc: s.rc, onWrite: onWrite}
 }
 
 type bpSink struct {
+	rc      *RecoveryOptions // nil when the snapshot is unarmed
 	onWrite WriteObserver
 }
 
@@ -92,9 +106,26 @@ func (k bpSink) Write(c StagedChunk) error {
 	if !ok {
 		return errForeignChunk(BP, c)
 	}
-	d, err := sc.dw.WriteChunk(sc.i, sc.data)
+	d, err := retryWrite(k.rc, func() (time.Duration, error) {
+		return sc.dw.WriteChunk(sc.i, sc.data)
+	})
 	if err != nil {
-		return err
+		if k.rc == nil || !exhaustedTransient(err) || sc.raw == nil {
+			return err
+		}
+		// Degrade: append the chunk uncompressed with a fresh retry budget.
+		raw := sc.raw()
+		d, err = retryWrite(k.rc, func() (time.Duration, error) {
+			return sc.dw.WriteChunkDegraded(sc.i, raw)
+		})
+		if err != nil {
+			return err
+		}
+		noteDegraded(k.rc, sc.dw.Name(), sc.i, int64(len(raw)))
+		if k.onWrite != nil {
+			k.onWrite(int64(len(raw)), d.Seconds())
+		}
+		return nil
 	}
 	if k.onWrite != nil {
 		k.onWrite(int64(len(sc.data)), d.Seconds())
@@ -120,4 +151,15 @@ func (r bpReader) Attrs(dataset string) (map[string]string, error) {
 
 func (r bpReader) ReadChunk(dataset string, i int) ([]byte, error) {
 	return r.br.ReadChunk(dataset, i)
+}
+
+func (r bpReader) ChunkDegraded(dataset string, i int) (bool, error) {
+	dm, err := r.br.Dataset(dataset)
+	if err != nil {
+		return false, err
+	}
+	if i < 0 || i >= len(dm.Chunks) {
+		return false, fmt.Errorf("storage: chunk %d out of range", i)
+	}
+	return dm.Chunks[i].Degraded, nil
 }

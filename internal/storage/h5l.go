@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -43,10 +44,13 @@ func (h5lBackend) Open(fs *pfs.FS, name string) (SnapshotReader, error) {
 type h5Snapshot struct {
 	name   string
 	fw     *h5.FileWriter
-	nextDS atomic.Int64 // dataset identity counter for coalescing boundaries
+	nextDS atomic.Int64     // dataset identity counter for coalescing boundaries
+	rc     *RecoveryOptions // set once by WithRecovery before writes start
 }
 
 func (s *h5Snapshot) Name() string { return s.name }
+
+func (s *h5Snapshot) armRecovery(opts *RecoveryOptions) { s.rc = opts }
 
 func (s *h5Snapshot) CreateDataset(spec DatasetSpec) (DatasetWriter, error) {
 	filter := h5.FilterNone
@@ -58,7 +62,7 @@ func (s *h5Snapshot) CreateDataset(spec DatasetSpec) (DatasetWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &h5Dataset{dw: dw, ds: int(s.nextDS.Add(1))}, nil
+	return &h5Dataset{dw: dw, ds: int(s.nextDS.Add(1)), snap: s}, nil
 }
 
 func (s *h5Snapshot) Close() (int, error) {
@@ -67,20 +71,50 @@ func (s *h5Snapshot) Close() (int, error) {
 }
 
 type h5Dataset struct {
-	dw *h5.DatasetWriter
-	ds int
+	dw   *h5.DatasetWriter
+	ds   int
+	snap *h5Snapshot
 }
 
 func (d *h5Dataset) WriteChunk(i int, data []byte) (time.Duration, error) {
-	return d.dw.WriteChunk(i, data)
+	return retryWrite(d.snap.rc, func() (time.Duration, error) {
+		return d.dw.WriteChunk(i, data)
+	})
 }
 
 func (d *h5Dataset) Stage(i int, data []byte) (StagedChunk, error) {
+	return d.StageWithFallback(i, data, nil)
+}
+
+// StageWithFallback implements DegradableStager: the raw fallback rides
+// along with the staged chunk so the span buffer can degrade it later.
+func (d *h5Dataset) StageWithFallback(i int, data []byte, raw func() []byte) (StagedChunk, error) {
 	off, err := d.dw.MarkChunk(i, int64(len(data)))
 	if err != nil {
 		return nil, err
 	}
-	return h5Staged{ds: d.ds, off: off, data: data}, nil
+	return h5Staged{ds: d.ds, off: off, data: data, src: d, chunk: i, raw: raw}, nil
+}
+
+// degrade reroutes one staged chunk to a fresh uncompressed overflow extent
+// after its compressed bytes could not be placed.
+func (d *h5Dataset) degrade(sc h5Staged, rc *RecoveryOptions, onWrite WriteObserver) error {
+	raw := sc.raw()
+	off, err := d.dw.RelocateChunk(sc.chunk, int64(len(raw)))
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if _, err := retryWrite(rc, func() (time.Duration, error) {
+		return d.snap.fw.WriteAtRaw(off, raw)
+	}); err != nil {
+		return err
+	}
+	if onWrite != nil {
+		onWrite(int64(len(raw)), time.Since(t0).Seconds())
+	}
+	noteDegraded(rc, d.dw.Name(), sc.chunk, int64(len(raw)))
+	return nil
 }
 
 // h5Staged is a chunk whose final shared-file offset is already fixed.
@@ -88,6 +122,12 @@ type h5Staged struct {
 	ds   int
 	off  int64
 	data []byte
+
+	// Degrade support: the staging dataset, the chunk index, and the lazy
+	// raw fallback (nil when the caller staged without one).
+	src   *h5Dataset
+	chunk int
+	raw   func() []byte
 }
 
 func (c h5Staged) Size() int64 { return int64(len(c.data)) }
@@ -102,18 +142,20 @@ func (s *h5Snapshot) NewChunkSink(bufferBytes int, onWrite WriteObserver) ChunkS
 	if bufferBytes <= 0 {
 		bufferBytes = 1 // degenerate: flush after every chunk
 	}
-	return &spanBuffer{fw: s.fw, cap: bufferBytes, onWrite: onWrite}
+	return &spanBuffer{fw: s.fw, rc: s.rc, cap: bufferBytes, onWrite: onWrite}
 }
 
 type spanBuffer struct {
 	fw      *h5.FileWriter
+	rc      *RecoveryOptions // nil when the snapshot is unarmed
 	cap     int
 	onWrite WriteObserver
 
-	ds     int
-	start  int64
-	buf    []byte
-	blocks int
+	ds      int
+	start   int64
+	buf     []byte
+	blocks  int
+	pending []h5Staged // members of the current span, for per-chunk recovery
 }
 
 func (sb *spanBuffer) Write(c StagedChunk) error {
@@ -141,25 +183,73 @@ func (sb *spanBuffer) Write(c StagedChunk) error {
 	}
 	sb.buf = append(sb.buf, sc.data...)
 	sb.blocks++
+	sb.pending = append(sb.pending, sc)
 	if len(sb.buf) >= sb.cap {
 		return sb.Flush()
 	}
 	return nil
 }
 
+// Flush writes the coalesced span. With recovery armed, a transient failure
+// retries under the policy; if the whole span exhausts its retries it is
+// split into per-chunk writes (each retried at its staged offset), and a
+// chunk that still cannot land degrades to an uncompressed overflow extent
+// when it carries a raw fallback.
 func (sb *spanBuffer) Flush() error {
 	if sb.blocks == 0 {
 		return nil
 	}
 	t0 := time.Now()
-	if _, err := sb.fw.WriteAtRaw(sb.start, sb.buf); err != nil {
+	spanned := false
+	_, err := retryWrite(sb.rc, func() (time.Duration, error) {
+		return sb.fw.WriteAtRaw(sb.start, sb.buf)
+	})
+	switch {
+	case err == nil:
+		spanned = true
+	case sb.rc != nil && exhaustedTransient(err):
+		if err = sb.recoverSpan(); err != nil {
+			return err
+		}
+	default:
 		return err
 	}
-	if sb.onWrite != nil {
+	if spanned && sb.onWrite != nil {
 		sb.onWrite(int64(len(sb.buf)), time.Since(t0).Seconds())
 	}
 	sb.buf = sb.buf[:0]
 	sb.blocks = 0
+	sb.pending = sb.pending[:0]
+	return nil
+}
+
+// recoverSpan salvages a span whose coalesced write ran out of retries:
+// member chunks are written individually at their already-fixed offsets
+// (fresh retry budget each), and the ones that still fail transiently are
+// rerouted uncompressed via their raw fallback. Chunks staged without a
+// fallback propagate the failure.
+func (sb *spanBuffer) recoverSpan() error {
+	rc := sb.rc
+	rc.Rec.Count("storage.span.split", 1)
+	for _, sc := range sb.pending {
+		sc := sc
+		t0 := time.Now()
+		_, err := retryWrite(rc, func() (time.Duration, error) {
+			return sb.fw.WriteAtRaw(sc.off, sc.data)
+		})
+		if err == nil {
+			if sb.onWrite != nil {
+				sb.onWrite(int64(len(sc.data)), time.Since(t0).Seconds())
+			}
+			continue
+		}
+		if !exhaustedTransient(err) || sc.raw == nil || sc.src == nil {
+			return err
+		}
+		if err := sc.src.degrade(sc, rc, sb.onWrite); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -179,4 +269,15 @@ func (r h5Reader) Attrs(dataset string) (map[string]string, error) {
 
 func (r h5Reader) ReadChunk(dataset string, i int) ([]byte, error) {
 	return r.fr.ReadChunk(dataset, i)
+}
+
+func (r h5Reader) ChunkDegraded(dataset string, i int) (bool, error) {
+	dm, err := r.fr.Dataset(dataset)
+	if err != nil {
+		return false, err
+	}
+	if i < 0 || i >= len(dm.Chunks) {
+		return false, fmt.Errorf("storage: chunk %d out of range", i)
+	}
+	return dm.Chunks[i].Degraded, nil
 }

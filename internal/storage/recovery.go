@@ -1,0 +1,106 @@
+package storage
+
+// Failure recovery for snapshot writers. WithRecovery arms a backend's
+// snapshot with a RetryPolicy and a degrade path:
+//
+//   - Every chunk/span write is wrapped in policy.Do: transient faults from
+//     the modelled file system (pfs.FaultPlan) back off and retry; full or
+//     corrupt faults surface immediately.
+//   - When a *compressed* chunk exhausts its retries and was staged with a
+//     raw fallback (StageChunk), the chunk is rerouted uncompressed
+//     (compression ratio 1.0) to freshly allocated space — the overflow
+//     region for H5L, a tail append for BP — and marked Degraded in the
+//     container metadata, so the iteration completes with degraded
+//     compression instead of dying. OnDegrade lets the engine feed the
+//     achieved ratio back into its predictor so next iteration's offsets
+//     stay sane (§4.4).
+//
+// Retry must live *inside* the adapters, at the true write sites: the
+// coalescing span buffer mutates its state as chunks are appended, so a
+// generic re-invocation of ChunkSink.Write from outside would double-append.
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RecoveryOptions configures WithRecovery.
+type RecoveryOptions struct {
+	// Policy is the retry policy (nil = DefaultRetryPolicy()). Sharing one
+	// policy across snapshots aggregates its counters run-wide.
+	Policy *RetryPolicy
+	// Rec (nil-safe) receives storage.retry.* / storage.degraded.* metrics.
+	Rec *obs.Recorder
+	// OnDegrade, if set, is called once per chunk rerouted uncompressed,
+	// with the dataset name, chunk index, and the raw byte count written.
+	OnDegrade func(dataset string, chunk int, rawBytes int64)
+}
+
+// recoverable is implemented by backend snapshots that support arming.
+type recoverable interface {
+	armRecovery(*RecoveryOptions)
+}
+
+// WithRecovery arms snapshot s with retry/degrade handling and returns it.
+// Snapshots of backends unknown to this package are returned unchanged —
+// recovery is a cooperation between the policy and the adapter's write
+// sites, not a generic wrapper.
+func WithRecovery(s Snapshot, opts RecoveryOptions) Snapshot {
+	if opts.Policy == nil {
+		opts.Policy = DefaultRetryPolicy()
+	}
+	if r, ok := s.(recoverable); ok {
+		r.armRecovery(&opts)
+	}
+	return s
+}
+
+// DegradableStager is the optional DatasetWriter extension for staging a
+// chunk together with the raw (uncompressed) fallback the recovery layer
+// writes if the compressed bytes cannot be placed.
+type DegradableStager interface {
+	DatasetWriter
+	// StageWithFallback is Stage plus a lazily-built raw fallback. raw is
+	// only invoked if the chunk degrades.
+	StageWithFallback(i int, data []byte, raw func() []byte) (StagedChunk, error)
+}
+
+// StageChunk stages chunk i through the fallback-aware path when the writer
+// supports one (and a fallback was supplied), else through plain Stage.
+func StageChunk(dw DatasetWriter, i int, data []byte, raw func() []byte) (StagedChunk, error) {
+	if ds, ok := dw.(DegradableStager); ok && raw != nil {
+		return ds.StageWithFallback(i, data, raw)
+	}
+	return dw.Stage(i, data)
+}
+
+// retryWrite wraps one WriteChunk-shaped call in the policy when armed.
+func retryWrite(rc *RecoveryOptions, op func() (time.Duration, error)) (time.Duration, error) {
+	if rc == nil {
+		return op()
+	}
+	var dur time.Duration
+	err := rc.Policy.Do(rc.Rec, func() error {
+		var e error
+		dur, e = op()
+		return e
+	})
+	return dur, err
+}
+
+// noteDegraded records one rerouted chunk in metrics and the engine hook.
+func noteDegraded(rc *RecoveryOptions, dataset string, chunk int, rawBytes int64) {
+	rc.Rec.Count("storage.degraded.chunks", 1)
+	rc.Rec.Count("storage.degraded.bytes", float64(rawBytes))
+	if rc.OnDegrade != nil {
+		rc.OnDegrade(dataset, chunk, rawBytes)
+	}
+}
+
+// exhaustedTransient reports whether err is a retries-exhausted transient
+// failure — the only condition that authorizes degrading.
+func exhaustedTransient(err error) bool {
+	return errors.Is(err, ErrRetriesExhausted)
+}

@@ -1,0 +1,292 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+)
+
+// Recovery-path coverage (satellite test of the fault-injection PR): each
+// fault class injected through pfs.FaultPlan, against both backends,
+// asserting (a) transient faults retry to success with byte-identical file
+// contents vs. the no-fault run, (b) exhausted retries degrade to
+// uncompressed overflow writes that still round-trip, (c) fail-fast classes
+// surface immediately with zero retries.
+
+// noSleepPolicy is a retry policy whose backoff costs no wall time.
+func noSleepPolicy(maxAttempts int) *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: maxAttempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+// faultTestFS uses a single OST so the write sequence — and therefore the
+// FailFirstN schedule — is fully deterministic.
+func faultTestFS(t *testing.T, plan *pfs.FaultPlan) *pfs.FS {
+	t.Helper()
+	fs, err := pfs.New(pfs.Config{
+		OSTs: 1, StripeBytes: 1 << 16, PerOSTBandwidth: 1 << 30, Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetClock(nil, func(time.Duration) {}) // no pacing sleeps in tests
+	return fs
+}
+
+// chunkBlob builds a deterministic "compressed" payload and its "raw" twin.
+func chunkBlob(i, n int) (comp, raw []byte) {
+	comp = make([]byte, n)
+	raw = make([]byte, 2*n)
+	for j := range comp {
+		comp[j] = byte(i*31 + j)
+	}
+	for j := range raw {
+		raw[j] = byte(i*17 + j + 1)
+	}
+	return comp, raw
+}
+
+// writeStagedSnapshot drives the engines' staged path: create one
+// compressed dataset, stage each chunk with its raw fallback, push through
+// a chunk sink, flush, close. It returns the snapshot's file names.
+func writeStagedSnapshot(t *testing.T, fs *pfs.FS, backend, name string, opts *RecoveryOptions) ([]string, error) {
+	t.Helper()
+	be, err := ByName(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := be.Create(fs, name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts != nil {
+		sn = WithRecovery(sn, *opts)
+	}
+	const chunks = 3
+	spec := DatasetSpec{
+		Name: "/rank000/rho", Dims: []int{chunks * 64}, ElemSize: 4, Compressed: true,
+		Reservations: []int64{128, 128, 128},
+		RawSizes:     []int64{256, 256, 256},
+	}
+	dw, err := sn.CreateDataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := sn.NewChunkSink(1<<20, nil)
+	for i := 0; i < chunks; i++ {
+		comp, raw := chunkBlob(i, 100)
+		staged, err := StageChunk(dw, i, comp, func() []byte { return raw })
+		if err != nil {
+			t.Fatalf("stage %d: %v", i, err)
+		}
+		if err := sink.Write(staged); err != nil {
+			return nil, err
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := sn.Close(); err != nil {
+		return nil, err
+	}
+	if backend == BP {
+		return []string{name + "/data.0", name + "/md.idx"}, nil
+	}
+	return []string{name}, nil
+}
+
+func readAll(t *testing.T, fs *pfs.FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	buf := make([]byte, f.Size())
+	if len(buf) == 0 {
+		return buf
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return buf
+}
+
+func TestRecoveryPerFaultClass(t *testing.T) {
+	for _, backend := range []string{H5L, BP} {
+		backend := backend
+		// The deterministic single-OST write sequences differ per backend:
+		// H5L spends 2 span attempts + 2 chunk attempts before its degrade
+		// write; BP spends 2 chunk attempts.
+		degradeFailN := map[string]int{H5L: 4, BP: 2}[backend]
+
+		t.Run(backend+"/transient-retried-byte-identical", func(t *testing.T) {
+			cleanFS := faultTestFS(t, nil)
+			cleanFiles, err := writeStagedSnapshot(t, cleanFS, backend, "snap", nil)
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+
+			rec := obs.NewRecorder()
+			pol := noSleepPolicy(4)
+			faultFS := faultTestFS(t, &pfs.FaultPlan{Seed: 11, FailFirstN: 2})
+			faultFiles, err := writeStagedSnapshot(t, faultFS, backend, "snap",
+				&RecoveryOptions{Policy: pol, Rec: rec})
+			if err != nil {
+				t.Fatalf("faulty run: %v", err)
+			}
+			if len(cleanFiles) != len(faultFiles) {
+				t.Fatalf("file sets differ: %v vs %v", cleanFiles, faultFiles)
+			}
+			for i, name := range cleanFiles {
+				clean := readAll(t, cleanFS, name)
+				fault := readAll(t, faultFS, faultFiles[i])
+				if !bytes.Equal(clean, fault) {
+					t.Fatalf("%s: contents differ from fault-free run (%d vs %d bytes)",
+						name, len(clean), len(fault))
+				}
+			}
+			if pol.Attempts() == 0 {
+				t.Fatal("transient faults were injected but no retries happened")
+			}
+			if pol.Exhausted() != 0 {
+				t.Fatalf("retries exhausted %d times; FailFirstN=2 < MaxAttempts=4 should always recover", pol.Exhausted())
+			}
+			if rec.Counter("storage.retry.attempts") == 0 || rec.Counter("storage.retry.recovered") == 0 {
+				t.Fatal("storage.retry.* counters not recorded")
+			}
+			if rec.Counter("storage.degraded.chunks") != 0 {
+				t.Fatal("recovered run should not degrade any chunk")
+			}
+		})
+
+		t.Run(backend+"/exhausted-degrades-and-round-trips", func(t *testing.T) {
+			rec := obs.NewRecorder()
+			pol := noSleepPolicy(2)
+			var degraded []string
+			fs := faultTestFS(t, &pfs.FaultPlan{Seed: 11, FailFirstN: degradeFailN})
+			_, err := writeStagedSnapshot(t, fs, backend, "snap", &RecoveryOptions{
+				Policy: pol, Rec: rec,
+				OnDegrade: func(ds string, chunk int, raw int64) {
+					degraded = append(degraded, fmt.Sprintf("%s#%d:%d", ds, chunk, raw))
+				},
+			})
+			if err != nil {
+				t.Fatalf("degraded run still failed: %v", err)
+			}
+			if pol.Exhausted() == 0 {
+				t.Fatal("scenario never exhausted retries")
+			}
+			if len(degraded) != 1 || degraded[0] != "/rank000/rho#0:200" {
+				t.Fatalf("OnDegrade calls: %v", degraded)
+			}
+			if got := rec.Counter("storage.degraded.chunks"); got != 1 {
+				t.Fatalf("storage.degraded.chunks = %v, want 1", got)
+			}
+			if got := rec.Counter("storage.degraded.bytes"); got != 200 {
+				t.Fatalf("storage.degraded.bytes = %v, want 200", got)
+			}
+
+			be, _ := ByName(backend)
+			r, err := be.Open(fs, "snap")
+			if err != nil {
+				t.Fatalf("reopen degraded snapshot: %v", err)
+			}
+			for i := 0; i < 3; i++ {
+				deg, err := r.ChunkDegraded("/rank000/rho", i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if deg != (i == 0) {
+					t.Fatalf("chunk %d degraded = %v", i, deg)
+				}
+				got, err := r.ReadChunk("/rank000/rho", i)
+				if err != nil {
+					t.Fatalf("read chunk %d: %v", i, err)
+				}
+				comp, raw := chunkBlob(i, 100)
+				want := comp
+				if deg {
+					want = raw // degraded chunks hold the unfiltered bytes
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("chunk %d: stored bytes mismatch (degraded=%v)", i, deg)
+				}
+			}
+		})
+
+		for _, class := range []pfs.FaultClass{pfs.FaultFull, pfs.FaultCorrupt} {
+			class := class
+			t.Run(fmt.Sprintf("%s/failfast-%s", backend, class), func(t *testing.T) {
+				rec := obs.NewRecorder()
+				pol := noSleepPolicy(4)
+				fs := faultTestFS(t, &pfs.FaultPlan{Seed: 11, WriteErrorRate: 1, Class: class})
+				_, err := writeStagedSnapshot(t, fs, backend, "snap",
+					&RecoveryOptions{Policy: pol, Rec: rec})
+				if err == nil {
+					t.Fatalf("%s fault did not surface", class)
+				}
+				if got, ok := pfs.Classify(err); !ok || got != class {
+					t.Fatalf("surfaced error %v, want class %s", err, class)
+				}
+				if pol.Attempts() != 0 {
+					t.Fatalf("%d retries on a fail-fast class", pol.Attempts())
+				}
+				if rec.Counter("storage.retry.failfast") == 0 {
+					t.Fatal("storage.retry.failfast not counted")
+				}
+				if rec.Counter("storage.degraded.chunks") != 0 {
+					t.Fatal("fail-fast class must never degrade")
+				}
+			})
+		}
+
+		t.Run(backend+"/writechunk-retried", func(t *testing.T) {
+			// The synchronous WriteChunk path (baseline/async engines) is
+			// retried too.
+			pol := noSleepPolicy(4)
+			fs := faultTestFS(t, &pfs.FaultPlan{Seed: 11, FailFirstN: 1})
+			be, _ := ByName(backend)
+			sn, err := be.Create(fs, "snap", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sn = WithRecovery(sn, RecoveryOptions{Policy: pol})
+			dw, err := sn.CreateDataset(DatasetSpec{
+				Name: "/rank000/raw", Dims: []int{16}, ElemSize: 4,
+				RawSizes: []int64{64},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := bytes.Repeat([]byte("w"), 64)
+			if _, err := dw.WriteChunk(0, payload); err != nil {
+				t.Fatalf("WriteChunk under transient fault: %v", err)
+			}
+			if pol.Attempts() == 0 {
+				t.Fatal("no retry recorded")
+			}
+			if _, err := sn.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := be.Open(fs, "snap")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.ReadChunk("/rank000/raw", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("chunk bytes mismatch after retried WriteChunk")
+			}
+		})
+	}
+}

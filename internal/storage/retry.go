@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+)
+
+// ErrRetriesExhausted wraps the final transient error once a RetryPolicy
+// gives up. The recovery layer treats it as the signal to degrade (reroute
+// the chunk uncompressed) rather than fail the iteration.
+var ErrRetriesExhausted = errors.New("storage: retries exhausted")
+
+// RetryPolicy retries transient file-system faults with capped exponential
+// backoff and deterministic jitter. It is error-class-aware via
+// pfs.Classify: transient faults retry; full (ENOSPC-style) and corrupt
+// faults — and any unclassified error — fail fast, because re-sending the
+// same bytes cannot help. One policy is shared by every writer of a run, so
+// its counters are run-global. All methods are safe for concurrent use.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (values < 1 mean 1: no retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff step; attempt k waits ~BaseDelay<<k,
+	// capped at MaxDelay, jittered into [d/2, d).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed fixes the jitter stream so a faulty run is reproducible.
+	Seed int64
+	// Sleep overrides time.Sleep (tests and virtual-clock harnesses).
+	Sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	attempts  atomic.Int64 // retries actually performed (beyond first tries)
+	exhausted atomic.Int64
+}
+
+// DefaultRetryPolicy mirrors a production I/O middleware default: 4 total
+// attempts, 1ms base, 50ms cap.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// Attempts returns how many retries (not first tries) the policy performed.
+func (p *RetryPolicy) Attempts() int64 { return p.attempts.Load() }
+
+// Exhausted returns how many operations ran out of retries.
+func (p *RetryPolicy) Exhausted() int64 { return p.exhausted.Load() }
+
+// Do runs op under the policy. rec (nil-safe) receives storage.retry.*
+// counters and the backoff-delay distribution.
+func (p *RetryPolicy) Do(rec *obs.Recorder, op func() error) error {
+	max := p.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			if attempt > 1 {
+				rec.Count("storage.retry.recovered", 1)
+			}
+			return nil
+		}
+		if !pfs.IsTransient(err) {
+			rec.Count("storage.retry.failfast", 1)
+			return err
+		}
+		if attempt >= max {
+			p.exhausted.Add(1)
+			rec.Count("storage.retry.exhausted", 1)
+			return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt, err)
+		}
+		p.attempts.Add(1)
+		rec.Count("storage.retry.attempts", 1)
+		d := p.backoff(attempt)
+		rec.Observe("storage.retry.delay.seconds", d.Seconds())
+		p.sleep(d)
+	}
+}
+
+// backoff returns attempt's jittered delay: BaseDelay doubled per attempt,
+// capped at MaxDelay, scaled into [d/2, d) by the seeded jitter stream.
+func (p *RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 50 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	p.mu.Lock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed + 0x5eed))
+	}
+	j := p.rng.Float64()
+	p.mu.Unlock()
+	return d/2 + time.Duration(j*float64(d/2))
+}
+
+func (p *RetryPolicy) sleep(d time.Duration) {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}

@@ -106,6 +106,10 @@ type SnapshotReader interface {
 	Datasets() []string
 	Attrs(dataset string) (map[string]string, error)
 	ReadChunk(dataset string, i int) ([]byte, error)
+	// ChunkDegraded reports whether the recovery layer rerouted chunk i
+	// uncompressed: its bytes must be decoded raw, skipping the dataset's
+	// filter.
+	ChunkDegraded(dataset string, i int) (bool, error)
 }
 
 // Backend abstracts one container format.
