@@ -33,8 +33,8 @@ faulttest:
 # to BENCH_JSON. Set BENCH_BASELINE=prev.json to embed the previous numbers
 # under "baseline".
 BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd|ServerSolve'
-BENCH_JSON ?= BENCH_PR4.json
-BENCH_BASELINE ?=
+BENCH_JSON ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR4.json
 bench:
 	go test -run='^$$' -bench=$(BENCH_PATTERN) -benchmem -benchtime=1x -count=3 . \
 		| go run ./cmd/benchjson -o $(BENCH_JSON) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))

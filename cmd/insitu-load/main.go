@@ -5,6 +5,7 @@
 //	insitu-load -addr http://127.0.0.1:8080 -c 16 -n 2000
 //	insitu-load -c 64 -d 10s -instances 4      # hot working set → coalescing
 //	insitu-load -alg Exact -jobs 12 -c 32      # heavy solves → shedding
+//	insitu-load -batch 16 -c 8 -n 500          # one POST /v1/solve/batch per step
 //
 // Closed loop means each of the -c workers keeps exactly one request in
 // flight: a new request is issued only when the previous one completes, so
@@ -14,12 +15,18 @@
 // The instance pool is small and shared on purpose: duplicate concurrent
 // solves of the same instance exercise the daemon's single-flight
 // coalescing, repeats over time exercise its solve cache, and -instances 0
-// makes every request unique to defeat both.
+// makes every request unique to defeat both. With -batch N each request
+// carries N instances in one round-trip — the amortization the planner's
+// own balancing pass uses — and per-item errors are tallied separately.
+//
+// The generator talks to the daemon through internal/client with retries
+// disabled: a load tool must observe shed and drain responses, not paper
+// over them.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,7 +38,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/buildinfo"
+	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/sched"
 )
@@ -42,6 +51,7 @@ func main() {
 	total := flag.Int("n", 1000, "total requests to issue (0 = until -d elapses)")
 	dur := flag.Duration("d", 0, "run duration (0 = until -n requests)")
 	alg := flag.String("alg", "", "algorithm name (empty = server default)")
+	batch := flag.Int("batch", 0, "instances per request via /v1/solve/batch (0/1 = itemwise /v1/solve)")
 	instances := flag.Int("instances", 8, "distinct instances in the pool (0 = every request unique)")
 	jobs := flag.Int("jobs", 32, "jobs per generated instance")
 	seed := flag.Int64("seed", 1, "instance generator seed")
@@ -64,27 +74,29 @@ func main() {
 	if unique {
 		poolSize = 1024 // pre-generated ring of distinct instances
 	}
-	bodies := make([][]byte, poolSize)
+	pool := make([]sched.Problem, poolSize)
 	rng := rand.New(rand.NewSource(*seed))
-	for i := range bodies {
-		p := sched.RandomProblem(rng, cfg)
-		blob, err := json.Marshal(solveRequest{Algorithm: *alg, Problem: p, TimeoutMs: *timeoutMs})
-		if err != nil {
-			fatal(err)
-		}
-		bodies[i] = blob
+	for i := range pool {
+		pool[i] = *sched.RandomProblem(rng, cfg)
 	}
 
-	before := scrapeMetrics(*addr)
+	c := client.New(*addr,
+		client.WithMaxRetries(0),
+		client.WithHTTPClient(&http.Client{Timeout: 5 * time.Minute}))
+	ctx := context.Background()
+
+	before, _ := c.Metrics(ctx)
 
 	var (
-		issued  atomic.Int64
-		mu      sync.Mutex
-		lats    []float64 // seconds, successful requests only
-		byCode  = map[int]int{}
-		netErrs int
+		issued    atomic.Int64
+		mu        sync.Mutex
+		lats      []float64 // seconds, successful requests only
+		byCode    = map[int]int{}
+		netErrs   int
+		itemsOK   int64
+		itemsErr  int64
+		itemCodes = map[string]int{}
 	)
-	client := &http.Client{Timeout: 5 * time.Minute}
 	stopAt := time.Time{}
 	if *dur > 0 {
 		stopAt = time.Now().Add(*dur)
@@ -106,62 +118,74 @@ func main() {
 				if !stopAt.IsZero() && time.Now().After(stopAt) {
 					return
 				}
-				body := bodies[wrng.Intn(len(bodies))]
+
+				var (
+					err     error
+					okItems int
+					erItems []string
+				)
 				t0 := time.Now()
-				resp, err := client.Post(*addr+"/v1/solve", "application/json", bytes.NewReader(body))
-				lat := time.Since(t0).Seconds()
-				mu.Lock()
-				if err != nil {
-					netErrs++
+				if *batch > 1 {
+					req := api.SolveBatchRequest{Algorithm: *alg, TimeoutMs: *timeoutMs,
+						Problems: make([]sched.Problem, *batch)}
+					for i := range req.Problems {
+						req.Problems[i] = pool[wrng.Intn(len(pool))]
+					}
+					var resp *api.SolveBatchResponse
+					resp, err = c.SolveBatch(ctx, req)
+					if err == nil {
+						for _, it := range resp.Items {
+							if it.Error != nil {
+								erItems = append(erItems, it.Error.Code)
+							} else {
+								okItems++
+							}
+						}
+					}
 				} else {
-					byCode[resp.StatusCode]++
-					if resp.StatusCode == http.StatusOK {
-						lats = append(lats, lat)
+					_, err = c.Solve(ctx, api.SolveRequest{
+						Algorithm: *alg, TimeoutMs: *timeoutMs,
+						Problem: pool[wrng.Intn(len(pool))],
+					})
+					if err == nil {
+						okItems = 1
 					}
 				}
-				mu.Unlock()
-				if err == nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
+				lat := time.Since(t0).Seconds()
+
+				mu.Lock()
+				var apiErr *client.APIError
+				switch {
+				case err == nil:
+					byCode[http.StatusOK]++
+					lats = append(lats, lat)
+					itemsOK += int64(okItems)
+					itemsErr += int64(len(erItems))
+					for _, code := range erItems {
+						itemCodes[code]++
+					}
+				case errors.As(err, &apiErr):
+					byCode[apiErr.Status]++
+				default:
+					netErrs++
 				}
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after := scrapeMetrics(*addr)
-	report(os.Stdout, elapsed, lats, byCode, netErrs, before, after)
+	after, _ := c.Metrics(ctx)
+	report(os.Stdout, elapsed, lats, byCode, netErrs, *batch, itemsOK, itemsErr, itemCodes, before, after)
 	if byCode[http.StatusOK] == 0 {
 		os.Exit(1)
 	}
 }
 
-// solveRequest mirrors server.SolveRequest without importing the package —
-// the load generator speaks only the wire protocol, like any real client.
-type solveRequest struct {
-	Algorithm string         `json:"algorithm,omitempty"`
-	Problem   *sched.Problem `json:"problem"`
-	TimeoutMs int            `json:"timeoutMs,omitempty"`
-}
-
-// scrapeMetrics fetches the daemon's /metrics snapshot; failures degrade to
-// the zero snapshot so the report simply omits server-side counters.
-func scrapeMetrics(addr string) obs.MetricsSnapshot {
-	var snap obs.MetricsSnapshot
-	resp, err := http.Get(addr + "/metrics")
-	if err != nil {
-		return snap
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		_ = json.NewDecoder(resp.Body).Decode(&snap)
-	}
-	return snap
-}
-
 func report(w io.Writer, elapsed time.Duration, lats []float64,
-	byCode map[int]int, netErrs int, before, after obs.MetricsSnapshot) {
+	byCode map[int]int, netErrs, batch int, itemsOK, itemsErr int64,
+	itemCodes map[string]int, before, after obs.MetricsSnapshot) {
 
 	totalDone := netErrs
 	codes := make([]int, 0, len(byCode))
@@ -187,6 +211,17 @@ func report(w io.Writer, elapsed time.Duration, lats []float64,
 	if netErrs > 0 {
 		fmt.Fprintf(w, "  network errors       %7d\n", netErrs)
 	}
+	if batch > 1 {
+		fmt.Fprintf(w, "items:      %d ok, %d failed (batch size %d)\n", itemsOK, itemsErr, batch)
+		ks := make([]string, 0, len(itemCodes))
+		for k := range itemCodes {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			fmt.Fprintf(w, "  item error %-12s %7d\n", k, itemCodes[k])
+		}
+	}
 
 	if len(lats) > 0 {
 		sort.Float64s(lats)
@@ -205,9 +240,10 @@ func report(w io.Writer, elapsed time.Duration, lats []float64,
 	delta := func(name string) float64 {
 		return after.Counters[name] - before.Counters[name]
 	}
-	fmt.Fprintf(w, "server:     coalesced %.0f  cache hit %.0f  cache miss %.0f  shed %.0f  deadline %.0f\n",
+	fmt.Fprintf(w, "server:     coalesced %.0f  cache hit %.0f  cache miss %.0f  shed %.0f  deadline %.0f  batch dedup %.0f\n",
 		delta("server.coalesce.hit"), delta("server.solve.cache.hit"),
-		delta("server.solve.cache.miss"), delta("server.shed"), delta("server.deadline"))
+		delta("server.solve.cache.miss"), delta("server.shed"), delta("server.deadline"),
+		delta("server.solve.batch.dedup"))
 }
 
 func fmtSec(s float64) string {

@@ -8,14 +8,17 @@
 //	insitu-served -queue 128 -deadline 10s # deeper queue, tighter default SLO
 //	insitu-served -metrics -trace t.json   # dump metrics/trace on shutdown
 //
-// Endpoints:
+// Endpoints (wire types in internal/api; typed Go client in
+// internal/client; every non-2xx /v1/* body is the JSON error envelope):
 //
-//	POST /v1/solve      one sched.Problem + algorithm → schedule
-//	POST /v1/plan       per-rank problems → balanced plan.IterationPlan
-//	GET  /v1/algorithms the available algorithm names
-//	GET  /v1/faultplan  the active fault-injection plan (404 when none)
-//	GET  /healthz       200 ok / 503 draining
-//	GET  /metrics       the obs metrics snapshot as JSON
+//	POST /v1/solve       one sched.Problem + algorithm → schedule
+//	POST /v1/solve/batch many problems, one round-trip, per-item results
+//	POST /v1/plan        per-rank problems → balanced plan.IterationPlan
+//	GET  /v1/algorithms  the available algorithm names
+//	GET  /v1/version     the daemon's build identity
+//	GET  /v1/faultplan   the active fault-injection plan (404 when none)
+//	GET  /healthz        200 ok / 503 draining
+//	GET  /metrics        the obs metrics snapshot as JSON
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
 // in-flight requests and queued tasks run to completion (bounded by the

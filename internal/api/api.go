@@ -1,0 +1,158 @@
+// Package api defines the planning daemon's versioned wire types: every
+// /v1/* request and response body, and the JSON error envelope every non-2xx
+// reply carries. The server (internal/server) and the Go client
+// (internal/client) both compile against these types, so a field added here
+// is a deliberate, reviewable API change — not two drifting copies.
+//
+// Error model. Every non-2xx response body is an ErrorEnvelope:
+//
+//	{"error": {"code": "shed", "message": "...", "retry_after_s": 2}}
+//
+// Code is a small stable vocabulary (see the Code* constants) that clients
+// switch on; Message is human-readable and NOT stable; RetryAfterS, when
+// non-zero, is the server's load-derived backoff hint (it mirrors the
+// Retry-After header on 429 responses). Per-item errors inside a batch reuse
+// the same Error object.
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+// Stable machine-readable error codes. These are API: clients switch on
+// them, so renaming one is a breaking change.
+const (
+	// CodeBadRequest: the request body failed to decode or validate
+	// (malformed JSON, unknown algorithm, invalid problem). HTTP 400.
+	CodeBadRequest = "bad_request"
+	// CodeTooLarge: the request body exceeded the server's size cap. HTTP 413.
+	CodeTooLarge = "too_large"
+	// CodeShed: the admission queue was full and the request was shed;
+	// RetryAfterS carries the backoff hint. HTTP 429.
+	CodeShed = "shed"
+	// CodeDraining: the server is shutting down and accepts no new work.
+	// HTTP 503.
+	CodeDraining = "draining"
+	// CodeDeadline: the request's deadline expired before the result was
+	// ready. HTTP 504.
+	CodeDeadline = "deadline"
+	// CodeNotFound: no handler or resource at this path. HTTP 404.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the path exists but not for this HTTP method.
+	// HTTP 405.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeInternal: a panic or unexpected failure. HTTP 500.
+	CodeInternal = "internal"
+)
+
+// Error is the typed error carried by ErrorEnvelope and by failed batch
+// items.
+type Error struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// Error implements the error interface so clients can return it directly.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ErrorEnvelope is the body of every non-2xx /v1/* response.
+type ErrorEnvelope struct {
+	Error Error `json:"error"`
+}
+
+// SolveRequest is the POST /v1/solve body: one scheduling instance plus the
+// algorithm name (empty selects ExtJohnson+BF, the paper's pick) and an
+// optional per-request deadline.
+type SolveRequest struct {
+	Algorithm string        `json:"algorithm,omitempty"`
+	Problem   sched.Problem `json:"problem"`
+	TimeoutMs int           `json:"timeoutMs,omitempty"`
+}
+
+// SolveResponse is the POST /v1/solve reply. Cached reports a SolveCache
+// memo hit; Coalesced reports that this request shared another request's
+// in-flight execution. Optimal/Nodes/Workers are the solver diagnostics
+// (sched.SolveInfo): for the Exact algorithm, Optimal distinguishes a proven
+// optimum from a node-budget-capped best effort, Nodes counts explored
+// branch-and-bound nodes, and Workers is the parallel search width; for the
+// heuristics all three are zero values.
+type SolveResponse struct {
+	Algorithm sched.Algorithm `json:"algorithm"`
+	Schedule  *sched.Schedule `json:"schedule"`
+	Optimal   bool            `json:"optimal,omitempty"`
+	Nodes     int64           `json:"nodes,omitempty"`
+	Workers   int             `json:"workers,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+}
+
+// SolveBatchRequest is the POST /v1/solve/batch body: many independent
+// instances solved under one algorithm in one round-trip. The server
+// deduplicates byte-identical problems against the cache and against each
+// other, so a closed-loop client planning N ranks pays one HTTP round-trip
+// and (typically) far fewer than N solves.
+type SolveBatchRequest struct {
+	Algorithm string          `json:"algorithm,omitempty"`
+	Problems  []sched.Problem `json:"problems"`
+	TimeoutMs int             `json:"timeoutMs,omitempty"`
+}
+
+// SolveBatchItem is one problem's outcome, index-aligned with
+// SolveBatchRequest.Problems. Exactly one of Schedule and Error is set:
+// errors are isolated per item, so one invalid instance never fails its
+// neighbours (the whole request errors only on envelope-level failures —
+// malformed body, unknown algorithm, shed, deadline).
+type SolveBatchItem struct {
+	Schedule  *sched.Schedule `json:"schedule,omitempty"`
+	Optimal   bool            `json:"optimal,omitempty"`
+	Nodes     int64           `json:"nodes,omitempty"`
+	Workers   int             `json:"workers,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Error     *Error          `json:"error,omitempty"`
+}
+
+// SolveBatchResponse is the POST /v1/solve/batch reply.
+type SolveBatchResponse struct {
+	Algorithm sched.Algorithm  `json:"algorithm"`
+	Items     []SolveBatchItem `json:"items"`
+}
+
+// PlanRequest is the POST /v1/plan body: the full per-rank planning input
+// and the plan.Config knobs (schedule → §3.4 balance → re-schedule).
+type PlanRequest struct {
+	Input        plan.Input `json:"input"`
+	Algorithm    string     `json:"algorithm,omitempty"`
+	Balance      bool       `json:"balance,omitempty"`
+	RanksPerNode int        `json:"ranksPerNode,omitempty"`
+	BaseRank     int        `json:"baseRank,omitempty"`
+	TimeoutMs    int        `json:"timeoutMs,omitempty"`
+}
+
+// PlanResponse is the POST /v1/plan reply: the same plan.IterationPlan both
+// execution engines consume, plus its predicted iteration duration.
+type PlanResponse struct {
+	Plan    *plan.IterationPlan `json:"plan"`
+	Overall float64             `json:"overall"`
+}
+
+// AlgorithmsResponse is the GET /v1/algorithms reply.
+type AlgorithmsResponse struct {
+	Algorithms []sched.Algorithm `json:"algorithms"`
+	Default    sched.Algorithm   `json:"default"`
+}
+
+// VersionResponse is the GET /v1/version reply: the daemon's build identity
+// (module version / VCS revision via runtime/debug.ReadBuildInfo), so a
+// deployed daemon can be matched to a commit from the outside.
+type VersionResponse struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Settings  string `json:"settings,omitempty"`
+}

@@ -1,0 +1,278 @@
+// Package client is the typed Go client for the planning daemon's /v1 API
+// (internal/server). It compiles against the same wire types the server does
+// (internal/api), decodes the JSON error envelope every non-2xx response
+// carries into a typed *APIError, and retries retryable failures — 429 shed,
+// 503 draining, network errors — honoring the server's Retry-After hint and
+// the caller's context deadline.
+//
+// The daemon's tooling (cmd/insitu-load) and the end-to-end tests drive the
+// server through this package, so the client is exercised against the real
+// HTTP surface on every test run, not mocked alongside it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+// Clients switch on Err.Code (the stable vocabulary in internal/api) or on
+// Status; Retryable reports whether the client's retry loop would retry it.
+type APIError struct {
+	Status int // HTTP status code
+	Err    api.Error
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s: %s", e.Status, e.Err.Code, e.Err.Message)
+}
+
+// Retryable reports whether this error is transient by the server's own
+// account: shed under load or draining for restart.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Client talks to one daemon. The zero value is not usable; build with New.
+// Client is safe for concurrent use.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	baseDelay  time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom transport,
+// overall timeout). The default is a dedicated client with no timeout —
+// per-call contexts bound each request.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries sets how many times a retryable failure (429, 503, network
+// error) is retried before surfacing. 0 disables retries; the default is 3.
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithRetryBaseDelay sets the first backoff step used when the server sends
+// no Retry-After hint; subsequent steps double. The default is 100ms.
+func WithRetryBaseDelay(d time.Duration) Option { return func(c *Client) { c.baseDelay = d } }
+
+// New builds a Client for the daemon at base (e.g. "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{},
+		maxRetries: 3,
+		baseDelay:  100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Solve submits one instance to POST /v1/solve.
+func (c *Client) Solve(ctx context.Context, req api.SolveRequest) (*api.SolveResponse, error) {
+	var resp api.SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SolveBatch submits many instances to POST /v1/solve/batch in one
+// round-trip. Per-item failures come back inside the response
+// (SolveBatchItem.Error); only envelope-level failures return a Go error.
+func (c *Client) SolveBatch(ctx context.Context, req api.SolveBatchRequest) (*api.SolveBatchResponse, error) {
+	var resp api.SolveBatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Plan submits the full per-rank planning input to POST /v1/plan.
+func (c *Client) Plan(ctx context.Context, req api.PlanRequest) (*api.PlanResponse, error) {
+	var resp api.PlanResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/plan", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Algorithms fetches GET /v1/algorithms.
+func (c *Client) Algorithms(ctx context.Context) (*api.AlgorithmsResponse, error) {
+	var resp api.AlgorithmsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/algorithms", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Version fetches GET /v1/version — the daemon's build identity.
+func (c *Client) Version(ctx context.Context) (*api.VersionResponse, error) {
+	var resp api.VersionResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/version", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the daemon's GET /metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (obs.MetricsSnapshot, error) {
+	var snap obs.MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap)
+	return snap, err
+}
+
+// Healthz probes GET /healthz: nil when the daemon is serving, an *APIError
+// (or transport error) otherwise. Not retried — health probes report state.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// do runs one API call with the retry loop: send, decode 2xx into out, and on
+// a retryable failure back off (server hint first, else exponential) and go
+// again, as long as attempts and the context allow.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", err, lastErr)
+			}
+			return err
+		}
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		retryable, delay := retryInfo(lastErr, c.baseDelay<<attempt)
+		if !retryable || attempt >= c.maxRetries {
+			return lastErr
+		}
+		if err := sleep(ctx, delay); err != nil {
+			return fmt.Errorf("%w (last error: %v)", err, lastErr)
+		}
+	}
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *APIError, preferring the JSON
+// envelope and falling back to a synthesized error when the body is not one
+// (which the /v1 surface never produces, but proxies might).
+func decodeError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode}
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(blob, &env); err == nil && env.Error.Code != "" {
+		apiErr.Err = env.Error
+	} else {
+		apiErr.Err = api.Error{
+			Code:    api.CodeInternal,
+			Message: strings.TrimSpace(string(blob)),
+		}
+	}
+	// The header is authoritative when the envelope lacks the hint.
+	if apiErr.Err.RetryAfterS == 0 {
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			apiErr.Err.RetryAfterS = s
+		}
+	}
+	return apiErr
+}
+
+// retryInfo classifies an error from once(): network errors and retryable
+// API errors retry; the delay is the server's Retry-After when present,
+// otherwise the exponential fallback.
+func retryInfo(err error, fallback time.Duration) (bool, time.Duration) {
+	if apiErr, ok := err.(*APIError); ok {
+		if !apiErr.Retryable() {
+			return false, 0
+		}
+		if apiErr.Err.RetryAfterS > 0 {
+			return true, time.Duration(apiErr.Err.RetryAfterS) * time.Second
+		}
+		return true, fallback
+	}
+	// Transport-level failure (connection refused, reset, ...): the daemon
+	// may be restarting; retry on the fallback schedule.
+	return true, fallback
+}
+
+// sleep waits d or until ctx is done, whichever first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// drain discards and closes a response body so the connection is reusable.
+func drain(rc io.ReadCloser) {
+	io.Copy(io.Discard, rc) //nolint:errcheck
+	rc.Close()
+}

@@ -10,17 +10,26 @@ package plan
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/sched"
 )
+
+// solveEntry is one memoized solve: the schedule plus the solver diagnostics
+// that produced it, so a cache hit reports the same provenance (optimal,
+// node count, workers) as the original solve.
+type solveEntry struct {
+	s    *sched.Schedule
+	info sched.SolveInfo
+}
 
 // SolveCache memoizes sched.Solve results by (algorithm, problem
 // fingerprint). It is safe for concurrent use (simapp node roots plan in
 // parallel). The zero value is not ready; use NewSolveCache.
 type SolveCache struct {
 	mu           sync.Mutex
-	entries      map[string]*sched.Schedule
+	entries      map[string]solveEntry
 	maxEntries   int
 	hits, misses uint64
 }
@@ -34,7 +43,7 @@ func NewSolveCache(maxEntries int) *SolveCache {
 		maxEntries = 4096
 	}
 	return &SolveCache{
-		entries:    make(map[string]*sched.Schedule),
+		entries:    make(map[string]solveEntry),
 		maxEntries: maxEntries,
 	}
 }
@@ -59,7 +68,7 @@ func (c *SolveCache) Stats() (hits, misses uint64) {
 func (c *SolveCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[string]*sched.Schedule)
+	c.entries = make(map[string]solveEntry)
 	c.hits, c.misses = 0, 0
 }
 
@@ -69,44 +78,122 @@ func (c *SolveCache) solve(p *sched.Problem, alg sched.Algorithm) (*sched.Schedu
 	return c.Solve(context.Background(), p, alg)
 }
 
-// Solve is the memoized, cancellable sched.Solve and the cache's public
+// Solve is the memoized, cancellable sched.Solve. The returned Schedule is
+// private to the caller: hits hand out a deep copy, so one rank mutating
+// placements cannot corrupt another's plan. The reported hit flag
+// distinguishes a memo hit from a fresh solve.
+func (c *SolveCache) Solve(ctx context.Context, p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, bool, error) {
+	s, _, hit, err := c.SolveFull(ctx, p, alg)
+	return s, hit, err
+}
+
+// SolveFull is Solve plus the solver diagnostics, the cache's public
 // frontend (the planning daemon calls it directly, behind its single-flight
 // coalescer). It normalizes p (as sched.Solve would), so the stored Problem
-// ends up byte-identical whether or not the lookup hits. The returned
-// Schedule is private to the caller: hits hand out a deep copy, so one rank
-// mutating placements cannot corrupt another's plan. The reported hit flag
-// distinguishes a memo hit from a fresh solve. Context errors are never
-// cached — an abandoned solve leaves the entry absent for the next caller.
-func (c *SolveCache) Solve(ctx context.Context, p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, bool, error) {
+// ends up byte-identical whether or not the lookup hits. Context errors are
+// never cached — an abandoned solve leaves the entry absent for the next
+// caller.
+func (c *SolveCache) SolveFull(ctx context.Context, p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, sched.SolveInfo, bool, error) {
 	if err := p.Normalize(); err != nil {
-		return nil, false, err
+		return nil, sched.SolveInfo{}, false, err
 	}
 	key := string(alg) + "\x00" + p.Fingerprint()
 	c.mu.Lock()
-	if s, ok := c.entries[key]; ok {
+	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		return cloneSchedule(s), true, nil
+		return e.s.Clone(), e.info, true, nil
 	}
 	c.misses++
 	c.mu.Unlock()
 
-	s, err := sched.SolveCtx(ctx, p, alg)
+	s, info, err := sched.SolveInfoCtx(ctx, p, alg)
 	if err != nil {
-		return nil, false, err
+		return nil, sched.SolveInfo{}, false, err
 	}
-	c.mu.Lock()
-	if len(c.entries) >= c.maxEntries {
-		c.entries = make(map[string]*sched.Schedule)
-	}
-	c.entries[key] = cloneSchedule(s)
-	c.mu.Unlock()
-	return s, false, nil
+	c.store(key, s, info)
+	return s, info, false, nil
 }
 
-func cloneSchedule(s *sched.Schedule) *sched.Schedule {
-	out := *s
-	out.Placements = make([]sched.Placement, len(s.Placements))
-	copy(out.Placements, s.Placements)
-	return &out
+func (c *SolveCache) store(key string, s *sched.Schedule, info sched.SolveInfo) {
+	c.mu.Lock()
+	if len(c.entries) >= c.maxEntries {
+		c.entries = make(map[string]solveEntry)
+	}
+	c.entries[key] = solveEntry{s: s.Clone(), info: info}
+	c.mu.Unlock()
+}
+
+// BatchOutcome is one item's result from SolveBatch. Hit reports that the
+// schedule came from the memo cache or from an identical item earlier in the
+// same batch rather than a fresh solve.
+type BatchOutcome struct {
+	Schedule *sched.Schedule
+	Info     sched.SolveInfo
+	Hit      bool
+	Err      error
+}
+
+var errNilBatchProblem = errors.New("plan: nil problem in batch")
+
+// SolveBatch is the batched SolveFull: one lock acquisition probes the cache
+// for every item, byte-identical items within the batch share a single solve,
+// and only the remaining unique misses hit the solver. Errors are isolated
+// per item. Results are index-aligned with problems and byte-identical to
+// itemwise SolveFull calls (Solve is deterministic).
+func (c *SolveCache) SolveBatch(ctx context.Context, problems []*sched.Problem, alg sched.Algorithm) []BatchOutcome {
+	out := make([]BatchOutcome, len(problems))
+	keys := make([]string, len(problems))
+	for i, p := range problems {
+		if p == nil {
+			out[i].Err = errNilBatchProblem
+			continue
+		}
+		if err := p.Normalize(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		keys[i] = string(alg) + "\x00" + p.Fingerprint()
+	}
+
+	firstByKey := make(map[string]int, len(problems))
+	dups := make(map[int][]int) // first miss index -> in-batch duplicate indices
+	var solveOrder []int
+	c.mu.Lock()
+	for i := range problems {
+		if out[i].Err != nil {
+			continue
+		}
+		if e, ok := c.entries[keys[i]]; ok {
+			c.hits++
+			out[i] = BatchOutcome{Schedule: e.s.Clone(), Info: e.info, Hit: true}
+			continue
+		}
+		if first, ok := firstByKey[keys[i]]; ok {
+			c.hits++
+			dups[first] = append(dups[first], i)
+			continue
+		}
+		c.misses++
+		firstByKey[keys[i]] = i
+		solveOrder = append(solveOrder, i)
+	}
+	c.mu.Unlock()
+
+	for _, i := range solveOrder {
+		s, info, err := sched.SolveInfoCtx(ctx, problems[i], alg)
+		if err != nil {
+			out[i].Err = err
+			for _, d := range dups[i] {
+				out[d].Err = err
+			}
+			continue
+		}
+		c.store(keys[i], s, info)
+		out[i] = BatchOutcome{Schedule: s, Info: info}
+		for _, d := range dups[i] {
+			out[d] = BatchOutcome{Schedule: s.Clone(), Info: info, Hit: true}
+		}
+	}
+	return out
 }

@@ -75,28 +75,54 @@ type Config struct {
 	Rec *obs.Recorder `json:"-"`
 }
 
-// solver returns the sched.Solve frontend for one Plan call: either the
-// memoizing cache or the raw solver, with hit/miss counts reported to
-// cfg.Rec when tracing.
-func (c Config) solver() func(context.Context, *sched.Problem, sched.Algorithm) (*sched.Schedule, error) {
+// batchSolver returns the batched sched.Solve frontend for one Plan call:
+// either the memoizing cache (one lock probe for the whole batch, in-batch
+// dedup) or the raw batch solver, with hit/miss counts reported to cfg.Rec
+// when tracing. The returned schedules are index-aligned with the problems;
+// on failure it reports the first failing index for error attribution.
+func (c Config) batchSolver() func(context.Context, []*sched.Problem, sched.Algorithm) ([]*sched.Schedule, int, error) {
 	if c.DisableCache {
-		return sched.SolveCtx
+		return func(ctx context.Context, ps []*sched.Problem, alg sched.Algorithm) ([]*sched.Schedule, int, error) {
+			results := sched.SolveBatchCtx(ctx, ps, alg)
+			out := make([]*sched.Schedule, len(results))
+			for i, r := range results {
+				if r.Err != nil {
+					return nil, i, r.Err
+				}
+				out[i] = r.Schedule
+			}
+			return out, -1, nil
+		}
 	}
 	cache := c.Cache
 	if cache == nil {
 		cache = defaultSolveCache
 	}
 	rec := c.Rec
-	return func(ctx context.Context, p *sched.Problem, alg sched.Algorithm) (*sched.Schedule, error) {
-		s, hit, err := cache.Solve(ctx, p, alg)
-		if err == nil && rec.Enabled() {
-			if hit {
-				rec.Count("plan.solve.cache.hit", 1)
+	return func(ctx context.Context, ps []*sched.Problem, alg sched.Algorithm) ([]*sched.Schedule, int, error) {
+		outcomes := cache.SolveBatch(ctx, ps, alg)
+		out := make([]*sched.Schedule, len(outcomes))
+		var hits, misses float64
+		for i, o := range outcomes {
+			if o.Err != nil {
+				return nil, i, o.Err
+			}
+			if o.Hit {
+				hits++
 			} else {
-				rec.Count("plan.solve.cache.miss", 1)
+				misses++
+			}
+			out[i] = o.Schedule
+		}
+		if rec.Enabled() {
+			if hits > 0 {
+				rec.Count("plan.solve.cache.hit", hits)
+			}
+			if misses > 0 {
+				rec.Count("plan.solve.cache.miss", misses)
 			}
 		}
-		return s, err
+		return out, -1, nil
 	}
 }
 
@@ -205,11 +231,18 @@ func Plan(in Input, cfg Config) (*IterationPlan, error) {
 	return PlanCtx(context.Background(), in, cfg)
 }
 
-// PlanCtx is Plan with cooperative cancellation: the context is checked
-// before each per-rank solve (both passes) and threaded into the solver, so
-// a deadline abandons a multi-rank planning call between ranks instead of
-// running it to completion — the planning daemon's per-request deadlines
-// depend on this. A nil ctx behaves like context.Background().
+// PlanCtx is Plan with cooperative cancellation: the context is threaded
+// into the solver and checked per solve, so a deadline abandons a multi-rank
+// planning call between solves instead of running it to completion — the
+// planning daemon's per-request deadlines depend on this. A nil ctx behaves
+// like context.Background().
+//
+// Each pass issues ONE batched solve over every rank's problem instead of N
+// independent solves: normalization, fingerprinting, and the cache lock are
+// amortized across the batch, and byte-identical per-rank problems (the
+// common case — most ranks share a workload profile) collapse to a single
+// solve. sched.Solve is deterministic, so the resulting plans are
+// byte-identical to the itemwise formulation.
 func PlanCtx(ctx context.Context, in Input, cfg Config) (*IterationPlan, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -227,9 +260,10 @@ func PlanCtx(ctx context.Context, in Input, cfg Config) (*IterationPlan, error) 
 		return nil, fmt.Errorf("plan: %d ranks not divisible into nodes of %d", n, rpn)
 	}
 	alg := cfg.algorithm()
-	solve := cfg.solver()
+	solveBatch := cfg.batchSolver()
 
-	// Pass 1: every rank schedules its own jobs.
+	// Pass 1: every rank schedules its own jobs — one batch across ranks.
+	problems := make([]*sched.Problem, n)
 	for r, ri := range in.Ranks {
 		rp := RankPlan{}
 		for _, j := range ri.Jobs {
@@ -241,12 +275,15 @@ func PlanCtx(ctx context.Context, in Input, cfg Config) (*IterationPlan, error) 
 			})
 		}
 		rp.Problem = problem(ri, rp.Jobs)
-		s, err := solve(ctx, rp.Problem, alg)
-		if err != nil {
-			return nil, fmt.Errorf("plan: rank %d pass 1: %w", r, err)
-		}
-		rp.Schedule = s
+		problems[r] = rp.Problem
 		out.Ranks[r] = rp
+	}
+	scheds, failed, err := solveBatch(ctx, problems, alg)
+	if err != nil {
+		return nil, fmt.Errorf("plan: rank %d pass 1: %w", failed, err)
+	}
+	for r := range out.Ranks {
+		out.Ranks[r].Schedule = scheds[r]
 	}
 	if !cfg.Balance || rpn == 1 {
 		return out, nil
@@ -261,8 +298,10 @@ func PlanCtx(ctx context.Context, in Input, cfg Config) (*IterationPlan, error) 
 		}
 	}
 
-	// Balancing per node, then pass 2 re-scheduling with moved writes.
+	// Balancing per node, then pass 2 re-scheduling with moved writes —
+	// again one batch across all nodes' adjusted job sets.
 	balanced := &IterationPlan{Ranks: make([]RankPlan, n)}
+	bProblems := make([]*sched.Problem, n)
 	for base := 0; base < n; base += rpn {
 		tasks := make([][]balance.Task, rpn)
 		for li := 0; li < rpn; li++ {
@@ -313,13 +352,16 @@ func PlanCtx(ctx context.Context, in Input, cfg Config) (*IterationPlan, error) 
 				})
 			}
 			rp.Problem = problem(ri, rp.Jobs)
-			s, err := solve(ctx, rp.Problem, alg)
-			if err != nil {
-				return nil, fmt.Errorf("plan: rank %d pass 2: %w", r, err)
-			}
-			rp.Schedule = s
+			bProblems[r] = rp.Problem
 			balanced.Ranks[r] = rp
 		}
+	}
+	scheds, failed, err = solveBatch(ctx, bProblems, alg)
+	if err != nil {
+		return nil, fmt.Errorf("plan: rank %d pass 2: %w", failed, err)
+	}
+	for r := range balanced.Ranks {
+		balanced.Ranks[r].Schedule = scheds[r]
 	}
 	return balanced, nil
 }

@@ -52,6 +52,20 @@ func Solve(p *Problem, alg Algorithm) (*Schedule, error) {
 	return SolveCtx(context.Background(), p, alg)
 }
 
+// SolveInfo carries solver diagnostics alongside a Schedule, so a caller
+// (or an API client) can distinguish a proven optimum from a best-effort
+// answer. For the heuristics it is the zero value: nothing is proven.
+type SolveInfo struct {
+	// Optimal is true only for an Exact solve whose search ran to
+	// completion; a node-budget-capped search returns its best schedule
+	// with Optimal=false.
+	Optimal bool `json:"optimal"`
+	// Nodes is the number of branch-and-bound nodes explored (Exact only).
+	Nodes int64 `json:"nodes,omitempty"`
+	// Workers is the parallel search width used (Exact only; 1 = serial).
+	Workers int `json:"workers,omitempty"`
+}
+
 // SolveCtx is Solve with cooperative cancellation: it fails fast with the
 // context's error when ctx is already done, and the Exact branch-and-bound
 // checks the context as it searches, so a caller-imposed deadline actually
@@ -60,14 +74,23 @@ func Solve(p *Problem, alg Algorithm) (*Schedule, error) {
 // and are not interrupted mid-flight. A nil ctx behaves like
 // context.Background().
 func SolveCtx(ctx context.Context, p *Problem, alg Algorithm) (*Schedule, error) {
+	s, _, err := SolveInfoCtx(ctx, p, alg)
+	return s, err
+}
+
+// SolveInfoCtx is SolveCtx plus solver diagnostics. The Exact branch runs
+// the parallel branch-and-bound at DefaultExactWorkers width (byte-identical
+// to the serial search; see SolveExactParallelCtx).
+func SolveInfoCtx(ctx context.Context, p *Problem, alg Algorithm) (*Schedule, SolveInfo, error) {
+	var info SolveInfo
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	if err := p.Normalize(); err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	var s *Schedule
 	switch alg {
@@ -84,16 +107,17 @@ func SolveCtx(ctx context.Context, p *Problem, alg Algorithm) (*Schedule, error)
 	case TwoListsGreedy:
 		s = twoListsGreedy(p)
 	case Exact:
-		var err error
-		s, err = solveExact(ctx, p)
+		res, err := solveExact(ctx, p)
 		if err != nil {
-			return nil, err
+			return nil, info, err
 		}
+		s = res.Schedule
+		info = SolveInfo{Optimal: res.Optimal, Nodes: res.Nodes, Workers: res.Workers}
 	default:
-		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, alg)
+		return nil, info, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, alg)
 	}
 	s.Algorithm = alg
-	return s, nil
+	return s, info, nil
 }
 
 // johnsonOrder partitions jobs into M1 (Comp <= IO, by non-decreasing Comp)

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"context"
+	"errors"
+)
+
+// BatchResult is one item's outcome in SolveBatchCtx. Err is set per item —
+// one malformed instance never fails its neighbours — and Schedule is nil
+// iff Err is non-nil.
+type BatchResult struct {
+	Schedule *Schedule
+	Info     SolveInfo
+	Err      error
+	// Deduped reports that this item was byte-identical (same fingerprint)
+	// to an earlier item in the batch and reuses its solve.
+	Deduped bool
+}
+
+var errNilProblem = errors.New("sched: nil problem in batch")
+
+// SolveBatchCtx solves many independent instances in one call, the shape the
+// intra-node balancing pass produces (N per-node problems per iteration).
+// Normalization and fingerprinting happen once per item, and items with
+// identical fingerprints share a single solve (per-node problems are
+// frequently byte-identical across ranks) — the duplicate items receive
+// deep copies, so results are safe to mutate independently.
+//
+// The returned slice is index-aligned with problems. Errors are isolated
+// per item; a cancelled context fails the not-yet-solved remainder with the
+// context's error. Solve is deterministic, so batched results are
+// byte-identical to item-by-item SolveCtx calls.
+func SolveBatchCtx(ctx context.Context, problems []*Problem, alg Algorithm) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(problems))
+	firstByKey := make(map[string]int, len(problems))
+	dups := make(map[int][]int) // first index -> duplicate indices
+	order := make([]int, 0, len(problems))
+	for i, p := range problems {
+		if p == nil {
+			out[i].Err = errNilProblem
+			continue
+		}
+		if err := p.Normalize(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		key := p.Fingerprint()
+		if first, ok := firstByKey[key]; ok {
+			dups[first] = append(dups[first], i)
+			continue
+		}
+		firstByKey[key] = i
+		order = append(order, i)
+	}
+	for _, i := range order {
+		s, info, err := SolveInfoCtx(ctx, problems[i], alg)
+		if err != nil {
+			out[i].Err = err
+			for _, d := range dups[i] {
+				out[d] = BatchResult{Err: err, Deduped: true}
+			}
+			continue
+		}
+		out[i] = BatchResult{Schedule: s, Info: info}
+		for _, d := range dups[i] {
+			out[d] = BatchResult{Schedule: s.Clone(), Info: info, Deduped: true}
+		}
+	}
+	return out
+}

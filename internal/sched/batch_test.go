@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSolveBatchMatchesItemwise: batching is a pure amortization — results
+// must be byte-identical and index-aligned with one-at-a-time SolveCtx calls.
+func TestSolveBatchMatchesItemwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, alg := range append(Algorithms(), Exact) {
+		var problems []*Problem
+		for i := 0; i < 8; i++ {
+			cfg := DefaultGenConfig()
+			cfg.Jobs = 2 + rng.Intn(5)
+			problems = append(problems, RandomProblem(rng, cfg))
+		}
+		// Duplicate a couple of instances to exercise the dedup path.
+		problems = append(problems, problems[0], problems[3])
+
+		results := SolveBatchCtx(context.Background(), problems, alg)
+		if len(results) != len(problems) {
+			t.Fatalf("%s: %d results for %d problems", alg, len(results), len(problems))
+		}
+		for i, p := range problems {
+			want, err := SolveCtx(context.Background(), p, alg)
+			if err != nil {
+				t.Fatalf("%s item %d: itemwise: %v", alg, i, err)
+			}
+			if results[i].Err != nil {
+				t.Fatalf("%s item %d: batch err: %v", alg, i, results[i].Err)
+			}
+			wb, _ := json.Marshal(want)
+			gb, _ := json.Marshal(results[i].Schedule)
+			if string(wb) != string(gb) {
+				t.Fatalf("%s item %d: batch differs from itemwise\nitemwise: %s\nbatch:    %s", alg, i, wb, gb)
+			}
+		}
+		if !results[len(results)-2].Deduped || !results[len(results)-1].Deduped {
+			t.Fatalf("%s: repeated problems not marked Deduped", alg)
+		}
+		if results[0].Deduped {
+			t.Fatalf("%s: first occurrence marked Deduped", alg)
+		}
+	}
+}
+
+// TestSolveBatchDedupedCopiesAreIndependent: mutating a deduped item's
+// schedule must not corrupt the original's.
+func TestSolveBatchDedupedCopiesAreIndependent(t *testing.T) {
+	p := Figure1Problem()
+	results := SolveBatchCtx(context.Background(), []*Problem{p, p}, TwoListsGreedy)
+	if results[1].Schedule == results[0].Schedule {
+		t.Fatal("deduped item shares the original *Schedule")
+	}
+	orig := results[0].Schedule.Placements[0]
+	results[1].Schedule.Placements[0].IOEnd = math.Inf(1)
+	if results[0].Schedule.Placements[0] != orig {
+		t.Fatal("mutating the deduped copy changed the original placements")
+	}
+}
+
+// TestSolveBatchIsolatesErrors: one bad item fails alone; its neighbours and
+// its byte-identical duplicates get coherent outcomes.
+func TestSolveBatchIsolatesErrors(t *testing.T) {
+	good := Figure1Problem()
+	bad := &Problem{Horizon: 1, Jobs: []Job{{ID: 0, Comp: -1, IO: 1}}}
+	results := SolveBatchCtx(context.Background(), []*Problem{good, bad, nil, good}, ExtJohnson)
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("good items failed: %v, %v", results[0].Err, results[3].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("invalid item did not fail")
+	}
+	if !errors.Is(results[2].Err, errNilProblem) {
+		t.Fatalf("nil item error = %v", results[2].Err)
+	}
+	if !results[3].Deduped {
+		t.Fatal("repeated good item not deduped")
+	}
+}
+
+// TestSolveBatchCancellation: a dead context fails every remaining item with
+// the context error rather than panicking or blocking.
+func TestSolveBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := SolveBatchCtx(ctx, []*Problem{Figure1Problem(), Figure1Problem()}, OneListGreedy)
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("item %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestSolveBatchExactInfo: the Exact diagnostics must flow through the batch
+// path.
+func TestSolveBatchExactInfo(t *testing.T) {
+	p := Figure1Problem()
+	results := SolveBatchCtx(context.Background(), []*Problem{p}, Exact)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if !results[0].Info.Optimal {
+		t.Fatal("Figure-1 exact solve not reported optimal")
+	}
+	if results[0].Info.Workers < 1 {
+		t.Fatalf("workers = %d", results[0].Info.Workers)
+	}
+}

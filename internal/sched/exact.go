@@ -20,21 +20,21 @@ type ExactResult struct {
 	*Schedule
 	Optimal bool  // true if the search ran to completion
 	Nodes   int64 // branch-and-bound nodes explored
+	Workers int   // parallel search workers used (1 = serial)
 }
 
 // solveExact finds the optimal (comp order, io order) pair by
 // branch-and-bound over both permutations, using ASAP compaction (every
 // feasible schedule is dominated by the ASAP schedule of the orders it
-// induces, so searching order pairs is exhaustive).
-func solveExact(ctx context.Context, p *Problem) (*Schedule, error) {
-	res, err := SolveExactCtx(ctx, p, DefaultExactNodeLimit)
-	if err != nil {
-		return nil, err
-	}
-	return res.Schedule, nil
+// induces, so searching order pairs is exhaustive). It runs the parallel
+// search at the process's default width; SolveExactParallelCtx degrades to
+// the serial search on one core or tiny instances, and returns the same
+// bytes either way.
+func solveExact(ctx context.Context, p *Problem) (*ExactResult, error) {
+	return SolveExactParallelCtx(ctx, p, DefaultExactNodeLimit, DefaultExactWorkers())
 }
 
-// SolveExact runs the exact solver with an explicit node budget.
+// SolveExact runs the serial exact solver with an explicit node budget.
 func SolveExact(p *Problem, nodeLimit int64) (*ExactResult, error) {
 	return SolveExactCtx(context.Background(), p, nodeLimit)
 }
@@ -60,19 +60,12 @@ func SolveExactCtx(ctx context.Context, p *Problem, nodeLimit int64) (*ExactResu
 	if m == 0 {
 		s := finishSchedule(p, nil)
 		s.Algorithm = Exact
-		return &ExactResult{Schedule: s, Optimal: true}, nil
+		return &ExactResult{Schedule: s, Optimal: true, Workers: 1}, nil
 	}
 
-	// Warm start from the best heuristic so pruning bites immediately.
-	var best *Schedule
-	for _, alg := range Algorithms() {
-		s, err := Solve(p, alg)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || s.Overall < best.Overall {
-			best = s
-		}
+	best, err := warmStart(p)
+	if err != nil {
+		return nil, err
 	}
 
 	e := &exactSearch{
@@ -85,13 +78,43 @@ func SolveExactCtx(ctx context.Context, p *Problem, nodeLimit int64) (*ExactResu
 	e.compOrder = make([]int, 0, m)
 	e.used = make([]bool, m)
 	e.ioIv = make([]Interval, m)
-	for _, j := range p.Jobs {
-		e.sumComp += j.Comp
-		e.sumIOAll += j.IO
+	e.sumComp, e.sumIOAll, e.ioLoadLB = staticBounds(p)
+	e.dfsComp(newTimeline(p.CompHoles), make([]float64, m))
+	if e.cancelled {
+		return nil, ctx.Err()
 	}
-	// Static machine-2 load bound: every write is sequential on the
-	// background thread and none can start before the earliest possible
-	// compression completion.
+
+	e.best.Algorithm = Exact
+	return &ExactResult{Schedule: e.best, Optimal: !e.capped, Nodes: e.nodes, Workers: 1}, nil
+}
+
+// warmStart runs every heuristic and returns the best schedule, so branch-
+// and-bound pruning bites from the first node. Both the serial and the
+// parallel search start from this same incumbent — a precondition of their
+// byte-identical results.
+func warmStart(p *Problem) (*Schedule, error) {
+	var best *Schedule
+	for _, alg := range Algorithms() {
+		s, err := Solve(p, alg)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || s.Overall < best.Overall {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// staticBounds computes the instance-wide quantities every subtree search
+// needs: total compression work, total io work, and the static machine-2
+// load bound (every write is sequential on the background thread and none
+// can start before the earliest possible compression completion).
+func staticBounds(p *Problem) (sumComp, sumIOAll, ioLoadLB float64) {
+	for _, j := range p.Jobs {
+		sumComp += j.Comp
+		sumIOAll += j.IO
+	}
 	earliest := math.Inf(1)
 	tl := newTimeline(p.CompHoles)
 	for _, j := range p.Jobs {
@@ -100,15 +123,9 @@ func SolveExactCtx(ctx context.Context, p *Problem, nodeLimit int64) (*ExactResu
 		}
 	}
 	if !math.IsInf(earliest, 1) {
-		e.ioLoadLB = earliest + e.sumIOAll
+		ioLoadLB = earliest + sumIOAll
 	}
-	e.dfsComp(newTimeline(p.CompHoles), make([]float64, m))
-	if e.cancelled {
-		return nil, ctx.Err()
-	}
-
-	e.best.Algorithm = Exact
-	return &ExactResult{Schedule: e.best, Optimal: !e.capped, Nodes: e.nodes}, nil
+	return sumComp, sumIOAll, ioLoadLB
 }
 
 type exactSearch struct {
@@ -116,9 +133,18 @@ type exactSearch struct {
 	ctx       context.Context
 	nodeLimit int64
 	nodes     int64
+	flushed   int64 // nodes already added to shared.nodes
 	lastPoll  int64 // node count at the previous ctx poll
 	capped    bool
 	cancelled bool
+
+	// prefix pins the first len(prefix) compression-order choices, so a
+	// parallel worker explores exactly one subtree of the canonical search
+	// tree. Empty for the serial search.
+	prefix []int
+	// shared is the cross-worker state of a parallel search (incumbent
+	// bound, node budget, stop flags); nil for the serial search.
+	shared *exactShared
 
 	compOrder []int
 	used      []bool
@@ -139,20 +165,73 @@ func (e *exactSearch) done() bool {
 	if e.cancelled {
 		return true
 	}
+	if e.shared != nil && e.shared.stop.Load() {
+		return true
+	}
 	if e.nodes-e.lastPoll >= ctxPollEvery {
 		e.lastPoll = e.nodes
 		if e.ctx.Err() != nil {
 			e.cancelled = true
+			if e.shared != nil {
+				e.shared.cancelled.Store(true)
+				e.shared.stop.Store(true)
+			}
 			return true
 		}
+		if e.shared != nil {
+			// Flush the local node count into the shared budget; overshoot
+			// is bounded by workers × ctxPollEvery nodes.
+			total := e.shared.nodes.Add(e.nodes - e.flushed)
+			e.flushed = e.nodes
+			if total >= e.nodeLimit {
+				e.capped = true
+				e.shared.capped.Store(true)
+				e.shared.stop.Store(true)
+				return true
+			}
+		}
 	}
-	if e.nodes >= e.nodeLimit {
+	if e.shared == nil && e.nodes >= e.nodeLimit {
 		e.capped = true
 		return true
 	}
 	// Nothing can beat the horizon or the machine-2 load bound: every
 	// schedule has Overall >= max(Horizon, ioLoadLB).
 	return e.bestVal <= math.Max(e.p.Horizon, e.ioLoadLB)+timeEps
+}
+
+// admits reports whether a branch with the given lower bound is worth
+// descending into. Both rules are exact with respect to the strict-<
+// acceptance in dfsIO: a subtree is cut only when nothing inside it could be
+// accepted. The local rule mirrors acceptance (values >= bound >= bestVal
+// can't improve); the shared rule prunes values strictly above the global
+// incumbent, which can never contain the canonically-first attainer of the
+// global minimum — the schedule both the serial and the parallel search
+// return (see SolveExactParallelCtx's determinism argument).
+func (e *exactSearch) admits(bound float64) bool {
+	if bound >= e.bestVal {
+		return false
+	}
+	if e.shared != nil && bound > e.shared.boundVal() {
+		return false
+	}
+	return true
+}
+
+// accept installs a strictly better schedule as the local incumbent and, in
+// a parallel search, offers its value to the shared bound so other workers
+// prune against it. Values at or below the early-stop threshold L+timeEps
+// are deliberately NOT offered: accepting one ends this task immediately
+// (see done), and publishing it could shared-prune the canonically-first
+// qualifying schedule in an earlier segment of another worker — the one the
+// serial search would return. Withholding keeps the shared bound strictly
+// above L+timeEps, so qualifier paths (bounds <= L+timeEps) never get cut.
+func (e *exactSearch) accept(s *Schedule) {
+	e.best = s
+	e.bestVal = s.Overall
+	if e.shared != nil && s.Overall > math.Max(e.p.Horizon, e.ioLoadLB)+timeEps {
+		e.shared.offer(s.Overall)
+	}
 }
 
 // dfsComp extends the compression order. compEnds[idx] records each job's
@@ -162,12 +241,17 @@ func (e *exactSearch) dfsComp(tl *timeline, compEnds []float64) {
 		return
 	}
 	m := len(e.p.Jobs)
-	if len(e.compOrder) == m {
+	depth := len(e.compOrder)
+	if depth == m {
 		ioTL := newTimeline(e.p.IOHoles)
-		e.dfsIO(ioTL, compEnds, make([]bool, m), 0, e.sumIOTotal())
+		e.dfsIO(ioTL, compEnds, make([]bool, m), 0, e.sumIOAll)
 		return
 	}
-	for idx := 0; idx < m; idx++ {
+	lo, hi := 0, m
+	if depth < len(e.prefix) {
+		lo, hi = e.prefix[depth], e.prefix[depth]+1
+	}
+	for idx := lo; idx < hi; idx++ {
 		if e.used[idx] {
 			continue
 		}
@@ -199,7 +283,7 @@ func (e *exactSearch) dfsComp(tl *timeline, compEnds []float64) {
 		if e.ioLoadLB > lb {
 			lb = e.ioLoadLB
 		}
-		if math.Max(e.p.Horizon, lb) < e.bestVal-timeEps {
+		if e.admits(math.Max(e.p.Horizon, lb)) {
 			e.used[idx] = true
 			e.compOrder = append(e.compOrder, idx)
 			e.sumComp -= j.Comp
@@ -218,14 +302,6 @@ func (e *exactSearch) dfsComp(tl *timeline, compEnds []float64) {
 	}
 }
 
-func (e *exactSearch) sumIOTotal() float64 {
-	s := 0.0
-	for _, j := range e.p.Jobs {
-		s += j.IO
-	}
-	return s
-}
-
 // dfsIO extends the io order given fixed compression end times.
 func (e *exactSearch) dfsIO(tl *timeline, compEnds []float64, placed []bool, nPlaced int, remIO float64) {
 	if e.done() {
@@ -234,9 +310,15 @@ func (e *exactSearch) dfsIO(tl *timeline, compEnds []float64, placed []bool, nPl
 	m := len(e.p.Jobs)
 	if nPlaced == m {
 		s := e.buildSchedule(compEnds, tl)
-		if s.Overall < e.bestVal-timeEps {
-			e.best = s
-			e.bestVal = s.Overall
+		// Strict < (no epsilon): the incumbent is replaced only by a real
+		// float improvement, so the search result is the canonically-first
+		// schedule attaining the exact minimum — the invariant the parallel
+		// merge depends on. Epsilon-slack here would let two near-tied
+		// schedules (different orders, same ideal value, ~1e-16 apart from
+		// float reassociation) resolve differently depending on the fold's
+		// starting incumbent.
+		if s.Overall < e.bestVal {
+			e.accept(s)
 		}
 		return
 	}
@@ -253,7 +335,7 @@ func (e *exactSearch) dfsIO(tl *timeline, compEnds []float64, placed []bool, nPl
 		if w.End > lb {
 			lb = w.End
 		}
-		if math.Max(e.p.Horizon, lb) < e.bestVal-timeEps {
+		if e.admits(math.Max(e.p.Horizon, lb)) {
 			placed[idx] = true
 			e.ioIv[idx] = w
 			e.dfsIO(tl, compEnds, placed, nPlaced+1, remIO-j.IO)

@@ -1,0 +1,224 @@
+package sched
+
+// Parallel branch-and-bound: the canonical comp-order search tree is split
+// at depth two into m·(m-1) subtree tasks, seeded in canonical (lexicographic)
+// order into a bounded queue that idle workers steal from. Workers share one
+// atomic incumbent bound, so an improvement found anywhere immediately
+// tightens pruning everywhere, and cooperative cancellation is preserved:
+// every worker polls the caller's context and the first to see it fire stops
+// the whole fleet.
+//
+// Determinism. The serial search is a fold over complete schedules in
+// canonical order (comp order, then io order, both by ascending job index)
+// with strict improvement "accept s iff s.Overall < incumbent" (plain <, no
+// epsilon — see dfsIO), warm-started from the best heuristic W, stopping
+// early once the incumbent is within timeEps of the static lower bound
+// L = max(Horizon, ioLoadLB). Its result is therefore the canonically-first
+// schedule with value <= L+timeEps if one exists, else the canonically-first
+// schedule attaining the exact minimum M.
+//
+// Each parallel task runs that same fold over one contiguous segment of the
+// canonical order, also warm-started from W. Both targets are reproduced
+// exactly regardless of worker timing:
+//
+//   - Early-stop case: the first segment containing a schedule <= L+timeEps
+//     yields exactly that schedule as its task result (its local incumbent is
+//     > L+timeEps until then, so the schedule is accepted and the task stops).
+//     The merge folds task results in canonical order and stops at the first
+//     result <= L+timeEps, so later segments' results — which may legitimately
+//     be smaller — cannot displace it. Early stop is deliberately *local*
+//     (never propagated through shared.stop), so no task is aborted before
+//     reaching its own first qualifying schedule.
+//   - Exact-minimum case: the canonically-first attainer of M is never pruned
+//     (every admissible bound on its path is <= M, the shared incumbent is
+//     always >= M, and admits cuts only bounds strictly above it), and once a
+//     task accepts it nothing else in the segment can (plain < rejects ties),
+//     so that task's result is exactly the attainer. In the merge it beats
+//     every earlier segment's result (all > M) and ties reject all later ones.
+//
+// The shared bound only ever *prunes* subtrees whose values all strictly
+// exceed it, which can eliminate neither target. The guarantee holds for
+// completed searches; a search capped by nodeLimit returns best-effort with
+// Optimal=false and makes no cross-run promise (which subtrees were explored
+// before the cap depends on scheduling).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultExactWorkers is the parallel width SolveCtx's Exact branch uses:
+// one worker per available CPU.
+func DefaultExactWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// minParallelJobs is the smallest instance worth splitting: below this the
+// whole search completes in microseconds and task setup dominates.
+const minParallelJobs = 4
+
+// exactShared is the cross-worker state of one parallel search.
+type exactShared struct {
+	bound     atomic.Uint64 // float64 bits of the global incumbent Overall
+	nodes     atomic.Int64  // global node budget consumption
+	stop      atomic.Bool   // set on cancellation or node-budget exhaustion
+	capped    atomic.Bool
+	cancelled atomic.Bool
+}
+
+func (sh *exactShared) boundVal() float64 {
+	return math.Float64frombits(sh.bound.Load())
+}
+
+// offer lowers the shared bound to v if v improves it (monotone CAS min).
+func (sh *exactShared) offer(v float64) {
+	for {
+		cur := sh.bound.Load()
+		if math.Float64frombits(cur) <= v {
+			return
+		}
+		if sh.bound.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// subtreeTask is one unit of parallel work: the comp-order prefix that roots
+// the subtree, plus its position in the canonical enumeration (the merge
+// key).
+type subtreeTask struct {
+	idx    int
+	prefix [2]int
+}
+
+// SolveExactParallel is SolveExactParallelCtx without cancellation.
+func SolveExactParallel(p *Problem, nodeLimit int64, workers int) (*ExactResult, error) {
+	return SolveExactParallelCtx(context.Background(), p, nodeLimit, workers)
+}
+
+// SolveExactParallelCtx runs the exact branch-and-bound across up to
+// `workers` goroutines and returns a schedule byte-identical to
+// SolveExactCtx's whenever the search completes (Optimal=true) — see the
+// package comment above for the determinism argument. workers <= 1, tiny
+// instances, and single-CPU processes fall back to the serial search.
+func SolveExactParallelCtx(ctx context.Context, p *Problem, nodeLimit int64, workers int) (*ExactResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	m := len(p.Jobs)
+	if m > MaxExactJobs {
+		return nil, fmt.Errorf("sched: exact solver limited to %d jobs, got %d", MaxExactJobs, m)
+	}
+	if workers <= 1 || m < minParallelJobs {
+		return SolveExactCtx(ctx, p, nodeLimit)
+	}
+
+	warm, err := warmStart(p)
+	if err != nil {
+		return nil, err
+	}
+	sumComp, sumIOAll, ioLoadLB := staticBounds(p)
+	if warm.Overall <= math.Max(p.Horizon, ioLoadLB)+timeEps {
+		// The warm start already meets the static lower bound; the serial
+		// search would explore zero nodes, and so do we.
+		warm.Algorithm = Exact
+		return &ExactResult{Schedule: warm, Optimal: true, Workers: workers}, nil
+	}
+
+	tasks := make([]subtreeTask, 0, m*(m-1))
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			tasks = append(tasks, subtreeTask{idx: len(tasks), prefix: [2]int{i, j}})
+		}
+	}
+	queue := make(chan subtreeTask, len(tasks))
+	for _, t := range tasks {
+		queue <- t
+	}
+	close(queue)
+
+	shared := &exactShared{}
+	shared.bound.Store(math.Float64bits(warm.Overall))
+	results := make([]*Schedule, len(tasks))
+
+	nw := workers
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range queue {
+				if shared.stop.Load() {
+					break
+				}
+				e := &exactSearch{
+					p:         p,
+					ctx:       ctx,
+					nodeLimit: nodeLimit,
+					prefix:    t.prefix[:],
+					shared:    shared,
+					best:      warm,
+					bestVal:   warm.Overall,
+					sumComp:   sumComp,
+					sumIOAll:  sumIOAll,
+					ioLoadLB:  ioLoadLB,
+				}
+				e.compOrder = make([]int, 0, m)
+				e.used = make([]bool, m)
+				e.ioIv = make([]Interval, m)
+				e.dfsComp(newTimeline(p.CompHoles), make([]float64, m))
+				// Enforce the node budget at task boundaries as well as poll
+				// boundaries, so budgets smaller than ctxPollEvery still cap
+				// the search instead of silently overshooting task by task.
+				if total := shared.nodes.Add(e.nodes - e.flushed); total >= nodeLimit {
+					shared.capped.Store(true)
+					shared.stop.Store(true)
+				}
+				if e.best != warm {
+					results[t.idx] = e.best
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if shared.cancelled.Load() {
+		return nil, ctx.Err()
+	}
+
+	// Deterministic merge: fold the per-subtree incumbents in canonical
+	// order with the serial rules — strict < acceptance, stop at the first
+	// result within timeEps of the static lower bound (mirroring the serial
+	// search's early stop; see the package comment).
+	best, bestVal := warm, warm.Overall
+	stopAt := math.Max(p.Horizon, ioLoadLB) + timeEps
+	for _, s := range results {
+		if s != nil && s.Overall < bestVal {
+			best, bestVal = s, s.Overall
+			if bestVal <= stopAt {
+				break
+			}
+		}
+	}
+	best.Algorithm = Exact
+	return &ExactResult{
+		Schedule: best,
+		Optimal:  !shared.capped.Load(),
+		Nodes:    shared.nodes.Load(),
+		Workers:  nw,
+	}, nil
+}

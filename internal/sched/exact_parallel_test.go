@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// parityCorpus generates the randomized instances the serial/parallel
+// equivalence is pinned on: sizes small enough that every search completes
+// (determinism is only promised for Optimal results), with holes, releases,
+// and degenerate shapes mixed in.
+func parityCorpus(t *testing.T, trials int) []*Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(97))
+	var out []*Problem
+	for trial := 0; trial < trials; trial++ {
+		cfg := GenConfig{
+			Jobs:       2 + rng.Intn(6), // 2..7 jobs: searches complete fast
+			CompHoles:  rng.Intn(4),
+			IOHoles:    rng.Intn(4),
+			Horizon:    rng.Float64() * 1.5,
+			HoleFrac:   rng.Float64() * 0.6,
+			MeanComp:   0.02 + rng.Float64()*0.1,
+			MeanIO:     0.02 + rng.Float64()*0.1,
+			JitterFrac: rng.Float64(),
+		}
+		p := RandomProblem(rng, cfg)
+		if trial%3 == 0 {
+			// Releases exercise the moved-write constraint of §3.4.
+			for i := range p.Jobs {
+				if rng.Intn(2) == 0 {
+					p.Jobs[i].Release = rng.Float64() * 0.3
+				}
+			}
+		}
+		if trial%7 == 0 {
+			// Exact ties are the case canonical-order merging must
+			// adjudicate: make several jobs byte-identical.
+			for i := 1; i < len(p.Jobs); i++ {
+				p.Jobs[i].Comp = p.Jobs[0].Comp
+				p.Jobs[i].IO = p.Jobs[0].IO
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestExactParallelMatchesSerial is the parity pin: across the randomized
+// corpus and several worker counts, the parallel search must return a
+// schedule byte-identical (JSON bytes) to the serial search's, with the
+// same Optimal verdict. Run under -race via `make test`.
+func TestExactParallelMatchesSerial(t *testing.T) {
+	corpus := parityCorpus(t, 60)
+	for ti, p := range corpus {
+		serial, err := SolveExactCtx(context.Background(), p, DefaultExactNodeLimit)
+		if err != nil {
+			t.Fatalf("instance %d: serial: %v", ti, err)
+		}
+		if !serial.Optimal {
+			t.Fatalf("instance %d: serial search capped; corpus must complete", ti)
+		}
+		wantB, err := json.Marshal(serial.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := SolveExactParallelCtx(context.Background(), p, DefaultExactNodeLimit, workers)
+			if err != nil {
+				t.Fatalf("instance %d workers=%d: %v", ti, workers, err)
+			}
+			if !par.Optimal {
+				t.Fatalf("instance %d workers=%d: parallel search capped", ti, workers)
+			}
+			gotB, err := json.Marshal(par.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotB) != string(wantB) {
+				t.Fatalf("instance %d workers=%d: parallel schedule differs from serial\nserial:   %s\nparallel: %s",
+					ti, workers, wantB, gotB)
+			}
+			if err := Validate(p, par.Schedule); err != nil {
+				t.Fatalf("instance %d workers=%d: %v", ti, workers, err)
+			}
+		}
+	}
+}
+
+// TestExactParallelMatchesBruteForce anchors the parallel search to ground
+// truth, not just to the serial implementation.
+func TestExactParallelMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		cfg := GenConfig{
+			Jobs:       4, // brute force stays cheap: 4!·4! pairs
+			CompHoles:  rng.Intn(3),
+			IOHoles:    rng.Intn(3),
+			Horizon:    rng.Float64() * 0.5,
+			HoleFrac:   rng.Float64() * 0.6,
+			MeanComp:   0.05 + rng.Float64()*0.1,
+			MeanIO:     0.05 + rng.Float64()*0.1,
+			JitterFrac: rng.Float64(),
+		}
+		p := RandomProblem(rng, cfg)
+		want := bruteForce(p)
+		res, err := SolveExactParallelCtx(context.Background(), p, DefaultExactNodeLimit, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("trial %d: capped", trial)
+		}
+		if diff := res.Overall - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: parallel exact %v != brute force %v", trial, res.Overall, want)
+		}
+	}
+}
+
+// TestExactParallelSmallFallsBackToSerial: tiny instances and width-1 calls
+// must take the serial path (Workers=1 in the diagnostics).
+func TestExactParallelSmallFallsBackToSerial(t *testing.T) {
+	p := &Problem{Horizon: 1, Jobs: []Job{{ID: 0, Comp: 0.1, IO: 0.1}, {ID: 1, Comp: 0.2, IO: 0.1}}}
+	res, err := SolveExactParallelCtx(context.Background(), p, DefaultExactNodeLimit, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 1 {
+		t.Fatalf("2-job instance used %d workers, want serial fallback", res.Workers)
+	}
+	res, err = SolveExactParallelCtx(context.Background(), Figure1Problem(), DefaultExactNodeLimit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 1 {
+		t.Fatalf("workers=1 call reported %d workers", res.Workers)
+	}
+}
+
+// TestExactParallelCancellation: a deadline must stop all workers and
+// surface the context error, promptly.
+func TestExactParallelCancellation(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Jobs = MaxExactJobs
+	p := RandomProblem(rand.New(rand.NewSource(5)), cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := SolveExactParallelCtx(ctx, p, 1<<40, 4)
+	if err == nil {
+		// Legitimate on a machine fast enough to finish inside the deadline.
+		if !res.Optimal {
+			t.Fatalf("no error but non-optimal result (nodes=%d)", res.Nodes)
+		}
+		return
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestExactParallelNodeLimit: an absurdly small budget must return a capped
+// best-effort result, never an error.
+func TestExactParallelNodeLimit(t *testing.T) {
+	// Find an instance whose warm start does not already meet the static
+	// lower bound (those are proven optimal with zero nodes, budget or not).
+	// Zero horizon plus io holes makes the ioLoadLB bound unattainable, so
+	// real search is required; probe cheaply to confirm.
+	rng := rand.New(rand.NewSource(9))
+	var p *Problem
+	for attempt := 0; attempt < 100; attempt++ {
+		cfg := GenConfig{
+			Jobs: 9, IOHoles: 3, CompHoles: 2, Horizon: 0,
+			HoleFrac: 0.5, MeanComp: 0.05, MeanIO: 0.08, JitterFrac: 0.8,
+		}
+		cand := RandomProblem(rng, cfg)
+		probe, err := SolveExactCtx(context.Background(), cand, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probe.Nodes > 0 {
+			p = cand
+			break
+		}
+	}
+	if p == nil {
+		t.Fatal("no probe instance required search; generator config too easy")
+	}
+	res, err := SolveExactParallelCtx(context.Background(), p, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Fatal("1-node budget reported an optimal search")
+	}
+	if res.Schedule == nil {
+		t.Fatal("capped search returned no best-effort schedule")
+	}
+	if err := Validate(p, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -140,6 +140,16 @@ type Schedule struct {
 	Overall float64 `json:"overall"`
 }
 
+// Clone returns a deep copy of the schedule, so callers handing the same
+// solve result to multiple consumers (memo caches, coalesced requests,
+// batch duplicates) never share mutable placements.
+func (s *Schedule) Clone() *Schedule {
+	out := *s
+	out.Placements = make([]Placement, len(s.Placements))
+	copy(out.Placements, s.Placements)
+	return &out
+}
+
 const timeEps = 1e-9
 
 // Validate checks every constraint of §3.1 against the problem: tasks avoid

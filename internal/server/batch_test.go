@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+func batchBody(t *testing.T, alg string, problems []sched.Problem) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(api.SolveBatchRequest{Algorithm: alg, Problems: problems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// TestSolveBatchEndpoint pins the batch contract: items come back
+// index-aligned with the request, byte-identical to itemwise /v1/solve
+// responses, and identical problems collapse to one solve (Coalesced
+// provenance on the duplicates).
+func TestSolveBatchEndpoint(t *testing.T) {
+	rec := obs.NewRecorder()
+	srv := New(Config{Cache: plan.NewSolveCache(0), Rec: rec})
+	defer srv.Close()
+	h := srv.Handler()
+
+	p1 := *sched.Figure1Problem()
+	p2 := *sched.Figure1Problem()
+	p2.Horizon += 1 // distinct instance
+	problems := []sched.Problem{p1, p2, p1} // index 2 duplicates index 0
+
+	w := postJSON(t, h, "/v1/solve/batch", batchBody(t, "TwoListsGreedy", problems))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.SolveBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != sched.TwoListsGreedy {
+		t.Fatalf("algorithm %q", resp.Algorithm)
+	}
+	if len(resp.Items) != len(problems) {
+		t.Fatalf("%d items for %d problems", len(resp.Items), len(problems))
+	}
+
+	// Each item matches the itemwise endpoint byte-for-byte (fresh server so
+	// cache state matches a cold itemwise run per distinct problem).
+	for i, p := range problems[:2] {
+		it := resp.Items[i]
+		if it.Error != nil {
+			t.Fatalf("item %d: %v", i, it.Error)
+		}
+		ref := New(Config{Cache: plan.NewSolveCache(0)})
+		wRef := postJSON(t, ref.Handler(), "/v1/solve", solveBody(t, "TwoListsGreedy", &p, 0))
+		ref.Close()
+		var refResp api.SolveResponse
+		if err := json.Unmarshal(wRef.Body.Bytes(), &refResp); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := json.Marshal(it.Schedule)
+		want, _ := json.Marshal(refResp.Schedule)
+		if string(got) != string(want) {
+			t.Fatalf("item %d: batch schedule differs from itemwise\nitemwise: %s\nbatch:    %s", i, want, got)
+		}
+	}
+
+	// The in-batch duplicate shares item 0's solve.
+	dup := resp.Items[2]
+	if dup.Error != nil {
+		t.Fatal(dup.Error)
+	}
+	if !dup.Coalesced {
+		t.Fatal("duplicate item not marked Coalesced")
+	}
+	g0, _ := json.Marshal(resp.Items[0].Schedule)
+	g2, _ := json.Marshal(dup.Schedule)
+	if string(g0) != string(g2) {
+		t.Fatal("duplicate item's schedule differs from its first occurrence")
+	}
+	if rec.Counter("server.solve.batch.dedup") != 1 {
+		t.Fatalf("dedup counter = %v, want 1", rec.Counter("server.solve.batch.dedup"))
+	}
+	// Two unique solves total, not three.
+	if misses := rec.Counter("server.solve.cache.miss"); misses != 2 {
+		t.Fatalf("cache misses = %v, want 2", misses)
+	}
+}
+
+// TestSolveBatchItemErrorIsolation: one invalid instance fails alone with a
+// typed error; its neighbours still solve; the HTTP status stays 200.
+func TestSolveBatchItemErrorIsolation(t *testing.T) {
+	srv := New(Config{Cache: plan.NewSolveCache(0)})
+	defer srv.Close()
+	h := srv.Handler()
+
+	good := *sched.Figure1Problem()
+	bad := sched.Problem{Horizon: -5}
+	w := postJSON(t, h, "/v1/solve/batch", batchBody(t, "", []sched.Problem{good, bad, good}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.SolveBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Items[0].Error != nil || resp.Items[0].Schedule == nil {
+		t.Fatalf("good item 0 failed: %+v", resp.Items[0])
+	}
+	if resp.Items[2].Error != nil || resp.Items[2].Schedule == nil {
+		t.Fatalf("good item 2 failed: %+v", resp.Items[2])
+	}
+	it := resp.Items[1]
+	if it.Error == nil || it.Schedule != nil {
+		t.Fatalf("bad item did not fail cleanly: %+v", it)
+	}
+	if it.Error.Code != api.CodeBadRequest {
+		t.Fatalf("bad item code %q, want %q", it.Error.Code, api.CodeBadRequest)
+	}
+}
+
+// TestSolveBatchExactDiagnostics: solver provenance flows through the batch
+// path for the Exact algorithm.
+func TestSolveBatchExactDiagnostics(t *testing.T) {
+	srv := New(Config{Cache: plan.NewSolveCache(0)})
+	defer srv.Close()
+	h := srv.Handler()
+
+	p := *sched.Figure1Problem()
+	w := postJSON(t, h, "/v1/solve/batch", batchBody(t, "Exact", []sched.Problem{p, p}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.SolveBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range resp.Items {
+		if it.Error != nil {
+			t.Fatalf("item %d: %v", i, it.Error)
+		}
+		if !it.Optimal {
+			t.Fatalf("item %d: exact solve not reported optimal", i)
+		}
+		if it.Workers < 1 {
+			t.Fatalf("item %d: workers = %d", i, it.Workers)
+		}
+	}
+
+	// A repeat batch is served from the cache with provenance intact.
+	w2 := postJSON(t, h, "/v1/solve/batch", batchBody(t, "Exact", []sched.Problem{p}))
+	var resp2 api.SolveBatchResponse
+	if err := json.Unmarshal(w2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Items[0].Cached {
+		t.Fatal("repeat batch not served from cache")
+	}
+	if !resp2.Items[0].Optimal {
+		t.Fatal("cache hit dropped the Optimal diagnostic")
+	}
+}
+
+// TestSolveBatchEmpty: zero problems is a valid request with zero items.
+func TestSolveBatchEmpty(t *testing.T) {
+	srv := New(Config{Cache: plan.NewSolveCache(0)})
+	defer srv.Close()
+	w := postJSON(t, srv.Handler(), "/v1/solve/batch", batchBody(t, "", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.SolveBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 0 {
+		t.Fatalf("%d items", len(resp.Items))
+	}
+}

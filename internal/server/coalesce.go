@@ -31,6 +31,7 @@ type flight struct {
 
 	done chan struct{} // closed by publish
 	s    *sched.Schedule
+	info sched.SolveInfo
 	err  error
 
 	mu        sync.Mutex
@@ -87,7 +88,7 @@ func (f *flight) detach() {
 // publish records the result, wakes every waiter, releases the flight's
 // context, and removes the flight from the map (under the coalescer's lock,
 // so a new identical request starts a fresh flight — typically a cache hit).
-func (c *coalescer) publish(key string, f *flight, s *sched.Schedule, err error) {
+func (c *coalescer) publish(key string, f *flight, s *sched.Schedule, info sched.SolveInfo, err error) {
 	c.mu.Lock()
 	// Only remove our own entry: an abandoned flight may have been replaced
 	// by a fresh one under the same key (see join), which must survive.
@@ -96,29 +97,22 @@ func (c *coalescer) publish(key string, f *flight, s *sched.Schedule, err error)
 	}
 	c.mu.Unlock()
 	f.mu.Lock()
-	f.s, f.err = s, err
+	f.s, f.info, f.err = s, info, err
 	f.published = true
 	f.mu.Unlock()
 	close(f.done)
 	f.cancel()
 }
 
-// result returns the published schedule. The leader takes the original;
-// every other waiter gets its own deep copy, so no two requests share
-// mutable placements.
-func (f *flight) result(leader bool) (*sched.Schedule, error) {
+// result returns the published schedule and solver diagnostics. The leader
+// takes the original schedule; every other waiter gets its own deep copy, so
+// no two requests share mutable placements.
+func (f *flight) result(leader bool) (*sched.Schedule, sched.SolveInfo, error) {
 	if f.err != nil || f.s == nil {
-		return nil, f.err
+		return nil, sched.SolveInfo{}, f.err
 	}
 	if leader {
-		return f.s, nil
+		return f.s, f.info, nil
 	}
-	return cloneSchedule(f.s), nil
-}
-
-func cloneSchedule(s *sched.Schedule) *sched.Schedule {
-	out := *s
-	out.Placements = make([]sched.Placement, len(s.Placements))
-	copy(out.Placements, s.Placements)
-	return &out
+	return f.s.Clone(), f.info, nil
 }

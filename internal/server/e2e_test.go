@@ -1,16 +1,16 @@
 package server_test
 
-// End-to-end: a real daemon on a random TCP port, driven over HTTP the way
-// cmd/insitu-served is, checked for (a) plan parity — the served
-// IterationPlan for the Figure 1 instance must be byte-identical to a
-// direct plan.Plan call, the same equality notion the engine-parity test
-// uses — and (b) clean shutdown with no goroutine leaks under -race.
+// End-to-end: a real daemon on a random TCP port, driven through the typed
+// Go client (internal/client) the way cmd/insitu-load is, checked for
+// (a) plan parity — the served IterationPlan for the Figure 1 instance must
+// be byte-identical to a direct plan.Plan call, the same equality notion the
+// engine-parity test uses — and (b) clean shutdown with no goroutine leaks
+// under -race.
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
-	"io"
+	"errors"
 	"net"
 	"net/http"
 	"runtime"
@@ -18,6 +18,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
+	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
@@ -25,9 +27,9 @@ import (
 )
 
 // startDaemon runs a Server behind a real listener on 127.0.0.1:0 and
-// returns its base URL plus a shutdown func that performs the same graceful
+// returns a typed client plus a shutdown func that performs the same graceful
 // drain as cmd/insitu-served (http shutdown, then worker drain).
-func startDaemon(t *testing.T, cfg server.Config) (base string, shutdown func()) {
+func startDaemon(t *testing.T, cfg server.Config, opts ...client.Option) (c *client.Client, shutdown func()) {
 	t.Helper()
 	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -37,7 +39,9 @@ func startDaemon(t *testing.T, cfg server.Config) (base string, shutdown func())
 	hs := &http.Server{Handler: srv.Handler()}
 	served := make(chan error, 1)
 	go func() { served <- hs.Serve(ln) }()
-	return "http://" + ln.Addr().String(), func() {
+	hc := &http.Client{Transport: &http.Transport{}}
+	c = client.New("http://"+ln.Addr().String(), append([]client.Option{client.WithHTTPClient(hc)}, opts...)...)
+	return c, func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
@@ -47,6 +51,7 @@ func startDaemon(t *testing.T, cfg server.Config) (base string, shutdown func())
 		if err := <-served; err != http.ErrServerClosed {
 			t.Errorf("serve returned %v", err)
 		}
+		hc.CloseIdleConnections()
 	}
 }
 
@@ -75,34 +80,16 @@ func TestE2EPlanParityAndCleanShutdown(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	rec := obs.NewRecorder()
-	base, shutdown := startDaemon(t, server.Config{
+	c, shutdown := startDaemon(t, server.Config{
 		PoolSize: 2, QueueDepth: 8, Cache: plan.NewSolveCache(0), Rec: rec,
 	})
-	client := &http.Client{Transport: &http.Transport{}}
+	ctx := context.Background()
 
 	// Drive /v1/plan with the Figure 1 instance across 4 ranks, 2 per node,
 	// balanced — the full schedule → balance → re-schedule pipeline.
 	in := figure1PlanInput(4)
-	reqBody, err := json.Marshal(server.PlanRequest{Input: in, Balance: true, RanksPerNode: 2})
+	got, err := c.Plan(ctx, api.PlanRequest{Input: in, Balance: true, RanksPerNode: 2})
 	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := client.Post(base+"/v1/plan", "application/json", bytes.NewReader(reqBody))
-	if err != nil {
-		t.Fatal(err)
-	}
-	blob, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d: %s", resp.StatusCode, blob)
-	}
-	var got struct {
-		Plan json.RawMessage `json:"plan"`
-	}
-	if err := json.Unmarshal(blob, &got); err != nil {
 		t.Fatal(err)
 	}
 
@@ -115,31 +102,49 @@ func TestE2EPlanParityAndCleanShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var gotCompact bytes.Buffer
-	if err := json.Compact(&gotCompact, got.Plan); err != nil {
+	gotB, err := json.Marshal(got.Plan)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if gotCompact.String() != string(wantB) {
+	if string(gotB) != string(wantB) {
 		t.Fatalf("served plan is not byte-identical to plan.Plan\nserved: %s\ndirect: %s",
-			gotCompact.String(), wantB)
+			gotB, wantB)
 	}
 
-	// Some concurrent solve traffic so shutdown drains real work.
+	// The build-identity endpoint answers through the client, too.
+	v, err := c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" {
+		t.Fatalf("version: %+v", v)
+	}
+
+	// Some concurrent traffic so shutdown drains real work: half itemwise
+	// solves, half batches.
 	var wg sync.WaitGroup
-	for i := 0; i < 16; i++ {
+	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, _ := json.Marshal(server.SolveRequest{Problem: *sched.Figure1Problem()})
-			resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
-			if err != nil {
+			if _, err := c.Solve(ctx, api.SolveRequest{Problem: *sched.Figure1Problem()}); err != nil {
 				t.Errorf("solve: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.SolveBatch(ctx, api.SolveBatchRequest{
+				Problems: []sched.Problem{*sched.Figure1Problem(), *sched.Figure1Problem()},
+			})
+			if err != nil {
+				t.Errorf("batch: %v", err)
 				return
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				t.Errorf("solve status %d", resp.StatusCode)
+			for j, it := range resp.Items {
+				if it.Error != nil {
+					t.Errorf("batch item %d: %v", j, it.Error)
+				}
 			}
 		}()
 	}
@@ -149,7 +154,6 @@ func TestE2EPlanParityAndCleanShutdown(t *testing.T) {
 	// and assert every server goroutine (workers, http serve loop, per-conn
 	// handlers) exits.
 	shutdown()
-	client.CloseIdleConnections()
 
 	deadline := time.Now().Add(10 * time.Second)
 	for {
@@ -170,20 +174,23 @@ func TestE2EPlanParityAndCleanShutdown(t *testing.T) {
 
 // TestE2EShedUnderSyntheticOverload drives far more concurrent distinct
 // requests than pool+queue can admit and checks the daemon stays up,
-// serves some, sheds the rest with 429, and reports the shed count in its
-// own /metrics.
+// serves some, sheds the rest with a typed shed error, and reports the shed
+// count in its own /metrics. Retries are disabled so every shed surfaces.
 func TestE2EShedUnderSyntheticOverload(t *testing.T) {
 	rec := obs.NewRecorder()
-	base, shutdown := startDaemon(t, server.Config{
+	c, shutdown := startDaemon(t, server.Config{
 		PoolSize: 1, QueueDepth: 1, Cache: plan.NewSolveCache(0), Rec: rec,
-		// Exact on a 10-job instance is slow enough (ms, not µs) that a
-		// burst overlaps; distinct horizons defeat coalescing on purpose.
-	})
+	}, client.WithMaxRetries(0))
 	defer shutdown()
-	client := &http.Client{}
+	ctx := context.Background()
 
 	const n = 32
-	codes := make([]int, n)
+	type outcome struct {
+		ok   bool
+		shed bool
+		err  error
+	}
+	outs := make([]outcome, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		i := i
@@ -191,33 +198,35 @@ func TestE2EShedUnderSyntheticOverload(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			p := sched.Figure1Problem()
-			p.Horizon += float64(i) // distinct fingerprints
-			body, _ := json.Marshal(server.SolveRequest{Algorithm: "TwoListsGreedy", Problem: *p})
-			resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
-			if err != nil {
-				t.Errorf("request %d: %v", i, err)
-				return
+			p.Horizon += float64(i) // distinct fingerprints defeat coalescing
+			_, err := c.Solve(ctx, api.SolveRequest{Algorithm: "TwoListsGreedy", Problem: *p})
+			var apiErr *client.APIError
+			switch {
+			case err == nil:
+				outs[i] = outcome{ok: true}
+			case errors.As(err, &apiErr) && apiErr.Err.Code == api.CodeShed:
+				if apiErr.Err.RetryAfterS < 1 {
+					t.Errorf("shed error carries no Retry-After hint: %+v", apiErr)
+				}
+				outs[i] = outcome{shed: true}
+			default:
+				outs[i] = outcome{err: err}
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			codes[i] = resp.StatusCode
 		}()
 	}
 	wg.Wait()
 
-	ok, shed, other := 0, 0, 0
-	for _, c := range codes {
-		switch c {
-		case http.StatusOK:
-			ok++
-		case http.StatusTooManyRequests:
-			shed++
-		default:
-			other++
+	ok, shed := 0, 0
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("request %d: unexpected error: %v", i, o.err)
 		}
-	}
-	if other != 0 {
-		t.Fatalf("unexpected statuses: %v", codes)
+		if o.ok {
+			ok++
+		}
+		if o.shed {
+			shed++
+		}
 	}
 	if ok == 0 {
 		t.Fatal("overloaded daemon served nothing")
@@ -228,13 +237,16 @@ func TestE2EShedUnderSyntheticOverload(t *testing.T) {
 	if got := rec.Counter("server.shed"); int(got) != shed {
 		t.Fatalf("metrics shed = %v, client saw %d", got, shed)
 	}
-	// The daemon must still be healthy after the storm.
-	resp, err := client.Get(base + "/healthz")
+	// The daemon must still be healthy after the storm, and say so through
+	// the client's typed endpoints.
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz after overload: %v", err)
+	}
+	snap, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz after overload: %d", resp.StatusCode)
+	if !snap.Enabled || snap.Counters["server.shed"] != rec.Counter("server.shed") {
+		t.Fatalf("metrics snapshot: %+v", snap)
 	}
 }

@@ -6,61 +6,30 @@ import (
 	"errors"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
+	"repro/internal/api"
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 )
 
-// SolveRequest is the POST /v1/solve body: one scheduling instance plus the
-// algorithm name (empty selects ExtJohnson+BF, the paper's pick) and an
-// optional per-request deadline.
-type SolveRequest struct {
-	Algorithm string        `json:"algorithm,omitempty"`
-	Problem   sched.Problem `json:"problem"`
-	TimeoutMs int           `json:"timeoutMs,omitempty"`
-}
-
-// SolveResponse is the POST /v1/solve reply. Cached reports a SolveCache
-// memo hit; Coalesced reports that this request shared another request's
-// in-flight execution (in which case Cached is unknown and left false).
-type SolveResponse struct {
-	Algorithm sched.Algorithm `json:"algorithm"`
-	Schedule  *sched.Schedule `json:"schedule"`
-	Cached    bool            `json:"cached,omitempty"`
-	Coalesced bool            `json:"coalesced,omitempty"`
-}
-
-// PlanRequest is the POST /v1/plan body: the full per-rank planning input
-// and the plan.Config knobs (schedule → §3.4 balance → re-schedule).
-type PlanRequest struct {
-	Input        plan.Input `json:"input"`
-	Algorithm    string     `json:"algorithm,omitempty"`
-	Balance      bool       `json:"balance,omitempty"`
-	RanksPerNode int        `json:"ranksPerNode,omitempty"`
-	BaseRank     int        `json:"baseRank,omitempty"`
-	TimeoutMs    int        `json:"timeoutMs,omitempty"`
-}
-
-// PlanResponse is the POST /v1/plan reply: the same plan.IterationPlan both
-// execution engines consume, plus its predicted iteration duration.
-type PlanResponse struct {
-	Plan    *plan.IterationPlan `json:"plan"`
-	Overall float64             `json:"overall"`
-}
-
-// AlgorithmsResponse is the GET /v1/algorithms reply.
-type AlgorithmsResponse struct {
-	Algorithms []sched.Algorithm `json:"algorithms"`
-	Default    sched.Algorithm   `json:"default"`
-}
-
-// errorResponse is every non-2xx JSON body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
+// The wire types live in internal/api (shared with internal/client); these
+// aliases keep the server's public Go surface — and every existing caller —
+// compiling against the same names as before the split.
+type (
+	SolveRequest       = api.SolveRequest
+	SolveResponse      = api.SolveResponse
+	SolveBatchRequest  = api.SolveBatchRequest
+	SolveBatchResponse = api.SolveBatchResponse
+	PlanRequest        = api.PlanRequest
+	PlanResponse       = api.PlanResponse
+	AlgorithmsResponse = api.AlgorithmsResponse
+	VersionResponse    = api.VersionResponse
+)
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.rec.Count("server.solve.requests", 1)
@@ -72,12 +41,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Algorithm != "" {
 		var err error
 		if alg, err = sched.ParseAlgorithm(req.Algorithm); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 			return
 		}
 	}
 	if err := req.Problem.Normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	ctx, cancel := s.deadlineCtx(r, req.TimeoutMs)
@@ -90,19 +59,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		t := &task{enq: time.Now(), done: make(chan struct{}), ctx: f.ctx}
 		t.run = func(tctx context.Context) {
 			var (
-				sch *sched.Schedule
-				hit bool
-				err error
+				sch  *sched.Schedule
+				info sched.SolveInfo
+				hit  bool
+				err  error
 			)
 			defer func() {
 				if rec := recover(); rec != nil {
 					sch, err = nil, &panicError{val: rec}
 					s.rec.Count("server.panic", 1)
 				}
-				s.flight.publish(key, f, sch, err)
+				s.flight.publish(key, f, sch, info, err)
 			}()
 			start := s.rec.Now()
-			sch, hit, err = s.cfg.Cache.Solve(tctx, &req.Problem, alg)
+			sch, info, hit, err = s.cfg.Cache.SolveFull(tctx, &req.Problem, alg)
 			if err == nil {
 				s.observeSolve("solve", start, hit)
 				cached = hit
@@ -111,7 +81,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if err := s.submit(t); err != nil {
 			// The flight must always resolve, or later joiners would hang
 			// on a dead entry; shed errors propagate to every waiter.
-			s.flight.publish(key, f, nil, err)
+			s.flight.publish(key, f, nil, sched.SolveInfo{}, err)
 		}
 	} else {
 		s.rec.Count("server.coalesce.hit", 1)
@@ -122,10 +92,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case <-ctx.Done():
 		f.detach()
 		s.rec.Count("server.deadline", 1)
-		writeError(w, http.StatusGatewayTimeout, ctx.Err().Error())
+		writeError(w, http.StatusGatewayTimeout, api.CodeDeadline, ctx.Err().Error())
 		return
 	}
-	sch, err := f.result(leader)
+	sch, info, err := f.result(leader)
 	if err != nil {
 		s.writeTaskError(w, err)
 		return
@@ -133,9 +103,147 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SolveResponse{
 		Algorithm: alg,
 		Schedule:  sch,
+		Optimal:   info.Optimal,
+		Nodes:     info.Nodes,
+		Workers:   info.Workers,
 		Cached:    leader && cached,
 		Coalesced: !leader,
 	})
+}
+
+// handleSolveBatch solves many independent instances in one round-trip. Each
+// distinct problem goes through the same single-flight + SolveCache path as
+// /v1/solve (so batch items coalesce with concurrent requests, too), while
+// byte-identical items within the batch share one flight outright. Items are
+// submitted to the worker pool together and drained in order, so a batch of
+// k unique instances occupies up to k queue slots and runs pool-wide in
+// parallel. Errors are isolated per item — only envelope-level failures
+// (bad body, unknown algorithm, request deadline) fail the whole request.
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	s.rec.Count("server.solve.batch.requests", 1)
+	var req SolveBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	alg := sched.ExtJohnsonBF
+	if req.Algorithm != "" {
+		var err error
+		if alg, err = sched.ParseAlgorithm(req.Algorithm); err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+			return
+		}
+	}
+	ctx, cancel := s.deadlineCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	n := len(req.Problems)
+	s.rec.Count("server.solve.batch.items", float64(n))
+	items := make([]api.SolveBatchItem, n)
+	cachedByIdx := make([]bool, n)
+	dupOf := make([]int, n) // -1, or the index of the identical earlier item
+	firstByKey := make(map[string]int, n)
+	type pendingItem struct {
+		idx    int
+		key    string
+		f      *flight
+		leader bool
+	}
+	var pending []pendingItem
+	for i := range req.Problems {
+		dupOf[i] = -1
+		if err := req.Problems[i].Normalize(); err != nil {
+			items[i].Error = &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
+			continue
+		}
+		key := string(alg) + "\x00" + req.Problems[i].Fingerprint()
+		if first, ok := firstByKey[key]; ok {
+			dupOf[i] = first
+			s.rec.Count("server.solve.batch.dedup", 1)
+			continue
+		}
+		firstByKey[key] = i
+		f, leader := s.flight.join(key)
+		if leader {
+			i := i
+			p := &req.Problems[i]
+			t := &task{enq: time.Now(), done: make(chan struct{}), ctx: f.ctx}
+			t.run = func(tctx context.Context) {
+				var (
+					sch  *sched.Schedule
+					info sched.SolveInfo
+					hit  bool
+					err  error
+				)
+				defer func() {
+					if rec := recover(); rec != nil {
+						sch, err = nil, &panicError{val: rec}
+						s.rec.Count("server.panic", 1)
+					}
+					s.flight.publish(key, f, sch, info, err)
+				}()
+				start := s.rec.Now()
+				sch, info, hit, err = s.cfg.Cache.SolveFull(tctx, p, alg)
+				if err == nil {
+					s.observeSolve("solve", start, hit)
+					cachedByIdx[i] = hit
+				}
+			}
+			if err := s.submit(t); err != nil {
+				s.flight.publish(key, f, nil, sched.SolveInfo{}, err)
+			}
+		} else {
+			s.rec.Count("server.coalesce.hit", 1)
+		}
+		pending = append(pending, pendingItem{idx: i, key: key, f: f, leader: leader})
+	}
+
+	for pi, pd := range pending {
+		select {
+		case <-pd.f.done:
+		case <-ctx.Done():
+			// The request deadline fails the whole batch: detach from every
+			// unresolved flight so abandoned solves get cancelled.
+			for _, rest := range pending[pi:] {
+				rest.f.detach()
+			}
+			s.rec.Count("server.deadline", 1)
+			writeError(w, http.StatusGatewayTimeout, api.CodeDeadline, ctx.Err().Error())
+			return
+		}
+		sch, info, err := pd.f.result(pd.leader)
+		if err != nil {
+			items[pd.idx].Error = s.itemError(err)
+			continue
+		}
+		items[pd.idx] = api.SolveBatchItem{
+			Schedule:  sch,
+			Optimal:   info.Optimal,
+			Nodes:     info.Nodes,
+			Workers:   info.Workers,
+			Cached:    pd.leader && cachedByIdx[pd.idx],
+			Coalesced: !pd.leader,
+		}
+	}
+	// In-batch duplicates mirror their first occurrence: same error, or a
+	// deep copy of its schedule (marked Coalesced — they shared its solve).
+	for i, first := range dupOf {
+		if first < 0 {
+			continue
+		}
+		src := items[first]
+		if src.Error != nil {
+			items[i].Error = src.Error
+			continue
+		}
+		items[i] = api.SolveBatchItem{
+			Schedule:  src.Schedule.Clone(),
+			Optimal:   src.Optimal,
+			Nodes:     src.Nodes,
+			Workers:   src.Workers,
+			Coalesced: true,
+		}
+	}
+	writeJSON(w, http.StatusOK, SolveBatchResponse{Algorithm: alg, Items: items})
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -154,7 +262,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if req.Algorithm != "" {
 		alg, err := sched.ParseAlgorithm(req.Algorithm)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 			return
 		}
 		cfg.Algorithm = alg
@@ -185,7 +293,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		// The queued task will fail fast when a worker picks it up: its
 		// context (this one) is already expired.
 		s.rec.Count("server.deadline", 1)
-		writeError(w, http.StatusGatewayTimeout, ctx.Err().Error())
+		writeError(w, http.StatusGatewayTimeout, api.CodeDeadline, ctx.Err().Error())
 		return
 	}
 	if t.err != nil {
@@ -206,6 +314,16 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleVersion reports the daemon's build identity, so a deployed daemon
+// can be matched to a commit without shell access to the host.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{
+		Version:   buildinfo.Version(),
+		GoVersion: runtime.Version(),
+		Settings:  buildinfo.Settings(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -222,7 +340,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // clients and tooling can discover the failure regime; 404 when none.
 func (s *Server) handleFaultPlan(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Faults == nil {
-		writeError(w, http.StatusNotFound, "no fault plan configured")
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no fault plan configured")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.cfg.Faults)
@@ -257,27 +375,27 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.rec.Count("server.request.too_large", 1)
-			writeError(w, http.StatusRequestEntityTooLarge, mbe.Error())
+			writeError(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge, mbe.Error())
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: "+err.Error())
 		return false
 	}
 	return true
 }
 
-// retryAfter estimates how long a shed client should wait before retrying:
-// the work queued ahead of it (current depth plus itself) times the median
-// observed task latency, spread across the worker pool, clamped to [1,30]
-// seconds. With no latency history yet (cold start or a nil recorder) it
-// falls back to 1 second.
-func (s *Server) retryAfter() string {
+// retryAfterSeconds estimates how long a shed client should wait before
+// retrying: the work queued ahead of it (current depth plus itself) times
+// the median observed task latency, spread across the worker pool, clamped
+// to [1,30] seconds. With no latency history yet (cold start or a nil
+// recorder) it falls back to 1 second.
+func (s *Server) retryAfterSeconds() int {
 	p50 := s.rec.HistSnapshot("server.solve.seconds").Quantile(0.5)
 	if p := s.rec.HistSnapshot("server.plan.seconds").Quantile(0.5); p > p50 {
 		p50 = p
 	}
 	if p50 <= 0 {
-		return "1"
+		return 1
 	}
 	wait := float64(len(s.queue)+1) * p50 / float64(s.cfg.PoolSize)
 	secs := int(math.Ceil(wait))
@@ -287,7 +405,29 @@ func (s *Server) retryAfter() string {
 	if secs > 30 {
 		secs = 30
 	}
-	return strconv.Itoa(secs)
+	return secs
+}
+
+// itemError maps one batch item's execution error to its typed api.Error —
+// the same vocabulary writeTaskError uses for whole-request failures, minus
+// the HTTP status (batch responses are 200 with per-item errors).
+func (s *Server) itemError(err error) *api.Error {
+	var pe *panicError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return &api.Error{Code: api.CodeShed, Message: err.Error(), RetryAfterS: s.retryAfterSeconds()}
+	case errors.Is(err, ErrDraining):
+		return &api.Error{Code: api.CodeDraining, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.rec.Count("server.deadline", 1)
+		return &api.Error{Code: api.CodeDeadline, Message: err.Error()}
+	case errors.As(err, &pe):
+		return &api.Error{Code: api.CodeInternal, Message: err.Error()}
+	default:
+		// Anything else is instance-level (solver limits, validation): the
+		// item was unacceptable, not the server unhealthy.
+		return &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
+	}
 }
 
 // writeTaskError maps an execution error to its HTTP status: shed → 429
@@ -296,15 +436,16 @@ func (s *Server) retryAfter() string {
 func (s *Server) writeTaskError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", s.retryAfter())
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		secs := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErrorRetry(w, http.StatusTooManyRequests, api.CodeShed, err.Error(), secs)
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, err.Error())
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.rec.Count("server.deadline", 1)
-		writeError(w, http.StatusGatewayTimeout, err.Error())
+		writeError(w, http.StatusGatewayTimeout, api.CodeDeadline, err.Error())
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 	}
 }
 
@@ -316,6 +457,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+// writeError emits the api.ErrorEnvelope every non-2xx /v1/* response
+// carries: {"error":{"code","message"}}.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorRetry(w, status, code, msg, 0)
+}
+
+func writeErrorRetry(w http.ResponseWriter, status int, code, msg string, retryS int) {
+	writeJSON(w, status, api.ErrorEnvelope{Error: api.Error{Code: code, Message: msg, RetryAfterS: retryS}})
 }

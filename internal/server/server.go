@@ -26,9 +26,11 @@ import (
 	"errors"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/plan"
@@ -213,23 +215,29 @@ func (e *panicError) Error() string { return "server: task panicked" }
 
 // Handler returns the daemon's HTTP handler:
 //
-//	POST /v1/solve      one sched.Problem + algorithm → schedule
-//	POST /v1/plan       per-rank problems → balanced plan.IterationPlan
-//	GET  /v1/algorithms the available algorithm names
-//	GET  /v1/faultplan  the active fault-injection plan (404 when none)
-//	GET  /healthz       200 ok / 503 draining
-//	GET  /metrics       the obs metrics snapshot as JSON
+//	POST /v1/solve       one sched.Problem + algorithm → schedule
+//	POST /v1/solve/batch many problems, one round-trip, per-item results
+//	POST /v1/plan        per-rank problems → balanced plan.IterationPlan
+//	GET  /v1/algorithms  the available algorithm names
+//	GET  /v1/version     the daemon's build identity
+//	GET  /v1/faultplan   the active fault-injection plan (404 when none)
+//	GET  /healthz        200 ok / 503 draining
+//	GET  /metrics        the obs metrics snapshot as JSON
 //
-// Panics in handlers are recovered to 500.
+// Every non-2xx /v1/* response body is an api.ErrorEnvelope with a stable
+// machine-readable code (including the mux's own 404/405, rewritten by
+// envelopeMW). Panics in handlers are recovered to 500.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/faultplan", s.handleFaultPlan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.recoverMW(mux)
+	return s.recoverMW(envelopeMW(mux))
 }
 
 // recoverMW converts handler panics into 500s (and a counter) so one bad
@@ -242,12 +250,60 @@ func (s *Server) recoverMW(next http.Handler) http.Handler {
 					panic(rec)
 				}
 				s.rec.Count("server.panic", 1)
-				writeError(w, http.StatusInternalServerError, "internal error")
+				writeError(w, http.StatusInternalServerError, api.CodeInternal, "internal error")
 			}
 		}()
 		s.rec.Count("server.http.requests", 1)
 		next.ServeHTTP(w, r)
 	})
+}
+
+// envelopeMW rewrites the plain-text 404/405 responses http.ServeMux
+// generates itself into the JSON error envelope, so EVERY error a client can
+// receive from the API is machine-readable. Responses whose Content-Type is
+// already application/json (e.g. the faultplan handler's own 404) pass
+// through untouched.
+func envelopeMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	intercepted bool // swallowing the mux's plain-text body
+	wrote       bool
+}
+
+func (ew *envelopeWriter) WriteHeader(status int) {
+	if ew.wrote {
+		ew.ResponseWriter.WriteHeader(status)
+		return
+	}
+	ew.wrote = true
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(ew.Header().Get("Content-Type"), "application/json") {
+		ew.intercepted = true
+		code, msg := api.CodeNotFound, "no such endpoint"
+		if status == http.StatusMethodNotAllowed {
+			code, msg = api.CodeMethodNotAllowed, "method not allowed for this endpoint"
+		}
+		writeError(ew.ResponseWriter, status, code, msg)
+		return
+	}
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *envelopeWriter) Write(b []byte) (int, error) {
+	if !ew.wrote {
+		ew.wrote = true
+	}
+	if ew.intercepted {
+		// Pretend the mux's text body was written; the envelope already went
+		// out in WriteHeader.
+		return len(b), nil
+	}
+	return ew.ResponseWriter.Write(b)
 }
 
 // deadlineCtx derives the request's working context: the caller's context

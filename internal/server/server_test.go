@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/plan"
@@ -99,34 +100,56 @@ func TestBadRequests(t *testing.T) {
 	h := srv.Handler()
 
 	cases := []struct {
-		name string
-		path string
-		body string
-		want int
+		name     string
+		path     string
+		body     string
+		want     int
+		wantCode string
 	}{
-		{"not json", "/v1/solve", "{nope", http.StatusBadRequest},
-		{"unknown algorithm", "/v1/solve", `{"algorithm":"Banana","problem":{"horizon":1}}`, http.StatusBadRequest},
-		{"invalid problem", "/v1/solve", `{"problem":{"horizon":-1}}`, http.StatusBadRequest},
-		{"oversized", "/v1/solve", `{"problem":{"horizon":1,"jobs":[` + strings.Repeat(`{"id":0,"comp":1,"io":1},`, 64) + `]}}`, http.StatusRequestEntityTooLarge},
-		{"plan bad algorithm", "/v1/plan", `{"algorithm":"Banana","input":{"ranks":[]}}`, http.StatusBadRequest},
+		{"not json", "/v1/solve", "{nope", http.StatusBadRequest, api.CodeBadRequest},
+		{"unknown algorithm", "/v1/solve", `{"algorithm":"Banana","problem":{"horizon":1}}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"invalid problem", "/v1/solve", `{"problem":{"horizon":-1}}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"oversized", "/v1/solve", `{"problem":{"horizon":1,"jobs":[` + strings.Repeat(`{"id":0,"comp":1,"io":1},`, 64) + `]}}`, http.StatusRequestEntityTooLarge, api.CodeTooLarge},
+		{"plan bad algorithm", "/v1/plan", `{"algorithm":"Banana","input":{"ranks":[]}}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"batch bad algorithm", "/v1/solve/batch", `{"algorithm":"Banana","problems":[]}`, http.StatusBadRequest, api.CodeBadRequest},
 	}
 	for _, tc := range cases {
 		w := postJSON(t, h, tc.path, bytes.NewReader([]byte(tc.body)))
 		if w.Code != tc.want {
 			t.Fatalf("%s: status %d, want %d (%s)", tc.name, w.Code, tc.want, w.Body)
 		}
-		var er errorResponse
-		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
-			t.Fatalf("%s: error body not JSON: %s", tc.name, w.Body)
+		var er api.ErrorEnvelope
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Message == "" {
+			t.Fatalf("%s: error body not an envelope: %s", tc.name, w.Body)
+		}
+		if er.Error.Code != tc.wantCode {
+			t.Fatalf("%s: error code %q, want %q", tc.name, er.Error.Code, tc.wantCode)
 		}
 	}
 
-	// Method and route mismatches.
-	req := httptest.NewRequest(http.MethodGet, "/v1/solve", nil)
-	w := httptest.NewRecorder()
-	h.ServeHTTP(w, req)
-	if w.Code != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /v1/solve: status %d, want 405", w.Code)
+	// Method and route mismatches must carry the envelope too, even though
+	// the ServeMux generates them (envelopeMW rewrites its text bodies).
+	muxCases := []struct {
+		method   string
+		path     string
+		want     int
+		wantCode string
+	}{
+		{http.MethodGet, "/v1/solve", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{http.MethodPost, "/v1/algorithms", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{http.MethodGet, "/v1/nope", http.StatusNotFound, api.CodeNotFound},
+	}
+	for _, tc := range muxCases {
+		req := httptest.NewRequest(tc.method, tc.path, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != tc.want {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, w.Code, tc.want)
+		}
+		var er api.ErrorEnvelope
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code != tc.wantCode {
+			t.Fatalf("%s %s: body %q, want envelope with code %q", tc.method, tc.path, w.Body, tc.wantCode)
+		}
 	}
 }
 
@@ -483,16 +506,16 @@ func TestRetryAfterScalesWithLoad(t *testing.T) {
 	defer srv.Close()
 
 	// Cold start: no latency history, fall back to 1s.
-	if got := srv.retryAfter(); got != "1" {
-		t.Fatalf("cold-start Retry-After = %q, want \"1\"", got)
+	if got := srv.retryAfterSeconds(); got != 1 {
+		t.Fatalf("cold-start Retry-After = %d, want 1", got)
 	}
 
 	// With a ~4s median solve and an empty queue: ceil(1*4/2) = 2s.
 	for i := 0; i < 10; i++ {
 		rec.ObserveHist("server.solve.seconds", 4.0)
 	}
-	if got := srv.retryAfter(); got != "2" {
-		t.Fatalf("loaded Retry-After = %q, want \"2\"", got)
+	if got := srv.retryAfterSeconds(); got != 2 {
+		t.Fatalf("loaded Retry-After = %d, want 2", got)
 	}
 
 	// A huge median must clamp at 30s.
@@ -502,8 +525,8 @@ func TestRetryAfterScalesWithLoad(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		rec2.ObserveHist("server.plan.seconds", 500.0)
 	}
-	if got := srv2.retryAfter(); got != "30" {
-		t.Fatalf("clamped Retry-After = %q, want \"30\"", got)
+	if got := srv2.retryAfterSeconds(); got != 30 {
+		t.Fatalf("clamped Retry-After = %d, want 30", got)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -77,3 +78,80 @@ func BenchmarkServerSolve(b *testing.B) { benchServerSolve(b, 8) }
 // reaches, so most requests miss and pay for a real solve — the daemon's
 // worst case.
 func BenchmarkServerSolveCold(b *testing.B) { benchServerSolve(b, 4096) }
+
+// benchServerBatch measures getting 16 instances solved per iteration, either
+// as one POST /v1/solve/batch (batch=true) or as 16 sequential POST /v1/solve
+// round-trips (batch=false) — the itemwise loop a client without the batch
+// endpoint is forced into. The pair quantifies the round-trip amortization
+// the planner's balancing pass gets from sched/plan batching.
+func benchServerBatch(b *testing.B, batch bool) {
+	const items = 16
+	ts, stop := newBenchServer(b)
+	defer stop()
+
+	cfg := sched.DefaultGenConfig()
+	rng := rand.New(rand.NewSource(1))
+	pool := make([]sched.Problem, 64)
+	for i := range pool {
+		pool[i] = *sched.RandomProblem(rng, cfg)
+	}
+
+	// Pre-encode request bodies so the benchmark measures the server, not
+	// client-side marshalling.
+	wrng := rand.New(rand.NewSource(2))
+	draw := func() sched.Problem { return pool[wrng.Intn(len(pool))] }
+	var batchBodies, itemBodies [][]byte
+	for i := 0; i < 256; i++ {
+		if batch {
+			req := api.SolveBatchRequest{Problems: make([]sched.Problem, items)}
+			for j := range req.Problems {
+				req.Problems[j] = draw()
+			}
+			blob, err := json.Marshal(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batchBodies = append(batchBodies, blob)
+		} else {
+			for j := 0; j < items; j++ {
+				blob, err := json.Marshal(api.SolveRequest{Problem: draw()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				itemBodies = append(itemBodies, blob)
+			}
+		}
+	}
+
+	client := ts.Client()
+	post := func(path string, body []byte) {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			post("/v1/solve/batch", batchBodies[i%len(batchBodies)])
+		} else {
+			for j := 0; j < items; j++ {
+				post("/v1/solve", itemBodies[(i*items+j)%len(itemBodies)])
+			}
+		}
+	}
+}
+
+// BenchmarkServerSolveBatch16: 16 instances per op in one batch round-trip.
+func BenchmarkServerSolveBatch16(b *testing.B) { benchServerBatch(b, true) }
+
+// BenchmarkServerSolveLoop16: the same 16 instances per op as sequential
+// itemwise requests — the baseline the batch endpoint replaces.
+func BenchmarkServerSolveLoop16(b *testing.B) { benchServerBatch(b, false) }
