@@ -1,8 +1,8 @@
 # Tier-1 verification gate (see ROADMAP.md): build + vet + staticcheck (when
 # installed) + race-enabled tests.
-.PHONY: check build vet staticcheck test faulttest bench
+.PHONY: check build vet staticcheck test faulttest scenariotest bench
 
-check: build vet staticcheck test faulttest
+check: build vet staticcheck test faulttest scenariotest
 
 build:
 	go build ./...
@@ -27,14 +27,19 @@ test:
 faulttest:
 	go test -race -run 'Fault|Recovery|Degrade|Retry' ./internal/pfs ./internal/storage ./internal/h5 ./internal/simapp ./internal/server
 
+# Scenario corpus sweep: replay every committed scenario on the event
+# engine and fail on any digest mismatch (see DESIGN.md §11).
+scenariotest:
+	go run ./cmd/insitu-bench scenarios
+
 # Tier-1 benchmarks (the virtual-time experiments; wall-clock figures are
 # excluded — their ns/op is modelled sleep time, not code under test) plus
-# the daemon serving path, with a machine-readable perf trajectory written
-# to BENCH_JSON. Set BENCH_BASELINE=prev.json to embed the previous numbers
-# under "baseline".
-BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd|ServerSolve'
-BENCH_JSON ?= BENCH_PR6.json
-BENCH_BASELINE ?= BENCH_PR4.json
+# the daemon serving path and the 100k-rank event engine, with a
+# machine-readable perf trajectory written to BENCH_JSON. Set
+# BENCH_BASELINE=prev.json to embed the previous numbers under "baseline".
+BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd|ServerSolve|EventEngine'
+BENCH_JSON ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR6.json
 bench:
 	go test -run='^$$' -bench=$(BENCH_PATTERN) -benchmem -benchtime=1x -count=3 . \
 		| go run ./cmd/benchjson -o $(BENCH_JSON) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))

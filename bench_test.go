@@ -11,6 +11,7 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -46,3 +47,32 @@ func BenchmarkFig9Overall(b *testing.B)       { benchExperiment(b, experiments.F
 func BenchmarkFig10Timesteps(b *testing.B)    { benchExperiment(b, experiments.Figure10) }
 func BenchmarkFig11WeakScaling(b *testing.B)  { benchExperiment(b, experiments.Figure11) }
 func BenchmarkMultiFileAblation(b *testing.B) { benchExperiment(b, experiments.MultiFile) }
+
+// BenchmarkEventEngine100k exercises the discrete-event virtual-time engine
+// (DESIGN.md §11) at the scale that motivated it: 100k ranks — 200k
+// simulated threads with cross-rank write dependencies — planned and
+// simulated in one process. The workload is built once outside the timer;
+// ns/op is the cost of one full planned iteration (plan + event simulation
+// + aggregation).
+func BenchmarkEventEngine100k(b *testing.B) {
+	cfg := core.NyxWorkload(100_000, 32)
+	cfg.FieldCount = 2
+	cfg.BlocksPerField = 2
+	w, err := core.BuildWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := core.RunConfig{Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true}}
+	data := w.Iteration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Simulate(w, data, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.RankEnds) != cfg.Ranks {
+			b.Fatalf("simulated %d ranks, want %d", len(res.RankEnds), cfg.Ranks)
+		}
+	}
+}

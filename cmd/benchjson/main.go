@@ -16,7 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,14 +35,60 @@ type Measurement struct {
 	Samples     int     `json:"samples"`
 }
 
-// File is the on-disk schema.
+// File is the on-disk schema. Host describes the machine that produced the
+// measurements — perf numbers are meaningless without it when a file is
+// compared across PRs recorded on different hardware.
 type File struct {
 	GoOS       string                 `json:"goos,omitempty"`
 	GoArch     string                 `json:"goarch,omitempty"`
 	Pkg        string                 `json:"pkg,omitempty"`
 	CPU        string                 `json:"cpu,omitempty"`
+	Host       *Host                  `json:"host,omitempty"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
 	Baseline   map[string]Measurement `json:"baseline,omitempty"`
+}
+
+// Host records the environment a benchmark file was produced in.
+type Host struct {
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GitRev     string `json:"git_rev,omitempty"`
+	Dirty      bool   `json:"git_dirty,omitempty"`
+}
+
+// hostInfo captures the current machine. The git revision comes from the
+// build info when the binary was built with VCS stamping, and falls back to
+// asking git directly (the `go run ./cmd/benchjson` path, where stamping is
+// disabled).
+func hostInfo() *Host {
+	h := &Host{
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				h.GitRev = s.Value
+			case "vcs.modified":
+				h.Dirty = s.Value == "true"
+			}
+		}
+	}
+	if h.GitRev == "" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			h.GitRev = strings.TrimSpace(string(out))
+			if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+				h.Dirty = len(st) > 0
+			}
+		}
+	}
+	if len(h.GitRev) > 12 {
+		h.GitRev = h.GitRev[:12]
+	}
+	return h
 }
 
 // benchLine matches e.g.
@@ -59,7 +108,7 @@ func main() {
 		return
 	}
 
-	f := File{Benchmarks: map[string]Measurement{}}
+	f := File{Benchmarks: map[string]Measurement{}, Host: hostInfo()}
 	sums := map[string]*Measurement{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -10,6 +10,9 @@
 //	insitu-bench -cpuprofile cpu.pprof fig4   # profile for `go tool pprof`
 //	insitu-bench -memprofile mem.pprof fig6
 //	insitu-bench -faults 'seed=7,rate=0.05' faults   # inject write faults
+//	insitu-bench -record scenarios/ fig7      # record runs as scenario files
+//	insitu-bench -gen 6 -genseed 99 -record scenarios/   # generate adversarial scenarios
+//	insitu-bench scenarios                    # replay the corpus, check digests
 //
 // Output is plain aligned text, one table per experiment, matching the
 // rows/series the paper reports (EXPERIMENTS.md records a reference run).
@@ -24,14 +27,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/pfs"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -47,6 +53,9 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile for `go tool pprof`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile for `go tool pprof`")
 	faults := flag.String("faults", "", "fault plan for wall-clock experiments: a JSON file or a spec like 'seed=7,rate=0.05'")
+	record := flag.String("record", "", "record simulated runs as replayable scenario files into this directory")
+	genCount := flag.Int("gen", 0, "generate N adversarial scenarios (requires -record)")
+	genSeed := flag.Int64("genseed", 1, "seed for -gen")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -62,6 +71,40 @@ func run() int {
 			return 2
 		}
 		experiments.SetFaults(fp)
+	}
+
+	if *genCount > 0 {
+		dir := *record
+		if dir == "" {
+			dir = "scenarios"
+		}
+		gen, err := scenario.Generate(*genSeed, *genCount)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: -gen: %v\n", err)
+			return 1
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: %v\n", err)
+			return 1
+		}
+		for _, s := range gen {
+			path := filepath.Join(dir, s.Name+".json")
+			if err := scenario.Save(path, s); err != nil {
+				fmt.Fprintf(os.Stderr, "insitu-bench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("generated %s (%s)\n", path, s.Kind)
+		}
+		if len(flag.Args()) == 0 {
+			return 0
+		}
+	}
+
+	var collector *scenario.Collector
+	if *record != "" {
+		collector = scenario.NewCollector(0)
+		core.SetRunObserver(collector.Observe)
+		defer core.SetRunObserver(nil)
 	}
 
 	if *cpuProfile != "" {
@@ -129,6 +172,9 @@ func run() int {
 	failed := false
 	for _, e := range selected {
 		t0 := time.Now()
+		if collector != nil {
+			collector.SetLabel(e.ID)
+		}
 		tab, err := e.Run(rec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "insitu-bench: %s: %v\n", e.ID, err)
@@ -137,6 +183,15 @@ func run() int {
 		}
 		fmt.Println(tab.Render())
 		fmt.Printf("(%s took %s)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if collector != nil {
+		n, err := collector.SaveAll(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: recording scenarios: %v\n", err)
+			return 1
+		}
+		fmt.Printf("recorded %d scenario(s) into %s\n", n, *record)
 	}
 
 	if *tracePath != "" {

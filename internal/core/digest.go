@@ -1,0 +1,49 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+
+// DigestResults computes a canonical SHA-256 digest over a run's iteration
+// results — every float encoded by its exact IEEE-754 bits, so two runs
+// digest equal iff their results are byte-identical. This is the quantity
+// scenario files pin and the parity corpus compares across engines.
+func DigestResults(results []*IterationResult) string {
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	w64(uint64(len(results)))
+	for _, r := range results {
+		w64(uint64(r.Mode))
+		wf(r.End)
+		wf(r.ComputeEnd)
+		wf(r.Overhead)
+		wf(r.Delay)
+		wf(r.PlannedOverall)
+		w64(uint64(len(r.RankEnds)))
+		for _, e := range r.RankEnds {
+			wf(e)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ParseMode maps a mode's String() form back to the Mode constant; scenario
+// files name modes symbolically.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{ModeBaseline, ModeAsyncIO, ModeAsyncCompIO, ModeOurs} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q", s)
+}

@@ -1,0 +1,271 @@
+// The discrete-event implementations of the simulated modes: every thread
+// of every rank goes into one sim.Engine pass (a single binary-heap event
+// queue with flat rank state) instead of the per-rank sequential loops in
+// loop.go. Parity-pinned: each builder feeds the engine the exact task
+// sequences the legacy path feeds ExecuteThread, and the aggregation and
+// span/counter emission below replay the legacy statement order, so results
+// — including every float — are byte-identical (proved by parity_test.go).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// simulateAsyncIOEvent: one engine thread per rank (the background I/O
+// thread; computation is a fixed-length obstacle handled analytically).
+func simulateAsyncIOEvent(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+	cfg := w.Cfg
+	fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
+	eng := sim.Engine{
+		Threads:         make([]sim.EngineThread, cfg.Ranks),
+		RecordObstacles: rec.Enabled(),
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		predEach := cfg.ioCurve(fieldBytes)
+		actEach := data.RawIO[r] / float64(cfg.FieldCount)
+		tasks := make([]sim.Task, cfg.FieldCount)
+		for f := 0; f < cfg.FieldCount; f++ {
+			tasks[f] = sim.Task{ID: f, Pred: predEach, Actual: actEach}
+		}
+		eng.Threads[r] = sim.EngineThread{
+			Obstacles: data.ActProfiles[r].IOBusy,
+			Tasks:     tasks,
+		}
+	}
+	results, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	ends := make([]float64, cfg.Ranks)
+	delay := 0.0
+	for r := 0; r < cfg.Ranks; r++ {
+		res := &results[r]
+		ends[r] = math.Max(data.ActProfiles[r].Length, res.End)
+		delay += res.ObstacleDelay
+		if rec.Enabled() {
+			rec.Record(obs.Span{
+				Name: "compute", Cat: "obstacle", Rank: r, Thread: obs.ThreadMain,
+				Start: 0, End: data.ActProfiles[r].Length, Block: obs.NoBlock,
+			})
+			emitObstacles(rec, r, obs.ThreadIO, "core task", res.Obstacles)
+			for f := 0; f < cfg.FieldCount; f++ {
+				rec.Record(obs.Span{
+					Name: fmt.Sprintf("write field %d raw", f), Cat: "write",
+					Rank: r, Thread: obs.ThreadIO,
+					Start: res.TaskStart[f], End: res.TaskEnd[f],
+					Block: obs.NoBlock, Bytes: fieldBytes,
+				})
+			}
+			rec.Count("core.bytes.raw", float64(fieldBytes)*float64(cfg.FieldCount))
+		}
+	}
+	return overheadResult(ModeAsyncIO, ends, data.ComputeEnd, delay, 0), nil
+}
+
+// simulateAsyncCompIOEvent: two engine threads per rank (compression and
+// compressed writes) with identity release edges between them, all in one
+// event pass. Task orders come from sim.FromSchedule exactly as in the loop
+// path so the launch decisions are the same.
+func simulateAsyncCompIOEvent(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+	in := plan.Input{Ranks: make([]plan.RankInput, len(data.Jobs))}
+	for r, jobs := range data.Jobs {
+		for _, g := range jobs {
+			in.Ranks[r].Jobs = append(in.Ranks[r].Jobs, plan.Job{
+				ID: g.ID, PredComp: g.PredComp, PredIO: g.PredIO, PredBytes: g.PredBytes,
+			})
+		}
+	}
+	p, err := plan.Plan(in, plan.Config{Algorithm: sched.ExtJohnson})
+	if err != nil {
+		return nil, err
+	}
+	nRanks := len(data.Jobs)
+	eng := sim.Engine{Threads: make([]sim.EngineThread, 2*nRanks)}
+	// mainPos/ioPos: per rank, task ID → position in its thread's task order,
+	// for the dependency wiring and the span post-pass.
+	mainPos := make([]map[int]int32, nRanks)
+	ioPos := make([]map[int]int32, nRanks)
+	for r, jobs := range data.Jobs {
+		rp := p.Ranks[r]
+		actComp := make([]float64, len(jobs))
+		actIO := make([]float64, len(jobs))
+		for i, g := range jobs {
+			actComp[i], actIO[i] = g.ActComp, g.ActIO
+		}
+		sp, err := sim.FromSchedule(rp.Problem, rp.Schedule, actComp, actIO, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		mainPos[r] = make(map[int]int32, len(sp.Main.Tasks))
+		for i, t := range sp.Main.Tasks {
+			mainPos[r][t.ID] = int32(i)
+		}
+		ioPos[r] = make(map[int]int32, len(sp.IO.Tasks))
+		depThread := make([]int32, len(sp.IO.Tasks))
+		depTask := make([]int32, len(sp.IO.Tasks))
+		for i, t := range sp.IO.Tasks {
+			ioPos[r][t.ID] = int32(i)
+			mp, ok := mainPos[r][t.ID]
+			if !ok {
+				return nil, fmt.Errorf("sim: io task %d depends on unknown compression task %d", t.ID, t.ID)
+			}
+			depThread[i] = int32(2 * r)
+			depTask[i] = mp
+		}
+		eng.Threads[2*r] = sim.EngineThread{Tasks: sp.Main.Tasks}
+		eng.Threads[2*r+1] = sim.EngineThread{
+			Tasks: sp.IO.Tasks, DepThread: depThread, DepTask: depTask,
+		}
+	}
+	results, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	ends := make([]float64, nRanks)
+	for r, jobs := range data.Jobs {
+		main, io := &results[2*r], &results[2*r+1]
+		length := data.ActProfiles[r].Length
+		ends[r] = length + math.Max(main.LastTaskEnd, io.LastTaskEnd)
+		if rec.Enabled() {
+			rec.Record(obs.Span{
+				Name: "compute", Cat: "obstacle", Rank: r, Thread: obs.ThreadMain,
+				Start: 0, End: length, Block: obs.NoBlock,
+			})
+			for _, g := range jobs {
+				countJob(rec, w.Cfg, g)
+				mp, ip := mainPos[r][g.ID], ioPos[r][g.ID]
+				rec.Record(compressSpan(w.Cfg, r, g,
+					length+main.TaskStart[mp], length+main.TaskEnd[mp]))
+				rec.Record(writeSpan(r, g,
+					length+io.TaskStart[ip], length+io.TaskEnd[ip]))
+			}
+		}
+	}
+	return overheadResult(ModeAsyncCompIO, ends, data.ComputeEnd, 0, 0), nil
+}
+
+// simulateOursEvent plans through internal/plan and executes the whole
+// world — 2·Ranks threads, with cross-rank release edges from balanced
+// writes — in one event pass.
+func simulateOursEvent(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
+	cfg := w.Cfg
+	p, err := planOurs(w, data, pc, rec)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.Engine{
+		Threads:         make([]sim.EngineThread, 2*cfg.Ranks),
+		RecordObstacles: rec.Enabled(),
+	}
+	// Pass 1: main threads (thread 2r) — compression in scheduled order. A
+	// job's position in its origin rank's main thread is recorded so I/O
+	// threads can reference the completion, possibly across ranks.
+	posOf := make([][]int32, cfg.Ranks)
+	mainIDs := make([][]int, cfg.Ranks) // plan job ids, position-aligned
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		posOf[r] = make([]int32, len(data.Jobs[r]))
+		for i := range posOf[r] {
+			posOf[r][i] = -1
+		}
+		var tasks []sim.Task
+		for _, id := range rp.CompOrder() {
+			pj := rp.Jobs[id]
+			if pj.Origin.Rank != r {
+				continue // moved-in writes have no compression here
+			}
+			posOf[r][pj.Origin.ID] = int32(len(tasks))
+			mainIDs[r] = append(mainIDs[r], id)
+			tasks = append(tasks, sim.Task{
+				ID: id, Pred: pj.PredComp, Actual: actualFor(data, pj.Origin).ActComp,
+			})
+		}
+		eng.Threads[2*r] = sim.EngineThread{
+			Obstacles: data.ActProfiles[r].CompBusy,
+			Tasks:     tasks,
+		}
+	}
+	// Pass 2: I/O threads (thread 2r+1) — writes in scheduled order, each
+	// released by its compression's actual completion via a dependency edge.
+	ioIDs := make([][]int, cfg.Ranks)
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		var tasks []sim.Task
+		var depThread, depTask []int32
+		for _, id := range rp.IOOrder() {
+			pj := rp.Jobs[id]
+			if pj.PredIO <= 0 {
+				continue // write moved elsewhere
+			}
+			pos := int32(-1)
+			if pj.Origin.Rank >= 0 && pj.Origin.Rank < cfg.Ranks &&
+				pj.Origin.ID >= 0 && pj.Origin.ID < len(posOf[pj.Origin.Rank]) {
+				pos = posOf[pj.Origin.Rank][pj.Origin.ID]
+			}
+			if pos < 0 {
+				return nil, fmt.Errorf("core: no compression completion for job %+v", pj.Origin)
+			}
+			ioIDs[r] = append(ioIDs[r], id)
+			tasks = append(tasks, sim.Task{
+				ID: id, Pred: pj.PredIO, Actual: actualFor(data, pj.Origin).ActIO,
+			})
+			depThread = append(depThread, int32(2*pj.Origin.Rank))
+			depTask = append(depTask, pos)
+		}
+		eng.Threads[2*r+1] = sim.EngineThread{
+			Obstacles: data.ActProfiles[r].IOBusy,
+			Tasks:     tasks,
+			DepThread: depThread,
+			DepTask:   depTask,
+		}
+	}
+
+	results, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate and emit in the loop path's exact order: all main threads in
+	// rank order, then all I/O threads in rank order.
+	if rec.Enabled() {
+		for r := range p.Ranks {
+			rp := &p.Ranks[r]
+			main := &results[2*r]
+			emitObstacles(rec, r, obs.ThreadMain, "compute", main.Obstacles)
+			for i, id := range mainIDs[r] {
+				g := actualFor(data, rp.Jobs[id].Origin)
+				rec.Record(compressSpan(cfg, r, g, main.TaskStart[i], main.TaskEnd[i]))
+				countJob(rec, cfg, g)
+			}
+		}
+	}
+	ends := make([]float64, cfg.Ranks)
+	delay := 0.0
+	for r := range p.Ranks {
+		main, io := &results[2*r], &results[2*r+1]
+		ends[r] = math.Max(main.End, io.End)
+		delay += main.ObstacleDelay + io.ObstacleDelay
+		if rec.Enabled() {
+			rp := &p.Ranks[r]
+			emitObstacles(rec, r, obs.ThreadIO, "core task", io.Obstacles)
+			for i, id := range ioIDs[r] {
+				origin := rp.Jobs[id].Origin
+				g := actualFor(data, origin)
+				sp := writeSpan(r, g, io.TaskStart[i], io.TaskEnd[i])
+				if origin.Rank != r {
+					sp.Extra = fmt.Sprintf("balanced from rank %d (%s)", origin.Rank, sp.Extra)
+					rec.Count("core.writes.balanced", 1)
+				}
+				rec.Record(sp)
+			}
+		}
+	}
+	return overheadResult(ModeOurs, ends, data.ComputeEnd, delay, p.Overall()), nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// TestCorrelatedFaultsTargetOSTs: a plan restricted to one OST stretches
+// only the writes routed there, deterministically, and arming the plan
+// leaves every other stream of the workload bit-identical.
+func TestCorrelatedFaultsTargetOSTs(t *testing.T) {
+	base := NyxWorkload(8, 4)
+	base.Seed = 21
+	clean, err := BuildWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armed := base
+	armed.NumOSTs = 4
+	armed.Faults = &pfs.FaultPlan{Seed: 9, WriteErrorRate: 1, OSTs: []int{2}}
+	faulty, err := BuildWorkload(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cd := clean.Iteration(0)
+	fd := faulty.Iteration(0)
+	pen := base.retryPenalty()
+	stretched := 0
+	for r := range cd.Jobs {
+		for i := range cd.Jobs[r] {
+			cj, fj := cd.Jobs[r][i], fd.Jobs[r][i]
+			// Non-I/O streams must be untouched by arming the plan.
+			if cj.ActComp != fj.ActComp || cj.PredIO != fj.PredIO || cj.ActBytes != fj.ActBytes {
+				t.Fatalf("rank %d job %d: non-write streams perturbed", r, i)
+			}
+			onTarget := (r+cj.Group)%4 == 2
+			switch {
+			case onTarget && fj.ActIO != cj.ActIO*pen:
+				t.Fatalf("rank %d job %d on OST 2: ActIO %v, want %v stretched by %v",
+					r, i, fj.ActIO, cj.ActIO, pen)
+			case !onTarget && fj.ActIO != cj.ActIO:
+				t.Fatalf("rank %d job %d off target: ActIO %v changed from %v",
+					r, i, fj.ActIO, cj.ActIO)
+			}
+			if onTarget {
+				stretched++
+			}
+		}
+	}
+	if stretched == 0 {
+		t.Fatal("no write ever routed to the targeted OST")
+	}
+
+	// Deterministic: a second materialization is identical.
+	fd2 := faulty.Iteration(0)
+	for r := range fd.Jobs {
+		for i := range fd.Jobs[r] {
+			if fd.Jobs[r][i].ActIO != fd2.Jobs[r][i].ActIO {
+				t.Fatal("correlated fault draws are nondeterministic")
+			}
+		}
+	}
+}
+
+// TestVirtualFaultsSchedule: spikes and degradation windows map onto
+// virtual outcomes with the documented semantics.
+func TestVirtualFaultsSchedule(t *testing.T) {
+	vf := pfs.NewVirtualFaults(&pfs.FaultPlan{
+		Seed:    5,
+		Degrade: []pfs.DegradeWindow{{FromWrite: 0, ToWrite: 3, Factor: 0.25}},
+	}, 2)
+	for i := 0; i < 3; i++ {
+		out := vf.Decide(i % 2)
+		if out.SlowFactor != 4 {
+			t.Fatalf("write %d: slow factor %v, want 4 (1/0.25)", i, out.SlowFactor)
+		}
+	}
+	if out := vf.Decide(0); out.SlowFactor != 1 {
+		t.Fatalf("write outside window slowed: %+v", out)
+	}
+
+	spiky := pfs.NewVirtualFaults(&pfs.FaultPlan{
+		Seed: 6, SpikeRate: 1, Spike: 500 * time.Millisecond,
+	}, 1)
+	if out := spiky.Decide(0); !out.Spiked || out.SpikeSeconds != 0.5 {
+		t.Fatalf("spike outcome %+v, want 0.5s spike", out)
+	}
+
+	// Nil plan: inert.
+	var none *pfs.VirtualFaults
+	if out := none.Decide(0); out.Faulted || out.Spiked || out.SlowFactor != 1 {
+		t.Fatalf("nil VirtualFaults not inert: %+v", out)
+	}
+}

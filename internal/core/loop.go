@@ -1,0 +1,205 @@
+// The legacy per-rank simulation loops. These are the pre-event-queue
+// implementations, retained verbatim (modulo the *Loop suffix) so the
+// parity corpus test (parity_test.go) can prove the discrete-event engine
+// in event.go reproduces them byte-for-byte. Select them explicitly with
+// RunConfig{Engine: EngineLoop}; the event engine is the default.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// simulateAsyncIOLoop: uncompressed per-field writes dispatched to the
+// background thread, competing with the core tasks there [62].
+func simulateAsyncIOLoop(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+	cfg := w.Cfg
+	ends := make([]float64, cfg.Ranks)
+	delay := 0.0
+	fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
+	for r := 0; r < cfg.Ranks; r++ {
+		tp := sim.ThreadPlan{
+			Obstacles:       data.ActProfiles[r].IOBusy,
+			RecordObstacles: rec.Enabled(),
+		}
+		predEach := cfg.ioCurve(fieldBytes)
+		actEach := data.RawIO[r] / float64(cfg.FieldCount)
+		for f := 0; f < cfg.FieldCount; f++ {
+			tp.Tasks = append(tp.Tasks, sim.Task{ID: f, Pred: predEach, Actual: actEach})
+		}
+		res, err := sim.ExecuteThread(tp)
+		if err != nil {
+			return nil, err
+		}
+		ends[r] = math.Max(data.ActProfiles[r].Length, res.End)
+		delay += res.ObstacleDelay
+		if rec.Enabled() {
+			rec.Record(obs.Span{
+				Name: "compute", Cat: "obstacle", Rank: r, Thread: obs.ThreadMain,
+				Start: 0, End: data.ActProfiles[r].Length, Block: obs.NoBlock,
+			})
+			emitObstacles(rec, r, obs.ThreadIO, "core task", res.Obstacles)
+			for f := 0; f < cfg.FieldCount; f++ {
+				rec.Record(obs.Span{
+					Name: fmt.Sprintf("write field %d raw", f), Cat: "write",
+					Rank: r, Thread: obs.ThreadIO,
+					Start: res.TaskStart[f], End: res.TaskEnd[f],
+					Block: obs.NoBlock, Bytes: fieldBytes,
+				})
+			}
+			rec.Count("core.bytes.raw", float64(fieldBytes)*float64(cfg.FieldCount))
+		}
+	}
+	return overheadResult(ModeAsyncIO, ends, data.ComputeEnd, delay, 0), nil
+}
+
+// simulateAsyncCompIOLoop: the prior SC'22 approach [30] — compression
+// overlaps the compressed writes, but the whole dump still serializes with
+// computation. The planner runs hole-free (Horizon 0, no obstacles) with
+// plain ExtJohnson, which is optimal there.
+func simulateAsyncCompIOLoop(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+	in := plan.Input{Ranks: make([]plan.RankInput, len(data.Jobs))}
+	for r, jobs := range data.Jobs {
+		for _, g := range jobs {
+			in.Ranks[r].Jobs = append(in.Ranks[r].Jobs, plan.Job{
+				ID: g.ID, PredComp: g.PredComp, PredIO: g.PredIO, PredBytes: g.PredBytes,
+			})
+		}
+	}
+	p, err := plan.Plan(in, plan.Config{Algorithm: sched.ExtJohnson})
+	if err != nil {
+		return nil, err
+	}
+	ends := make([]float64, len(data.Jobs))
+	for r, jobs := range data.Jobs {
+		rp := p.Ranks[r]
+		actComp := make([]float64, len(jobs))
+		actIO := make([]float64, len(jobs))
+		for i, g := range jobs {
+			actComp[i], actIO[i] = g.ActComp, g.ActIO
+		}
+		sp, err := sim.FromSchedule(rp.Problem, rp.Schedule, actComp, actIO, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.ExecuteProcess(sp, nil)
+		if err != nil {
+			return nil, err
+		}
+		length := data.ActProfiles[r].Length
+		ends[r] = length + res.TasksEnd()
+		if rec.Enabled() {
+			// The whole dump serializes with computation: task times are
+			// relative to the compute end, so offset spans by `length`.
+			rec.Record(obs.Span{
+				Name: "compute", Cat: "obstacle", Rank: r, Thread: obs.ThreadMain,
+				Start: 0, End: length, Block: obs.NoBlock,
+			})
+			for _, g := range jobs {
+				countJob(rec, w.Cfg, g)
+				rec.Record(compressSpan(w.Cfg, r, g,
+					length+res.Main.TaskStart[g.ID], length+res.Main.TaskEnd[g.ID]))
+				rec.Record(writeSpan(r, g,
+					length+res.IO.TaskStart[g.ID], length+res.IO.TaskEnd[g.ID]))
+			}
+		}
+	}
+	return overheadResult(ModeAsyncCompIO, ends, data.ComputeEnd, 0, 0), nil
+}
+
+// simulateOursLoop plans through internal/plan and then executes with actual
+// durations and profiles, rank by rank.
+func simulateOursLoop(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
+	cfg := w.Cfg
+	p, err := planOurs(w, data, pc, rec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: main threads — compression in scheduled order against actual
+	// computation intervals.
+	mains := make([]*sim.ThreadResult, cfg.Ranks)
+	actCompEnd := make(map[plan.Ref]float64)
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		tp := sim.ThreadPlan{
+			Obstacles:       data.ActProfiles[r].CompBusy,
+			RecordObstacles: rec.Enabled(),
+		}
+		for _, id := range rp.CompOrder() {
+			pj := rp.Jobs[id]
+			if pj.Origin.Rank != r {
+				continue // moved-in writes have no compression here
+			}
+			tp.Tasks = append(tp.Tasks, sim.Task{
+				ID: id, Pred: pj.PredComp, Actual: actualFor(data, pj.Origin).ActComp,
+			})
+		}
+		res, err := sim.ExecuteThread(tp)
+		if err != nil {
+			return nil, err
+		}
+		mains[r] = res
+		for id, end := range res.TaskEnd {
+			actCompEnd[rp.Jobs[id].Origin] = end
+		}
+		if rec.Enabled() {
+			emitObstacles(rec, r, obs.ThreadMain, "compute", res.Obstacles)
+			for _, t := range tp.Tasks {
+				g := actualFor(data, rp.Jobs[t.ID].Origin)
+				rec.Record(compressSpan(cfg, r, g, res.TaskStart[t.ID], res.TaskEnd[t.ID]))
+				countJob(rec, cfg, g)
+			}
+		}
+	}
+
+	// Phase 2: background threads — writes in scheduled order, released by
+	// the actual compression completions (possibly on another rank).
+	ends := make([]float64, cfg.Ranks)
+	delay := 0.0
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		tp := sim.ThreadPlan{
+			Obstacles:       data.ActProfiles[r].IOBusy,
+			RecordObstacles: rec.Enabled(),
+		}
+		for _, id := range rp.IOOrder() {
+			pj := rp.Jobs[id]
+			if pj.PredIO <= 0 {
+				continue // write moved elsewhere
+			}
+			rel, ok := actCompEnd[pj.Origin]
+			if !ok {
+				return nil, fmt.Errorf("core: no compression completion for job %+v", pj.Origin)
+			}
+			tp.Tasks = append(tp.Tasks, sim.Task{
+				ID: id, Pred: pj.PredIO, Actual: actualFor(data, pj.Origin).ActIO, Release: rel,
+			})
+		}
+		res, err := sim.ExecuteThread(tp)
+		if err != nil {
+			return nil, err
+		}
+		ends[r] = math.Max(mains[r].End, res.End)
+		delay += mains[r].ObstacleDelay + res.ObstacleDelay
+		if rec.Enabled() {
+			emitObstacles(rec, r, obs.ThreadIO, "core task", res.Obstacles)
+			for _, t := range tp.Tasks {
+				origin := rp.Jobs[t.ID].Origin
+				g := actualFor(data, origin)
+				sp := writeSpan(r, g, res.TaskStart[t.ID], res.TaskEnd[t.ID])
+				if origin.Rank != r {
+					sp.Extra = fmt.Sprintf("balanced from rank %d (%s)", origin.Rank, sp.Extra)
+					rec.Count("core.writes.balanced", 1)
+				}
+				rec.Record(sp)
+			}
+		}
+	}
+	return overheadResult(ModeOurs, ends, data.ComputeEnd, delay, p.Overall()), nil
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+	"repro/internal/sched"
+)
+
+// parityCorpus is the seed-size workload matrix the engine refactor is
+// pinned against: both named workloads, balance on/off, the exact solver,
+// perturbed (sigma) and faulty variants.
+func parityCorpus() []struct {
+	name string
+	cfg  WorkloadConfig
+	rc   RunConfig
+} {
+	type caseT = struct {
+		name string
+		cfg  WorkloadConfig
+		rc   RunConfig
+	}
+	var cases []caseT
+	nyx := NyxWorkload(8, 4)
+	warpx := WarpXWorkload(6, 3)
+	for _, mode := range []Mode{ModeBaseline, ModeAsyncIO, ModeAsyncCompIO, ModeOurs} {
+		cases = append(cases, caseT{
+			name: fmt.Sprintf("nyx/%s", mode),
+			cfg:  nyx,
+			rc:   RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}, Iterations: 3},
+		})
+		cases = append(cases, caseT{
+			name: fmt.Sprintf("warpx/%s", mode),
+			cfg:  warpx,
+			rc:   RunConfig{Mode: mode, Plan: PlanConfig{Balance: mode == ModeOurs}, Iterations: 2},
+		})
+	}
+	// No balancing: every write stays on its origin rank.
+	cases = append(cases, caseT{
+		name: "nyx/ours-unbalanced",
+		cfg:  nyx,
+		rc:   RunConfig{Mode: ModeOurs, Plan: PlanConfig{Balance: false}, Iterations: 3},
+	})
+	// The exact solver with spread, at a job count it can handle (the B&B
+	// caps at 12 jobs per rank).
+	small := NyxWorkload(4, 2)
+	small.FieldCount = 2
+	small.BlocksPerField = 4
+	small.ExactSpread = true
+	cases = append(cases, caseT{
+		name: "nyx4/ours-exact",
+		cfg:  small,
+		rc: RunConfig{
+			Mode: ModeOurs,
+			Plan: PlanConfig{Algorithm: sched.Exact, Balance: true},
+			Iterations: 2,
+		},
+	})
+	// Prediction error: sigma forces overruns, exercising yield decisions
+	// and obstacle delays.
+	noisy := NyxWorkload(8, 4)
+	noisy.SigmaComp = 0.3
+	noisy.SigmaIO = 0.3
+	noisy.SigmaInterval = 0.05
+	noisy.Seed = 11
+	cases = append(cases, caseT{
+		name: "nyx-sigma/ours",
+		cfg:  noisy,
+		rc:   RunConfig{Mode: ModeOurs, Plan: PlanConfig{Balance: true}, Iterations: 3},
+	})
+	// I/O faults stretch write durations.
+	faulty := WarpXWorkload(6, 3)
+	faulty.IOFaultRate = 0.2
+	faulty.Seed = 13
+	cases = append(cases, caseT{
+		name: "warpx-faults/ours",
+		cfg:  faulty,
+		rc:   RunConfig{Mode: ModeOurs, Plan: PlanConfig{Balance: true}, Iterations: 3},
+	})
+	// Correlated OST failures with a degradation window and stragglers.
+	ost := NyxWorkload(8, 4)
+	ost.Seed = 17
+	ost.NumOSTs = 4
+	ost.Faults = &pfs.FaultPlan{
+		Seed:           23,
+		WriteErrorRate: 0.15,
+		OSTs:           []int{1},
+		SpikeRate:      0.1,
+		Spike:          200 * time.Millisecond,
+		Degrade:        []pfs.DegradeWindow{{FromWrite: 4, ToWrite: 20, Factor: 0.5}},
+	}
+	for _, mode := range []Mode{ModeAsyncIO, ModeOurs} {
+		cases = append(cases, caseT{
+			name: fmt.Sprintf("nyx-ostfaults/%s", mode),
+			cfg:  ost,
+			rc:   RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}, Iterations: 3},
+		})
+	}
+	return cases
+}
+
+// runEngine executes a case's iterations on one engine, returning results,
+// spans, and counters.
+func runEngine(t *testing.T, cfg WorkloadConfig, rc RunConfig, eng Engine) ([]*IterationResult, []obs.Span, map[string]float64) {
+	t.Helper()
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	rc.Engine = eng
+	rc.Recorder = rec
+	var results []*IterationResult
+	for it := 0; it < rc.Iterations; it++ {
+		data := w.Iteration(it)
+		res, err := Simulate(w, data, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Advance(res.End)
+		results = append(results, res)
+	}
+	counters := map[string]float64{}
+	for _, name := range []string{
+		"core.bytes.raw", "core.bytes.compressed", "core.blocks", "core.writes.balanced",
+	} {
+		counters[name] = rec.Counter(name)
+	}
+	return results, rec.Spans(), counters
+}
+
+// sortSpans orders spans canonically so the comparison is "identical modulo
+// ordering" — the engines interleave rank emission identically today, but
+// the parity guarantee is only up to reordering.
+func sortSpans(spans []obs.Span) {
+	sort.SliceStable(spans, func(a, b int) bool {
+		x, y := spans[a], spans[b]
+		if x.Rank != y.Rank {
+			return x.Rank < y.Rank
+		}
+		if x.Thread != y.Thread {
+			return x.Thread < y.Thread
+		}
+		if x.Start != y.Start {
+			return x.Start < y.Start
+		}
+		if x.End != y.End {
+			return x.End < y.End
+		}
+		return x.Name < y.Name
+	})
+}
+
+// TestEngineParityCorpus proves the discrete-event engine is byte-identical
+// to the legacy per-rank loops across the corpus: same IterationResults
+// (every float bit-equal, checked via DigestResults and DeepEqual), same
+// spans modulo ordering, same counters.
+func TestEngineParityCorpus(t *testing.T) {
+	for _, c := range parityCorpus() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			loopRes, loopSpans, loopCounters := runEngine(t, c.cfg, c.rc, EngineLoop)
+			evRes, evSpans, evCounters := runEngine(t, c.cfg, c.rc, EngineEvent)
+
+			if ld, ed := DigestResults(loopRes), DigestResults(evRes); ld != ed {
+				t.Errorf("result digests differ:\n loop  %s\n event %s", ld, ed)
+			}
+			if !reflect.DeepEqual(loopRes, evRes) {
+				for i := range loopRes {
+					if !reflect.DeepEqual(loopRes[i], evRes[i]) {
+						t.Errorf("iteration %d differs:\n loop  %+v\n event %+v",
+							i, loopRes[i], evRes[i])
+					}
+				}
+			}
+			sortSpans(loopSpans)
+			sortSpans(evSpans)
+			if len(loopSpans) != len(evSpans) {
+				t.Fatalf("span counts differ: loop %d, event %d", len(loopSpans), len(evSpans))
+			}
+			for i := range loopSpans {
+				if loopSpans[i] != evSpans[i] {
+					t.Fatalf("span %d differs:\n loop  %+v\n event %+v",
+						i, loopSpans[i], evSpans[i])
+				}
+			}
+			if !reflect.DeepEqual(loopCounters, evCounters) {
+				t.Errorf("counters differ:\n loop  %v\n event %v", loopCounters, evCounters)
+			}
+		})
+	}
+}
+
+// TestEngineParityDeterminism: the event engine itself is a pure function
+// of the workload — two runs digest identically.
+func TestEngineParityDeterminism(t *testing.T) {
+	cfg := NyxWorkload(8, 4)
+	cfg.SigmaComp = 0.2
+	cfg.SigmaIO = 0.2
+	cfg.Seed = 5
+	rc := RunConfig{Mode: ModeOurs, Plan: PlanConfig{Balance: true}, Iterations: 3}
+	a, _, _ := runEngine(t, cfg, rc, EngineEvent)
+	b, _, _ := runEngine(t, cfg, rc, EngineEvent)
+	if DigestResults(a) != DigestResults(b) {
+		t.Fatal("event engine is not deterministic across runs")
+	}
+}

@@ -6,12 +6,29 @@ import (
 	"repro/internal/obs"
 )
 
+// Engine selects the virtual-time execution machinery. Both engines are
+// parity-pinned: they produce byte-identical IterationResults (proved by
+// parity_test.go), differing only in scalability.
+type Engine int
+
+const (
+	// EngineEvent (the default) runs every thread of every rank through one
+	// discrete-event queue (sim.Engine) — flat state, one heap, scales to
+	// 10⁵–10⁶ ranks in a single process.
+	EngineEvent Engine = iota
+	// EngineLoop is the legacy per-rank sequential path, kept as the parity
+	// reference.
+	EngineLoop
+)
+
 // RunConfig is the options struct fronting the simulated engine: which I/O
 // strategy to evaluate, how the in situ planner is configured, how many
 // iterations to run, and (optionally) where to record spans and metrics.
 type RunConfig struct {
 	// Mode selects the I/O strategy (ModeBaseline ... ModeOurs).
 	Mode Mode
+	// Engine selects the execution machinery (EngineEvent by default).
+	Engine Engine
 	// Plan configures the planner; only ModeOurs reads it.
 	Plan PlanConfig
 	// Recorder, when non-nil, receives compute/compress/write/obstacle spans
@@ -31,15 +48,28 @@ func Simulate(w *Workload, data *IterationData, rc RunConfig) (*IterationResult,
 	rec := rc.Recorder
 	var res *IterationResult
 	var err error
+	loop := rc.Engine == EngineLoop
 	switch rc.Mode {
 	case ModeBaseline:
 		res = simulateBaseline(w, data, rec)
 	case ModeAsyncIO:
-		res, err = simulateAsyncIO(w, data, rec)
+		if loop {
+			res, err = simulateAsyncIOLoop(w, data, rec)
+		} else {
+			res, err = simulateAsyncIOEvent(w, data, rec)
+		}
 	case ModeAsyncCompIO:
-		res, err = simulateAsyncCompIO(w, data, rec)
+		if loop {
+			res, err = simulateAsyncCompIOLoop(w, data, rec)
+		} else {
+			res, err = simulateAsyncCompIOEvent(w, data, rec)
+		}
 	case ModeOurs:
-		res, err = simulateOurs(w, data, rc.Plan, rec)
+		if loop {
+			res, err = simulateOursLoop(w, data, rc.Plan, rec)
+		} else {
+			res, err = simulateOursEvent(w, data, rc.Plan, rec)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", rc.Mode)
 	}
@@ -61,6 +91,19 @@ func Simulate(w *Workload, data *IterationData, rc RunConfig) (*IterationResult,
 	return res, nil
 }
 
+// runObserver, when set, receives every completed Run's workload, config,
+// and per-iteration results — the scenario recorder's tap (same
+// process-global pattern as experiments.SetFaults).
+var runObserver func(w *Workload, rc RunConfig, results []*IterationResult)
+
+// SetRunObserver installs (or, with nil, removes) a process-global observer
+// called at the end of every successful Run. Results are only collected
+// while an observer is installed, so the hook costs nothing otherwise. Not
+// safe to race with concurrent Runs.
+func SetRunObserver(fn func(w *Workload, rc RunConfig, results []*IterationResult)) {
+	runObserver = fn
+}
+
 // Run simulates rc.Iterations iterations and aggregates overheads. With a
 // recorder attached, iterations are laid out sequentially on the trace
 // clock: after each iteration the virtual base advances by that iteration's
@@ -70,6 +113,7 @@ func Run(w *Workload, rc RunConfig) (*RunStats, error) {
 		return nil, fmt.Errorf("core: iterations %d < 1", rc.Iterations)
 	}
 	st := &RunStats{Mode: rc.Mode, Iterations: rc.Iterations}
+	var collected []*IterationResult
 	for it := 0; it < rc.Iterations; it++ {
 		data := w.Iteration(it)
 		res, err := Simulate(w, data, rc)
@@ -83,9 +127,15 @@ func Run(w *Workload, rc RunConfig) (*RunStats, error) {
 		if res.Overhead > st.MaxOverhead {
 			st.MaxOverhead = res.Overhead
 		}
+		if runObserver != nil {
+			collected = append(collected, res)
+		}
 	}
 	st.MeanOverhead /= float64(rc.Iterations)
 	st.MeanEnd /= float64(rc.Iterations)
 	st.MeanDelay /= float64(rc.Iterations)
+	if runObserver != nil {
+		runObserver(w, rc, collected)
+	}
 	return st, nil
 }

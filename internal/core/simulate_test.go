@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/pfs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 )
@@ -25,6 +26,19 @@ func TestWorkloadValidation(t *testing.T) {
 		func() WorkloadConfig { c := NyxWorkload(4, 4); c.MeanRatio = 0.5; return c }(),
 		func() WorkloadConfig { c := NyxWorkload(4, 4); c.IterationLen = 0; return c }(),
 		func() WorkloadConfig { c := NyxWorkload(4, 4); c.CompThroughput = 0; return c }(),
+		// Unseeded workloads are rejected: replay requires explicit seeds.
+		func() WorkloadConfig { c := NyxWorkload(4, 4); c.Seed = 0; return c }(),
+		func() WorkloadConfig {
+			c := NyxWorkload(4, 4)
+			c.Faults = &pfs.FaultPlan{WriteErrorRate: 0.1} // fault plan without a seed
+			return c
+		}(),
+		func() WorkloadConfig {
+			c := NyxWorkload(4, 4)
+			c.Faults = &pfs.FaultPlan{Seed: 3, WriteErrorRate: 2} // invalid rate
+			return c
+		}(),
+		func() WorkloadConfig { c := NyxWorkload(4, 4); c.NumOSTs = -1; return c }(),
 	}
 	for i, cfg := range bad {
 		if _, err := BuildWorkload(cfg); err == nil {
@@ -305,6 +319,9 @@ func TestQuickOursNeverWorseThanBaseline(t *testing.T) {
 		cfg.RanksPerNode = cfg.Ranks
 		cfg.MaxRatioDiff = float64(diffRaw % 20)
 		cfg.Seed = seed
+		if cfg.Seed == 0 {
+			cfg.Seed = 1 // zero is rejected as unseeded
+		}
 		w, err := BuildWorkload(cfg)
 		if err != nil {
 			return false

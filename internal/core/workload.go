@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/pfs"
 	"repro/internal/trace"
 )
 
@@ -96,6 +97,22 @@ type WorkloadConfig struct {
 	IOFaultRate    float64
 	IORetryPenalty float64
 
+	// Faults, when non-nil, arms the correlated-OST fault model: every
+	// buffer-group write routes to OST (rank+group) mod NumOSTs and draws
+	// its fate from the plan (same seeded schedule as the wall-clock pfs.FS),
+	// so failures cluster on the targeted OSTs instead of falling i.i.d.
+	// like IOFaultRate. Any injected error stretches the write by the retry
+	// penalty; degradation windows multiply its duration; spikes add
+	// straggler seconds. The plan's own seed drives the draws, so arming it
+	// never perturbs the base workload's streams.
+	Faults *pfs.FaultPlan `json:"faults,omitempty"`
+	// NumOSTs is the virtual OST count writes are routed over (0 = 8).
+	NumOSTs int `json:"numOSTs,omitempty"`
+
+	// Seed drives every random stream in the workload. It must be non-zero:
+	// scenario replay depends on every source being explicitly seeded, so an
+	// unseeded (zero) config fails validation loudly instead of silently
+	// simulating an unreproducible run.
 	Seed int64
 }
 
@@ -169,7 +186,29 @@ func (c WorkloadConfig) validate() error {
 	if c.IORetryPenalty != 0 && c.IORetryPenalty < 1 {
 		return fmt.Errorf("core: I/O retry penalty %v < 1", c.IORetryPenalty)
 	}
+	if c.Seed == 0 {
+		return fmt.Errorf("core: unseeded workload (Seed == 0); replay requires an explicit seed")
+	}
+	if c.NumOSTs < 0 {
+		return fmt.Errorf("core: negative OST count %d", c.NumOSTs)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		if c.Faults.Seed == 0 {
+			return fmt.Errorf("core: unseeded fault plan (Seed == 0); replay requires an explicit seed")
+		}
+	}
 	return nil
+}
+
+// numOSTs resolves the virtual OST count (default 8).
+func (c WorkloadConfig) numOSTs() int {
+	if c.NumOSTs > 0 {
+		return c.NumOSTs
+	}
+	return 8
 }
 
 // retryPenalty returns the actual-duration multiplier a faulted write pays.
@@ -289,6 +328,17 @@ func (w *Workload) Iteration(iter int) *IterationData {
 	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(iter)))
 	data := &IterationData{}
 
+	// Correlated-OST faults draw from their own per-iteration stream (the
+	// plan's seed, not the workload's), in deterministic rank-ascending,
+	// group-ascending order, one decision per coalesced write plus one per
+	// raw field dump. Arming the plan never perturbs the base streams.
+	var vf *pfs.VirtualFaults
+	if cfg.Faults != nil {
+		fp := *cfg.Faults
+		fp.Seed = cfg.Faults.Seed*1_000_003 + int64(iter)
+		vf = pfs.NewVirtualFaults(&fp, cfg.numOSTs())
+	}
+
 	treeCost := cfg.TreeBuildCost
 	if cfg.SharedTree {
 		treeCost = 0
@@ -348,6 +398,20 @@ func (w *Workload) Iteration(iter int) *IterationData {
 					jobs[i].ActIO *= cfg.retryPenalty()
 				}
 			}
+			if vf != nil {
+				out := vf.Decide((r + group) % cfg.numOSTs())
+				for i := gStart; i < end; i++ {
+					if out.SlowFactor > 1 {
+						jobs[i].ActIO *= out.SlowFactor
+					}
+					if out.Spiked {
+						jobs[i].ActIO += out.SpikeSeconds / float64(end-gStart)
+					}
+					if out.Faulted {
+						jobs[i].ActIO *= cfg.retryPenalty()
+					}
+				}
+			}
 			gStart = end
 			gBytes = 0
 		}
@@ -380,9 +444,39 @@ func (w *Workload) Iteration(iter int) *IterationData {
 		if cfg.IOFaultRate > 0 && rng.Float64() < cfg.IOFaultRate {
 			rawAct *= cfg.retryPenalty()
 		}
+		if vf != nil {
+			out := vf.Decide(r % cfg.numOSTs())
+			if out.SlowFactor > 1 {
+				rawAct *= out.SlowFactor
+			}
+			if out.Spiked {
+				rawAct += out.SpikeSeconds
+			}
+			if out.Faulted {
+				rawAct *= cfg.retryPenalty()
+			}
+		}
 		data.RawIO = append(data.RawIO, rawAct)
 	}
 	return data
+}
+
+// Profiles returns the workload's per-rank base profiles. Scenario
+// recording serializes them; callers must not mutate the returned slices.
+func (w *Workload) Profiles() []*trace.Profile {
+	return w.profiles
+}
+
+// SetProfiles overrides the per-rank base profiles — scenario replay with
+// explicit recorded obstacle traces. Profiles are drawn after the block
+// tables in BuildWorkload, so overriding them leaves every other stream of
+// the workload untouched.
+func (w *Workload) SetProfiles(ps []*trace.Profile) error {
+	if len(ps) != w.Cfg.Ranks {
+		return fmt.Errorf("core: %d profiles for %d ranks", len(ps), w.Cfg.Ranks)
+	}
+	w.profiles = ps
+	return nil
 }
 
 // Nodes returns per-node rank index groups.

@@ -139,6 +139,7 @@ func All() []NamedExperiment {
 		{"multifile", MultiFile},
 		{"algos", AlgoEndToEnd},
 		{"faults", FaultStudy},
+		{"scenarios", Scenarios},
 	}
 }
 

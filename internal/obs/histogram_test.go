@@ -70,6 +70,89 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEmpty(t *testing.T) {
+	// A zero-value HistStats (no observations) must answer every quantile
+	// with 0, not panic or divide by zero.
+	var s HistStats
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty Mean = %v, want 0", s.Mean())
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	r := NewRecorder()
+	r.ObserveHist("one", 0.0125)
+	s := r.HistSnapshot("one")
+	// With one sample, every quantile collapses to that value: interpolation
+	// happens inside its bucket but is clamped to the exact [Min, Max].
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0.0125 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 0.0125", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	r := NewRecorder()
+	// All samples inside one doubling bucket (bounds ... 0.008192, 0.016384]:
+	// quantile estimates must stay within the exact observed range, not the
+	// (wider) bucket edges.
+	vals := []float64{0.009, 0.010, 0.012, 0.015, 0.016}
+	for _, v := range vals {
+		r.ObserveHist("narrow", v)
+	}
+	s := r.HistSnapshot("narrow")
+	nonzero := 0
+	for _, c := range s.Counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("samples spread over %d buckets, want 1", nonzero)
+	}
+	prev := math.Inf(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := s.Quantile(q)
+		if v < s.Min || v > s.Max {
+			t.Fatalf("Quantile(%v) = %v outside observed [%v, %v]", q, v, s.Min, s.Max)
+		}
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v not monotone (prev %v)", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramQuantileAllInOverflow(t *testing.T) {
+	r := NewRecorder()
+	// Every sample beyond the last bound: the overflow bucket's upper edge is
+	// +Inf, so quantiles must clamp to the finite observed Max.
+	top := histBounds[len(histBounds)-1]
+	vals := []float64{top * 2, top * 3, top * 5}
+	for _, v := range vals {
+		r.ObserveHist("over", v)
+	}
+	s := r.HistSnapshot("over")
+	if s.Counts[len(s.Counts)-1] != uint64(len(vals)) {
+		t.Fatalf("overflow bucket holds %d, want %d", s.Counts[len(s.Counts)-1], len(vals))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.999} {
+		v := s.Quantile(q)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) = %v, must be finite", q, v)
+		}
+		if v < s.Min || v > s.Max {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, s.Min, s.Max)
+		}
+	}
+}
+
 func TestMetricsSnapshotJSON(t *testing.T) {
 	r := NewRecorder()
 	r.Count("reqs", 3)

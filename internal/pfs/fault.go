@@ -177,6 +177,9 @@ func (p *FaultPlan) Validate() error {
 	return nil
 }
 
+// Targets reports whether the plan's OST restriction includes ost.
+func (p *FaultPlan) Targets(ost int) bool { return p.targets(ost) }
+
 // targets reports whether the plan's OST restriction includes ost.
 func (p *FaultPlan) targets(ost int) bool {
 	if len(p.OSTs) == 0 {
@@ -319,6 +322,7 @@ type faultOutcome struct {
 	err    *FaultError
 	spiked bool
 	slowed bool
+	factor float64       // degrade bandwidth factor when slowed (in (0,1))
 	iso    time.Duration // isolation duration with spike/degradation applied
 }
 
@@ -340,6 +344,7 @@ func (st *faultState) decide(ost int, iso time.Duration) faultOutcome {
 	for _, w := range st.plan.Degrade {
 		if seq >= w.FromWrite && seq < w.ToWrite {
 			out.slowed = true
+			out.factor = w.Factor
 			out.iso = time.Duration(float64(out.iso) / w.Factor)
 			st.slowed++
 			break
@@ -359,6 +364,60 @@ func (st *faultState) decide(ost int, iso time.Duration) faultOutcome {
 		st.total++
 	}
 	return out
+}
+
+// VirtualOutcome is one virtual write's drawn fate, duration-free so the
+// virtual-time engine (internal/core) can apply the plan to modelled write
+// times instead of wall-clock isolation.
+type VirtualOutcome struct {
+	// Faulted reports an injected write error of class Class; the virtual
+	// storage path retries it, stretching the write's actual duration.
+	Faulted bool
+	Class   FaultClass
+	// Spiked adds SpikeSeconds of straggler latency to the write.
+	Spiked       bool
+	SpikeSeconds float64
+	// SlowFactor is the duration multiplier from a degradation window
+	// (>= 1; exactly 1 when the write is outside every window).
+	SlowFactor float64
+}
+
+// VirtualFaults realizes a FaultPlan for the virtual-time engine: the same
+// seeded draw sequence as the wall-clock FS (newFaultState/decide), exposed
+// as duration-free outcomes. Not safe for concurrent use.
+type VirtualFaults struct {
+	st *faultState
+}
+
+// NewVirtualFaults builds a virtual realization of plan over osts targets.
+// A nil plan yields a nil VirtualFaults, whose Decide injects nothing.
+func NewVirtualFaults(plan *FaultPlan, osts int) *VirtualFaults {
+	if plan == nil {
+		return nil
+	}
+	return &VirtualFaults{st: newFaultState(plan, osts)}
+}
+
+// Decide draws the fate of the next virtual write, routed primarily to ost.
+// Draw order is identical to the wall-clock path, so a plan produces the
+// same fault schedule in both engines.
+func (v *VirtualFaults) Decide(ost int) VirtualOutcome {
+	if v == nil {
+		return VirtualOutcome{SlowFactor: 1}
+	}
+	out := v.st.decide(ost, 0)
+	vo := VirtualOutcome{Spiked: out.spiked, SlowFactor: 1}
+	if out.spiked {
+		vo.SpikeSeconds = v.st.plan.Spike.Seconds()
+	}
+	if out.slowed {
+		vo.SlowFactor = 1 / out.factor
+	}
+	if out.err != nil {
+		vo.Faulted = true
+		vo.Class = out.err.Class
+	}
+	return vo
 }
 
 // FaultStats reports injected-fault counts: one entry per OST plus the

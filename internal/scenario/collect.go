@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// Collector records scenarios from real runs. Install its Observe method
+// via core.SetRunObserver; every completed core.Run becomes a candidate,
+// capped per label so a sweeping experiment doesn't dump hundreds of
+// near-identical files.
+type Collector struct {
+	perLabel int
+	label    string
+	counts   map[string]int
+	out      []*Scenario
+}
+
+// NewCollector builds a collector keeping at most perLabel scenarios for
+// each label (0 selects 2).
+func NewCollector(perLabel int) *Collector {
+	if perLabel <= 0 {
+		perLabel = 2
+	}
+	return &Collector{perLabel: perLabel, counts: map[string]int{}}
+}
+
+// SetLabel names the current recording context (the experiment ID); runs
+// observed until the next SetLabel are filed under it.
+func (c *Collector) SetLabel(label string) { c.label = label }
+
+// Observe is the core.SetRunObserver hook: converts the run into a recorded
+// scenario (up to the per-label cap) and pins its digest from the observed
+// results — no re-simulation needed at record time.
+func (c *Collector) Observe(w *core.Workload, rc core.RunConfig, results []*core.IterationResult) {
+	label := c.label
+	if label == "" {
+		label = "run"
+	}
+	key := fmt.Sprintf("%s/%s", label, rc.Mode)
+	if c.counts[key] >= c.perLabel {
+		return
+	}
+	c.counts[key]++
+	name := fmt.Sprintf("rec-%s-%s-%02d", label, rc.Mode, c.counts[key])
+	c.out = append(c.out, FromRun(name, w, rc, results))
+}
+
+// Scenarios returns everything collected so far.
+func (c *Collector) Scenarios() []*Scenario { return c.out }
+
+// SaveAll writes every collected scenario under dir (created if missing)
+// and returns the number written.
+func (c *Collector) SaveAll(dir string) (int, error) {
+	if len(c.out) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	for _, s := range c.out {
+		if err := Save(filepath.Join(dir, s.Name+".json"), s); err != nil {
+			return 0, err
+		}
+	}
+	return len(c.out), nil
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoUnseededRandSources audits the simulation path for math/rand
+// package-level function calls (the process-global, implicitly seeded
+// source). Scenario replay is bit-deterministic only if every draw flows
+// from an explicit seed via rand.New(rand.NewSource(seed)); a stray
+// rand.Float64() would silently break every committed digest. The
+// workload-side complement is core's validation, which rejects Seed == 0.
+func TestNoUnseededRandSources(t *testing.T) {
+	// Package-level math/rand functions; rand.New/NewSource are the seeded
+	// constructors and stay allowed.
+	global := regexp.MustCompile(`\brand\.(Float32|Float64|ExpFloat64|NormFloat64|Int31n?|Int63n?|Intn|Int\b|Uint32|Uint64|Perm|Shuffle|Seed|Read)\(`)
+
+	pkgs := []string{"core", "sim", "pfs", "trace", "sched", "plan", "balance", "scenario"}
+	checked := 0
+	for _, pkg := range pkgs {
+		dir := filepath.Join("..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("package %s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			blob, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked++
+			for i, line := range strings.Split(string(blob), "\n") {
+				code, _, _ := strings.Cut(line, "//")
+				if m := global.FindString(code); m != "" {
+					t.Errorf("%s/%s:%d: unseeded global rand source %q — thread an explicit seed instead",
+						pkg, name, i+1, m)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("audit scanned no files; wrong working directory?")
+	}
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pfs"
+	"repro/internal/sched"
+)
+
+// Generate draws n adversarial scenarios deterministically from seed,
+// cycling the generated kinds, and pins each one's digests by replaying it
+// (Fill). The families target the engine's hard edges:
+//
+//   - obstacle-packing: explicit profiles with dense, near-task-sized gaps,
+//     stressing the launch-vs-yield guard and obstacle-delay accounting;
+//   - ratio-cliff: rank mean ratios spread to the spread cap with heavy
+//     per-block jitter, stressing balancing and the buffer grouping;
+//   - correlated-ost: fault plans concentrating errors, stragglers, and
+//     degradation windows on a few OSTs, stressing the virtual fault path.
+func Generate(seed int64, n int) ([]*Scenario, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: generate count %d < 1", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []string{KindObstaclePacking, KindRatioCliff, KindCorrelatedOST}
+	out := make([]*Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		kind := kinds[i%len(kinds)]
+		var s *Scenario
+		switch kind {
+		case KindObstaclePacking:
+			s = genObstaclePacking(rng)
+		case KindRatioCliff:
+			s = genRatioCliff(rng)
+		default:
+			s = genCorrelatedOST(rng)
+		}
+		s.Name = fmt.Sprintf("gen-%s-%03d", kind, i)
+		if err := s.Fill(); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// baseConfig draws a small, fast workload shape shared by the generators.
+func baseConfig(rng *rand.Rand) core.WorkloadConfig {
+	perNode := 2 + rng.Intn(3)          // 2..4
+	nodes := 1 + rng.Intn(2)            // 1..2
+	cfg := core.NyxWorkload(perNode*nodes, perNode)
+	cfg.FieldCount = 2 + rng.Intn(3)    // 2..4
+	cfg.BlocksPerField = 4 + rng.Intn(5) // 4..8
+	cfg.Seed = 1 + rng.Int63n(1<<30)
+	return cfg
+}
+
+func allModes() []string {
+	return []string{
+		core.ModeBaseline.String(),
+		core.ModeAsyncIO.String(),
+		core.ModeAsyncCompIO.String(),
+		core.ModeOurs.String(),
+	}
+}
+
+// genObstaclePacking builds explicit per-rank profiles whose gaps hover
+// around typical task durations: many windows a prediction barely fits (or
+// barely misses), so a tiny arithmetic drift flips a launch decision and
+// changes the digest.
+func genObstaclePacking(rng *rand.Rand) *Scenario {
+	cfg := baseConfig(rng)
+	cfg.SigmaInterval = 0 // profiles are the adversarial input; don't jitter them
+	// Typical predicted durations for this config: compression of one block
+	// and the write of a small coalesced group.
+	compDur := float64(cfg.BlockBytes) / cfg.CompThroughput
+	ioDur := float64(cfg.BlockBytes/4) / cfg.IOBandwidth
+	profiles := make([]ProfileSpec, cfg.Ranks)
+	for r := range profiles {
+		p := ProfileSpec{Length: cfg.IterationLen}
+		mk := func(gapBase float64) []sched.Interval {
+			var ivs []sched.Interval
+			t := 0.05 + rng.Float64()*0.1
+			for t < cfg.IterationLen-0.2 {
+				busy := 0.05 + rng.Float64()*0.25
+				end := t + busy
+				if end > cfg.IterationLen {
+					end = cfg.IterationLen
+				}
+				ivs = append(ivs, sched.Interval{Start: t, End: end})
+				// Gap drawn around the task scale: 0.25x..2x, so packings
+				// straddle the fits/doesn't-fit boundary.
+				gap := gapBase * (0.25 + 1.75*rng.Float64())
+				t = end + gap
+			}
+			return ivs
+		}
+		p.CompBusy = mk(compDur)
+		p.IOBusy = mk(ioDur * 4)
+		profiles[r] = p
+	}
+	return &Scenario{
+		Version:     Version,
+		Kind:        KindObstaclePacking,
+		Description: "dense obstacle packing with near-task-sized gaps",
+		Workload:    cfg,
+		Profiles:    profiles,
+		Modes:       allModes(),
+		Plan:        PlanSpec{Balance: true},
+		Iterations:  2,
+	}
+}
+
+// genRatioCliff spreads rank mean ratios across the full legal cliff (some
+// ranks barely compress, others by orders of magnitude), with heavy
+// per-block jitter — the balancing stress of §5.2 pushed to its edge.
+func genRatioCliff(rng *rand.Rand) *Scenario {
+	cfg := baseConfig(rng)
+	cfg.MeanRatio = 60 + rng.Float64()*100
+	cfg.MaxRatioDiff = 2 * (cfg.MeanRatio - 4) // means span [4, 2*mean-4]
+	cfg.ExactSpread = true
+	cfg.SigmaRatio = 0.3 + rng.Float64()*0.3
+	return &Scenario{
+		Version:     Version,
+		Kind:        KindRatioCliff,
+		Description: "rank mean ratios spread across a cliff with heavy per-block jitter",
+		Workload:    cfg,
+		Modes:       allModes(),
+		Plan:        PlanSpec{Balance: true},
+		Iterations:  2,
+	}
+}
+
+// genCorrelatedOST concentrates failures: a couple of targeted OSTs with a
+// high error rate, a degradation window, and stragglers.
+func genCorrelatedOST(rng *rand.Rand) *Scenario {
+	cfg := baseConfig(rng)
+	cfg.NumOSTs = 4 + rng.Intn(5) // 4..8
+	targets := []int{rng.Intn(cfg.NumOSTs)}
+	if rng.Intn(2) == 0 {
+		targets = append(targets, (targets[0]+1)%cfg.NumOSTs)
+	}
+	cfg.Faults = &pfs.FaultPlan{
+		Seed:           1 + rng.Int63n(1<<30),
+		WriteErrorRate: 0.3 + rng.Float64()*0.5,
+		OSTs:           targets,
+		SpikeRate:      0.1 + rng.Float64()*0.2,
+		Spike:          time.Duration(50+rng.Intn(300)) * time.Millisecond,
+		Degrade: []pfs.DegradeWindow{{
+			FromWrite: int64(rng.Intn(8)),
+			ToWrite:   int64(20 + rng.Intn(60)),
+			Factor:    0.2 + rng.Float64()*0.6,
+		}},
+	}
+	return &Scenario{
+		Version:     Version,
+		Kind:        KindCorrelatedOST,
+		Description: fmt.Sprintf("correlated failures on OSTs %v of %d", targets, cfg.NumOSTs),
+		Workload:    cfg,
+		Modes:       allModes(),
+		Plan:        PlanSpec{Balance: true},
+		Iterations:  3,
+	}
+}

@@ -1,0 +1,299 @@
+// Package scenario implements the replayable scenario corpus: versioned
+// JSON files pinning a workload (config, seeds, fault plan, optional
+// explicit obstacle traces) together with the result digests a correct
+// engine must reproduce. Scenarios come from two sources — recordings of
+// real runs (cmd/insitu-bench -record) and the property-based generator for
+// adversarial cases (gen.go) — and are swept by the `scenarios` experiment
+// on every CI run, so any drift in the virtual-time engine's arithmetic is
+// caught as a digest mismatch, not a silent result change.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Version is the scenario file format version this package reads and
+// writes. Bump it on incompatible format changes; Load rejects files from
+// other versions loudly instead of replaying them wrong.
+const Version = 1
+
+// Scenario kinds. Recorded scenarios come from real runs; the generated
+// kinds name the adversarial family the generator drew from.
+const (
+	KindRecorded        = "recorded"
+	KindObstaclePacking = "obstacle-packing"
+	KindRatioCliff      = "ratio-cliff"
+	KindCorrelatedOST   = "correlated-ost"
+)
+
+// ProfileSpec is one rank's explicit obstacle trace: the busy intervals the
+// workload's synthetic profiles are replaced with on replay.
+type ProfileSpec struct {
+	Length   float64          `json:"length"`
+	CompBusy []sched.Interval `json:"compBusy,omitempty"`
+	IOBusy   []sched.Interval `json:"ioBusy,omitempty"`
+}
+
+// PlanSpec mirrors core.PlanConfig symbolically.
+type PlanSpec struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	Balance   bool   `json:"balance,omitempty"`
+}
+
+// Scenario is one replayable case: everything needed to reproduce a run
+// bit-for-bit, plus the digests it must reproduce.
+type Scenario struct {
+	Version     int    `json:"version"`
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Description string `json:"description,omitempty"`
+
+	// Workload fully determines the synthetic workload (seeds included).
+	Workload core.WorkloadConfig `json:"workload"`
+	// Profiles, when present, override the workload's per-rank synthetic
+	// profiles with explicit traces (len must equal Workload.Ranks).
+	Profiles []ProfileSpec `json:"profiles,omitempty"`
+
+	// Modes are the execution modes to replay (mode.String() forms).
+	Modes []string `json:"modes"`
+	Plan  PlanSpec `json:"plan,omitempty"`
+	// Iterations per mode (>= 1).
+	Iterations int `json:"iterations"`
+
+	// Expected maps mode name to the core.DigestResults value the replay
+	// must reproduce.
+	Expected map[string]string `json:"expected"`
+}
+
+// Validate checks the scenario's invariants before replay.
+func (s *Scenario) Validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("scenario %s: version %d, this build reads %d", s.Name, s.Version, Version)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.Iterations < 1 {
+		return fmt.Errorf("scenario %s: iterations %d < 1", s.Name, s.Iterations)
+	}
+	if len(s.Modes) == 0 {
+		return fmt.Errorf("scenario %s: no modes", s.Name)
+	}
+	for _, m := range s.Modes {
+		if _, err := core.ParseMode(m); err != nil {
+			return fmt.Errorf("scenario %s: %v", s.Name, err)
+		}
+	}
+	if len(s.Profiles) > 0 && len(s.Profiles) != s.Workload.Ranks {
+		return fmt.Errorf("scenario %s: %d profiles for %d ranks", s.Name, len(s.Profiles), s.Workload.Ranks)
+	}
+	if s.Plan.Algorithm != "" {
+		if _, err := sched.ParseAlgorithm(s.Plan.Algorithm); err != nil {
+			return fmt.Errorf("scenario %s: %v", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// planConfig resolves the symbolic plan spec.
+func (s *Scenario) planConfig() core.PlanConfig {
+	return core.PlanConfig{
+		Algorithm: sched.Algorithm(s.Plan.Algorithm),
+		Balance:   s.Plan.Balance,
+	}
+}
+
+// build materializes the scenario's workload, applying profile overrides.
+func (s *Scenario) build() (*core.Workload, error) {
+	w, err := core.BuildWorkload(s.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if len(s.Profiles) > 0 {
+		ps := make([]*trace.Profile, len(s.Profiles))
+		for i, sp := range s.Profiles {
+			ps[i] = &trace.Profile{
+				Length:   sp.Length,
+				CompBusy: append([]sched.Interval(nil), sp.CompBusy...),
+				IOBusy:   append([]sched.Interval(nil), sp.IOBusy...),
+			}
+		}
+		if err := w.SetProfiles(ps); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	return w, nil
+}
+
+// Replay executes the scenario on the event engine and returns per-mode
+// result digests.
+func (s *Scenario) Replay() (map[string]string, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	digests := make(map[string]string, len(s.Modes))
+	for _, name := range s.Modes {
+		mode, err := core.ParseMode(name)
+		if err != nil {
+			return nil, err
+		}
+		rc := core.RunConfig{
+			Mode:       mode,
+			Plan:       s.planConfig(),
+			Iterations: s.Iterations,
+		}
+		results := make([]*core.IterationResult, 0, s.Iterations)
+		for it := 0; it < s.Iterations; it++ {
+			res, err := core.Simulate(w, w.Iteration(it), rc)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s mode %s: %w", s.Name, name, err)
+			}
+			results = append(results, res)
+		}
+		digests[name] = core.DigestResults(results)
+	}
+	return digests, nil
+}
+
+// Verify replays the scenario and compares against its expected digests.
+func (s *Scenario) Verify() error {
+	got, err := s.Replay()
+	if err != nil {
+		return err
+	}
+	var bad []string
+	for _, m := range s.Modes {
+		want, ok := s.Expected[m]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: no expected digest", m))
+			continue
+		}
+		if got[m] != want {
+			bad = append(bad, fmt.Sprintf("%s: digest %s, want %s", m, got[m], want))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("scenario %s: %s", s.Name, strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// Fill replays the scenario and pins the resulting digests as expected —
+// how both the recorder and the generator stamp a new scenario.
+func (s *Scenario) Fill() error {
+	got, err := s.Replay()
+	if err != nil {
+		return err
+	}
+	s.Expected = got
+	return nil
+}
+
+// FromRun converts an observed run into a recorded scenario. Large
+// workloads skip the explicit profile dump (the config's seed reproduces
+// them); small ones embed the traces so the file documents the exact
+// obstacle packing it pins.
+func FromRun(name string, w *core.Workload, rc core.RunConfig, results []*core.IterationResult) *Scenario {
+	s := &Scenario{
+		Version:     Version,
+		Name:        name,
+		Kind:        KindRecorded,
+		Description: fmt.Sprintf("recorded from a %d-rank run (mode %s)", w.Cfg.Ranks, rc.Mode),
+		Workload:    w.Cfg,
+		Modes:       []string{rc.Mode.String()},
+		Plan:        PlanSpec{Algorithm: string(rc.Plan.Algorithm), Balance: rc.Plan.Balance},
+		Iterations:  rc.Iterations,
+		Expected:    map[string]string{rc.Mode.String(): core.DigestResults(results)},
+	}
+	if w.Cfg.Ranks <= 64 {
+		for _, p := range w.Profiles() {
+			s.Profiles = append(s.Profiles, ProfileSpec{
+				Length:   p.Length,
+				CompBusy: append([]sched.Interval(nil), p.CompBusy...),
+				IOBusy:   append([]sched.Interval(nil), p.IOBusy...),
+			})
+		}
+	}
+	return s
+}
+
+// Save writes the scenario as indented JSON.
+func Save(path string, s *Scenario) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Load reads and validates one scenario file.
+func Load(path string) (*Scenario, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scenario{}
+	if err := json.Unmarshal(blob, s); err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadDir loads every *.json scenario under dir, sorted by file name.
+func LoadDir(dir string) ([]*Scenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*Scenario
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: no scenarios under %s", dir)
+	}
+	return out, nil
+}
+
+// FindDir locates the committed scenarios/ directory by walking up from the
+// working directory (tests run from package dirs; the CLI and CI run from
+// the repo root).
+func FindDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for i := 0; i < 6; i++ {
+		cand := filepath.Join(dir, "scenarios")
+		if m, _ := filepath.Glob(filepath.Join(cand, "*.json")); len(m) > 0 {
+			return cand, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			break
+		}
+		dir = parent
+	}
+	return "", fmt.Errorf("scenario: no scenarios/ directory with *.json found above %s", dir)
+}

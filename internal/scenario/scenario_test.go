@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGenerateVerifyRoundTrip: generated scenarios replay to their own
+// digests, deterministically across generator invocations, and survive a
+// save/load round trip.
+func TestGenerateVerifyRoundTrip(t *testing.T) {
+	gen, err := Generate(42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen) != 3 {
+		t.Fatalf("generated %d scenarios, want 3", len(gen))
+	}
+	kinds := map[string]bool{}
+	dir := t.TempDir()
+	for _, s := range gen {
+		kinds[s.Kind] = true
+		if err := s.Verify(); err != nil {
+			t.Fatalf("fresh scenario fails its own digest: %v", err)
+		}
+		if err := Save(filepath.Join(dir, s.Name+".json"), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []string{KindObstaclePacking, KindRatioCliff, KindCorrelatedOST} {
+		if !kinds[k] {
+			t.Fatalf("generator cycle missing kind %s", k)
+		}
+	}
+
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(gen) {
+		t.Fatalf("loaded %d scenarios, want %d", len(loaded), len(gen))
+	}
+	for _, s := range loaded {
+		if err := s.Verify(); err != nil {
+			t.Fatalf("loaded scenario drifts: %v", err)
+		}
+	}
+
+	// Same seed → same scenarios and digests.
+	gen2, err := Generate(42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gen {
+		for m, d := range gen[i].Expected {
+			if gen2[i].Expected[m] != d {
+				t.Fatalf("generator not deterministic: scenario %d mode %s", i, m)
+			}
+		}
+	}
+}
+
+// TestRecordedScenarioRoundTrip: a run observed through the collector
+// becomes a scenario whose replay reproduces the recorded digest.
+func TestRecordedScenarioRoundTrip(t *testing.T) {
+	col := NewCollector(2)
+	core.SetRunObserver(col.Observe)
+	defer core.SetRunObserver(nil)
+	col.SetLabel("test")
+
+	cfg := core.NyxWorkload(4, 2)
+	cfg.Seed = 31
+	w, err := core.BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := core.RunConfig{
+		Mode:       core.ModeOurs,
+		Plan:       core.PlanConfig{Balance: true},
+		Iterations: 3,
+	}
+	if _, err := core.Run(w, rc); err != nil {
+		t.Fatal(err)
+	}
+	scs := col.Scenarios()
+	if len(scs) != 1 {
+		t.Fatalf("collected %d scenarios, want 1", len(scs))
+	}
+	s := scs[0]
+	if s.Kind != KindRecorded || len(s.Profiles) != cfg.Ranks {
+		t.Fatalf("recorded scenario shape wrong: kind %s, %d profiles", s.Kind, len(s.Profiles))
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("recorded scenario does not replay to its digest: %v", err)
+	}
+
+	// The per-label cap holds.
+	for i := 0; i < 4; i++ {
+		if _, err := core.Run(w, rc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(col.Scenarios()); got != 2 {
+		t.Fatalf("collector kept %d scenarios, cap is 2", got)
+	}
+
+	dir := t.TempDir()
+	n, err := col.SaveAll(dir)
+	if err != nil || n != 2 {
+		t.Fatalf("SaveAll wrote %d (%v), want 2", n, err)
+	}
+}
+
+// TestScenarioValidation rejects malformed files loudly.
+func TestScenarioValidation(t *testing.T) {
+	ok := &Scenario{
+		Version:    Version,
+		Name:       "ok",
+		Kind:       KindRecorded,
+		Workload:   core.NyxWorkload(2, 2),
+		Modes:      []string{"ours"},
+		Iterations: 1,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(s *Scenario){
+		func(s *Scenario) { s.Version = Version + 1 },
+		func(s *Scenario) { s.Name = "" },
+		func(s *Scenario) { s.Iterations = 0 },
+		func(s *Scenario) { s.Modes = nil },
+		func(s *Scenario) { s.Modes = []string{"warp-speed"} },
+		func(s *Scenario) { s.Profiles = make([]ProfileSpec, 5) },
+		func(s *Scenario) { s.Plan.Algorithm = "NoSuchAlgorithm" },
+	}
+	for i, mutate := range bad {
+		s := *ok
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestDigestMismatchReported: tampering with an expected digest fails
+// Verify with the offending mode named.
+func TestDigestMismatchReported(t *testing.T) {
+	gen, err := Generate(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen[0]
+	s.Expected["ours"] = strings.Repeat("0", 64)
+	err = s.Verify()
+	if err == nil || !strings.Contains(err.Error(), "ours") {
+		t.Fatalf("tampered digest not reported: %v", err)
+	}
+}
+
+// TestFindDir walks up to the committed corpus from a nested directory.
+func TestFindDir(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "a", "b")
+	if err := os.MkdirAll(filepath.Join(root, "scenarios"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "scenarios", "x.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wd, _ := os.Getwd()
+	defer os.Chdir(wd)
+	if err := os.Chdir(sub); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := FindDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(root, "scenarios"); dir != want {
+		// macOS tempdirs resolve symlinks; compare suffixes.
+		if !strings.HasSuffix(dir, filepath.Join(filepath.Base(root), "scenarios")) {
+			t.Fatalf("found %s, want %s", dir, want)
+		}
+	}
+}

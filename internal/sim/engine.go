@@ -1,0 +1,288 @@
+// The discrete-event engine: one binary-heap event queue executing every
+// thread of every rank in a single pass, replacing the per-rank sequential
+// loops ExecuteThread/ExecuteProcess imply when a caller owns thousands of
+// ranks. Each event is one (rank, thread, task) step; rank state lives in
+// flat slices indexed by a dense thread id, so a single process can carry
+// 10⁵–10⁶ ranks without per-rank maps or goroutines.
+//
+// The engine is parity-pinned to ExecuteThread: a thread's task/obstacle
+// arithmetic is the exact statement sequence of the sequential executor
+// (same math.Max calls, same 1e-12 launch guard, same accumulation order),
+// so the results are bit-identical floats — the event queue only changes in
+// what order independent threads make progress, which no thread's local
+// arithmetic can observe. Cross-thread release edges (an I/O task waiting on
+// its compression's actual completion, possibly on another rank) are
+// expressed as task dependencies: a thread that reaches a task whose
+// dependency has not completed parks, and the completing thread wakes it
+// through the queue.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// NoDep marks a task without a cross-thread release dependency.
+const NoDep = -1
+
+// EngineThread is one simulated thread's input to the event engine: its
+// immovable obstacles, its scheduled tasks in plan order, and (optionally)
+// per-task release dependencies.
+type EngineThread struct {
+	// Obstacles are the thread's actual busy intervals (sorted internally).
+	Obstacles []sched.Interval
+	// Tasks run in this order. A task's Release field applies when it has no
+	// dependency; with a dependency, the dependency's actual completion time
+	// is the release.
+	Tasks []Task
+	// DepThread/DepTask, when non-nil, must be len(Tasks) each: task i may
+	// not start before task DepTask[i] of thread DepThread[i] completes
+	// (NoDep = no dependency). Dependencies must be acyclic.
+	DepThread []int32
+	DepTask   []int32
+}
+
+// EngineThreadResult mirrors ThreadResult with flat, position-indexed slices
+// instead of maps: TaskStart[i]/TaskEnd[i] belong to Tasks[i].
+type EngineThreadResult struct {
+	End             float64
+	ObstacleDelay   float64
+	LastObstacleEnd float64
+	LastTaskEnd     float64
+	TaskStart       []float64
+	TaskEnd         []float64
+	// Obstacles holds each obstacle's realized interval, in execution order;
+	// populated only when Engine.RecordObstacles is set.
+	Obstacles []ObstacleSpan
+}
+
+// Engine executes a set of threads in one discrete-event pass.
+type Engine struct {
+	Threads []EngineThread
+	// RecordObstacles asks the engine to report where each obstacle actually
+	// ran. Off by default so the 100k-rank path allocates nothing for
+	// tracing it does not need.
+	RecordObstacles bool
+}
+
+// engineEvent is one queue entry: thread th is ready to attempt its next
+// task (or finish) at virtual time t.
+type engineEvent struct {
+	t  float64
+	th int32
+}
+
+// eventHeap is a hand-rolled binary min-heap over (t, th). The tie-break on
+// thread id makes the pop order — and therefore the whole execution — a pure
+// function of the input.
+type eventHeap []engineEvent
+
+func (h eventHeap) less(a, b int) bool {
+	if h[a].t != h[b].t {
+		return h[a].t < h[b].t
+	}
+	return h[a].th < h[b].th
+}
+
+func (h *eventHeap) push(ev engineEvent) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() engineEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// engWaiter records a parked thread: `waiter` resumes when task `task` of
+// the owning thread completes.
+type engWaiter struct {
+	task   int32
+	waiter int32
+}
+
+// engThreadState is one thread's mutable execution cursor. Kept flat in one
+// slice (no per-thread allocations beyond the result arrays).
+type engThreadState struct {
+	t    float64
+	oi   int32
+	ti   int32
+	done bool
+	obs  []sched.Interval
+}
+
+// Run executes every thread to completion and returns per-thread results
+// index-aligned with Threads. It fails on invalid task durations, dangling
+// dependencies, and dependency cycles (reported as a deadlock).
+func (e *Engine) Run() ([]EngineThreadResult, error) {
+	n := len(e.Threads)
+	res := make([]EngineThreadResult, n)
+	state := make([]engThreadState, n)
+	waiters := make([][]engWaiter, n)
+
+	for i := range e.Threads {
+		th := &e.Threads[i]
+		hasDeps := th.DepThread != nil || th.DepTask != nil
+		if hasDeps && (len(th.DepThread) != len(th.Tasks) || len(th.DepTask) != len(th.Tasks)) {
+			return nil, fmt.Errorf("sim: thread %d dependency arrays do not match %d tasks", i, len(th.Tasks))
+		}
+		for j := range th.Tasks {
+			task := &th.Tasks[j]
+			if task.Pred < 0 || task.Actual < 0 || math.IsNaN(task.Pred) || math.IsNaN(task.Actual) {
+				return nil, fmt.Errorf("sim: task %d has invalid durations (%v, %v)", task.ID, task.Pred, task.Actual)
+			}
+			if hasDeps && th.DepThread[j] != NoDep {
+				dt := th.DepThread[j]
+				if dt < 0 || int(dt) >= n {
+					return nil, fmt.Errorf("sim: thread %d task %d depends on unknown thread %d", i, j, dt)
+				}
+				if th.DepTask[j] < 0 || int(th.DepTask[j]) >= len(e.Threads[dt].Tasks) {
+					return nil, fmt.Errorf("sim: thread %d task %d depends on unknown task %d of thread %d", i, j, th.DepTask[j], dt)
+				}
+			}
+		}
+		// Same copy + comparator as ExecuteThread, so realized obstacle order
+		// matches the sequential executor exactly.
+		obs := append([]sched.Interval(nil), th.Obstacles...)
+		sort.Slice(obs, func(a, b int) bool { return obs[a].Start < obs[b].Start })
+		state[i].obs = obs
+		if len(th.Tasks) > 0 {
+			res[i].TaskStart = make([]float64, len(th.Tasks))
+			res[i].TaskEnd = make([]float64, len(th.Tasks))
+		}
+	}
+
+	// Every thread becomes runnable at virtual time zero; from then on the
+	// heap interleaves one task completion per event.
+	h := make(eventHeap, 0, n)
+	for i := 0; i < n; i++ {
+		h.push(engineEvent{t: 0, th: int32(i)})
+	}
+	for len(h) > 0 {
+		ev := h.pop()
+		e.step(ev.th, state, res, waiters, &h)
+	}
+	for i := range state {
+		if !state[i].done {
+			return nil, fmt.Errorf("sim: thread %d deadlocked on an unsatisfiable task dependency", i)
+		}
+	}
+	return res, nil
+}
+
+// step advances one thread by at most one task (consuming any obstacles the
+// launch rule yields to), parking it when the task's dependency is pending
+// and finishing the thread when its work is drained. The body is the
+// ExecuteThread loop, split at task granularity.
+func (e *Engine) step(thID int32, state []engThreadState, res []EngineThreadResult, waiters [][]engWaiter, h *eventHeap) {
+	i := int(thID)
+	th := &e.Threads[i]
+	st := &state[i]
+	r := &res[i]
+
+	runObstacle := func() {
+		o := st.obs[st.oi]
+		start := math.Max(o.Start, st.t)
+		r.ObstacleDelay += start - o.Start
+		st.t = start + o.Len()
+		r.LastObstacleEnd = st.t
+		if e.RecordObstacles {
+			r.Obstacles = append(r.Obstacles, ObstacleSpan{
+				Start: start, End: st.t, Delay: start - o.Start,
+			})
+		}
+		st.oi++
+	}
+	finish := func() {
+		for int(st.oi) < len(st.obs) {
+			runObstacle()
+		}
+		r.End = st.t
+		st.done = true
+	}
+
+	if int(st.ti) >= len(th.Tasks) {
+		finish()
+		return
+	}
+	task := th.Tasks[st.ti]
+	release := task.Release
+	if th.DepThread != nil && th.DepThread[st.ti] != NoDep {
+		dep, depTask := th.DepThread[st.ti], th.DepTask[st.ti]
+		if state[dep].ti <= depTask {
+			// Dependency pending: park until its completion wakes us.
+			waiters[dep] = append(waiters[dep], engWaiter{task: depTask, waiter: thID})
+			return
+		}
+		release = res[dep].TaskEnd[depTask]
+	}
+	for {
+		rel := math.Max(st.t, release)
+		if int(st.oi) < len(st.obs) {
+			// Launch only if the prediction says it fits before the next
+			// obstacle wants to start; otherwise yield to it.
+			if rel+task.Pred > st.obs[st.oi].Start+1e-12 {
+				runObstacle()
+				continue
+			}
+		}
+		r.TaskStart[st.ti] = rel
+		st.t = rel + task.Actual
+		r.TaskEnd[st.ti] = st.t
+		if st.t > r.LastTaskEnd {
+			r.LastTaskEnd = st.t
+		}
+		break
+	}
+	completed := st.ti
+	st.ti++
+	if ws := waiters[i]; len(ws) > 0 {
+		kept := ws[:0]
+		for _, w := range ws {
+			if w.task == completed {
+				h.push(engineEvent{t: math.Max(state[w.waiter].t, st.t), th: w.waiter})
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		waiters[i] = kept
+	}
+	if int(st.ti) < len(th.Tasks) {
+		h.push(engineEvent{t: st.t, th: thID})
+	} else {
+		finish()
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// randomThreadPlan draws a plausible thread: sorted obstacles and tasks with
+// jittered predictions, exercising launch-vs-yield decisions.
+func randomThreadPlan(rng *rand.Rand, nTasks, nObs int) ThreadPlan {
+	tp := ThreadPlan{}
+	t := rng.Float64() * 0.3
+	for i := 0; i < nObs; i++ {
+		t += rng.Float64() * 0.4
+		end := t + 0.05 + rng.Float64()*0.3
+		tp.Obstacles = append(tp.Obstacles, sched.Interval{Start: t, End: end})
+		t = end
+	}
+	for i := 0; i < nTasks; i++ {
+		pred := 0.01 + rng.Float64()*0.2
+		act := pred * math.Exp(0.2*rng.NormFloat64())
+		tp.Tasks = append(tp.Tasks, Task{ID: i, Pred: pred, Actual: act})
+	}
+	return tp
+}
+
+// TestEngineMatchesExecuteThread pins the event engine to the sequential
+// executor bit-for-bit on independent threads: same ends, same per-task
+// times, same obstacle delays.
+func TestEngineMatchesExecuteThread(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var eng Engine
+		eng.RecordObstacles = true
+		var plans []ThreadPlan
+		for th := 0; th < 1+trial%7; th++ {
+			tp := randomThreadPlan(rng, 1+rng.Intn(6), rng.Intn(4))
+			tp.RecordObstacles = true
+			plans = append(plans, tp)
+			eng.Threads = append(eng.Threads, EngineThread{
+				Obstacles: tp.Obstacles, Tasks: tp.Tasks,
+			})
+		}
+		got, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for th, tp := range plans {
+			want, err := ExecuteThread(tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := got[th]
+			if g.End != want.End || g.ObstacleDelay != want.ObstacleDelay ||
+				g.LastObstacleEnd != want.LastObstacleEnd || g.LastTaskEnd != want.LastTaskEnd {
+				t.Fatalf("trial %d thread %d: aggregate mismatch: %+v vs legacy %+v", trial, th, g, want)
+			}
+			for i, task := range tp.Tasks {
+				if g.TaskStart[i] != want.TaskStart[task.ID] || g.TaskEnd[i] != want.TaskEnd[task.ID] {
+					t.Fatalf("trial %d thread %d task %d: times differ", trial, th, i)
+				}
+			}
+			if !reflect.DeepEqual(g.Obstacles, want.Obstacles) {
+				t.Fatalf("trial %d thread %d: obstacle spans differ:\n%v\n%v", trial, th, g.Obstacles, want.Obstacles)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesExecuteProcess pins dependency edges: an IO thread whose
+// tasks are released by the main thread's actual completions must reproduce
+// ExecuteProcess exactly.
+func TestEngineMatchesExecuteProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		main := randomThreadPlan(rng, n, rng.Intn(3))
+		io := randomThreadPlan(rng, n, rng.Intn(3))
+		want, err := ExecuteProcess(ProcessPlan{Main: main, IO: io}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		eng := Engine{Threads: []EngineThread{
+			{Obstacles: main.Obstacles, Tasks: main.Tasks},
+			{Obstacles: io.Obstacles, Tasks: io.Tasks},
+		}}
+		// IO task i depends on the main task with the same ID (identity map,
+		// and main tasks are in ID order here).
+		dt := make([]int32, n)
+		dk := make([]int32, n)
+		for i := range dt {
+			dt[i] = 0
+			dk[i] = int32(io.Tasks[i].ID)
+		}
+		eng.Threads[1].DepThread = dt
+		eng.Threads[1].DepTask = dk
+		got, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].End != want.Main.End || got[1].End != want.IO.End {
+			t.Fatalf("trial %d: ends differ: main %v/%v io %v/%v",
+				trial, got[0].End, want.Main.End, got[1].End, want.IO.End)
+		}
+		if math.Max(got[0].End, got[1].End) != want.End {
+			t.Fatalf("trial %d: process end differs", trial)
+		}
+		for i := range io.Tasks {
+			id := io.Tasks[i].ID
+			if got[1].TaskStart[i] != want.IO.TaskStart[id] || got[1].TaskEnd[i] != want.IO.TaskEnd[id] {
+				t.Fatalf("trial %d io task %d: times differ", trial, i)
+			}
+		}
+	}
+}
+
+// TestEngineCrossThreadDependency exercises a release edge between two
+// different "ranks": the waiter must start exactly at the producer's actual
+// completion even though the producer is slower than predicted.
+func TestEngineCrossThreadDependency(t *testing.T) {
+	eng := Engine{Threads: []EngineThread{
+		{Tasks: []Task{{ID: 0, Pred: 0.1, Actual: 0.5}}},
+		{
+			Tasks:     []Task{{ID: 0, Pred: 0.05, Actual: 0.05}},
+			DepThread: []int32{0},
+			DepTask:   []int32{0},
+		},
+	}}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].TaskStart[0] != 0.5 {
+		t.Fatalf("waiter started at %v, want the producer's actual end 0.5", res[1].TaskStart[0])
+	}
+	if res[1].End != 0.55 {
+		t.Fatalf("waiter ended at %v, want 0.55", res[1].End)
+	}
+}
+
+// TestEngineDependencyChain: a chain across three threads resolves in
+// dependency order regardless of thread ids.
+func TestEngineDependencyChain(t *testing.T) {
+	eng := Engine{Threads: []EngineThread{
+		{Tasks: []Task{{ID: 0, Pred: 0.1, Actual: 0.1}}, DepThread: []int32{2}, DepTask: []int32{0}},
+		{Tasks: []Task{{ID: 0, Pred: 0.1, Actual: 0.1}}, DepThread: []int32{0}, DepTask: []int32{0}},
+		{Tasks: []Task{{ID: 0, Pred: 0.1, Actual: 0.3}}},
+	}}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[2].End != 0.3 || res[0].End != 0.4 || res[1].End != 0.5 {
+		t.Fatalf("chain ends %v %v %v, want 0.3 0.4 0.5", res[2].End, res[0].End, res[1].End)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	// Invalid durations.
+	if _, err := (&Engine{Threads: []EngineThread{
+		{Tasks: []Task{{ID: 0, Pred: -1, Actual: 0}}},
+	}}).Run(); err == nil {
+		t.Fatal("negative prediction accepted")
+	}
+	// Dangling dependency.
+	if _, err := (&Engine{Threads: []EngineThread{
+		{Tasks: []Task{{ID: 0, Pred: 0.1, Actual: 0.1}}, DepThread: []int32{5}, DepTask: []int32{0}},
+	}}).Run(); err == nil {
+		t.Fatal("dangling dependency accepted")
+	}
+	// Mismatched dep arrays.
+	if _, err := (&Engine{Threads: []EngineThread{
+		{Tasks: []Task{{ID: 0, Pred: 0.1, Actual: 0.1}}, DepThread: []int32{NoDep, NoDep}, DepTask: []int32{0, 0}},
+	}}).Run(); err == nil {
+		t.Fatal("mismatched dep arrays accepted")
+	}
+	// A self-cycle deadlocks and must be reported, not hang.
+	if _, err := (&Engine{Threads: []EngineThread{
+		{Tasks: []Task{{ID: 0, Pred: 0.1, Actual: 0.1}}, DepThread: []int32{1}, DepTask: []int32{0}},
+		{Tasks: []Task{{ID: 0, Pred: 0.1, Actual: 0.1}}, DepThread: []int32{0}, DepTask: []int32{0}},
+	}}).Run(); err == nil {
+		t.Fatal("dependency cycle accepted")
+	}
+}
+
+func TestEngineEmptyAndObstacleOnlyThreads(t *testing.T) {
+	eng := Engine{Threads: []EngineThread{
+		{},
+		{Obstacles: []sched.Interval{{Start: 0.5, End: 1.0}, {Start: 0.1, End: 0.2}}},
+	}, RecordObstacles: true}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].End != 0 {
+		t.Fatalf("empty thread end %v", res[0].End)
+	}
+	if res[1].End != 1.0 || res[1].LastObstacleEnd != 1.0 || len(res[1].Obstacles) != 2 {
+		t.Fatalf("obstacle-only thread result %+v", res[1])
+	}
+	// Unsorted input obstacles must realize in start order.
+	if res[1].Obstacles[0].End != 0.2 {
+		t.Fatalf("obstacles not sorted: %+v", res[1].Obstacles)
+	}
+}
+
+// BenchmarkEngineManyThreads measures the raw event-queue machinery: 10k
+// two-thread ranks with dependency edges, no recording.
+func BenchmarkEngineManyThreads(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const ranks = 10_000
+	base := Engine{Threads: make([]EngineThread, 2*ranks)}
+	for r := 0; r < ranks; r++ {
+		main := randomThreadPlan(rng, 4, 2)
+		io := randomThreadPlan(rng, 4, 2)
+		dt := make([]int32, 4)
+		dk := make([]int32, 4)
+		for i := range dt {
+			dt[i] = int32(2 * r)
+			dk[i] = int32(i)
+		}
+		base.Threads[2*r] = EngineThread{Obstacles: main.Obstacles, Tasks: main.Tasks}
+		base.Threads[2*r+1] = EngineThread{Obstacles: io.Obstacles, Tasks: io.Tasks, DepThread: dt, DepTask: dk}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := base.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
