@@ -1,8 +1,8 @@
 # Tier-1 verification gate (see ROADMAP.md): build + vet + staticcheck (when
-# installed) + race-enabled tests.
-.PHONY: check build vet staticcheck test faulttest scenariotest bench
+# installed) + race-enabled tests + allocation-regression smoke.
+.PHONY: check build vet staticcheck test faulttest scenariotest allocsmoke bench
 
-check: build vet staticcheck test faulttest scenariotest
+check: build vet staticcheck test faulttest scenariotest allocsmoke
 
 build:
 	go build ./...
@@ -32,14 +32,22 @@ faulttest:
 scenariotest:
 	go run ./cmd/insitu-bench scenarios
 
+# Allocation-regression smoke: one warm 100k-rank iteration, gated against
+# the committed budgets in ALLOC_BUDGET.json (see DESIGN.md §12). A single
+# -benchtime=1x sample is enough — allocs/op is deterministic, and an
+# O(ranks) regression overshoots the budget by orders of magnitude.
+allocsmoke:
+	go test -run='^$$' -bench='EventEngine100k$$' -benchtime=1x -count=1 -benchmem . \
+		| go run ./cmd/benchjson -budget ALLOC_BUDGET.json
+
 # Tier-1 benchmarks (the virtual-time experiments; wall-clock figures are
 # excluded — their ns/op is modelled sleep time, not code under test) plus
 # the daemon serving path and the 100k-rank event engine, with a
 # machine-readable perf trajectory written to BENCH_JSON. Set
 # BENCH_BASELINE=prev.json to embed the previous numbers under "baseline".
 BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd|ServerSolve|EventEngine'
-BENCH_JSON ?= BENCH_PR7.json
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR7.json
 bench:
 	go test -run='^$$' -bench=$(BENCH_PATTERN) -benchmem -benchtime=1x -count=3 . \
 		| go run ./cmd/benchjson -o $(BENCH_JSON) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))

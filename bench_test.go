@@ -48,13 +48,59 @@ func BenchmarkFig10Timesteps(b *testing.B)    { benchExperiment(b, experiments.F
 func BenchmarkFig11WeakScaling(b *testing.B)  { benchExperiment(b, experiments.Figure11) }
 func BenchmarkMultiFileAblation(b *testing.B) { benchExperiment(b, experiments.MultiFile) }
 
+// benchEventEngine measures one steady-state planned iteration at the given
+// rank count on a reused core.Simulator: the warm-up call outside the timer
+// grows the engine arena to its high-water size and primes the plan-reuse
+// key (exactly how core.Run executes a multi-iteration simulation), so
+// ns/op and allocs/op are the marginal cost of one more iteration — the
+// quantity that bounds how far the engine scales.
+func benchEventEngine(b *testing.B, ranks int) {
+	cfg := core.NyxWorkload(ranks, 32)
+	cfg.FieldCount = 2
+	cfg.BlocksPerField = 2
+	w, err := core.BuildWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := core.RunConfig{Mode: core.ModeOurs, Plan: core.PlanConfig{Balance: true}}
+	data := w.Iteration(0)
+	s := core.NewSimulator()
+	if _, err := s.Simulate(w, data, rc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Simulate(w, data, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.RankEnds) != cfg.Ranks {
+			b.Fatalf("simulated %d ranks, want %d", len(res.RankEnds), cfg.Ranks)
+		}
+	}
+}
+
 // BenchmarkEventEngine100k exercises the discrete-event virtual-time engine
-// (DESIGN.md §11) at the scale that motivated it: 100k ranks — 200k
-// simulated threads with cross-rank write dependencies — planned and
-// simulated in one process. The workload is built once outside the timer;
-// ns/op is the cost of one full planned iteration (plan + event simulation
-// + aggregation).
-func BenchmarkEventEngine100k(b *testing.B) {
+// (DESIGN.md §11–§12) at the scale that motivated it: 100k ranks — 200k
+// simulated threads with cross-rank write dependencies — in one process.
+func BenchmarkEventEngine100k(b *testing.B) { benchEventEngine(b, 100_000) }
+
+// BenchmarkEventEngine1M pushes the engine to 10⁶ ranks (2M simulated
+// threads). It peaks at a few GiB of resident memory and takes tens of
+// seconds per iteration on one CPU, so it is excluded from -short runs (CI
+// smoke) and only exercised by `make bench`.
+func BenchmarkEventEngine1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-rank benchmark skipped in short mode")
+	}
+	benchEventEngine(b, 1_000_000)
+}
+
+// BenchmarkEventEngine100kCold is the pre-reuse measurement kept for
+// comparison: a fresh Simulator per op, so every iteration pays full
+// planning and arena growth — the cost of the FIRST iteration of a run.
+func BenchmarkEventEngine100kCold(b *testing.B) {
 	cfg := core.NyxWorkload(100_000, 32)
 	cfg.FieldCount = 2
 	cfg.BlocksPerField = 2

@@ -7,7 +7,16 @@
 //	go test -run='^$' -bench=. -benchmem -count=3 . | benchjson -o BENCH_PR3.json
 //
 // With -baseline, a previously written file's measurements are embedded
-// under "baseline" in the output, so one artifact records before and after.
+// under "baseline" in the output — one artifact records before and after —
+// and a "delta_vs_baseline" section reports the percent change per shared
+// benchmark. Each measurement carries its own "dirty" flag (the working
+// tree was modified when it was taken), so provenance survives even when
+// measurements from different files are compared side by side.
+//
+// With -budget, the named JSON file's max_allocs_per_op entries are
+// enforced against the parsed measurements: any benchmark over its
+// allocation budget (or missing from the input) fails the run with a
+// non-zero exit — the `make allocsmoke` regression gate.
 package main
 
 import (
@@ -27,12 +36,31 @@ import (
 	"repro/internal/buildinfo"
 )
 
-// Measurement is one benchmark's averaged result.
+// Measurement is one benchmark's averaged result. Dirty records whether the
+// working tree was modified when THIS measurement was taken — kept per
+// benchmark (not only on the host) so a measurement keeps its provenance
+// when files are merged or compared.
 type Measurement struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Samples     int     `json:"samples"`
+	Dirty       bool    `json:"dirty,omitempty"`
+}
+
+// Delta is one benchmark's percent change vs the baseline file (positive =
+// regression: more time, more bytes, more allocations).
+type Delta struct {
+	NsPct     float64 `json:"ns_pct"`
+	BytesPct  float64 `json:"bytes_pct"`
+	AllocsPct float64 `json:"allocs_pct"`
+}
+
+func pct(now, was float64) float64 {
+	if was == 0 {
+		return 0
+	}
+	return 100 * (now - was) / was
 }
 
 // File is the on-disk schema. Host describes the machine that produced the
@@ -46,6 +74,16 @@ type File struct {
 	Host       *Host                  `json:"host,omitempty"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
 	Baseline   map[string]Measurement `json:"baseline,omitempty"`
+	// DeltaVsBaseline has one entry per benchmark present in both Benchmarks
+	// and Baseline: percent change in ns/op, B/op, allocs/op.
+	DeltaVsBaseline map[string]Delta `json:"delta_vs_baseline,omitempty"`
+}
+
+// BudgetFile is the committed allocation-budget schema (ALLOC_BUDGET.json):
+// benchmark name → maximum allowed allocs/op.
+type BudgetFile struct {
+	Comment        string             `json:"comment,omitempty"`
+	MaxAllocsPerOp map[string]float64 `json:"max_allocs_per_op"`
 }
 
 // Host records the environment a benchmark file was produced in.
@@ -100,6 +138,7 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout)")
 	baseline := flag.String("baseline", "", "existing benchjson file to embed under \"baseline\"")
+	budget := flag.String("budget", "", "allocation-budget JSON file to enforce (exit 1 on breach)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -152,6 +191,7 @@ func main() {
 			BytesPerOp:  s.BytesPerOp / n,
 			AllocsPerOp: s.AllocsPerOp / n,
 			Samples:     s.Samples,
+			Dirty:       f.Host != nil && f.Host.Dirty,
 		}
 	}
 	if *baseline != "" {
@@ -164,6 +204,21 @@ func main() {
 			fatal(fmt.Errorf("%s: %v", *baseline, err))
 		}
 		f.Baseline = prev.Benchmarks
+		f.DeltaVsBaseline = map[string]Delta{}
+		for name, m := range f.Benchmarks {
+			if b, ok := f.Baseline[name]; ok {
+				f.DeltaVsBaseline[name] = Delta{
+					NsPct:     pct(m.NsPerOp, b.NsPerOp),
+					BytesPct:  pct(m.BytesPerOp, b.BytesPerOp),
+					AllocsPct: pct(m.AllocsPerOp, b.AllocsPerOp),
+				}
+			}
+		}
+	}
+	if *budget != "" {
+		if err := checkBudget(*budget, f.Benchmarks); err != nil {
+			fatal(err)
+		}
 	}
 
 	blob, err := json.MarshalIndent(&f, "", "  ")
@@ -171,14 +226,61 @@ func main() {
 		fatal(err)
 	}
 	blob = append(blob, '\n')
-	if *out == "" {
-		os.Stdout.Write(blob)
-	} else {
+	switch {
+	case *out != "":
 		if err := os.WriteFile(*out, blob, 0o644); err != nil {
 			fatal(err)
 		}
 		printSummary(&f)
+	case *budget != "":
+		// Budget-gate mode without -o: the verdict (printed by checkBudget)
+		// is the product; skip the JSON spew.
+	default:
+		os.Stdout.Write(blob)
 	}
+}
+
+// checkBudget enforces a committed allocation-budget file: every budgeted
+// benchmark must be present in the parsed measurements and at or under its
+// allocs/op ceiling. One line per budgeted benchmark is printed either way,
+// so the gate's margin is visible in CI logs.
+func checkBudget(path string, got map[string]Measurement) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bf BudgetFile
+	if err := json.Unmarshal(blob, &bf); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(bf.MaxAllocsPerOp) == 0 {
+		return fmt.Errorf("%s: no max_allocs_per_op entries", path)
+	}
+	names := make([]string, 0, len(bf.MaxAllocsPerOp))
+	for name := range bf.MaxAllocsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failed []string
+	for _, name := range names {
+		max := bf.MaxAllocsPerOp[name]
+		m, ok := got[name]
+		if !ok {
+			fmt.Printf("allocs %-24s MISSING (budget %.0f)\n", name, max)
+			failed = append(failed, name+" (missing)")
+			continue
+		}
+		verdict := "ok"
+		if m.AllocsPerOp > max {
+			verdict = "OVER BUDGET"
+			failed = append(failed, name)
+		}
+		fmt.Printf("allocs %-24s %12.0f / %.0f budget  %s\n", name, m.AllocsPerOp, max, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("allocation budget exceeded: %s", strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 // printSummary gives the human running `make bench` a quick table, with the

@@ -5,6 +5,12 @@
 // sequences the legacy path feeds ExecuteThread, and the aggregation and
 // span/counter emission below replay the legacy statement order, so results
 // — including every float — are byte-identical (proved by parity_test.go).
+//
+// All three builders run on the Simulator's engine arena (Reset + RunReuse):
+// the engine's internal state and result backing are allocated once at
+// high-water size and resliced on every later call, and ModeOurs
+// additionally reuses its compiled task/dependency tables whenever the
+// iteration's plan was reused (simulator.go).
 package core
 
 import (
@@ -19,26 +25,28 @@ import (
 
 // simulateAsyncIOEvent: one engine thread per rank (the background I/O
 // thread; computation is a fixed-length obstacle handled analytically).
-func simulateAsyncIOEvent(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+func (s *Simulator) simulateAsyncIOEvent(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
 	cfg := w.Cfg
 	fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
-	eng := sim.Engine{
-		Threads:         make([]sim.EngineThread, cfg.Ranks),
-		RecordObstacles: rec.Enabled(),
+	s.eng.Reset(cfg.Ranks)
+	s.eng.RecordObstacles = rec.Enabled()
+	if need := cfg.Ranks * cfg.FieldCount; cap(s.aioTasks) < need {
+		s.aioTasks = make([]sim.Task, need)
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		predEach := cfg.ioCurve(fieldBytes)
 		actEach := data.RawIO[r] / float64(cfg.FieldCount)
-		tasks := make([]sim.Task, cfg.FieldCount)
+		off := r * cfg.FieldCount
+		tasks := s.aioTasks[off : off+cfg.FieldCount : off+cfg.FieldCount]
 		for f := 0; f < cfg.FieldCount; f++ {
 			tasks[f] = sim.Task{ID: f, Pred: predEach, Actual: actEach}
 		}
-		eng.Threads[r] = sim.EngineThread{
+		s.eng.Threads[r] = sim.EngineThread{
 			Obstacles: data.ActProfiles[r].IOBusy,
 			Tasks:     tasks,
 		}
 	}
-	results, err := eng.Run()
+	results, err := s.eng.RunReuse()
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +70,7 @@ func simulateAsyncIOEvent(w *Workload, data *IterationData, rec *obs.Recorder) (
 					Block: obs.NoBlock, Bytes: fieldBytes,
 				})
 			}
-			rec.Count("core.bytes.raw", float64(fieldBytes)*float64(cfg.FieldCount))
+			s.m.bytesRaw.Add(float64(fieldBytes) * float64(cfg.FieldCount))
 		}
 	}
 	return overheadResult(ModeAsyncIO, ends, data.ComputeEnd, delay, 0), nil
@@ -72,7 +80,7 @@ func simulateAsyncIOEvent(w *Workload, data *IterationData, rec *obs.Recorder) (
 // compressed writes) with identity release edges between them, all in one
 // event pass. Task orders come from sim.FromSchedule exactly as in the loop
 // path so the launch decisions are the same.
-func simulateAsyncCompIOEvent(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+func (s *Simulator) simulateAsyncCompIOEvent(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
 	in := plan.Input{Ranks: make([]plan.RankInput, len(data.Jobs))}
 	for r, jobs := range data.Jobs {
 		for _, g := range jobs {
@@ -86,7 +94,8 @@ func simulateAsyncCompIOEvent(w *Workload, data *IterationData, rec *obs.Recorde
 		return nil, err
 	}
 	nRanks := len(data.Jobs)
-	eng := sim.Engine{Threads: make([]sim.EngineThread, 2*nRanks)}
+	s.eng.Reset(2 * nRanks)
+	s.eng.RecordObstacles = false
 	// mainPos/ioPos: per rank, task ID → position in its thread's task order,
 	// for the dependency wiring and the span post-pass.
 	mainPos := make([]map[int]int32, nRanks)
@@ -118,12 +127,12 @@ func simulateAsyncCompIOEvent(w *Workload, data *IterationData, rec *obs.Recorde
 			depThread[i] = int32(2 * r)
 			depTask[i] = mp
 		}
-		eng.Threads[2*r] = sim.EngineThread{Tasks: sp.Main.Tasks}
-		eng.Threads[2*r+1] = sim.EngineThread{
+		s.eng.Threads[2*r] = sim.EngineThread{Tasks: sp.Main.Tasks}
+		s.eng.Threads[2*r+1] = sim.EngineThread{
 			Tasks: sp.IO.Tasks, DepThread: depThread, DepTask: depTask,
 		}
 	}
-	results, err := eng.Run()
+	results, err := s.eng.RunReuse()
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +147,7 @@ func simulateAsyncCompIOEvent(w *Workload, data *IterationData, rec *obs.Recorde
 				Start: 0, End: length, Block: obs.NoBlock,
 			})
 			for _, g := range jobs {
-				countJob(rec, w.Cfg, g)
+				s.m.countJob(w.Cfg, g)
 				mp, ip := mainPos[r][g.ID], ioPos[r][g.ID]
 				rec.Record(compressSpan(w.Cfg, r, g,
 					length+main.TaskStart[mp], length+main.TaskEnd[mp]))
@@ -150,84 +159,39 @@ func simulateAsyncCompIOEvent(w *Workload, data *IterationData, rec *obs.Recorde
 	return overheadResult(ModeAsyncCompIO, ends, data.ComputeEnd, 0, 0), nil
 }
 
-// simulateOursEvent plans through internal/plan and executes the whole
-// world — 2·Ranks threads, with cross-rank release edges from balanced
-// writes — in one event pass.
-func simulateOursEvent(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
+// simulateOursEvent plans through internal/plan (reusing the previous
+// iteration's plan when the predicted inputs are byte-identical) and
+// executes the whole world — 2·Ranks threads, with cross-rank release edges
+// from balanced writes — in one event pass on the engine arena.
+func (s *Simulator) simulateOursEvent(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
 	cfg := w.Cfg
-	p, err := planOurs(w, data, pc, rec)
+	p, reused, err := s.planFor(w, data, pc, rec)
 	if err != nil {
 		return nil, err
 	}
-
-	eng := sim.Engine{
-		Threads:         make([]sim.EngineThread, 2*cfg.Ranks),
-		RecordObstacles: rec.Enabled(),
+	if reused && s.ours.plan == p {
+		s.refreshOursActuals(data)
+	} else if err := s.compileOurs(cfg, p, data); err != nil {
+		return nil, err
 	}
-	// Pass 1: main threads (thread 2r) — compression in scheduled order. A
-	// job's position in its origin rank's main thread is recorded so I/O
-	// threads can reference the completion, possibly across ranks.
-	posOf := make([][]int32, cfg.Ranks)
-	mainIDs := make([][]int, cfg.Ranks) // plan job ids, position-aligned
-	for r := range p.Ranks {
-		rp := &p.Ranks[r]
-		posOf[r] = make([]int32, len(data.Jobs[r]))
-		for i := range posOf[r] {
-			posOf[r][i] = -1
-		}
-		var tasks []sim.Task
-		for _, id := range rp.CompOrder() {
-			pj := rp.Jobs[id]
-			if pj.Origin.Rank != r {
-				continue // moved-in writes have no compression here
-			}
-			posOf[r][pj.Origin.ID] = int32(len(tasks))
-			mainIDs[r] = append(mainIDs[r], id)
-			tasks = append(tasks, sim.Task{
-				ID: id, Pred: pj.PredComp, Actual: actualFor(data, pj.Origin).ActComp,
-			})
-		}
-		eng.Threads[2*r] = sim.EngineThread{
+	c := &s.ours
+
+	s.eng.Reset(2 * cfg.Ranks)
+	s.eng.RecordObstacles = rec.Enabled()
+	for r := 0; r < cfg.Ranks; r++ {
+		s.eng.Threads[2*r] = sim.EngineThread{
 			Obstacles: data.ActProfiles[r].CompBusy,
-			Tasks:     tasks,
+			Tasks:     c.mainTasks[r],
 		}
-	}
-	// Pass 2: I/O threads (thread 2r+1) — writes in scheduled order, each
-	// released by its compression's actual completion via a dependency edge.
-	ioIDs := make([][]int, cfg.Ranks)
-	for r := range p.Ranks {
-		rp := &p.Ranks[r]
-		var tasks []sim.Task
-		var depThread, depTask []int32
-		for _, id := range rp.IOOrder() {
-			pj := rp.Jobs[id]
-			if pj.PredIO <= 0 {
-				continue // write moved elsewhere
-			}
-			pos := int32(-1)
-			if pj.Origin.Rank >= 0 && pj.Origin.Rank < cfg.Ranks &&
-				pj.Origin.ID >= 0 && pj.Origin.ID < len(posOf[pj.Origin.Rank]) {
-				pos = posOf[pj.Origin.Rank][pj.Origin.ID]
-			}
-			if pos < 0 {
-				return nil, fmt.Errorf("core: no compression completion for job %+v", pj.Origin)
-			}
-			ioIDs[r] = append(ioIDs[r], id)
-			tasks = append(tasks, sim.Task{
-				ID: id, Pred: pj.PredIO, Actual: actualFor(data, pj.Origin).ActIO,
-			})
-			depThread = append(depThread, int32(2*pj.Origin.Rank))
-			depTask = append(depTask, pos)
-		}
-		eng.Threads[2*r+1] = sim.EngineThread{
+		s.eng.Threads[2*r+1] = sim.EngineThread{
 			Obstacles: data.ActProfiles[r].IOBusy,
-			Tasks:     tasks,
-			DepThread: depThread,
-			DepTask:   depTask,
+			Tasks:     c.ioTasks[r],
+			DepThread: c.depThread[r],
+			DepTask:   c.depTask[r],
 		}
 	}
 
-	results, err := eng.Run()
+	results, err := s.eng.RunReuse()
 	if err != nil {
 		return nil, err
 	}
@@ -239,10 +203,10 @@ func simulateOursEvent(w *Workload, data *IterationData, pc PlanConfig, rec *obs
 			rp := &p.Ranks[r]
 			main := &results[2*r]
 			emitObstacles(rec, r, obs.ThreadMain, "compute", main.Obstacles)
-			for i, id := range mainIDs[r] {
+			for i, id := range c.mainIDs[r] {
 				g := actualFor(data, rp.Jobs[id].Origin)
 				rec.Record(compressSpan(cfg, r, g, main.TaskStart[i], main.TaskEnd[i]))
-				countJob(rec, cfg, g)
+				s.m.countJob(cfg, g)
 			}
 		}
 	}
@@ -255,13 +219,13 @@ func simulateOursEvent(w *Workload, data *IterationData, pc PlanConfig, rec *obs
 		if rec.Enabled() {
 			rp := &p.Ranks[r]
 			emitObstacles(rec, r, obs.ThreadIO, "core task", io.Obstacles)
-			for i, id := range ioIDs[r] {
+			for i, id := range c.ioIDs[r] {
 				origin := rp.Jobs[id].Origin
 				g := actualFor(data, origin)
 				sp := writeSpan(r, g, io.TaskStart[i], io.TaskEnd[i])
 				if origin.Rank != r {
 					sp.Extra = fmt.Sprintf("balanced from rank %d (%s)", origin.Rank, sp.Extra)
-					rec.Count("core.writes.balanced", 1)
+					s.m.balanced.Add(1)
 				}
 				rec.Record(sp)
 			}

@@ -17,7 +17,7 @@ import (
 
 // simulateAsyncIOLoop: uncompressed per-field writes dispatched to the
 // background thread, competing with the core tasks there [62].
-func simulateAsyncIOLoop(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+func (s *Simulator) simulateAsyncIOLoop(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
 	cfg := w.Cfg
 	ends := make([]float64, cfg.Ranks)
 	delay := 0.0
@@ -52,7 +52,7 @@ func simulateAsyncIOLoop(w *Workload, data *IterationData, rec *obs.Recorder) (*
 					Block: obs.NoBlock, Bytes: fieldBytes,
 				})
 			}
-			rec.Count("core.bytes.raw", float64(fieldBytes)*float64(cfg.FieldCount))
+			s.m.bytesRaw.Add(float64(fieldBytes) * float64(cfg.FieldCount))
 		}
 	}
 	return overheadResult(ModeAsyncIO, ends, data.ComputeEnd, delay, 0), nil
@@ -62,7 +62,7 @@ func simulateAsyncIOLoop(w *Workload, data *IterationData, rec *obs.Recorder) (*
 // overlaps the compressed writes, but the whole dump still serializes with
 // computation. The planner runs hole-free (Horizon 0, no obstacles) with
 // plain ExtJohnson, which is optimal there.
-func simulateAsyncCompIOLoop(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
+func (s *Simulator) simulateAsyncCompIOLoop(w *Workload, data *IterationData, rec *obs.Recorder) (*IterationResult, error) {
 	in := plan.Input{Ranks: make([]plan.RankInput, len(data.Jobs))}
 	for r, jobs := range data.Jobs {
 		for _, g := range jobs {
@@ -101,7 +101,7 @@ func simulateAsyncCompIOLoop(w *Workload, data *IterationData, rec *obs.Recorder
 				Start: 0, End: length, Block: obs.NoBlock,
 			})
 			for _, g := range jobs {
-				countJob(rec, w.Cfg, g)
+				s.m.countJob(w.Cfg, g)
 				rec.Record(compressSpan(w.Cfg, r, g,
 					length+res.Main.TaskStart[g.ID], length+res.Main.TaskEnd[g.ID]))
 				rec.Record(writeSpan(r, g,
@@ -112,11 +112,13 @@ func simulateAsyncCompIOLoop(w *Workload, data *IterationData, rec *obs.Recorder
 	return overheadResult(ModeAsyncCompIO, ends, data.ComputeEnd, 0, 0), nil
 }
 
-// simulateOursLoop plans through internal/plan and then executes with actual
-// durations and profiles, rank by rank.
-func simulateOursLoop(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
+// simulateOursLoop plans through internal/plan (sharing the Simulator's
+// iteration-similarity plan reuse with the event path, so the two engines
+// stay counter-identical) and then executes with actual durations and
+// profiles, rank by rank.
+func (s *Simulator) simulateOursLoop(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*IterationResult, error) {
 	cfg := w.Cfg
-	p, err := planOurs(w, data, pc, rec)
+	p, _, err := s.planFor(w, data, pc, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +155,7 @@ func simulateOursLoop(w *Workload, data *IterationData, pc PlanConfig, rec *obs.
 			for _, t := range tp.Tasks {
 				g := actualFor(data, rp.Jobs[t.ID].Origin)
 				rec.Record(compressSpan(cfg, r, g, res.TaskStart[t.ID], res.TaskEnd[t.ID]))
-				countJob(rec, cfg, g)
+				s.m.countJob(cfg, g)
 			}
 		}
 	}
@@ -195,7 +197,7 @@ func simulateOursLoop(w *Workload, data *IterationData, pc PlanConfig, rec *obs.
 				sp := writeSpan(r, g, res.TaskStart[t.ID], res.TaskEnd[t.ID])
 				if origin.Rank != r {
 					sp.Extra = fmt.Sprintf("balanced from rank %d (%s)", origin.Rank, sp.Extra)
-					rec.Count("core.writes.balanced", 1)
+					s.m.balanced.Add(1)
 				}
 				rec.Record(sp)
 			}

@@ -44,31 +44,46 @@ type RunConfig struct {
 // rc.Mode. When rc.Recorder is set, the iteration's spans are recorded
 // starting at the recorder's current virtual base (advance it between
 // iterations with Recorder.Advance, as Run does).
+//
+// Each call runs on a fresh Simulator, so no state carries over between
+// calls; a caller simulating many similar iterations should hold one
+// Simulator (NewSimulator) and call its Simulate method instead, which
+// reuses the event engine's arena and — for ModeOurs — the previous
+// iteration's plan when the predicted inputs are byte-identical.
 func Simulate(w *Workload, data *IterationData, rc RunConfig) (*IterationResult, error) {
+	return new(Simulator).Simulate(w, data, rc)
+}
+
+// Simulate executes one iteration on this Simulator's reusable state. It is
+// behaviorally identical to the free Simulate function — results are
+// byte-for-byte the same (the reuse parity test pins this) — but steady-state
+// calls on similar iterations skip re-planning and allocate almost nothing.
+func (s *Simulator) Simulate(w *Workload, data *IterationData, rc RunConfig) (*IterationResult, error) {
 	rec := rc.Recorder
+	s.m.bind(rec)
 	var res *IterationResult
 	var err error
 	loop := rc.Engine == EngineLoop
 	switch rc.Mode {
 	case ModeBaseline:
-		res = simulateBaseline(w, data, rec)
+		res = s.simulateBaseline(w, data, rec)
 	case ModeAsyncIO:
 		if loop {
-			res, err = simulateAsyncIOLoop(w, data, rec)
+			res, err = s.simulateAsyncIOLoop(w, data, rec)
 		} else {
-			res, err = simulateAsyncIOEvent(w, data, rec)
+			res, err = s.simulateAsyncIOEvent(w, data, rec)
 		}
 	case ModeAsyncCompIO:
 		if loop {
-			res, err = simulateAsyncCompIOLoop(w, data, rec)
+			res, err = s.simulateAsyncCompIOLoop(w, data, rec)
 		} else {
-			res, err = simulateAsyncCompIOEvent(w, data, rec)
+			res, err = s.simulateAsyncCompIOEvent(w, data, rec)
 		}
 	case ModeOurs:
 		if loop {
-			res, err = simulateOursLoop(w, data, rc.Plan, rec)
+			res, err = s.simulateOursLoop(w, data, rc.Plan, rec)
 		} else {
-			res, err = simulateOursEvent(w, data, rc.Plan, rec)
+			res, err = s.simulateOursEvent(w, data, rc.Plan, rec)
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", rc.Mode)
@@ -107,16 +122,20 @@ func SetRunObserver(fn func(w *Workload, rc RunConfig, results []*IterationResul
 // Run simulates rc.Iterations iterations and aggregates overheads. With a
 // recorder attached, iterations are laid out sequentially on the trace
 // clock: after each iteration the virtual base advances by that iteration's
-// end time.
+// end time. Run drives one Simulator across its iterations, so the engine
+// arena is reused and ModeOurs skips re-planning whenever consecutive
+// iterations present byte-identical predicted inputs (counted as
+// core.plan.reused).
 func Run(w *Workload, rc RunConfig) (*RunStats, error) {
 	if rc.Iterations < 1 {
 		return nil, fmt.Errorf("core: iterations %d < 1", rc.Iterations)
 	}
 	st := &RunStats{Mode: rc.Mode, Iterations: rc.Iterations}
+	sm := NewSimulator()
 	var collected []*IterationResult
 	for it := 0; it < rc.Iterations; it++ {
 		data := w.Iteration(it)
-		res, err := Simulate(w, data, rc)
+		res, err := sm.Simulate(w, data, rc)
 		if err != nil {
 			return nil, err
 		}

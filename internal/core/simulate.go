@@ -47,25 +47,6 @@ func emitObstacles(rec *obs.Recorder, rank int, th obs.Thread, name string, span
 	}
 }
 
-// countJob folds one scheduled job into the run counters: raw and compressed
-// volume, per-field compression ratio, and the predicted-vs-actual task
-// duration distributions the σ model of §5.4.1 perturbs.
-func countJob(rec *obs.Recorder, cfg WorkloadConfig, g GroupJob) {
-	rec.Count("core.bytes.raw", float64(cfg.BlockBytes))
-	rec.Count("core.bytes.compressed", float64(g.ActBytes))
-	rec.Count("core.blocks", 1)
-	if g.ActBytes > 0 {
-		rec.Observe(fmt.Sprintf("core.ratio.field%d", g.ID/cfg.BlocksPerField),
-			float64(cfg.BlockBytes)/float64(g.ActBytes))
-	}
-	rec.Observe("core.task.comp.pred", g.PredComp)
-	rec.Observe("core.task.comp.actual", g.ActComp)
-	if g.PredIO > 0 || g.ActIO > 0 {
-		rec.Observe("core.task.io.pred", g.PredIO)
-		rec.Observe("core.task.io.actual", g.ActIO)
-	}
-}
-
 // compressSpan and writeSpan are the virtual-time task spans shared by the
 // compressing modes.
 func compressSpan(cfg WorkloadConfig, rank int, g GroupJob, start, end float64) obs.Span {
@@ -112,7 +93,7 @@ func overheadResult(mode Mode, rankEnds []float64, computeEnd, delay, planned fl
 }
 
 // simulateBaseline: computation, then a synchronous uncompressed dump.
-func simulateBaseline(w *Workload, data *IterationData, rec *obs.Recorder) *IterationResult {
+func (s *Simulator) simulateBaseline(w *Workload, data *IterationData, rec *obs.Recorder) *IterationResult {
 	ends := make([]float64, len(data.RawIO))
 	for r := range ends {
 		length := data.ActProfiles[r].Length
@@ -128,7 +109,7 @@ func simulateBaseline(w *Workload, data *IterationData, rec *obs.Recorder) *Iter
 				Name: "dump raw", Cat: "write", Rank: r, Thread: obs.ThreadMain,
 				Start: length, End: ends[r], Block: obs.NoBlock, Bytes: rawBytes,
 			})
-			rec.Count("core.bytes.raw", float64(rawBytes))
+			s.m.bytesRaw.Add(float64(rawBytes))
 		}
 	}
 	return overheadResult(ModeBaseline, ends, data.ComputeEnd, 0, 0)
@@ -136,15 +117,19 @@ func simulateBaseline(w *Workload, data *IterationData, rec *obs.Recorder) *Iter
 
 // PlanInput converts one materialized iteration into the shared planner's
 // input: per rank, its predicted job durations plus the predicted profile's
-// busy intervals as unavailability holes.
+// busy intervals as unavailability holes. The hole slices alias the
+// iteration's predicted profiles rather than copying them — the planner
+// builds its own sched.Problem copy before normalizing (plan.problem), so
+// the profiles are never mutated; callers treat the returned input as
+// read-only.
 func PlanInput(data *IterationData) plan.Input {
 	in := plan.Input{Ranks: make([]plan.RankInput, len(data.Jobs))}
 	for r, jobs := range data.Jobs {
 		prof := data.PredProfiles[r]
 		ri := plan.RankInput{
 			Horizon:   prof.Length,
-			CompHoles: append([]sched.Interval(nil), prof.CompBusy...),
-			IOHoles:   append([]sched.Interval(nil), prof.IOBusy...),
+			CompHoles: prof.CompBusy,
+			IOHoles:   prof.IOBusy,
 		}
 		for _, g := range jobs {
 			ri.Jobs = append(ri.Jobs, plan.Job{

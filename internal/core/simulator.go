@@ -1,0 +1,314 @@
+// Simulator: the reusable execution state behind Simulate and Run. One
+// Simulator owns the discrete-event engine's arena, the interned metric
+// handles, and the iteration-similarity plan reuse of §3.3 (the paper's
+// planner runs on the *previous* iteration's profile precisely because HPC
+// iterations resemble each other — when they are byte-for-byte identical on
+// the predicted side, re-planning is pure waste). Run drives one Simulator
+// across its iterations; the free Simulate function uses a fresh one per
+// call, so its behavior is exactly the stateless semantics it always had.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// Simulator carries reusable state across Simulate calls: the event engine's
+// arena (per-thread cursors, heap, result backing), pre-resolved metric
+// handles, and — for ModeOurs — the previous call's IterationPlan keyed by an
+// exact-byte encoding of everything the planner reads. A steady-state
+// Simulate on a reused plan allocates almost nothing (the allocation-budget
+// test pins the exact figure).
+//
+// Not safe for concurrent use. Results are caller-owned as with the free
+// Simulate function: RankEnds is freshly allocated every call.
+type Simulator struct {
+	eng sim.Engine
+	m   runMetrics
+
+	// ModeOurs iteration-similarity reuse: lastPlan is returned again while
+	// the plan key (mode config + every predicted input) stays byte-identical
+	// between consecutive calls. Determinism of the planner guarantees the
+	// skipped re-plan would have produced a byte-identical plan.
+	keyBuf   []byte
+	planKey  []byte
+	lastPlan *plan.IterationPlan
+
+	ours oursCompiled
+
+	// aioTasks is the flat per-(rank,field) task backing for ModeAsyncIO.
+	aioTasks []sim.Task
+}
+
+// NewSimulator returns an empty Simulator. The zero value is also ready to
+// use; the constructor exists for call-site clarity.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// runMetrics interns the recorder's hot counter/distribution names once per
+// recorder, so per-job accounting costs index lookups instead of string
+// hashes. Rebinding is a no-op while the recorder pointer is unchanged.
+type runMetrics struct {
+	rec *obs.Recorder
+
+	bytesRaw   obs.CounterHandle
+	bytesComp  obs.CounterHandle
+	blocks     obs.CounterHandle
+	balanced   obs.CounterHandle
+	planReused obs.CounterHandle
+
+	compPred   obs.DistHandle
+	compActual obs.DistHandle
+	ioPred     obs.DistHandle
+	ioActual   obs.DistHandle
+
+	// ratioField[f] is core.ratio.field<f>, resolved on first touch.
+	ratioField []obs.DistHandle
+}
+
+func (m *runMetrics) bind(rec *obs.Recorder) {
+	if m.rec == rec {
+		return
+	}
+	*m = runMetrics{rec: rec}
+	if !rec.Enabled() {
+		return
+	}
+	m.bytesRaw = rec.CounterHandle("core.bytes.raw")
+	m.bytesComp = rec.CounterHandle("core.bytes.compressed")
+	m.blocks = rec.CounterHandle("core.blocks")
+	m.balanced = rec.CounterHandle("core.writes.balanced")
+	m.planReused = rec.CounterHandle("core.plan.reused")
+	m.compPred = rec.DistHandle("core.task.comp.pred")
+	m.compActual = rec.DistHandle("core.task.comp.actual")
+	m.ioPred = rec.DistHandle("core.task.io.pred")
+	m.ioActual = rec.DistHandle("core.task.io.actual")
+}
+
+func (m *runMetrics) ratio(field int) obs.DistHandle {
+	for len(m.ratioField) <= field {
+		m.ratioField = append(m.ratioField,
+			m.rec.DistHandle(fmt.Sprintf("core.ratio.field%d", len(m.ratioField))))
+	}
+	return m.ratioField[field]
+}
+
+// countJob folds one scheduled job into the run counters: raw and compressed
+// volume, per-field compression ratio, and the predicted-vs-actual task
+// duration distributions the σ model of §5.4.1 perturbs.
+func (m *runMetrics) countJob(cfg WorkloadConfig, g GroupJob) {
+	m.bytesRaw.Add(float64(cfg.BlockBytes))
+	m.bytesComp.Add(float64(g.ActBytes))
+	m.blocks.Add(1)
+	if g.ActBytes > 0 {
+		m.ratio(g.ID / cfg.BlocksPerField).Observe(float64(cfg.BlockBytes) / float64(g.ActBytes))
+	}
+	m.compPred.Observe(g.PredComp)
+	m.compActual.Observe(g.ActComp)
+	if g.PredIO > 0 || g.ActIO > 0 {
+		m.ioPred.Observe(g.PredIO)
+		m.ioActual.Observe(g.ActIO)
+	}
+}
+
+// appendPlanKey encodes every input the ModeOurs planner reads into buf: the
+// plan config and, per rank, the predicted profile (horizon + busy
+// intervals) and the predicted job table. Two iterations with equal keys
+// feed plan.Plan byte-identical input; the planner is deterministic, so the
+// plans are byte-identical too — the soundness argument for reuse
+// (DESIGN.md §12). Float64s are encoded as exact bit patterns: no hashing,
+// no rounding, no collisions.
+func appendPlanKey(buf []byte, w *Workload, data *IterationData, pc PlanConfig) []byte {
+	var b [8]byte
+	putF := func(f float64) {
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+		buf = append(buf, b[:]...)
+	}
+	putI := func(v int64) {
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		buf = append(buf, b[:]...)
+	}
+	buf = append(buf, pc.Algorithm...)
+	if pc.Balance {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	putI(int64(w.Cfg.RanksPerNode))
+	putI(int64(len(data.Jobs)))
+	for r, jobs := range data.Jobs {
+		prof := data.PredProfiles[r]
+		putF(prof.Length)
+		putI(int64(len(prof.CompBusy)))
+		for _, h := range prof.CompBusy {
+			putF(h.Start)
+			putF(h.End)
+		}
+		putI(int64(len(prof.IOBusy)))
+		for _, h := range prof.IOBusy {
+			putF(h.Start)
+			putF(h.End)
+		}
+		putI(int64(len(jobs)))
+		for _, g := range jobs {
+			putI(int64(g.ID))
+			putF(g.PredComp)
+			putF(g.PredIO)
+			putI(g.PredBytes)
+		}
+	}
+	return buf
+}
+
+// planFor returns the iteration's ModeOurs plan, reusing the previous call's
+// plan when the exact-byte key matches (reported as core.plan.reused). Both
+// execution engines route through here, so a loop-vs-event comparison sees
+// identical planning behavior — and identical counters — either way.
+func (s *Simulator) planFor(w *Workload, data *IterationData, pc PlanConfig, rec *obs.Recorder) (*plan.IterationPlan, bool, error) {
+	key := appendPlanKey(s.keyBuf[:0], w, data, pc)
+	s.keyBuf = key
+	if s.lastPlan != nil && bytes.Equal(key, s.planKey) {
+		if rec.Enabled() {
+			s.m.planReused.Add(1)
+		}
+		return s.lastPlan, true, nil
+	}
+	p, err := planOurs(w, data, pc, rec)
+	if err != nil {
+		return nil, false, err
+	}
+	s.planKey = append(s.planKey[:0], key...)
+	s.lastPlan = p
+	return p, false, nil
+}
+
+// oursCompiled is the ModeOurs event-engine input compiled from one
+// IterationPlan. Task order, dependency wiring, and the ID/origin tables
+// depend only on the plan (predicted inputs); the per-task Actual durations
+// and the obstacle slice headers are the only iteration-specific parts, so a
+// reused plan skips compilation and just refreshes actuals in place.
+type oursCompiled struct {
+	plan *plan.IterationPlan // identity of the compiled plan (nil = none)
+
+	posOf      [][]int32    // per rank: job index → main-thread position
+	mainIDs    [][]int      // per rank: plan job ids, main-position-aligned
+	ioIDs      [][]int      // per rank: plan job ids, io-position-aligned
+	mainOrigin [][]plan.Ref // per main task: its origin (rank, job)
+	ioOrigin   [][]plan.Ref
+	mainTasks  [][]sim.Task
+	ioTasks    [][]sim.Task
+	depThread  [][]int32
+	depTask    [][]int32
+}
+
+// growOuter resizes a per-rank slice-of-slices to n entries, keeping the
+// inner slices' capacity when the outer array is already big enough.
+func growOuter[T any](s *[][]T, n int) {
+	if cap(*s) < n {
+		*s = make([][]T, n)
+		return
+	}
+	*s = (*s)[:n]
+}
+
+// compileOurs rebuilds the compiled engine input from plan p, mirroring the
+// legacy two-pass construction statement for statement (parity): pass 1 lays
+// out every rank's main thread in scheduled compression order, pass 2 its
+// I/O thread in scheduled write order with cross-rank release dependencies.
+func (s *Simulator) compileOurs(cfg WorkloadConfig, p *plan.IterationPlan, data *IterationData) error {
+	c := &s.ours
+	c.plan = nil
+	n := cfg.Ranks
+	growOuter(&c.posOf, n)
+	growOuter(&c.mainIDs, n)
+	growOuter(&c.ioIDs, n)
+	growOuter(&c.mainOrigin, n)
+	growOuter(&c.ioOrigin, n)
+	growOuter(&c.mainTasks, n)
+	growOuter(&c.ioTasks, n)
+	growOuter(&c.depThread, n)
+	growOuter(&c.depTask, n)
+
+	// Pass 1: main threads — compression in scheduled order. A job's position
+	// in its origin rank's main thread is recorded so I/O threads can
+	// reference the completion, possibly across ranks.
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		if cap(c.posOf[r]) < len(data.Jobs[r]) {
+			c.posOf[r] = make([]int32, len(data.Jobs[r]))
+		}
+		pos := c.posOf[r][:len(data.Jobs[r])]
+		for i := range pos {
+			pos[i] = -1
+		}
+		c.posOf[r] = pos
+		ids, origins, tasks := c.mainIDs[r][:0], c.mainOrigin[r][:0], c.mainTasks[r][:0]
+		for _, id := range rp.CompOrder() {
+			pj := rp.Jobs[id]
+			if pj.Origin.Rank != r {
+				continue // moved-in writes have no compression here
+			}
+			pos[pj.Origin.ID] = int32(len(tasks))
+			ids = append(ids, id)
+			origins = append(origins, pj.Origin)
+			tasks = append(tasks, sim.Task{
+				ID: id, Pred: pj.PredComp, Actual: actualFor(data, pj.Origin).ActComp,
+			})
+		}
+		c.mainIDs[r], c.mainOrigin[r], c.mainTasks[r] = ids, origins, tasks
+	}
+	// Pass 2: I/O threads — writes in scheduled order, each released by its
+	// compression's actual completion via a dependency edge.
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		ids, origins, tasks := c.ioIDs[r][:0], c.ioOrigin[r][:0], c.ioTasks[r][:0]
+		depThread, depTask := c.depThread[r][:0], c.depTask[r][:0]
+		for _, id := range rp.IOOrder() {
+			pj := rp.Jobs[id]
+			if pj.PredIO <= 0 {
+				continue // write moved elsewhere
+			}
+			pos := int32(-1)
+			if pj.Origin.Rank >= 0 && pj.Origin.Rank < cfg.Ranks &&
+				pj.Origin.ID >= 0 && pj.Origin.ID < len(c.posOf[pj.Origin.Rank]) {
+				pos = c.posOf[pj.Origin.Rank][pj.Origin.ID]
+			}
+			if pos < 0 {
+				return fmt.Errorf("core: no compression completion for job %+v", pj.Origin)
+			}
+			ids = append(ids, id)
+			origins = append(origins, pj.Origin)
+			tasks = append(tasks, sim.Task{
+				ID: id, Pred: pj.PredIO, Actual: actualFor(data, pj.Origin).ActIO,
+			})
+			depThread = append(depThread, int32(2*pj.Origin.Rank))
+			depTask = append(depTask, pos)
+		}
+		c.ioIDs[r], c.ioOrigin[r], c.ioTasks[r] = ids, origins, tasks
+		c.depThread[r], c.depTask[r] = depThread, depTask
+	}
+	c.plan = p
+	return nil
+}
+
+// refreshOursActuals overwrites each compiled task's Actual duration with
+// the current iteration's value — the only task field that changes while the
+// plan (and therefore every predicted field) is reused.
+func (s *Simulator) refreshOursActuals(data *IterationData) {
+	c := &s.ours
+	for r := range c.mainTasks {
+		mt, mo := c.mainTasks[r], c.mainOrigin[r]
+		for i := range mt {
+			mt[i].Actual = actualFor(data, mo[i]).ActComp
+		}
+		it, io := c.ioTasks[r], c.ioOrigin[r]
+		for i := range it {
+			it[i].Actual = actualFor(data, io[i]).ActIO
+		}
+	}
+}

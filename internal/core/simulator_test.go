@@ -1,0 +1,142 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// runSimulator executes a case's iterations on ONE reused Simulator,
+// mirroring runEngine (which uses a fresh Simulator per iteration via the
+// free Simulate function).
+func runSimulator(t *testing.T, cfg WorkloadConfig, rc RunConfig, eng Engine) ([]*IterationResult, []obs.Span, *obs.Recorder) {
+	t.Helper()
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	rc.Engine = eng
+	rc.Recorder = rec
+	s := NewSimulator()
+	var results []*IterationResult
+	for it := 0; it < rc.Iterations; it++ {
+		data := w.Iteration(it)
+		res, err := s.Simulate(w, data, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Advance(res.End)
+		results = append(results, res)
+	}
+	return results, rec.Spans(), rec
+}
+
+// TestSimulatorReuseParity proves the reuse path is invisible in the
+// results: a Simulator reused across the full parity corpus — engine arena
+// warm, plans reused whenever predicted inputs repeat — produces
+// byte-identical IterationResults and spans to fresh-state Simulate calls,
+// on both engines. Run under -race in make check, this also pins the reuse
+// path's synchronization.
+func TestSimulatorReuseParity(t *testing.T) {
+	for _, c := range parityCorpus() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, eng := range []Engine{EngineEvent, EngineLoop} {
+				freshRes, freshSpans, _ := runEngine(t, c.cfg, c.rc, eng)
+				reuseRes, reuseSpans, _ := runSimulator(t, c.cfg, c.rc, eng)
+				if fd, rd := DigestResults(freshRes), DigestResults(reuseRes); fd != rd {
+					t.Errorf("engine %d result digests differ:\n fresh %s\n reuse %s", eng, fd, rd)
+				}
+				if !reflect.DeepEqual(freshRes, reuseRes) {
+					t.Errorf("engine %d results differ", eng)
+				}
+				sortSpans(freshSpans)
+				sortSpans(reuseSpans)
+				if !reflect.DeepEqual(freshSpans, reuseSpans) {
+					t.Errorf("engine %d spans differ", eng)
+				}
+			}
+		})
+	}
+}
+
+// TestSimulatorPlanReuse pins the iteration-similarity fast path: the
+// synthetic workloads present byte-identical predicted inputs every
+// iteration (predictions derive from static block tables and the cloned
+// base profile), so a reused Simulator plans once and reuses N-1 times —
+// identically on both engines, keeping them counter-comparable.
+func TestSimulatorPlanReuse(t *testing.T) {
+	cfg := NyxWorkload(8, 4)
+	rc := RunConfig{Mode: ModeOurs, Plan: PlanConfig{Balance: true}, Iterations: 4}
+	for _, eng := range []Engine{EngineEvent, EngineLoop} {
+		_, _, rec := runSimulator(t, cfg, rc, eng)
+		if got := rec.Counter("core.plan.reused"); got != 3 {
+			t.Errorf("engine %d: core.plan.reused = %v, want 3", eng, got)
+		}
+	}
+}
+
+// TestSimulatorReuseInvalidation: changing anything the planner reads — the
+// plan config here — must miss the key and re-plan.
+func TestSimulatorReuseInvalidation(t *testing.T) {
+	cfg := NyxWorkload(8, 4)
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	s := NewSimulator()
+	data := w.Iteration(0)
+	for i, pc := range []PlanConfig{{Balance: true}, {Balance: false}, {Balance: true}} {
+		want, err := Simulate(w, data, RunConfig{Mode: ModeOurs, Plan: pc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Simulate(w, data, RunConfig{Mode: ModeOurs, Plan: pc, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("call %d: reused-state result differs from fresh result", i)
+		}
+	}
+	if got := rec.Counter("core.plan.reused"); got != 0 {
+		t.Errorf("core.plan.reused = %v, want 0 (every call changed the plan config)", got)
+	}
+}
+
+// TestSimulateSteadyStateAllocs is the allocation-budget regression test
+// for the scale-out path: once a Simulator is warm (arena at high-water
+// size, plan reusable), an untraced ModeOurs event-engine iteration may
+// allocate only the caller-owned result (RankEnds + the result struct) and
+// a handful of bookkeeping allocations — not O(ranks).
+func TestSimulateSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under the race detector")
+	}
+	for _, mode := range []Mode{ModeOurs, ModeAsyncIO} {
+		cfg := NyxWorkload(64, 8)
+		w, err := BuildWorkload(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}}
+		s := NewSimulator()
+		data := w.Iteration(0)
+		if _, err := s.Simulate(w, data, rc); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := s.Simulate(w, data, rc); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// Budget: rankEnds + IterationResult + a few fixed-count temporaries.
+		// The pre-arena implementation allocated hundreds per rank here.
+		if allocs > 8 {
+			t.Errorf("mode %v: steady-state Simulate allocated %.1f times per run, want <= 8", mode, allocs)
+		}
+	}
+}

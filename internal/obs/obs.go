@@ -99,18 +99,37 @@ func (d Dist) Mean() float64 {
 	return d.Sum / float64(d.N)
 }
 
+// spanChunkLen is the fixed capacity of one span storage chunk: Record
+// appends into the current chunk and starts a new one when it fills, so a
+// long recording session never re-grows (and re-copies) one giant []Span.
+const spanChunkLen = 4096
+
 // Recorder collects spans and metrics. The zero value is NOT usable; build
 // one with NewRecorder. A nil *Recorder is the disabled recorder: every
 // method is a no-op. All methods are safe for concurrent use.
+//
+// Counters, gauges, and distributions live in flat slices; the maps only
+// resolve a name to its slice index. Hot paths should resolve a
+// CounterHandle/GaugeHandle/DistHandle once and update through it, skipping
+// the per-call string hash entirely.
 type Recorder struct {
 	epoch time.Time
 
-	mu        sync.Mutex
-	vcur      float64 // virtual-clock base added to Record'ed spans
-	spans     []Span
-	counters  map[string]float64
-	gauges    map[string]float64
-	dists     map[string]*Dist
+	mu         sync.Mutex
+	vcur       float64  // virtual-clock base added to Record'ed spans
+	spanChunks [][]Span // fixed-size chunks; only the last one is appendable
+	nspans     int
+
+	counterIdx   map[string]int
+	counterNames []string
+	counterVals  []float64
+	gaugeIdx     map[string]int
+	gaugeNames   []string
+	gaugeVals    []float64
+	distIdx      map[string]int
+	distNames    []string
+	dists        []Dist
+
 	hists     map[string]*histogram
 	iters     []IterationStat
 	procNames map[int]string
@@ -119,12 +138,12 @@ type Recorder struct {
 // NewRecorder returns an enabled recorder whose wall-clock epoch is now.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		epoch:     time.Now(),
-		counters:  make(map[string]float64),
-		gauges:    make(map[string]float64),
-		dists:     make(map[string]*Dist),
-		hists:     make(map[string]*histogram),
-		procNames: make(map[int]string),
+		epoch:      time.Now(),
+		counterIdx: make(map[string]int),
+		gaugeIdx:   make(map[string]int),
+		distIdx:    make(map[string]int),
+		hists:      make(map[string]*histogram),
+		procNames:  make(map[int]string),
 	}
 }
 
@@ -151,8 +170,30 @@ func (r *Recorder) Record(sp Span) {
 	r.mu.Lock()
 	sp.Start += r.vcur
 	sp.End += r.vcur
-	r.spans = append(r.spans, sp)
+	r.appendSpanLocked(sp)
 	r.mu.Unlock()
+}
+
+// appendSpanLocked stores one span in the chunked buffer (mu held).
+func (r *Recorder) appendSpanLocked(sp Span) {
+	if n := len(r.spanChunks); n == 0 || len(r.spanChunks[n-1]) == cap(r.spanChunks[n-1]) {
+		r.spanChunks = append(r.spanChunks, make([]Span, 0, spanChunkLen))
+	}
+	last := len(r.spanChunks) - 1
+	r.spanChunks[last] = append(r.spanChunks[last], sp)
+	r.nspans++
+}
+
+// flatSpansLocked copies every chunk into one fresh slice (mu held).
+func (r *Recorder) flatSpansLocked() []Span {
+	if r.nspans == 0 {
+		return nil
+	}
+	out := make([]Span, 0, r.nspans)
+	for _, chunk := range r.spanChunks {
+		out = append(out, chunk...)
+	}
+	return out
 }
 
 // Advance moves the virtual-clock base forward by d seconds. Callers invoke
@@ -177,8 +218,58 @@ func (r *Recorder) WallSpan(sp Span, start, end time.Time) {
 	sp.Start = math.Max(0, start.Sub(r.epoch).Seconds())
 	sp.End = math.Max(sp.Start, end.Sub(r.epoch).Seconds())
 	r.mu.Lock()
-	r.spans = append(r.spans, sp)
+	r.appendSpanLocked(sp)
 	r.mu.Unlock()
+}
+
+// counterIndexLocked resolves (or creates) the named counter's slot.
+func (r *Recorder) counterIndexLocked(name string) int {
+	idx, ok := r.counterIdx[name]
+	if !ok {
+		idx = len(r.counterVals)
+		r.counterIdx[name] = idx
+		r.counterNames = append(r.counterNames, name)
+		r.counterVals = append(r.counterVals, 0)
+	}
+	return idx
+}
+
+func (r *Recorder) gaugeIndexLocked(name string) int {
+	idx, ok := r.gaugeIdx[name]
+	if !ok {
+		idx = len(r.gaugeVals)
+		r.gaugeIdx[name] = idx
+		r.gaugeNames = append(r.gaugeNames, name)
+		r.gaugeVals = append(r.gaugeVals, 0)
+	}
+	return idx
+}
+
+func (r *Recorder) distIndexLocked(name string) int {
+	idx, ok := r.distIdx[name]
+	if !ok {
+		idx = len(r.dists)
+		r.distIdx[name] = idx
+		r.distNames = append(r.distNames, name)
+		r.dists = append(r.dists, Dist{})
+	}
+	return idx
+}
+
+// observeDistLocked folds v into the distribution at idx (mu held).
+func (r *Recorder) observeDistLocked(idx int, v float64) {
+	d := &r.dists[idx]
+	if d.N == 0 {
+		d.Min, d.Max = v, v
+	}
+	d.N++
+	d.Sum += v
+	if v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
 }
 
 // Count accumulates delta into the named counter.
@@ -187,7 +278,7 @@ func (r *Recorder) Count(name string, delta float64) {
 		return
 	}
 	r.mu.Lock()
-	r.counters[name] += delta
+	r.counterVals[r.counterIndexLocked(name)] += delta
 	r.mu.Unlock()
 }
 
@@ -198,7 +289,7 @@ func (r *Recorder) Gauge(name string, v float64) {
 		return
 	}
 	r.mu.Lock()
-	r.gauges[name] = v
+	r.gaugeVals[r.gaugeIndexLocked(name)] = v
 	r.mu.Unlock()
 }
 
@@ -209,7 +300,10 @@ func (r *Recorder) GaugeValue(name string) float64 {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.gauges[name]
+	if idx, ok := r.gaugeIdx[name]; ok {
+		return r.gaugeVals[idx]
+	}
+	return 0
 }
 
 // Observe folds v into the named distribution.
@@ -218,20 +312,93 @@ func (r *Recorder) Observe(name string, v float64) {
 		return
 	}
 	r.mu.Lock()
-	d, ok := r.dists[name]
-	if !ok {
-		d = &Dist{Min: v, Max: v}
-		r.dists[name] = d
-	}
-	d.N++
-	d.Sum += v
-	if v < d.Min {
-		d.Min = v
-	}
-	if v > d.Max {
-		d.Max = v
-	}
+	r.observeDistLocked(r.distIndexLocked(name), v)
 	r.mu.Unlock()
+}
+
+// CounterHandle is a pre-resolved counter: an index into the recorder's flat
+// counter slice. Hot loops resolve the handle once (one string hash) and
+// Add through it with no per-call name lookup. The zero handle — and any
+// handle from a nil recorder — is a no-op, preserving the nil-safety
+// contract of the package.
+type CounterHandle struct {
+	r   *Recorder
+	idx int32
+}
+
+// CounterHandle resolves (creating if absent) the named counter.
+func (r *Recorder) CounterHandle(name string) CounterHandle {
+	if r == nil {
+		return CounterHandle{}
+	}
+	r.mu.Lock()
+	idx := r.counterIndexLocked(name)
+	r.mu.Unlock()
+	return CounterHandle{r: r, idx: int32(idx)}
+}
+
+// Add accumulates delta into the handle's counter.
+func (h CounterHandle) Add(delta float64) {
+	if h.r == nil {
+		return
+	}
+	h.r.mu.Lock()
+	h.r.counterVals[h.idx] += delta
+	h.r.mu.Unlock()
+}
+
+// GaugeHandle is a pre-resolved gauge (see CounterHandle).
+type GaugeHandle struct {
+	r   *Recorder
+	idx int32
+}
+
+// GaugeHandle resolves (creating if absent) the named gauge.
+func (r *Recorder) GaugeHandle(name string) GaugeHandle {
+	if r == nil {
+		return GaugeHandle{}
+	}
+	r.mu.Lock()
+	idx := r.gaugeIndexLocked(name)
+	r.mu.Unlock()
+	return GaugeHandle{r: r, idx: int32(idx)}
+}
+
+// Set stores v as the gauge's latest value.
+func (h GaugeHandle) Set(v float64) {
+	if h.r == nil {
+		return
+	}
+	h.r.mu.Lock()
+	h.r.gaugeVals[h.idx] = v
+	h.r.mu.Unlock()
+}
+
+// DistHandle is a pre-resolved distribution (see CounterHandle).
+type DistHandle struct {
+	r   *Recorder
+	idx int32
+}
+
+// DistHandle resolves (creating if absent) the named distribution.
+func (r *Recorder) DistHandle(name string) DistHandle {
+	if r == nil {
+		return DistHandle{}
+	}
+	r.mu.Lock()
+	idx := r.distIndexLocked(name)
+	r.mu.Unlock()
+	return DistHandle{r: r, idx: int32(idx)}
+}
+
+// Observe folds v into the handle's distribution.
+func (h DistHandle) Observe(v float64) {
+	if h.r == nil {
+		return
+	}
+	h.r.mu.Lock()
+	h.r.observeDistLocked(int(h.idx), v)
+	h.r.mu.Unlock()
 }
 
 // Iteration appends one predicted-vs-actual iteration row; Seq is assigned
@@ -264,7 +431,7 @@ func (r *Recorder) Spans() []Span {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Span(nil), r.spans...)
+	return r.flatSpansLocked()
 }
 
 // Counter returns the named counter's value.
@@ -274,7 +441,10 @@ func (r *Recorder) Counter(name string) float64 {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.counters[name]
+	if idx, ok := r.counterIdx[name]; ok {
+		return r.counterVals[idx]
+	}
+	return 0
 }
 
 // DistStats returns the named distribution's summary (zero Dist if absent).
@@ -284,8 +454,8 @@ func (r *Recorder) DistStats(name string) Dist {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if d, ok := r.dists[name]; ok {
-		return *d
+	if idx, ok := r.distIdx[name]; ok {
+		return r.dists[idx]
 	}
 	return Dist{}
 }
@@ -306,7 +476,7 @@ func (r *Recorder) Iterations() []IterationStat {
 func (r *Recorder) snapshot() (spans []Span, counters, gauges []counterKV, dists []distKV, hists []histKV, iters []IterationStat, procNames map[int]string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	spans = append([]Span(nil), r.spans...)
+	spans = r.flatSpansLocked()
 	sort.SliceStable(spans, func(a, b int) bool {
 		sa, sb := spans[a], spans[b]
 		if sa.Start != sb.Start {
@@ -323,16 +493,16 @@ func (r *Recorder) snapshot() (spans []Span, counters, gauges []counterKV, dists
 		}
 		return sa.Name < sb.Name
 	})
-	for name, v := range r.counters {
-		counters = append(counters, counterKV{name, v})
+	for i, name := range r.counterNames {
+		counters = append(counters, counterKV{name, r.counterVals[i]})
 	}
 	sort.Slice(counters, func(a, b int) bool { return counters[a].name < counters[b].name })
-	for name, v := range r.gauges {
-		gauges = append(gauges, counterKV{name, v})
+	for i, name := range r.gaugeNames {
+		gauges = append(gauges, counterKV{name, r.gaugeVals[i]})
 	}
 	sort.Slice(gauges, func(a, b int) bool { return gauges[a].name < gauges[b].name })
-	for name, d := range r.dists {
-		dists = append(dists, distKV{name, *d})
+	for i, name := range r.distNames {
+		dists = append(dists, distKV{name, r.dists[i]})
 	}
 	sort.Slice(dists, func(a, b int) bool { return dists[a].name < dists[b].name })
 	for name, h := range r.hists {

@@ -246,6 +246,109 @@ func TestNilRecorderExports(t *testing.T) {
 	}
 }
 
+// TestHandlesMatchNamedMetrics proves the interned fast path is observably
+// identical to the by-name API: updates through handles and through names
+// land in the same slots and export identically.
+func TestHandlesMatchNamedMetrics(t *testing.T) {
+	r := NewRecorder()
+	c := r.CounterHandle("bytes.raw")
+	g := r.GaugeHandle("queue.depth")
+	d := r.DistHandle("ratio")
+	c.Add(3)
+	r.Count("bytes.raw", 4)
+	c.Add(5)
+	if got := r.Counter("bytes.raw"); got != 12 {
+		t.Errorf("counter = %v, want 12", got)
+	}
+	g.Set(7)
+	r.Gauge("queue.depth", 9)
+	if got := r.GaugeValue("queue.depth"); got != 9 {
+		t.Errorf("gauge = %v, want 9 (last write wins)", got)
+	}
+	g.Set(2)
+	if got := r.GaugeValue("queue.depth"); got != 2 {
+		t.Errorf("gauge = %v, want 2", got)
+	}
+	d.Observe(4)
+	r.Observe("ratio", 10)
+	d.Observe(1)
+	ds := r.DistStats("ratio")
+	if ds.N != 3 || ds.Min != 1 || ds.Max != 10 || ds.Sum != 15 {
+		t.Errorf("dist = %+v", ds)
+	}
+	// Re-resolving a name yields a handle to the same slot.
+	if c2 := r.CounterHandle("bytes.raw"); c2.idx != c.idx {
+		t.Errorf("re-resolved handle idx %d != %d", c2.idx, c.idx)
+	}
+}
+
+// TestNilHandlesZeroAllocs proves the disabled-recorder handle path costs
+// nothing: resolving from and updating through a nil recorder's handles is
+// alloc-free, mirroring the nil-Recorder contract.
+func TestNilHandlesZeroAllocs(t *testing.T) {
+	var r *Recorder
+	c := r.CounterHandle("bytes.raw")
+	g := r.GaugeHandle("queue.depth")
+	d := r.DistHandle("ratio")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(2)
+		d.Observe(3)
+		_ = r.CounterHandle("x")
+		_ = r.GaugeHandle("x")
+		_ = r.DistHandle("x")
+	})
+	if allocs != 0 {
+		t.Errorf("nil handles allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestHandleUpdatesZeroAllocs proves the interned hot path is alloc-free on
+// an enabled recorder: once a handle is resolved, each update is a lock plus
+// a slice write.
+func TestHandleUpdatesZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under the race detector")
+	}
+	r := NewRecorder()
+	c := r.CounterHandle("bytes.raw")
+	g := r.GaugeHandle("queue.depth")
+	d := r.DistHandle("ratio")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(2)
+		d.Observe(3)
+	})
+	if allocs != 0 {
+		t.Errorf("handle updates allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSpanChunking crosses several chunk boundaries and checks that span
+// order, content, and count survive the chunked storage.
+func TestSpanChunking(t *testing.T) {
+	r := NewRecorder()
+	const n = spanChunkLen*2 + 123
+	for i := 0; i < n; i++ {
+		r.Record(Span{Name: "s", Rank: i, Start: float64(i), End: float64(i) + 0.5})
+	}
+	got := r.Spans()
+	if len(got) != n {
+		t.Fatalf("got %d spans, want %d", len(got), n)
+	}
+	for i, sp := range got {
+		if sp.Rank != i || sp.Start != float64(i) {
+			t.Fatalf("span %d out of order: %+v", i, sp)
+		}
+	}
+	r.mu.Lock()
+	chunks := len(r.spanChunks)
+	r.mu.Unlock()
+	if want := n/spanChunkLen + 1; chunks != want {
+		t.Errorf("got %d chunks, want %d", chunks, want)
+	}
+}
+
 func TestDistMean(t *testing.T) {
 	r := NewRecorder()
 	for _, v := range []float64{2, 4, 9} {

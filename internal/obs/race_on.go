@@ -1,0 +1,9 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active; the
+// allocation-budget regression tests are skipped under it because race
+// instrumentation adds bookkeeping allocations that testing.AllocsPerRun
+// cannot distinguish from real ones.
+const raceEnabled = true

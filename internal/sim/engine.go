@@ -15,6 +15,12 @@
 // expressed as task dependencies: a thread that reaches a task whose
 // dependency has not completed parks, and the completing thread wakes it
 // through the queue.
+//
+// All mutable execution state lives in a flat arena owned by the Engine
+// (per-thread cursors, the event heap, parked-waiter links, and — under
+// RunReuse — the result backing arrays), allocated once and resliced on
+// every subsequent run, so the steady-state simulation loop allocates
+// (nearly) nothing (DESIGN.md §12).
 package sim
 
 import (
@@ -28,9 +34,19 @@ import (
 // NoDep marks a task without a cross-thread release dependency.
 const NoDep = -1
 
+// noWaiter terminates the parked-waiter linked lists in the arena.
+const noWaiter = -1
+
 // EngineThread is one simulated thread's input to the event engine: its
 // immovable obstacles, its scheduled tasks in plan order, and (optionally)
 // per-task release dependencies.
+//
+// Inputs are treated as immutable for the duration of a run: the engine
+// never writes to Obstacles, Tasks, or the dependency arrays, and when the
+// obstacle list is already sorted by Start (the common case — profiles are
+// generated in order) it is consumed in place with no defensive copy. An
+// unsorted list is copied into engine scratch and sorted there, so the
+// caller's slice is never reordered either way.
 type EngineThread struct {
 	// Obstacles are the thread's actual busy intervals (sorted internally).
 	Obstacles []sched.Interval
@@ -59,13 +75,27 @@ type EngineThreadResult struct {
 	Obstacles []ObstacleSpan
 }
 
-// Engine executes a set of threads in one discrete-event pass.
+// Engine executes a set of threads in one discrete-event pass. The zero
+// value is ready to use; keeping one Engine alive across runs (Reset +
+// RunReuse) reuses all of its internal state.
 type Engine struct {
 	Threads []EngineThread
 	// RecordObstacles asks the engine to report where each obstacle actually
 	// ran. Off by default so the 100k-rank path allocates nothing for
 	// tracing it does not need.
 	RecordObstacles bool
+
+	// The arena: every slice below is allocated once at high-water size and
+	// resliced on later runs. taskTimes and results back the slices RunReuse
+	// returns, which is why its results are only valid until the next run.
+	state      []engThreadState
+	results    []EngineThreadResult
+	taskTimes  []float64
+	waiterHead []int32
+	waiterNext []int32
+	waiterTask []int32
+	heap       eventHeap
+	obsScratch []sched.Interval
 }
 
 // engineEvent is one queue entry: thread th is ready to attempt its next
@@ -77,7 +107,8 @@ type engineEvent struct {
 
 // eventHeap is a hand-rolled binary min-heap over (t, th). The tie-break on
 // thread id makes the pop order — and therefore the whole execution — a pure
-// function of the input.
+// function of the input: a thread has at most one pending event, so (t, th)
+// is unique per entry and the pop sequence does not depend on push order.
 type eventHeap []engineEvent
 
 func (h eventHeap) less(a, b int) bool {
@@ -127,15 +158,8 @@ func (h *eventHeap) pop() engineEvent {
 	return top
 }
 
-// engWaiter records a parked thread: `waiter` resumes when task `task` of
-// the owning thread completes.
-type engWaiter struct {
-	task   int32
-	waiter int32
-}
-
-// engThreadState is one thread's mutable execution cursor. Kept flat in one
-// slice (no per-thread allocations beyond the result arrays).
+// engThreadState is one thread's mutable execution cursor. Kept flat in the
+// arena (no per-thread allocations).
 type engThreadState struct {
 	t    float64
 	oi   int32
@@ -144,15 +168,58 @@ type engThreadState struct {
 	obs  []sched.Interval
 }
 
+// sortedByStart reports whether the intervals are already non-decreasing by
+// Start — the condition under which the engine may consume the caller's
+// slice directly instead of copying and sorting.
+func sortedByStart(obs []sched.Interval) bool {
+	for i := 1; i < len(obs); i++ {
+		if obs[i].Start < obs[i-1].Start {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset truncates (or grows) the thread list to n zeroed entries while
+// keeping every arena buffer, so a caller can rebuild Threads in place and
+// RunReuse without allocating. Reset only touches the thread list; it is not
+// required between RunReuse calls whose thread list is updated in place.
+func (e *Engine) Reset(n int) {
+	if cap(e.Threads) < n {
+		e.Threads = make([]EngineThread, n)
+		return
+	}
+	e.Threads = e.Threads[:n]
+	for i := range e.Threads {
+		e.Threads[i] = EngineThread{}
+	}
+}
+
 // Run executes every thread to completion and returns per-thread results
 // index-aligned with Threads. It fails on invalid task durations, dangling
-// dependencies, and dependency cycles (reported as a deadlock).
+// dependencies, and dependency cycles (reported as a deadlock). The returned
+// results are caller-owned: their backing arrays are freshly allocated on
+// every call.
 func (e *Engine) Run() ([]EngineThreadResult, error) {
-	n := len(e.Threads)
-	res := make([]EngineThreadResult, n)
-	state := make([]engThreadState, n)
-	waiters := make([][]engWaiter, n)
+	return e.run(false)
+}
 
+// RunReuse is Run with the result backing served from the engine's arena:
+// the returned slice and every TaskStart/TaskEnd array inside it are only
+// valid until the next Run/RunReuse call on this engine. After the first
+// call has grown the arena to its high-water size, a steady-state RunReuse
+// allocates nothing (the zero-allocation budget test pins this).
+func (e *Engine) RunReuse() ([]EngineThreadResult, error) {
+	return e.run(true)
+}
+
+func (e *Engine) run(reuse bool) ([]EngineThreadResult, error) {
+	n := len(e.Threads)
+
+	// Size the arena (and, per mode, the result backing) in one validation
+	// pass: total task count for the flat TaskStart/TaskEnd backing, total
+	// unsorted obstacle count for the sort scratch.
+	totalTasks, scratchObs := 0, 0
 	for i := range e.Threads {
 		th := &e.Threads[i]
 		hasDeps := th.DepThread != nil || th.DepTask != nil
@@ -174,29 +241,88 @@ func (e *Engine) Run() ([]EngineThreadResult, error) {
 				}
 			}
 		}
-		// Same copy + comparator as ExecuteThread, so realized obstacle order
-		// matches the sequential executor exactly.
-		obs := append([]sched.Interval(nil), th.Obstacles...)
-		sort.Slice(obs, func(a, b int) bool { return obs[a].Start < obs[b].Start })
-		state[i].obs = obs
-		if len(th.Tasks) > 0 {
-			res[i].TaskStart = make([]float64, len(th.Tasks))
-			res[i].TaskEnd = make([]float64, len(th.Tasks))
+		totalTasks += len(th.Tasks)
+		if !sortedByStart(th.Obstacles) {
+			scratchObs += len(th.Obstacles)
+		}
+	}
+
+	var res []EngineThreadResult
+	var times []float64
+	if reuse {
+		if cap(e.results) < n {
+			e.results = make([]EngineThreadResult, n)
+		}
+		res = e.results[:n]
+		for i := range res {
+			res[i] = EngineThreadResult{}
+		}
+		if cap(e.taskTimes) < 2*totalTasks {
+			e.taskTimes = make([]float64, 2*totalTasks)
+		}
+		times = e.taskTimes[:2*totalTasks]
+	} else {
+		res = make([]EngineThreadResult, n)
+		times = make([]float64, 2*totalTasks)
+	}
+	if cap(e.state) < n {
+		e.state = make([]engThreadState, n)
+	}
+	e.state = e.state[:n]
+	if cap(e.waiterHead) < n {
+		e.waiterHead = make([]int32, n)
+		e.waiterNext = make([]int32, n)
+		e.waiterTask = make([]int32, n)
+	}
+	e.waiterHead = e.waiterHead[:n]
+	e.waiterNext = e.waiterNext[:n]
+	e.waiterTask = e.waiterTask[:n]
+	for i := range e.waiterHead {
+		e.waiterHead[i] = noWaiter
+	}
+	if cap(e.obsScratch) < scratchObs {
+		e.obsScratch = make([]sched.Interval, 0, scratchObs)
+	}
+	e.obsScratch = e.obsScratch[:0]
+
+	off := 0
+	for i := range e.Threads {
+		th := &e.Threads[i]
+		// Obstacles already sorted by Start run in place (the immutable-input
+		// contract above); an unsorted list is copied into scratch and sorted
+		// with the exact comparator the sequential executor uses, so realized
+		// obstacle order matches it either way.
+		obs := th.Obstacles
+		if !sortedByStart(obs) {
+			base := len(e.obsScratch)
+			e.obsScratch = append(e.obsScratch, obs...)
+			obs = e.obsScratch[base : base+len(obs) : base+len(obs)]
+			sort.Slice(obs, func(a, b int) bool { return obs[a].Start < obs[b].Start })
+		}
+		e.state[i] = engThreadState{obs: obs}
+		if nt := len(th.Tasks); nt > 0 {
+			res[i].TaskStart = times[off : off+nt : off+nt]
+			res[i].TaskEnd = times[off+nt : off+2*nt : off+2*nt]
+			off += 2 * nt
 		}
 	}
 
 	// Every thread becomes runnable at virtual time zero; from then on the
-	// heap interleaves one task completion per event.
-	h := make(eventHeap, 0, n)
+	// heap interleaves one task completion per event. A thread has at most
+	// one pending event, so the heap never outgrows n.
+	if cap(e.heap) < n {
+		e.heap = make(eventHeap, 0, n)
+	}
+	e.heap = e.heap[:0]
 	for i := 0; i < n; i++ {
-		h.push(engineEvent{t: 0, th: int32(i)})
+		e.heap.push(engineEvent{t: 0, th: int32(i)})
 	}
-	for len(h) > 0 {
-		ev := h.pop()
-		e.step(ev.th, state, res, waiters, &h)
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		e.step(ev.th, res)
 	}
-	for i := range state {
-		if !state[i].done {
+	for i := range e.state {
+		if !e.state[i].done {
 			return nil, fmt.Errorf("sim: thread %d deadlocked on an unsatisfiable task dependency", i)
 		}
 	}
@@ -207,10 +333,10 @@ func (e *Engine) Run() ([]EngineThreadResult, error) {
 // launch rule yields to), parking it when the task's dependency is pending
 // and finishing the thread when its work is drained. The body is the
 // ExecuteThread loop, split at task granularity.
-func (e *Engine) step(thID int32, state []engThreadState, res []EngineThreadResult, waiters [][]engWaiter, h *eventHeap) {
+func (e *Engine) step(thID int32, res []EngineThreadResult) {
 	i := int(thID)
 	th := &e.Threads[i]
-	st := &state[i]
+	st := &e.state[i]
 	r := &res[i]
 
 	runObstacle := func() {
@@ -242,9 +368,13 @@ func (e *Engine) step(thID int32, state []engThreadState, res []EngineThreadResu
 	release := task.Release
 	if th.DepThread != nil && th.DepThread[st.ti] != NoDep {
 		dep, depTask := th.DepThread[st.ti], th.DepTask[st.ti]
-		if state[dep].ti <= depTask {
-			// Dependency pending: park until its completion wakes us.
-			waiters[dep] = append(waiters[dep], engWaiter{task: depTask, waiter: thID})
+		if e.state[dep].ti <= depTask {
+			// Dependency pending: park until its completion wakes us. A
+			// thread waits on at most one task at a time, so the parked set
+			// is a per-owner linked list threaded through the waiter arrays.
+			e.waiterTask[thID] = depTask
+			e.waiterNext[thID] = e.waiterHead[dep]
+			e.waiterHead[dep] = thID
 			return
 		}
 		release = res[dep].TaskEnd[depTask]
@@ -269,19 +399,32 @@ func (e *Engine) step(thID int32, state []engThreadState, res []EngineThreadResu
 	}
 	completed := st.ti
 	st.ti++
-	if ws := waiters[i]; len(ws) > 0 {
-		kept := ws[:0]
-		for _, w := range ws {
-			if w.task == completed {
-				h.push(engineEvent{t: math.Max(state[w.waiter].t, st.t), th: w.waiter})
+	if e.waiterHead[i] != noWaiter {
+		// Wake the waiters of the completed task, relinking the rest. Wake
+		// order cannot affect results: each wake only pushes the waiter's
+		// unique (t, th) event, and the heap's pop order is a total order.
+		kept, keptTail := int32(noWaiter), int32(noWaiter)
+		for w := e.waiterHead[i]; w != noWaiter; {
+			next := e.waiterNext[w]
+			if e.waiterTask[w] == completed {
+				e.heap.push(engineEvent{t: math.Max(e.state[w].t, st.t), th: w})
 			} else {
-				kept = append(kept, w)
+				if keptTail == noWaiter {
+					kept = w
+				} else {
+					e.waiterNext[keptTail] = w
+				}
+				keptTail = w
 			}
+			w = next
 		}
-		waiters[i] = kept
+		if keptTail != noWaiter {
+			e.waiterNext[keptTail] = noWaiter
+		}
+		e.waiterHead[i] = kept
 	}
 	if int(st.ti) < len(th.Tasks) {
-		h.push(engineEvent{t: st.t, th: thID})
+		e.heap.push(engineEvent{t: st.t, th: thID})
 	} else {
 		finish()
 	}

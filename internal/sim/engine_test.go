@@ -209,6 +209,102 @@ func TestEngineEmptyAndObstacleOnlyThreads(t *testing.T) {
 	}
 }
 
+// reuseTestEngine builds a dependency-wired multi-rank engine for the
+// arena-reuse tests.
+func reuseTestEngine(seed int64, ranks int) *Engine {
+	rng := rand.New(rand.NewSource(seed))
+	e := &Engine{}
+	e.Reset(2 * ranks)
+	for r := 0; r < ranks; r++ {
+		main := randomThreadPlan(rng, 4, 2)
+		io := randomThreadPlan(rng, 4, 2)
+		dt := make([]int32, 4)
+		dk := make([]int32, 4)
+		for i := range dt {
+			dt[i] = int32(2 * r)
+			dk[i] = int32(i)
+		}
+		e.Threads[2*r] = EngineThread{Obstacles: main.Obstacles, Tasks: main.Tasks}
+		e.Threads[2*r+1] = EngineThread{Obstacles: io.Obstacles, Tasks: io.Tasks, DepThread: dt, DepTask: dk}
+	}
+	return e
+}
+
+// TestEngineRunReuseMatchesRun pins the arena path to the fresh path: the
+// same engine run via Run and via repeated RunReuse (including after a
+// Reset + rebuild) yields deeply equal results.
+func TestEngineRunReuseMatchesRun(t *testing.T) {
+	e := reuseTestEngine(21, 50)
+	want, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		got, err := e.RunReuse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round %d: RunReuse results differ from Run", round)
+		}
+	}
+	// Rebuild in place at a different size; the arena must resize cleanly.
+	small := reuseTestEngine(22, 7)
+	wantSmall, err := small.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reset(len(small.Threads))
+	copy(e.Threads, small.Threads)
+	got, err := e.RunReuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantSmall, got) {
+		t.Fatal("RunReuse after Reset differs from a fresh engine's Run")
+	}
+}
+
+// TestEngineRunReuseZeroAllocs is the steady-state allocation budget: once
+// the arena has reached its high-water size, RunReuse must not allocate.
+func TestEngineRunReuseZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	e := reuseTestEngine(23, 100)
+	if _, err := e.RunReuse(); err != nil { // warm the arena
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.RunReuse(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state RunReuse allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestEngineObstaclesNotMutated pins the immutable-input contract: even an
+// unsorted obstacle slice is left exactly as the caller built it.
+func TestEngineObstaclesNotMutated(t *testing.T) {
+	unsorted := []sched.Interval{{Start: 0.5, End: 1.0}, {Start: 0.1, End: 0.2}}
+	orig := append([]sched.Interval(nil), unsorted...)
+	e := &Engine{Threads: []EngineThread{{Obstacles: unsorted}}}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(unsorted, orig) {
+		t.Fatalf("engine reordered the caller's obstacle slice: %v", unsorted)
+	}
+	if _, err := ExecuteThread(ThreadPlan{Obstacles: unsorted}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(unsorted, orig) {
+		t.Fatalf("ExecuteThread reordered the caller's obstacle slice: %v", unsorted)
+	}
+}
+
 // BenchmarkEngineManyThreads measures the raw event-queue machinery: 10k
 // two-thread ranks with dependency edges, no recording.
 func BenchmarkEngineManyThreads(b *testing.B) {

@@ -77,10 +77,16 @@ type ThreadResult struct {
 	Obstacles []ObstacleSpan
 }
 
-// ExecuteThread replays one thread.
+// ExecuteThread replays one thread. Obstacles are treated as immutable: a
+// list already sorted by Start (the common case) runs in place, and an
+// unsorted one is copied before sorting — the caller's slice is never
+// reordered (the same contract the event engine documents on EngineThread).
 func ExecuteThread(plan ThreadPlan) (*ThreadResult, error) {
-	obs := append([]sched.Interval(nil), plan.Obstacles...)
-	sort.Slice(obs, func(a, b int) bool { return obs[a].Start < obs[b].Start })
+	obs := plan.Obstacles
+	if !sortedByStart(obs) {
+		obs = append([]sched.Interval(nil), plan.Obstacles...)
+		sort.Slice(obs, func(a, b int) bool { return obs[a].Start < obs[b].Start })
+	}
 	res := &ThreadResult{
 		TaskEnd:   make(map[int]float64, len(plan.Tasks)),
 		TaskStart: make(map[int]float64, len(plan.Tasks)),
