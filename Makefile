@@ -1,8 +1,8 @@
 # Tier-1 verification gate (see ROADMAP.md): build + vet + staticcheck (when
-# installed) + race-enabled tests + allocation-regression smoke.
-.PHONY: check build vet staticcheck test faulttest scenariotest allocsmoke bench
+# installed) + race-enabled tests + allocation-regression smoke + fleet smoke.
+.PHONY: check build vet staticcheck test faulttest scenariotest allocsmoke fleettest bench
 
-check: build vet staticcheck test faulttest scenariotest allocsmoke
+check: build vet staticcheck test faulttest scenariotest allocsmoke fleettest
 
 build:
 	go build ./...
@@ -40,14 +40,20 @@ allocsmoke:
 	go test -run='^$$' -bench='EventEngine100k$$' -benchtime=1x -count=1 -benchmem . \
 		| go run ./cmd/benchjson -budget ALLOC_BUDGET.json
 
+# Fleet smoke: 3 shards behind the consistent-hash router plus an unsharded
+# baseline over real HTTP — routed solve/plan must be byte-identical to the
+# baseline, repeats must hit the shared cache tier (see DESIGN.md §13).
+fleettest:
+	./scripts/fleettest.sh
+
 # Tier-1 benchmarks (the virtual-time experiments; wall-clock figures are
 # excluded — their ns/op is modelled sleep time, not code under test) plus
 # the daemon serving path and the 100k-rank event engine, with a
 # machine-readable perf trajectory written to BENCH_JSON. Set
 # BENCH_BASELINE=prev.json to embed the previous numbers under "baseline".
-BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd|ServerSolve|EventEngine'
-BENCH_JSON ?= BENCH_PR8.json
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd|ServerSolve|EventEngine|FleetSession'
+BENCH_JSON ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR8.json
 bench:
 	go test -run='^$$' -bench=$(BENCH_PATTERN) -benchmem -benchtime=1x -count=3 . \
 		| go run ./cmd/benchjson -o $(BENCH_JSON) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))

@@ -44,8 +44,11 @@ type Measurement struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	Samples     int     `json:"samples"`
-	Dirty       bool    `json:"dirty,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "wireB/op" from the
+	// fleet-session benchmarks), averaged like the standard three.
+	Extra   map[string]float64 `json:"extra,omitempty"`
+	Samples int                `json:"samples"`
+	Dirty   bool               `json:"dirty,omitempty"`
 }
 
 // Delta is one benchmark's percent change vs the baseline file (positive =
@@ -129,11 +132,14 @@ func hostInfo() *Host {
 	return h
 }
 
-// benchLine matches e.g.
+// benchLine matches the name + iteration count prefix of e.g.
 //
 //	BenchmarkFoo-8   3   123456 ns/op   7890 B/op   12 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+//
+// The metrics themselves are parsed as value/unit pairs from the remainder,
+// because custom b.ReportMetric units (printed between ns/op and B/op)
+// would otherwise shift the fixed-position groups.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\S.*)$`)
 
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout)")
@@ -173,9 +179,26 @@ func main() {
 			s = &Measurement{}
 			sums[name] = s
 		}
-		s.NsPerOp += atof(m[2])
-		s.BytesPerOp += atof(m[3])
-		s.AllocsPerOp += atof(m[4])
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue // not a value/unit pair (e.g. a trailing note)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				s.NsPerOp += v
+			case "B/op":
+				s.BytesPerOp += v
+			case "allocs/op":
+				s.AllocsPerOp += v
+			default:
+				if s.Extra == nil {
+					s.Extra = map[string]float64{}
+				}
+				s.Extra[unit] += v
+			}
+		}
 		s.Samples++
 	}
 	if err := sc.Err(); err != nil {
@@ -186,10 +209,18 @@ func main() {
 	}
 	for name, s := range sums {
 		n := float64(s.Samples)
+		var extra map[string]float64
+		if len(s.Extra) > 0 {
+			extra = make(map[string]float64, len(s.Extra))
+			for unit, v := range s.Extra {
+				extra[unit] = v / n
+			}
+		}
 		f.Benchmarks[name] = Measurement{
 			NsPerOp:     s.NsPerOp / n,
 			BytesPerOp:  s.BytesPerOp / n,
 			AllocsPerOp: s.AllocsPerOp / n,
+			Extra:       extra,
 			Samples:     s.Samples,
 			Dirty:       f.Host != nil && f.Host.Dirty,
 		}
@@ -300,19 +331,16 @@ func printSummary(f *File) {
 		if b, ok := f.Baseline[name]; ok && b.NsPerOp > 0 {
 			fmt.Fprintf(w, "  (%+.1f%% vs baseline)", 100*(m.NsPerOp-b.NsPerOp)/b.NsPerOp)
 		}
+		units := make([]string, 0, len(m.Extra))
+		for unit := range m.Extra {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			fmt.Fprintf(w, "  %.2f %s", m.Extra[unit], unit)
+		}
 		fmt.Fprintln(w)
 	}
-}
-
-func atof(s string) float64 {
-	if s == "" {
-		return 0
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		fatal(fmt.Errorf("bad number %q: %v", s, err))
-	}
-	return v
 }
 
 func fatal(err error) {

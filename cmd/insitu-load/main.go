@@ -6,6 +6,8 @@
 //	insitu-load -c 64 -d 10s -instances 4      # hot working set → coalescing
 //	insitu-load -alg Exact -jobs 12 -c 32      # heavy solves → shedding
 //	insitu-load -batch 16 -c 8 -n 500          # one POST /v1/solve/batch per step
+//	insitu-load -servers http://h1:8080,http://h2:8080 -n 2000
+//	insitu-load -phases 3 -n 500               # 3 phases, fresh percentiles each
 //
 // Closed loop means each of the -c workers keeps exactly one request in
 // flight: a new request is issued only when the previous one completes, so
@@ -18,6 +20,20 @@
 // makes every request unique to defeat both. With -batch N each request
 // carries N instances in one round-trip — the amortization the planner's
 // own balancing pass uses — and per-item errors are tallied separately.
+//
+// Fleet mode. -servers drives a planning fleet through the ring-aware
+// client (internal/client.Fleet): each solve routes to the shard owning its
+// fingerprint, and the report adds per-shard request counts and latency
+// percentiles plus each shard's own cache/coalesce counter deltas (scraped
+// from every shard's /metrics before and after the run). With -batch in
+// fleet mode the batch is split per owning shard; per-shard latency tallies
+// are not attributed (one batch spans several shards).
+//
+// Phases. -phases N runs the workload N times back to back with the
+// latency histogram reset at each phase boundary, reporting percentiles per
+// phase — so a warm-up phase (cold caches) doesn't pollute the steady-state
+// percentiles, and cache-warming effects are visible as phase-over-phase
+// deltas rather than a blended average.
 //
 // The generator talks to the daemon through internal/client with retries
 // disabled: a load tool must observe shed and drain responses, not paper
@@ -34,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,9 +64,11 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	servers := flag.String("servers", "", "comma-separated fleet base URLs: route via the consistent-hash ring client instead of -addr")
 	conc := flag.Int("c", 16, "closed-loop worker count (in-flight requests)")
-	total := flag.Int("n", 1000, "total requests to issue (0 = until -d elapses)")
-	dur := flag.Duration("d", 0, "run duration (0 = until -n requests)")
+	total := flag.Int("n", 1000, "requests to issue per phase (0 = until -d elapses)")
+	dur := flag.Duration("d", 0, "per-phase duration (0 = until -n requests)")
+	phases := flag.Int("phases", 1, "number of phases; the latency histogram resets at each phase boundary")
 	alg := flag.String("alg", "", "algorithm name (empty = server default)")
 	batch := flag.Int("batch", 0, "instances per request via /v1/solve/batch (0/1 = itemwise /v1/solve)")
 	instances := flag.Int("instances", 8, "distinct instances in the pool (0 = every request unique)")
@@ -66,6 +85,9 @@ func main() {
 	if *total <= 0 && *dur <= 0 {
 		fatal(fmt.Errorf("need -n or -d"))
 	}
+	if *phases < 1 {
+		fatal(fmt.Errorf("-phases must be >= 1"))
+	}
 
 	cfg := sched.DefaultGenConfig()
 	cfg.Jobs = *jobs
@@ -80,123 +102,205 @@ func main() {
 		pool[i] = *sched.RandomProblem(rng, cfg)
 	}
 
-	c := client.New(*addr,
-		client.WithMaxRetries(0),
-		client.WithHTTPClient(&http.Client{Timeout: 5 * time.Minute}))
+	hc := &http.Client{Timeout: 5 * time.Minute}
+	opts := []client.Option{client.WithMaxRetries(0), client.WithHTTPClient(hc)}
 	ctx := context.Background()
 
-	before, _ := c.Metrics(ctx)
-
+	// The issue function abstracts single-daemon vs fleet mode; it returns
+	// the base URL that served the request ("" when not attributable).
 	var (
-		issued    atomic.Int64
-		mu        sync.Mutex
-		lats      []float64 // seconds, successful requests only
-		byCode    = map[int]int{}
-		netErrs   int
-		itemsOK   int64
-		itemsErr  int64
-		itemCodes = map[string]int{}
+		issue      func(wrng *rand.Rand) (string, int, []string, error)
+		metricsFor map[string]*client.Client // scrape targets, keyed by label
 	)
+	if *servers != "" {
+		var bases []string
+		for _, s := range strings.Split(*servers, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				bases = append(bases, s)
+			}
+		}
+		f, err := client.NewFleet(bases, client.WithHTTPClient(hc))
+		if err != nil {
+			fatal(err)
+		}
+		metricsFor = map[string]*client.Client{}
+		for _, b := range f.Servers() {
+			metricsFor[b] = f.Client(b)
+		}
+		issue = func(wrng *rand.Rand) (string, int, []string, error) {
+			if *batch > 1 {
+				req := api.SolveBatchRequest{Algorithm: *alg, TimeoutMs: *timeoutMs,
+					Problems: make([]sched.Problem, *batch)}
+				for i := range req.Problems {
+					req.Problems[i] = pool[wrng.Intn(len(pool))]
+				}
+				resp, err := f.SolveBatch(ctx, req)
+				if err != nil {
+					return "", 0, nil, err
+				}
+				ok, er := tallyItems(resp.Items)
+				return "", ok, er, nil
+			}
+			_, base, err := f.Solve(ctx, api.SolveRequest{
+				Algorithm: *alg, TimeoutMs: *timeoutMs,
+				Problem: pool[wrng.Intn(len(pool))],
+			})
+			if err != nil {
+				return base, 0, nil, err
+			}
+			return base, 1, nil, nil
+		}
+	} else {
+		c := client.New(*addr, opts...)
+		metricsFor = map[string]*client.Client{*addr: c}
+		issue = func(wrng *rand.Rand) (string, int, []string, error) {
+			if *batch > 1 {
+				req := api.SolveBatchRequest{Algorithm: *alg, TimeoutMs: *timeoutMs,
+					Problems: make([]sched.Problem, *batch)}
+				for i := range req.Problems {
+					req.Problems[i] = pool[wrng.Intn(len(pool))]
+				}
+				resp, err := c.SolveBatch(ctx, req)
+				if err != nil {
+					return *addr, 0, nil, err
+				}
+				ok, er := tallyItems(resp.Items)
+				return *addr, ok, er, nil
+			}
+			_, err := c.Solve(ctx, api.SolveRequest{
+				Algorithm: *alg, TimeoutMs: *timeoutMs,
+				Problem: pool[wrng.Intn(len(pool))],
+			})
+			if err != nil {
+				return *addr, 0, nil, err
+			}
+			return *addr, 1, nil, nil
+		}
+	}
+
+	before := scrapeAll(ctx, metricsFor)
+
+	anyOK := false
+	for phase := 1; phase <= *phases; phase++ {
+		// A fresh histogram per phase: percentiles never blend across phase
+		// boundaries.
+		st := runPhase(issue, *conc, *total, *dur, *seed+int64(phase)*10_000)
+		if *phases > 1 {
+			fmt.Printf("--- phase %d/%d ---\n", phase, *phases)
+		}
+		reportPhase(os.Stdout, st, *batch)
+		if st.byCode[http.StatusOK] > 0 {
+			anyOK = true
+		}
+	}
+
+	after := scrapeAll(ctx, metricsFor)
+	reportServers(os.Stdout, metricsFor, before, after)
+	if !anyOK {
+		os.Exit(1)
+	}
+}
+
+func tallyItems(items []api.SolveBatchItem) (ok int, er []string) {
+	for _, it := range items {
+		if it.Error != nil {
+			er = append(er, it.Error.Code)
+		} else {
+			ok++
+		}
+	}
+	return ok, er
+}
+
+// phaseStats is one phase's client-side tally. lats and shardLats start
+// empty every phase — the per-phase histogram reset.
+type phaseStats struct {
+	elapsed   time.Duration
+	lats      []float64 // seconds, successful requests only
+	shardLats map[string][]float64
+	byCode    map[int]int
+	netErrs   int
+	itemsOK   int64
+	itemsErr  int64
+	itemCodes map[string]int
+}
+
+// runPhase runs one closed-loop phase to its -n/-d bound.
+func runPhase(issue func(*rand.Rand) (string, int, []string, error),
+	conc, total int, dur time.Duration, seed int64) *phaseStats {
+
+	st := &phaseStats{
+		shardLats: map[string][]float64{},
+		byCode:    map[int]int{},
+		itemCodes: map[string]int{},
+	}
+	var issued atomic.Int64
+	var mu sync.Mutex
 	stopAt := time.Time{}
-	if *dur > 0 {
-		stopAt = time.Now().Add(*dur)
+	if dur > 0 {
+		stopAt = time.Now().Add(dur)
 	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < *conc; w++ {
+	for w := 0; w < conc; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wrng := rand.New(rand.NewSource(*seed + 1000 + int64(w)))
+			wrng := rand.New(rand.NewSource(seed + 1000 + int64(w)))
 			for {
 				n := issued.Add(1)
-				if *total > 0 && n > int64(*total) {
+				if total > 0 && n > int64(total) {
 					return
 				}
 				if !stopAt.IsZero() && time.Now().After(stopAt) {
 					return
 				}
 
-				var (
-					err     error
-					okItems int
-					erItems []string
-				)
 				t0 := time.Now()
-				if *batch > 1 {
-					req := api.SolveBatchRequest{Algorithm: *alg, TimeoutMs: *timeoutMs,
-						Problems: make([]sched.Problem, *batch)}
-					for i := range req.Problems {
-						req.Problems[i] = pool[wrng.Intn(len(pool))]
-					}
-					var resp *api.SolveBatchResponse
-					resp, err = c.SolveBatch(ctx, req)
-					if err == nil {
-						for _, it := range resp.Items {
-							if it.Error != nil {
-								erItems = append(erItems, it.Error.Code)
-							} else {
-								okItems++
-							}
-						}
-					}
-				} else {
-					_, err = c.Solve(ctx, api.SolveRequest{
-						Algorithm: *alg, TimeoutMs: *timeoutMs,
-						Problem: pool[wrng.Intn(len(pool))],
-					})
-					if err == nil {
-						okItems = 1
-					}
-				}
+				base, okItems, erItems, err := issue(wrng)
 				lat := time.Since(t0).Seconds()
 
 				mu.Lock()
 				var apiErr *client.APIError
 				switch {
 				case err == nil:
-					byCode[http.StatusOK]++
-					lats = append(lats, lat)
-					itemsOK += int64(okItems)
-					itemsErr += int64(len(erItems))
+					st.byCode[http.StatusOK]++
+					st.lats = append(st.lats, lat)
+					if base != "" {
+						st.shardLats[base] = append(st.shardLats[base], lat)
+					}
+					st.itemsOK += int64(okItems)
+					st.itemsErr += int64(len(erItems))
 					for _, code := range erItems {
-						itemCodes[code]++
+						st.itemCodes[code]++
 					}
 				case errors.As(err, &apiErr):
-					byCode[apiErr.Status]++
+					st.byCode[apiErr.Status]++
 				default:
-					netErrs++
+					st.netErrs++
 				}
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-
-	after, _ := c.Metrics(ctx)
-	report(os.Stdout, elapsed, lats, byCode, netErrs, *batch, itemsOK, itemsErr, itemCodes, before, after)
-	if byCode[http.StatusOK] == 0 {
-		os.Exit(1)
-	}
+	st.elapsed = time.Since(start)
+	return st
 }
 
-func report(w io.Writer, elapsed time.Duration, lats []float64,
-	byCode map[int]int, netErrs, batch int, itemsOK, itemsErr int64,
-	itemCodes map[string]int, before, after obs.MetricsSnapshot) {
-
-	totalDone := netErrs
-	codes := make([]int, 0, len(byCode))
-	for c, n := range byCode {
+func reportPhase(w io.Writer, st *phaseStats, batch int) {
+	totalDone := st.netErrs
+	codes := make([]int, 0, len(st.byCode))
+	for c, n := range st.byCode {
 		codes = append(codes, c)
 		totalDone += n
 	}
 	sort.Ints(codes)
 
 	fmt.Fprintf(w, "requests:   %d in %s (%.1f req/s)\n",
-		totalDone, elapsed.Round(time.Millisecond), float64(totalDone)/elapsed.Seconds())
+		totalDone, st.elapsed.Round(time.Millisecond), float64(totalDone)/st.elapsed.Seconds())
 	for _, c := range codes {
 		label := http.StatusText(c)
 		switch c {
@@ -204,46 +308,100 @@ func report(w io.Writer, elapsed time.Duration, lats []float64,
 			label = "shed (queue full)"
 		case http.StatusGatewayTimeout:
 			label = "deadline exceeded"
+		case http.StatusBadGateway:
+			label = "upstream (no shard)"
 		}
 		fmt.Fprintf(w, "  %d %-18s %7d  (%5.1f%%)\n",
-			c, label, byCode[c], 100*float64(byCode[c])/float64(totalDone))
+			c, label, st.byCode[c], 100*float64(st.byCode[c])/float64(totalDone))
 	}
-	if netErrs > 0 {
-		fmt.Fprintf(w, "  network errors       %7d\n", netErrs)
+	if st.netErrs > 0 {
+		fmt.Fprintf(w, "  network errors       %7d\n", st.netErrs)
 	}
 	if batch > 1 {
-		fmt.Fprintf(w, "items:      %d ok, %d failed (batch size %d)\n", itemsOK, itemsErr, batch)
-		ks := make([]string, 0, len(itemCodes))
-		for k := range itemCodes {
+		fmt.Fprintf(w, "items:      %d ok, %d failed (batch size %d)\n", st.itemsOK, st.itemsErr, batch)
+		ks := make([]string, 0, len(st.itemCodes))
+		for k := range st.itemCodes {
 			ks = append(ks, k)
 		}
 		sort.Strings(ks)
 		for _, k := range ks {
-			fmt.Fprintf(w, "  item error %-12s %7d\n", k, itemCodes[k])
+			fmt.Fprintf(w, "  item error %-12s %7d\n", k, st.itemCodes[k])
 		}
 	}
 
-	if len(lats) > 0 {
-		sort.Float64s(lats)
-		q := func(p float64) float64 {
-			i := int(p * float64(len(lats)-1))
-			return lats[i]
+	if len(st.lats) > 0 {
+		fmt.Fprintf(w, "latency:    %s\n", percentiles(st.lats))
+	}
+	// Per-shard spread (fleet mode, itemwise): who served how much, how fast.
+	if len(st.shardLats) > 1 {
+		bases := make([]string, 0, len(st.shardLats))
+		for b := range st.shardLats {
+			bases = append(bases, b)
 		}
-		fmt.Fprintf(w, "latency:    p50 %s  p90 %s  p99 %s  max %s\n",
-			fmtSec(q(0.50)), fmtSec(q(0.90)), fmtSec(q(0.99)), fmtSec(lats[len(lats)-1]))
+		sort.Strings(bases)
+		for _, b := range bases {
+			fmt.Fprintf(w, "  shard %-28s %6d reqs  %s\n", b, len(st.shardLats[b]), percentiles(st.shardLats[b]))
+		}
 	}
+}
 
-	if !before.Enabled || !after.Enabled {
-		fmt.Fprintln(w, "server:     /metrics unavailable")
-		return
+// percentiles formats p50/p90/p99/max for one latency slice (sorts in place).
+func percentiles(lats []float64) string {
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
 	}
-	delta := func(name string) float64 {
-		return after.Counters[name] - before.Counters[name]
+	return fmt.Sprintf("p50 %s  p90 %s  p99 %s  max %s",
+		fmtSec(q(0.50)), fmtSec(q(0.90)), fmtSec(q(0.99)), fmtSec(lats[len(lats)-1]))
+}
+
+func scrapeAll(ctx context.Context, targets map[string]*client.Client) map[string]obs.MetricsSnapshot {
+	out := make(map[string]obs.MetricsSnapshot, len(targets))
+	for label, c := range targets {
+		snap, _ := c.Metrics(ctx)
+		out[label] = snap
 	}
-	fmt.Fprintf(w, "server:     coalesced %.0f  cache hit %.0f  cache miss %.0f  shed %.0f  deadline %.0f  batch dedup %.0f\n",
-		delta("server.coalesce.hit"), delta("server.solve.cache.hit"),
-		delta("server.solve.cache.miss"), delta("server.shed"), delta("server.deadline"),
-		delta("server.solve.batch.dedup"))
+	return out
+}
+
+// reportServers prints each scrape target's serving-counter deltas: one
+// line for a single daemon, one per shard in fleet mode.
+func reportServers(w io.Writer, targets map[string]*client.Client,
+	before, after map[string]obs.MetricsSnapshot) {
+
+	labels := make([]string, 0, len(targets))
+	for l := range targets {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		b, a := before[label], after[label]
+		if !b.Enabled || !a.Enabled {
+			fmt.Fprintf(w, "server %s: /metrics unavailable\n", label)
+			continue
+		}
+		delta := func(name string) float64 {
+			return a.Counters[name] - b.Counters[name]
+		}
+		// A fleet router exposes fleet.ring.* counters instead of server.*.
+		if _, isRouter := a.Counters["fleet.ring.solve.requests"]; isRouter {
+			var forwards float64
+			for name := range a.Counters {
+				if strings.HasPrefix(name, "fleet.ring.forward.") {
+					forwards += delta(name)
+				}
+			}
+			fmt.Fprintf(w, "router %s: forwarded %.0f  tier hit %.0f  tier miss %.0f  coalesced %.0f  failover %.0f\n",
+				label, forwards, delta("fleet.ring.cache.hit"), delta("fleet.ring.cache.miss"),
+				delta("fleet.ring.coalesced"), delta("fleet.ring.failover"))
+			continue
+		}
+		fmt.Fprintf(w, "server %s: coalesced %.0f  cache hit %.0f  cache miss %.0f  shed %.0f  deadline %.0f  batch dedup %.0f\n",
+			label, delta("server.coalesce.hit"), delta("server.solve.cache.hit"),
+			delta("server.solve.cache.miss"), delta("server.shed"), delta("server.deadline"),
+			delta("server.solve.batch.dedup"))
+	}
 }
 
 func fmtSec(s float64) string {

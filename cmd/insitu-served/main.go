@@ -23,6 +23,16 @@
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
 // in-flight requests and queued tasks run to completion (bounded by the
 // shutdown grace period), then the worker pool exits.
+//
+// Fleet mode. With -route, the process serves the same /v1 surface as a
+// router over a planning fleet instead of solving locally:
+//
+//	insitu-served -route http://h1:8080,http://h2:8080,http://h3:8080
+//
+// Each request is forwarded to the shard a consistent-hash ring places it
+// on (solves by exact problem fingerprint), behind a fleet-wide cache tier
+// and per-fingerprint singleflight; a health ticker keeps ring membership
+// live, and GET /v1/ring reports the topology.
 package main
 
 import (
@@ -34,10 +44,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/client"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/plan"
@@ -46,6 +59,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	route := flag.String("route", "", "comma-separated shard base URLs: run as a fleet router instead of a local solver")
+	healthEvery := flag.Duration("health-interval", 2*time.Second, "shard health-check interval in -route mode")
 	pool := flag.Int("pool", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "admission queue depth beyond the workers")
 	cacheSize := flag.Int("cache", 4096, "solve cache capacity in entries")
@@ -60,6 +75,11 @@ func main() {
 
 	if *version {
 		fmt.Println(buildinfo.String("insitu-served"))
+		return
+	}
+
+	if *route != "" {
+		runRouter(*route, *addr, *healthEvery, *maxBytes, *cacheSize, *grace, *metrics)
 		return
 	}
 
@@ -135,6 +155,86 @@ func main() {
 		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", *tracePath)
 	}
 	if *metrics {
+		if err := rec.WriteMetrics(os.Stdout); err != nil {
+			fatal(fmt.Errorf("writing metrics: %w", err))
+		}
+	}
+}
+
+// runRouter serves fleet-router mode: the ring-routed frontend over the
+// given shards, with a health ticker maintaining live membership and the
+// same graceful-drain lifecycle as solver mode.
+func runRouter(shardList, addr string, healthEvery time.Duration, maxBytes int64, cacheSize int, grace time.Duration, metrics bool) {
+	var shards []string
+	for _, s := range strings.Split(shardList, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	rec := obs.NewRecorder()
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Shards:          shards,
+		Dial:            func(base string) fleet.Shard { return client.New(base, client.WithMaxRetries(0)) },
+		Rec:             rec,
+		CacheEntries:    cacheSize,
+		MaxRequestBytes: maxBytes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Live membership: probe on startup and on a ticker thereafter.
+	live := rt.CheckHealth(ctx)
+	go func() {
+		tick := time.NewTicker(healthEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				probe, cancel := context.WithTimeout(ctx, healthEvery)
+				rt.CheckHealth(probe)
+				cancel()
+			}
+		}
+	}()
+
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	fmt.Printf("insitu-served: routing on %s across %d shards (%d live, health every %s)\n",
+		ln.Addr(), len(shards), live, healthEvery)
+
+	select {
+	case err := <-served:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "insitu-served: router draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-served: forced shutdown:", err)
+		hs.Close()
+	}
+	if err := <-served; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "insitu-served: serve:", err)
+	}
+	fmt.Fprintln(os.Stderr, "insitu-served: router drained")
+	if metrics {
 		if err := rec.WriteMetrics(os.Stdout); err != nil {
 			fatal(fmt.Errorf("writing metrics: %w", err))
 		}

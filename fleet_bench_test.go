@@ -1,0 +1,139 @@
+package repro_test
+
+// Plan-session efficiency benchmarks: the wire-level cost of one
+// steady-state iteration through a fleet session (unchanged input → compact
+// reuse token resolved against the client's cached plan) versus the full
+// re-POST a session-less client pays every iteration. ns/op is the
+// end-to-end HTTP round trip; the custom wireB/op metric counts actual
+// request+response body bytes through an instrumented transport, so the
+// session protocol's bandwidth claim is measured, not estimated.
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/server"
+)
+
+// countingTransport tallies request and response body bytes.
+type countingTransport struct {
+	rt    http.RoundTripper
+	bytes atomic.Int64
+}
+
+type countingReader struct {
+	io.ReadCloser
+	n *atomic.Int64
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	n, err := r.ReadCloser.Read(p)
+	r.n.Add(int64(n))
+	return n, err
+}
+
+func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.ContentLength > 0 {
+		t.bytes.Add(req.ContentLength)
+	}
+	resp, err := t.rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = &countingReader{ReadCloser: resp.Body, n: &t.bytes}
+	return resp, nil
+}
+
+// benchSessionInput builds a realistically sized iteration input: ranks
+// each carrying jobs predicted jobs — large enough that a full re-POST
+// moves tens of kilobytes per iteration.
+func benchSessionInput(ranks, jobs int) plan.Input {
+	cfg := sched.DefaultGenConfig()
+	cfg.Jobs = jobs
+	rng := rand.New(rand.NewSource(7))
+	in := plan.Input{Ranks: make([]plan.RankInput, ranks)}
+	for r := range in.Ranks {
+		p := sched.RandomProblem(rng, cfg)
+		ri := plan.RankInput{
+			Horizon:   p.Horizon,
+			CompHoles: p.CompHoles,
+			IOHoles:   p.IOHoles,
+		}
+		for _, j := range p.Jobs {
+			ri.Jobs = append(ri.Jobs, plan.Job{ID: j.ID, PredComp: j.Comp, PredIO: j.IO})
+		}
+		in.Ranks[r] = ri
+	}
+	return in
+}
+
+func benchFleetSession(b *testing.B, steady bool) {
+	srv := server.New(server.Config{PoolSize: 2, QueueDepth: 256, Cache: plan.NewSolveCache(0)})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	ct := &countingTransport{rt: http.DefaultTransport.(*http.Transport).Clone()}
+	f, err := client.NewFleet([]string{ts.URL},
+		client.WithHTTPClient(&http.Client{Transport: ct}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := f.OpenSession(ctx, api.SessionCreateRequest{
+		Key: "bench", Balance: true, RanksPerNode: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	in := benchSessionInput(32, 64)
+	// Warm: the first iteration always plans in full.
+	if _, _, _, err := sess.Iter(ctx, in, 0); err != nil {
+		b.Fatal(err)
+	}
+
+	ct.bytes.Store(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !steady {
+			// Every iteration differs → full input on the wire, full plan
+			// back: the session-less re-POST cost.
+			in.Ranks[0].Jobs[0].PredIO = 1 + 1e-6*float64(i+1)
+		}
+		p, _, reused, err := sess.Iter(ctx, in, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if reused != steady {
+			b.Fatalf("reused = %v, want %v", reused, steady)
+		}
+		if p == nil {
+			b.Fatal("no plan")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ct.bytes.Load())/float64(b.N), "wireB/op")
+}
+
+// BenchmarkFleetSessionHit is the steady state: byte-identical input every
+// iteration, so the request is an unchanged=true token and the response a
+// reused=true token — no input upload, no plan download, no solver work.
+func BenchmarkFleetSessionHit(b *testing.B) { benchFleetSession(b, true) }
+
+// BenchmarkFleetSessionMiss perturbs the input every iteration: the full
+// input travels up, the full plan travels back, and the server re-plans —
+// what every iteration would cost without the session protocol.
+func BenchmarkFleetSessionMiss(b *testing.B) { benchFleetSession(b, false) }

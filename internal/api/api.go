@@ -46,6 +46,15 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeInternal: a panic or unexpected failure. HTTP 500.
 	CodeInternal = "internal"
+	// CodeNoSession: the session id names no live session on this server —
+	// never created, expired, evicted, or lost to a restart. A session
+	// client reacts by re-registering (typically on the ring successor) and
+	// re-posting the full iteration input. HTTP 404.
+	CodeNoSession = "no_session"
+	// CodeUpstream: a fleet router could not reach any shard able to serve
+	// the request (every candidate failed at the transport level or was
+	// draining). HTTP 502.
+	CodeUpstream = "upstream"
 )
 
 // Error is the typed error carried by ErrorEnvelope and by failed batch
@@ -155,4 +164,53 @@ type VersionResponse struct {
 	Version   string `json:"version"`
 	GoVersion string `json:"goVersion"`
 	Settings  string `json:"settings,omitempty"`
+}
+
+// SessionCreateRequest is the POST /v1/session body: a running application
+// registers its planning configuration once, then posts per-iteration inputs
+// to the returned session. Key is the caller's stable workload identity
+// (e.g. app name + job id); a fleet router uses it as the consistent-hash
+// routing key so a re-registered session lands deterministically. The
+// remaining fields mirror PlanRequest's knobs and are fixed for the
+// session's lifetime.
+type SessionCreateRequest struct {
+	Key          string `json:"key,omitempty"`
+	Algorithm    string `json:"algorithm,omitempty"`
+	Balance      bool   `json:"balance,omitempty"`
+	RanksPerNode int    `json:"ranksPerNode,omitempty"`
+	BaseRank     int    `json:"baseRank,omitempty"`
+}
+
+// SessionCreateResponse is the POST /v1/session reply. ID addresses the
+// session in /v1/session/{id}/iter and DELETE /v1/session/{id}; it is
+// opaque (a router may prefix it with shard placement).
+type SessionCreateResponse struct {
+	ID        string          `json:"id"`
+	Algorithm sched.Algorithm `json:"algorithm"`
+}
+
+// SessionIterRequest is the POST /v1/session/{id}/iter body: one
+// iteration's planning input, or — when the client's own exact-byte input
+// key matches its previous iteration — just Unchanged=true with no input at
+// all, making the steady-state request a few bytes instead of a full
+// problem re-POST. The server independently compares its stored key, so a
+// full Input that happens to repeat is also answered with a reuse token.
+type SessionIterRequest struct {
+	Unchanged bool       `json:"unchanged,omitempty"`
+	Input     plan.Input `json:"input"`
+	TimeoutMs int        `json:"timeoutMs,omitempty"`
+}
+
+// SessionIterResponse is the POST /v1/session/{id}/iter reply. Reused=true
+// means the input was byte-identical to the session's previous iteration:
+// no solver ran, Plan is omitted, and the client resolves the token against
+// the plan it cached from the last full response (the planner is
+// deterministic, so that plan is byte-identical to what a re-plan would
+// have produced). Seq counts iterations served on this session, so a
+// client can detect a lost/recreated session beyond the id change.
+type SessionIterResponse struct {
+	Reused  bool                `json:"reused,omitempty"`
+	Seq     int64               `json:"seq"`
+	Plan    *plan.IterationPlan `json:"plan,omitempty"`
+	Overall float64             `json:"overall,omitempty"`
 }

@@ -43,6 +43,15 @@ func (e *APIError) Retryable() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
+// HTTPStatus returns the response's HTTP status code. It is the interface
+// the fleet router asserts on (without importing this package) to tell a
+// typed API verdict from a transport failure.
+func (e *APIError) HTTPStatus() int { return e.Status }
+
+// Envelope returns the decoded error envelope, for proxies (the fleet
+// router) that pass a shard's error through to their own client verbatim.
+func (e *APIError) Envelope() api.Error { return e.Err }
+
 // Client talks to one daemon. The zero value is not usable; build with New.
 // Client is safe for concurrent use.
 type Client struct {
@@ -111,6 +120,32 @@ func (c *Client) Plan(ctx context.Context, req api.PlanRequest) (*api.PlanRespon
 	return &resp, nil
 }
 
+// SessionCreate registers a plan session via POST /v1/session. The returned
+// ID addresses SessionIter and SessionDelete.
+func (c *Client) SessionCreate(ctx context.Context, req api.SessionCreateRequest) (*api.SessionCreateResponse, error) {
+	var resp api.SessionCreateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/session", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SessionIter posts one iteration's input to POST /v1/session/{id}/iter.
+// A Reused=true response carries no plan — the caller resolves it against
+// the plan cached from the last full response (FleetSession does this).
+func (c *Client) SessionIter(ctx context.Context, id string, req api.SessionIterRequest) (*api.SessionIterResponse, error) {
+	var resp api.SessionIterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/session/"+id+"/iter", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SessionDelete closes a session via DELETE /v1/session/{id}.
+func (c *Client) SessionDelete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/session/"+id, nil, nil)
+}
+
 // Algorithms fetches GET /v1/algorithms.
 func (c *Client) Algorithms(ctx context.Context) (*api.AlgorithmsResponse, error) {
 	var resp api.AlgorithmsResponse
@@ -177,7 +212,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if lastErr == nil {
 			return nil
 		}
-		retryable, delay := retryInfo(lastErr, c.baseDelay<<attempt)
+		retryable, delay := retryInfo(lastErr, backoff(c.baseDelay, attempt))
 		if !retryable || attempt >= c.maxRetries {
 			return lastErr
 		}
@@ -257,6 +292,29 @@ func retryInfo(err error, fallback time.Duration) (bool, time.Duration) {
 	// Transport-level failure (connection refused, reset, ...): the daemon
 	// may be restarting; retry on the fallback schedule.
 	return true, fallback
+}
+
+// maxBackoff caps the exponential fallback: past this the extra waiting
+// buys nothing, and an uncapped base<<attempt shift overflows for large
+// retry budgets (shift ≥ 64 yields a zero or negative delay — a busy-loop).
+const maxBackoff = 30 * time.Second
+
+// backoff returns the exponential fallback delay for the given attempt,
+// capped at maxBackoff and overflow-safe for any attempt count.
+func backoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	for i := 0; i < attempt; i++ {
+		base <<= 1
+		if base <= 0 || base >= maxBackoff {
+			return maxBackoff
+		}
+	}
+	if base > maxBackoff {
+		return maxBackoff
+	}
+	return base
 }
 
 // sleep waits d or until ctx is done, whichever first.

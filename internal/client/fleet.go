@@ -1,0 +1,332 @@
+package client
+
+// Fleet is the ring-aware multi-server client: the same consistent-hash
+// placement the router (internal/fleet) uses, run client-side, so an
+// application can talk to a planning fleet with no router in between. Each
+// request is keyed exactly as the router keys it (algorithm + problem
+// fingerprint for solves, the exact-byte input key for plans, the caller's
+// session key for sessions) and walks the ring's successor list on
+// transport failures — the shard that a consistent-hash re-placement would
+// pick is exactly the next one tried.
+//
+// FleetSession layers the streaming plan-session protocol on top: register
+// once, post per-iteration inputs, send unchanged=true when the client's
+// own input key repeats, resolve the server's compact reuse tokens against
+// the locally cached plan, and transparently re-register on the ring
+// successor when a shard dies mid-session.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/fleet"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+// Fleet fans a client across several planning daemons with consistent-hash
+// placement and successor failover. Build with NewFleet; safe for
+// concurrent use.
+type Fleet struct {
+	servers []string
+	clients map[string]*Client
+	ring    *fleet.Ring
+}
+
+// NewFleet builds a Fleet over the given server base URLs. Per-server
+// retries default to 0 — the fleet's failover (next ring member, which is
+// already up) replaces in-place retrying (same member, maybe still down);
+// pass WithMaxRetries explicitly to layer both. opts apply to every
+// per-server client.
+func NewFleet(servers []string, opts ...Option) (*Fleet, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("client: fleet needs at least one server")
+	}
+	f := &Fleet{
+		servers: append([]string(nil), servers...),
+		clients: make(map[string]*Client, len(servers)),
+		ring:    fleet.NewRing(0, nil),
+	}
+	for _, s := range servers {
+		base := New(s).base // normalized
+		if _, dup := f.clients[base]; dup {
+			return nil, fmt.Errorf("client: duplicate fleet server %s", s)
+		}
+		f.clients[base] = New(s, append([]Option{WithMaxRetries(0)}, opts...)...)
+		f.ring.Add(base)
+	}
+	return f, nil
+}
+
+// Servers returns the fleet's member base URLs (normalized, ring order not
+// implied). Tooling uses this for per-shard tallies.
+func (f *Fleet) Servers() []string { return f.ring.Members() }
+
+// Client returns the per-server client for one member base URL, or nil.
+func (f *Fleet) Client(base string) *Client { return f.clients[base] }
+
+// failover reports whether err warrants trying the next ring member:
+// transport failures and 503 draining. Any other typed API verdict is about
+// the request, not the shard.
+func failover(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusServiceUnavailable
+	}
+	return true
+}
+
+// route runs fn against key's owners in ring-successor order until one
+// succeeds or answers with a non-failover error. Returns the base URL that
+// served the request.
+func (f *Fleet) route(key string, fn func(c *Client) error) (string, error) {
+	var lastErr error
+	for _, base := range f.ring.LookupN(key, 0) {
+		err := fn(f.clients[base])
+		if err == nil {
+			return base, nil
+		}
+		lastErr = err
+		if !failover(err) {
+			return base, err
+		}
+	}
+	return "", fmt.Errorf("client: all %d fleet members failed: %w", len(f.clients), lastErr)
+}
+
+// solveKey is the fleet-wide identity of one solve: algorithm plus the
+// exact problem fingerprint — the router uses the identical key, so a
+// direct fleet client and a routed one place the same solve on the same
+// shard (and hit the same shard-local cache).
+func solveKey(algorithm string, p *sched.Problem) (string, error) {
+	alg := sched.ExtJohnsonBF
+	if algorithm != "" {
+		var err error
+		if alg, err = sched.ParseAlgorithm(algorithm); err != nil {
+			return "", err
+		}
+	}
+	if err := p.Normalize(); err != nil {
+		return "", err
+	}
+	return string(alg) + "\x00" + p.Fingerprint(), nil
+}
+
+// Solve routes one solve to the shard owning its fingerprint, with
+// successor failover. The second return is the base URL that served it.
+func (f *Fleet) Solve(ctx context.Context, req api.SolveRequest) (*api.SolveResponse, string, error) {
+	key, err := solveKey(req.Algorithm, &req.Problem)
+	if err != nil {
+		return nil, "", err
+	}
+	var resp *api.SolveResponse
+	base, err := f.route(key, func(c *Client) error {
+		var cerr error
+		resp, cerr = c.Solve(ctx, req)
+		return cerr
+	})
+	return resp, base, err
+}
+
+// SolveBatch splits the batch by owning shard, forwards the sub-batches
+// concurrently, and merges the index-aligned items. Problems that fail
+// validation or whose shard group fails entirely get per-item errors, as on
+// the server.
+func (f *Fleet) SolveBatch(ctx context.Context, req api.SolveBatchRequest) (*api.SolveBatchResponse, error) {
+	alg := sched.ExtJohnsonBF
+	if req.Algorithm != "" {
+		var err error
+		if alg, err = sched.ParseAlgorithm(req.Algorithm); err != nil {
+			return nil, err
+		}
+	}
+	items := make([]api.SolveBatchItem, len(req.Problems))
+	byShard := make(map[string][]int)
+	keys := make([]string, len(req.Problems))
+	for i := range req.Problems {
+		key, err := solveKey(req.Algorithm, &req.Problems[i])
+		if err != nil {
+			items[i].Error = &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
+			continue
+		}
+		keys[i] = key
+		owner := f.ring.Lookup(key)
+		byShard[owner] = append(byShard[owner], i)
+	}
+	var wg sync.WaitGroup
+	for _, idxs := range byShard {
+		idxs := idxs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := api.SolveBatchRequest{
+				Algorithm: req.Algorithm, TimeoutMs: req.TimeoutMs,
+				Problems: make([]sched.Problem, len(idxs)),
+			}
+			for j, i := range idxs {
+				sub.Problems[j] = req.Problems[i]
+			}
+			var resp *api.SolveBatchResponse
+			_, err := f.route(keys[idxs[0]], func(c *Client) error {
+				var cerr error
+				resp, cerr = c.SolveBatch(ctx, sub)
+				return cerr
+			})
+			if err != nil {
+				for _, i := range idxs {
+					items[i].Error = &api.Error{Code: api.CodeUpstream, Message: err.Error()}
+				}
+				return
+			}
+			for j, i := range idxs {
+				items[i] = resp.Items[j]
+			}
+		}()
+	}
+	wg.Wait()
+	return &api.SolveBatchResponse{Algorithm: alg, Items: items}, nil
+}
+
+// Plan routes one full planning request by its exact-byte input key (plus
+// the config knobs), mirroring the router's placement.
+func (f *Fleet) Plan(ctx context.Context, req api.PlanRequest) (*api.PlanResponse, string, error) {
+	key := fmt.Sprintf("plan\x00%s\x00%v\x00%d\x00%d\x00", req.Algorithm, req.Balance, req.RanksPerNode, req.BaseRank) +
+		string(plan.AppendInputKey(nil, req.Input))
+	var resp *api.PlanResponse
+	base, err := f.route(key, func(c *Client) error {
+		var cerr error
+		resp, cerr = c.Plan(ctx, req)
+		return cerr
+	})
+	return resp, base, err
+}
+
+// FleetSession is a plan session held against a fleet: one shard owns the
+// session state; the client caches the last full plan to resolve reuse
+// tokens, and re-registers on the ring successor when the owner dies.
+// Not safe for concurrent Iter calls — a session models one sequential
+// application loop.
+type FleetSession struct {
+	f   *Fleet
+	req api.SessionCreateRequest
+
+	mu          sync.Mutex
+	base        string // member serving the session
+	id          string
+	alg         sched.Algorithm
+	key         []byte // input key of lastPlan
+	lastPlan    *plan.IterationPlan
+	lastOverall float64
+	reregisters int
+}
+
+// OpenSession registers a plan session. req.Key is the session's placement
+// key — give each application instance a stable one so re-registration
+// lands deterministically.
+func (f *Fleet) OpenSession(ctx context.Context, req api.SessionCreateRequest) (*FleetSession, error) {
+	s := &FleetSession{f: f, req: req}
+	if err := s.register(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// register (re)creates the server-side session on the first live owner in
+// ring order. Caller holds s.mu or has exclusive access.
+func (s *FleetSession) register(ctx context.Context) error {
+	var resp *api.SessionCreateResponse
+	base, err := s.f.route("session\x00"+s.req.Key, func(c *Client) error {
+		var cerr error
+		resp, cerr = c.SessionCreate(ctx, s.req)
+		return cerr
+	})
+	if err != nil {
+		return err
+	}
+	s.base, s.id, s.alg = base, resp.ID, resp.Algorithm
+	return nil
+}
+
+// Base returns the member currently serving the session. ID returns the
+// session id on that member. Reregisters counts failover re-registrations.
+func (s *FleetSession) Base() string { s.mu.Lock(); defer s.mu.Unlock(); return s.base }
+func (s *FleetSession) ID() string   { s.mu.Lock(); defer s.mu.Unlock(); return s.id }
+func (s *FleetSession) Reregisters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reregisters
+}
+
+// Algorithm returns the algorithm the session was registered with.
+func (s *FleetSession) Algorithm() sched.Algorithm { return s.alg }
+
+// Iter submits one iteration's input and returns its plan. When the input
+// repeats byte-identically, the request shrinks to an unchanged=true token
+// and the response to a reused=true token resolved against the locally
+// cached plan — the steady-state iteration costs a few wire bytes and no
+// solver work. reused reports that path. The returned plan is shared with
+// the session's cache: treat it as read-only.
+//
+// If the owning shard died or dropped the session (transport error or 404
+// no_session), Iter re-registers — the ring places the new session on the
+// live successor — and re-posts the full input once.
+func (s *FleetSession) Iter(ctx context.Context, in plan.Input, timeoutMs int) (p *plan.IterationPlan, overall float64, reused bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	key := plan.AppendInputKey(nil, in)
+	req := api.SessionIterRequest{TimeoutMs: timeoutMs}
+	if s.lastPlan != nil && bytes.Equal(key, s.key) {
+		req.Unchanged = true // input elided from the wire entirely
+	} else {
+		req.Input = in
+	}
+
+	resp, rerr := s.f.clients[s.base].SessionIter(ctx, s.id, req)
+	if rerr != nil && s.shouldReregister(rerr) {
+		if err := s.register(ctx); err != nil {
+			return nil, 0, false, fmt.Errorf("client: session re-register failed: %w", err)
+		}
+		s.reregisters++
+		// The new session has no stored key: always re-post the full input.
+		resp, rerr = s.f.clients[s.base].SessionIter(ctx, s.id, api.SessionIterRequest{Input: in, TimeoutMs: timeoutMs})
+	}
+	if rerr != nil {
+		return nil, 0, false, rerr
+	}
+
+	if resp.Reused {
+		if s.lastPlan == nil {
+			return nil, 0, false, errors.New("client: server sent reuse token but no plan is cached")
+		}
+		return s.lastPlan, s.lastOverall, true, nil
+	}
+	s.key = key
+	s.lastPlan = resp.Plan
+	s.lastOverall = resp.Overall
+	return resp.Plan, resp.Overall, false, nil
+}
+
+// shouldReregister classifies an Iter failure: a dead shard (transport
+// error), a draining one (503), or a lost session (404 no_session) all mean
+// "register again and re-post"; other verdicts are about the request.
+func (s *FleetSession) shouldReregister(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusServiceUnavailable || apiErr.Err.Code == api.CodeNoSession
+	}
+	return true
+}
+
+// Close deletes the server-side session. Best-effort: a dead shard already
+// forgot it.
+func (s *FleetSession) Close(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.clients[s.base].SessionDelete(ctx, s.id)
+}

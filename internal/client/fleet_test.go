@@ -1,0 +1,250 @@
+package client
+
+// Fleet-client tests against real daemons: consistent-hash routing parity
+// with a single unsharded server, successor failover on a dead shard, and
+// the session-resume e2e — kill the shard owning a live session mid-stream
+// and the client re-registers on the ring successor with plans that stay
+// byte-identical to the unsharded baseline.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/fleet"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/server"
+)
+
+// fleetShard pairs one daemon with its HTTP frontend so tests can kill it.
+type fleetShard struct {
+	srv *server.Server
+	hs  *httptest.Server
+}
+
+func startFleet(t *testing.T, n int) ([]string, map[string]*fleetShard) {
+	t.Helper()
+	urls := make([]string, n)
+	byBase := make(map[string]*fleetShard, n)
+	for i := range urls {
+		srv := server.New(server.Config{PoolSize: 2, QueueDepth: 64, Cache: plan.NewSolveCache(0)})
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { hs.Close(); srv.Close() })
+		urls[i] = hs.URL
+		byBase[hs.URL] = &fleetShard{srv: srv, hs: hs}
+	}
+	return urls, byBase
+}
+
+// fleetInput builds a deterministic plan input with rank-dependent IO skew.
+func fleetInput(ranks int, skew float64) plan.Input {
+	p := sched.Figure1Problem()
+	in := plan.Input{Ranks: make([]plan.RankInput, ranks)}
+	for r := range in.Ranks {
+		ri := plan.RankInput{
+			Horizon:   p.Horizon,
+			CompHoles: append([]sched.Interval(nil), p.CompHoles...),
+			IOHoles:   append([]sched.Interval(nil), p.IOHoles...),
+		}
+		for _, j := range p.Jobs {
+			ri.Jobs = append(ri.Jobs, plan.Job{
+				ID: j.ID, PredComp: j.Comp, PredIO: j.IO * (1 + skew*float64(r)),
+			})
+		}
+		in.Ranks[r] = ri
+	}
+	return in
+}
+
+func TestFleetSolveParityAndFailover(t *testing.T) {
+	urls, byBase := startFleet(t, 3)
+	f, err := NewFleet(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, _ := realDaemon(t)
+	ctx := context.Background()
+
+	mk := func(i int) sched.Problem {
+		p := *sched.Figure1Problem()
+		jobs := append([]sched.Job(nil), p.Jobs...)
+		for j := range jobs {
+			jobs[j].Comp *= 1 + 0.02*float64(i)
+		}
+		p.Jobs = jobs
+		return p
+	}
+
+	used := map[string]bool{}
+	for i := 0; i < 9; i++ {
+		req := api.SolveRequest{Problem: mk(i)}
+		got, base, err := f.Solve(ctx, req)
+		if err != nil {
+			t.Fatalf("fleet solve %d: %v", i, err)
+		}
+		used[base] = true
+		want, err := baseline.Solve(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, _ := json.Marshal(got.Schedule)
+		wb, _ := json.Marshal(want.Schedule)
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("solve %d: fleet schedule differs from unsharded baseline", i)
+		}
+	}
+	if len(used) < 2 {
+		t.Fatalf("9 solves used %d shard(s) — no placement spread", len(used))
+	}
+
+	// Kill one shard: its keys fail over to ring successors, transparently.
+	var dead string
+	for base := range used {
+		dead = base
+		break
+	}
+	byBase[dead].hs.Close()
+	for i := 0; i < 9; i++ {
+		got, base, err := f.Solve(ctx, api.SolveRequest{Problem: mk(i)})
+		if err != nil {
+			t.Fatalf("solve %d with dead shard: %v", i, err)
+		}
+		if base == dead {
+			t.Fatalf("solve %d reported the dead shard as server", i)
+		}
+		if got.Schedule == nil {
+			t.Fatalf("solve %d: empty schedule after failover", i)
+		}
+	}
+
+	// Batch: per-item parity against the baseline, dead shard tolerated.
+	var breq api.SolveBatchRequest
+	for i := 0; i < 6; i++ {
+		breq.Problems = append(breq.Problems, mk(i))
+	}
+	bresp, err := f.SolveBatch(ctx, breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp, err := baseline.SolveBatch(ctx, breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bresp.Items {
+		if bresp.Items[i].Error != nil {
+			t.Fatalf("batch item %d: %v", i, bresp.Items[i].Error)
+		}
+		gb, _ := json.Marshal(bresp.Items[i].Schedule)
+		wb, _ := json.Marshal(wresp.Items[i].Schedule)
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("batch item %d differs from baseline", i)
+		}
+	}
+}
+
+// TestFleetSessionResume is the kill-a-shard-mid-session e2e: the session
+// re-registers on the ring successor and every plan stays byte-identical to
+// the unsharded baseline.
+func TestFleetSessionResume(t *testing.T) {
+	urls, byBase := startFleet(t, 3)
+	f, err := NewFleet(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const sessionKey = "resume-app"
+
+	sess, err := f.OpenSession(ctx, api.SessionCreateRequest{
+		Key: sessionKey, Balance: true, RanksPerNode: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The session must sit on the ring owner for its key — the same
+	// placement an independent ring computes.
+	ring := fleet.NewRing(0, nil)
+	for base := range byBase {
+		ring.Add(base)
+	}
+	order := ring.LookupN("session\x00"+sessionKey, 0)
+	if sess.Base() != order[0] {
+		t.Fatalf("session on %s, ring owner is %s", sess.Base(), order[0])
+	}
+
+	in := fleetInput(4, 1)
+	baselinePlan, err := plan.Plan(in, plan.Config{Balance: true, RanksPerNode: 2, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _ := json.Marshal(baselinePlan)
+
+	p1, _, reused, err := sess.Iter(ctx, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first iteration cannot be a reuse")
+	}
+	if gb, _ := json.Marshal(p1); !bytes.Equal(gb, wantB) {
+		t.Fatal("fleet session plan differs from direct plan.Plan baseline")
+	}
+	// Steady state: byte-identical input → reuse token resolved locally.
+	p2, _, reused, err := sess.Iter(ctx, fleetInput(4, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || p2 != p1 {
+		t.Fatalf("steady-state iteration not reused (reused=%v)", reused)
+	}
+
+	// Kill the owner mid-session.
+	owner := sess.Base()
+	byBase[owner].hs.Close()
+
+	p3, _, reused, err := sess.Iter(ctx, fleetInput(4, 1), 0)
+	if err != nil {
+		t.Fatalf("iteration after shard kill: %v", err)
+	}
+	if reused {
+		t.Fatal("post-resume iteration claimed reuse — the new session has no stored key")
+	}
+	if sess.Reregisters() != 1 {
+		t.Fatalf("reregisters = %d, want 1", sess.Reregisters())
+	}
+	if sess.Base() == owner {
+		t.Fatal("session still claims the dead shard")
+	}
+	if sess.Base() != order[1] {
+		t.Fatalf("session resumed on %s, want ring successor %s", sess.Base(), order[1])
+	}
+	// The resumed plan is still byte-identical to the unsharded baseline.
+	if gb, _ := json.Marshal(p3); !bytes.Equal(gb, wantB) {
+		t.Fatal("post-resume plan differs from baseline")
+	}
+
+	// And the reuse protocol picks right back up on the new shard.
+	p4, _, reused, err := sess.Iter(ctx, fleetInput(4, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || p4 != p3 {
+		t.Fatal("reuse did not resume on the successor shard")
+	}
+
+	// A changed input still invalidates reuse.
+	p5, _, reused, err := sess.Iter(ctx, fleetInput(4, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused || p5 == p4 {
+		t.Fatal("changed input must produce a fresh plan")
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package client
+
+// Pinned retry-loop behavior: the exponential fallback is overflow-safe for
+// any attempt count (an uncapped base<<attempt shift wraps to zero past 63
+// attempts and turns the backoff into a busy-loop), and a context canceled
+// mid-backoff aborts the sleep immediately instead of serving it out.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/sched"
+)
+
+func TestBackoffOverflowSafe(t *testing.T) {
+	base := 100 * time.Millisecond
+	if got := backoff(base, 0); got != base {
+		t.Fatalf("attempt 0: %v, want %v", got, base)
+	}
+	if got := backoff(base, 1); got != 2*base {
+		t.Fatalf("attempt 1: %v, want %v", got, 2*base)
+	}
+	// Monotonic and positive across the full shift-overflow range.
+	prev := time.Duration(0)
+	for attempt := 0; attempt <= 128; attempt++ {
+		d := backoff(base, attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v (shift overflow)", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("attempt %d: backoff %v < previous %v", attempt, d, prev)
+		}
+		if d > maxBackoff {
+			t.Fatalf("attempt %d: backoff %v exceeds cap %v", attempt, d, maxBackoff)
+		}
+		prev = d
+	}
+	if got := backoff(base, 100); got != maxBackoff {
+		t.Fatalf("attempt 100: %v, want cap %v", got, maxBackoff)
+	}
+	if got := backoff(0, 5); got != 0 {
+		t.Fatalf("zero base: %v, want 0", got)
+	}
+}
+
+func TestRetryAbortsBackoffOnContextCancel(t *testing.T) {
+	// A daemon that always sheds with a long Retry-After hint, so the retry
+	// loop would sleep for seconds between attempts.
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"shed","message":"full","retry_after_s":30}}`)) //nolint:errcheck
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, WithMaxRetries(5))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err := c.Solve(ctx, api.SolveRequest{Problem: *sched.Figure1Problem()})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("expected an error after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// The 30s server hint must not be served out: cancellation cuts the
+	// sleep short. Generous bound for slow CI.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — the backoff sleep ignored ctx", elapsed)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server hit %d times, want 1 (cancel landed mid-backoff)", n)
+	}
+}

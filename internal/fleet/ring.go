@@ -1,0 +1,208 @@
+// Package fleet turns the single planning daemon into a horizontally
+// scalable planning fleet. It provides:
+//
+//   - Ring: a consistent-hash ring with virtual nodes — deterministic
+//     placement of solves onto shards keyed by the exact problem
+//     fingerprint (internal/sched), with live membership and obs gauges.
+//   - Router: a routing frontend serving the same /v1 surface as one
+//     daemon, forwarding each request to the shard the ring owns it to,
+//     with a shared cache tier and singleflight per key so a fingerprint
+//     is solved once fleet-wide.
+//
+// The router forwards through the Shard interface (satisfied by
+// internal/client's *Client) rather than importing the client package, so
+// internal/client is free to import this package for its own ring-aware
+// failover without a cycle. cmd/insitu-served wires the two together in
+// -route mode.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultReplicas is the virtual-node count per member: enough vnodes that
+// an 8-shard ring keeps max/mean key load under ~1.3 (pinned by the
+// distribution property test), small enough that membership changes rebuild
+// in microseconds.
+const DefaultReplicas = 128
+
+// vnode is one virtual point on the hash circle.
+type vnode struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring over named members (shard base URLs).
+// Placement is deterministic: the same members and key always map to the
+// same owner, regardless of insertion order. Safe for concurrent use; reads
+// (Lookup) take a read lock only.
+//
+// When a member joins or leaves, only the keys whose owning arc moved are
+// re-placed (~1/n of the keyspace) — the property that makes shard
+// membership changes cheap for the shared cache tier and for session
+// re-registration.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	members  map[string]bool
+	ring     []vnode // sorted by hash
+	rec      *obs.Recorder
+}
+
+// NewRing builds an empty ring with the given virtual-node count per member
+// (<=0 selects DefaultReplicas). rec, when non-nil, receives membership
+// gauges (fleet.ring.members, fleet.ring.vnodes) on every change.
+func NewRing(replicas int, rec *obs.Recorder) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{
+		replicas: replicas,
+		members:  make(map[string]bool),
+		rec:      rec,
+	}
+}
+
+// hash64 hashes s onto the ring circle: FNV-1a for the byte walk, then a
+// 64-bit avalanche finalizer (Murmur3's) — raw FNV clusters badly on the
+// near-identical strings vnodes produce ("host#0", "host#1", …), which
+// skews per-shard load far beyond the √replicas bound the balance property
+// test pins.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a member (no-op when present) and reports whether membership
+// changed.
+func (r *Ring) Add(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return false
+	}
+	r.members[member] = true
+	r.rebuildLocked()
+	return true
+}
+
+// Remove deletes a member (no-op when absent) and reports whether
+// membership changed.
+func (r *Ring) Remove(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return false
+	}
+	delete(r.members, member)
+	r.rebuildLocked()
+	return true
+}
+
+// rebuildLocked regenerates the sorted vnode array from the member set.
+// Vnode hashes depend only on (member, index), so placement is independent
+// of join order.
+func (r *Ring) rebuildLocked() {
+	r.ring = r.ring[:0]
+	for m := range r.members {
+		for i := 0; i < r.replicas; i++ {
+			r.ring = append(r.ring, vnode{hash: hash64(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.ring, func(a, b int) bool {
+		if r.ring[a].hash != r.ring[b].hash {
+			return r.ring[a].hash < r.ring[b].hash
+		}
+		return r.ring[a].member < r.ring[b].member // deterministic on (vanishingly rare) collisions
+	})
+	if r.rec.Enabled() {
+		r.rec.Gauge("fleet.ring.members", float64(len(r.members)))
+		r.rec.Gauge("fleet.ring.vnodes", float64(len(r.ring)))
+	}
+}
+
+// Members returns the live member set, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the live member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Has reports whether member is live.
+func (r *Ring) Has(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[member]
+}
+
+// Lookup returns the member owning key — the first vnode clockwise from the
+// key's hash — or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.ring) == 0 {
+		return ""
+	}
+	return r.ring[r.searchLocked(key)].member
+}
+
+// LookupN returns up to n distinct members in successor order starting at
+// key's owner — the failover sequence: if the owner is unreachable, the
+// next distinct member clockwise takes over, which is also where a
+// consistent-hash re-placement would land the key if the owner left the
+// ring. n <= 0 or n > members returns every member.
+func (r *Ring) LookupN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.ring) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.searchLocked(key); i < len(r.ring) && len(out) < n; i++ {
+		m := r.ring[(start+i)%len(r.ring)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// searchLocked finds the index of the first vnode with hash >= hash64(key),
+// wrapping to 0.
+func (r *Ring) searchLocked(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,165 @@
+package fleet
+
+// Property tests for the consistent-hash ring: deterministic placement,
+// distribution balance (max/mean per-shard load within bound at 1k
+// fingerprints × 8 shards), and minimal key movement when one shard joins
+// or leaves (only ~1/n of keys may move, and only onto/off the changed
+// member).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func ringKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		// Binary-ish keys like real fingerprints (raw float bit patterns).
+		b := make([]byte, 48)
+		rng.Read(b)
+		keys[i] = string(b)
+	}
+	return keys
+}
+
+func shards(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://shard-%d:8080", i)
+	}
+	return out
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	keys := ringKeys(256)
+	build := func(order []string) *Ring {
+		r := NewRing(0, nil)
+		for _, m := range order {
+			r.Add(m)
+		}
+		return r
+	}
+	a := build(shards(8))
+	// Same members, reversed join order → identical placement.
+	rev := shards(8)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	b := build(rev)
+	for _, k := range keys {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("placement depends on join order for key %q", k)
+		}
+		if got := a.LookupN(k, 3); len(got) != 3 || got[0] != a.Lookup(k) {
+			t.Fatalf("LookupN(3) = %v, owner %s", got, a.Lookup(k))
+		}
+	}
+}
+
+func TestRingDistributionBalance(t *testing.T) {
+	const nKeys, nShards = 1000, 8
+	r := NewRing(0, nil)
+	for _, m := range shards(nShards) {
+		r.Add(m)
+	}
+	load := map[string]int{}
+	for _, k := range ringKeys(nKeys) {
+		m := r.Lookup(k)
+		if m == "" {
+			t.Fatal("empty lookup on populated ring")
+		}
+		load[m]++
+	}
+	if len(load) != nShards {
+		t.Fatalf("only %d of %d shards received keys: %v", len(load), nShards, load)
+	}
+	mean := float64(nKeys) / nShards
+	for m, n := range load {
+		if ratio := float64(n) / mean; ratio > 1.45 || ratio < 0.55 {
+			t.Errorf("shard %s load %d is %.2f× the mean %.1f (bound [0.55,1.45])", m, n, ratio, mean)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnJoinLeave(t *testing.T) {
+	keys := ringKeys(1000)
+	r := NewRing(0, nil)
+	for _, m := range shards(8) {
+		r.Add(m)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+
+	// Join a 9th shard: moved keys must (a) be few (~1/9, bounded at 2×)
+	// and (b) move only onto the new member — nothing reshuffles between
+	// old members.
+	const joined = "http://shard-8:8080"
+	r.Add(joined)
+	moved := 0
+	for _, k := range keys {
+		now := r.Lookup(k)
+		if now != before[k] {
+			moved++
+			if now != joined {
+				t.Fatalf("key moved between old members on join: %s → %s", before[k], now)
+			}
+		}
+	}
+	if frac := float64(moved) / float64(len(keys)); frac > 2.0/9 {
+		t.Errorf("join moved %.1f%% of keys, want ≲ %.1f%%", 100*frac, 100*2.0/9)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys at all — new shard takes no load")
+	}
+
+	// Leave again: placement must return exactly to the 8-shard state, and
+	// the keys that had moved must land back where they were.
+	r.Remove(joined)
+	for _, k := range keys {
+		if r.Lookup(k) != before[k] {
+			t.Fatalf("placement not restored after leave for key owner %s", before[k])
+		}
+	}
+}
+
+func TestRingMembershipAndGauges(t *testing.T) {
+	rec := obs.NewRecorder()
+	r := NewRing(64, rec)
+	if r.Lookup("x") != "" || r.LookupN("x", 2) != nil {
+		t.Fatal("empty ring should return no members")
+	}
+	for _, m := range shards(3) {
+		if !r.Add(m) {
+			t.Fatalf("Add(%s) reported no change", m)
+		}
+	}
+	if r.Add(shards(3)[0]) {
+		t.Fatal("duplicate Add reported a change")
+	}
+	if got := rec.GaugeValue("fleet.ring.members"); got != 3 {
+		t.Fatalf("members gauge = %v, want 3", got)
+	}
+	if got := rec.GaugeValue("fleet.ring.vnodes"); got != 3*64 {
+		t.Fatalf("vnodes gauge = %v, want %d", got, 3*64)
+	}
+	if !r.Remove(shards(3)[1]) || r.Remove(shards(3)[1]) {
+		t.Fatal("Remove change-reporting wrong")
+	}
+	if got := rec.GaugeValue("fleet.ring.members"); got != 2 {
+		t.Fatalf("members gauge after remove = %v, want 2", got)
+	}
+	if n := r.Len(); n != 2 {
+		t.Fatalf("Len = %d", n)
+	}
+	// LookupN larger than membership returns everyone, owner first.
+	all := r.LookupN("some-key", 99)
+	if len(all) != 2 || all[0] != r.Lookup("some-key") {
+		t.Fatalf("LookupN(99) = %v", all)
+	}
+}

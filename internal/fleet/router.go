@@ -1,0 +1,560 @@
+package fleet
+
+// Router: the fleet's routing frontend. It serves the same /v1 surface as a
+// single daemon (insitu-served -route shard1,shard2,...), placing each
+// request on the shard the consistent-hash ring owns it to:
+//
+//	solve        → by (algorithm, exact problem fingerprint)
+//	solve/batch  → split per owning shard, forwarded concurrently, merged
+//	plan         → by the exact-byte input key (plan.AppendInputKey)
+//	session      → by the client's stable session key; placement is encoded
+//	               in the returned id ("<shardIdx>.<upstreamID>") so iters
+//	               need no routing table
+//
+// In front of the shards sit a shared cache tier and a singleflight per
+// fingerprint (see tier.go), so a fingerprint is solved once fleet-wide.
+// Failover walks the ring's successor list on transport errors; a periodic
+// CheckHealth keeps ring membership live (fleet.ring.member.{up,down}).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+// Shard is the router's view of one planning daemon. *client.Client
+// satisfies it; the indirection keeps internal/client importable from this
+// package's consumers without a cycle.
+type Shard interface {
+	Solve(ctx context.Context, req api.SolveRequest) (*api.SolveResponse, error)
+	SolveBatch(ctx context.Context, req api.SolveBatchRequest) (*api.SolveBatchResponse, error)
+	Plan(ctx context.Context, req api.PlanRequest) (*api.PlanResponse, error)
+	SessionCreate(ctx context.Context, req api.SessionCreateRequest) (*api.SessionCreateResponse, error)
+	SessionIter(ctx context.Context, id string, req api.SessionIterRequest) (*api.SessionIterResponse, error)
+	SessionDelete(ctx context.Context, id string) error
+	Healthz(ctx context.Context) error
+}
+
+// httpStatuser is how the router recognizes a typed API error from a shard
+// without importing the client package (client.APIError implements it).
+type httpStatuser interface{ HTTPStatus() int }
+
+// failoverWorthy reports whether err means "try the next ring member":
+// transport-level failures (shard down, connection refused/reset) and 503
+// draining. A 4xx/5xx API verdict about the request itself is final.
+func failoverWorthy(err error) bool {
+	var hs httpStatuser
+	if errors.As(err, &hs) {
+		return hs.HTTPStatus() == http.StatusServiceUnavailable
+	}
+	// Not an API-enveloped error: the shard never answered.
+	return true
+}
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Shards are the fleet members' base URLs, in a stable order — the
+	// index is the shard's identity in metrics and session placement.
+	Shards []string
+	// Dial builds the forwarding client for one shard base URL (wired to
+	// internal/client's New in cmd/insitu-served). Required.
+	Dial func(base string) Shard
+	// Replicas is the ring's virtual-node count per shard; 0 selects
+	// DefaultReplicas.
+	Replicas int
+	// CacheEntries bounds the shared solve-cache tier; 0 selects 4096.
+	CacheEntries int
+	// MaxRequestBytes caps request bodies (413 beyond). 0 selects 8 MiB.
+	MaxRequestBytes int64
+	// Rec receives the router's fleet.ring.* counters and the ring's
+	// membership gauges; nil disables recording.
+	Rec *obs.Recorder
+}
+
+// Router routes /v1 traffic across a planning fleet. Build with NewRouter.
+type Router struct {
+	cfg    RouterConfig
+	rec    *obs.Recorder
+	ring   *Ring
+	shards map[string]Shard // base URL → client
+	index  map[string]int   // base URL → stable shard index
+	tier   *cacheTier
+	flight *flightGroup
+
+	healthMu sync.Mutex // serializes CheckHealth passes
+}
+
+// NewRouter builds a Router over the given shards. Every shard starts as a
+// live ring member; CheckHealth maintains membership from then on.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("fleet: no shards configured")
+	}
+	if cfg.Dial == nil {
+		return nil, errors.New("fleet: RouterConfig.Dial is required")
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 8 << 20
+	}
+	rt := &Router{
+		cfg:    cfg,
+		rec:    cfg.Rec,
+		ring:   NewRing(cfg.Replicas, cfg.Rec),
+		shards: make(map[string]Shard, len(cfg.Shards)),
+		index:  make(map[string]int, len(cfg.Shards)),
+		tier:   newCacheTier(cfg.CacheEntries),
+		flight: newFlightGroup(),
+	}
+	for i, base := range cfg.Shards {
+		if _, dup := rt.shards[base]; dup {
+			return nil, fmt.Errorf("fleet: duplicate shard %s", base)
+		}
+		rt.shards[base] = cfg.Dial(base)
+		rt.index[base] = i
+		rt.ring.Add(base)
+	}
+	return rt, nil
+}
+
+// Ring exposes the router's membership ring (read-mostly; tests and the
+// /v1/ring endpoint inspect it).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// CheckHealth probes every configured shard and updates ring membership:
+// a healthy shard (re)joins, an unreachable or draining one leaves. Returns
+// the number of live members. cmd/insitu-served runs this on a ticker.
+func (rt *Router) CheckHealth(ctx context.Context) int {
+	rt.healthMu.Lock()
+	defer rt.healthMu.Unlock()
+	for _, base := range rt.cfg.Shards {
+		err := rt.shards[base].Healthz(ctx)
+		if err == nil {
+			if rt.ring.Add(base) {
+				rt.rec.Count("fleet.ring.member.up", 1)
+			}
+		} else if rt.ring.Remove(base) {
+			rt.rec.Count("fleet.ring.member.down", 1)
+		}
+	}
+	return rt.ring.Len()
+}
+
+// candidates returns the failover sequence for key: every live member in
+// ring-successor order, falling back to the full configured list when the
+// ring is empty (all shards marked down — still worth a try, the health
+// view may be stale).
+func (rt *Router) candidates(key string) []string {
+	if ms := rt.ring.LookupN(key, 0); len(ms) > 0 {
+		return ms
+	}
+	return rt.cfg.Shards
+}
+
+// forward runs fn against key's candidates in order until one succeeds or
+// returns a non-failover error, and reports which shard served it. Counters
+// record per-shard fan-out and failovers.
+func (rt *Router) forward(key string, fn func(s Shard) error) (servedBy string, err error) {
+	var lastErr error
+	for i, base := range rt.candidates(key) {
+		if i > 0 {
+			rt.rec.Count("fleet.ring.failover", 1)
+		}
+		rt.rec.Count(fmt.Sprintf("fleet.ring.forward.shard%02d", rt.index[base]), 1)
+		err := fn(rt.shards[base])
+		if err == nil {
+			return base, nil
+		}
+		lastErr = err
+		if !failoverWorthy(err) {
+			return base, err
+		}
+	}
+	rt.rec.Count("fleet.ring.upstream_error", 1)
+	if lastErr == nil {
+		lastErr = errors.New("no shards available")
+	}
+	return "", fmt.Errorf("fleet: all shards failed: %w", lastErr)
+}
+
+// Handler returns the router's HTTP frontend — the daemon surface plus
+// GET /v1/ring for fleet introspection.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", rt.handleSolve)
+	mux.HandleFunc("POST /v1/solve/batch", rt.handleSolveBatch)
+	mux.HandleFunc("POST /v1/plan", rt.handlePlan)
+	mux.HandleFunc("POST /v1/session", rt.handleSessionCreate)
+	mux.HandleFunc("POST /v1/session/{id}/iter", rt.handleSessionIter)
+	mux.HandleFunc("DELETE /v1/session/{id}", rt.handleSessionDelete)
+	mux.HandleFunc("GET /v1/algorithms", rt.handleAlgorithms)
+	mux.HandleFunc("GET /v1/version", rt.handleVersion)
+	mux.HandleFunc("GET /v1/ring", rt.handleRing)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt.recoverMW(mux)
+}
+
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	rt.rec.Count("fleet.ring.solve.requests", 1)
+	var req api.SolveRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	alg := sched.ExtJohnsonBF
+	if req.Algorithm != "" {
+		var err error
+		if alg, err = sched.ParseAlgorithm(req.Algorithm); err != nil {
+			rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+			return
+		}
+	}
+	if err := req.Problem.Normalize(); err != nil {
+		rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	key := string(alg) + "\x00" + req.Problem.Fingerprint()
+
+	if e, ok := rt.tier.get(key); ok {
+		rt.rec.Count("fleet.ring.cache.hit", 1)
+		rt.writeJSON(w, http.StatusOK, api.SolveResponse{
+			Algorithm: alg, Schedule: e.schedule,
+			Optimal: e.optimal, Nodes: e.nodes, Workers: e.workers, Cached: true,
+		})
+		return
+	}
+	rt.rec.Count("fleet.ring.cache.miss", 1)
+
+	resp, leader, err := rt.flight.do(r.Context(), key, func() (*api.SolveResponse, error) {
+		var out *api.SolveResponse
+		_, ferr := rt.forward(key, func(s Shard) error {
+			var serr error
+			out, serr = s.Solve(r.Context(), req)
+			return serr
+		})
+		return out, ferr
+	})
+	if err != nil {
+		rt.writeUpstreamError(w, err)
+		return
+	}
+	if leader {
+		rt.tier.put(key, tierEntry{
+			schedule: resp.Schedule, optimal: resp.Optimal, nodes: resp.Nodes, workers: resp.Workers,
+		})
+	} else {
+		rt.rec.Count("fleet.ring.coalesced", 1)
+		resp.Coalesced = true
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSolveBatch splits the batch by owning shard, forwards the per-shard
+// sub-batches concurrently, and merges the index-aligned results. Tier hits
+// and in-batch duplicates never leave the router.
+func (rt *Router) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	rt.rec.Count("fleet.ring.batch.requests", 1)
+	var req api.SolveBatchRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	alg := sched.ExtJohnsonBF
+	if req.Algorithm != "" {
+		var err error
+		if alg, err = sched.ParseAlgorithm(req.Algorithm); err != nil {
+			rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+			return
+		}
+	}
+	n := len(req.Problems)
+	items := make([]api.SolveBatchItem, n)
+	keys := make([]string, n)
+	firstByKey := make(map[string]int, n)
+	dupOf := make([]int, n)
+	byShard := make(map[string][]int) // owner base URL → item indices to forward
+	for i := range req.Problems {
+		dupOf[i] = -1
+		if err := req.Problems[i].Normalize(); err != nil {
+			items[i].Error = &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
+			continue
+		}
+		key := string(alg) + "\x00" + req.Problems[i].Fingerprint()
+		keys[i] = key
+		if e, ok := rt.tier.get(key); ok {
+			rt.rec.Count("fleet.ring.cache.hit", 1)
+			items[i] = api.SolveBatchItem{
+				Schedule: e.schedule, Optimal: e.optimal, Nodes: e.nodes, Workers: e.workers, Cached: true,
+			}
+			continue
+		}
+		rt.rec.Count("fleet.ring.cache.miss", 1)
+		if first, ok := firstByKey[key]; ok {
+			dupOf[i] = first
+			continue
+		}
+		firstByKey[key] = i
+		owner := rt.ring.Lookup(key)
+		byShard[owner] = append(byShard[owner], i)
+	}
+
+	var wg sync.WaitGroup
+	for _, idxs := range byShard {
+		idxs := idxs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := api.SolveBatchRequest{
+				Algorithm: req.Algorithm, TimeoutMs: req.TimeoutMs,
+				Problems: make([]sched.Problem, len(idxs)),
+			}
+			for j, i := range idxs {
+				sub.Problems[j] = req.Problems[i]
+			}
+			var resp *api.SolveBatchResponse
+			// Failover key: any of the group's keys identifies the owner arc
+			// (they all routed here); use the first.
+			_, err := rt.forward(keys[idxs[0]], func(s Shard) error {
+				var serr error
+				resp, serr = s.SolveBatch(r.Context(), sub)
+				return serr
+			})
+			if err != nil {
+				for _, i := range idxs {
+					items[i].Error = &api.Error{Code: api.CodeUpstream, Message: err.Error()}
+				}
+				return
+			}
+			for j, i := range idxs {
+				items[i] = resp.Items[j]
+				if items[i].Error == nil {
+					rt.tier.put(keys[i], tierEntry{
+						schedule: items[i].Schedule, optimal: items[i].Optimal,
+						nodes: items[i].Nodes, workers: items[i].Workers,
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// In-batch duplicates mirror their first occurrence, as on a shard.
+	for i, first := range dupOf {
+		if first < 0 {
+			continue
+		}
+		src := items[first]
+		if src.Error != nil {
+			items[i].Error = src.Error
+			continue
+		}
+		items[i] = api.SolveBatchItem{
+			Schedule: src.Schedule.Clone(), Optimal: src.Optimal,
+			Nodes: src.Nodes, Workers: src.Workers, Coalesced: true,
+		}
+	}
+	rt.writeJSON(w, http.StatusOK, api.SolveBatchResponse{Algorithm: alg, Items: items})
+}
+
+func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
+	rt.rec.Count("fleet.ring.plan.requests", 1)
+	var req api.PlanRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	// Route by the exact planning input plus the config knobs — the same
+	// identity a plan session keys on, so a session and its equivalent
+	// one-shot plans land on the same shard (and its SolveCache).
+	key := fmt.Sprintf("plan\x00%s\x00%v\x00%d\x00%d\x00", req.Algorithm, req.Balance, req.RanksPerNode, req.BaseRank) +
+		string(plan.AppendInputKey(nil, req.Input))
+	var resp *api.PlanResponse
+	_, err := rt.forward(key, func(s Shard) error {
+		var serr error
+		resp, serr = s.Plan(r.Context(), req)
+		return serr
+	})
+	if err != nil {
+		rt.writeUpstreamError(w, err)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	rt.rec.Count("fleet.ring.session.create", 1)
+	var req api.SessionCreateRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	key := "session\x00" + req.Key
+	var resp *api.SessionCreateResponse
+	owner, err := rt.forward(key, func(s Shard) error {
+		var serr error
+		resp, serr = s.SessionCreate(r.Context(), req)
+		return serr
+	})
+	if err != nil {
+		rt.writeUpstreamError(w, err)
+		return
+	}
+	// Encode placement in the id so iters route without a session table on
+	// the router (a restarted router keeps working; ids stay opaque).
+	resp.ID = strconv.Itoa(rt.index[owner]) + "." + resp.ID
+	rt.writeJSON(w, http.StatusCreated, resp)
+}
+
+// sessionShard resolves a placement-prefixed session id to its shard.
+func (rt *Router) sessionShard(id string) (Shard, string, bool) {
+	prefix, rest, ok := strings.Cut(id, ".")
+	if !ok {
+		return nil, "", false
+	}
+	idx, err := strconv.Atoi(prefix)
+	if err != nil || idx < 0 || idx >= len(rt.cfg.Shards) {
+		return nil, "", false
+	}
+	return rt.shards[rt.cfg.Shards[idx]], rest, true
+}
+
+func (rt *Router) handleSessionIter(w http.ResponseWriter, r *http.Request) {
+	rt.rec.Count("fleet.ring.session.iter", 1)
+	s, id, ok := rt.sessionShard(r.PathValue("id"))
+	if !ok {
+		rt.writeError(w, http.StatusNotFound, api.CodeNoSession, "malformed fleet session id")
+		return
+	}
+	var req api.SessionIterRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	resp, err := s.SessionIter(r.Context(), id, req)
+	if err != nil {
+		// No failover: the session's reuse state lives on exactly one
+		// shard. The client re-registers (the ring will place it on a live
+		// successor) — that is the failover path, and it needs the full
+		// input only the client has.
+		rt.writeUpstreamError(w, err)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s, id, ok := rt.sessionShard(r.PathValue("id"))
+	if !ok {
+		rt.writeError(w, http.StatusNotFound, api.CodeNoSession, "malformed fleet session id")
+		return
+	}
+	if err := s.SessionDelete(r.Context(), id); err != nil {
+		rt.writeUpstreamError(w, err)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+func (rt *Router) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	rt.writeJSON(w, http.StatusOK, api.AlgorithmsResponse{
+		Algorithms: append(sched.Algorithms(), sched.Exact),
+		Default:    sched.ExtJohnsonBF,
+	})
+}
+
+func (rt *Router) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	rt.writeJSON(w, http.StatusOK, api.VersionResponse{
+		Version:   buildinfo.Version(),
+		GoVersion: runtime.Version(),
+		Settings:  buildinfo.Settings(),
+	})
+}
+
+// handleRing reports fleet topology: configured shards, live members, and
+// the shared tier's size — the introspection endpoint tooling scrapes.
+func (rt *Router) handleRing(w http.ResponseWriter, _ *http.Request) {
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"configured":   rt.cfg.Shards,
+		"live":         rt.ring.Members(),
+		"cacheEntries": rt.tier.len(),
+	})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if rt.ring.Len() == 0 {
+		rt.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no live shards"})
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	rt.writeJSON(w, http.StatusOK, rt.rec.Metrics())
+}
+
+func (rt *Router) recoverMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				rt.rec.Count("fleet.ring.panic", 1)
+				rt.writeError(w, http.StatusInternalServerError, api.CodeInternal, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeUpstreamError maps a forwarding failure onto the wire: a typed API
+// error from the shard passes through with its original status and
+// envelope; anything else (transport failure on every candidate) is 502
+// with code "upstream".
+func (rt *Router) writeUpstreamError(w http.ResponseWriter, err error) {
+	var hs httpStatuser
+	if errors.As(err, &hs) {
+		type enveloper interface{ Envelope() api.Error }
+		var env enveloper
+		if errors.As(err, &env) {
+			rt.writeJSON(w, hs.HTTPStatus(), api.ErrorEnvelope{Error: env.Envelope()})
+			return
+		}
+		rt.writeError(w, hs.HTTPStatus(), api.CodeInternal, err.Error())
+		return
+	}
+	rt.writeError(w, http.StatusBadGateway, api.CodeUpstream, err.Error())
+}
+
+func (rt *Router) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			rt.writeError(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge, mbe.Error())
+			return false
+		}
+		rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, code, msg string) {
+	rt.writeJSON(w, status, api.ErrorEnvelope{Error: api.Error{Code: code, Message: msg}})
+}

@@ -1,0 +1,419 @@
+package fleet_test
+
+// Router integration tests against three real daemons (internal/server over
+// httptest), forwarded through the real client (internal/client) exactly as
+// cmd/insitu-served wires it. The heart is the parity sweep: every plan in
+// the scenario corpus, served through the 3-shard routed fleet, must be
+// byte-identical to the same request against one unsharded daemon — plus
+// counters proving the fan-out, the shared cache tier, and failover when a
+// shard dies.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// startShard runs one real daemon and returns its httptest frontend.
+func startShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{PoolSize: 2, QueueDepth: 64, Cache: plan.NewSolveCache(0)})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+type routerHarness struct {
+	shards []*httptest.Server
+	rt     *fleet.Router
+	ts     *httptest.Server // router frontend
+	rec    *obs.Recorder
+	// cli talks to the router through the same typed client applications
+	// use — the router serves the daemon's own /v1 surface.
+	cli *client.Client
+	// direct talks to a separate unsharded daemon: the parity baseline.
+	direct *client.Client
+}
+
+func newRouterHarness(t *testing.T, n int) *routerHarness {
+	t.Helper()
+	h := &routerHarness{rec: obs.NewRecorder()}
+	urls := make([]string, n)
+	for i := range urls {
+		ts := startShard(t)
+		h.shards = append(h.shards, ts)
+		urls[i] = ts.URL
+	}
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Shards: urls,
+		Dial:   func(base string) fleet.Shard { return client.New(base, client.WithMaxRetries(0)) },
+		Rec:    h.rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.rt = rt
+	h.ts = httptest.NewServer(rt.Handler())
+	t.Cleanup(h.ts.Close)
+	h.cli = client.New(h.ts.URL, client.WithMaxRetries(0))
+	h.direct = client.New(startShard(t).URL, client.WithMaxRetries(0))
+	return h
+}
+
+// perturbedProblem builds a distinct solvable instance per index.
+func perturbedProblem(i int) sched.Problem {
+	p := *sched.Figure1Problem()
+	jobs := make([]sched.Job, len(p.Jobs))
+	copy(jobs, p.Jobs)
+	for j := range jobs {
+		jobs[j].IO *= 1 + 0.01*float64(i)
+	}
+	p.Jobs = jobs
+	return p
+}
+
+func scheduleJSON(t *testing.T, s *sched.Schedule) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRouterSolveParityTierAndFanout(t *testing.T) {
+	h := newRouterHarness(t, 3)
+	ctx := context.Background()
+	const n = 12
+
+	for i := 0; i < n; i++ {
+		req := api.SolveRequest{Problem: perturbedProblem(i)}
+		routed, err := h.cli.Solve(ctx, req)
+		if err != nil {
+			t.Fatalf("routed solve %d: %v", i, err)
+		}
+		direct, err := h.direct.Solve(ctx, req)
+		if err != nil {
+			t.Fatalf("direct solve %d: %v", i, err)
+		}
+		if !bytes.Equal(scheduleJSON(t, routed.Schedule), scheduleJSON(t, direct.Schedule)) {
+			t.Fatalf("solve %d: routed schedule differs from unsharded baseline", i)
+		}
+		if routed.Cached {
+			t.Fatalf("solve %d: first routed solve claims a cache hit", i)
+		}
+	}
+	if got := h.rec.Counter("fleet.ring.cache.miss"); got != n {
+		t.Fatalf("tier misses = %v, want %d", got, n)
+	}
+
+	// The same problems again: all served from the shared tier, no forwards.
+	forwardsBefore := h.shardForwards()
+	for i := 0; i < n; i++ {
+		resp, err := h.cli.Solve(ctx, api.SolveRequest{Problem: perturbedProblem(i)})
+		if err != nil {
+			t.Fatalf("repeat solve %d: %v", i, err)
+		}
+		if !resp.Cached {
+			t.Fatalf("repeat solve %d not served from the tier", i)
+		}
+	}
+	if got := h.rec.Counter("fleet.ring.cache.hit"); got != n {
+		t.Fatalf("tier hits = %v, want %d", got, n)
+	}
+	if after := h.shardForwards(); after != forwardsBefore {
+		t.Fatalf("tier hits still forwarded upstream: %v → %v", forwardsBefore, after)
+	}
+
+	// Fan-out: the misses spread across more than one shard.
+	busy := 0
+	for i := range h.shards {
+		if h.rec.Counter(fmt.Sprintf("fleet.ring.forward.shard%02d", i)) > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("all %d solves routed to %d shard(s) — no fan-out", n, busy)
+	}
+}
+
+// shardForwards sums the per-shard forward counters.
+func (h *routerHarness) shardForwards() float64 {
+	var total float64
+	for i := range h.shards {
+		total += h.rec.Counter(fmt.Sprintf("fleet.ring.forward.shard%02d", i))
+	}
+	return total
+}
+
+// scenarioPlanRequests materializes one PlanRequest per scenario in the
+// committed corpus — the same workload construction the replay engine uses.
+func scenarioPlanRequests(t *testing.T) map[string]api.PlanRequest {
+	t.Helper()
+	dir, err := scenario.FindDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := scenario.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]api.PlanRequest, len(ss))
+	for _, s := range ss {
+		w, err := core.BuildWorkload(s.Workload)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", s.Name, err)
+		}
+		if len(s.Profiles) > 0 {
+			ps := make([]*trace.Profile, len(s.Profiles))
+			for i, sp := range s.Profiles {
+				ps[i] = &trace.Profile{
+					Length:   sp.Length,
+					CompBusy: append([]sched.Interval(nil), sp.CompBusy...),
+					IOBusy:   append([]sched.Interval(nil), sp.IOBusy...),
+				}
+			}
+			if err := w.SetProfiles(ps); err != nil {
+				t.Fatalf("scenario %s: %v", s.Name, err)
+			}
+		}
+		rpn := 2
+		if s.Workload.Ranks%2 != 0 {
+			rpn = 1
+		}
+		out[s.Name] = api.PlanRequest{
+			Input:        core.PlanInput(w.Iteration(0)),
+			Algorithm:    s.Plan.Algorithm,
+			Balance:      s.Plan.Balance,
+			RanksPerNode: rpn,
+		}
+	}
+	return out
+}
+
+// TestRouterPlanScenarioParity is the acceptance sweep: every scenario's
+// plan through the 3-shard routed fleet is byte-identical to the unsharded
+// daemon's answer.
+func TestRouterPlanScenarioParity(t *testing.T) {
+	h := newRouterHarness(t, 3)
+	ctx := context.Background()
+	reqs := scenarioPlanRequests(t)
+	for name, req := range reqs {
+		routed, err := h.cli.Plan(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: routed plan: %v", name, err)
+		}
+		direct, err := h.direct.Plan(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: direct plan: %v", name, err)
+		}
+		rb, _ := json.Marshal(routed)
+		db, _ := json.Marshal(direct)
+		if !bytes.Equal(rb, db) {
+			t.Errorf("%s: routed plan differs from unsharded baseline\nrouted %s\ndirect %s", name, rb, db)
+		}
+	}
+	if got := h.rec.Counter("fleet.ring.plan.requests"); got != float64(len(reqs)) {
+		t.Fatalf("plan.requests = %v, want %d", got, len(reqs))
+	}
+}
+
+func TestRouterBatchFanoutDedupAndParity(t *testing.T) {
+	h := newRouterHarness(t, 3)
+	ctx := context.Background()
+
+	// 8 distinct problems plus in-batch duplicates of the first two.
+	var req api.SolveBatchRequest
+	for i := 0; i < 8; i++ {
+		req.Problems = append(req.Problems, perturbedProblem(i))
+	}
+	req.Problems = append(req.Problems, perturbedProblem(0), perturbedProblem(1))
+
+	routed, err := h.cli.SolveBatch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := h.direct.SolveBatch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routed.Items) != len(req.Problems) {
+		t.Fatalf("items = %d, want %d", len(routed.Items), len(req.Problems))
+	}
+	for i := range routed.Items {
+		if routed.Items[i].Error != nil {
+			t.Fatalf("item %d: %v", i, routed.Items[i].Error)
+		}
+		if !bytes.Equal(scheduleJSON(t, routed.Items[i].Schedule), scheduleJSON(t, direct.Items[i].Schedule)) {
+			t.Fatalf("item %d: routed schedule differs from baseline", i)
+		}
+	}
+	// The duplicates were answered at the router, not forwarded.
+	for _, i := range []int{8, 9} {
+		if !routed.Items[i].Coalesced && !routed.Items[i].Cached {
+			t.Fatalf("duplicate item %d was forwarded upstream: %+v", i, routed.Items[i])
+		}
+	}
+	busy := 0
+	for i := range h.shards {
+		if h.rec.Counter(fmt.Sprintf("fleet.ring.forward.shard%02d", i)) > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("batch routed to %d shard(s) — no fan-out", busy)
+	}
+}
+
+func TestRouterFailoverAndHealth(t *testing.T) {
+	h := newRouterHarness(t, 3)
+	ctx := context.Background()
+
+	if n := h.rt.CheckHealth(ctx); n != 3 {
+		t.Fatalf("initial CheckHealth = %d, want 3", n)
+	}
+
+	// Kill two shards; the ring still lists them, so solves hit dead members
+	// and fail over to the survivor.
+	h.shards[0].Close()
+	h.shards[1].Close()
+	for i := 0; i < 6; i++ {
+		resp, err := h.cli.Solve(ctx, api.SolveRequest{Problem: perturbedProblem(100 + i)})
+		if err != nil {
+			t.Fatalf("solve with 2 dead shards: %v", err)
+		}
+		if resp.Schedule == nil {
+			t.Fatal("no schedule after failover")
+		}
+	}
+	if h.rec.Counter("fleet.ring.failover") == 0 {
+		t.Fatal("no failovers recorded with 2 of 3 shards dead")
+	}
+
+	// CheckHealth notices and shrinks the ring; counters record the drops.
+	if n := h.rt.CheckHealth(ctx); n != 1 {
+		t.Fatalf("CheckHealth after kills = %d, want 1", n)
+	}
+	if got := h.rec.Counter("fleet.ring.member.down"); got != 2 {
+		t.Fatalf("member.down = %v, want 2", got)
+	}
+	if h.rt.Ring().Len() != 1 {
+		t.Fatalf("ring members = %d, want 1", h.rt.Ring().Len())
+	}
+
+	// With the ring pruned, new solves go straight to the survivor.
+	before := h.rec.Counter("fleet.ring.failover")
+	if _, err := h.cli.Solve(ctx, api.SolveRequest{Problem: perturbedProblem(200)}); err != nil {
+		t.Fatalf("solve on pruned ring: %v", err)
+	}
+	if got := h.rec.Counter("fleet.ring.failover"); got != before {
+		t.Fatalf("pruned ring still fails over: %v → %v", before, got)
+	}
+
+	// Healthz mirrors membership.
+	for _, want := range []int{http.StatusOK} {
+		resp, err := h.ts.Client().Get(h.ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("healthz = %d, want %d", resp.StatusCode, want)
+		}
+	}
+	h.shards[2].Close()
+	h.rt.CheckHealth(ctx)
+	resp, err := h.ts.Client().Get(h.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no live shards = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestRouterSessionPlacementAndReuse(t *testing.T) {
+	h := newRouterHarness(t, 3)
+	ctx := context.Background()
+
+	created, err := h.cli.SessionCreate(ctx, api.SessionCreateRequest{
+		Key: "router-app", Balance: true, RanksPerNode: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The router prefixes the shard index so iters route without state.
+	var idx int
+	var rest string
+	if _, err := fmt.Sscanf(created.ID, "%d.%s", &idx, &rest); err != nil || idx < 0 || idx > 2 || rest == "" {
+		t.Fatalf("session id %q lacks a shard placement prefix", created.ID)
+	}
+
+	in := scenarioPlanRequests(t)["rec-fig7-baseline-01"].Input
+	first, err := h.cli.SessionIter(ctx, created.ID, api.SessionIterRequest{Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Reused || first.Plan == nil {
+		t.Fatalf("first iter: %+v", first)
+	}
+	// Parity with a direct plan.Plan call.
+	want, err := plan.Plan(in, plan.Config{Balance: true, RanksPerNode: 2, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := json.Marshal(first.Plan)
+	wb, _ := json.Marshal(want)
+	if !bytes.Equal(gb, wb) {
+		t.Fatal("routed session plan differs from direct plan.Plan")
+	}
+
+	second, err := h.cli.SessionIter(ctx, created.ID, api.SessionIterRequest{Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Reused || second.Plan != nil {
+		t.Fatalf("second iter should be a reuse token: %+v", second)
+	}
+
+	// Malformed placement prefix → 404 no_session (the re-register signal).
+	_, err = h.cli.SessionIter(ctx, "not-a-fleet-id", api.SessionIterRequest{Input: in})
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != http.StatusNotFound || apiErr.Err.Code != api.CodeNoSession {
+		t.Fatalf("malformed id: %v", err)
+	}
+
+	if err := h.cli.SessionDelete(ctx, created.ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+}
+
+func asAPIError(err error, out **client.APIError) bool {
+	if err == nil {
+		return false
+	}
+	if e, ok := err.(*client.APIError); ok {
+		*out = e
+		return true
+	}
+	return false
+}

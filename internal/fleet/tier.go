@@ -1,0 +1,122 @@
+package fleet
+
+// The router's shared cache tier and singleflight. Every shard has its own
+// plan.SolveCache, but a fleet would still solve one hot fingerprint once
+// per shard-arrival pattern without a tier above them; the router's cache
+// makes a fingerprint cost one upstream solve fleet-wide, and the
+// singleflight makes a thundering herd of one fingerprint cost one upstream
+// request even before the first response lands.
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/sched"
+)
+
+// tierEntry is one memoized solve result as the wire reports it.
+type tierEntry struct {
+	schedule *sched.Schedule
+	optimal  bool
+	nodes    int64
+	workers  int
+}
+
+// cacheTier is a bounded fingerprint→schedule map. Like plan.SolveCache it
+// resets wholesale at capacity (hot working sets are small and cyclic).
+type cacheTier struct {
+	mu      sync.Mutex
+	entries map[string]tierEntry
+	max     int
+}
+
+func newCacheTier(max int) *cacheTier {
+	if max <= 0 {
+		max = 4096
+	}
+	return &cacheTier{entries: make(map[string]tierEntry, 64), max: max}
+}
+
+// get returns a deep copy of the cached entry, so no two responses share
+// mutable placements.
+func (t *cacheTier) get(key string) (tierEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok {
+		return tierEntry{}, false
+	}
+	e.schedule = e.schedule.Clone()
+	return e, true
+}
+
+func (t *cacheTier) put(key string, e tierEntry) {
+	if e.schedule == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.entries) >= t.max {
+		t.entries = make(map[string]tierEntry, 64)
+	}
+	e.schedule = e.schedule.Clone()
+	t.entries[key] = e
+	t.mu.Unlock()
+}
+
+func (t *cacheTier) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// flightGroup is the router's singleflight: concurrent requests for one key
+// share a single upstream forward. Unlike the server's refcounted coalescer
+// there is no solver to cancel — the leader's own request context bounds the
+// upstream call — so a plain leader/waiter split suffices.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *api.SolveResponse
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers. The leader executes fn
+// and every waiter receives a deep copy of its response (Coalesced=true
+// marked by the caller). A waiter abandoned by its context returns the
+// context error without disturbing the flight.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*api.SolveResponse, error)) (resp *api.SolveResponse, leader bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		cp := *c.resp
+		cp.Schedule = cp.Schedule.Clone()
+		return &cp, false, nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.flights[key] = c
+	g.mu.Unlock()
+
+	c.resp, c.err = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.resp, true, c.err
+}

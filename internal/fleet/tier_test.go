@@ -1,0 +1,148 @@
+package fleet
+
+// White-box tests for the shared cache tier (clone-on-get/put, wholesale
+// reset at capacity) and the singleflight group (one upstream call for
+// concurrent identical keys, deep-copied waiter responses, context-abandoned
+// waiters).
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/sched"
+)
+
+func tierSchedule() *sched.Schedule {
+	p := sched.Figure1Problem()
+	s, err := sched.Solve(p, sched.ExtJohnsonBF)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestCacheTierCloneAndReset(t *testing.T) {
+	tier := newCacheTier(2)
+	base := tierSchedule()
+	tier.put("a", tierEntry{schedule: base})
+
+	got, ok := tier.get("a")
+	if !ok {
+		t.Fatal("miss on present key")
+	}
+	if got.schedule == base {
+		t.Fatal("get returned the stored pointer, not a clone")
+	}
+	again, _ := tier.get("a")
+	if again.schedule == got.schedule {
+		t.Fatal("two gets share one schedule")
+	}
+
+	// put clones too: mutating the caller's copy must not touch the cache.
+	if _, miss := tier.get("nope"); miss {
+		t.Fatal("hit on absent key")
+	}
+
+	// Third insert crosses max=2 → wholesale reset, only the newest survives.
+	tier.put("b", tierEntry{schedule: base})
+	tier.put("c", tierEntry{schedule: base})
+	if tier.len() != 1 {
+		t.Fatalf("len after reset = %d, want 1", tier.len())
+	}
+	if _, ok := tier.get("c"); !ok {
+		t.Fatal("newest entry lost in reset")
+	}
+	if _, ok := tier.get("a"); ok {
+		t.Fatal("reset kept an old entry")
+	}
+
+	// nil schedules are never stored (error paths).
+	tier.put("nil", tierEntry{})
+	if _, ok := tier.get("nil"); ok {
+		t.Fatal("stored a nil schedule")
+	}
+}
+
+func TestFlightGroupSingleUpstreamCall(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	calls := 0
+	resp := &api.SolveResponse{Schedule: tierSchedule()}
+
+	var wg sync.WaitGroup
+	results := make([]*api.SolveResponse, 4)
+	leaders := make([]bool, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, leader, err := g.do(context.Background(), "k", func() (*api.SolveResponse, error) {
+				calls++ // only the leader runs fn; no lock needed beyond the gate
+				<-gate
+				return resp, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i], leaders[i] = r, leader
+		}()
+	}
+	// Let the leader claim the flight and the waiters queue, then release.
+	for {
+		g.mu.Lock()
+		claimed := len(g.flights) == 1
+		g.mu.Unlock()
+		if claimed {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	if calls != 1 {
+		t.Fatalf("upstream called %d times, want 1", calls)
+	}
+	nLeaders := 0
+	for i := range results {
+		if results[i] == nil || results[i].Schedule == nil {
+			t.Fatalf("caller %d got no response", i)
+		}
+		if leaders[i] {
+			nLeaders++
+		} else if results[i].Schedule == resp.Schedule {
+			t.Fatalf("waiter %d shares the leader's schedule pointer", i)
+		}
+	}
+	if nLeaders != 1 {
+		t.Fatalf("%d leaders, want 1", nLeaders)
+	}
+}
+
+func TestFlightGroupWaiterContextCancel(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		g.do(context.Background(), "k", func() (*api.SolveResponse, error) { //nolint:errcheck
+			close(started)
+			<-gate
+			return &api.SolveResponse{Schedule: tierSchedule()}, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := g.do(ctx, "k", func() (*api.SolveResponse, error) {
+		t.Fatal("waiter must not become a leader")
+		return nil, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("abandoned waiter error = %v, want context.Canceled", err)
+	}
+	close(gate)
+}

@@ -1,0 +1,55 @@
+package plan
+
+// Exact-byte identity for a planning input, the session tier's analogue of
+// sched.Problem.Fingerprint: two inputs with equal keys feed PlanCtx
+// byte-identical data, and the planner is deterministic, so the plans are
+// byte-identical too. This is the soundness argument that lets a plan
+// session answer a repeated iteration with a compact "reused" token instead
+// of re-planning (the paper's iteration-similarity insight, lifted from
+// core.Simulator's in-process reuse to the wire).
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// AppendInputKey appends an exact encoding of in to buf and returns the
+// extended slice. Every field the planner reads is encoded — per rank the
+// horizon, both hole lists, and the full job table — with float64s as raw
+// big-endian bit patterns: no hashing, no rounding, no collisions. The
+// planning Config is deliberately not part of the key; it is fixed per
+// session, so callers key on input alone.
+func AppendInputKey(buf []byte, in Input) []byte {
+	var b [8]byte
+	putF := func(f float64) {
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+		buf = append(buf, b[:]...)
+	}
+	putI := func(v int64) {
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		buf = append(buf, b[:]...)
+	}
+	putHoles := func(hs []sched.Interval) {
+		putI(int64(len(hs)))
+		for _, h := range hs {
+			putF(h.Start)
+			putF(h.End)
+		}
+	}
+	putI(int64(len(in.Ranks)))
+	for _, ri := range in.Ranks {
+		putF(ri.Horizon)
+		putHoles(ri.CompHoles)
+		putHoles(ri.IOHoles)
+		putI(int64(len(ri.Jobs)))
+		for _, j := range ri.Jobs {
+			putI(int64(j.ID))
+			putF(j.PredComp)
+			putF(j.PredIO)
+			putI(j.PredBytes)
+		}
+	}
+	return buf
+}

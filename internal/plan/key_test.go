@@ -1,0 +1,64 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func keyTestInput() Input {
+	return Input{Ranks: []RankInput{
+		{
+			Horizon:   12.5,
+			CompHoles: []sched.Interval{{Start: 1, End: 2}},
+			IOHoles:   []sched.Interval{{Start: 3, End: 4.25}},
+			Jobs: []Job{
+				{ID: 0, PredComp: 0.5, PredIO: 1.5, PredBytes: 1024},
+				{ID: 1, PredComp: 0.25, PredIO: 2.5},
+			},
+		},
+		{
+			Horizon: 12.5,
+			Jobs:    []Job{{ID: 0, PredComp: 0.75, PredIO: 1.25}},
+		},
+	}}
+}
+
+func TestAppendInputKeyIdentity(t *testing.T) {
+	a := AppendInputKey(nil, keyTestInput())
+	b := AppendInputKey(nil, keyTestInput())
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical inputs produced different keys")
+	}
+	// Appending onto a prefixed buffer extends, not restarts.
+	pre := AppendInputKey([]byte("pfx"), keyTestInput())
+	if !bytes.Equal(pre[3:], a) || string(pre[:3]) != "pfx" {
+		t.Fatal("AppendInputKey did not append to the given buffer")
+	}
+}
+
+// Every field the planner reads must flip the key: a reuse decision based on
+// a key that ignored some field would silently serve a stale plan.
+func TestAppendInputKeySensitivity(t *testing.T) {
+	base := AppendInputKey(nil, keyTestInput())
+	mutations := map[string]func(*Input){
+		"horizon":    func(in *Input) { in.Ranks[0].Horizon += 1e-12 },
+		"comp hole":  func(in *Input) { in.Ranks[0].CompHoles[0].End += 1e-12 },
+		"io hole":    func(in *Input) { in.Ranks[0].IOHoles[0].Start += 1e-12 },
+		"job id":     func(in *Input) { in.Ranks[0].Jobs[1].ID = 7 },
+		"pred comp":  func(in *Input) { in.Ranks[1].Jobs[0].PredComp += 1e-12 },
+		"pred io":    func(in *Input) { in.Ranks[0].Jobs[0].PredIO += 1e-12 },
+		"pred bytes": func(in *Input) { in.Ranks[0].Jobs[0].PredBytes++ },
+		"drop job":   func(in *Input) { in.Ranks[0].Jobs = in.Ranks[0].Jobs[:1] },
+		"drop rank":  func(in *Input) { in.Ranks = in.Ranks[:1] },
+		"drop hole":  func(in *Input) { in.Ranks[0].CompHoles = nil },
+	}
+	for name, mutate := range mutations {
+		in := keyTestInput()
+		mutate(&in)
+		if bytes.Equal(base, AppendInputKey(nil, in)) {
+			t.Errorf("mutation %q did not change the input key", name)
+		}
+	}
+}

@@ -62,6 +62,10 @@ type Config struct {
 	// under, served read-only at GET /v1/faultplan so clients and tooling
 	// can discover the active failure regime; nil means no injection (404).
 	Faults *pfs.FaultPlan
+	// MaxSessions bounds the live plan-session table; creating a session
+	// beyond the bound evicts the least-recently-used one (sessions are
+	// soft state — an evicted client re-registers). 0 selects 1024.
+	MaxSessions int
 
 	// testHookPreWork, when set, runs inside the worker before each task
 	// executes — tests use it to hold workers busy deterministically.
@@ -87,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.Cache == nil {
 		c.Cache = plan.DefaultSolveCache()
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
 	return c
 }
 
@@ -111,9 +118,10 @@ type task struct {
 // one with New; it starts its workers immediately. Close drains and stops
 // them.
 type Server struct {
-	cfg    Config
-	rec    *obs.Recorder
-	flight *coalescer
+	cfg      Config
+	rec      *obs.Recorder
+	flight   *coalescer
+	sessions *sessionStore
 
 	mu     sync.RWMutex // guards queue close vs. submit
 	closed bool
@@ -125,10 +133,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		rec:    cfg.Rec,
-		flight: newCoalescer(),
-		queue:  make(chan *task, cfg.QueueDepth),
+		cfg:      cfg,
+		rec:      cfg.Rec,
+		flight:   newCoalescer(),
+		sessions: newSessionStore(cfg.MaxSessions),
+		queue:    make(chan *task, cfg.QueueDepth),
 	}
 	s.wg.Add(cfg.PoolSize)
 	for i := 0; i < cfg.PoolSize; i++ {
@@ -215,14 +224,17 @@ func (e *panicError) Error() string { return "server: task panicked" }
 
 // Handler returns the daemon's HTTP handler:
 //
-//	POST /v1/solve       one sched.Problem + algorithm → schedule
-//	POST /v1/solve/batch many problems, one round-trip, per-item results
-//	POST /v1/plan        per-rank problems → balanced plan.IterationPlan
-//	GET  /v1/algorithms  the available algorithm names
-//	GET  /v1/version     the daemon's build identity
-//	GET  /v1/faultplan   the active fault-injection plan (404 when none)
-//	GET  /healthz        200 ok / 503 draining
-//	GET  /metrics        the obs metrics snapshot as JSON
+//	POST /v1/solve             one sched.Problem + algorithm → schedule
+//	POST /v1/solve/batch       many problems, one round-trip, per-item results
+//	POST /v1/plan              per-rank problems → balanced plan.IterationPlan
+//	POST /v1/session           register a workload, get a plan session id
+//	POST /v1/session/{id}/iter one iteration: full plan or {"reused":true}
+//	DELETE /v1/session/{id}    close a plan session
+//	GET  /v1/algorithms        the available algorithm names
+//	GET  /v1/version           the daemon's build identity
+//	GET  /v1/faultplan         the active fault-injection plan (404 when none)
+//	GET  /healthz              200 ok / 503 draining
+//	GET  /metrics              the obs metrics snapshot as JSON
 //
 // Every non-2xx /v1/* response body is an api.ErrorEnvelope with a stable
 // machine-readable code (including the mux's own 404/405, rewritten by
@@ -232,6 +244,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/session/{id}/iter", s.handleSessionIter)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/faultplan", s.handleFaultPlan)

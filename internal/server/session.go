@@ -1,0 +1,258 @@
+package server
+
+// Streaming plan sessions: a running application registers its planning
+// configuration once (POST /v1/session) and then posts per-iteration inputs
+// (POST /v1/session/{id}/iter). The server keeps, per session, the exact-byte
+// key of the last planned input (plan.AppendInputKey) and the plan it
+// produced; an iteration whose key matches is answered with a compact
+// {"reused":true} token — no solver work, no plan on the wire — which the
+// client resolves against the plan it cached from the last full response.
+// This is core.Simulator's iteration-similarity reuse (DESIGN.md §12.3)
+// lifted to the service boundary: the planner is deterministic, so a
+// byte-identical input proves the re-plan would have been byte-identical.
+//
+// Sessions are soft state. They live in memory, are bounded by
+// Config.MaxSessions (least-recently-used eviction), and vanish on restart;
+// a client holding a dead id receives 404 no_session and re-registers,
+// re-posting the full input. Nothing a session stores is needed for
+// correctness — only for skipping work.
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+// session is one registered workload's reuse state. mu serializes iterations
+// on the session (applications iterate sequentially; two racing iterations
+// on one id would otherwise interleave key and plan updates).
+type session struct {
+	id  string
+	cfg plan.Config
+
+	mu       sync.Mutex
+	seq      int64
+	key      []byte
+	lastPlan *plan.IterationPlan
+	overall  float64
+}
+
+// sessionStore holds the server's live sessions with LRU eviction at cap.
+type sessionStore struct {
+	mu    sync.Mutex
+	byID  map[string]*session
+	used  map[string]int64 // id → last-touch tick, for eviction
+	tick  int64
+	limit int
+}
+
+func newSessionStore(limit int) *sessionStore {
+	return &sessionStore{
+		byID:  make(map[string]*session),
+		used:  make(map[string]int64),
+		limit: limit,
+	}
+}
+
+// add inserts s, evicting the least-recently-used session when full.
+// Returns the number of evictions (0 or 1).
+func (st *sessionStore) add(s *session) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	evicted := 0
+	if len(st.byID) >= st.limit {
+		var victim string
+		var oldest int64
+		for id, at := range st.used {
+			if victim == "" || at < oldest {
+				victim, oldest = id, at
+			}
+		}
+		delete(st.byID, victim)
+		delete(st.used, victim)
+		evicted++
+	}
+	st.tick++
+	st.byID[s.id] = s
+	st.used[s.id] = st.tick
+	return evicted
+}
+
+// get returns the session and touches its recency, or nil.
+func (st *sessionStore) get(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.byID[id]
+	if s != nil {
+		st.tick++
+		st.used[id] = st.tick
+	}
+	return s
+}
+
+// remove deletes id, reporting whether it existed.
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.byID[id]
+	delete(st.byID, id)
+	delete(st.used, id)
+	return ok
+}
+
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}
+
+// newSessionID returns an unguessable id. No "." — a fleet router prefixes
+// ids with "<shard>." to encode placement, and splits on the first dot.
+func newSessionID() string {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "s" + hex.EncodeToString(b[:])
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req api.SessionCreateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	alg := sched.ExtJohnsonBF
+	if req.Algorithm != "" {
+		var err error
+		if alg, err = sched.ParseAlgorithm(req.Algorithm); err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+			return
+		}
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, ErrDraining.Error())
+		return
+	}
+	sess := &session{
+		id: newSessionID(),
+		cfg: plan.Config{
+			Algorithm:    alg,
+			Balance:      req.Balance,
+			RanksPerNode: req.RanksPerNode,
+			BaseRank:     req.BaseRank,
+			Cache:        s.cfg.Cache,
+			Rec:          s.rec,
+		},
+	}
+	if ev := s.sessions.add(sess); ev > 0 {
+		s.rec.Count("fleet.session.evicted", float64(ev))
+	}
+	s.rec.Count("fleet.session.created", 1)
+	s.rec.Gauge("fleet.session.active", float64(s.sessions.len()))
+	writeJSON(w, http.StatusCreated, api.SessionCreateResponse{ID: sess.id, Algorithm: alg})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, api.CodeNoSession, "no such session")
+		return
+	}
+	s.rec.Count("fleet.session.closed", 1)
+	s.rec.Gauge("fleet.session.active", float64(s.sessions.len()))
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+// handleSessionIter serves one iteration: a reuse token when the input key
+// matches the session's previous iteration, a freshly planned
+// IterationPlan otherwise. Planning runs on the worker pool under the same
+// admission/deadline regime as /v1/plan.
+func (s *Server) handleSessionIter(w http.ResponseWriter, r *http.Request) {
+	s.rec.Count("fleet.session.iter.requests", 1)
+	sess := s.sessions.get(r.PathValue("id"))
+	if sess == nil {
+		s.rec.Count("fleet.session.iter.no_session", 1)
+		writeError(w, http.StatusNotFound, api.CodeNoSession, "no such session")
+		return
+	}
+	var req api.SessionIterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	if req.Unchanged {
+		// The client vouches the input is byte-identical to its previous
+		// iteration on this session. That claim is only resolvable when the
+		// session actually planned before — a fresh (or recreated) session
+		// has no key to be unchanged against.
+		if sess.lastPlan == nil {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+				"unchanged=true on a session with no prior iteration")
+			return
+		}
+		sess.seq++
+		s.rec.Count("fleet.session.iter.reused", 1)
+		writeJSON(w, http.StatusOK, api.SessionIterResponse{Reused: true, Seq: sess.seq})
+		return
+	}
+
+	key := plan.AppendInputKey(nil, req.Input)
+	if sess.lastPlan != nil && bytes.Equal(key, sess.key) {
+		sess.seq++
+		s.rec.Count("fleet.session.iter.reused", 1)
+		writeJSON(w, http.StatusOK, api.SessionIterResponse{Reused: true, Seq: sess.seq})
+		return
+	}
+
+	ctx, cancel := s.deadlineCtx(r, req.TimeoutMs)
+	defer cancel()
+	var (
+		p       *plan.IterationPlan
+		planErr error
+	)
+	t := &task{enq: time.Now(), done: make(chan struct{}), ctx: ctx}
+	t.run = func(tctx context.Context) {
+		start := s.rec.Now()
+		p, planErr = plan.PlanCtx(tctx, req.Input, sess.cfg)
+		if planErr == nil {
+			s.observeSolve("plan", start, false)
+		}
+	}
+	if err := s.submit(t); err != nil {
+		s.writeTaskError(w, err)
+		return
+	}
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		s.rec.Count("server.deadline", 1)
+		writeError(w, http.StatusGatewayTimeout, api.CodeDeadline, ctx.Err().Error())
+		return
+	}
+	if t.err != nil {
+		s.writeTaskError(w, t.err)
+		return
+	}
+	if planErr != nil {
+		s.writeTaskError(w, planErr)
+		return
+	}
+	sess.key = append(sess.key[:0], key...)
+	sess.lastPlan = p
+	sess.overall = p.Overall()
+	sess.seq++
+	s.rec.Count("fleet.session.iter.planned", 1)
+	writeJSON(w, http.StatusOK, api.SessionIterResponse{
+		Seq: sess.seq, Plan: p, Overall: sess.overall,
+	})
+}

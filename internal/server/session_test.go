@@ -1,0 +1,235 @@
+package server
+
+// Plan-session unit tests: register → iterate → reuse token on identical
+// input → fresh plan on changed input; unknown ids; the unchanged=true fast
+// path; LRU eviction at MaxSessions; and byte parity of the served plan
+// with a direct plan.Plan call.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+// sessionInput builds a small deterministic plan input with a rank-dependent
+// IO skew so balancing has something to move.
+func sessionInput(ranks int, skew float64) plan.Input {
+	p := sched.Figure1Problem()
+	in := plan.Input{Ranks: make([]plan.RankInput, ranks)}
+	for r := range in.Ranks {
+		ri := plan.RankInput{
+			Horizon:   p.Horizon,
+			CompHoles: append([]sched.Interval(nil), p.CompHoles...),
+			IOHoles:   append([]sched.Interval(nil), p.IOHoles...),
+		}
+		for _, j := range p.Jobs {
+			ri.Jobs = append(ri.Jobs, plan.Job{
+				ID: j.ID, PredComp: j.Comp, PredIO: j.IO * (1 + skew*float64(r)),
+			})
+		}
+		in.Ranks[r] = ri
+	}
+	return in
+}
+
+// sessionHarness is a session-scoped test client over an httptest server.
+type sessionHarness struct {
+	t  *testing.T
+	ts *httptest.Server
+}
+
+func (h *sessionHarness) post(path string, in, out any) (int, *api.ErrorEnvelope) {
+	h.t.Helper()
+	blob, err := json.Marshal(in)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := h.ts.Client().Post(h.ts.URL+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var env api.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			h.t.Fatalf("non-JSON error body on %d", resp.StatusCode)
+		}
+		return resp.StatusCode, &env
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func newSessionHarness(t *testing.T, cfg Config) (*sessionHarness, *Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return &sessionHarness{t: t, ts: ts}, srv
+}
+
+func TestSessionIterReuseAndParity(t *testing.T) {
+	rec := obs.NewRecorder()
+	h, _ := newSessionHarness(t, Config{PoolSize: 2, QueueDepth: 16, Cache: plan.NewSolveCache(0), Rec: rec})
+
+	var created api.SessionCreateResponse
+	if st, env := h.post("/v1/session", api.SessionCreateRequest{
+		Key: "app-1", Balance: true, RanksPerNode: 2,
+	}, &created); env != nil {
+		t.Fatalf("create: %d %v", st, env.Error)
+	}
+	if created.ID == "" || created.Algorithm != sched.ExtJohnsonBF {
+		t.Fatalf("create response: %+v", created)
+	}
+	iterPath := "/v1/session/" + created.ID + "/iter"
+
+	in := sessionInput(4, 1)
+	var first api.SessionIterResponse
+	if st, env := h.post(iterPath, api.SessionIterRequest{Input: in}, &first); env != nil {
+		t.Fatalf("iter 1: %d %v", st, env.Error)
+	}
+	if first.Reused || first.Plan == nil || first.Seq != 1 {
+		t.Fatalf("iter 1: reused=%v plan=%v seq=%d", first.Reused, first.Plan != nil, first.Seq)
+	}
+
+	// Parity: the session's plan must be byte-identical to a direct call.
+	want, err := plan.Plan(in, plan.Config{Balance: true, RanksPerNode: 2, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _ := json.Marshal(want)
+	gotB, _ := json.Marshal(first.Plan)
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("session plan differs from direct plan.Plan\n got %s\nwant %s", gotB, wantB)
+	}
+
+	// Same input again → compact reuse token, no plan, no solver work.
+	hitsBefore := rec.Counter("fleet.session.iter.reused")
+	var second api.SessionIterResponse
+	if st, env := h.post(iterPath, api.SessionIterRequest{Input: in}, &second); env != nil {
+		t.Fatalf("iter 2: %d %v", st, env.Error)
+	}
+	if !second.Reused || second.Plan != nil || second.Seq != 2 {
+		t.Fatalf("iter 2 should be a reuse token: %+v", second)
+	}
+	// unchanged=true shortcut (no input on the wire) reuses too.
+	var third api.SessionIterResponse
+	if st, env := h.post(iterPath, api.SessionIterRequest{Unchanged: true}, &third); env != nil {
+		t.Fatalf("iter 3: %d %v", st, env.Error)
+	}
+	if !third.Reused || third.Seq != 3 {
+		t.Fatalf("iter 3: %+v", third)
+	}
+	if got := rec.Counter("fleet.session.iter.reused"); got != hitsBefore+2 {
+		t.Fatalf("fleet.session.iter.reused = %v, want %v", got, hitsBefore+2)
+	}
+
+	// A changed input invalidates reuse and yields a fresh full plan.
+	changed := sessionInput(4, 2)
+	var fourth api.SessionIterResponse
+	if st, env := h.post(iterPath, api.SessionIterRequest{Input: changed}, &fourth); env != nil {
+		t.Fatalf("iter 4: %d %v", st, env.Error)
+	}
+	if fourth.Reused || fourth.Plan == nil || fourth.Seq != 4 {
+		t.Fatalf("iter 4 should be a fresh plan: reused=%v seq=%d", fourth.Reused, fourth.Seq)
+	}
+	if rec.Counter("fleet.session.iter.planned") != 2 {
+		t.Fatalf("planned counter = %v, want 2", rec.Counter("fleet.session.iter.planned"))
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	h, _ := newSessionHarness(t, Config{PoolSize: 1, QueueDepth: 4, Cache: plan.NewSolveCache(0)})
+
+	// Unknown id → 404 no_session (the re-register signal).
+	st, env := h.post("/v1/session/nope/iter", api.SessionIterRequest{Input: sessionInput(1, 0)}, nil)
+	if st != http.StatusNotFound || env == nil || env.Error.Code != api.CodeNoSession {
+		t.Fatalf("unknown session: %d %+v", st, env)
+	}
+
+	// unchanged=true before any planned iteration is a client bug: 400.
+	var created api.SessionCreateResponse
+	if st, env := h.post("/v1/session", api.SessionCreateRequest{}, &created); env != nil {
+		t.Fatalf("create: %d %v", st, env.Error)
+	}
+	st, env = h.post("/v1/session/"+created.ID+"/iter", api.SessionIterRequest{Unchanged: true}, nil)
+	if st != http.StatusBadRequest || env == nil || env.Error.Code != api.CodeBadRequest {
+		t.Fatalf("unchanged on fresh session: %d %+v", st, env)
+	}
+
+	// Bad algorithm at create time.
+	st, env = h.post("/v1/session", api.SessionCreateRequest{Algorithm: "NoSuchAlg"}, nil)
+	if st != http.StatusBadRequest || env == nil {
+		t.Fatalf("bad algorithm: %d %+v", st, env)
+	}
+
+	// Delete, then the id is gone.
+	req, _ := http.NewRequest(http.MethodDelete, h.ts.URL+"/v1/session/"+created.ID, nil)
+	resp, err := h.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	st, env = h.post("/v1/session/"+created.ID+"/iter", api.SessionIterRequest{Input: sessionInput(1, 0)}, nil)
+	if st != http.StatusNotFound || env == nil || env.Error.Code != api.CodeNoSession {
+		t.Fatalf("deleted session: %d %+v", st, env)
+	}
+}
+
+func TestSessionLRUEviction(t *testing.T) {
+	rec := obs.NewRecorder()
+	h, srv := newSessionHarness(t, Config{
+		PoolSize: 1, QueueDepth: 4, Cache: plan.NewSolveCache(0), Rec: rec, MaxSessions: 2,
+	})
+
+	ids := make([]string, 3)
+	for i := range ids {
+		var created api.SessionCreateResponse
+		if st, env := h.post("/v1/session", api.SessionCreateRequest{Key: fmt.Sprintf("app-%d", i)}, &created); env != nil {
+			t.Fatalf("create %d: %d %v", i, st, env.Error)
+		}
+		ids[i] = created.ID
+		if i == 1 {
+			// Touch session 0 so session 1 becomes the LRU victim.
+			if st, env := h.post("/v1/session/"+ids[0]+"/iter",
+				api.SessionIterRequest{Input: sessionInput(1, 0)}, nil); env != nil {
+				t.Fatalf("touch: %d %v", st, env.Error)
+			}
+		}
+	}
+	if n := srv.sessions.len(); n != 2 {
+		t.Fatalf("sessions after eviction = %d, want 2", n)
+	}
+	if rec.Counter("fleet.session.evicted") != 1 {
+		t.Fatalf("evicted counter = %v, want 1", rec.Counter("fleet.session.evicted"))
+	}
+	// The evicted id (1) is gone; 0 and 2 live.
+	st, env := h.post("/v1/session/"+ids[1]+"/iter", api.SessionIterRequest{Input: sessionInput(1, 0)}, nil)
+	if st != http.StatusNotFound || env == nil || env.Error.Code != api.CodeNoSession {
+		t.Fatalf("evicted session should 404 no_session: %d %+v", st, env)
+	}
+	for _, id := range []string{ids[0], ids[2]} {
+		if st, env := h.post("/v1/session/"+id+"/iter",
+			api.SessionIterRequest{Input: sessionInput(1, 0)}, nil); env != nil {
+			t.Fatalf("surviving session %s: %d %v", id, st, env.Error)
+		}
+	}
+}

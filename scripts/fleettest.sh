@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Fleet smoke test: 3 planning shards behind a consistent-hash router
+# (insitu-served -route) plus one unsharded baseline daemon, driven over
+# real HTTP. Asserts:
+#   1. the router reports all shards live at /v1/ring,
+#   2. a solve and a plan served through the routed fleet are byte-identical
+#      to the unsharded baseline's answers,
+#   3. a repeated solve is answered from the router's shared cache tier,
+#   4. insitu-load completes a closed-loop run against the router.
+# Runs in `make fleettest` (part of `make check`) and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/" ./cmd/insitu-served ./cmd/insitu-load
+
+PORT_BASE="${FLEETTEST_PORT_BASE:-19080}"
+ROUTER="http://127.0.0.1:$PORT_BASE"
+SHARDS=()
+for i in 1 2 3; do
+    addr="127.0.0.1:$((PORT_BASE + i))"
+    "$WORK/insitu-served" -addr "$addr" >"$WORK/shard$i.log" 2>&1 &
+    PIDS+=($!)
+    SHARDS+=("http://$addr")
+done
+BASELINE="http://127.0.0.1:$((PORT_BASE + 4))"
+"$WORK/insitu-served" -addr "127.0.0.1:$((PORT_BASE + 4))" >"$WORK/baseline.log" 2>&1 &
+PIDS+=($!)
+
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "fleettest: $1 never became healthy" >&2
+    return 1
+}
+for s in "${SHARDS[@]}" "$BASELINE"; do wait_healthy "$s"; done
+
+IFS=, eval 'SHARD_LIST="${SHARDS[*]}"'
+"$WORK/insitu-served" -addr "127.0.0.1:$PORT_BASE" -route "$SHARD_LIST" >"$WORK/router.log" 2>&1 &
+PIDS+=($!)
+wait_healthy "$ROUTER"
+
+# 1. All three shards are live ring members.
+LIVE=$(curl -fsS "$ROUTER/v1/ring" | grep -c '127\.0\.0\.1' || true)
+# configured + live → each shard URL appears twice.
+if [ "$LIVE" -ne 6 ]; then
+    echo "fleettest: /v1/ring lists $LIVE shard entries, want 6:" >&2
+    curl -fsS "$ROUTER/v1/ring" >&2
+    exit 1
+fi
+
+# 2. Byte parity, routed vs unsharded, for a solve and a plan.
+SOLVE_REQ='{"problem":{"horizon":100,"compHoles":[{"start":10,"end":30},{"start":60,"end":80}],"ioHoles":[{"start":0,"end":5}],"jobs":[{"id":0,"comp":4,"io":9},{"id":1,"comp":6,"io":3},{"id":2,"comp":2,"io":7},{"id":3,"comp":5,"io":5}]}}'
+PLAN_REQ='{"balance":true,"ranksPerNode":2,"input":{"ranks":[{"horizon":100,"compHoles":[{"start":10,"end":30}],"jobs":[{"id":0,"predComp":4,"predIO":9},{"id":1,"predComp":6,"predIO":3}]},{"horizon":100,"compHoles":[{"start":10,"end":30}],"jobs":[{"id":0,"predComp":4,"predIO":14},{"id":1,"predComp":6,"predIO":8}]}]}}'
+
+post() { curl -fsS -H 'Content-Type: application/json' -d "$2" "$1"; }
+
+post "$ROUTER/v1/solve" "$SOLVE_REQ" >"$WORK/solve.routed"
+post "$BASELINE/v1/solve" "$SOLVE_REQ" >"$WORK/solve.direct"
+if ! cmp -s "$WORK/solve.routed" "$WORK/solve.direct"; then
+    echo "fleettest: routed solve differs from unsharded baseline" >&2
+    diff "$WORK/solve.routed" "$WORK/solve.direct" >&2 || true
+    exit 1
+fi
+
+post "$ROUTER/v1/plan" "$PLAN_REQ" >"$WORK/plan.routed"
+post "$BASELINE/v1/plan" "$PLAN_REQ" >"$WORK/plan.direct"
+if ! cmp -s "$WORK/plan.routed" "$WORK/plan.direct"; then
+    echo "fleettest: routed plan differs from unsharded baseline" >&2
+    diff "$WORK/plan.routed" "$WORK/plan.direct" >&2 || true
+    exit 1
+fi
+
+# 3. The repeat of the same solve hits the router's shared tier.
+post "$ROUTER/v1/solve" "$SOLVE_REQ" >"$WORK/solve.repeat"
+if ! grep -q '"cached": true' "$WORK/solve.repeat"; then
+    echo "fleettest: repeated solve not served from the cache tier" >&2
+    cat "$WORK/solve.repeat" >&2
+    exit 1
+fi
+
+# 4. A closed-loop load run through the router completes with 200s.
+"$WORK/insitu-load" -addr "$ROUTER" -n 200 -c 8 -instances 4 >"$WORK/load.log" 2>&1 || {
+    echo "fleettest: insitu-load against the router failed" >&2
+    cat "$WORK/load.log" >&2
+    exit 1
+}
+
+echo "fleettest: ok (routed solve+plan byte-identical to unsharded baseline; tier hit on repeat; load run clean)"
