@@ -1,8 +1,8 @@
 # Tier-1 verification gate (see ROADMAP.md): build + vet + staticcheck (when
 # installed) + race-enabled tests + allocation-regression smoke + fleet smoke.
-.PHONY: check build vet staticcheck test faulttest scenariotest allocsmoke fleettest bench
+.PHONY: check build vet staticcheck test faulttest scenariotest contentiontest allocsmoke fleettest bench
 
-check: build vet staticcheck test faulttest scenariotest allocsmoke fleettest
+check: build vet staticcheck test faulttest scenariotest contentiontest allocsmoke fleettest
 
 build:
 	go build ./...
@@ -32,6 +32,14 @@ faulttest:
 scenariotest:
 	go run ./cmd/insitu-bench scenarios
 
+# Multi-application contention sweep: K apps sharing one FS through the
+# burst buffer with injected faults (digest-checked snapshot verification),
+# the burst-buffer admission/drain/fairness suites, the coordinator, and the
+# session-store LRU race — all under the race detector (see DESIGN.md §14).
+contentiontest:
+	go test -race -run 'MultiApp|Profiles|BurstBuffer|BBWrite|BBDisabled|BBAbsorb|BBValidation|Plan|SessionStoreLRURace' \
+		./internal/pfs ./internal/simapp ./internal/coord ./internal/core ./internal/server
+
 # Allocation-regression smoke: one warm 100k-rank iteration, gated against
 # the committed budgets in ALLOC_BUDGET.json (see DESIGN.md §12). A single
 # -benchtime=1x sample is enough — allocs/op is deterministic, and an
@@ -51,9 +59,9 @@ fleettest:
 # the daemon serving path and the 100k-rank event engine, with a
 # machine-readable perf trajectory written to BENCH_JSON. Set
 # BENCH_BASELINE=prev.json to embed the previous numbers under "baseline".
-BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd|ServerSolve|EventEngine|FleetSession'
-BENCH_JSON ?= BENCH_PR9.json
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_PATTERN ?= 'Table1|Fig[3-8]|Exact|PredVsActual|AlgoEndToEnd|ServerSolve|EventEngine|FleetSession|BurstBuffer'
+BENCH_JSON ?= BENCH_PR10.json
+BENCH_BASELINE ?= BENCH_PR9.json
 bench:
 	go test -run='^$$' -bench=$(BENCH_PATTERN) -benchmem -benchtime=1x -count=3 . \
 		| go run ./cmd/benchjson -o $(BENCH_JSON) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))

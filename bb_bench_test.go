@@ -1,0 +1,93 @@
+package repro_test
+
+// Burst-buffer benchmarks (DESIGN.md §14): the same bursty write stream is
+// pushed through the pfs model directly and through the staging tier, on an
+// injected virtual clock, under the SAME fault plan. ns/op is bookkeeping
+// cost (no real sleeps); the paper-level quantity is the custom metric
+// stall-ms/op — the modelled foreground write stall per burst — which the
+// absorb path must measurably undercut versus direct OST writes.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// bbBenchFS builds a Summit-like FS with an advancing virtual clock and the
+// shared fault plan; capacity <= 0 disables the tier (the direct baseline).
+// The returned advance function moves the virtual clock (a compute phase).
+func bbBenchFS(b *testing.B, capacity int64) (*pfs.FS, func(time.Duration)) {
+	b.Helper()
+	cfg := pfs.Summit16()
+	cfg.SmallIOBytes = 0
+	cfg.Faults = &pfs.FaultPlan{Seed: 5, WriteErrorRate: 0.02}
+	if capacity > 0 {
+		cfg.BB = &pfs.BBConfig{CapacityBytes: capacity}
+	}
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	advance := func(d time.Duration) { now = now.Add(d) }
+	fs.SetClock(func() time.Time { return now }, advance)
+	return fs, advance
+}
+
+// benchBBWrites streams b.N bursts of burst bytes each, separated by a
+// modelled compute phase long enough for the tier to drain, and reports the
+// mean foreground stall. Returns the total stall for sanity checks.
+func benchBBWrites(b *testing.B, fs *pfs.FS, advance func(time.Duration), burst int64, compute time.Duration) time.Duration {
+	b.Helper()
+	f := fs.Create("bench")
+	p := make([]byte, burst)
+	var stall time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate through a bounded window so the file (and its memcpy cost)
+		// stays fixed-size regardless of b.N; the model only sees bytes.
+		d, err := fs.Write(f, int64(i%16)*burst, p)
+		if err != nil {
+			var fe *pfs.FaultError
+			if !errors.As(err, &fe) {
+				b.Fatal(err) // injected faults are expected; anything else is not
+			}
+		}
+		stall += d
+		advance(compute) // compute phase: the drain runs behind it
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(stall)/float64(b.N)/1e6, "stall-ms/op")
+	return stall
+}
+
+// BenchmarkBurstBufferAbsorb: 16 MiB bursts into a 256 MiB tier with drain
+// headroom between bursts — every write should pay only the absorb.
+func BenchmarkBurstBufferAbsorb(b *testing.B) {
+	fs, advance := bbBenchFS(b, 256<<20)
+	benchBBWrites(b, fs, advance, 16<<20, 500*time.Millisecond)
+	if st := fs.BBStats(); st.Absorbs == 0 {
+		b.Fatalf("tier absorbed nothing: %+v", st)
+	}
+}
+
+// BenchmarkBurstBufferDirect is the equal-fault-plan baseline: the same
+// burst stream with the tier disabled pays the full OST curve.
+func BenchmarkBurstBufferDirect(b *testing.B) {
+	fs, advance := bbBenchFS(b, 0)
+	benchBBWrites(b, fs, advance, 16<<20, 500*time.Millisecond)
+}
+
+// BenchmarkBurstBufferDrain removes the compute-phase headroom: bursts
+// arrive back to back, so the tier fills and the stream alternates between
+// absorbs and drain-contended write-throughs — the saturation regime.
+func BenchmarkBurstBufferDrain(b *testing.B) {
+	fs, advance := bbBenchFS(b, 64<<20)
+	benchBBWrites(b, fs, advance, 16<<20, 0)
+	if st := fs.BBStats(); st.Absorbs == 0 {
+		b.Fatalf("tier absorbed nothing: %+v", st)
+	}
+}

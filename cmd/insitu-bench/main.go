@@ -10,8 +10,9 @@
 //	insitu-bench -cpuprofile cpu.pprof fig4   # profile for `go tool pprof`
 //	insitu-bench -memprofile mem.pprof fig6
 //	insitu-bench -faults 'seed=7,rate=0.05' faults   # inject write faults
+//	insitu-bench -burstbuffer 'cap=64MiB' contention  # multi-app runs staging through a burst buffer
 //	insitu-bench -record scenarios/ fig7      # record runs as scenario files
-//	insitu-bench -gen 6 -genseed 99 -record scenarios/   # generate adversarial scenarios
+//	insitu-bench -gen 8 -genseed 99 -record scenarios/   # generate adversarial scenarios
 //	insitu-bench scenarios                    # replay the corpus, check digests
 //
 // Output is plain aligned text, one table per experiment, matching the
@@ -53,6 +54,7 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile for `go tool pprof`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile for `go tool pprof`")
 	faults := flag.String("faults", "", "fault plan for wall-clock experiments: a JSON file or a spec like 'seed=7,rate=0.05'")
+	burstBuffer := flag.String("burstbuffer", "", "burst-buffer tier for wall-clock experiments: a spec like 'cap=64MiB,bw=256MiB,lat=200us,watermark=0.9,drain=0.5'")
 	record := flag.String("record", "", "record simulated runs as replayable scenario files into this directory")
 	genCount := flag.Int("gen", 0, "generate N adversarial scenarios (requires -record)")
 	genSeed := flag.Int64("genseed", 1, "seed for -gen")
@@ -71,6 +73,15 @@ func run() int {
 			return 2
 		}
 		experiments.SetFaults(fp)
+	}
+
+	if *burstBuffer != "" {
+		bb, err := pfs.ParseBBSpec(*burstBuffer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-bench: -burstbuffer: %v\n", err)
+			return 2
+		}
+		experiments.SetBurstBuffer(bb)
 	}
 
 	if *genCount > 0 {

@@ -31,6 +31,7 @@ func main() {
 	iters := flag.Int("iters", 4, "iterations per run")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file")
 	faults := flag.String("faults", "", "inject write faults: a JSON plan file or a spec like 'seed=7,rate=0.05'")
+	burstBuffer := flag.String("burstbuffer", "", "stage writes through a burst buffer: a spec like 'cap=64MiB,bw=256MiB'")
 	flag.Parse()
 
 	var faultPlan *pfs.FaultPlan
@@ -40,6 +41,15 @@ func main() {
 			log.Fatalf("-faults: %v", err)
 		}
 		faultPlan = fp
+	}
+
+	var bbCfg *pfs.BBConfig
+	if *burstBuffer != "" {
+		bb, err := pfs.ParseBBSpec(*burstBuffer)
+		if err != nil {
+			log.Fatalf("-burstbuffer: %v", err)
+		}
+		bbCfg = bb
 	}
 
 	var rec *obs.Recorder
@@ -55,6 +65,7 @@ func main() {
 		c.BlockBytes = 32 << 10
 		c.BufferBytes = 128 << 10
 		c.FS.Faults = faultPlan
+		c.FS.BB = bbCfg
 		return c
 	}
 
@@ -79,8 +90,13 @@ func main() {
 			log.Fatal(err)
 		}
 		extra := ""
+		if bbCfg != nil {
+			bs := fs.BBStats()
+			extra = fmt.Sprintf("  bb absorbs %d, writethrough %d, drained %d MiB",
+				bs.Absorbs, bs.Writethroughs, bs.DrainedBytes>>20)
+		}
 		if faultPlan != nil {
-			extra = fmt.Sprintf("  faults %d, retries %d, degraded %d",
+			extra += fmt.Sprintf("  faults %d, retries %d, degraded %d",
 				res.InjectedFaults, res.RetryAttempts, res.DegradedChunks)
 		}
 		if mode == simapp.Ours {

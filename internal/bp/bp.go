@@ -305,7 +305,7 @@ func (r *Reader) ReadChunk(name string, i int) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, ci.Size)
-	if _, err := f.ReadAt(buf, ci.Offset); err != nil {
+	if _, err := r.fs.Read(f, ci.Offset, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil

@@ -1,0 +1,98 @@
+// Package coord computes cluster-wide periodic I/O schedules for multiple
+// applications sharing one parallel file system, after Aupy et al.'s
+// "Periodic I/O scheduling for super-computers": each application is reduced
+// to a (compute time, I/O volume) profile, the cluster picks one global
+// period, and each application's I/O phase is placed at a fixed offset
+// within the period so that, in the steady state, at most one application
+// owns the PFS burst at a time.
+//
+// The derivation (DESIGN.md §14.3): with per-application I/O time
+// io_i = volume_i / aggregateBW, the period must be long enough to hold
+// every application's own iteration (max_i(compute_i + io_i)) and long
+// enough to serialize all I/O phases (Σ io_i); the schedule uses the larger
+// of the two. I/O windows are then laid end to end — window i starts at
+// w_i = Σ_{j<i} io_j — and because an application reaches its I/O phase
+// compute_i after it starts, its start offset is (w_i − compute_i) mod P.
+package coord
+
+import (
+	"fmt"
+	"math"
+)
+
+// AppProfile is one application's scheduling profile.
+type AppProfile struct {
+	// Name identifies the application (for reporting; must be unique when
+	// profiles come from simapp configs).
+	Name string
+	// Compute is the per-iteration compute+communication time in seconds
+	// (the span between consecutive I/O phases).
+	Compute float64
+	// IOVolume is the bytes the application writes per iteration.
+	IOVolume int64
+}
+
+// Schedule is a periodic cluster-wide I/O placement.
+type Schedule struct {
+	// Period is the global period in seconds.
+	Period float64
+	// IOTimes[i] is application i's I/O-phase length in seconds.
+	IOTimes []float64
+	// Windows[i] is the start of application i's I/O window within the
+	// period, in seconds from the period origin.
+	Windows []float64
+	// Offsets[i] is application i's start-time stagger in seconds: launch
+	// app i at t = Offsets[i] and its first I/O phase lands in its window.
+	Offsets []float64
+	// Busy is the fraction of the period the PFS is driven by some
+	// application's scheduled I/O (Σ io_i / Period, ≤ 1 by construction).
+	Busy float64
+}
+
+// Plan derives the periodic schedule for apps over a file system whose
+// aggregate write bandwidth is aggregateBW bytes/second.
+func Plan(apps []AppProfile, aggregateBW float64) (*Schedule, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("coord: no applications")
+	}
+	if aggregateBW <= 0 {
+		return nil, fmt.Errorf("coord: aggregate bandwidth %v <= 0", aggregateBW)
+	}
+	s := &Schedule{
+		IOTimes: make([]float64, len(apps)),
+		Windows: make([]float64, len(apps)),
+		Offsets: make([]float64, len(apps)),
+	}
+	var sumIO, maxSpan float64
+	for i, a := range apps {
+		if a.Compute < 0 {
+			return nil, fmt.Errorf("coord: app %q has negative compute time", a.Name)
+		}
+		if a.IOVolume < 0 {
+			return nil, fmt.Errorf("coord: app %q has negative I/O volume", a.Name)
+		}
+		io := float64(a.IOVolume) / aggregateBW
+		s.IOTimes[i] = io
+		sumIO += io
+		if span := a.Compute + io; span > maxSpan {
+			maxSpan = span
+		}
+	}
+	s.Period = math.Max(maxSpan, sumIO)
+	if s.Period == 0 {
+		// All-zero profiles: a degenerate but valid schedule.
+		s.Busy = 0
+		return s, nil
+	}
+	w := 0.0
+	for i, a := range apps {
+		s.Windows[i] = w
+		s.Offsets[i] = math.Mod(w-a.Compute, s.Period)
+		if s.Offsets[i] < 0 {
+			s.Offsets[i] += s.Period
+		}
+		w += s.IOTimes[i]
+	}
+	s.Busy = sumIO / s.Period
+	return s, nil
+}

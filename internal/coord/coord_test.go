@@ -1,0 +1,89 @@
+package coord
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPlanSerializesWindows(t *testing.T) {
+	apps := []AppProfile{
+		{Name: "a", Compute: 2, IOVolume: 100},
+		{Name: "b", Compute: 3, IOVolume: 200},
+		{Name: "c", Compute: 1, IOVolume: 100},
+	}
+	s, err := Plan(apps, 100) // io times: 1, 2, 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Period = max(max span, sum io) = max(3+2, 4) = 5.
+	if !approx(s.Period, 5) {
+		t.Fatalf("period %v, want 5", s.Period)
+	}
+	wantWindows := []float64{0, 1, 3}
+	for i, w := range s.Windows {
+		if !approx(w, wantWindows[i]) {
+			t.Fatalf("windows %v, want %v", s.Windows, wantWindows)
+		}
+	}
+	// Windows never overlap inside the period.
+	for i := 0; i < len(apps)-1; i++ {
+		if s.Windows[i]+s.IOTimes[i] > s.Windows[i+1]+1e-9 {
+			t.Fatalf("window %d overlaps %d: %v + %v", i, i+1, s.Windows[i], s.IOTimes[i])
+		}
+	}
+	if !approx(s.Busy, 4.0/5.0) {
+		t.Fatalf("busy %v, want 0.8", s.Busy)
+	}
+	// Offsets place each app so compute ends at its window: offset + compute
+	// ≡ window (mod period), and every offset is in [0, period).
+	for i, a := range apps {
+		if s.Offsets[i] < 0 || s.Offsets[i] >= s.Period {
+			t.Fatalf("offset %d = %v outside [0, %v)", i, s.Offsets[i], s.Period)
+		}
+		end := math.Mod(s.Offsets[i]+a.Compute, s.Period)
+		if !approx(end, math.Mod(s.Windows[i], s.Period)) {
+			t.Fatalf("app %d: compute ends at %v, window at %v", i, end, s.Windows[i])
+		}
+	}
+}
+
+func TestPlanIOBoundPeriod(t *testing.T) {
+	// I/O-dominated cluster: the period must stretch to Σ io even though no
+	// single app needs it.
+	apps := []AppProfile{
+		{Name: "a", Compute: 0.1, IOVolume: 300},
+		{Name: "b", Compute: 0.1, IOVolume: 300},
+	}
+	s, err := Plan(apps, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Period, 6) {
+		t.Fatalf("period %v, want 6 (= sum of I/O)", s.Period)
+	}
+	if !approx(s.Busy, 1) {
+		t.Fatalf("busy %v, want 1", s.Busy)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := Plan(nil, 100); err == nil {
+		t.Error("empty app list accepted")
+	}
+	if _, err := Plan([]AppProfile{{Name: "a"}}, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := Plan([]AppProfile{{Name: "a", Compute: -1}}, 100); err == nil {
+		t.Error("negative compute accepted")
+	}
+	if _, err := Plan([]AppProfile{{Name: "a", IOVolume: -1}}, 100); err == nil {
+		t.Error("negative volume accepted")
+	}
+	// Degenerate all-zero profiles still plan (period 0, busy 0).
+	s, err := Plan([]AppProfile{{Name: "a"}}, 100)
+	if err != nil || s.Period != 0 || s.Busy != 0 {
+		t.Errorf("degenerate plan: %+v, %v", s, err)
+	}
+}

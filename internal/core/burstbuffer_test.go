@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestBBWriteSemantics pins the virtual-time burst-buffer curve (§14): an
+// admitted write pays only the absorb, a refused write pays the OST curve —
+// stretched by the concurrent drain only when the buffer holds bytes.
+func TestBBWriteSemantics(t *testing.T) {
+	cfg := WorkloadConfig{
+		IOBandwidth:     100 << 20,
+		BBCapacityBytes: 10 << 20,
+		BBBandwidth:     400 << 20,
+		BBWatermark:     0.5,
+		BBDrainFactor:   1,
+	}
+	var occ int64
+	// 4 MiB fits under the 5 MiB watermark: absorbed at buffer bandwidth.
+	if d, want := cfg.bbWrite(4<<20, &occ), float64(4<<20)/float64(400<<20); d != want {
+		t.Fatalf("absorb duration %v, want %v", d, want)
+	}
+	if occ != 4<<20 {
+		t.Fatalf("occupancy %d after absorb, want %d", occ, 4<<20)
+	}
+	// The next 4 MiB would cross the watermark: write-through, contended by
+	// the drain of the 4 MiB already staged (drain factor 1 → 2× the curve).
+	if d, want := cfg.bbWrite(4<<20, &occ), cfg.ioCurve(4<<20)*2; d != want {
+		t.Fatalf("contended write-through %v, want %v", d, want)
+	}
+	if occ != 4<<20 {
+		t.Fatalf("occupancy %d changed by write-through", occ)
+	}
+	// Write-through with an empty buffer has no drain to share with: the
+	// duration is exactly the direct OST curve.
+	var empty int64
+	if d, want := cfg.bbWrite(6<<20, &empty), cfg.ioCurve(6<<20); d != want {
+		t.Fatalf("uncontended write-through %v, want %v", d, want)
+	}
+	// Tier disabled: bbWrite IS ioCurve.
+	off := cfg
+	off.BBCapacityBytes = 0
+	var x int64
+	if d, want := off.bbWrite(4<<20, &x), off.ioCurve(4<<20); d != want || x != 0 {
+		t.Fatalf("disabled tier: %v (occ %d), want %v (occ 0)", d, x, want)
+	}
+}
+
+// TestBBDisabledByteIdentity is the acceptance criterion: with the tier
+// disabled, fault-free virtual-time schedules are byte-identical to a config
+// that never mentions the burst buffer — the model adds no random draws.
+func TestBBDisabledByteIdentity(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeAsyncIO, ModeAsyncCompIO, ModeOurs} {
+		plain := NyxWorkload(8, 4)
+		rc := RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}, Iterations: 3}
+		res, _, _ := runEngine(t, plain, rc, EngineEvent)
+
+		// Zero capacity disables the tier even with every tuning knob set.
+		off := plain
+		off.BBCapacityBytes = 0
+		off.BBBandwidth = 123 << 20
+		off.BBWatermark = 0.5
+		off.BBDrainFactor = 0.25
+		offRes, _, _ := runEngine(t, off, rc, EngineEvent)
+
+		if a, b := DigestResults(res), DigestResults(offRes); a != b {
+			t.Errorf("%s: disabled tier changed the schedule:\n plain %s\n off   %s", mode, a, b)
+		}
+	}
+}
+
+// TestBBAbsorbReducesWriteStall: a buffer big enough to absorb every dump
+// shortens iterations versus direct OST writes, in both engines.
+func TestBBAbsorbReducesWriteStall(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeOurs} {
+		direct := NyxWorkload(8, 4)
+		rc := RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}, Iterations: 3}
+
+		buffered := direct
+		buffered.BBCapacityBytes = 1 << 30 // absorbs the full raw dump
+
+		for _, eng := range []Engine{EngineLoop, EngineEvent} {
+			dRes, _, _ := runEngine(t, direct, rc, eng)
+			bRes, _, _ := runEngine(t, buffered, rc, eng)
+			var dTot, bTot float64
+			for i := range dRes {
+				dTot += dRes[i].End - dRes[i].ComputeEnd
+				bTot += bRes[i].End - bRes[i].ComputeEnd
+			}
+			if bTot >= dTot {
+				t.Errorf("%s/%v: buffered iterations %.3fs not faster than direct %.3fs",
+					mode, eng, bTot, dTot)
+			}
+		}
+	}
+}
+
+// TestBBValidation: BuildWorkload rejects out-of-range burst-buffer fields.
+func TestBBValidation(t *testing.T) {
+	bad := []func(*WorkloadConfig){
+		func(c *WorkloadConfig) { c.BBCapacityBytes = -1 },
+		func(c *WorkloadConfig) { c.BBBandwidth = -1 },
+		func(c *WorkloadConfig) { c.BBWatermark = 1.5 },
+		func(c *WorkloadConfig) { c.BBDrainFactor = -0.5 },
+	}
+	for i, mutate := range bad {
+		cfg := NyxWorkload(4, 2)
+		mutate(&cfg)
+		if _, err := BuildWorkload(cfg); err == nil {
+			t.Errorf("case %d: invalid burst-buffer config accepted", i)
+		}
+	}
+}

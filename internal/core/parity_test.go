@@ -101,6 +101,18 @@ func parityCorpus() []struct {
 			rc:   RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}, Iterations: 3},
 		})
 	}
+	// Burst-buffer staging: the 32 MiB tier absorbs compressed groups but
+	// overflows raw dumps mid-iteration, exercising both bbWrite branches.
+	bb := NyxWorkload(8, 4)
+	bb.Seed = 19
+	bb.BBCapacityBytes = 32 << 20
+	for _, mode := range []Mode{ModeBaseline, ModeOurs} {
+		cases = append(cases, caseT{
+			name: fmt.Sprintf("nyx-bb/%s", mode),
+			cfg:  bb,
+			rc:   RunConfig{Mode: mode, Plan: PlanConfig{Balance: true}, Iterations: 3},
+		})
+	}
 	return cases
 }
 

@@ -97,6 +97,20 @@ type WorkloadConfig struct {
 	IOFaultRate    float64
 	IORetryPenalty float64
 
+	// Burst buffer, mirroring pfs.BBConfig at virtual-time fidelity: when
+	// BBCapacityBytes > 0, a write whose bytes fit under the admission
+	// watermark is absorbed at BBBandwidth (the caller pays only the
+	// absorb) and its bytes occupy the buffer for the rest of the rank's
+	// iteration (the drain completes during the next compute phase); a
+	// write refused admission pays the full OST curve, stretched by the
+	// concurrent drain stealing a BBDrainFactor share of bandwidth. All
+	// zero fields disable the tier and leave schedules byte-identical to
+	// pre-burst-buffer builds — the model adds no random draws.
+	BBCapacityBytes int64   `json:"bbCapacityBytes,omitempty"`
+	BBBandwidth     float64 `json:"bbBandwidth,omitempty"`   // bytes/s; 0 = 4× IOBandwidth
+	BBWatermark     float64 `json:"bbWatermark,omitempty"`   // occupancy admission bound; 0 = 0.95
+	BBDrainFactor   float64 `json:"bbDrainFactor,omitempty"` // drain bandwidth share, (0,1]; 0 = 1
+
 	// Faults, when non-nil, arms the correlated-OST fault model: every
 	// buffer-group write routes to OST (rank+group) mod NumOSTs and draws
 	// its fate from the plan (same seeded schedule as the wall-clock pfs.FS),
@@ -191,6 +205,18 @@ func (c WorkloadConfig) validate() error {
 	}
 	if c.NumOSTs < 0 {
 		return fmt.Errorf("core: negative OST count %d", c.NumOSTs)
+	}
+	if c.BBCapacityBytes < 0 {
+		return fmt.Errorf("core: negative burst-buffer capacity %d", c.BBCapacityBytes)
+	}
+	if c.BBBandwidth < 0 {
+		return fmt.Errorf("core: negative burst-buffer bandwidth %v", c.BBBandwidth)
+	}
+	if c.BBWatermark < 0 || c.BBWatermark > 1 {
+		return fmt.Errorf("core: burst-buffer watermark %v outside [0,1]", c.BBWatermark)
+	}
+	if c.BBDrainFactor < 0 || c.BBDrainFactor > 1 {
+		return fmt.Errorf("core: burst-buffer drain factor %v outside (0,1]", c.BBDrainFactor)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -322,6 +348,53 @@ func (c WorkloadConfig) ioCurve(n int64) float64 {
 	return float64(n) / bw
 }
 
+// bbBandwidth resolves the burst buffer's absorb bandwidth (default 4× the
+// rank's OST share — NVMe tier vs disk tier, matching pfs's default).
+func (c WorkloadConfig) bbBandwidth() float64 {
+	if c.BBBandwidth > 0 {
+		return c.BBBandwidth
+	}
+	return 4 * c.IOBandwidth
+}
+
+// bbWatermark resolves the admission watermark (default 0.95).
+func (c WorkloadConfig) bbWatermark() float64 {
+	if c.BBWatermark > 0 {
+		return c.BBWatermark
+	}
+	return 0.95
+}
+
+// bbDrainFactor resolves the drain's bandwidth share (default 1).
+func (c WorkloadConfig) bbDrainFactor() float64 {
+	if c.BBDrainFactor > 0 {
+		return c.BBDrainFactor
+	}
+	return 1
+}
+
+// bbWrite returns the foreground duration of an n-byte write through the
+// burst-buffer tier, tracking drained-capacity occupancy in *occ. With the
+// tier disabled it is exactly ioCurve — no extra arithmetic, no draws — so
+// disabled-tier schedules stay byte-identical to pre-burst-buffer builds.
+// Admitted writes stall only for the absorb; refused writes pay the OST
+// curve slowed by the concurrent drain (which holds a bbDrainFactor share
+// of the bandwidth while the buffer is non-empty).
+func (c WorkloadConfig) bbWrite(n int64, occ *int64) float64 {
+	if c.BBCapacityBytes <= 0 {
+		return c.ioCurve(n)
+	}
+	if float64(*occ+n) <= c.bbWatermark()*float64(c.BBCapacityBytes) {
+		*occ += n
+		return float64(n) / c.bbBandwidth()
+	}
+	d := c.ioCurve(n)
+	if *occ > 0 {
+		d *= 1 + c.bbDrainFactor()
+	}
+	return d
+}
+
 // Iteration materializes iteration `iter` deterministically.
 func (w *Workload) Iteration(iter int) *IterationData {
 	cfg := w.Cfg
@@ -378,14 +451,19 @@ func (w *Workload) Iteration(iter int) *IterationData {
 		// over the whole group).
 		gStart := 0
 		var gBytes int64
+		// Burst-buffer occupancy over this rank's iteration, tracked
+		// separately for the planner's view (predicted bytes) and the
+		// executed view (actual bytes). The buffer starts each iteration
+		// empty: the drain finishes during the following compute phase.
+		var predOcc, actOcc int64
 		closeGroup := func(end int, group int) {
 			var pred, act int64
 			for i := gStart; i < end; i++ {
 				pred += jobs[i].PredBytes
 				act += jobs[i].ActBytes
 			}
-			predDur := cfg.ioCurve(pred)
-			actDur := cfg.ioCurve(act)
+			predDur := cfg.bbWrite(pred, &predOcc)
+			actDur := cfg.bbWrite(act, &actOcc)
 			for i := gStart; i < end; i++ {
 				jobs[i].Group = group
 				share := float64(jobs[i].PredBytes) / float64(pred)
@@ -434,11 +512,15 @@ func (w *Workload) Iteration(iter int) *IterationData {
 		}
 		data.Jobs = append(data.Jobs, jobs)
 
-		// Raw (uncompressed) write cost: one large write per field.
+		// Raw (uncompressed) write cost: one large write per field. Raw
+		// dumps belong to the baseline/async modes, whose executions never
+		// interleave with the compressed path's — the buffer is tracked
+		// independently.
 		raw := 0.0
+		var rawOcc int64
 		fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
 		for f := 0; f < cfg.FieldCount; f++ {
-			raw += cfg.ioCurve(fieldBytes)
+			raw += cfg.bbWrite(fieldBytes, &rawOcc)
 		}
 		rawAct := raw * math.Exp(cfg.SigmaIO*rng.NormFloat64())
 		if cfg.IOFaultRate > 0 && rng.Float64() < cfg.IOFaultRate {

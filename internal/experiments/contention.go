@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+	"repro/internal/simapp"
+)
+
+// The active burst-buffer configuration: set from the bench CLI's
+// -burstbuffer flag, applied to the wall-clock experiments that model the
+// shared file system (the contention experiment's "on" variants use it in
+// place of their default tier).
+var (
+	bbMu     sync.Mutex
+	activeBB *pfs.BBConfig
+)
+
+// SetBurstBuffer installs (or, with nil, clears) the process-wide
+// burst-buffer configuration.
+func SetBurstBuffer(bb *pfs.BBConfig) {
+	bbMu.Lock()
+	activeBB = bb
+	bbMu.Unlock()
+}
+
+// BurstBuffer returns the active burst-buffer configuration (nil when none).
+func BurstBuffer() *pfs.BBConfig {
+	bbMu.Lock()
+	defer bbMu.Unlock()
+	return activeBB
+}
+
+// Contention measures K concurrent applications sharing one file system:
+// direct-to-OST versus staging through the burst-buffer tier (with the
+// periodic coordinator staggering I/O phases), sweeping both the
+// application count and the buffer capacity. See DESIGN.md §14.
+func Contention(rec *obs.Recorder) (*Table, error) {
+	t := &Table{
+		ID:     "contention",
+		Title:  "Multi-application contention: K apps sharing the PFS, burst buffer, periodic coordination",
+		Header: []string{"apps", "burst buffer", "coordinated", "mean iter", "cluster total", "absorbs", "writethrough", "drained MiB"},
+		Notes: []string{
+			"expected shape: mean iteration grows with K on the direct path;",
+			"the burst buffer absorbs the bursts and the coordinator keeps",
+			"I/O phases disjoint, so the buffered rows degrade much more slowly",
+		},
+	}
+
+	defBB := BurstBuffer()
+	if defBB == nil {
+		defBB = &pfs.BBConfig{CapacityBytes: 64 << 20}
+	}
+	type variant struct {
+		k     int
+		bb    *pfs.BBConfig
+		coord bool
+	}
+	var variants []variant
+	for k := 1; k <= 3; k++ {
+		variants = append(variants,
+			variant{k: k},
+			variant{k: k, bb: defBB, coord: true})
+	}
+	// Buffer-size sweep at the highest contention level: a tier too small
+	// for the burst degenerates toward the direct path.
+	for _, capBytes := range []int64{4 << 20, 16 << 20} {
+		bb := *defBB
+		bb.CapacityBytes = capBytes
+		variants = append(variants, variant{k: 3, bb: &bb, coord: true})
+	}
+
+	for _, v := range variants {
+		cfgs := make([]simapp.Config, v.k)
+		for i := range cfgs {
+			cfg := realScale(simapp.Nyx(2, simapp.Ours), 2)
+			cfg.Name = fmt.Sprintf("nyx-%c", 'a'+rune(i))
+			cfg.Recorder = rec
+			cfgs[i] = cfg
+		}
+		fsCfg := cfgs[0].FS
+		fsCfg.Faults = Faults()
+		fsCfg.BB = v.bb
+		res, err := simapp.RunMulti(cfgs, fsCfg, v.coord)
+		if err != nil {
+			return nil, fmt.Errorf("contention: K=%d: %w", v.k, err)
+		}
+		var meanIter time.Duration
+		for _, app := range res.Apps {
+			meanIter += app.MeanIteration
+		}
+		meanIter /= time.Duration(len(res.Apps))
+		bbLabel := "off"
+		if v.bb != nil {
+			bbLabel = fmt.Sprintf("%d MiB", v.bb.CapacityBytes>>20)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(v.k), bbLabel, fmt.Sprint(v.coord),
+			meanIter.Round(time.Millisecond).String(),
+			res.Total.Round(time.Millisecond).String(),
+			fmt.Sprint(res.BB.Absorbs), fmt.Sprint(res.BB.Writethroughs),
+			fmt.Sprintf("%.1f", float64(res.BB.DrainedBytes)/(1<<20)),
+		})
+	}
+	return t, nil
+}

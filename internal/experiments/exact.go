@@ -139,6 +139,7 @@ func All() []NamedExperiment {
 		{"multifile", MultiFile},
 		{"algos", AlgoEndToEnd},
 		{"faults", FaultStudy},
+		{"contention", Contention},
 		{"scenarios", Scenarios},
 	}
 }
@@ -155,7 +156,7 @@ type NamedExperiment struct {
 // should not run concurrently with others).
 func WallClock(id string) bool {
 	switch id {
-	case "fig9", "fig10", "fig11", "multifile", "faults":
+	case "fig9", "fig10", "fig11", "multifile", "faults", "contention":
 		return true
 	}
 	return false

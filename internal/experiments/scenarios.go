@@ -44,8 +44,8 @@ func Scenarios(rec *obs.Recorder) (*Table, error) {
 	}
 
 	// A fresh adversarial batch: generated, self-pinned, then re-verified —
-	// catches nondeterminism the committed corpus can't.
-	gen, err := scenario.Generate(1234, 3)
+	// catches nondeterminism the committed corpus can't. One of each kind.
+	gen, err := scenario.Generate(1234, 4)
 	if err != nil {
 		return nil, err
 	}

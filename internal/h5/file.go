@@ -306,8 +306,13 @@ func (fw *FileWriter) Close() error {
 	return nil
 }
 
-// FileReader reads an H5L container.
+// FileReader reads an H5L container. Chunk reads go through the file
+// system's modelled read path (bandwidth pacing + read-fault injection);
+// metadata reads at Open stay raw — the superblock/footer/metadata bytes are
+// a negligible fraction of a container and keeping them unpaced preserves
+// the pre-read-path fault and timing schedules.
 type FileReader struct {
+	fs   *pfs.FS
 	f    *pfs.File
 	meta *Meta
 }
@@ -348,7 +353,7 @@ func Open(fs *pfs.FS, name string) (*FileReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FileReader{f: f, meta: meta}, nil
+	return &FileReader{fs: fs, f: f, meta: meta}, nil
 }
 
 // Datasets lists dataset names in creation order.
@@ -383,7 +388,7 @@ func (fr *FileReader) ReadChunk(name string, i int) ([]byte, error) {
 		return nil, fmt.Errorf("h5: chunk %d was never written", i)
 	}
 	buf := make([]byte, ci.Size)
-	if _, err := fr.f.ReadAt(buf, ci.Offset); err != nil {
+	if _, err := fr.fs.Read(fr.f, ci.Offset, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil

@@ -1,0 +1,350 @@
+package pfs
+
+// Burst-buffer tier: a bounded fast-absorb staging area in front of the OSTs
+// (Kopański's burst-buffer scheduling model; DESIGN.md §14). A write that fits
+// under the admission watermark is absorbed at the buffer's bandwidth — the
+// caller stalls only for the absorb — and a background drain to the OSTs is
+// scheduled on the same per-OST reservation horizons foreground requests use,
+// so drains genuinely contend with later writes. When the buffer is full the
+// write falls back to the direct path (write-through), paying full OST cost.
+//
+// The model is deterministic and goroutine-free: drains are reserved into the
+// future at absorb time, and their capacity is released lazily — every
+// FS.Write/FS.Read first pops the drains whose modelled finish time has
+// passed. Wall-clock and fake-clock execution therefore agree exactly.
+
+import (
+	"container/heap"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BBConfig configures the burst-buffer tier. The zero value (and a nil
+// pointer) disables the tier entirely: FS.Write behaves byte-identically to a
+// buffer-less file system.
+type BBConfig struct {
+	// CapacityBytes is the buffer size; <= 0 disables the tier.
+	CapacityBytes int64 `json:"capacityBytes"`
+	// Bandwidth is the absorb bandwidth in bytes/second. Zero defaults to
+	// 4× the aggregate OST bandwidth (NVMe tier vs disk tier).
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Latency is the fixed per-request absorb overhead. Zero means free.
+	Latency time.Duration `json:"latency,omitempty"`
+	// AdmitWatermark is the occupancy fraction above which new writes are
+	// refused admission (write-through). Zero defaults to 0.95.
+	AdmitWatermark float64 `json:"admitWatermark,omitempty"`
+	// DrainFactor is the fraction of OST bandwidth the background drain is
+	// allowed to use, in (0, 1]. Zero defaults to 1 (drain at full speed).
+	// Lower factors keep OSTs more available for foreground write-throughs
+	// at the cost of slower capacity reclamation.
+	DrainFactor float64 `json:"drainFactor,omitempty"`
+}
+
+// Enabled reports whether the configuration turns the tier on.
+func (b *BBConfig) Enabled() bool { return b != nil && b.CapacityBytes > 0 }
+
+// Validate checks ranges; a nil or disabled config is valid.
+func (b *BBConfig) Validate() error {
+	if !b.Enabled() {
+		return nil
+	}
+	if b.Bandwidth < 0 {
+		return fmt.Errorf("pfs: negative burst-buffer bandwidth %v", b.Bandwidth)
+	}
+	if b.Latency < 0 {
+		return fmt.Errorf("pfs: negative burst-buffer latency %v", b.Latency)
+	}
+	if b.AdmitWatermark < 0 || b.AdmitWatermark > 1 {
+		return fmt.Errorf("pfs: burst-buffer watermark %v outside [0,1]", b.AdmitWatermark)
+	}
+	if b.DrainFactor < 0 || b.DrainFactor > 1 {
+		return fmt.Errorf("pfs: burst-buffer drain factor %v outside (0,1]", b.DrainFactor)
+	}
+	return nil
+}
+
+// ParseBBSpec parses the compact command-line form: comma-separated key=value
+// pairs, e.g.
+//
+//	cap=64MiB,bw=256MiB,lat=200us,watermark=0.9,drain=0.5
+//
+// cap and bw take a byte size (plain bytes or KiB/MiB/GiB suffix; bw is per
+// second), lat a duration, watermark and drain fractions. Only cap is
+// required.
+func ParseBBSpec(spec string) (*BBConfig, error) {
+	b := &BBConfig{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("pfs: burst-buffer spec entry %q is not key=value", kv)
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "cap":
+			b.CapacityBytes, err = ParseByteSize(val)
+		case "bw":
+			var n int64
+			n, err = ParseByteSize(val)
+			b.Bandwidth = float64(n)
+		case "lat":
+			b.Latency, err = time.ParseDuration(val)
+		case "watermark":
+			b.AdmitWatermark, err = strconv.ParseFloat(val, 64)
+		case "drain":
+			b.DrainFactor, err = strconv.ParseFloat(val, 64)
+		default:
+			return nil, fmt.Errorf("pfs: unknown burst-buffer spec key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pfs: burst-buffer spec %s=%s: %v", key, val, err)
+		}
+	}
+	if b.CapacityBytes <= 0 {
+		return nil, fmt.Errorf("pfs: burst-buffer spec %q has no positive cap=", spec)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ParseByteSize parses a byte count with an optional binary suffix:
+// "4096", "32KiB", "64MiB", "1GiB" (also bare K/M/G and KB/MB/GB, treated
+// as binary).
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mult
+			s = s[:len(s)-len(suf.name)]
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("pfs: byte size %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("pfs: negative byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// drainRec is one scheduled background drain: bytes leave the buffer when the
+// modelled clock passes at.
+type drainRec struct {
+	at    time.Time
+	bytes int64
+}
+
+// drainHeap orders pending drains by finish time (container/heap).
+type drainHeap []drainRec
+
+func (h drainHeap) Len() int            { return len(h) }
+func (h drainHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h drainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *drainHeap) Push(x interface{}) { *h = append(*h, x.(drainRec)) }
+func (h *drainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	rec := old[n-1]
+	*h = old[:n-1]
+	return rec
+}
+
+// bbState is the live burst buffer. All fields are guarded by FS.mu.
+type bbState struct {
+	cfg      BBConfig  // resolved: every defaultable field filled in
+	busy     time.Time // absorb-channel reservation horizon
+	occupied int64     // bytes staged and not yet drained
+	drains   drainHeap // pending drains by modelled finish time
+
+	absorbs       int64
+	absorbedBytes int64
+	drainedBytes  int64
+	writethroughs int64
+}
+
+// newBBState resolves defaults against the surrounding file-system config.
+func newBBState(b *BBConfig, fs Config) *bbState {
+	cfg := *b
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = 4 * float64(fs.OSTs) * fs.PerOSTBandwidth
+	}
+	if cfg.AdmitWatermark == 0 {
+		cfg.AdmitWatermark = 0.95
+	}
+	if cfg.DrainFactor == 0 {
+		cfg.DrainFactor = 1
+	}
+	return &bbState{cfg: cfg}
+}
+
+// release frees the capacity of every drain whose modelled finish time has
+// passed, returning the bytes freed. Called under FS.mu at the head of each
+// paced request.
+func (bb *bbState) release(now time.Time) int64 {
+	var freed int64
+	for len(bb.drains) > 0 && !bb.drains[0].at.After(now) {
+		rec := heap.Pop(&bb.drains).(drainRec)
+		freed += rec.bytes
+	}
+	bb.occupied -= freed
+	bb.drainedBytes += freed
+	return freed
+}
+
+// admits reports whether an n-byte write fits under the admission watermark.
+func (bb *bbState) admits(n int64) bool {
+	return float64(bb.occupied+n) <= bb.cfg.AdmitWatermark*float64(bb.cfg.CapacityBytes)
+}
+
+// absorbDuration is the foreground cost of staging n bytes.
+func (bb *bbState) absorbDuration(n int64) time.Duration {
+	if n <= 0 {
+		return bb.cfg.Latency
+	}
+	secs := float64(n) / bb.cfg.Bandwidth
+	return bb.cfg.Latency + time.Duration(secs*float64(time.Second))
+}
+
+// absorb stages an admitted write through the burst buffer. Called with
+// fs.mu held (it unlocks); osts is the slice of OST indices the write would
+// have striped across, out the fault outcome already drawn for this write,
+// freed the drain bytes released on entry (for metrics).
+//
+// The caller stalls only for the absorb: the request queues on the buffer's
+// single absorb channel and runs at the buffer's bandwidth. The drain back to
+// the OSTs is reserved immediately on the same per-OST horizons foreground
+// requests queue behind — it pays the full OST-side duration (including any
+// latency spike or degradation window the fault plan drew), stretched by
+// 1/DrainFactor when the drain is throttled. Capacity is held until the
+// modelled clock passes the drain's finish time.
+func (fs *FS) absorb(f *File, off int64, p []byte, now time.Time, osts []int, out faultOutcome, freed int64) (time.Duration, error) {
+	n := int64(len(p))
+	bb := fs.bb
+	absorbStart := now
+	if bb.busy.After(absorbStart) {
+		absorbStart = bb.busy
+	}
+	absorbFinish := absorbStart.Add(bb.absorbDuration(n))
+	bb.busy = absorbFinish
+
+	drainIso := out.iso
+	if bb.cfg.DrainFactor < 1 {
+		drainIso = time.Duration(float64(drainIso) / bb.cfg.DrainFactor)
+	}
+	drainStart := absorbFinish
+	for _, i := range osts {
+		if fs.ostBusy[i].After(drainStart) {
+			drainStart = fs.ostBusy[i]
+		}
+	}
+	drainFinish := drainStart.Add(drainIso)
+	for _, i := range osts {
+		fs.ostBusy[i] = drainFinish
+	}
+	bb.occupied += n
+	heap.Push(&bb.drains, drainRec{at: drainFinish, bytes: n})
+	bb.absorbs++
+	bb.absorbedBytes += n
+	fs.statBytes += n
+	fs.statWrites++
+	occ := float64(bb.occupied) / float64(bb.cfg.CapacityBytes)
+	sleepFn := fs.sleep
+	rec := fs.rec
+	fs.mu.Unlock()
+
+	if _, err := f.WriteAt(p, off); err != nil {
+		return 0, err
+	}
+
+	if rec.Enabled() {
+		if out.spiked {
+			rec.Count("pfs.fault.latency_spike", 1)
+		}
+		if out.slowed {
+			rec.Count("pfs.fault.degraded_write", 1)
+		}
+		// The absorb on the buffer's own timeline row (one past the OSTs),
+		// the deferred drain on its primary OST's row.
+		rec.WallSpan(obs.Span{
+			Name: fmt.Sprintf("absorb %s", f.name), Cat: "write",
+			Rank: obs.PIDStorage, Thread: obs.Thread(fs.cfg.OSTs),
+			Block: obs.NoBlock, Bytes: n,
+			Extra: fmt.Sprintf("bb occupancy %.0f%%", occ*100),
+		}, absorbStart, absorbFinish)
+		rec.WallSpan(obs.Span{
+			Name: fmt.Sprintf("drain %s", f.name), Cat: "drain",
+			Rank: obs.PIDStorage, Thread: obs.Thread(osts[0]),
+			Block: obs.NoBlock, Bytes: n,
+			Extra: fmt.Sprintf("%d OSTs", len(osts)),
+		}, drainStart, drainFinish)
+		rec.Count("pfs.bytes.written", float64(n))
+		rec.Count("pfs.writes", 1)
+		rec.Count("pfs.bb.absorbed.bytes", float64(n))
+		rec.Count("pfs.bb.absorbs", 1)
+		rec.Gauge("pfs.bb.occupancy", occ)
+		if freed > 0 {
+			rec.Count("pfs.bb.drained.bytes", float64(freed))
+		}
+		rec.Observe("pfs.request.bytes", float64(n))
+	}
+
+	wait := absorbFinish.Sub(now)
+	if wait > 0 {
+		sleepFn(wait)
+	}
+	return wait, nil
+}
+
+// BBStats is a point-in-time summary of the burst buffer tier.
+type BBStats struct {
+	Enabled       bool
+	CapacityBytes int64
+	OccupiedBytes int64 // staged, not yet drained (pending drains included)
+	AbsorbedBytes int64 // total bytes ever admitted
+	DrainedBytes  int64 // total bytes whose drain has completed
+	Absorbs       int64 // writes admitted
+	Writethroughs int64 // writes refused admission (buffer over watermark)
+	PendingDrains int   // drains scheduled but not yet finished
+}
+
+// BBStats reports the burst buffer's counters; Enabled is false (and all
+// counts zero) when the tier is off. Pending drains whose modelled finish
+// time has already passed are released first, so occupancy is current.
+func (fs *FS) BBStats() BBStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.bb == nil {
+		return BBStats{}
+	}
+	fs.bb.release(fs.now())
+	return BBStats{
+		Enabled:       true,
+		CapacityBytes: fs.bb.cfg.CapacityBytes,
+		OccupiedBytes: fs.bb.occupied,
+		AbsorbedBytes: fs.bb.absorbedBytes,
+		DrainedBytes:  fs.bb.drainedBytes,
+		Absorbs:       fs.bb.absorbs,
+		Writethroughs: fs.bb.writethroughs,
+		PendingDrains: len(fs.bb.drains),
+	}
+}

@@ -1,0 +1,335 @@
+package pfs
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestWriteAtAmortizedGrowth pins the append-growth fix: extending a file
+// must not reallocate the backing array on every write (the old exact-size
+// growth copied the whole prefix each time, quadratic on appends).
+func TestWriteAtAmortizedGrowth(t *testing.T) {
+	f := &File{name: "x"}
+	const (
+		chunk  = 1 << 10
+		rounds = 1024
+	)
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	reallocs, lastCap := 0, 0
+	for i := 0; i < rounds; i++ {
+		if _, err := f.WriteAt(buf, int64(i)*chunk); err != nil {
+			t.Fatal(err)
+		}
+		if cap(f.data) != lastCap {
+			reallocs++
+			lastCap = cap(f.data)
+		}
+	}
+	// Doubling yields O(log n) reallocations; exact-size growth did ~rounds.
+	if reallocs > 15 {
+		t.Fatalf("%d appends caused %d reallocations; growth is not amortized", rounds, reallocs)
+	}
+	if got := f.Size(); got != rounds*chunk {
+		t.Fatalf("size = %d, want %d", got, rounds*chunk)
+	}
+	probe := make([]byte, chunk)
+	for _, off := range []int64{0, (rounds / 2) * chunk, (rounds - 1) * chunk} {
+		if _, err := f.ReadAt(probe, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(probe, buf) {
+			t.Fatalf("content mismatch at offset %d", off)
+		}
+	}
+}
+
+// TestWriteAtGapStaysZero guards the reslice-within-capacity path: a write
+// that leaves a gap behind the previous end must expose zeroes, not stale
+// capacity bytes.
+func TestWriteAtGapStaysZero(t *testing.T) {
+	f := &File{name: "x"}
+	if _, err := f.WriteAt([]byte{1, 2, 3, 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Force a doubling so spare capacity exists, then write past a gap that
+	// stays inside it.
+	if _, err := f.WriteAt([]byte{5, 6, 7, 8}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{9}, 12); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 13)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 9}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func bbTestConfig() Config {
+	cfg := Summit16()
+	cfg.SmallIOBytes = 0
+	cfg.BB = &BBConfig{CapacityBytes: 64 << 20}
+	return cfg
+}
+
+// TestBurstBufferAbsorbFasterThanDirect: an admitted write stalls the caller
+// only for the absorb, which runs at the (much faster) buffer bandwidth.
+func TestBurstBufferAbsorbFasterThanDirect(t *testing.T) {
+	direct := mustFS(t, func() Config { c := bbTestConfig(); c.BB = nil; return c }())
+	buffered := mustFS(t, bbTestConfig())
+	for _, fs := range []*FS{direct, buffered} {
+		clk := newFakeClock()
+		fs.SetClock(clk.now, clk.sleep)
+	}
+	p := make([]byte, 8<<20)
+	dDir, err := direct.Write(direct.Create("f"), 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dBuf, err := buffered.Write(buffered.Create("f"), 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dBuf*2 >= dDir {
+		t.Fatalf("absorb %v not meaningfully faster than direct %v", dBuf, dDir)
+	}
+	st := buffered.BBStats()
+	if !st.Enabled || st.Absorbs != 1 || st.AbsorbedBytes != int64(len(p)) {
+		t.Fatalf("unexpected bb stats: %+v", st)
+	}
+	// The absorbed bytes still landed in the file.
+	got := make([]byte, len(p))
+	f, _ := buffered.Open("f")
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBurstBufferWriteThroughWhenFull: once occupancy would cross the
+// watermark, writes fall back to the direct path and queue behind the
+// pending drain's OST reservations.
+func TestBurstBufferWriteThroughWhenFull(t *testing.T) {
+	cfg := bbTestConfig()
+	cfg.BB = &BBConfig{CapacityBytes: 8 << 20, AdmitWatermark: 0.9}
+	fs := mustFS(t, cfg)
+	clk := newFakeClock()
+	// Freeze time so the first write's drain is still pending when the
+	// second write arrives.
+	fs.SetClock(clk.now, func(time.Duration) {})
+	f := fs.Create("f")
+	p := make([]byte, 6<<20)
+	if _, err := fs.Write(f, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := fs.Write(f, int64(len(p)), p) // 12 MiB > 0.9*8 MiB: refused
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fs.BBStats()
+	if st.Absorbs != 1 || st.Writethroughs != 1 {
+		t.Fatalf("absorbs=%d writethroughs=%d, want 1/1", st.Absorbs, st.Writethroughs)
+	}
+	// The write-through pays at least its own isolation duration, plus
+	// queueing behind the drain that now owns the OSTs.
+	if iso := fs.ModelDuration(int64(len(p))); d2 < iso {
+		t.Fatalf("write-through %v cheaper than isolation %v", d2, iso)
+	}
+	if st.OccupiedBytes != int64(len(p)) {
+		t.Fatalf("occupied %d, want %d (drain pending under frozen clock)", st.OccupiedBytes, len(p))
+	}
+}
+
+// TestBurstBufferDrainFreesCapacity: once the modelled clock passes the
+// drain's finish time the staged bytes leave the buffer and admission
+// resumes.
+func TestBurstBufferDrainFreesCapacity(t *testing.T) {
+	cfg := bbTestConfig()
+	cfg.BB = &BBConfig{CapacityBytes: 8 << 20, AdmitWatermark: 0.9}
+	fs := mustFS(t, cfg)
+	clk := newFakeClock()
+	fs.SetClock(clk.now, clk.sleep)
+	f := fs.Create("f")
+	p := make([]byte, 6<<20)
+	if _, err := fs.Write(f, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	// Advance far past the drain's modelled finish.
+	clk.sleep(time.Hour)
+	st := fs.BBStats()
+	if st.OccupiedBytes != 0 || st.DrainedBytes != int64(len(p)) || st.PendingDrains != 0 {
+		t.Fatalf("drain did not complete: %+v", st)
+	}
+	if _, err := fs.Write(f, int64(len(p)), p); err != nil {
+		t.Fatal(err)
+	}
+	if st = fs.BBStats(); st.Absorbs != 2 || st.Writethroughs != 0 {
+		t.Fatalf("second write not absorbed after drain: %+v", st)
+	}
+}
+
+// TestBurstBufferFaultScheduleUnchanged: the same fault plan must inject the
+// same write sequence numbers whether or not the tier is enabled ("equal
+// fault plan" — the acceptance criterion for comparing the two paths).
+func TestBurstBufferFaultScheduleUnchanged(t *testing.T) {
+	run := func(withBB bool) []int {
+		cfg := bbTestConfig()
+		if !withBB {
+			cfg.BB = nil
+		}
+		cfg.Faults = &FaultPlan{Seed: 11, WriteErrorRate: 0.3}
+		fs := mustFS(t, cfg)
+		clk := newFakeClock()
+		fs.SetClock(clk.now, clk.sleep)
+		f := fs.Create("f")
+		var faulted []int
+		p := make([]byte, 1<<20)
+		for i := 0; i < 40; i++ {
+			if _, err := fs.Write(f, int64(i)<<20, p); err != nil {
+				faulted = append(faulted, i)
+			}
+		}
+		return faulted
+	}
+	with, without := run(true), run(false)
+	if len(with) == 0 {
+		t.Fatal("plan injected no faults; test is vacuous")
+	}
+	if len(with) != len(without) {
+		t.Fatalf("fault counts differ: bb=%v direct=%v", with, without)
+	}
+	for i := range with {
+		if with[i] != without[i] {
+			t.Fatalf("fault schedules differ: bb=%v direct=%v", with, without)
+		}
+	}
+}
+
+// TestBurstBufferFairness: with K contending applications round-robin
+// writing through one shared buffered FS, no application's p99 write stall
+// exceeds C× its solo baseline — and the buffered cluster's worst stall
+// beats the direct-to-OST cluster's.
+func TestBurstBufferFairness(t *testing.T) {
+	const (
+		K      = 3
+		writes = 30
+		C      = 3.0
+	)
+	run := func(apps int, withBB bool) [][]time.Duration {
+		cfg := bbTestConfig()
+		if !withBB {
+			cfg.BB = nil
+		}
+		fs := mustFS(t, cfg)
+		clk := newFakeClock()
+		fs.SetClock(clk.now, clk.sleep)
+		files := make([]*File, apps)
+		for a := range files {
+			files[a] = fs.Create(string(rune('a' + a)))
+		}
+		stalls := make([][]time.Duration, apps)
+		p := make([]byte, 2<<20)
+		for w := 0; w < writes; w++ {
+			for a := 0; a < apps; a++ {
+				d, err := fs.Write(files[a], int64(w)*int64(len(p)), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stalls[a] = append(stalls[a], d)
+			}
+			// Compute phase between I/O bursts: the background drain uses
+			// it to empty the buffer (the burst-buffer operating regime).
+			clk.sleep(200 * time.Millisecond)
+		}
+		return stalls
+	}
+	p99 := func(ds []time.Duration) time.Duration {
+		s := append([]time.Duration(nil), ds...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)*99/100]
+	}
+	solo := p99(run(1, true)[0])
+	shared := run(K, true)
+	worstBB := time.Duration(0)
+	for a, ds := range shared {
+		if got := p99(ds); float64(got) > C*float64(solo) {
+			t.Errorf("app %d p99 stall %v exceeds %.0fx solo baseline %v", a, got, C, solo)
+		} else if got > worstBB {
+			worstBB = got
+		}
+	}
+	// The tier must also beat the direct path under the same contention.
+	worstDirect := time.Duration(0)
+	for _, ds := range run(K, false) {
+		if got := p99(ds); got > worstDirect {
+			worstDirect = got
+		}
+	}
+	if worstBB >= worstDirect {
+		t.Errorf("buffered worst p99 %v not better than direct %v", worstBB, worstDirect)
+	}
+}
+
+func TestParseBBSpec(t *testing.T) {
+	bb, err := ParseBBSpec("cap=64MiB,bw=256MiB,lat=200us,watermark=0.9,drain=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.CapacityBytes != 64<<20 || bb.Bandwidth != float64(256<<20) ||
+		bb.Latency != 200*time.Microsecond || bb.AdmitWatermark != 0.9 || bb.DrainFactor != 0.5 {
+		t.Fatalf("parsed %+v", bb)
+	}
+	for _, bad := range []string{"", "bw=256MiB", "cap=0", "cap=64MiB,watermark=2", "cap=64MiB,bogus=1", "cap=x"} {
+		if _, err := ParseBBSpec(bad); err == nil {
+			t.Errorf("spec %q: expected error", bad)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := map[string]int64{
+		"4096": 4096, "32KiB": 32 << 10, "64MiB": 64 << 20, "1GiB": 1 << 30,
+		"2K": 2 << 10, "3MB": 3 << 20, "0.5MiB": 512 << 10,
+	}
+	for in, want := range cases {
+		got, err := ParseByteSize(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+		} else if got != want {
+			t.Errorf("%q = %d, want %d", in, got, want)
+		}
+	}
+	if _, err := ParseByteSize("-1KiB"); err == nil {
+		t.Error("negative size: expected error")
+	}
+}
+
+func TestBBConfigValidation(t *testing.T) {
+	bad := []BBConfig{
+		{CapacityBytes: 1, Bandwidth: -1},
+		{CapacityBytes: 1, Latency: -time.Second},
+		{CapacityBytes: 1, AdmitWatermark: 1.5},
+		{CapacityBytes: 1, DrainFactor: 2},
+	}
+	for i, bb := range bad {
+		cfg := Summit16()
+		cfg.BB = &bb
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v passed validation", i, bb)
+		}
+	}
+	// Disabled configs are always valid.
+	cfg := Summit16()
+	cfg.BB = &BBConfig{}
+	if _, err := New(cfg); err != nil {
+		t.Errorf("disabled bb rejected: %v", err)
+	}
+}

@@ -122,6 +122,13 @@ type FaultPlan struct {
 	WriteErrorRate float64    `json:"writeErrorRate,omitempty"`
 	Class          FaultClass `json:"class,omitempty"`
 
+	// ReadErrorRate is the per-read probability of an injected corrupt-class
+	// error on FS.Read (a checksum mismatch on read-back; always corrupt —
+	// a torn read cannot be retried into correctness against the same
+	// media). Reads draw from their own seeded stream so enabling them
+	// never perturbs the write-fault schedule.
+	ReadErrorRate float64 `json:"readErrorRate,omitempty"`
+
 	// FailFirstN deterministically fails the first N writes routed to each
 	// targeted OST with transient errors, then lets that OST succeed — the
 	// fail-N-then-succeed mode retry tests are built on.
@@ -148,6 +155,9 @@ func (p *FaultPlan) Validate() error {
 	}
 	if p.WriteErrorRate < 0 || p.WriteErrorRate > 1 {
 		return fmt.Errorf("pfs: write error rate %v outside [0,1]", p.WriteErrorRate)
+	}
+	if p.ReadErrorRate < 0 || p.ReadErrorRate > 1 {
+		return fmt.Errorf("pfs: read error rate %v outside [0,1]", p.ReadErrorRate)
 	}
 	if p.SpikeRate < 0 || p.SpikeRate > 1 {
 		return fmt.Errorf("pfs: spike rate %v outside [0,1]", p.SpikeRate)
@@ -216,6 +226,8 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 			p.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "rate":
 			p.WriteErrorRate, err = strconv.ParseFloat(val, 64)
+		case "readrate":
+			p.ReadErrorRate, err = strconv.ParseFloat(val, 64)
 		case "class":
 			p.Class, err = ParseFaultClass(val)
 		case "failn":
@@ -300,14 +312,26 @@ type faultState struct {
 	total  int64
 	spikes int64
 	slowed int64 // writes stretched by a degradation window
+
+	// Reads draw from a separate stream (seeded off the same plan seed) so
+	// the write-fault schedule stays a pure function of the write sequence
+	// regardless of how many reads interleave.
+	readRng    *rand.Rand
+	readSeq    int64
+	readFaults int64
 }
+
+// readSeedSalt decorrelates the read stream from the write stream when both
+// derive from one plan seed.
+const readSeedSalt = 0x5f3759df
 
 func newFaultState(p *FaultPlan, osts int) *faultState {
 	st := &faultState{
-		plan:   *p,
-		rng:    rand.New(rand.NewSource(p.Seed)),
-		firstN: make([]int, osts),
-		perOST: make([]int64, osts),
+		plan:    *p,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		readRng: rand.New(rand.NewSource(p.Seed ^ readSeedSalt)),
+		firstN:  make([]int, osts),
+		perOST:  make([]int64, osts),
 	}
 	for i := range st.firstN {
 		if p.targets(i) {
@@ -364,6 +388,31 @@ func (st *faultState) decide(ost int, iso time.Duration) faultOutcome {
 		st.total++
 	}
 	return out
+}
+
+// decideRead draws the outcome for a read routed primarily to ost. Called
+// under FS.mu. The draw happens unconditionally (one per read) so the read
+// fault schedule is a pure function of (plan, read sequence).
+func (st *faultState) decideRead(ost int) *FaultError {
+	seq := st.readSeq
+	st.readSeq++
+	draw := st.readRng.Float64()
+	if st.plan.ReadErrorRate > 0 && st.plan.targets(ost) && draw < st.plan.ReadErrorRate {
+		st.readFaults++
+		return &FaultError{Class: FaultCorrupt, OST: ost, Seq: seq}
+	}
+	return nil
+}
+
+// ReadFaultStats reports the number of injected read faults (zero when the
+// FS has no fault plan).
+func (fs *FS) ReadFaultStats() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.faults == nil {
+		return 0
+	}
+	return fs.faults.readFaults
 }
 
 // VirtualOutcome is one virtual write's drawn fate, duration-free so the

@@ -44,6 +44,10 @@ type Config struct {
 	// Faults, when non-nil, injects the deterministic fault schedule into
 	// every paced Write (see FaultPlan). Nil disables injection.
 	Faults *FaultPlan
+	// BB, when enabled, stages writes through a burst-buffer tier (fast
+	// absorb, background drain; see BBConfig and DESIGN.md §14). Nil or
+	// zero-capacity disables the tier.
+	BB *BBConfig
 }
 
 // Summit16 approximates a 16-node Summit allocation's share of GPFS,
@@ -72,6 +76,9 @@ func (c Config) validate() error {
 	if c.Latency < 0 {
 		return errors.New("pfs: negative latency")
 	}
+	if err := c.BB.Validate(); err != nil {
+		return err
+	}
 	return c.Faults.Validate()
 }
 
@@ -95,6 +102,9 @@ func (f *File) Size() int64 {
 }
 
 // WriteAt stores p at offset off, growing (zero-filling) the file as needed.
+// Growth doubles capacity (amortized O(1) copying): the exact-size growth this
+// replaces re-copied the whole prefix on every extension, which is quadratic
+// on the append-heavy pattern multi-application workloads produce.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pfs: negative offset")
@@ -103,9 +113,19 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	defer f.mu.Unlock()
 	end := off + int64(len(p))
 	if end > int64(len(f.data)) {
-		grown := make([]byte, end)
-		copy(grown, f.data)
-		f.data = grown
+		if end <= int64(cap(f.data)) {
+			// make() zeroed through cap, and len never shrinks, so the
+			// gap bytes exposed by reslicing are still zero.
+			f.data = f.data[:end]
+		} else {
+			newCap := int64(cap(f.data)) * 2
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.data)
+			f.data = grown
+		}
 	}
 	copy(f.data[off:], p)
 	return len(p), nil
@@ -137,13 +157,16 @@ type FS struct {
 	files   map[string]*File
 	ostBusy []time.Time // per-OST reservation horizon (wall-clock mode)
 	faults  *faultState // nil when no fault plan is configured
+	bb      *bbState    // nil when the burst-buffer tier is disabled
 
 	// injectable clock for tests
 	now   func() time.Time
 	sleep func(time.Duration)
 
-	statBytes  int64
-	statWrites int64
+	statBytes     int64
+	statWrites    int64
+	statReadBytes int64
+	statReads     int64
 }
 
 // New constructs a file system; panics only on programmer error (invalid
@@ -161,6 +184,9 @@ func New(cfg Config) (*FS, error) {
 	}
 	if cfg.Faults != nil {
 		fs.faults = newFaultState(cfg.Faults, cfg.OSTs)
+	}
+	if cfg.BB.Enabled() {
+		fs.bb = newBBState(cfg.BB, cfg)
 	}
 	return fs, nil
 }
@@ -262,6 +288,10 @@ func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 
 	fs.mu.Lock()
 	now := fs.now()
+	var freed int64
+	if fs.bb != nil {
+		freed = fs.bb.release(now)
+	}
 	k := fs.stripesFor(n)
 	// Pick the k least-busy OSTs.
 	idx := make([]int, fs.cfg.OSTs)
@@ -295,6 +325,16 @@ func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 		return lat, out.err
 	}
 	iso = out.iso
+	// Burst-buffer admission: stage when the buffer has headroom, fall back
+	// to the direct OST path (write-through) when it does not. The fault
+	// decision above already consumed this write's draws, so the fault
+	// schedule is identical with the tier on, off, or full.
+	if fs.bb != nil {
+		if fs.bb.admits(n) {
+			return fs.absorb(f, off, p, now, idx[:k], out, freed)
+		}
+		fs.bb.writethroughs++
+	}
 	start := now
 	for _, i := range idx[:k] {
 		if fs.ostBusy[i].After(start) {
@@ -307,6 +347,10 @@ func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 	}
 	fs.statBytes += n
 	fs.statWrites++
+	bbOcc := -1.0
+	if fs.bb != nil {
+		bbOcc = float64(fs.bb.occupied) / float64(fs.bb.cfg.CapacityBytes)
+	}
 	sleepFn := fs.sleep
 	rec := fs.rec
 	fs.mu.Unlock()
@@ -321,6 +365,13 @@ func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 		}
 		if out.slowed {
 			rec.Count("pfs.fault.degraded_write", 1)
+		}
+		if bbOcc >= 0 {
+			rec.Count("pfs.bb.writethrough", 1)
+			rec.Gauge("pfs.bb.occupancy", bbOcc)
+		}
+		if freed > 0 {
+			rec.Count("pfs.bb.drained.bytes", float64(freed))
 		}
 		// Effective bandwidth as experienced (including queueing delay).
 		expSecs := finish.Sub(now).Seconds()
@@ -347,11 +398,117 @@ func (fs *FS) Write(f *File, off int64, p []byte) (time.Duration, error) {
 	return wait, nil
 }
 
+// Read fills p from f at off and paces the caller to the modelled duration,
+// queueing on the same per-OST reservation horizons writes (and burst-buffer
+// drains) occupy — a read-back behind a large drain genuinely waits. When the
+// fault plan configures a ReadErrorRate, a drawn read fault surfaces as a
+// corrupt-class FaultError before any bytes are copied: the checksum
+// mismatched, so the caller must not trust the buffer. Read faults draw from
+// their own seeded stream, leaving the write-fault schedule untouched.
+func (fs *FS) Read(f *File, off int64, p []byte) (time.Duration, error) {
+	if f == nil {
+		return 0, errors.New("pfs: nil file")
+	}
+	if off < 0 {
+		return 0, errors.New("pfs: negative offset")
+	}
+	n := int64(len(p))
+	iso := fs.ModelDuration(n)
+
+	fs.mu.Lock()
+	now := fs.now()
+	var freed int64
+	if fs.bb != nil {
+		freed = fs.bb.release(now)
+	}
+	k := fs.stripesFor(n)
+	idx := make([]int, fs.cfg.OSTs)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return fs.ostBusy[idx[a]].Before(fs.ostBusy[idx[b]]) })
+	var ferr *FaultError
+	if fs.faults != nil {
+		ferr = fs.faults.decideRead(idx[0])
+	}
+	if ferr != nil {
+		sleepFn := fs.sleep
+		rec := fs.rec
+		lat := fs.cfg.Latency
+		fs.mu.Unlock()
+		if rec.Enabled() {
+			rec.Count("pfs.fault.injected", 1)
+			rec.Count("pfs.fault.read."+ferr.Class.String(), 1)
+			rec.WallSpan(obs.Span{
+				Name: fmt.Sprintf("read fault %s %s", ferr.Class, f.name), Cat: "fault",
+				Rank: obs.PIDStorage, Thread: obs.Thread(ferr.OST),
+				Block: obs.NoBlock, Bytes: n,
+				Extra: fmt.Sprintf("read #%d", ferr.Seq),
+			}, now, now.Add(lat))
+		}
+		if lat > 0 {
+			sleepFn(lat)
+		}
+		return lat, ferr
+	}
+	start := now
+	for _, i := range idx[:k] {
+		if fs.ostBusy[i].After(start) {
+			start = fs.ostBusy[i]
+		}
+	}
+	finish := start.Add(iso)
+	for _, i := range idx[:k] {
+		fs.ostBusy[i] = finish
+	}
+	fs.statReadBytes += n
+	fs.statReads++
+	sleepFn := fs.sleep
+	rec := fs.rec
+	fs.mu.Unlock()
+
+	if _, err := f.ReadAt(p, off); err != nil {
+		return 0, err
+	}
+
+	if rec.Enabled() {
+		expSecs := finish.Sub(now).Seconds()
+		bw := 0.0
+		if expSecs > 0 {
+			bw = float64(n) / expSecs
+		}
+		rec.WallSpan(obs.Span{
+			Name: fmt.Sprintf("read %s", f.name), Cat: "read",
+			Rank: obs.PIDStorage, Thread: obs.Thread(idx[0]),
+			Block: obs.NoBlock, Bytes: n,
+			Extra: fmt.Sprintf("%.1f MiB/s effective, %d OSTs", bw/(1<<20), k),
+		}, start, finish)
+		rec.Count("pfs.bytes.read", float64(n))
+		rec.Count("pfs.reads", 1)
+		if freed > 0 {
+			rec.Count("pfs.bb.drained.bytes", float64(freed))
+		}
+	}
+
+	wait := finish.Sub(now)
+	if wait > 0 {
+		sleepFn(wait)
+	}
+	return wait, nil
+}
+
 // Stats reports cumulative write volume and request count.
 func (fs *FS) Stats() (bytes, writes int64) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.statBytes, fs.statWrites
+}
+
+// ReadStats reports cumulative modelled-read volume and request count.
+func (fs *FS) ReadStats() (bytes, reads int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.statReadBytes, fs.statReads
 }
 
 // SetClock injects a custom clock (tests and the discrete-event harness).

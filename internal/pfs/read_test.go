@@ -1,0 +1,132 @@
+package pfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestReadModeledDuration: FS.Read paces the caller by the same bandwidth
+// model as writes (the old raw File.ReadAt path was instantaneous).
+func TestReadModeledDuration(t *testing.T) {
+	cfg := Summit16()
+	cfg.SmallIOBytes = 0
+	fs := mustFS(t, cfg)
+	clk := newFakeClock()
+	fs.SetClock(clk.now, clk.sleep)
+	f := fs.Create("f")
+	p := make([]byte, 4<<20)
+	if _, err := fs.Write(f, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(p))
+	d, err := fs.Read(f, 0, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fs.ModelDuration(int64(len(p))); d != want {
+		t.Fatalf("read duration %v, want modelled %v", d, want)
+	}
+	if bytes, reads := fs.ReadStats(); bytes != int64(len(p)) || reads != 1 {
+		t.Fatalf("read stats %d/%d, want %d/1", bytes, reads, len(p))
+	}
+}
+
+// TestReadContendsWithWrites: a read issued while the OSTs are reserved by a
+// prior write queues behind it.
+func TestReadContendsWithWrites(t *testing.T) {
+	cfg := Summit16()
+	cfg.OSTs = 2
+	cfg.SmallIOBytes = 0
+	fs := mustFS(t, cfg)
+	clk := newFakeClock()
+	fs.SetClock(clk.now, func(time.Duration) {}) // frozen: requests pile up
+	f := fs.Create("f")
+	big := make([]byte, 16<<20) // spans both OSTs
+	if _, err := fs.Write(f, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	d, err := fs.Read(f, 0, make([]byte, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso := fs.ModelDuration(1 << 20); d <= iso {
+		t.Fatalf("read %v did not queue behind the write (isolation %v)", d, iso)
+	}
+}
+
+// TestReadFaultInjection: ReadErrorRate surfaces corrupt-class faults from
+// FS.Read before any bytes are copied.
+func TestReadFaultInjection(t *testing.T) {
+	cfg := Summit16()
+	cfg.Faults = &FaultPlan{Seed: 3, ReadErrorRate: 1}
+	fs := mustFS(t, cfg)
+	clk := newFakeClock()
+	fs.SetClock(clk.now, clk.sleep)
+	f := fs.Create("f")
+	if _, err := fs.Write(f, 0, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err) // rate applies to reads only; writes stay clean
+	}
+	buf := make([]byte, 1<<20)
+	_, err := fs.Read(f, 0, buf)
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Class != FaultCorrupt {
+		t.Fatalf("read error = %v, want corrupt FaultError", err)
+	}
+	if got := fs.ReadFaultStats(); got != 1 {
+		t.Fatalf("read fault count %d, want 1", got)
+	}
+	if _, total := fs.FaultStats(); total != 0 {
+		t.Fatalf("write fault count %d, want 0", total)
+	}
+}
+
+// TestReadFaultsDoNotPerturbWriteFaults: interleaving reads must not shift
+// the write-fault schedule — the two draw from separate seeded streams.
+func TestReadFaultsDoNotPerturbWriteFaults(t *testing.T) {
+	run := func(withReads bool) []int {
+		cfg := Summit16()
+		cfg.Faults = &FaultPlan{Seed: 11, WriteErrorRate: 0.3, ReadErrorRate: 0.5}
+		fs := mustFS(t, cfg)
+		clk := newFakeClock()
+		fs.SetClock(clk.now, clk.sleep)
+		f := fs.Create("f")
+		var faulted []int
+		p := make([]byte, 1<<20)
+		for i := 0; i < 30; i++ {
+			if _, err := fs.Write(f, int64(i)<<20, p); err != nil {
+				faulted = append(faulted, i)
+			}
+			if withReads {
+				_, _ = fs.Read(f, 0, p) // outcome irrelevant; draws read stream
+			}
+		}
+		return faulted
+	}
+	plain, interleaved := run(false), run(true)
+	if len(plain) == 0 {
+		t.Fatal("plan injected no write faults; test is vacuous")
+	}
+	if len(plain) != len(interleaved) {
+		t.Fatalf("write fault schedules differ: %v vs %v", plain, interleaved)
+	}
+	for i := range plain {
+		if plain[i] != interleaved[i] {
+			t.Fatalf("write fault schedules differ: %v vs %v", plain, interleaved)
+		}
+	}
+}
+
+// TestParseFaultSpecReadRate covers the new readrate key.
+func TestParseFaultSpecReadRate(t *testing.T) {
+	p, err := ParseFaultSpec("seed=5,readrate=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReadErrorRate != 0.25 {
+		t.Fatalf("read rate %v, want 0.25", p.ReadErrorRate)
+	}
+	if _, err := ParseFaultSpec("readrate=1.5"); err == nil {
+		t.Error("out-of-range readrate accepted")
+	}
+}

@@ -19,13 +19,16 @@ import (
 //   - ratio-cliff: rank mean ratios spread to the spread cap with heavy
 //     per-block jitter, stressing balancing and the buffer grouping;
 //   - correlated-ost: fault plans concentrating errors, stragglers, and
-//     degradation windows on a few OSTs, stressing the virtual fault path.
+//     degradation windows on a few OSTs, stressing the virtual fault path;
+//   - burst-buffer: a staging tier sized between one raw field and one full
+//     dump, so writes straddle the absorb/write-through admission boundary
+//     and the drain-contended overflow path (DESIGN.md §14).
 func Generate(seed int64, n int) ([]*Scenario, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("scenario: generate count %d < 1", n)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	kinds := []string{KindObstaclePacking, KindRatioCliff, KindCorrelatedOST}
+	kinds := []string{KindObstaclePacking, KindRatioCliff, KindCorrelatedOST, KindBurstBuffer}
 	out := make([]*Scenario, 0, n)
 	for i := 0; i < n; i++ {
 		kind := kinds[i%len(kinds)]
@@ -35,6 +38,8 @@ func Generate(seed int64, n int) ([]*Scenario, error) {
 			s = genObstaclePacking(rng)
 		case KindRatioCliff:
 			s = genRatioCliff(rng)
+		case KindBurstBuffer:
+			s = genBurstBuffer(rng)
 		default:
 			s = genCorrelatedOST(rng)
 		}
@@ -163,5 +168,27 @@ func genCorrelatedOST(rng *rand.Rand) *Scenario {
 		Modes:       allModes(),
 		Plan:        PlanSpec{Balance: true},
 		Iterations:  3,
+	}
+}
+
+// genBurstBuffer sizes the staging tier just above one raw field: the first
+// field of a raw dump absorbs, the rest write through against the drain, and
+// compressed groups fill the buffer until the watermark refuses them — every
+// bbWrite branch fires within one iteration.
+func genBurstBuffer(rng *rand.Rand) *Scenario {
+	cfg := baseConfig(rng)
+	fieldBytes := cfg.BlockBytes * int64(cfg.BlocksPerField)
+	cfg.BBCapacityBytes = int64(float64(fieldBytes) * (1.1 + 0.8*rng.Float64()))
+	cfg.BBBandwidth = cfg.IOBandwidth * (2 + 4*rng.Float64())
+	cfg.BBDrainFactor = 0.3 + 0.7*rng.Float64()
+	return &Scenario{
+		Version: Version,
+		Kind:    KindBurstBuffer,
+		Description: fmt.Sprintf("staging tier of %d MiB over %d MiB fields",
+			cfg.BBCapacityBytes>>20, fieldBytes>>20),
+		Workload:   cfg,
+		Modes:      allModes(),
+		Plan:       PlanSpec{Balance: true},
+		Iterations: 3,
 	}
 }

@@ -33,6 +33,7 @@ const (
 	KindObstaclePacking = "obstacle-packing"
 	KindRatioCliff      = "ratio-cliff"
 	KindCorrelatedOST   = "correlated-ost"
+	KindBurstBuffer     = "burst-buffer"
 )
 
 // ProfileSpec is one rank's explicit obstacle trace: the busy intervals the

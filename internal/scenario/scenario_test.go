@@ -13,12 +13,12 @@ import (
 // digests, deterministically across generator invocations, and survive a
 // save/load round trip.
 func TestGenerateVerifyRoundTrip(t *testing.T) {
-	gen, err := Generate(42, 3)
+	gen, err := Generate(42, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(gen) != 3 {
-		t.Fatalf("generated %d scenarios, want 3", len(gen))
+	if len(gen) != 4 {
+		t.Fatalf("generated %d scenarios, want 4", len(gen))
 	}
 	kinds := map[string]bool{}
 	dir := t.TempDir()
@@ -31,7 +31,7 @@ func TestGenerateVerifyRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for _, k := range []string{KindObstaclePacking, KindRatioCliff, KindCorrelatedOST} {
+	for _, k := range []string{KindObstaclePacking, KindRatioCliff, KindCorrelatedOST, KindBurstBuffer} {
 		if !kinds[k] {
 			t.Fatalf("generator cycle missing kind %s", k)
 		}
@@ -51,7 +51,7 @@ func TestGenerateVerifyRoundTrip(t *testing.T) {
 	}
 
 	// Same seed → same scenarios and digests.
-	gen2, err := Generate(42, 3)
+	gen2, err := Generate(42, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"repro/internal/api"
@@ -230,6 +231,58 @@ func TestSessionLRUEviction(t *testing.T) {
 		if st, env := h.post("/v1/session/"+id+"/iter",
 			api.SessionIterRequest{Input: sessionInput(1, 0)}, nil); env != nil {
 			t.Fatalf("surviving session %s: %d %v", id, st, env.Error)
+		}
+	}
+}
+
+// TestSessionStoreLRURace hammers the store's add (with eviction scans over
+// the recency map), get (which touches recency), and remove concurrently
+// under the race detector. Eviction iterates `used` while touches rewrite
+// it, so the two maps must stay in lockstep and the store bounded.
+func TestSessionStoreLRURace(t *testing.T) {
+	const limit = 8
+	st := newSessionStore(limit)
+	ids := make([]string, 64)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s%02d", i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := ids[(g*131+i)%len(ids)]
+				switch i % 4 {
+				case 0, 1:
+					st.add(&session{id: id})
+				case 2:
+					st.get(id)
+				case 3:
+					if i%16 == 3 {
+						st.remove(id)
+					} else {
+						st.get(id)
+					}
+				}
+				if n := st.len(); n > limit {
+					t.Errorf("store grew to %d > limit %d", n, limit)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The two maps must agree exactly once the dust settles.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.byID) != len(st.used) {
+		t.Fatalf("byID has %d entries, used has %d", len(st.byID), len(st.used))
+	}
+	for id := range st.byID {
+		if _, ok := st.used[id]; !ok {
+			t.Errorf("session %s live without recency entry", id)
 		}
 	}
 }

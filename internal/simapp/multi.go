@@ -1,0 +1,143 @@
+package simapp
+
+// Multi-application contention: K simapp instances share one pfs.FS (one set
+// of OSTs, one burst buffer, one fault schedule) and run concurrently. An
+// optional cluster coordinator (internal/coord) staggers the applications'
+// start times so their I/O phases land in disjoint windows of a global
+// period — Aupy et al.'s periodic I/O scheduling applied to the paper's
+// in-situ workloads. See DESIGN.md §14.3.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/pfs"
+)
+
+// MultiResult aggregates one multi-application run.
+type MultiResult struct {
+	// Apps holds each application's Result, in input order. Note that
+	// fault/retry counters come from the shared file system and storage
+	// policies, so per-app attribution is approximate: InjectedFaults is
+	// the cluster-wide total as observed at that app's finish.
+	Apps  []*Result
+	Names []string
+
+	// Coordinated reports whether the periodic schedule was applied.
+	Coordinated bool
+	// Period and Offsets are the coordinator's schedule (zero when
+	// uncoordinated). Busy is the scheduled PFS utilization.
+	Period  float64
+	Offsets []float64
+	Busy    float64
+
+	// Total is the whole-cluster wall time (first launch to last finish).
+	Total time.Duration
+	// BB summarizes the shared burst buffer at the end of the run.
+	BB pfs.BBStats
+}
+
+// Profiles reduces the application configs to coordinator profiles. The I/O
+// volume is the raw (uncompressed) per-iteration dump — a conservative
+// profile: compression only shrinks the burst, so windows planned for the
+// raw volume never overlap. Compute is the nominal iteration span (2×
+// ComputeTime, the 50%-idle layout RunOn uses).
+func Profiles(cfgs []Config) []coord.AppProfile {
+	out := make([]coord.AppProfile, len(cfgs))
+	for i, cfg := range cfgs {
+		var vol int64
+		for range cfg.Specs {
+			vol += int64(cfg.Dims.N()) * 4
+		}
+		vol *= int64(cfg.Ranks)
+		out[i] = coord.AppProfile{
+			Name:     cfg.Name,
+			Compute:  (2 * cfg.ComputeTime).Seconds(),
+			IOVolume: vol,
+		}
+	}
+	return out
+}
+
+// RunMulti executes the configured applications concurrently against one
+// freshly created shared file system. When coordinate is true, each
+// application's launch is delayed by the periodic schedule's offset.
+func RunMulti(cfgs []Config, fsCfg pfs.Config, coordinate bool) (*MultiResult, error) {
+	fs, err := pfs.New(fsCfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunMultiOn(cfgs, fs, coordinate)
+}
+
+// RunMultiOn is RunMulti against a caller-provided file system (so tests can
+// inspect and verify the written snapshots afterwards).
+func RunMultiOn(cfgs []Config, fs *pfs.FS, coordinate bool) (*MultiResult, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("simapp: no applications")
+	}
+	seen := make(map[string]bool, len(cfgs))
+	for _, cfg := range cfgs {
+		if err := cfg.validate(); err != nil {
+			return nil, err
+		}
+		if seen[cfg.Name] {
+			return nil, fmt.Errorf("simapp: duplicate application name %q (snapshot files would collide)", cfg.Name)
+		}
+		seen[cfg.Name] = true
+	}
+
+	res := &MultiResult{
+		Apps:    make([]*Result, len(cfgs)),
+		Names:   make([]string, len(cfgs)),
+		Offsets: make([]float64, len(cfgs)),
+	}
+	for i, cfg := range cfgs {
+		res.Names[i] = cfg.Name
+	}
+	if coordinate {
+		fsc := fs.Config()
+		sched, err := coord.Plan(Profiles(cfgs), float64(fsc.OSTs)*fsc.PerOSTBandwidth)
+		if err != nil {
+			return nil, err
+		}
+		res.Coordinated = true
+		res.Period = sched.Period
+		res.Busy = sched.Busy
+		copy(res.Offsets, sched.Offsets)
+	}
+	// One recorder serves the shared file system. RunOn re-attaches each
+	// app's own recorder when it has one, so give every app the same
+	// recorder (or none) for a coherent storage timeline.
+	for _, cfg := range cfgs {
+		if cfg.Recorder != nil {
+			fs.SetRecorder(cfg.Recorder)
+			break
+		}
+	}
+
+	start := time.Now()
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			if off := res.Offsets[i]; off > 0 {
+				time.Sleep(time.Duration(off * float64(time.Second)))
+			}
+			res.Apps[i], errs[i] = RunOn(cfg, fs)
+		}(i, cfg)
+	}
+	wg.Wait()
+	res.Total = time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("simapp: app %q: %w", cfgs[i].Name, err)
+		}
+	}
+	res.BB = fs.BBStats()
+	return res, nil
+}

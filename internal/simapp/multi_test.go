@@ -1,0 +1,106 @@
+package simapp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/coord"
+	"repro/internal/pfs"
+)
+
+// TestMultiAppContention is the K=3 contention smoke `make contentiontest`
+// gates on: three applications share one file system with injected write
+// faults and a burst buffer, launched on the periodic coordinator's offsets.
+// Every snapshot of every application must verify chunk-by-chunk within the
+// error bound, and the byte accounting must be exact per app — the
+// digest-level check that contention and fault recovery corrupted nothing.
+func TestMultiAppContention(t *testing.T) {
+	const K = 3
+	cfgs := make([]Config, K)
+	for i := range cfgs {
+		cfg := tinyNyx(2, Ours)
+		cfg.Iterations = 2
+		cfg.Name = fmt.Sprintf("nyx-%c", 'a'+rune(i))
+		cfgs[i] = cfg
+	}
+	fsCfg := cfgs[0].FS
+	fsCfg.Faults = &pfs.FaultPlan{Seed: 7, WriteErrorRate: 0.05}
+	fsCfg.BB = &pfs.BBConfig{CapacityBytes: 64 << 20}
+	fs, err := pfs.New(fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMultiOn(cfgs, fs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coordinated || res.Period <= 0 {
+		t.Fatalf("coordinator did not run: %+v", res)
+	}
+	if !res.BB.Enabled || res.BB.Absorbs == 0 {
+		t.Fatalf("burst buffer absorbed nothing: %+v", res.BB)
+	}
+	for i, app := range res.Apps {
+		cfg := cfgs[i]
+		wantRaw := int64(cfg.Ranks*len(cfg.Specs)*cfg.Dims.N()*4) * int64(cfg.Iterations)
+		if app.RawBytes != wantRaw {
+			t.Errorf("app %s raw bytes %d, want %d", cfg.Name, app.RawBytes, wantRaw)
+		}
+		// Ours mode records the in-loop dumps (the final dump is untracked).
+		if len(app.Files) != cfg.Iterations-1 {
+			t.Errorf("app %s wrote %d snapshots, want %d", cfg.Name, len(app.Files), cfg.Iterations-1)
+		}
+		for _, f := range app.Files {
+			checked, err := VerifySnapshot(fs, f, cfg)
+			if err != nil {
+				t.Errorf("app %s snapshot %s: %v", cfg.Name, f, err)
+			} else if checked == 0 {
+				t.Errorf("app %s snapshot %s verified zero chunks", cfg.Name, f)
+			}
+		}
+	}
+}
+
+// TestMultiAppDistinctNames: colliding app names would overwrite each
+// other's snapshot files, so RunMulti must refuse them.
+func TestMultiAppDistinctNames(t *testing.T) {
+	cfgs := []Config{tinyNyx(1, Ours), tinyNyx(1, Ours)}
+	if _, err := RunMulti(cfgs, cfgs[0].FS, false); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+// TestProfilesFeedCoordinator: the derived profiles carry the raw dump
+// volume and the nominal iteration span, and the coordinator's schedule
+// serializes the I/O windows.
+func TestProfilesFeedCoordinator(t *testing.T) {
+	cfgs := []Config{tinyNyx(2, Ours), tinyNyx(4, Ours)}
+	cfgs[0].Name = "a"
+	cfgs[1].Name = "b"
+	profs := Profiles(cfgs)
+	if profs[0].Name != "a" || profs[1].Name != "b" {
+		t.Fatalf("profile names %q/%q", profs[0].Name, profs[1].Name)
+	}
+	want0 := int64(2 * len(cfgs[0].Specs) * cfgs[0].Dims.N() * 4)
+	if profs[0].IOVolume != want0 {
+		t.Fatalf("profile volume %d, want %d", profs[0].IOVolume, want0)
+	}
+	if profs[0].Compute != (2 * cfgs[0].ComputeTime).Seconds() {
+		t.Fatalf("profile compute %v", profs[0].Compute)
+	}
+	sched, err := coord.Plan(profs, 100<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows are laid end to end: window 1 starts where window 0 ends.
+	if got := sched.Windows[1]; math.Abs(got-sched.IOTimes[0]) > 1e-12 {
+		t.Fatalf("window 1 at %v, want %v", got, sched.IOTimes[0])
+	}
+	if sched.Busy <= 0 || sched.Busy > 1 {
+		t.Fatalf("busy fraction %v", sched.Busy)
+	}
+	if sched.Period < sched.IOTimes[0]+sched.IOTimes[1] {
+		t.Fatalf("period %v cannot serialize I/O %v", sched.Period, sched.IOTimes)
+	}
+}
